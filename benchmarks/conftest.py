@@ -1,0 +1,28 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every module here regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  Benchmarks both *time* the regeneration
+(pytest-benchmark) and *print* the regenerated rows/series so the harness
+output can be compared side by side with the paper; EXPERIMENTS.md records
+that comparison.
+"""
+
+import pytest
+
+from repro.machine import generic_server_cpu, generic_server_table
+
+
+@pytest.fixture(scope="session")
+def cpu():
+    return generic_server_cpu()
+
+
+@pytest.fixture(scope="session")
+def table():
+    return generic_server_table()
+
+
+def emit(title: str, text: str) -> None:
+    """Print a labelled artifact block into the benchmark log."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{text}")

@@ -1,0 +1,170 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation removes or swaps one mechanism of the simulated substrate and
+checks that its effect is both visible and in the expected direction:
+
+* cache replacement policy (LRU vs FIFO vs random) on a reuse-heavy trace;
+* hardware prefetching on streaming vs random access;
+* memory-level parallelism on a latency-bound kernel;
+* OpenMP schedule choice against skewed iteration costs;
+* ECM vs plain Roofline accuracy for a cache-resident loop.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analytical import ECMModel, FunctionLevelModel
+from repro.machine import CacheLevel
+from repro.microbench import characterize_simulated
+from repro.parallel import simulate_schedule
+from repro.simulator import (
+    CPUModel,
+    MultiLevelCache,
+    hierarchy_for,
+    matmul_trace,
+    random_access_trace,
+    stream_trace,
+    triad_body,
+)
+
+
+def test_bench_ablation_replacement_policy(benchmark, cpu):
+    """LRU must beat FIFO and random on a reuse-heavy matmul trace."""
+    trace = matmul_trace(48, "ijk")
+
+    def run():
+        out = {}
+        for policy in ("lru", "fifo", "random"):
+            h = MultiLevelCache(cpu.caches, policy=policy, seed=1)
+            h.access_trace(trace.addresses, trace.writes)
+            out[policy] = h.caches[0].stats.misses
+        return out
+
+    misses = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: replacement policy on matmul(48) L1 misses",
+         "\n".join(f"  {k:7s} {v:8d}" for k, v in misses.items()))
+    assert misses["lru"] <= misses["fifo"]
+    assert misses["lru"] <= misses["random"]
+
+
+def test_bench_ablation_prefetcher(benchmark, cpu):
+    """Prefetch rescues streaming, does nothing for random access."""
+    n = 30_000
+    stream = stream_trace(n, "triad")
+    rand = random_access_trace(n, 32 * cpu.caches[-1].capacity_bytes, seed=4)
+
+    def run():
+        out = {}
+        for name, trace in (("stream", stream), ("random", rand)):
+            for pf in (False, True):
+                h = hierarchy_for(cpu, prefetch=pf)
+                h.access_trace(trace.addresses, trace.writes)
+                out[(name, pf)] = h.caches[0].stats.miss_ratio
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: prefetcher on/off (L1 miss ratio)",
+         "\n".join(f"  {name:7s} prefetch={pf!s:5s} miss_ratio={r:.4f}"
+                   for (name, pf), r in ratios.items()))
+    assert ratios[("stream", True)] < 0.05 * ratios[("stream", False)]
+    assert ratios[("random", True)] == pytest.approx(
+        ratios[("random", False)], rel=0.05)
+
+
+def test_bench_ablation_memory_parallelism(benchmark, cpu, table):
+    """MLP shortens latency-bound kernels, leaves compute-bound alone."""
+    from repro.simulator import pointer_chase_body
+
+    n = 10_000
+    rand = random_access_trace(n, 32 * cpu.caches[-1].capacity_bytes, seed=5)
+
+    def run():
+        out = {}
+        for mlp in (1.0, 4.0, 16.0):
+            model = CPUModel(cpu, table, memory_parallelism=mlp)
+            out[mlp] = model.run(rand, pointer_chase_body(), n).counters.cycles
+        return out
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: memory-level parallelism on random chase",
+         "\n".join(f"  MLP={mlp:4.0f} cycles={c:.3e}" for mlp, c in cycles.items()))
+    assert cycles[1.0] > 3 * cycles[4.0] > 3 * cycles[16.0] / 1.2
+
+
+def test_bench_ablation_schedules(benchmark):
+    """Schedule choice against skewed (triangular) iteration costs."""
+    costs = np.arange(1, 2001, dtype=float) * 1e-7
+
+    def run():
+        out = {}
+        for sched, chunk in (("static", None), ("static-chunked", 16),
+                             ("dynamic", 8), ("guided", 4)):
+            r = simulate_schedule(costs, 8, sched, chunk=chunk,
+                                  dispatch_overhead=5e-8)
+            out[r.schedule] = (r.makespan, r.imbalance)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: OpenMP schedules on triangular costs (8 threads)",
+         "\n".join(f"  {k:18s} makespan={m * 1e3:7.3f}ms imbalance={i:6.1%}"
+                   for k, (m, i) in results.items()))
+    static = results["static"][0]
+    assert results["dynamic,8"][0] < static
+    assert results["guided,4"][0] < static
+    assert results["static-chunked,16"][0] < static
+
+
+def test_bench_ablation_ecm_vs_roofline(benchmark, cpu, table):
+    """ECM sees the cache hierarchy; the plain bandwidth model does not.
+
+    The same triad runs once over a DRAM-sized footprint and many times
+    over an L2-resident one.  The function/Roofline model charges DRAM
+    bandwidth either way (predicted speedup = 1); ECM with the traffic
+    chain truncated at L2 predicts a real speedup, as the simulator
+    measures.
+    """
+    n_small = 3000     # 3 x 24 KB: L2-resident
+    n_large = 120_000  # 3 x 960 KB x 3 arrays: far beyond L3... via passes
+    passes = 12
+
+    def run():
+        lanes = cpu.vector.lanes(8)
+        model = CPUModel(cpu, table)
+        # steady-state L2-resident: many passes over the small arrays
+        small_pass = stream_trace(n_small, "triad")
+        trace = small_pass
+        for _ in range(passes - 1):
+            trace = trace.concat(small_pass)
+        t_small = model.run(trace, triad_body(True),
+                            passes * n_small // lanes).seconds / (passes * n_small)
+        # DRAM-resident: one pass over large arrays
+        t_large = model.run(stream_trace(n_large, "triad"), triad_body(True),
+                            n_large // lanes).seconds / n_large
+        truth_speedup = t_large / t_small
+
+        single = characterize_simulated(cpu.with_cores(1), table)
+        from repro.kernels import triad_work
+
+        func = FunctionLevelModel(single)
+        roofline_speedup = (func.predict_seconds(triad_work(n_large)) / n_large) / (
+            func.predict_seconds(triad_work(n_small)) / n_small)
+        ecm = ECMModel(cpu, table)
+        ecm_l2 = ecm.predict(triad_body(True), 2, 1, hit_level="L2",
+                             elements_per_iteration=lanes)
+        ecm_mem = ecm.predict(triad_body(True), 2, 1,
+                              elements_per_iteration=lanes)
+        ecm_speedup = ecm_mem.cycles_per_iteration / ecm_l2.cycles_per_iteration
+        return truth_speedup, roofline_speedup, ecm_speedup
+
+    truth, roofline_s, ecm_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: cache-residence speedup (L2-resident vs DRAM triad)",
+         f"  simulated truth    : {truth:.2f}x\n"
+         f"  roofline predicts  : {roofline_s:.2f}x (blind to caches)\n"
+         f"  ECM predicts       : {ecm_s:.2f}x")
+    assert truth > 1.5                  # residence matters in reality
+    assert roofline_s == pytest.approx(1.0)  # plain model cannot see it
+    assert ecm_s > 1.5                  # ECM predicts the effect
+    # (ECM overshoots the magnitude here because the simulated prefetcher
+    # hides part of the L1<-L2 transfer time; the directional prediction —
+    # the one the lecture cares about — is what only ECM gets right.)

@@ -1,0 +1,124 @@
+"""Assignment 3: statistical modeling of SpMV (CSR/CSC/COO) vs analytical.
+
+The assignment: collect performance data over a relevant input set, train
+statistical models, evaluate prediction accuracy, and compare against an
+analytical model — exposing the interpretability/accuracy trade-off.
+Measurements come from the machine simulator; shapes checked:
+
+* statistical models predict held-out SpMV times well (MAPE under ~35%);
+* the black-box forest beats the coarse analytical model on this
+  data-dependent kernel — the assignment's premise;
+* the analytical model remains the only one with an explanation.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analytical import FunctionLevelModel
+from repro.kernels import banded_sparse, matrix_features, random_sparse, spmv_work
+from repro.microbench import characterize_simulated
+from repro.simulator import CPUModel, spmv_csr_trace, spmv_inner_body
+from repro.statmodel import (
+    LinearRegressor,
+    ModelEntry,
+    RandomForestRegressor,
+    compare_models,
+    mape,
+    spmv_feature_pipeline,
+    train_test_split,
+)
+
+
+def _build_dataset(cpu, table, n_samples=36, seed=0):
+    """Simulated SpMV timings over a varied matrix population."""
+    model = CPUModel(cpu, table)
+    rng = np.random.default_rng(seed)
+    descriptors, works, times = [], [], []
+    for i in range(n_samples):
+        n = int(rng.integers(300, 2500))
+        if i % 2 == 0:
+            coo = random_sparse(n, density=float(rng.uniform(0.002, 0.02)),
+                                seed=100 + i)
+        else:
+            bw = int(rng.integers(2, max(3, n // 4)))
+            coo = banded_sparse(n, bw, fill=float(rng.uniform(0.4, 1.0)),
+                                seed=100 + i)
+        sim = model.run(spmv_csr_trace(coo), spmv_inner_body(), max(coo.nnz, 1))
+        descriptors.append(matrix_features(coo))
+        works.append(spmv_work(n, n, coo.nnz))
+        times.append(sim.seconds)
+    X = spmv_feature_pipeline().transform(descriptors)
+    return X, np.asarray(times), works
+
+
+def test_bench_assignment3(benchmark, cpu, table):
+    X, y, works = benchmark.pedantic(_build_dataset, args=(cpu, table),
+                                     rounds=1, iterations=1)
+
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.3, seed=1)
+    # align works with the test rows by re-deriving the split indices
+    rng_order = np.random.default_rng(1).permutation(len(y))
+    n_test = max(1, int(round(len(y) * 0.3)))
+    test_idx = rng_order[:n_test]
+
+    linear = LinearRegressor(ridge=1e-6).fit(Xtr, ytr)
+    forest = RandomForestRegressor(n_trees=40, max_depth=8, seed=2).fit(Xtr, ytr)
+
+    # analytical comparator: function-level model on the work counts
+    single = characterize_simulated(cpu.with_cores(1), table)
+    func = FunctionLevelModel(single, overlap=False)
+    analytical_pred = np.array([func.predict_seconds(works[i]) for i in test_idx])
+
+    entries = [
+        ModelEntry("analytical (function)", lambda _: analytical_pred,
+                   "analytical", "T = F/peak + B/bandwidth"),
+        ModelEntry("linear regression", linear.predict, "statistical",
+                   linear.explain(spmv_feature_pipeline().names)),
+        ModelEntry("random forest", forest.predict, "statistical",
+                   "none - black box"),
+    ]
+    result = compare_models(entries, Xte, yte)
+    emit("Assignment 3: analytical vs statistical SpMV models", result.report())
+
+    stats = {name: m for name, m in zip(result.names, result.mapes)}
+    # statistical models predict the data-dependent kernel decently
+    assert stats["random forest"] < 0.35
+    assert stats["linear regression"] < 0.35
+    # and beat the coarse analytical model — the assignment's premise
+    assert stats["random forest"] < stats["analytical (function)"]
+    # interpretability: only the statistical linear model + analytical
+    # model expose an explanation; the forest does not
+    explanations = dict(zip(result.names, result.explanations))
+    assert "black box" in explanations["random forest"]
+    assert "peak" in explanations["analytical (function)"]
+
+
+def test_bench_assignment3_format_comparison(benchmark, cpu, table):
+    """CSR vs CSC vs COO on the same matrix: scalar traversal order
+    changes locality, visible in simulated time per nonzero."""
+    from repro.kernels import (
+        spmv_coo_numpy,
+        spmv_csc_numpy,
+        spmv_csr_numpy,
+    )
+    from repro.timing import measure
+
+    # large enough (nnz ~ 180k) that the kernels' algorithmic difference —
+    # segmented sum vs buffered scatter-add — dominates interpreter jitter
+    coo = random_sparse(3000, density=0.02, seed=9)
+    csr, csc = coo.to_csr(), coo.to_csc()
+    x = np.random.default_rng(1).random(coo.shape[1])
+
+    def run_all():
+        return {
+            "csr": measure(lambda: spmv_csr_numpy(csr, x), repetitions=9).best,
+            "csc": measure(lambda: spmv_csc_numpy(csc, x), repetitions=9).best,
+            "coo": measure(lambda: spmv_coo_numpy(coo, x), repetitions=9).best,
+        }
+
+    times = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("Assignment 3: empirical format comparison (vectorized, nnz=%d)" % coo.nnz,
+         "\n".join(f"  {k:4s} {v * 1e6:9.1f} us" for k, v in times.items()))
+    # CSR's segmented sum avoids CSC/COO's scatter-add (np.add.at)
+    assert times["csr"] < times["csc"]
+    assert times["csr"] < times["coo"]

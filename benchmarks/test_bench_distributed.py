@@ -1,0 +1,131 @@
+"""Scale-out topic: collective algorithm crossovers and scaling curves.
+
+Regenerates the distributed lectures' canonical results on the DAS-5-like
+network model: the small/large-message algorithm switch inside collectives,
+strong scaling of a distributed matvec (mini-MPI simulation), weak scaling
+of a halo-exchange stencil, and a VAMPIR-style timeline.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.distributed import (
+    MPISimulator,
+    alpha_beta_from_cluster,
+    best_algorithm,
+    bsp_iterations,
+    distributed_matvec,
+    halo_exchange_stencil,
+    matvec_scaling_model,
+    strong_scaling,
+    timeline_text,
+    weak_scaling,
+)
+from repro.distributed import stencil_scaling_model
+from repro.machine import das5_cluster
+
+
+def _collective_crossover(net):
+    rows = []
+    for m in (64, 1024, 16 * 1024, 256 * 1024, 4 * 1024 * 1024):
+        bcast = best_algorithm("broadcast", net, 64, m)
+        allred = best_algorithm("allreduce", net, 64, m)
+        rows.append((m, bcast, allred))
+    return rows
+
+
+def test_bench_distributed_collectives(benchmark):
+    net = alpha_beta_from_cluster(das5_cluster())
+    rows = benchmark.pedantic(_collective_crossover, args=(net,),
+                              rounds=1, iterations=1)
+
+    lines = [f"  m={m:>9d}B  bcast->{b[0]:18s} ({b[1] * 1e6:9.1f}us)  "
+             f"allreduce->{a[0]:18s} ({a[1] * 1e6:9.1f}us)"
+             for m, b, a in rows]
+    emit("Distributed: collective algorithm crossover (p=64)", "\n".join(lines))
+
+    # small messages: latency-optimal algorithms win
+    assert rows[0][1][0] == "binomial"
+    assert rows[0][2][0] == "recursive-doubling"
+    # large messages: bandwidth-optimal algorithms win
+    assert rows[-1][1][0] == "scatter-allgather"
+    assert rows[-1][2][0] == "ring"
+
+
+def test_bench_distributed_matvec_strong_scaling(benchmark):
+    """Simulated (DES) and modelled strong scaling must agree in shape."""
+    net = alpha_beta_from_cluster(das5_cluster())
+
+    def run():
+        des = {}
+        for p in (1, 2, 4, 8, 16):
+            result = MPISimulator(p, net).run(
+                distributed_matvec(1024, 5, seconds_per_flop=2e-10))
+            des[p] = result.makespan
+        model = matvec_scaling_model(1024, net, 2e-10)
+        modelled = strong_scaling(model, [1, 2, 4, 8, 16])
+        return des, modelled
+
+    des, modelled = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedups = {p: des[1] / t for p, t in des.items()}
+    lines = [f"  p={p:3d}  DES speedup={speedups[p]:6.2f}  "
+             f"model speedup={modelled[p]:6.2f}"
+             for p in sorted(des)]
+    emit("Distributed: matvec strong scaling (DES vs model)", "\n".join(lines))
+
+    assert speedups[4] > 2.5
+    for p in speedups:
+        assert speedups[p] == pytest.approx(modelled[p], rel=0.4)
+    # efficiency decreases with p (communication share grows)
+    assert speedups[16] / 16 < speedups[2] / 2
+
+
+def test_bench_distributed_weak_scaling(benchmark):
+    net = alpha_beta_from_cluster(das5_cluster())
+
+    def factory(total_points):
+        edge = int(round(total_points ** 0.5))
+        return stencil_scaling_model(edge, net, seconds_per_point=2e-9,
+                                     iterations=10)
+
+    eff = benchmark.pedantic(
+        lambda: weak_scaling(factory, 2048 * 2048, [1, 4, 16, 64]),
+        rounds=1, iterations=1)
+    emit("Distributed: stencil weak scaling",
+         "\n".join(f"  p={p:3d}  efficiency={e:.3f}" for p, e in eff.items()))
+    assert eff[1] == pytest.approx(1.0)
+    assert eff[64] > 0.7  # halo exchange stays surface-to-volume-small
+
+
+def test_bench_distributed_timeline(benchmark):
+    """The VAMPIR-style view: load imbalance appears as wait time."""
+    net = alpha_beta_from_cluster(das5_cluster())
+
+    def run():
+        sim = MPISimulator(4, net)
+        return sim.run(bsp_iterations(4, 2e-3, 64 * 1024, imbalance=0.6))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Distributed: BSP timeline with 60% imbalance",
+         timeline_text(result, width=64))
+    # everyone waits on the slowest rank: makespan ~ slowest compute
+    assert result.makespan > 4 * 2e-3 * 1.5
+    assert result.communication_fraction() > 0.1
+
+
+def test_bench_distributed_halo_deadlock_freedom(benchmark):
+    """The even/odd exchange ordering survives any rank count."""
+    net = alpha_beta_from_cluster(das5_cluster())
+
+    def run():
+        spans = {}
+        for p in (2, 3, 5, 8):
+            result = MPISimulator(p, net).run(
+                halo_exchange_stencil(5, 64, 4096, 1e-4))
+            spans[p] = result.makespan
+        return spans
+
+    spans = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(s > 0 for s in spans.values())
+    emit("Distributed: halo exchange makespans",
+         "\n".join(f"  p={p}: {s * 1e3:.3f}ms" for p, s in spans.items()))

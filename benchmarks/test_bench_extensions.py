@@ -1,0 +1,128 @@
+"""Benches for the paper's future-work topics, implemented as extensions.
+
+The conclusion names three topics to develop: (1) multi-vendor hardware,
+(2) energy-efficiency metrics, (3) more distributed/shared computing.
+These benches exercise our implementations of all three, plus the
+SLURM-like batch scheduler that models the course's own DAS-5 usage.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.energy import PowerModel, dvfs_energy_curve, energy_optimal_cores
+from repro.kernels import matmul_work, triad_work
+from repro.machine import epyc_like_cpu, generic_server_cpu
+from repro.queueing import random_workload, simulate_batch
+from repro.roofline import cpu_roofline
+
+
+def test_bench_extension_multivendor(benchmark):
+    """Future work (1): the same kernels on two vendors' rooflines."""
+
+    def run():
+        rows = []
+        for cpu in (generic_server_cpu(), epyc_like_cpu()):
+            roofline = cpu_roofline(cpu)
+            triad = roofline.attainable(triad_work(10 ** 6).intensity)
+            mm = roofline.attainable(matmul_work(512).intensity)
+            rows.append((cpu.name, roofline.ridge_point(), triad, mm))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Extension: multi-vendor rooflines", "\n".join(
+        f"  {name:15s} ridge={ridge:6.2f} F/B  triad={t / 1e9:7.1f} GF/s  "
+        f"matmul={m / 1e9:7.1f} GF/s" for name, ridge, t, m in rows))
+
+    intel, amd = rows
+    assert amd[2] > intel[2]   # more bandwidth -> faster triad
+    assert amd[3] > intel[3]   # more cores -> higher compute roof
+    # but per-core the Intel-like machine is faster (higher clock)
+    assert (intel[3] / generic_server_cpu().cores
+            > amd[3] / epyc_like_cpu().cores)
+
+
+def test_bench_extension_energy(benchmark, cpu):
+    """Future work (2): energy metrics for the ECM triad."""
+    pm = PowerModel(static_watts=40, core_watts=6, dram_watts_per_gbs=0.4)
+
+    def run():
+        best, reports = energy_optimal_cores(pm, cpu, 27.0, 7.0, lines=1e8)
+        curve_mb = dvfs_energy_curve(pm, 10.0, cpu.cores,
+                                     compute_bound_fraction=0.1)
+        curve_cb = dvfs_energy_curve(pm, 10.0, 1,
+                                     compute_bound_fraction=1.0)
+        return best, reports, curve_mb, curve_cb
+
+    best, reports, curve_mb, curve_cb = benchmark.pedantic(run, rounds=1,
+                                                           iterations=1)
+    lines = ["  cores -> time, energy (saturating triad):"]
+    for n in (1, 2, 4, 8, 16):
+        r = reports[n]
+        mark = " <- optimum" if n == best else ""
+        lines.append(f"    {n:3d} {r.seconds:8.3f}s {r.joules:9.1f}J{mark}")
+    lines.append("  DVFS, memory-bound kernel (16 cores): " + ", ".join(
+        f"{s:.1f}x->{r.joules:.0f}J" for s, r in sorted(curve_mb.items())))
+    lines.append("  DVFS, compute-bound kernel (1 core):  " + ", ".join(
+        f"{s:.1f}x->{r.joules:.0f}J" for s, r in sorted(curve_cb.items())))
+    emit("Extension: energy-efficiency analyses", "\n".join(lines))
+
+    assert 2 <= best <= 6                       # near the ECM saturation point
+    assert reports[cpu.cores].joules > reports[best].joules
+    mb = sorted(curve_mb.items())
+    assert mb[0][1].joules < mb[-1][1].joules   # memory-bound: slow & steady
+    cb = sorted(curve_cb.items())
+    assert cb[-1][1].joules < cb[0][1].joules   # static-dominated: race to idle
+
+
+def test_bench_extension_cloud_variability(benchmark):
+    """Future work (3): straggler amplification under performance noise."""
+    from repro.distributed import (
+        AlphaBeta,
+        duplicate_execution_gain,
+        simulate_noisy_bsp,
+        straggler_slowdown,
+    )
+
+    net = AlphaBeta(1.7e-6, 6.8e9)
+
+    def run():
+        rows = []
+        for p in (4, 8, 16):
+            analytic = straggler_slowdown(p, "exponential", 0.4)
+            simulated = simulate_noisy_bsp(p, net, iterations=40,
+                                           model="exponential", level=0.4,
+                                           seed=7)
+            rows.append((p, analytic, simulated))
+        gain = duplicate_execution_gain(64, 0.4, replicas=2)
+        return rows, gain
+
+    rows, gain = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Extension: BSP straggler amplification (exponential noise, f=0.4)",
+         "\n".join(f"  p={p:3d}  analytic={a:5.2f}x  simulated={s:5.2f}x"
+                   for p, a, s in rows)
+         + f"\n  2x speculative duplicates at p=64: {gain:.2f}x back")
+
+    slows = [a for _, a, _ in rows]
+    assert slows == sorted(slows)  # grows with scale
+    for p, analytic, simulated in rows:
+        assert simulated == pytest.approx(analytic, rel=0.25)
+    assert gain > 1.2
+
+
+def test_bench_extension_batch_scheduler(benchmark):
+    """The DAS-5 substrate: FCFS vs EASY backfilling on a synthetic trace."""
+
+    def run():
+        wl = random_workload(120, 32, load=0.85, seed=11)
+        return (simulate_batch(wl, 32, "fcfs"),
+                simulate_batch(wl, 32, "easy-backfill"))
+
+    fcfs, easy = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Extension: batch scheduling (32-node cluster, 120 jobs)",
+         f"  {fcfs.report()}\n  {easy.report()}")
+
+    assert easy.mean_wait < fcfs.mean_wait
+    assert easy.mean_bounded_slowdown <= fcfs.mean_bounded_slowdown
+    assert easy.utilization >= fcfs.utilization * 0.99
+    assert easy.makespan <= fcfs.makespan * 1.01

@@ -1,0 +1,28 @@
+"""Figure 1: students enrolled / passing / evaluation respondents per year.
+
+Regenerates the figure's three series from DATA-1 (SW-2's job) and checks
+the totals the paper states in prose: 146 enrolled, 93 passed, 41
+respondents, evaluations missing in 2019 and 2022.
+"""
+
+from conftest import emit
+
+from repro.course import figure1_series, figure1_text, totals
+
+
+def test_bench_figure1(benchmark):
+    series = benchmark(figure1_series)
+
+    assert series["year"] == list(range(2017, 2024))
+    assert sum(series["total_enrolled"]) == 146
+    assert sum(series["passing_grades"]) == 93
+    assert sum(r for r in series["evaluation_respondents"] if r) == 41
+    assert series["evaluation_respondents"][2] is None  # 2019
+    assert series["evaluation_respondents"][5] is None  # 2022
+    # the figure's visual shape: enrollment roughly triples over the years
+    assert series["total_enrolled"][-1] >= 2 * series["total_enrolled"][0]
+    # passing is always below enrollment (15-50% dropout)
+    for e, p in zip(series["total_enrolled"], series["passing_grades"]):
+        assert 0.5 * e <= p <= 0.85 * e
+
+    emit("Figure 1 (SW-2 output)", figure1_text())

@@ -1,0 +1,30 @@
+"""Figure 2: the artifact dependency graph.
+
+Rebuilds the dependency DAG, validates it against the paper's stated
+dependencies (DATA-1 -> SW-2 -> Figure 1; DATA-2 -> SW-3 -> Table 2), and
+prints the reproduction order.
+"""
+
+from conftest import emit
+
+from repro.course import (
+    artifact_graph,
+    figure2_text,
+    inputs_for,
+    reproduction_order,
+    validate_graph,
+)
+
+
+def test_bench_figure2(benchmark):
+    graph = benchmark(artifact_graph)
+
+    assert graph.number_of_nodes() == 10
+    assert validate_graph() == []
+    assert inputs_for("Figure 1") == {"DATA-1", "SW-2"}
+    assert inputs_for("Table 2") == {"DATA-2", "SW-3"}
+    order = reproduction_order()
+    assert order.index("DATA-1") < order.index("Figure 1")
+    assert order[-1] == "LaTeX Paper"
+
+    emit("Figure 2 (artifact dependency graph)", figure2_text())

@@ -1,0 +1,125 @@
+"""Heterogeneous (CPU+GPU) benches: occupancy, rooflines, offload crossover.
+
+The course targets "multi-node heterogeneous platforms combining CPUs and
+GPUs"; these benches regenerate its GPU teaching results across the paper's
+compute-capability range (3.0-7.2): the occupancy calculator, GPU vs CPU
+rooflines, and the offload break-even sweep.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.kernels import matmul_work, triad_work
+from repro.machine import gpu_cc30, gpu_cc60, gpu_cc72
+from repro.parallel import KernelConfig, occupancy, offload_analysis
+from repro.roofline import gpu_roofline
+
+
+def test_bench_gpu_occupancy_table(benchmark):
+    """The occupancy-calculator exercise across launch configurations."""
+    gpu = gpu_cc60()
+    configs = [
+        ("small blocks", KernelConfig(64, registers_per_thread=32)),
+        ("standard", KernelConfig(256, registers_per_thread=32)),
+        ("register-hungry", KernelConfig(256, registers_per_thread=128)),
+        ("smem-hungry", KernelConfig(128, registers_per_thread=32,
+                                     shared_mem_per_block_bytes=32 * 1024)),
+    ]
+
+    def run():
+        return [(name, occupancy(gpu, cfg)) for name, cfg in configs]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("GPU: occupancy calculator (cc 6.0)", "\n".join(
+        f"  {name:16s} blocks/SM={o.blocks_per_sm:2d} "
+        f"occupancy={o.percent:5.1f}% limiter={o.limiter}"
+        for name, o in rows))
+
+    by_name = dict(rows)
+    assert by_name["standard"].occupancy == pytest.approx(1.0)
+    assert by_name["register-hungry"].limiter == "registers"
+    assert by_name["register-hungry"].occupancy < 0.5
+    assert by_name["smem-hungry"].limiter == "shared-memory"
+
+
+def test_bench_gpu_rooflines_across_generations(benchmark):
+    """Ridge points across the paper's cc 3.0-7.2 GPU range."""
+
+    def run():
+        out = []
+        for gpu in (gpu_cc30(), gpu_cc60(), gpu_cc72()):
+            model = gpu_roofline(gpu)
+            out.append((gpu.name, model.ridge_point(),
+                        model.ridge_point(bandwidth_name="PCIe"),
+                        model.peak_flops))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("GPU: rooflines across generations", "\n".join(
+        f"  {name:12s} ridge(HBM)={r:6.2f} F/B  ridge(PCIe)={rp:8.1f} F/B  "
+        f"peak={p / 1e12:5.2f} TF/s" for name, r, rp, p in rows))
+
+    peaks = [p for *_, p in rows]
+    assert peaks == sorted(peaks)  # newer GPUs are faster
+    for _, hbm_ridge, pcie_ridge, _ in rows:
+        assert pcie_ridge > 10 * hbm_ridge  # the offload lesson in one line
+
+
+def test_bench_gpu_microarchitecture(benchmark):
+    """Wong et al.'s microbenchmark curves: coalescing and bank conflicts."""
+    from repro.microbench import (
+        bank_conflict_factor,
+        coalesced_transactions,
+        divergence_factor,
+        shared_memory_sweep,
+    )
+
+    def run():
+        coalesce = {s: coalesced_transactions(s) for s in (1, 2, 4, 8, 16)}
+        banks = shared_memory_sweep(33)
+        return coalesce, banks
+
+    coalesce, banks = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("GPU: microarchitecture curves (Wong et al. reproductions)",
+         "  coalescing (fp32): " + ", ".join(
+             f"stride {s}->{t} txn" for s, t in coalesce.items())
+         + "\n  bank conflicts:    " + ", ".join(
+             f"{s}->{banks[s]}x" for s in (1, 2, 4, 8, 16, 32, 33)))
+
+    # the measured staircases of the ISPASS paper
+    assert coalesce[1] == 4 and coalesce[8] == 32
+    assert banks[32] == 32 and banks[33] == 1
+    assert divergence_factor(0.5) == pytest.approx(2.0, abs=1e-6)
+
+
+def test_bench_gpu_offload_crossover(benchmark, cpu):
+    """Offload break-even: small kernels stay on the CPU, large ones move."""
+    gpu = gpu_cc60()
+
+    def run():
+        rows = []
+        for n in (64, 256, 1024, 4096):
+            decision = offload_analysis(
+                cpu, gpu, matmul_work(n),
+                transfer_bytes=3 * n * n * 8, config=KernelConfig(256))
+            rows.append((n, decision))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("GPU: matmul offload crossover", "\n".join(
+        f"  n={n:5d} cpu={d.cpu_seconds:9.2e}s gpu_total={d.gpu_total_seconds:9.2e}s "
+        f"speedup={d.speedup:6.2f} worthwhile={d.worthwhile}"
+        for n, d in rows))
+
+    decisions = [d.worthwhile for _, d in rows]
+    # monotone crossover: once offload wins, it keeps winning
+    assert decisions == sorted(decisions)
+    assert not decisions[0]  # n=64 stays on the CPU
+    assert decisions[-1]     # n=4096 moves
+
+    # memory-bound kernels face a different verdict: triad never overcomes
+    # the PCIe transfer at any size if data must move per call
+    triad_decision = offload_analysis(cpu, gpu, triad_work(10 ** 7),
+                                      transfer_bytes=3 * 8 * 10 ** 7,
+                                      config=KernelConfig(256))
+    assert not triad_decision.worthwhile

@@ -1,0 +1,56 @@
+"""Equations 1-3: the grading scheme, exercised on a synthetic cohort.
+
+Checks the formulas' printed properties (weights, divisors, clamps, quiz
+bonus) and the §4.4 design intents: the project carries the largest weight,
+and the scheme leaves slack for compensating between exam and assignments.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.course import (
+    assignments_grade,
+    final_grade,
+    project_grade,
+    simulate_cohort,
+    team_divisor,
+)
+
+
+def _grade_cohort(n=146, seed=42):
+    return simulate_cohort(n, seed=seed)
+
+
+def test_bench_grading(benchmark):
+    cohort = benchmark(_grade_cohort)
+
+    # Equation 1 verbatim values
+    assert final_grade(8.0, 8.0, 7.0, 35.0) == 0.5 * 8 + 0.3 * 8 + 0.3 * 7.5
+    assert final_grade(10.0, 10.5, 10.0, 70.0) == 10.0  # clamp
+    # Equation 2 weights
+    assert project_grade(10.0, 1.0, 1.0) == 0.4 * 10 + 0.3 + 0.3
+    # Equation 3 divisors and slack
+    assert (team_divisor(1), team_divisor(2), team_divisor(4)) == (32, 36, 40)
+    assert assignments_grade((10, 9, 11, 12), 1) > 10.0  # solo slack
+
+    # design intent: project weight dominates
+    base = final_grade(7.0, 7.0, 7.0, 0.0)
+    assert final_grade(8.0, 7.0, 7.0, 0.0) - base > \
+           final_grade(7.0, 8.0, 7.0, 0.0) - base
+
+    # compensation slack: a weak exam can be offset by strong assignments
+    weak_exam = final_grade(8.0, 10.0, 5.0, 70.0)
+    assert weak_exam >= 7.0
+
+    finals = np.array([s.final for s in cohort])
+    lines = [
+        f"cohort of {len(cohort)} (components drawn at the paper's means)",
+        f"  mean project     : {np.mean([s.project for s in cohort]):.2f}  (paper: ~8)",
+        f"  mean assignments : {np.mean([s.assignments for s in cohort]):.2f}  (paper: ~8)",
+        f"  mean exam        : {np.mean([s.exam for s in cohort]):.2f}  (paper: ~7.5)",
+        f"  mean final       : {finals.mean():.2f}  (paper: ~8; Eq.1's 1.1x "
+        f"weight slack pushes the simulated mean above the rounded figure)",
+        f"  pass rate        : {np.mean([s.passed for s in cohort]):.0%}  "
+        f"(completers pass; dropout happens before grading, §5.1)",
+    ]
+    emit("Equations 1-3 (grading scheme on a synthetic cohort)", "\n".join(lines))

@@ -1,0 +1,77 @@
+"""Queueing-theory topic: analytical predictions vs discrete-event simulation.
+
+Regenerates the lecture's canonical plots: M/M/1 waiting time vs load
+(the hockey stick), M/M/c pooling gains, and the P-K variability penalty —
+each cross-validated by the DES.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.queueing import (
+    deterministic,
+    exponential,
+    hyperexponential,
+    mg1,
+    mm1,
+    mmc,
+    simulate_queue,
+)
+
+
+def _mm1_load_sweep():
+    mu = 10.0
+    out = {}
+    for rho in (0.3, 0.5, 0.7, 0.8, 0.9):
+        lam = rho * mu
+        theory = mm1(lam, mu)
+        sim = simulate_queue(exponential(lam, seed=int(rho * 100)),
+                             exponential(mu, seed=int(rho * 100) + 1),
+                             customers=30_000, warmup=1_000)
+        out[rho] = (theory.mean_wait, sim.mean_wait)
+    return out
+
+
+def test_bench_queueing_mm1_hockey_stick(benchmark):
+    sweep = benchmark.pedantic(_mm1_load_sweep, rounds=1, iterations=1)
+
+    lines = [f"  rho={rho:.1f}  Wq_theory={t * 1e3:8.2f}ms  Wq_sim={s * 1e3:8.2f}ms"
+             for rho, (t, s) in sweep.items()]
+    emit("Queueing: M/M/1 waiting time vs load (theory vs DES)", "\n".join(lines))
+
+    waits = [t for t, _ in sweep.values()]
+    assert waits == sorted(waits)               # monotone in load
+    assert sweep[0.9][0] > 10 * sweep[0.3][0]   # the hockey stick
+    for rho, (t, s) in sweep.items():
+        assert s == pytest.approx(t, rel=0.25), f"DES disagrees at rho={rho}"
+
+
+def test_bench_queueing_pooling_and_variability(benchmark):
+    def run():
+        pooled = mmc(32.0, 10.0, 4).mean_wait
+        partitioned = mm1(8.0, 10.0).mean_wait
+        md1 = mg1(8.0, 10.0, 0.0).mean_wait
+        mh1 = mg1(8.0, 10.0, 4.0).mean_wait
+        sim_h = simulate_queue(exponential(8.0, seed=1),
+                               hyperexponential(10.0, 4.0, seed=2),
+                               customers=40_000).mean_wait
+        sim_d = simulate_queue(exponential(8.0, seed=3), deterministic(10.0),
+                               customers=40_000).mean_wait
+        return pooled, partitioned, md1, mh1, sim_h, sim_d
+
+    pooled, partitioned, md1, mh1, sim_h, sim_d = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    emit("Queueing: pooling + variability", "\n".join([
+        f"  4 pooled servers Wq : {pooled * 1e3:8.2f}ms",
+        f"  4 separate queues Wq: {partitioned * 1e3:8.2f}ms "
+        f"({partitioned / pooled:.1f}x worse)",
+        f"  M/D/1 Wq            : {md1 * 1e3:8.2f}ms (sim {sim_d * 1e3:.2f}ms)",
+        f"  M/H2/1 (cv2=4) Wq   : {mh1 * 1e3:8.2f}ms (sim {sim_h * 1e3:.2f}ms)",
+    ]))
+
+    assert pooled < partitioned           # pooling wins
+    assert md1 < mh1                      # variability costs
+    assert md1 == pytest.approx(mm1(8.0, 10.0).mean_wait / 2)  # P-K at cv2=0
+    assert sim_h == pytest.approx(mh1, rel=0.3)
+    assert sim_d == pytest.approx(md1, rel=0.3)

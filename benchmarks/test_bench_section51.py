@@ -1,0 +1,43 @@
+"""§5.1 narrative numbers: totals and per-edition statistics.
+
+The evaluation section's prose states: 146 enrolled over seven years,
+15-50% dropout, 93 passing, averages around 8 (assignments), 7.5 (exam),
+8 (project).  This benchmark regenerates all of them from DATA-1 plus the
+grading pipeline.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.course import STUDENTS, simulate_cohort, totals
+
+
+def _section51():
+    t = totals()
+    cohort = simulate_cohort(t["passed"], seed=2017)
+    return t, cohort
+
+
+def test_bench_section51(benchmark):
+    t, cohort = benchmark(_section51)
+
+    assert t == {"enrolled": 146, "passed": 93, "respondents": 41, "editions": 7}
+    dropouts = [r.dropout_rate for r in STUDENTS]
+    assert 0.15 <= min(dropouts) and max(dropouts) <= 0.50
+    exam = float(np.mean([s.exam for s in cohort]))
+    proj = float(np.mean([s.project for s in cohort]))
+    asg = float(np.mean([s.assignments for s in cohort]))
+    assert abs(exam - 7.5) < 0.5
+    assert abs(proj - 8.0) < 0.5
+    assert abs(asg - 8.0) < 1.0
+
+    lines = [
+        f"enrolled total : {t['enrolled']}   (paper: 146)",
+        f"passed total   : {t['passed']}    (paper: 93)",
+        f"respondents    : {t['respondents']}    (paper: 41)",
+        f"dropout range  : {min(dropouts):.0%}..{max(dropouts):.0%} (paper: 15-50%)",
+        f"avg exam       : {exam:.2f}  (paper: ~7.5)",
+        f"avg project    : {proj:.2f}  (paper: ~8)",
+        f"avg assignments: {asg:.2f}  (paper: ~8)",
+    ]
+    emit("Section 5.1 narrative numbers", "\n".join(lines))

@@ -1,0 +1,38 @@
+"""Table 1: topics vs performance-engineering stages and learning objectives.
+
+Regenerates the coverage matrix and checks its structural properties: 11
+topics, stages 2-6 all covered by the practical material, every objective
+served, and each topic backed by a module of this repository.
+"""
+
+import importlib
+
+from conftest import emit
+
+from repro.course import (
+    TOPICS,
+    coverage_matrix,
+    table1_text,
+    topics_for_objective,
+    topics_for_stage,
+)
+
+
+def test_bench_table1(benchmark):
+    matrix = benchmark(coverage_matrix)
+
+    assert len(matrix) == 11
+    for stage in range(2, 7):  # the practically-exercised stages (§2.3)
+        assert topics_for_stage(stage)
+    for objective in range(1, 9):
+        assert topics_for_objective(objective)
+    # the reproduction is complete: every topic's module imports
+    for topic in TOPICS:
+        importlib.import_module(topic.module)
+    # spot checks against the paper's obvious placements
+    roofline = matrix["Roofline model and extensions"]
+    assert roofline["O2"] and roofline["S2"]
+    queueing = matrix["Queuing theory"]
+    assert queueing["O2"] or queueing["O3"]
+
+    emit("Table 1 (topic coverage)", table1_text())

@@ -1,0 +1,34 @@
+"""Table 2: aggregated student evaluation responses (SW-3's job).
+
+The response *counts* are printed verbatim in the paper, so this benchmark
+checks the strongest possible property: every recomputed mean matches the
+paper's M column exactly (at the paper's 1-decimal precision).
+"""
+
+from conftest import emit
+
+from repro.course import METRICS_2A, METRICS_2B, table2_text, table2a_rows, table2b_rows
+
+
+def _regenerate():
+    return table2a_rows(), table2b_rows()
+
+
+def test_bench_table2(benchmark):
+    rows_2a, rows_2b = benchmark(_regenerate)
+
+    assert len(rows_2a) == 13
+    assert len(rows_2b) == 2
+    for row in rows_2a + rows_2b:
+        assert row["mean"] == row["paper_mean"], row["statement"]
+    # headline results the paper calls out
+    by_name = {r["statement"]: r for r in rows_2a}
+    assert by_name["To apply subject matter"]["mean"] == 4.8   # highest
+    assert by_name["Current scientific theories"]["mean"] == 3.9  # lowest
+    assert {r["statement"]: r["mean"] for r in rows_2b} == {
+        "Workload": 4.0, "Level": 3.7}
+    # every assignment rated >= 4.1 ("helped me understand the subject")
+    for k in range(1, 5):
+        assert by_name[f"Assignment {k}"]["mean"] >= 4.1
+
+    emit("Table 2 (SW-3 output)", table2_text())

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Assignment 1: the Roofline model, start to finish.
+
+Reproduces the assignment pipeline: build the machine roofline (with the
+extension ceilings), characterize matmul versions and STREAM triad on it,
+optimize guided by the identified bottleneck, and re-model — including the
+ASCII roofline chart the students would plot.
+
+Run:  python examples/assignment1_roofline.py
+"""
+
+from repro.kernels import matmul_work, triad_work
+from repro.machine import generic_server_cpu, generic_server_table
+from repro.roofline import (
+    AppPoint,
+    ascii_roofline,
+    cpu_roofline,
+    hierarchical_bound,
+    hierarchical_traffic,
+)
+from repro.simulator import (
+    CPUModel,
+    matmul_inner_body,
+    matmul_tiled_trace,
+    matmul_trace,
+    stream_trace,
+    triad_body,
+)
+
+N = 64
+
+
+def main() -> None:
+    cpu = generic_server_cpu()
+    table = generic_server_table()
+    roofline = cpu_roofline(cpu, cores=1)
+
+    # --- model the machine ---
+    print(f"machine: {cpu.name}, 1 core")
+    print(f"  ridge point {roofline.ridge_point():.2f} FLOP/byte; "
+          f"ceilings: {[c.name for c in roofline.compute]}")
+
+    # --- characterize applications: algorithmic intensity ---
+    points = [
+        AppPoint.from_work("triad", triad_work(10 ** 6)),
+        AppPoint.from_work(f"matmul n={N}", matmul_work(N)),
+    ]
+
+    # --- measure (simulate) the versions and place achieved points ---
+    model = CPUModel(cpu, table)
+    body = matmul_inner_body()
+    flops = matmul_work(N).flops
+    measured = []
+    for name, trace in (
+        ("matmul-jki", matmul_trace(N, "jki")),
+        ("matmul-ijk", matmul_trace(N, "ijk")),
+        ("matmul-ikj", matmul_trace(N, "ikj")),
+        ("matmul-tiled16", matmul_tiled_trace(N, 16)),
+    ):
+        sim = model.run(trace, body, N ** 3)
+        measured.append(AppPoint.from_traffic(name, flops,
+                                              sim.counters.dram_bytes,
+                                              seconds=sim.seconds))
+    n_triad = 200_000
+    sim = model.run(stream_trace(n_triad, "triad"), triad_body(True),
+                    n_triad // 4)
+    measured.append(AppPoint.from_traffic("triad", 2.0 * n_triad,
+                                          sim.counters.dram_bytes,
+                                          seconds=sim.seconds))
+
+    print()
+    print(roofline.report(points + measured))
+    print()
+    print(ascii_roofline(roofline, measured, width=64, height=16))
+
+    # --- the extension: hierarchical roofline of the naive version ---
+    print()
+    traffic = hierarchical_traffic(cpu, matmul_trace(N, "ijk"))
+    bound, level = hierarchical_bound(cpu, flops, traffic, cores=1)
+    print("hierarchical roofline of matmul-ijk:")
+    for t in traffic:
+        print(f"  {t.level:5s} traffic {t.bytes_moved / 1e3:10.1f} KB "
+              f"-> AI {flops / t.bytes_moved:8.2f} F/B")
+    print(f"  binding level: {level} -> bound {bound / 1e9:.1f} GFLOP/s")
+
+
+if __name__ == "__main__":
+    main()

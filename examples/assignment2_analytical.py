@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Assignment 2: analytical modeling and microbenchmarking.
+
+Models matmul and histogram at three granularities, calibrates the models
+from the (simulated) microbenchmark suite and the instruction tables, and
+evaluates each model against the simulated ground truth — the granularity/
+accuracy/calibration-effort trade-off the assignment teaches.
+
+Run:  python examples/assignment2_analytical.py
+"""
+
+from repro.analytical import (
+    ECMModel,
+    FunctionLevelModel,
+    InstructionLevelModel,
+    LoopLevelModel,
+    LoopTerm,
+    evaluate_model,
+)
+from repro.kernels import histogram_work, matmul_work, random_keys
+from repro.machine import generic_server_cpu, generic_server_table
+from repro.microbench import characterize_simulated
+from repro.simulator import (
+    CPUModel,
+    analyze_loop,
+    histogram_body,
+    histogram_trace,
+    matmul_inner_body,
+    matmul_trace,
+)
+
+N_MM = 48
+N_H = 50_000
+BINS = 32_768
+
+
+def main() -> None:
+    cpu = generic_server_cpu()
+    table = generic_server_table()
+    simulator = CPUModel(cpu, table)
+    single = characterize_simulated(cpu.with_cores(1), table)
+    print(single.report())
+    print()
+
+    # ---- ground truth: the simulator ----
+    truth = {
+        "matmul": simulator.run(matmul_trace(N_MM, "ijk"),
+                                matmul_inner_body(), N_MM ** 3).seconds,
+        "histogram": simulator.run(
+            histogram_trace(random_keys(N_H, BINS, seed=1), BINS),
+            histogram_body(), N_H).seconds,
+    }
+
+    # ---- granularity 1: function-level (2 parameters) ----
+    func = FunctionLevelModel(single)
+    func_pred = {
+        "matmul": func.predict_seconds(matmul_work(N_MM)),
+        "histogram": func.predict_seconds(histogram_work(N_H, BINS)),
+    }
+    print(func.explain(matmul_work(N_MM)))
+    print(func.explain(histogram_work(N_H, BINS)))
+
+    # ---- granularity 2: loop-level (per-loop cycles from the port model) ----
+    mm_cycles = analyze_loop(matmul_inner_body(), table).cycles_per_iteration
+    h_cycles = analyze_loop(histogram_body(), table).cycles_per_iteration
+    loop_mm = LoopLevelModel("matmul", (
+        LoopTerm("inner k-loop", N_MM ** 3, mm_cycles / cpu.frequency_hz),
+    ))
+    loop_h = LoopLevelModel("histogram", (
+        LoopTerm("bin loop", N_H, h_cycles / cpu.frequency_hz),
+    ))
+    print()
+    print(loop_mm.explain())
+    print(loop_h.explain())
+    loop_pred = {"matmul": loop_mm.predict_seconds(),
+                 "histogram": loop_h.predict_seconds()}
+
+    # ---- granularity 3: instruction-level + cache simulation ----
+    instr = InstructionLevelModel(cpu, table)
+    instr_pred = {
+        "matmul": instr.predict_seconds(matmul_inner_body(), N_MM ** 3,
+                                        matmul_trace(N_MM, "ijk")),
+        "histogram": instr.predict_seconds(
+            histogram_body(), N_H,
+            histogram_trace(random_keys(N_H, BINS, seed=1), BINS)),
+    }
+    print()
+    print(instr.explain(matmul_inner_body(), N_MM ** 3))
+
+    # ---- evaluate all three against the ground truth ----
+    print()
+    for name, preds in (("function-level", func_pred),
+                        ("loop-level", loop_pred),
+                        ("instruction-level", instr_pred)):
+        ev = evaluate_model(name, preds, truth)
+        print(ev.report())
+        print()
+
+    # ---- bonus: the ECM view of the SIMD triad ----
+    from repro.simulator import triad_body
+
+    ecm = ECMModel(cpu, table)
+    pred = ecm.predict(triad_body(True), 2, 1, elements_per_iteration=4)
+    print(pred.report())
+    print("multicore scaling:",
+          {p: round(c, 2) for p, c in ecm.scaling_curve(pred, 8).items()})
+
+
+if __name__ == "__main__":
+    main()

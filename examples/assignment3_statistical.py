@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Assignment 3: statistical performance modeling of SpMV.
+
+Collects a training set of simulated SpMV timings over varied sparse
+matrices (the data-collection challenge), engineers features, trains
+several regressors from scratch, cross-validates, and compares against the
+analytical model — the interpretability discussion included.
+
+Run:  python examples/assignment3_statistical.py
+"""
+
+import numpy as np
+
+from repro.analytical import FunctionLevelModel
+from repro.kernels import banded_sparse, matrix_features, random_sparse, spmv_work
+from repro.machine import generic_server_cpu, generic_server_table
+from repro.microbench import characterize_simulated
+from repro.simulator import CPUModel, spmv_csr_trace, spmv_inner_body
+from repro.statmodel import (
+    KNNRegressor,
+    LinearRegressor,
+    ModelEntry,
+    PolynomialRegressor,
+    RandomForestRegressor,
+    compare_models,
+    cross_validate,
+    spmv_feature_pipeline,
+    train_test_split,
+)
+
+
+def collect_dataset(cpu, table, n_samples=40, seed=0):
+    """The assignment's data-collection step, on the simulated plane."""
+    model = CPUModel(cpu, table)
+    rng = np.random.default_rng(seed)
+    descriptors, works, times = [], [], []
+    for i in range(n_samples):
+        n = int(rng.integers(300, 2500))
+        if i % 2 == 0:
+            coo = random_sparse(n, density=float(rng.uniform(0.002, 0.02)),
+                                seed=10 + i)
+        else:
+            coo = banded_sparse(n, int(rng.integers(2, max(3, n // 4))),
+                                fill=float(rng.uniform(0.4, 1.0)), seed=10 + i)
+        sim = model.run(spmv_csr_trace(coo), spmv_inner_body(), max(1, coo.nnz))
+        descriptors.append(matrix_features(coo))
+        works.append(spmv_work(n, n, coo.nnz))
+        times.append(sim.seconds)
+    return descriptors, works, np.asarray(times)
+
+
+def main() -> None:
+    cpu = generic_server_cpu()
+    table = generic_server_table()
+    pipeline = spmv_feature_pipeline()
+
+    print("collecting 40 simulated SpMV measurements ...")
+    descriptors, works, y = collect_dataset(cpu, table)
+    X = pipeline.transform(descriptors)
+    print(f"dataset: X{X.shape}, features = {pipeline.names}")
+
+    # ---- cross-validate each statistical model ----
+    print("\n5-fold cross-validation (MAPE):")
+    factories = {
+        "linear": lambda: LinearRegressor(ridge=1e-6),
+        "poly-2": lambda: PolynomialRegressor(degree=2, ridge=1e-6),
+        "knn-3": lambda: KNNRegressor(k=3),
+        "forest": lambda: RandomForestRegressor(n_trees=40, max_depth=8, seed=1),
+    }
+    for name, factory in factories.items():
+        cv = cross_validate(factory, X, y, folds=5, seed=2)
+        print(f"  {name:8s} {cv.mean_mape:6.1%} +/- {cv.std_mape:.1%}")
+
+    # ---- held-out comparison vs the analytical model ----
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.3, seed=1)
+    rng_order = np.random.default_rng(1).permutation(len(y))
+    test_idx = rng_order[: max(1, int(round(len(y) * 0.3)))]
+
+    linear = LinearRegressor(ridge=1e-6).fit(Xtr, ytr)
+    forest = RandomForestRegressor(n_trees=40, max_depth=8, seed=3).fit(Xtr, ytr)
+    single = characterize_simulated(cpu.with_cores(1), table)
+    func = FunctionLevelModel(single, overlap=False)
+    analytical_pred = np.array(
+        [func.predict_seconds(works[i]) for i in test_idx])
+
+    result = compare_models([
+        ModelEntry("analytical", lambda _: analytical_pred, "analytical",
+                   "T = F/peak + B/bandwidth (white box)"),
+        ModelEntry("linear", linear.predict, "statistical",
+                   linear.explain(pipeline.names)),
+        ModelEntry("forest", forest.predict, "statistical",
+                   "none - black box"),
+    ], Xte, yte)
+    print("\nheld-out comparison:")
+    print(result.report())
+
+    # ---- reflection: what did the black box actually learn? ----
+    from repro.statmodel import importance_report
+
+    print("\npermutation importance of the forest (model-agnostic):")
+    print(importance_report(forest, Xte, yte, pipeline.names, seed=4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Regenerate the paper's own artifacts: Figures 1-2, Tables 1-2, grading.
+
+This is SW-2 + SW-3 plus the grading equations in one runnable script — the
+closest thing to executing the paper's artifact appendix end to end.
+
+Run:  python examples/course_report.py
+"""
+
+import numpy as np
+
+from repro.course import (
+    figure1_text,
+    figure2_text,
+    final_grade,
+    metrics_csv,
+    simulate_cohort,
+    students_csv,
+    table1_text,
+    table2_text,
+    totals,
+    validate_graph,
+)
+
+
+def main() -> None:
+    print(figure1_text())
+    t = totals()
+    print(f"\ntotals: {t['enrolled']} enrolled, {t['passed']} passed, "
+          f"{t['respondents']} evaluation respondents over {t['editions']} years")
+
+    print()
+    print(table1_text())
+    print()
+    print(table2_text())
+    print()
+    print(figure2_text())
+    problems = validate_graph()
+    print(f"artifact graph audit: {'sound' if not problems else problems}")
+
+    # ---- the grading scheme on one worked example + a cohort ----
+    print("\ngrading: a student with project 8.2, assignments 8.0, exam 7.0, "
+          "40 quiz points")
+    print(f"  final grade (Eq.1): {final_grade(8.2, 8.0, 7.0, 40.0):.2f}")
+    cohort = simulate_cohort(93, seed=2023)
+    finals = np.array([s.final for s in cohort])
+    print(f"  synthetic cohort of 93 completers: mean final "
+          f"{finals.mean():.2f}, pass rate "
+          f"{np.mean([s.passed for s in cohort]):.0%}")
+
+    # ---- a generated in-class quiz (the S_Q machinery) ----
+    from repro.course import generate_quiz
+
+    quiz = generate_quiz(seed=2023)
+    print()
+    print(quiz.render())
+    print(f"  (auto-graded; a perfect quiz adds "
+          f"{final_grade(7.0, 7.0, 6.0, 70) - final_grade(7.0, 7.0, 6.0, 0):.1f} "
+          f"to the final grade via Eq. 1)")
+
+    # ---- the raw data artifacts ----
+    print("\ndata/students.csv (DATA-1):")
+    print("  " + students_csv().replace("\n", "\n  ").rstrip())
+    print("data/metrics.csv (DATA-2): "
+          f"{len(metrics_csv().splitlines()) - 1} rows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scale-out example: distributed kernels on the simulated DAS-5.
+
+Runs the mini-MPI programs the distributed lectures analyze: ping-pong
+(network characterization), a distributed matvec strong-scaling sweep with
+the analytical model overlaid, and a BSP run whose VAMPIR-style timeline
+shows load imbalance.
+
+Run:  python examples/distributed_scaling.py
+"""
+
+from repro.distributed import (
+    MPISimulator,
+    alpha_beta_from_cluster,
+    best_algorithm,
+    bsp_iterations,
+    distributed_matvec,
+    matvec_scaling_model,
+    ping_pong,
+    profile_text,
+    strong_scaling,
+    timeline_text,
+)
+from repro.machine import das5_cluster
+
+
+def main() -> None:
+    cluster = das5_cluster()
+    net = alpha_beta_from_cluster(cluster)
+    print(f"cluster: {cluster.name}, {cluster.n_nodes} nodes, "
+          f"alpha={net.alpha * 1e6:.1f}us beta={net.beta / 1e9:.1f}GB/s")
+
+    # ---- ping-pong: recover the network parameters empirically ----
+    for nbytes in (0, 8 * 1024, 1 << 20):
+        result = MPISimulator(2, net).run(ping_pong(10, nbytes))
+        one_way = result.makespan / 20
+        print(f"  ping-pong {nbytes:>8d}B: one-way {one_way * 1e6:8.2f}us "
+              f"(model: {net.time(nbytes) * 1e6:8.2f}us)")
+
+    # ---- collective algorithm selection ----
+    print("\ncollective algorithm selection (p = 32):")
+    for m in (128, 64 * 1024, 8 << 20):
+        for coll in ("broadcast", "allreduce"):
+            algo, t = best_algorithm(coll, net, 32, m)
+            print(f"  {coll:9s} m={m:>9d}B -> {algo:18s} {t * 1e6:10.1f}us")
+
+    # ---- strong scaling: DES vs analytical model ----
+    n = 2048
+    print(f"\ndistributed matvec strong scaling (n={n}):")
+    model = matvec_scaling_model(n, net, seconds_per_flop=2e-10)
+    modelled = strong_scaling(model, [1, 2, 4, 8, 16, 32])
+    base = None
+    for p in (1, 2, 4, 8, 16, 32):
+        result = MPISimulator(p, net).run(
+            distributed_matvec(n, 3, seconds_per_flop=2e-10))
+        base = base or result.makespan
+        print(f"  p={p:3d}  DES speedup {base / result.makespan:6.2f}   "
+              f"model {modelled[p]:6.2f}   comm share "
+              f"{result.communication_fraction():6.1%}")
+
+    # ---- the VAMPIR view of load imbalance ----
+    print("\nBSP iteration with 50% load imbalance (4 ranks):")
+    result = MPISimulator(4, net).run(
+        bsp_iterations(3, 2e-3, 256 * 1024, imbalance=0.5))
+    print(timeline_text(result, width=64))
+    print()
+    print(profile_text(result))
+
+
+if __name__ == "__main__":
+    main()

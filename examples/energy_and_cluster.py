@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Future-work extensions: energy metrics, multi-vendor, batch scheduling.
+
+The paper's conclusion names the topics it wants to add to the course;
+this example runs our implementations of them:
+
+* energy-optimal core count for a saturating (memory-bound) kernel,
+* the race-to-idle vs pace-to-idle DVFS decision,
+* the same workloads on Intel-like vs EPYC-like machines,
+* the DAS-5-style batch scheduler (FCFS vs EASY backfilling).
+
+Run:  python examples/energy_and_cluster.py
+"""
+
+from repro.energy import PowerModel, dvfs_energy_curve, energy_optimal_cores
+from repro.kernels import matmul_work, triad_work
+from repro.machine import epyc_like_cpu, generic_server_cpu
+from repro.queueing import random_workload, simulate_batch
+from repro.roofline import cpu_roofline
+
+
+def main() -> None:
+    cpu = generic_server_cpu()
+    pm = PowerModel(static_watts=40, core_watts=6, dram_watts_per_gbs=0.4)
+
+    # ---- energy-optimal core count (ECM triad: saturates at ~4 cores) ----
+    best, reports = energy_optimal_cores(pm, cpu, cycles_per_line_single=27.0,
+                                         mem_cycles_per_line=7.0, lines=1e8)
+    print("energy vs cores for the saturating SIMD triad:")
+    for n in (1, 2, 4, 8, 16):
+        r = reports[n]
+        print(f"  {n:3d} cores: {r.seconds:7.3f}s {r.joules:9.1f}J "
+              f"{'<- energy optimum' if n == best else ''}")
+
+    # ---- DVFS: race vs pace ----
+    print("\nDVFS energy (J) by frequency scale:")
+    mb = dvfs_energy_curve(pm, 10.0, cpu.cores, compute_bound_fraction=0.1)
+    cb = dvfs_energy_curve(pm, 10.0, 1, compute_bound_fraction=1.0)
+    print("  memory-bound, 16 cores:",
+          {s: round(r.joules) for s, r in sorted(mb.items())},
+          "-> pace to idle")
+    print("  compute-bound, 1 core :",
+          {s: round(r.joules) for s, r in sorted(cb.items())},
+          "-> race to idle (static power dominates)")
+
+    # ---- multi-vendor rooflines ----
+    print("\nmulti-vendor attainable performance:")
+    for machine in (generic_server_cpu(), epyc_like_cpu()):
+        roofline = cpu_roofline(machine)
+        triad = roofline.attainable(triad_work(10 ** 6).intensity)
+        mm = roofline.attainable(matmul_work(512).intensity)
+        print(f"  {machine.name:15s} ridge {roofline.ridge_point():5.2f} F/B, "
+              f"triad {triad / 1e9:7.1f} GF/s, matmul {mm / 1e9:7.1f} GF/s")
+
+    # ---- batch scheduling on the shared cluster ----
+    print("\nbatch scheduling, 32-node cluster, 120 jobs at 85% load:")
+    wl = random_workload(120, 32, load=0.85, seed=11)
+    for policy in ("fcfs", "easy-backfill"):
+        print(" ", simulate_batch(wl, 32, policy).report())
+
+
+if __name__ == "__main__":
+    main()

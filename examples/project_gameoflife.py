@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Project example: Game of Life — the paper's second most popular project.
+
+Optimization ladder with real timings (scalar -> vectorized -> convolution),
+a Karp-Flatt look at where the time goes, and generation-rate reporting.
+
+Run:  python examples/project_gameoflife.py
+"""
+
+import numpy as np
+
+from repro.analytical import fit_power_law
+from repro.kernels import (
+    life_step_convolve,
+    life_step_numpy,
+    life_step_scalar,
+    life_work,
+    random_board,
+    run_life,
+)
+from repro.timing import measure
+
+N = 512
+GENERATIONS = 10
+
+
+def main() -> None:
+    board = random_board(N, seed=3)
+    work = life_work(N).scale(GENERATIONS)
+    print(f"project: {N}x{N} Game of Life, {GENERATIONS} generations "
+          f"({N * N * GENERATIONS / 1e6:.1f} M cell updates)")
+
+    # scalar reference at small sizes + power-law extrapolation
+    sizes = [32, 48, 64]
+    times = [measure(lambda s=s: life_step_scalar(random_board(s, seed=1)),
+                     repetitions=1, warmup=0).summary.median
+             for s in sizes]
+    fit = fit_power_law([s * s for s in sizes], times)
+    scalar_estimate = fit.predict(N * N) * GENERATIONS
+    print(f"scalar reference: T ~ cells^{fit.exponent:.2f}, "
+          f"estimated {scalar_estimate:.1f}s for the full run")
+
+    # a statistically disciplined comparison: medians, CIs, significance
+    from repro.timing import compare_variants
+
+    table = compare_variants({
+        "numpy-shifted": lambda: run_life(board, GENERATIONS, life_step_numpy),
+        "scipy-convolve": lambda: run_life(board, GENERATIONS,
+                                           life_step_convolve),
+    }, baseline="numpy-shifted", repetitions=5, warmup=1)
+    print(table.report())
+    results = {r.name: r.summary.median for r in table.results}
+    for name, t in results.items():
+        rate = N * N * GENERATIONS / t
+        print(f"  {name:15s} {rate / 1e6:8.1f} Mcells/s  "
+              f"(x{scalar_estimate / t:,.0f} vs scalar)")
+
+    # correctness gate: both optimized variants track the scalar rule set
+    small = random_board(64, seed=9)
+    ref = life_step_scalar(small)
+    assert np.array_equal(life_step_numpy(small), ref)
+    assert np.array_equal(life_step_convolve(small), ref)
+    print("correctness: optimized variants match the scalar rules")
+
+    # reflection (lesson 5: report negative results too)
+    best = min(results, key=results.get)
+    worst = max(results, key=results.get)
+    print(f"\nreflection: {best} wins; {worst} pays "
+          f"{results[worst] / results[best]:.2f}x overhead"
+          f" — a library is not automatically the fastest rung.")
+
+
+if __name__ == "__main__":
+    main()

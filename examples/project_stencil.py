@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Project example: 2-D stencil optimization — the paper's most popular project.
+
+A complete project run (§4.3): reference implementation, experimental
+setup, optimization ladder with *real* wall-clock measurements, a parallel
+speedup curve through real threads (NumPy releases the GIL), and the
+stage-7 report.
+
+Run:  python examples/project_stencil.py
+"""
+
+import numpy as np
+
+from repro import EngineeringProcess, Metric, Requirement
+from repro.analytical import fit_power_law
+from repro.kernels import (
+    init_grid,
+    jacobi_step_blocked,
+    jacobi_step_inplace,
+    jacobi_step_numpy,
+    jacobi_step_scalar,
+    stencil_work,
+)
+from repro.parallel import parallel_map
+from repro.timing import measure, speedup
+
+N = 512
+SWEEPS = 20
+
+
+def time_variant(step, n=N, sweeps=SWEEPS, repetitions=3) -> float:
+    src = init_grid(n)
+    dst = np.empty_like(src)
+
+    def run():
+        s, d = src, dst
+        for _ in range(sweeps):
+            step(s, d)
+            s, d = d, s
+
+    return measure(run, repetitions=repetitions, warmup=1).summary.median
+
+
+def parallel_sweep_time(n=N, sweeps=SWEEPS, workers=2, repetitions=3) -> float:
+    """Row-banded parallel Jacobi with a real thread pool."""
+    src = init_grid(n)
+    dst = np.empty_like(src)
+
+    def band(lo, hi):
+        lo = max(lo, 1)
+        hi = min(hi, n - 1)
+        if hi <= lo:
+            return None
+        dst[lo:hi, 1:-1] = 0.25 * (src[lo - 1:hi - 1, 1:-1]
+                                   + src[lo + 1:hi + 1, 1:-1]
+                                   + src[lo:hi, :-2] + src[lo:hi, 2:])
+        return None
+
+    def run():
+        nonlocal src, dst
+        for _ in range(sweeps):
+            dst[0, :], dst[-1, :] = src[0, :], src[-1, :]
+            dst[:, 0], dst[:, -1] = src[:, 0], src[:, -1]
+            parallel_map(band, n, workers=workers)
+            src, dst = dst, src
+
+    return measure(run, repetitions=repetitions, warmup=1).summary.median
+
+
+def main() -> None:
+    work = stencil_work(N).scale(SWEEPS)
+    print(f"project: {N}x{N} Jacobi heat plate, {SWEEPS} sweeps "
+          f"({work.flops / 1e6:.0f} MFLOP)")
+
+    # ---- weeks 2-3: reference version + experimental setup ----
+    # the scalar reference is too slow at n=512; calibrate at small sizes
+    # and extrapolate with a power-law fit (an assignment-2 technique)
+    sizes = [32, 48, 64, 96]
+    times = [time_variant(jacobi_step_scalar, n=s, sweeps=2, repetitions=1)
+             for s in sizes]
+    fit = fit_power_law([s * s for s in sizes], times)
+    scalar_estimate = fit.predict(N * N) * (SWEEPS / 2)
+    print(f"scalar reference: fitted T ~ points^{fit.exponent:.2f}, "
+          f"estimated {scalar_estimate:.2f}s at n={N}")
+
+    # profiling-first: confirm the sweep loop is the hotspot before
+    # optimizing anything (the "no optimization without measuring" rule)
+    from repro.profiling import amdahl_gate, profile_callable
+
+    src = init_grid(96)
+    dst = np.empty_like(src)
+    profile = profile_callable(lambda: jacobi_step_scalar(src, dst))
+    gain, worth = amdahl_gate(profile, "jacobi_step_scalar", assumed_speedup=100)
+    print(f"profile: {profile.fraction('jacobi_step_scalar'):.0%} of time in "
+          f"the sweep; optimizing it is {'worth it' if worth else 'pointless'} "
+          f"(Amdahl-projected {gain:.1f}x)")
+
+    proc = EngineeringProcess("jacobi-512")
+    proc.set_requirement(Requirement("100x over the scalar reference",
+                                     Metric.SPEEDUP, 100.0))
+    proc.record_baseline(scalar_estimate, "pure-python scalar loops (extrapolated)")
+    proc.assess_feasibility(bound=scalar_estimate / 5000)
+
+    # ---- weeks 4-7: prototypes ----
+    ladder = {
+        "numpy-sliced": lambda: time_variant(jacobi_step_numpy),
+        "numpy-inplace": lambda: time_variant(jacobi_step_inplace),
+        "numpy-blocked64": lambda: time_variant(
+            lambda s, d: jacobi_step_blocked(s, d, tile=64)),
+        "threads-2": lambda: parallel_sweep_time(workers=2),
+    }
+    results = {}
+    for name, run in ladder.items():
+        t = run()
+        results[name] = t
+        proc.propose(name, "next rung of the ladder")
+        proc.apply(name, t)
+        print(f"  {name:16s} {t:8.4f}s  "
+              f"(x{scalar_estimate / t:8.1f} vs scalar, "
+              f"{work.bytes_total / t / 1e9:6.2f} GB/s)")
+    met = proc.assess()
+
+    # ---- correctness gate: all prototypes agree ----
+    g = init_grid(64)
+    ref = jacobi_step_numpy(g, np.empty_like(g)).copy()
+    assert np.allclose(jacobi_step_inplace(g, np.empty_like(g)), ref)
+    assert np.allclose(jacobi_step_blocked(g, np.empty_like(g), 16), ref)
+    print("correctness: all prototypes agree with the reference")
+
+    # ---- week 8: report ----
+    print()
+    print(proc.report())
+    best = min(results.values())
+    print(f"\nbest prototype: {speedup(scalar_estimate, best):,.0f}x over "
+          f"the scalar reference; requirement met: {met}")
+
+
+if __name__ == "__main__":
+    main()

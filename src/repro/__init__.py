@@ -1,0 +1,55 @@
+"""repro — a performance-engineering toolbox.
+
+Reproduction of *"Performance Engineering for Graduate Students: A View
+from Amsterdam"* (Varbanescu, Swatman & Pathania, SC-W 2023): the complete
+toolbox the course teaches, built from scratch in Python.
+
+Sub-packages map to the course topics (Table 1 of the paper):
+
+======================  =====================================================
+``repro.core``          the seven-stage PE process + the Toolbox facade
+``repro.machine``       CPU/GPU/cluster specs, instruction tables, presets
+``repro.timing``        measurement methodology: timers, statistics, design
+``repro.kernels``       assignment & project workloads, many variants each
+``repro.roofline``      Roofline model and extensions (assignment 1)
+``repro.analytical``    analytical models, ECM, scaling laws (assignment 2)
+``repro.microbench``    microbenchmarking & machine characterization
+``repro.statmodel``     statistical performance models (assignment 3)
+``repro.simulator``     cache / port / CPU simulators (the counter source)
+``repro.counters``      PAPI-like counters & performance patterns (asg. 4)
+``repro.parallel``      OpenMP-like schedules, thread teams, GPU occupancy
+``repro.distributed``   network models, collectives, mini-MPI, scaling
+``repro.queueing``      queueing theory + discrete-event validation
+``repro.polyhedral``    iteration domains, dependences, legal transforms
+``repro.course``        the paper's own artifacts: data, grading, figures
+======================  =====================================================
+
+Quickstart::
+
+    from repro import Toolbox, Requirement, Metric, EngineeringProcess
+    tb = Toolbox.default()
+    print(tb.summary())
+"""
+
+from .core import (
+    EngineeringProcess,
+    Feasibility,
+    Metric,
+    ProcessError,
+    Requirement,
+    Stage,
+    Toolbox,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Toolbox",
+    "EngineeringProcess",
+    "Stage",
+    "Requirement",
+    "Metric",
+    "Feasibility",
+    "ProcessError",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Analytical performance models (Assignment 2): granularity ladder, ECM, laws."""
+
+from .calibration import (
+    LinearFit,
+    PowerFit,
+    calibrate_loop_term,
+    calibrated_seconds_per_byte,
+    calibrated_seconds_per_flop,
+    fit_linear_cost,
+    fit_power_law,
+)
+from .ecm import ECMModel, ECMPrediction
+from .laws import (
+    amdahl_limit,
+    amdahl_speedup,
+    amdahl_with_overhead,
+    fit_serial_fraction,
+    gustafson_speedup,
+    optimal_workers_with_overhead,
+    speedup_curve,
+)
+from .model import (
+    FunctionLevelModel,
+    InstructionLevelModel,
+    LoopLevelModel,
+    LoopTerm,
+    ModelEvaluation,
+    evaluate_model,
+)
+
+__all__ = [
+    "FunctionLevelModel",
+    "LoopTerm",
+    "LoopLevelModel",
+    "InstructionLevelModel",
+    "ModelEvaluation",
+    "evaluate_model",
+    "ECMModel",
+    "ECMPrediction",
+    "amdahl_speedup",
+    "amdahl_limit",
+    "gustafson_speedup",
+    "amdahl_with_overhead",
+    "optimal_workers_with_overhead",
+    "fit_serial_fraction",
+    "speedup_curve",
+    "LinearFit",
+    "PowerFit",
+    "fit_linear_cost",
+    "fit_power_law",
+    "calibrate_loop_term",
+    "calibrated_seconds_per_flop",
+    "calibrated_seconds_per_byte",
+]

@@ -1,0 +1,138 @@
+"""Model calibration from measurements.
+
+Assignment 2's central skill: turning microbenchmark data into model
+parameters.  Provides the standard fits —
+
+* linear cost model ``T(n) = overhead + n * cost_per_item`` (calibrates
+  :class:`~repro.analytical.model.LoopTerm` parameters);
+* power-law ``T(n) = c * n^k`` via log-log regression (empirically
+  determines the complexity exponent, the first sanity check on any
+  scaling claim);
+* picking the machine peaks out of a :class:`MachineCharacterization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..microbench.suite import MachineCharacterization
+from ..timing.timers import measure
+from .model import LoopTerm
+
+__all__ = [
+    "LinearFit",
+    "PowerFit",
+    "fit_linear_cost",
+    "fit_power_law",
+    "calibrate_loop_term",
+    "calibrated_seconds_per_flop",
+    "calibrated_seconds_per_byte",
+]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """T(n) = overhead + n * cost_per_item, with goodness of fit."""
+
+    overhead: float
+    cost_per_item: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        return self.overhead + n * self.cost_per_item
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """T(n) = coefficient * n ** exponent."""
+
+    coefficient: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return self.coefficient * n ** self.exponent
+
+
+def _check_xy(sizes: Sequence[float], times: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape or x.size < 2:
+        raise ValueError("need >= 2 matching (size, time) samples")
+    if np.any(y <= 0) or np.any(x <= 0):
+        raise ValueError("sizes and times must be positive")
+    return x, y
+
+
+def _r_squared(y: np.ndarray, pred: np.ndarray) -> float:
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_linear_cost(sizes: Sequence[float], times: Sequence[float]) -> LinearFit:
+    """Least-squares fit of ``T(n) = a + b·n`` (b clamped at >= 0)."""
+    x, y = _check_xy(sizes, times)
+    A = np.vstack([np.ones_like(x), x]).T
+    (a, b), *_ = np.linalg.lstsq(A, y, rcond=None)
+    b = max(0.0, float(b))
+    a = max(0.0, float(a))
+    pred = a + b * x
+    return LinearFit(overhead=a, cost_per_item=b, r_squared=_r_squared(y, pred))
+
+
+def fit_power_law(sizes: Sequence[float], times: Sequence[float]) -> PowerFit:
+    """Log-log least squares for ``T(n) = c·n^k``.
+
+    The fitted ``exponent`` is the empirical complexity: ~3 for naive
+    matmul in n, ~1 for SpMV in nnz — checking it is the first validation
+    step the assignments require.
+    """
+    x, y = _check_xy(sizes, times)
+    lx, ly = np.log(x), np.log(y)
+    A = np.vstack([np.ones_like(lx), lx]).T
+    (lc, k), *_ = np.linalg.lstsq(A, ly, rcond=None)
+    pred = lc + k * lx
+    return PowerFit(coefficient=float(np.exp(lc)), exponent=float(k),
+                    r_squared=_r_squared(ly, pred))
+
+
+def calibrate_loop_term(name: str, run: Callable[[int], object],
+                        sizes: Sequence[int], repetitions: int = 3,
+                        trip_count: float | None = None) -> LoopTerm:
+    """Measure ``run(n)`` over ``sizes`` and fit a LoopTerm.
+
+    ``run`` executes the loop with trip count n; the fitted per-iteration
+    cost and overhead parameterize the term.  ``trip_count`` sets the term's
+    production trip count (defaults to the largest calibrated size).
+    """
+    if not sizes:
+        raise ValueError("need calibration sizes")
+    times = []
+    for n in sizes:
+        if n < 1:
+            raise ValueError("sizes must be positive")
+        result = measure(lambda n=n: run(n), repetitions=repetitions, warmup=1)
+        times.append(result.summary.median)
+    fit = fit_linear_cost([float(s) for s in sizes], times)
+    trips = float(trip_count if trip_count is not None else max(sizes))
+    return LoopTerm(name=name, trip_count=trips,
+                    seconds_per_iteration=fit.cost_per_item,
+                    overhead_seconds=fit.overhead)
+
+
+def calibrated_seconds_per_flop(machine: MachineCharacterization) -> float:
+    """1 / peak — the function-level model's compute coefficient."""
+    return 1.0 / machine.peak_flops
+
+
+def calibrated_seconds_per_byte(machine: MachineCharacterization) -> float:
+    """1 / bandwidth — the function-level model's traffic coefficient."""
+    return 1.0 / machine.stream_bandwidth

@@ -1,0 +1,198 @@
+"""The Execution-Cache-Memory (ECM) model (Hager/Wellein group).
+
+The course's related-work explicitly builds on the ECM model [11].  ECM
+refines Roofline by modelling the time to process one *unit of work* — one
+cache line's worth of loop iterations — as the composition of:
+
+* ``T_core``  — in-core execution cycles (from the port model), split into
+  an overlapping part (arithmetic) and a non-overlapping part (load/store
+  issue, which occupies the load ports and cannot hide transfers);
+* ``T_data``  — cycles to move the line(s) through each hierarchy level:
+  L1<-L2, L2<-L3, L3<-MEM, each from that level's bandwidth.
+
+Single-core prediction (no-overlap machine, Intel-like convention):
+
+    T = max(T_OL, T_nOL + sum_level T_level)
+
+Multi-core scaling: performance scales linearly with cores until the
+memory-bandwidth roof is hit:
+
+    P(n) = min(n * P(1), B_mem * work_per_byte)
+
+which reproduces the saturation curves students measure for STREAM-like
+loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.instruction_tables import InstructionTable
+from ..machine.specs import CPUSpec
+from ..simulator.ports import LoopBody, analyze_loop
+
+__all__ = ["ECMPrediction", "ECMModel"]
+
+_LOAD_OPS = ("load", "vload", "gather")
+_STORE_OPS = ("store", "vstore")
+
+
+@dataclass(frozen=True)
+class ECMPrediction:
+    """ECM decomposition of one loop, in cycles per cache line of work.
+
+    ``iterations_per_line`` counts *elements* per line;
+    ``cycles_per_iteration`` and ``seconds`` are therefore per element,
+    regardless of how many elements one body iteration processes.
+    """
+
+    label: str
+    iterations_per_line: int
+    t_overlap: float
+    t_nonoverlap: float
+    t_levels: dict[str, float]
+    frequency_hz: float
+
+    @property
+    def t_data_total(self) -> float:
+        return sum(self.t_levels.values())
+
+    @property
+    def cycles_per_line(self) -> float:
+        """The ECM composition max(T_OL, T_nOL + T_data)."""
+        return max(self.t_overlap, self.t_nonoverlap + self.t_data_total)
+
+    @property
+    def cycles_per_iteration(self) -> float:
+        return self.cycles_per_line / self.iterations_per_line
+
+    def seconds(self, iterations: int) -> float:
+        if iterations < 1:
+            raise ValueError("iterations must be positive")
+        return self.cycles_per_iteration * iterations / self.frequency_hz
+
+    def saturation_cores(self) -> float:
+        """Cores at which the loop saturates memory bandwidth.
+
+        n_sat = ceil(T_ECM / T_mem-level); below this adding cores scales
+        linearly, above it the memory roof flattens the curve.
+        """
+        t_mem = self.t_levels.get("MEM", 0.0)
+        if t_mem <= 0:
+            return float("inf")
+        return self.cycles_per_line / t_mem
+
+    def multicore_cycles_per_line(self, cores: int) -> float:
+        """Predicted cycles/line with ``cores`` cores sharing memory."""
+        if cores < 1:
+            raise ValueError("cores must be positive")
+        t_mem = self.t_levels.get("MEM", 0.0)
+        per_core = self.cycles_per_line / cores
+        return max(per_core, t_mem)
+
+    def report(self) -> str:
+        levels = " + ".join(f"{name}:{cy:.2f}" for name, cy in self.t_levels.items())
+        return (f"ECM[{self.label}] per {self.iterations_per_line} it/line: "
+                f"max({self.t_overlap:.2f}, {self.t_nonoverlap:.2f} + {levels}) "
+                f"= {self.cycles_per_line:.2f} cy/line "
+                f"({self.cycles_per_iteration:.2f} cy/it, "
+                f"n_sat={self.saturation_cores():.1f})")
+
+
+class ECMModel:
+    """Build ECM predictions for loop bodies on a CPU spec."""
+
+    def __init__(self, cpu: CPUSpec, table: InstructionTable):
+        if not cpu.caches:
+            raise ValueError("ECM needs a cache hierarchy")
+        self.cpu = cpu
+        self.table = table
+
+    def predict(self, body: LoopBody, streams_in: int, streams_out: int,
+                dtype_bytes: int = 8, hit_level: str | None = None,
+                elements_per_iteration: int = 1) -> ECMPrediction:
+        """ECM prediction for a streaming loop body.
+
+        Parameters
+        ----------
+        body:
+            The loop body.
+        streams_in / streams_out:
+            Number of distinct read / written streams (triad: 2 in, 1 out;
+            write-allocate adds a read for each written stream).
+        dtype_bytes:
+            Element size; elements per cache line = line/dtype.
+        hit_level:
+            If the working set fits a cache level, name it (e.g. ``"L2"``)
+            to truncate the transfer chain there; default goes to memory.
+        elements_per_iteration:
+            Elements each body iteration processes per stream: 1 for a
+            scalar body, the SIMD lane count for a vectorized one.
+        """
+        if streams_in < 0 or streams_out < 0 or streams_in + streams_out == 0:
+            raise ValueError("need at least one data stream")
+        line = self.cpu.caches[0].line_bytes
+        if dtype_bytes <= 0 or line % dtype_bytes:
+            raise ValueError("dtype must divide the line size")
+        it_per_line = line // dtype_bytes  # elements per line
+        if elements_per_iteration < 1 or it_per_line % elements_per_iteration:
+            raise ValueError("elements/iteration must divide elements/line")
+        body_iters_per_line = it_per_line // elements_per_iteration
+
+        # in-core: schedule the body iterations covering one line; split
+        # load/store issue (non-overlapping) from arithmetic (overlapping).
+        analysis = analyze_loop(body, self.table)
+        per_it = analysis.cycles_per_iteration
+        mix = body.opcode_mix()
+        # non-overlapping part = busiest *data port* occupancy per iteration
+        # (loads dispatch in parallel across load ports; summing reciprocal
+        # throughputs would double-count them)
+        data_pressure: dict[str, float] = {}
+        for op, count in mix.items():
+            if op in _LOAD_OPS or op in _STORE_OPS:
+                spec = self.table[op]
+                share = count * spec.uops / len(spec.ports)
+                for port in spec.ports:
+                    data_pressure[port] = data_pressure.get(port, 0.0) + share
+        t_nol_it = max(data_pressure.values(), default=0.0)
+        t_nol = t_nol_it * body_iters_per_line
+        t_ol = max(0.0, per_it * body_iters_per_line - t_nol)
+
+        # transfers: each level moves (streams_in + 2*streams_out) lines
+        # per line of work (write-allocate: store streams are read+written).
+        lines_moved = streams_in + 2 * streams_out
+        t_levels: dict[str, float] = {}
+        levels = list(self.cpu.caches)
+        stop_idx = len(levels)  # exclusive index of last cache receiving traffic
+        if hit_level is not None:
+            names = [c.name.lower() for c in levels]
+            if hit_level.lower() not in names:
+                raise KeyError(f"unknown cache level {hit_level!r}")
+            stop_idx = names.index(hit_level.lower())
+        for k in range(1, len(levels)):
+            if k > stop_idx:
+                break
+            upper = levels[k]
+            cycles = lines_moved * line / upper.bandwidth_bytes_per_cycle
+            t_levels[f"{levels[k-1].name}<-{upper.name}"] = cycles
+        if stop_idx >= len(levels):
+            mem_bytes_per_cycle = self.cpu.memory.bandwidth_bytes_per_s / self.cpu.frequency_hz
+            # write-back traffic: stores go out once more at the memory level
+            mem_lines = streams_in + 2 * streams_out
+            t_levels["MEM"] = mem_lines * line / mem_bytes_per_cycle
+        return ECMPrediction(
+            label=body.label,
+            iterations_per_line=it_per_line,
+            t_overlap=t_ol,
+            t_nonoverlap=t_nol,
+            t_levels=t_levels,
+            frequency_hz=self.cpu.frequency_hz,
+        )
+
+    def scaling_curve(self, prediction: ECMPrediction, max_cores: int | None = None
+                      ) -> dict[int, float]:
+        """Cycles/line for 1..max_cores — the ECM saturation plot."""
+        top = self.cpu.cores if max_cores is None else max_cores
+        if top < 1:
+            raise ValueError("need at least one core")
+        return {n: prediction.multicore_cycles_per_line(n) for n in range(1, top + 1)}

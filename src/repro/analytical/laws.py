@@ -1,0 +1,117 @@
+"""Scaling laws: Amdahl, Gustafson, and friends.
+
+The lectures' staple analytical models for parallel codes.  Karp-Flatt (the
+inverse problem: measure speedups, infer the serial fraction) lives in
+:mod:`repro.timing.metrics`; here are the forward models plus helpers the
+project reports use.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "amdahl_speedup",
+    "amdahl_limit",
+    "gustafson_speedup",
+    "amdahl_with_overhead",
+    "optimal_workers_with_overhead",
+    "fit_serial_fraction",
+    "speedup_curve",
+]
+
+
+def amdahl_speedup(serial_fraction: float, workers: int) -> float:
+    """Amdahl's law: S(p) = 1 / (s + (1-s)/p)."""
+    _check_fraction(serial_fraction)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / workers)
+
+
+def amdahl_limit(serial_fraction: float) -> float:
+    """Asymptotic speedup 1/s as p -> infinity."""
+    _check_fraction(serial_fraction)
+    if serial_fraction == 0:
+        return float("inf")
+    return 1.0 / serial_fraction
+
+
+def gustafson_speedup(serial_fraction: float, workers: int) -> float:
+    """Gustafson's law (scaled speedup): S(p) = p - s·(p-1).
+
+    ``serial_fraction`` here is the serial share *of the parallel run* —
+    the weak-scaling counterpoint the lectures contrast with Amdahl.
+    """
+    _check_fraction(serial_fraction)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers - serial_fraction * (workers - 1)
+
+
+def amdahl_with_overhead(serial_fraction: float, workers: int,
+                         overhead_fraction_per_worker: float) -> float:
+    """Amdahl plus linear coordination overhead: the realistic curve.
+
+    S(p) = 1 / (s + (1-s)/p + k·p) with k the per-worker overhead as a
+    fraction of T(1).  Unlike pure Amdahl this curve *turns over*: beyond
+    the optimum, more workers are slower — the effect project teams
+    discover when their speedups degrade.
+    """
+    _check_fraction(serial_fraction)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if overhead_fraction_per_worker < 0:
+        raise ValueError("overhead cannot be negative")
+    denom = (serial_fraction + (1.0 - serial_fraction) / workers
+             + overhead_fraction_per_worker * workers)
+    return 1.0 / denom
+
+
+def optimal_workers_with_overhead(serial_fraction: float,
+                                  overhead_fraction_per_worker: float) -> float:
+    """Worker count maximizing :func:`amdahl_with_overhead`.
+
+    d/dp [ (1-s)/p + k·p ] = 0  =>  p* = sqrt((1-s)/k).
+    """
+    _check_fraction(serial_fraction)
+    if overhead_fraction_per_worker <= 0:
+        return float("inf")
+    return math.sqrt((1.0 - serial_fraction) / overhead_fraction_per_worker)
+
+
+def fit_serial_fraction(speedups: dict[int, float]) -> float:
+    """Least-squares Amdahl fit of a measured speedup curve.
+
+    Fits s in S(p) = 1/(s + (1-s)/p) by linear regression on the identity
+    1/S = s·(1 - 1/p) + 1/p, clamped to [0, 1].
+    """
+    points = [(p, s) for p, s in speedups.items() if p >= 2]
+    if not points:
+        raise ValueError("need at least one measurement with p >= 2")
+    num = 0.0
+    den = 0.0
+    for p, s in points:
+        if s <= 0:
+            raise ValueError("speedups must be positive")
+        x = 1.0 - 1.0 / p
+        y = 1.0 / s - 1.0 / p
+        num += x * y
+        den += x * x
+    return min(1.0, max(0.0, num / den))
+
+
+def speedup_curve(serial_fraction: float, max_workers: int,
+                  overhead_fraction_per_worker: float = 0.0) -> dict[int, float]:
+    """S(p) for p = 1..max_workers under Amdahl (+ optional overhead)."""
+    if max_workers < 1:
+        raise ValueError("need at least one worker")
+    return {
+        p: amdahl_with_overhead(serial_fraction, p, overhead_fraction_per_worker)
+        for p in range(1, max_workers + 1)
+    }
+
+
+def _check_fraction(f: float) -> None:
+    if not 0.0 <= f <= 1.0:
+        raise ValueError(f"serial fraction must be in [0, 1], got {f}")

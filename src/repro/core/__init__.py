@@ -1,0 +1,17 @@
+"""The performance-engineering process (the paper's core contribution)."""
+
+from .process import Attempt, EngineeringProcess, ProcessError, Stage
+from .requirements import Feasibility, Metric, Requirement, assess_feasibility
+from .toolbox import Toolbox
+
+__all__ = [
+    "Stage",
+    "Attempt",
+    "ProcessError",
+    "EngineeringProcess",
+    "Metric",
+    "Requirement",
+    "Feasibility",
+    "assess_feasibility",
+    "Toolbox",
+]

@@ -1,0 +1,253 @@
+"""The seven-stage performance-engineering process as an executable workflow.
+
+This is the paper's central methodological contribution (§2.3): a
+"systematic, quantitative approach" in seven iterative stages.  The
+:class:`EngineeringProcess` state machine enforces the stage ordering,
+records everything (stage 7 is *documentation* — the record **is** the
+deliverable), and drives the iterate-back loop of stage 6.
+
+Typical use (the project workflow of §4.3):
+
+>>> proc = EngineeringProcess("my-app")
+>>> proc.set_requirement(Requirement(...))                 # stage 1
+>>> proc.record_baseline(seconds=2.0, notes="naive loop")  # stage 2
+>>> proc.assess_feasibility(bound=0.2)                     # stage 3
+>>> proc.propose("tiling", predicted_seconds=0.6)          # stage 4
+>>> proc.apply("tiling", measured_seconds=0.7)             # stage 5
+>>> proc.assess()                                          # stage 6 (iterate?)
+>>> print(proc.report())                                   # stage 7
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from .requirements import Feasibility, Metric, Requirement, assess_feasibility
+
+__all__ = ["Stage", "Attempt", "ProcessError", "EngineeringProcess"]
+
+
+class Stage(IntEnum):
+    """The seven stages of §2.3."""
+
+    REQUIREMENTS = 1
+    BASELINE = 2
+    FEASIBILITY = 3
+    APPROACHES = 4
+    TUNING = 5
+    ASSESSMENT = 6
+    REPORTING = 7
+
+
+class ProcessError(RuntimeError):
+    """Stage-ordering violation or inconsistent process state."""
+
+
+@dataclass
+class Attempt:
+    """One optimization candidate through stages 4-6."""
+
+    name: str
+    rationale: str = ""
+    predicted_seconds: float | None = None
+    measured_seconds: float | None = None
+
+    @property
+    def applied(self) -> bool:
+        return self.measured_seconds is not None
+
+    def prediction_error(self) -> float | None:
+        """(predicted - measured)/measured, when both are known."""
+        if self.predicted_seconds is None or self.measured_seconds is None:
+            return None
+        return (self.predicted_seconds - self.measured_seconds) / self.measured_seconds
+
+
+@dataclass
+class _LogEntry:
+    stage: Stage
+    iteration: int
+    text: str
+
+
+class EngineeringProcess:
+    """State machine over the seven stages, with full history.
+
+    The process is deliberately strict: you cannot assess feasibility
+    without a baseline, nor apply an optimization you never proposed —
+    the same discipline the course grades projects on.
+    """
+
+    def __init__(self, application: str):
+        if not application:
+            raise ValueError("name the application under study")
+        self.application = application
+        self.requirement: Requirement | None = None
+        self.baseline_seconds: float | None = None
+        self.baseline_notes: str = ""
+        self.feasibility: Feasibility | None = None
+        self.bound_seconds: float | None = None
+        self.attempts: dict[str, Attempt] = {}
+        self.iteration = 1
+        self._log: list[_LogEntry] = []
+        self._closed = False
+
+    # -- stage 1 ------------------------------------------------------------
+
+    def set_requirement(self, requirement: Requirement) -> None:
+        self._ensure_open()
+        self.requirement = requirement
+        self._note(Stage.REQUIREMENTS,
+                   f"requirement: {requirement.description} "
+                   f"({requirement.metric.value} -> {requirement.target:g})")
+
+    # -- stage 2 ------------------------------------------------------------
+
+    def record_baseline(self, seconds: float, notes: str = "") -> None:
+        self._ensure_open()
+        if self.requirement is None:
+            raise ProcessError("stage 2 before stage 1: set a requirement first")
+        if seconds <= 0:
+            raise ValueError("baseline time must be positive")
+        self.baseline_seconds = seconds
+        self.baseline_notes = notes
+        self._note(Stage.BASELINE, f"baseline {seconds:.4e}s ({notes})")
+
+    # -- stage 3 ------------------------------------------------------------
+
+    def assess_feasibility(self, bound: float) -> Feasibility:
+        """``bound`` is the model's best attainable time (seconds)."""
+        self._ensure_open()
+        if self.baseline_seconds is None:
+            raise ProcessError("stage 3 before stage 2: record a baseline first")
+        assert self.requirement is not None
+        if self.requirement.metric is Metric.LATENCY_SECONDS:
+            verdict = assess_feasibility(self.requirement, bound)
+        elif self.requirement.metric is Metric.SPEEDUP:
+            best_speedup = self.baseline_seconds / bound
+            verdict = assess_feasibility(self.requirement, best_speedup)
+        else:
+            raise ProcessError(
+                f"feasibility for metric {self.requirement.metric.value} "
+                f"needs a rate bound; express the requirement as latency or speedup")
+        self.feasibility = verdict
+        self.bound_seconds = bound
+        self._note(Stage.FEASIBILITY,
+                   f"bound {bound:.4e}s -> {verdict.value}")
+        return verdict
+
+    # -- stage 4 ------------------------------------------------------------
+
+    def propose(self, name: str, rationale: str = "",
+                predicted_seconds: float | None = None) -> Attempt:
+        self._ensure_open()
+        if self.feasibility is None:
+            raise ProcessError("stage 4 before stage 3: assess feasibility first")
+        if self.feasibility is Feasibility.INFEASIBLE:
+            raise ProcessError(
+                "requirement judged infeasible; renegotiate it (stage 1) "
+                "instead of optimizing toward an impossible target")
+        if name in self.attempts:
+            raise ProcessError(f"approach {name!r} already proposed")
+        if predicted_seconds is not None and predicted_seconds <= 0:
+            raise ValueError("predicted time must be positive")
+        attempt = Attempt(name, rationale, predicted_seconds)
+        self.attempts[name] = attempt
+        pred = (f", predicted {predicted_seconds:.4e}s"
+                if predicted_seconds is not None else "")
+        self._note(Stage.APPROACHES, f"proposed {name!r}: {rationale}{pred}")
+        return attempt
+
+    # -- stage 5 ------------------------------------------------------------
+
+    def apply(self, name: str, measured_seconds: float) -> Attempt:
+        self._ensure_open()
+        if name not in self.attempts:
+            raise ProcessError(f"approach {name!r} was never proposed (stage 4)")
+        if measured_seconds <= 0:
+            raise ValueError("measured time must be positive")
+        attempt = self.attempts[name]
+        attempt.measured_seconds = measured_seconds
+        err = attempt.prediction_error()
+        err_s = f", model error {err:+.0%}" if err is not None else ""
+        self._note(Stage.TUNING, f"applied {name!r}: {measured_seconds:.4e}s{err_s}")
+        return attempt
+
+    # -- stage 6 ------------------------------------------------------------
+
+    def assess(self) -> bool:
+        """Check the requirement against the best result; returns met?
+
+        When unmet, the iteration counter advances — the caller loops back
+        to stages 3-5, exactly as §2.3 prescribes.
+        """
+        self._ensure_open()
+        applied = [a for a in self.attempts.values() if a.applied]
+        if not applied:
+            raise ProcessError("stage 6 before stage 5: apply something first")
+        assert self.requirement is not None and self.baseline_seconds is not None
+        best = min(a.measured_seconds for a in applied)
+        if self.requirement.metric is Metric.LATENCY_SECONDS:
+            met = self.requirement.met_by(best)
+        elif self.requirement.metric is Metric.SPEEDUP:
+            met = self.requirement.met_by(self.baseline_seconds / best)
+        else:
+            raise ProcessError("assessment supports latency or speedup requirements")
+        self._note(Stage.ASSESSMENT,
+                   f"best {best:.4e}s (x{self.baseline_seconds / best:.2f} vs "
+                   f"baseline) -> requirement {'MET' if met else 'NOT met'}")
+        if not met:
+            self.iteration += 1
+            self._note(Stage.ASSESSMENT,
+                       f"iterating back to stages 3-5 (iteration {self.iteration})")
+        return met
+
+    # -- stage 7 ------------------------------------------------------------
+
+    def report(self) -> str:
+        """Produce the stage-7 document and close the process."""
+        if self.requirement is None or self.baseline_seconds is None:
+            raise ProcessError("nothing to report: run stages 1-2 first")
+        lines = [
+            f"# Performance engineering report: {self.application}",
+            "",
+            f"Requirement: {self.requirement.description} "
+            f"[{self.requirement.metric.value} -> {self.requirement.target:g}]",
+            f"Baseline: {self.baseline_seconds:.4e}s ({self.baseline_notes})",
+        ]
+        if self.bound_seconds is not None:
+            lines.append(f"Model bound: {self.bound_seconds:.4e}s "
+                         f"-> {self.feasibility.value}")
+        if self.attempts:
+            lines.append("")
+            lines.append(f"{'approach':24s} {'predicted':>12s} {'measured':>12s} "
+                         f"{'speedup':>8s} {'model err':>10s}")
+            for a in self.attempts.values():
+                pred = (f"{a.predicted_seconds:12.4e}"
+                        if a.predicted_seconds is not None else "         n/a")
+                meas = (f"{a.measured_seconds:12.4e}" if a.applied else "         n/a")
+                spd = (f"{self.baseline_seconds / a.measured_seconds:8.2f}"
+                       if a.applied else "     n/a")
+                err = a.prediction_error()
+                err_s = f"{err:+10.0%}" if err is not None else "       n/a"
+                lines.append(f"{a.name:24s} {pred} {meas} {spd} {err_s}")
+        lines.append("")
+        lines.append(f"Process log ({self.iteration} iteration(s)):")
+        for entry in self._log:
+            lines.append(f"  [it{entry.iteration} S{int(entry.stage)}] {entry.text}")
+        self._closed = True
+        return "\n".join(lines)
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def history(self) -> list[str]:
+        return [f"S{int(e.stage)}: {e.text}" for e in self._log]
+
+    def _note(self, stage: Stage, text: str) -> None:
+        self._log.append(_LogEntry(stage, self.iteration, text))
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ProcessError("process already reported (stage 7); start a new one")

@@ -1,0 +1,99 @@
+"""Performance requirements (stage 1) and feasibility verdicts (stage 3).
+
+SPE (§2.3 of the paper) is requirement-driven: "performance requirements"
+are explicit, quantitative targets against which every later stage is
+assessed.  A requirement pairs a metric with a target and a direction;
+feasibility compares the target against a *bound* from a model (Roofline
+attainable, Amdahl limit, ECM prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Metric", "Requirement", "Feasibility", "assess_feasibility"]
+
+
+class Metric(str, Enum):
+    """Requirement metric kinds with their improvement direction."""
+
+    LATENCY_SECONDS = "latency_seconds"          # lower is better
+    THROUGHPUT_PER_SECOND = "throughput_per_s"   # higher is better
+    FLOPS = "flops_per_s"                        # higher is better
+    BANDWIDTH = "bytes_per_s"                    # higher is better
+    SPEEDUP = "speedup"                          # higher is better
+    EFFICIENCY = "efficiency"                    # higher is better
+
+    @property
+    def higher_is_better(self) -> bool:
+        return self is not Metric.LATENCY_SECONDS
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """A quantitative performance requirement.
+
+    >>> Requirement("halve solve time", Metric.LATENCY_SECONDS, 0.5).met_by(0.4)
+    True
+    """
+
+    description: str
+    metric: Metric
+    target: float
+
+    def __post_init__(self) -> None:
+        if self.target <= 0:
+            raise ValueError("target must be positive")
+        if not self.description:
+            raise ValueError("requirement needs a description")
+
+    def met_by(self, achieved: float) -> bool:
+        if achieved < 0:
+            raise ValueError("achieved value cannot be negative")
+        if self.metric.higher_is_better:
+            return achieved >= self.target
+        return achieved <= self.target
+
+    def gap(self, achieved: float) -> float:
+        """How far achieved is from the target, as a ratio > 1 when unmet."""
+        if achieved <= 0:
+            return float("inf")
+        if self.metric.higher_is_better:
+            return self.target / achieved
+        return achieved / self.target
+
+
+class Feasibility(str, Enum):
+    """Stage-3 verdicts."""
+
+    FEASIBLE = "feasible"            # bound comfortably above the target
+    MARGINAL = "marginal"            # target within 80% of the bound
+    INFEASIBLE = "infeasible"        # target beyond the machine/model bound
+
+
+def assess_feasibility(requirement: Requirement, bound: float,
+                       margin: float = 0.8) -> Feasibility:
+    """Compare a requirement with a model bound.
+
+    ``bound`` is the best value any implementation could reach per the
+    model (upper bound for rates, lower bound for latency).  Targets
+    beyond the bound are infeasible; targets within ``margin`` of it are
+    marginal — achievable only by near-perfect engineering, which stage 4
+    should flag.
+    """
+    if bound <= 0:
+        raise ValueError("bound must be positive")
+    if not 0 < margin <= 1:
+        raise ValueError("margin must be in (0, 1]")
+    if requirement.metric.higher_is_better:
+        if requirement.target > bound:
+            return Feasibility.INFEASIBLE
+        if requirement.target > margin * bound:
+            return Feasibility.MARGINAL
+    else:
+        if requirement.target < bound:
+            return Feasibility.INFEASIBLE
+        if requirement.target < bound / margin:
+            return Feasibility.MARGINAL
+    return Feasibility.FEASIBLE

@@ -1,0 +1,102 @@
+"""The performance-engineering toolbox facade.
+
+The course's ultimate goal is that students "create their own performance
+engineering toolbox ... to deploy a systematic approach for performance
+engineering on any application".  This class is that toolbox for one
+machine: a single object bundling every instrument in the library, so the
+examples and the process engine can reach any stage's tool in one line.
+"""
+
+from __future__ import annotations
+
+from ..analytical.ecm import ECMModel
+from ..analytical.model import FunctionLevelModel, InstructionLevelModel
+from ..counters.collector import CounterSession
+from ..machine.instruction_tables import InstructionTable, generic_server_table
+from ..machine.presets import generic_server_cpu
+from ..machine.specs import CPUSpec
+from ..microbench.suite import MachineCharacterization, characterize_simulated
+from ..roofline.model import RooflineModel, cpu_roofline
+from ..simulator.cpu import CPUModel
+
+__all__ = ["Toolbox"]
+
+
+class Toolbox:
+    """Every course instrument, configured for one machine.
+
+    >>> tb = Toolbox.default()
+    >>> tb.roofline().classify(0.1)
+    'memory-bound'
+
+    Instruments are built lazily and cached; a toolbox is cheap to create
+    and deterministic given (cpu, table).
+    """
+
+    def __init__(self, cpu: CPUSpec, table: InstructionTable):
+        self.cpu = cpu
+        self.table = table
+        self._characterization: MachineCharacterization | None = None
+        self._roofline: RooflineModel | None = None
+        self._ecm: ECMModel | None = None
+
+    @classmethod
+    def default(cls) -> "Toolbox":
+        """Toolbox for the default teaching machine."""
+        return cls(generic_server_cpu(), generic_server_table())
+
+    # -- stage 2: understand current performance ----------------------------
+
+    def characterize(self) -> MachineCharacterization:
+        """Simulated machine characterization (deterministic)."""
+        if self._characterization is None:
+            self._characterization = characterize_simulated(self.cpu, self.table)
+        return self._characterization
+
+    def counter_session(self, events: list[str] | None = None,
+                        **model_kwargs) -> CounterSession:
+        """A PAPI-like counter session on this machine."""
+        return CounterSession(self.cpu, self.table, events, **model_kwargs)
+
+    def cpu_model(self, **kwargs) -> CPUModel:
+        """The raw timing simulator, for custom experiments."""
+        return CPUModel(self.cpu, self.table, **kwargs)
+
+    # -- stages 3-4: modeling ------------------------------------------------
+
+    def roofline(self, cores: int | None = None, dtype_bytes: int = 8
+                 ) -> RooflineModel:
+        if cores is None and dtype_bytes == 8:
+            if self._roofline is None:
+                self._roofline = cpu_roofline(self.cpu)
+            return self._roofline
+        return cpu_roofline(self.cpu, dtype_bytes=dtype_bytes, cores=cores)
+
+    def function_model(self, overlap: bool = True) -> FunctionLevelModel:
+        return FunctionLevelModel(self.characterize(), overlap=overlap)
+
+    def instruction_model(self, **kwargs) -> InstructionLevelModel:
+        return InstructionLevelModel(self.cpu, self.table, **kwargs)
+
+    def ecm(self) -> ECMModel:
+        if self._ecm is None:
+            self._ecm = ECMModel(self.cpu, self.table)
+        return self._ecm
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-page machine summary for the stage-7 report header."""
+        ch = self.characterize()
+        rl = self.roofline()
+        lines = [
+            f"Toolbox for {self.cpu.name} ({self.cpu.cores} cores @ "
+            f"{self.cpu.frequency_hz / 1e9:.2f} GHz, "
+            f"AVX{self.cpu.vector.width_bits}{'+FMA' if self.cpu.vector.fma else ''})",
+            ch.report(),
+            f"  roofline ridge  : {rl.ridge_point():10.3f} FLOP/byte",
+            "  caches          : " + ", ".join(
+                f"{c.name} {c.capacity_bytes // 1024}KiB/{c.associativity}w"
+                for c in self.cpu.caches),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Performance counters and performance patterns (Assignment 4)."""
+
+from .collector import CounterReading, CounterSession, derived_metrics
+from .events import EVENTS, CounterEvent, available_events
+from .patterns import PATTERNS, PatternMatch, PerformancePattern, detect, diagnose
+from .synthetic import PATTERN_KERNELS, SyntheticKernel, make_pattern_kernel
+
+__all__ = [
+    "CounterEvent",
+    "EVENTS",
+    "available_events",
+    "CounterSession",
+    "CounterReading",
+    "derived_metrics",
+    "PerformancePattern",
+    "PatternMatch",
+    "PATTERNS",
+    "diagnose",
+    "detect",
+    "SyntheticKernel",
+    "PATTERN_KERNELS",
+    "make_pattern_kernel",
+]

@@ -1,0 +1,110 @@
+"""Counter collection sessions (the simulated PAPI).
+
+Usage mirrors PAPI's high-level API: create a session over a machine, name
+the events, run a kernel, read the values:
+
+>>> session = CounterSession(cpu, table, ["PAPI_TOT_CYC", "PAPI_L1_DCM"])
+>>> values = session.count(trace, body, iterations=n)
+
+Derived metrics (:func:`derived_metrics`) compute the ratios assignment 4's
+pattern analysis consumes — CPI, miss ratios, achieved bandwidth — from the
+raw event values, the same arithmetic LIKWID's performance groups encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.instruction_tables import InstructionTable
+from ..machine.specs import CPUSpec
+from ..simulator.cpu import CPUModel, KernelSimulation
+from ..simulator.ports import LoopBody
+from ..simulator.trace import Trace
+from .events import EVENTS
+
+__all__ = ["CounterReading", "CounterSession", "derived_metrics"]
+
+
+@dataclass(frozen=True)
+class CounterReading:
+    """Event values from one counted kernel execution."""
+
+    label: str
+    values: dict[str, float]
+    simulation: KernelSimulation
+
+    def __getitem__(self, event: str) -> float:
+        try:
+            return self.values[event]
+        except KeyError:
+            raise KeyError(f"event {event!r} was not in the counted set") from None
+
+    def report(self) -> str:
+        lines = [f"counters[{self.label}]:"]
+        for name in sorted(self.values):
+            lines.append(f"  {name:14s} {self.values[name]:18,.0f}")
+        return "\n".join(lines)
+
+
+class CounterSession:
+    """A configured event set over one machine model."""
+
+    def __init__(self, cpu: CPUSpec, table: InstructionTable,
+                 events: list[str] | None = None, **model_kwargs):
+        names = events if events is not None else sorted(EVENTS)
+        unknown = [n for n in names if n not in EVENTS]
+        if unknown:
+            raise KeyError(f"unknown events {unknown}; see available_events()")
+        if not names:
+            raise ValueError("need at least one event")
+        self.events = list(names)
+        self.cpu = cpu
+        self._model = CPUModel(cpu, table, **model_kwargs)
+
+    def count(self, trace: Trace, body: LoopBody, iterations: int,
+              label: str | None = None,
+              branch_mispredict_rate: float | None = None) -> CounterReading:
+        """Run the simulated kernel and read the configured events."""
+        sim = self._model.run(trace, body, iterations, label=label,
+                              branch_mispredict_rate=branch_mispredict_rate)
+        values = {name: EVENTS[name].extract(sim.counters) for name in self.events}
+        return CounterReading(sim.label, values, sim)
+
+
+def derived_metrics(reading: CounterReading, cpu: CPUSpec) -> dict[str, float]:
+    """LIKWID-style derived metrics from raw event values.
+
+    Requires the full default event set; raises KeyError when a needed
+    event was not counted.
+    """
+    c = reading
+    cycles = c["PAPI_TOT_CYC"]
+    instructions = c["PAPI_TOT_INS"]
+    loads = c["PAPI_LD_INS"]
+    stores = c["PAPI_SR_INS"]
+    accesses = loads + stores
+    out: dict[str, float] = {
+        "cpi": cycles / instructions if instructions else 0.0,
+        "ipc": instructions / cycles if cycles else 0.0,
+        "flops_per_cycle": c["PAPI_FP_OPS"] / cycles if cycles else 0.0,
+        "l1_miss_ratio": c["PAPI_L1_DCM"] / accesses if accesses else 0.0,
+        "l2_miss_ratio": (c["PAPI_L2_DCM"] / (c["PAPI_L2_DCM"] + c["PAPI_L2_DCH"])
+                          if (c["PAPI_L2_DCM"] + c["PAPI_L2_DCH"]) else 0.0),
+        "l3_miss_ratio": (c["PAPI_L3_TCM"] / (c["PAPI_L3_TCM"] + c["PAPI_L3_TCH"])
+                          if (c["PAPI_L3_TCM"] + c["PAPI_L3_TCH"]) else 0.0),
+        "branch_mispredict_ratio": (c["PAPI_BR_MSP"] / c["PAPI_BR_INS"]
+                                    if c["PAPI_BR_INS"] else 0.0),
+        "dram_bytes_per_cycle": c["MEM_BYTES"] / cycles if cycles else 0.0,
+        "misses_per_kilo_instruction": (1000.0 * c["PAPI_L1_DCM"] / instructions
+                                        if instructions else 0.0),
+    }
+    # waste factor: DRAM bytes moved per byte the core actually touched
+    # (8-byte elements).  ~1 for streaming, ~line/element for large strides.
+    out["traffic_waste"] = (c["MEM_BYTES"] / (8.0 * accesses) if accesses else 0.0)
+    peak_bytes_per_cycle = cpu.memory.bandwidth_bytes_per_s / cpu.frequency_hz
+    out["bandwidth_utilization"] = (out["dram_bytes_per_cycle"] / peak_bytes_per_cycle
+                                    if peak_bytes_per_cycle else 0.0)
+    peak_flops_per_cycle = cpu.vector.flops_per_cycle(8)
+    out["compute_utilization"] = (out["flops_per_cycle"] / peak_flops_per_cycle
+                                  if peak_flops_per_cycle else 0.0)
+    return out

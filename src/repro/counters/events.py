@@ -1,0 +1,66 @@
+"""Performance-counter event definitions (PAPI-style).
+
+Assignment 4 has students collect detailed performance data with PAPI,
+LIKWID, perf, VTune, or Nsight.  Our counter source is the machine simulator
+(DESIGN.md substitution table); this module defines the event namespace in
+PAPI's preset-event style so the exercises read like the real tool:
+
+>>> EVENTS["PAPI_L1_DCM"].describe
+'Level 1 data cache misses'
+
+Each event knows how to extract its value from a
+:class:`~repro.simulator.cpu.SimulatedCounters` record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..simulator.cpu import SimulatedCounters
+
+__all__ = ["CounterEvent", "EVENTS", "available_events"]
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """One countable hardware event."""
+
+    name: str
+    describe: str
+    extract: Callable[[SimulatedCounters], float]
+
+
+def _level_hits(level: str) -> Callable[[SimulatedCounters], float]:
+    return lambda c: float(c.level_hits.get(level, 0))
+
+
+def _level_misses(level: str) -> Callable[[SimulatedCounters], float]:
+    return lambda c: float(c.level_misses.get(level, 0))
+
+
+_EVENT_LIST: list[CounterEvent] = [
+    CounterEvent("PAPI_TOT_CYC", "Total cycles", lambda c: c.cycles),
+    CounterEvent("PAPI_TOT_INS", "Instructions completed", lambda c: c.instructions),
+    CounterEvent("PAPI_FP_OPS", "Floating point operations", lambda c: c.flops),
+    CounterEvent("PAPI_LD_INS", "Load instructions", lambda c: float(c.loads)),
+    CounterEvent("PAPI_SR_INS", "Store instructions", lambda c: float(c.stores)),
+    CounterEvent("PAPI_L1_DCM", "Level 1 data cache misses", _level_misses("L1")),
+    CounterEvent("PAPI_L1_DCH", "Level 1 data cache hits", _level_hits("L1")),
+    CounterEvent("PAPI_L2_DCM", "Level 2 data cache misses", _level_misses("L2")),
+    CounterEvent("PAPI_L2_DCH", "Level 2 data cache hits", _level_hits("L2")),
+    CounterEvent("PAPI_L3_TCM", "Level 3 cache misses", _level_misses("L3")),
+    CounterEvent("PAPI_L3_TCH", "Level 3 cache hits", _level_hits("L3")),
+    CounterEvent("PAPI_BR_INS", "Branch instructions", lambda c: c.branches),
+    CounterEvent("PAPI_BR_MSP", "Mispredicted branches", lambda c: c.branch_mispredicts),
+    CounterEvent("MEM_ACCESSES", "Accesses served by DRAM", lambda c: float(c.dram_accesses)),
+    CounterEvent("MEM_BYTES", "Bytes moved to/from DRAM", lambda c: float(c.dram_bytes)),
+]
+
+#: Registry keyed by event name.
+EVENTS: dict[str, CounterEvent] = {e.name: e for e in _EVENT_LIST}
+
+
+def available_events() -> list[str]:
+    """All event names, like ``papi_avail`` prints."""
+    return sorted(EVENTS)

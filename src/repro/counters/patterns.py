@@ -1,0 +1,193 @@
+"""Performance patterns and their counter signatures (Treibig et al., 2012).
+
+Assignment 4 introduces "the concept of performance patterns … and
+encourage[s] students to understand the correlation of performance patterns
+and observed counter values".  A pattern is a recurring performance-limiting
+behaviour with a recognizable hardware-metric signature; this module encodes
+the patterns the course teaches as executable detection rules over the
+derived metrics of :mod:`repro.counters.collector`.
+
+Detectors return a score in [0, 1]; :func:`diagnose` ranks all patterns for
+a reading, reproducing the "look at the counters, name the pattern,
+prescribe the fix" workflow of the assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..machine.specs import CPUSpec
+from .collector import CounterReading, derived_metrics
+
+__all__ = ["PatternMatch", "PerformancePattern", "PATTERNS", "diagnose", "detect"]
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One pattern's evaluation against a counter reading."""
+
+    pattern: str
+    score: float
+    evidence: str
+    remedy: str
+
+    @property
+    def detected(self) -> bool:
+        return self.score >= 0.5
+
+
+@dataclass(frozen=True)
+class PerformancePattern:
+    """A named pattern: signature scorer + prescribed remedy."""
+
+    name: str
+    description: str
+    remedy: str
+    scorer: Callable[[dict[str, float]], tuple[float, str]]
+
+    def evaluate(self, metrics: dict[str, float]) -> PatternMatch:
+        score, evidence = self.scorer(metrics)
+        return PatternMatch(self.name, max(0.0, min(1.0, score)), evidence,
+                            self.remedy)
+
+
+def _saturating(value: float, onset: float, full: float) -> float:
+    """Linear ramp: 0 below ``onset``, 1 above ``full``."""
+    if full <= onset:
+        raise ValueError("full must exceed onset")
+    return (value - onset) / (full - onset)
+
+
+def _bandwidth_saturation(m: dict[str, float]) -> tuple[float, str]:
+    # bandwidth near peak AND the traffic is mostly useful — the genuine
+    # "more cores won't help, reduce traffic" situation.
+    util = m["bandwidth_utilization"]
+    waste = m["traffic_waste"]
+    score = min(_saturating(util, 0.55, 0.85),
+                _saturating(2.5 - waste, 0.0, 1.0))
+    return score, (f"DRAM bandwidth utilization {util:.0%} "
+                   f"(waste factor {waste:.1f})")
+
+
+def _memory_latency_bound(m: dict[str, float]) -> tuple[float, str]:
+    # misses frequent, yet bandwidth NOT saturated, and IPC poor:
+    # the core waits on individual lines (random/pointer access that the
+    # prefetchers cannot cover).
+    miss = m["l1_miss_ratio"]
+    util = m["bandwidth_utilization"]
+    cpi = m["cpi"]
+    score = min(_saturating(miss, 0.05, 0.3),
+                _saturating(0.4 - util, 0.0, 0.35),
+                _saturating(cpi, 2.0, 8.0))
+    return score, (f"L1 miss ratio {miss:.0%} with only {util:.0%} bandwidth "
+                   f"used, CPI {cpi:.1f}")
+
+
+def _strided_access(m: dict[str, float]) -> tuple[float, str]:
+    # prefetchers keep bandwidth busy, but most of every line is unused:
+    # DRAM bytes far exceed bytes touched.
+    waste = m["traffic_waste"]
+    util = m["bandwidth_utilization"]
+    score = min(_saturating(waste, 1.5, 4.0), _saturating(util, 0.15, 0.5))
+    return score, (f"waste factor {waste:.1f} (DRAM bytes per useful byte) "
+                   f"at {util:.0%} bandwidth")
+
+
+def _cache_thrashing(m: dict[str, float]) -> tuple[float, str]:
+    # L1 misses constantly but L2 absorbs nearly everything and DRAM is
+    # quiet: the footprint fits, yet set conflicts evict hot lines —
+    # the associativity/alignment pathology (power-of-two strides).
+    miss = m["l1_miss_ratio"]
+    l2_miss = m["l2_miss_ratio"]
+    util = m["bandwidth_utilization"]
+    score = min(_saturating(miss, 0.2, 0.6),
+                _saturating(0.10 - l2_miss, 0.0, 0.08),
+                _saturating(0.2 - util, 0.0, 0.15))
+    return score, (f"L1 miss ratio {miss:.0%} but L2 miss ratio only "
+                   f"{l2_miss:.1%} — conflict misses, not capacity")
+
+
+def _bad_speculation(m: dict[str, float]) -> tuple[float, str]:
+    ratio = m["branch_mispredict_ratio"]
+    score = _saturating(ratio, 0.02, 0.15)
+    return score, f"branch mispredict ratio {ratio:.1%}"
+
+
+def _instruction_overhead(m: dict[str, float]) -> tuple[float, str]:
+    # lots of instructions retired per FLOP with caches quiet: scalar or
+    # bookkeeping-heavy code (the classic "compile with -O0" / interpreted
+    # overhead pattern).
+    fpc = m["flops_per_cycle"]
+    miss = m["l1_miss_ratio"]
+    ipc = m["ipc"]
+    quiet = _saturating(0.05 - miss, 0.0, 0.05)
+    busy = _saturating(ipc, 0.5, 2.0)
+    lean = _saturating(0.5 - fpc, 0.0, 0.45)
+    return min(quiet, busy, lean), (
+        f"IPC {ipc:.2f} but only {fpc:.2f} FLOP/cycle with quiet caches")
+
+
+def _compute_saturation(m: dict[str, float]) -> tuple[float, str]:
+    util = m["compute_utilization"]
+    score = _saturating(util, 0.5, 0.8)
+    return score, f"compute utilization {util:.0%} of peak FLOP/cycle"
+
+
+#: The pattern catalogue, in the order the lecture presents them.
+PATTERNS: tuple[PerformancePattern, ...] = (
+    PerformancePattern(
+        "bandwidth-saturation",
+        "memory bandwidth is the bottleneck; cores starve together",
+        "reduce traffic: blocking, fusion, smaller dtypes, NT stores",
+        _bandwidth_saturation,
+    ),
+    PerformancePattern(
+        "memory-latency-bound",
+        "dependent/irregular accesses expose full memory latency",
+        "improve locality or prefetchability; software prefetch; layout change",
+        _memory_latency_bound,
+    ),
+    PerformancePattern(
+        "strided-access",
+        "large strides waste most of each cache line",
+        "loop interchange or data-layout change (AoS->SoA, transpose)",
+        _strided_access,
+    ),
+    PerformancePattern(
+        "cache-thrashing",
+        "set-associativity conflicts evict hot lines despite a small footprint",
+        "pad arrays to break power-of-two strides; change leading dimensions",
+        _cache_thrashing,
+    ),
+    PerformancePattern(
+        "bad-speculation",
+        "frequent branch mispredictions flush the pipeline",
+        "branchless formulation, sorting, predication, lookup tables",
+        _bad_speculation,
+    ),
+    PerformancePattern(
+        "instruction-overhead",
+        "high instruction count per useful FLOP; caches quiet",
+        "vectorize, unroll, strength-reduce, eliminate bookkeeping",
+        _instruction_overhead,
+    ),
+    PerformancePattern(
+        "compute-saturation",
+        "floating-point units near peak — the kernel is well optimized",
+        "only algorithmic changes can help from here",
+        _compute_saturation,
+    ),
+)
+
+
+def diagnose(reading: CounterReading, cpu: CPUSpec) -> list[PatternMatch]:
+    """Evaluate every pattern; return matches sorted by descending score."""
+    metrics = derived_metrics(reading, cpu)
+    matches = [p.evaluate(metrics) for p in PATTERNS]
+    return sorted(matches, key=lambda m: -m.score)
+
+
+def detect(reading: CounterReading, cpu: CPUSpec) -> PatternMatch:
+    """The single best-matching pattern for a reading."""
+    return diagnose(reading, cpu)[0]

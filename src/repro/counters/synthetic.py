@@ -1,0 +1,235 @@
+"""Synthetic kernels demonstrating each performance pattern.
+
+Assignment 4: "we ask students to develop a simple (synthetic) kernel to
+demonstrate some of these performance patterns, and show they can be
+identified and fixed using performance counters data."  Each factory below
+returns a :class:`SyntheticKernel` — a trace + loop body + expected pattern
+— and, where the pattern has a canonical fix, a ``fixed()`` variant whose
+counters no longer show the signature.
+
+The benchmark ``benchmarks/test_bench_assignment4.py`` runs the full
+demonstrate-detect-fix loop over this catalogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.specs import CPUSpec
+from ..simulator.bodies import pointer_chase_body, reduction_body, triad_body
+from ..simulator.ports import Instr, LoopBody
+from ..simulator.trace import (
+    Trace,
+    random_access_trace,
+    stream_trace,
+    strided_trace,
+)
+
+__all__ = ["SyntheticKernel", "PATTERN_KERNELS", "make_pattern_kernel"]
+
+
+@dataclass(frozen=True)
+class SyntheticKernel:
+    """A runnable pattern demonstration.
+
+    ``iterations`` is the dynamic trip count matching the trace;
+    ``mispredict_rate`` overrides the CPU model's branch predictor where
+    the pattern is about speculation.
+    """
+
+    name: str
+    trace: Trace
+    body: LoopBody
+    iterations: int
+    expected_pattern: str
+    mispredict_rate: float | None = None
+    note: str = ""
+
+
+def _bandwidth_saturation_kernel(cpu: CPUSpec, scale: int) -> SyntheticKernel:
+    """Vectorized triad over arrays far larger than LLC: pure streaming."""
+    n = scale * 60_000
+    lanes = cpu.vector.lanes(8)
+    return SyntheticKernel(
+        name="stream-triad-large",
+        trace=stream_trace(n, "triad"),
+        body=triad_body(vectorized=True),
+        iterations=max(1, n // lanes),
+        expected_pattern="bandwidth-saturation",
+        note="SIMD triad: 24 useful bytes per element, prefetch-covered",
+    )
+
+
+def _latency_bound_kernel(cpu: CPUSpec, scale: int) -> SyntheticKernel:
+    """Dependent random loads over a huge footprint: the pointer chase."""
+    n = scale * 40_000
+    footprint = 16 * cpu.caches[-1].capacity_bytes
+    return SyntheticKernel(
+        name="random-chase",
+        trace=random_access_trace(n, footprint, seed=7),
+        body=pointer_chase_body(),
+        iterations=n,
+        expected_pattern="memory-latency-bound",
+        note="random dependent loads; prefetchers cannot help",
+    )
+
+
+def _strided_kernel(cpu: CPUSpec, scale: int) -> SyntheticKernel:
+    """Stride-256B reduction: every element on its own cache line."""
+    n = scale * 40_000
+    line = cpu.caches[0].line_bytes
+    stride = 4 * line
+    return SyntheticKernel(
+        name="strided-sum",
+        trace=strided_trace(n, stride, max(stride * n, 8 * cpu.caches[-1].capacity_bytes)),
+        body=reduction_body(),
+        iterations=n,
+        expected_pattern="strided-access",
+        note=f"stride {stride}B: {stride // 8}x more DRAM bytes than used",
+    )
+
+
+def _thrashing_kernel(cpu: CPUSpec, scale: int) -> SyntheticKernel:
+    """Power-of-two stride hitting one L1 set: conflict misses only.
+
+    Footprint is tiny (fits L2 easily) but every access maps to the same
+    L1 set, overwhelming its associativity.
+    """
+    l1 = cpu.caches[0]
+    set_stride = l1.n_sets * l1.line_bytes  # same-set stride
+    ways_plus = 2 * l1.associativity        # twice the ways -> always evicting
+    n = scale * 40_000
+    idx = (np.arange(n, dtype=np.int64) % ways_plus) * set_stride
+    trace = Trace(idx, np.zeros(n, dtype=bool), label="same-set-sweep")
+    return SyntheticKernel(
+        name="set-conflict-sweep",
+        trace=trace,
+        body=reduction_body(),
+        iterations=n,
+        expected_pattern="cache-thrashing",
+        note=f"{ways_plus} lines colliding in one {l1.associativity}-way set",
+    )
+
+
+def _bad_speculation_kernel(cpu: CPUSpec, scale: int) -> SyntheticKernel:
+    """Branch on random data: ~50% mispredicted.
+
+    The body models ``if (x[i] > 0) acc += x[i]`` — one data-dependent
+    branch per element; the trace is a cheap L1-resident stream so nothing
+    else is wrong with this kernel.
+    """
+    n = scale * 40_000
+    body = LoopBody((
+        Instr("load"),                       # x[i]
+        Instr("cmp", deps=((0, 0),)),        # x[i] > 0 ?
+        Instr("branch", deps=((1, 0),)),     # data-dependent branch
+        Instr("add", deps=((0, 0), (3, 1))),  # acc += (carried)
+        Instr("iadd", deps=((4, 1),)),       # i++
+        Instr("cmp", deps=((4, 0),)),
+        Instr("branch", deps=((5, 0),)),     # loop branch (predictable)
+    ), label="branchy-sum")
+    footprint = cpu.caches[0].capacity_bytes // 2
+    idx = (np.arange(n, dtype=np.int64) * 8) % footprint
+    trace = Trace(idx, np.zeros(n, dtype=bool), label="L1-resident-stream")
+    return SyntheticKernel(
+        name="branchy-sum",
+        trace=trace,
+        body=body,
+        iterations=n,
+        expected_pattern="bad-speculation",
+        mispredict_rate=0.25,  # half the branches are data-dependent coin flips
+        note="data-dependent branch on random values",
+    )
+
+
+def _instruction_overhead_kernel(cpu: CPUSpec, scale: int) -> SyntheticKernel:
+    """Scalar, bookkeeping-heavy loop on an L1-resident array.
+
+    Mimics unvectorized (or interpreted) code: 10 instructions per single
+    FLOP, caches quiet.
+    """
+    n = scale * 40_000
+    body = LoopBody((
+        Instr("load"),
+        Instr("iadd"),                        # index arithmetic
+        Instr("iadd", deps=((1, 0),)),
+        Instr("imul", deps=((2, 0),)),
+        Instr("cmp", deps=((3, 0),)),
+        Instr("add", deps=((0, 0), (5, 1))),  # the single FLOP (carried)
+        Instr("iadd", deps=((6, 1),)),        # i++
+        Instr("cmp", deps=((6, 0),)),
+        Instr("branch", deps=((7, 0),)),
+    ), label="scalar-overhead")
+    footprint = cpu.caches[0].capacity_bytes // 2
+    idx = (np.arange(n, dtype=np.int64) * 8) % footprint
+    trace = Trace(idx, np.zeros(n, dtype=bool), label="L1-resident-stream")
+    return SyntheticKernel(
+        name="scalar-overhead",
+        trace=trace,
+        body=body,
+        iterations=n,
+        expected_pattern="instruction-overhead",
+        note="10 instructions of bookkeeping per FLOP",
+    )
+
+
+def _compute_saturation_kernel(cpu: CPUSpec, scale: int) -> SyntheticKernel:
+    """Register-resident SIMD FMA chains: the peak-FLOPS microkernel.
+
+    Two loads feed eight independent FMA chains whose operands otherwise
+    live in registers (how peak-FLOPS microbenchmarks and register-blocked
+    GEMM microkernels are actually written) — the FMA ports are the only
+    bottleneck.
+    """
+    n = scale * 40_000
+    lanes = cpu.vector.lanes(8)
+    instrs: list[Instr] = [Instr("vload"), Instr("vload")]
+    for _ in range(8):
+        pos = len(instrs)
+        instrs.append(Instr("vfmadd", deps=((0, 0), (1, 0), (pos, 1))))
+    i = len(instrs)
+    instrs.append(Instr("iadd", deps=((i, 1),)))
+    instrs.append(Instr("cmp", deps=((i, 0),)))
+    instrs.append(Instr("branch", deps=((i + 1, 0),)))
+    body = LoopBody(tuple(instrs), label="register-fma-chains")
+    footprint = cpu.caches[0].capacity_bytes // 2
+    idx = (np.arange(n, dtype=np.int64) * 8) % footprint
+    trace = Trace(idx, np.zeros(n, dtype=bool), label="L1-resident-stream")
+    return SyntheticKernel(
+        name="simd-fma-peak",
+        trace=trace,
+        body=body,
+        iterations=max(1, n // (8 * lanes)),
+        expected_pattern="compute-saturation",
+        note="8 independent register-resident SIMD FMA chains",
+    )
+
+
+#: pattern name -> kernel factory (cpu, scale) -> SyntheticKernel
+PATTERN_KERNELS = {
+    "bandwidth-saturation": _bandwidth_saturation_kernel,
+    "memory-latency-bound": _latency_bound_kernel,
+    "strided-access": _strided_kernel,
+    "cache-thrashing": _thrashing_kernel,
+    "bad-speculation": _bad_speculation_kernel,
+    "instruction-overhead": _instruction_overhead_kernel,
+    "compute-saturation": _compute_saturation_kernel,
+}
+
+
+def make_pattern_kernel(pattern: str, cpu: CPUSpec, scale: int = 1) -> SyntheticKernel:
+    """Build the demonstration kernel for ``pattern`` on ``cpu``.
+
+    ``scale`` multiplies the trace length (1 is enough for detection; the
+    benchmarks use larger scales for stable rates).
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    try:
+        factory = PATTERN_KERNELS[pattern]
+    except KeyError:
+        raise KeyError(f"no synthetic kernel for pattern {pattern!r}; "
+                       f"known: {sorted(PATTERN_KERNELS)}") from None
+    return factory(cpu, scale)

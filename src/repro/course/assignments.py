@@ -1,0 +1,127 @@
+"""The four practical assignments as structured specifications (§4.2).
+
+Everything the paper states about each assignment — its points (which feed
+Equation 3), release/deadline weeks, the kernels it provides, the tools it
+introduces (mapped to our substitutes), and the objectives it serves — as a
+queryable registry, cross-checked against the grading module and the
+curriculum in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .grading import ASSIGNMENT_POINTS
+
+__all__ = ["AssignmentSpec", "ASSIGNMENTS", "assignment", "release_schedule"]
+
+
+@dataclass(frozen=True)
+class AssignmentSpec:
+    """One practical assignment of the course."""
+
+    number: int
+    title: str
+    points: int
+    release_week: int
+    deadline_week: int
+    kernels: tuple[str, ...]
+    paper_tools: tuple[str, ...]       # what the course uses on real HW
+    our_modules: tuple[str, ...]       # what this repository substitutes
+    objectives: frozenset[int]
+    example: str
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.number <= 4:
+            raise ValueError("assignments are numbered 1-4")
+        if self.points <= 0:
+            raise ValueError("assignments must carry points")
+        if not 1 <= self.release_week <= self.deadline_week <= 8:
+            raise ValueError("weeks must fit the 8-week block in order")
+
+    @property
+    def duration_weeks(self) -> int:
+        return self.deadline_week - self.release_week
+
+
+#: The four assignments, §4.2 + §4.2.1's timeline (sequential releases:
+#: A1 weeks 1-3, A2 weeks 3-5 overlapping A1's tail, A3+A4 released
+#: together with the course-end deadline).
+ASSIGNMENTS: tuple[AssignmentSpec, ...] = (
+    AssignmentSpec(
+        number=1,
+        title="The Roofline Model",
+        points=10,
+        release_week=1,
+        deadline_week=3,
+        kernels=("matmul",),
+        paper_tools=("roofline plotting tools", "loop reordering", "loop tiling"),
+        our_modules=("repro.roofline", "repro.kernels.matmul",
+                     "repro.simulator"),
+        objectives=frozenset({1, 2, 4}),
+        example="examples/assignment1_roofline.py",
+    ),
+    AssignmentSpec(
+        number=2,
+        title="Analytical Modeling and Microbenchmarking",
+        points=9,
+        release_week=3,
+        deadline_week=5,
+        kernels=("matmul", "histogram"),
+        paper_tools=("Fog instruction tables", "STREAM", "uops", "perf",
+                     "nvprof/nsight", "IACA", "OSACA", "LLVM-MCA"),
+        our_modules=("repro.analytical", "repro.microbench",
+                     "repro.machine.instruction_tables",
+                     "repro.simulator.ports"),
+        objectives=frozenset({2, 3, 5, 8}),
+        example="examples/assignment2_analytical.py",
+    ),
+    AssignmentSpec(
+        number=3,
+        title="Statistical Modeling",
+        points=11,
+        release_week=5,
+        deadline_week=8,
+        kernels=("matmul", "spmv"),
+        paper_tools=("CSR/CSC/COO storage", "regression tooling",
+                     "performance counter collectors"),
+        our_modules=("repro.statmodel", "repro.kernels.spmv",
+                     "repro.kernels.matrixmarket"),
+        objectives=frozenset({3, 4, 5}),
+        example="examples/assignment3_statistical.py",
+    ),
+    AssignmentSpec(
+        number=4,
+        title="Performance Counters and Performance Patterns",
+        points=12,
+        release_week=5,
+        deadline_week=8,
+        kernels=("spmv", "synthetic-patterns"),
+        paper_tools=("Linux PERF", "PAPI", "LIKWID", "Intel VTune",
+                     "NVIDIA Nsight Systems", "NVIDIA Nsight Compute"),
+        our_modules=("repro.counters", "repro.simulator"),
+        objectives=frozenset({1, 4, 8}),
+        example="examples/assignment4_counters.py",
+    ),
+)
+
+
+def assignment(number: int) -> AssignmentSpec:
+    """Look up one assignment by its number."""
+    for spec in ASSIGNMENTS:
+        if spec.number == number:
+            return spec
+    raise KeyError(f"no assignment {number}; the course has 1-4")
+
+
+def release_schedule() -> dict[int, list[int]]:
+    """Week -> assignment numbers released that week (§4.2.1's staging)."""
+    schedule: dict[int, list[int]] = {}
+    for spec in ASSIGNMENTS:
+        schedule.setdefault(spec.release_week, []).append(spec.number)
+    return dict(sorted(schedule.items()))
+
+
+# consistency with Equation 3, checked at import time: the registry and the
+# grading module must never drift apart
+assert tuple(a.points for a in ASSIGNMENTS) == ASSIGNMENT_POINTS

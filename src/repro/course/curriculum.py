@@ -1,0 +1,158 @@
+"""Curriculum registry: Table 1, learning objectives, process stages,
+prerequisites, milestones, and the 8-week timeline.
+
+Table 1 maps each of the course's eleven topics to the performance-
+engineering stages (§2.3) and learning objectives (§3.1) that motivate it.
+The printed checkmark grid does not survive the paper's OCR unambiguously,
+so the mapping below is reconstructed from the prose of Sections 2-4 (each
+topic's stage/objective role is described there); EXPERIMENTS.md records
+this as a documented reconstruction.  Counts and structure (11 topics,
+7 stages, 8 objectives) are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "STAGES",
+    "OBJECTIVES",
+    "PREREQUISITES",
+    "MILESTONES",
+    "Topic",
+    "TOPICS",
+    "TIMELINE",
+    "topic_by_name",
+    "topics_for_stage",
+    "topics_for_objective",
+    "coverage_matrix",
+]
+
+#: The seven-stage performance engineering process (§2.3).
+STAGES: tuple[str, ...] = (
+    "Collect and analyse (user) performance requirements",
+    "Understand current performance",
+    "Assess feasibility of the requirements",
+    "Assess suitable approaches to meet the requirements",
+    "Apply tuning and optimization",
+    "Assess progress and iterate back to steps 3-5",
+    "Analyse and document the process and the final result",
+)
+
+#: The eight learning objectives (§3.1).
+OBJECTIVES: tuple[str, ...] = (
+    "Quantify the performance of an application using the appropriate metric",
+    "Demonstrate and compare several performance modeling methods",
+    "Classify and use several performance prediction methods",
+    "Design an empirical performance analysis process and interpret results",
+    "Design and use a suitable model for accurate performance prediction",
+    "Apply and assess different optimization techniques",
+    "Design and develop a complete performance engineering process",
+    "Use different performance engineering tools",
+)
+
+#: The five prerequisites (§3.2).
+PREREQUISITES: tuple[str, ...] = (
+    "Computer organization and architecture basics",
+    "Computer systems fundamentals",
+    "Parallel algorithms design and C/C++ skills",
+    "Parallel and distributed programming basics (OpenMP, CUDA, OpenCL, MPI)",
+    "Basic statistics and data analysis methods",
+)
+
+#: The four project milestones (§3.3).
+MILESTONES: tuple[str, ...] = (
+    "Define an application of interest and formulate a performance problem",
+    "Formulate a plan to deploy performance engineering methods",
+    "Document the performance engineering process",
+    "Present intermediate and final results to an audience of peers",
+)
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One Table 1 row: a lecture topic with its stage/objective coverage."""
+
+    name: str
+    stages: frozenset[int]      # subset of 1..7
+    objectives: frozenset[int]  # subset of 1..8
+    module: str                 # where this repository implements the topic
+
+    def __post_init__(self) -> None:
+        if not self.stages or not self.stages <= set(range(1, 8)):
+            raise ValueError(f"{self.name}: stages must be a non-empty subset of 1..7")
+        if not self.objectives or not self.objectives <= set(range(1, 9)):
+            raise ValueError(f"{self.name}: objectives must be a non-empty subset of 1..8")
+
+
+#: Table 1, with each topic mapped to the repro module implementing it.
+TOPICS: tuple[Topic, ...] = (
+    Topic("Basics of performance", frozenset({2}), frozenset({1}),
+          "repro.timing"),
+    Topic("Code tuning and optimization", frozenset({5}), frozenset({6, 7}),
+          "repro.kernels"),
+    Topic("Roofline model and extensions", frozenset({2, 3}), frozenset({2, 4, 5}),
+          "repro.roofline"),
+    Topic("Analytical modeling", frozenset({3, 4}), frozenset({2, 3, 5}),
+          "repro.analytical"),
+    Topic("(Micro)benchmarking", frozenset({2, 6}), frozenset({1, 4, 8}),
+          "repro.microbench"),
+    Topic("Data-driven and stat. modeling", frozenset({3, 4}), frozenset({3, 5}),
+          "repro.statmodel"),
+    Topic("Simulation and simulators", frozenset({4}), frozenset({3, 5, 8}),
+          "repro.simulator"),
+    Topic("Perf. counters and patterns", frozenset({2, 6}), frozenset({1, 4, 8}),
+          "repro.counters"),
+    Topic("Scale-out to distributed systems", frozenset({4, 5}), frozenset({6, 7}),
+          "repro.distributed"),
+    Topic("Queuing theory", frozenset({3}), frozenset({2, 3}),
+          "repro.queueing"),
+    Topic("Polyhedral model", frozenset({5}), frozenset({6}),
+          "repro.polyhedral"),
+)
+
+#: The 8-week course timeline (§4.3): week -> project activity.
+TIMELINE: dict[int, str] = {
+    1: "Project kick-off: goals and high-level examples (dedicated seminar)",
+    2: "Prototype of the sequential/reference version",
+    3: "Evaluation strategy and experimental setup (dedicated seminar)",
+    4: "First performance model; first optimizations and prototypes",
+    5: "Report skeleton; 5-minute midterm talk",
+    6: "More prototypes; full performance engineering process",
+    7: "More prototypes; full performance engineering process",
+    8: "Final report, final presentation, reflection; exam week",
+}
+
+
+def topic_by_name(name: str) -> Topic:
+    for t in TOPICS:
+        if t.name == name:
+            return t
+    raise KeyError(f"no topic {name!r}")
+
+
+def topics_for_stage(stage: int) -> list[Topic]:
+    """Topics exercising one process stage (column slice of Table 1)."""
+    if not 1 <= stage <= 7:
+        raise ValueError("stages are numbered 1..7")
+    return [t for t in TOPICS if stage in t.stages]
+
+
+def topics_for_objective(objective: int) -> list[Topic]:
+    """Topics serving one learning objective (column slice of Table 1)."""
+    if not 1 <= objective <= 8:
+        raise ValueError("objectives are numbered 1..8")
+    return [t for t in TOPICS if objective in t.objectives]
+
+
+def coverage_matrix() -> dict[str, dict[str, bool]]:
+    """Table 1 as a nested dict: topic -> {'S1'..'S7', 'O1'..'O8'} -> bool."""
+    out: dict[str, dict[str, bool]] = {}
+    for t in TOPICS:
+        row = {}
+        for s in range(1, 8):
+            row[f"S{s}"] = s in t.stages
+        for o in range(1, 9):
+            row[f"O{o}"] = o in t.objectives
+        out[t.name] = row
+    return out

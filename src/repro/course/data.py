@@ -1,0 +1,189 @@
+"""The paper's data artifacts: DATA-1 (students.csv) and DATA-2 (metrics.csv).
+
+The artifact appendix describes two anonymized CSVs:
+
+* **DATA-1** — per-year enrollment, passing grades, and evaluation
+  respondents (drives Figure 1 via SW-2);
+* **DATA-2** — per-statement Likert response counts from the course
+  evaluations (drives Table 2 via SW-3).
+
+DATA-2 is printed *verbatim* in Table 2, so our copy is exact.  DATA-1 is
+only shown as a low-resolution line chart, but the paper pins it down
+tightly: 146 total enrolled, 93 total passed (§5.1), 41 evaluation
+respondents (§1), evaluations missing for 2019 and 2022 (Figure 1 caption),
+dropout between 15 and 50% per year (§5.1), and the visual shape of
+Figure 1 (rising enrollment, ~10 to ~35-40).  The reconstruction below
+satisfies every one of those constraints; EXPERIMENTS.md records it as a
+documented substitution.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+__all__ = [
+    "YearRecord",
+    "STUDENTS",
+    "LIKERT_SCALE_2A",
+    "LIKERT_SCALE_2B",
+    "EvaluationRow",
+    "METRICS_2A",
+    "METRICS_2B",
+    "students_csv",
+    "metrics_csv",
+    "load_students_csv",
+    "totals",
+]
+
+
+@dataclass(frozen=True)
+class YearRecord:
+    """One course edition (DATA-1 row)."""
+
+    year: int
+    enrolled: int
+    passed: int
+    respondents: int | None  # None: evaluation unavailable (2019, 2022)
+
+    def __post_init__(self) -> None:
+        if self.enrolled < 0 or self.passed < 0:
+            raise ValueError("counts cannot be negative")
+        if self.passed > self.enrolled:
+            raise ValueError("cannot pass more students than enrolled")
+        if self.respondents is not None and self.respondents < 0:
+            raise ValueError("respondents cannot be negative")
+
+    @property
+    def dropout_rate(self) -> float:
+        return 1.0 - self.passed / self.enrolled if self.enrolled else 0.0
+
+
+#: DATA-1 reconstruction.  Constraints (all from the paper): Σ enrolled =
+#: 146, Σ passed = 93, Σ respondents = 41, respondents missing in 2019 and
+#: 2022, per-year dropout within 15-50%, enrollment rising toward ~35.
+STUDENTS: tuple[YearRecord, ...] = (
+    YearRecord(2017, 12, 9, 8),
+    YearRecord(2018, 15, 11, 8),
+    YearRecord(2019, 18, 10, None),
+    YearRecord(2020, 22, 15, 8),
+    YearRecord(2021, 25, 17, 8),
+    YearRecord(2022, 24, 12, None),
+    YearRecord(2023, 30, 19, 9),
+)
+
+#: Response categories of Table 2a (values 1..5, higher is better).
+LIKERT_SCALE_2A = ("Firmly Disagree", "Disagree", "Neutral", "Agree", "Firmly Agree")
+#: Response categories of Table 2b (values 1..5, 3-4 considered optimal).
+LIKERT_SCALE_2B = ("Very Low", "Low", "Medium", "High", "Very High")
+
+
+@dataclass(frozen=True)
+class EvaluationRow:
+    """One evaluation statement with its response counts (DATA-2 row)."""
+
+    group: str
+    statement: str
+    counts: tuple[int, int, int, int, int]
+    paper_mean: float
+
+    def __post_init__(self) -> None:
+        if any(c < 0 for c in self.counts):
+            raise ValueError("counts cannot be negative")
+        if sum(self.counts) == 0:
+            raise ValueError("statement has no responses")
+
+    @property
+    def n_responses(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def mean(self) -> float:
+        """Mean over the 1..5 numeric scale."""
+        return sum((i + 1) * c for i, c in enumerate(self.counts)) / self.n_responses
+
+
+#: Table 2a counts, verbatim from the paper (one row per statement).
+METRICS_2A: tuple[EvaluationRow, ...] = (
+    EvaluationRow("The course ...", "Taught me a lot", (0, 0, 1, 17, 18), 4.5),
+    EvaluationRow("The course ...", "Was clearly structured", (0, 2, 3, 19, 13), 4.2),
+    EvaluationRow("The course ...", "Was intellectually challenging", (0, 0, 2, 9, 25), 4.6),
+    EvaluationRow("I acquired, learned, or developed ...", "Factual knowledge",
+                  (0, 0, 1, 13, 13), 4.4),
+    EvaluationRow("I acquired, learned, or developed ...", "Fundamental principles",
+                  (0, 1, 2, 16, 11), 4.2),
+    EvaluationRow("I acquired, learned, or developed ...", "Current scientific theories",
+                  (0, 3, 5, 13, 9), 3.9),
+    EvaluationRow("I acquired, learned, or developed ...", "To apply subject matter",
+                  (0, 0, 0, 7, 22), 4.8),
+    EvaluationRow("I acquired, learned, or developed ...", "Professional skills",
+                  (0, 0, 3, 13, 15), 4.4),
+    EvaluationRow("I acquired, learned, or developed ...", "Technical skills",
+                  (0, 0, 6, 14, 9), 4.1),
+    EvaluationRow("... helped me understand the subject", "Assignment 1",
+                  (0, 1, 1, 12, 16), 4.4),
+    EvaluationRow("... helped me understand the subject", "Assignment 2",
+                  (0, 0, 1, 11, 16), 4.5),
+    EvaluationRow("... helped me understand the subject", "Assignment 3",
+                  (1, 1, 1, 17, 10), 4.1),
+    EvaluationRow("... helped me understand the subject", "Assignment 4",
+                  (0, 1, 1, 12, 13), 4.4),
+)
+
+#: Table 2b counts, verbatim from the paper.
+METRICS_2B: tuple[EvaluationRow, ...] = (
+    EvaluationRow("The ... of the course was", "Workload", (0, 0, 11, 14, 11), 4.0),
+    EvaluationRow("The ... of the course was", "Level", (0, 1, 16, 13, 6), 3.7),
+)
+
+
+def students_csv() -> str:
+    """DATA-1 as CSV text (the artifact's ``data/students.csv``)."""
+    buf = io.StringIO()
+    buf.write("year,enrolled,passed,respondents\n")
+    for rec in STUDENTS:
+        resp = "" if rec.respondents is None else str(rec.respondents)
+        buf.write(f"{rec.year},{rec.enrolled},{rec.passed},{resp}\n")
+    return buf.getvalue()
+
+
+def metrics_csv() -> str:
+    """DATA-2 as CSV text (the artifact's ``data/metrics.csv``)."""
+    buf = io.StringIO()
+    buf.write("table,group,statement," + ",".join(
+        c.lower().replace(" ", "_") for c in LIKERT_SCALE_2A) + ",paper_mean\n")
+    for table, rows in (("2a", METRICS_2A), ("2b", METRICS_2B)):
+        for row in rows:
+            counts = ",".join(str(c) for c in row.counts)
+            buf.write(f'{table},"{row.group}","{row.statement}",{counts},'
+                      f"{row.paper_mean}\n")
+    return buf.getvalue()
+
+
+def load_students_csv(text: str) -> tuple[YearRecord, ...]:
+    """Parse DATA-1 CSV text back into records (round-trip of SW-2's input)."""
+    lines = [ln for ln in text.strip().splitlines() if ln]
+    if not lines or lines[0] != "year,enrolled,passed,respondents":
+        raise ValueError("not a students.csv payload")
+    records = []
+    for ln in lines[1:]:
+        parts = ln.split(",")
+        if len(parts) != 4:
+            raise ValueError(f"malformed row: {ln!r}")
+        year, enrolled, passed, resp = parts
+        records.append(YearRecord(int(year), int(enrolled), int(passed),
+                                  int(resp) if resp else None))
+    return tuple(records)
+
+
+def totals() -> dict[str, int]:
+    """The paper's headline totals, computed from DATA-1.
+
+    §1: 41 evaluation respondents; §5.1: 146 enrolled, 93 passed.
+    """
+    return {
+        "enrolled": sum(r.enrolled for r in STUDENTS),
+        "passed": sum(r.passed for r in STUDENTS),
+        "respondents": sum(r.respondents or 0 for r in STUDENTS),
+        "editions": len(STUDENTS),
+    }

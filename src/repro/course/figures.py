@@ -1,0 +1,128 @@
+"""SW-2 and SW-3: generate Figure 1 and Tables 1/2 from the data artifacts.
+
+The paper's appendix lists two scripts: ``scripts/make_plots.py`` (SW-2,
+Figure 1 from DATA-1) and ``scripts/make_tables.py`` (SW-3, Table 2 from
+DATA-2).  These functions are those scripts: they return the figure's data
+series and the tables' formatted rows, plus text renderings.
+"""
+
+from __future__ import annotations
+
+from .curriculum import TOPICS, coverage_matrix
+from .data import (
+    LIKERT_SCALE_2A,
+    LIKERT_SCALE_2B,
+    METRICS_2A,
+    METRICS_2B,
+    STUDENTS,
+    EvaluationRow,
+    YearRecord,
+)
+
+__all__ = [
+    "figure1_series",
+    "figure1_text",
+    "table2a_rows",
+    "table2b_rows",
+    "table2_text",
+    "table1_text",
+]
+
+
+def figure1_series(records: tuple[YearRecord, ...] = STUDENTS
+                   ) -> dict[str, list]:
+    """Figure 1's three series over years (SW-2's core computation)."""
+    if not records:
+        raise ValueError("no records")
+    return {
+        "year": [r.year for r in records],
+        "total_enrolled": [r.enrolled for r in records],
+        "passing_grades": [r.passed for r in records],
+        "evaluation_respondents": [r.respondents for r in records],
+    }
+
+
+def figure1_text(records: tuple[YearRecord, ...] = STUDENTS,
+                 width: int = 50) -> str:
+    """ASCII rendering of Figure 1: students per year, three series."""
+    series = figure1_series(records)
+    top = max(series["total_enrolled"])
+    lines = ["Figure 1: students per course edition",
+             f"{'year':>6s} {'enrolled':>9s} {'passed':>7s} {'respond.':>9s}  chart (#=enrolled, +=passed, o=respondents)"]
+    for i, year in enumerate(series["year"]):
+        e = series["total_enrolled"][i]
+        p = series["passing_grades"][i]
+        r = series["evaluation_respondents"][i]
+        bar = [" "] * width
+        for x in range(round(e / top * (width - 1)) + 1):
+            bar[x] = "#"
+        for x in range(round(p / top * (width - 1)) + 1):
+            bar[x] = "+"
+        if r is not None:
+            for x in range(round(r / top * (width - 1)) + 1):
+                bar[x] = "o"
+        r_s = "n/a" if r is None else str(r)
+        lines.append(f"{year:>6d} {e:>9d} {p:>7d} {r_s:>9s}  |{''.join(bar)}|")
+    return "\n".join(lines)
+
+
+def _rows(data: tuple[EvaluationRow, ...]) -> list[dict]:
+    out = []
+    for row in data:
+        out.append({
+            "group": row.group,
+            "statement": row.statement,
+            "counts": row.counts,
+            "n": row.n_responses,
+            "mean": round(row.mean, 1),
+            "paper_mean": row.paper_mean,
+        })
+    return out
+
+
+def table2a_rows() -> list[dict]:
+    """Table 2a rows with recomputed means (SW-3's core computation)."""
+    return _rows(METRICS_2A)
+
+
+def table2b_rows() -> list[dict]:
+    """Table 2b rows with recomputed means."""
+    return _rows(METRICS_2B)
+
+
+def table2_text() -> str:
+    """Text rendering of both Table 2 halves, paper layout."""
+    lines = ["Table 2a: evaluation responses (1=Firmly Disagree .. 5=Firmly Agree)"]
+    header = f"  {'statement':32s} " + " ".join(f"{c[:6]:>6s}" for c in LIKERT_SCALE_2A)
+    lines.append(header + f" {'M':>5s}")
+    group = None
+    for row in table2a_rows():
+        if row["group"] != group:
+            group = row["group"]
+            lines.append(f'  "{group}"')
+        counts = " ".join(f"{c:6d}" for c in row["counts"])
+        lines.append(f"    {row['statement']:30s} {counts} {row['mean']:5.1f}")
+    lines.append("")
+    lines.append("Table 2b: responses (1=Very Low .. 5=Very High; 3-4 optimal)")
+    lines.append(f"  {'statement':32s} " + " ".join(f"{c[:6]:>6s}" for c in LIKERT_SCALE_2B)
+                 + f" {'M':>5s}")
+    for row in table2b_rows():
+        counts = " ".join(f"{c:6d}" for c in row["counts"])
+        lines.append(f"    {row['statement']:30s} {counts} {row['mean']:5.1f}")
+    return "\n".join(lines)
+
+
+def table1_text() -> str:
+    """Text rendering of Table 1: topics vs stages and objectives."""
+    matrix = coverage_matrix()
+    stage_cols = [f"S{s}" for s in range(1, 8)]
+    obj_cols = [f"O{o}" for o in range(1, 9)]
+    lines = ["Table 1: topics vs PE stages (1-7) and learning objectives (1-8)"]
+    lines.append(f"  {'topic':34s} " + " ".join(f"{c:>2s}" for c in stage_cols)
+                 + "  " + " ".join(f"{c:>2s}" for c in obj_cols))
+    for topic in TOPICS:
+        row = matrix[topic.name]
+        stages = " ".join(" v" if row[c] else "  " for c in stage_cols)
+        objs = " ".join(" v" if row[c] else "  " for c in obj_cols)
+        lines.append(f"  {topic.name:34s} {stages}  {objs}")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""The course grading scheme — Equations 1-3 of the paper, verbatim.
+
+Dutch 1-10 grades, 5.5 passes.  Equation 1 composes the final grade from
+project, assignments, and exam (+ quiz bonus); Equation 2 composes the
+project grade; Equation 3 converts assignment points to a grade with a
+team-size-dependent divisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PASSING_GRADE",
+    "ASSIGNMENT_POINTS",
+    "final_grade",
+    "project_grade",
+    "assignments_grade",
+    "team_divisor",
+    "is_passing",
+    "StudentOutcome",
+    "simulate_cohort",
+]
+
+#: Minimum passing grade in the Dutch system (§4.4).
+PASSING_GRADE = 5.5
+
+#: Maximum points per assignment: 10, 9, 11, 12 for assignments 1-4 (§4.4).
+ASSIGNMENT_POINTS = (10, 9, 11, 12)
+
+
+def _check_grade(g: float, what: str) -> None:
+    if not 1.0 <= g <= 10.0:
+        raise ValueError(f"{what} must be a Dutch grade in [1, 10], got {g}")
+
+
+def team_divisor(team_size: int) -> int:
+    """Equation 3's divisor N: 32 / 36 / 40 for 1 / 2 / 3-4 students."""
+    if team_size == 1:
+        return 32
+    if team_size == 2:
+        return 36
+    if team_size in (3, 4):
+        return 40
+    raise ValueError("teams have 1-4 students")
+
+
+def assignments_grade(points: tuple[float, float, float, float],
+                      team_size: int) -> float:
+    """Equation 3: G_A = 10 · Σ q_i / N.
+
+    ``points`` are the points earned on assignments 1-4 (capped at 10, 9,
+    11, 12 respectively).  Note the deliberate slack: a full score of 42
+    points against N=40 (teams of 3-4) exceeds a 10 before clamping —
+    that is the paper's design, the clamp happens in Equation 1.
+    """
+    if len(points) != 4:
+        raise ValueError("need exactly four assignment scores")
+    for earned, maximum in zip(points, ASSIGNMENT_POINTS):
+        if not 0 <= earned <= maximum:
+            raise ValueError(f"assignment points {earned} outside [0, {maximum}]")
+    return 10.0 * sum(points) / team_divisor(team_size)
+
+
+def project_grade(project: float, report: float, presentations: float) -> float:
+    """Equation 2: G_P = 0.4·G_P^p + 0.3·G_P^r + 0.3·G_P^t."""
+    _check_grade(project, "project grade")
+    _check_grade(report, "report grade")
+    _check_grade(presentations, "presentation grade")
+    return 0.4 * project + 0.3 * report + 0.3 * presentations
+
+
+def final_grade(project: float, assignments: float, exam: float,
+                quiz_points: float = 0.0) -> float:
+    """Equation 1: G = max(1, min(10, 0.5·G_P + 0.3·G_A + 0.3·(G_E + S_Q/70))).
+
+    The quiz score S_Q acts as a bonus folded into the exam term; the
+    0.5+0.3+0.3 > 1 weighting is intentional slack (§4.4) — students can
+    compensate between theory and practice, clamped at 10.
+    """
+    _check_grade(project, "project grade")
+    # Equation 3 can exceed 10: a solo student with full marks scores
+    # 10*42/32 = 13.125 before Equation 1 clamps the total.
+    if not 0.0 <= assignments <= 10.0 * sum(ASSIGNMENT_POINTS) / team_divisor(1):
+        raise ValueError(f"assignments grade out of range: {assignments}")
+    _check_grade(exam, "exam grade")
+    if quiz_points < 0:
+        raise ValueError("quiz points cannot be negative")
+    raw = 0.5 * project + 0.3 * assignments + 0.3 * (exam + quiz_points / 70.0)
+    return max(1.0, min(10.0, raw))
+
+
+def is_passing(grade: float) -> bool:
+    """A grade of 5.5 or higher passes (§4.4)."""
+    _check_grade(grade, "grade")
+    return grade >= PASSING_GRADE
+
+
+@dataclass(frozen=True)
+class StudentOutcome:
+    """One simulated student's component and final grades."""
+
+    project: float
+    assignments: float
+    exam: float
+    quiz_points: float
+    final: float
+
+    @property
+    def passed(self) -> bool:
+        return self.final >= PASSING_GRADE
+
+
+def simulate_cohort(n_students: int, seed: int = 0,
+                    project_mean: float = 8.0, assignments_mean: float = 8.0,
+                    exam_mean: float = 7.5, spread: float = 1.0,
+                    team_size: int = 2) -> list[StudentOutcome]:
+    """Draw a synthetic cohort matching §5.1's reported averages.
+
+    Component grades are truncated normals around the paper's means
+    (projects 8, assignments ~8, exam ~7.5); assignment points are drawn
+    per assignment so Equation 3's team divisor applies as in reality.
+    Used by the §5.1 benchmark to show the grading scheme reproduces the
+    "passing students average 8" narrative.
+    """
+    if n_students < 1:
+        raise ValueError("need at least one student")
+    if spread <= 0:
+        raise ValueError("spread must be positive")
+    rng = np.random.default_rng(seed)
+
+    def draw(mean: float, lo: float = 1.0, hi: float = 10.0) -> float:
+        return float(np.clip(rng.normal(mean, spread), lo, hi))
+
+    divisor = team_divisor(team_size)
+    total_max = sum(ASSIGNMENT_POINTS)
+    out = []
+    for _ in range(n_students):
+        g_proj = project_grade(draw(project_mean), draw(project_mean - 0.5),
+                               draw(project_mean))
+        # draw the target assignments *grade*, then back out the points via
+        # Equation 3 so the simulated grade distribution matches the paper's
+        target_grade = float(np.clip(rng.normal(assignments_mean, spread),
+                                     1.0, 10.0))
+        total_points = min(target_grade * divisor / 10.0, float(total_max))
+        share = total_points / total_max
+        pts = tuple(float(np.clip(rng.normal(share * p, 0.05 * p), 0, p))
+                    for p in ASSIGNMENT_POINTS)
+        g_asg = assignments_grade(pts, team_size)
+        g_exam = draw(exam_mean)
+        quiz = float(np.clip(rng.normal(40, 15), 0, 70))
+        final = final_grade(g_proj, g_asg, g_exam, quiz)
+        out.append(StudentOutcome(g_proj, g_asg, g_exam, quiz, final))
+    return out

@@ -1,0 +1,195 @@
+"""In-class quizzes — the S_Q term of Equation 1, generated from the models.
+
+§4.4/§5.1: in-class quizzes award up to 70 points that enter the final
+grade as a bonus (Eq. 1's ``S_Q/70`` term), and "clearly help with good
+performance in the exam".  The paper also admits they "take a long time to
+create and grade" — which this module automates: every question is
+generated from the library's own models (machine specs, Amdahl, queueing,
+Roofline), so the correct answer is computed, not transcribed, and grading
+is mechanical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analytical.laws import amdahl_speedup
+from ..machine.presets import generic_server_cpu
+from ..machine.specs import CPUSpec
+from ..queueing.models import mm1
+
+__all__ = ["QuizQuestion", "Quiz", "generate_quiz", "MAX_QUIZ_POINTS"]
+
+#: Equation 1 scales S_Q by 70 — the maximum quiz score of a course run.
+MAX_QUIZ_POINTS = 70.0
+
+
+@dataclass(frozen=True)
+class QuizQuestion:
+    """One numeric quiz question with its model-computed answer."""
+
+    topic: str
+    prompt: str
+    answer: float
+    unit: str
+    points: float
+    tolerance: float = 0.05  # relative
+
+    def __post_init__(self) -> None:
+        if self.points <= 0:
+            raise ValueError("questions must be worth points")
+        if not 0 < self.tolerance < 1:
+            raise ValueError("tolerance must be a fraction in (0, 1)")
+
+    def grade(self, response: float) -> float:
+        """Points awarded: full marks within tolerance, zero outside."""
+        if self.answer == 0:
+            return self.points if abs(response) < 1e-12 else 0.0
+        rel = abs(response - self.answer) / abs(self.answer)
+        return self.points if rel <= self.tolerance else 0.0
+
+
+@dataclass(frozen=True)
+class Quiz:
+    """A generated quiz: questions summing to ``total_points``."""
+
+    questions: tuple[QuizQuestion, ...]
+
+    @property
+    def total_points(self) -> float:
+        return sum(q.points for q in self.questions)
+
+    def grade(self, responses: list[float]) -> float:
+        """Total points for a response vector (one number per question)."""
+        if len(responses) != len(self.questions):
+            raise ValueError(
+                f"expected {len(self.questions)} responses, got {len(responses)}")
+        return sum(q.grade(r) for q, r in zip(self.questions, responses))
+
+    def answer_key(self) -> list[float]:
+        return [q.answer for q in self.questions]
+
+    def render(self) -> str:
+        lines = [f"quiz ({self.total_points:.0f} points):"]
+        for i, q in enumerate(self.questions, 1):
+            lines.append(f"  {i}. [{q.topic}, {q.points:.0f}p] {q.prompt} "
+                         f"[{q.unit}]")
+        return "\n".join(lines)
+
+
+def _q_ridge(cpu: CPUSpec, rng: np.random.Generator) -> QuizQuestion:
+    return QuizQuestion(
+        topic="roofline",
+        prompt=(f"A machine peaks at {cpu.peak_flops() / 1e9:.0f} GFLOP/s with "
+                f"{cpu.stream_bandwidth / 1e9:.0f} GB/s sustainable bandwidth. "
+                f"What is its ridge point?"),
+        answer=cpu.ridge_point(),
+        unit="FLOP/byte",
+        points=10.0,
+    )
+
+
+def _q_attainable(cpu: CPUSpec, rng: np.random.Generator) -> QuizQuestion:
+    intensity = float(rng.choice([0.125, 0.25, 0.5, 1.0]))
+    attainable = min(cpu.peak_flops(), cpu.stream_bandwidth * intensity)
+    return QuizQuestion(
+        topic="roofline",
+        prompt=(f"On the same machine, what performance can a kernel with "
+                f"arithmetic intensity {intensity} FLOP/byte attain "
+                f"(in GFLOP/s)?"),
+        answer=attainable / 1e9,
+        unit="GFLOP/s",
+        points=10.0,
+    )
+
+
+def _q_amdahl(cpu: CPUSpec, rng: np.random.Generator) -> QuizQuestion:
+    serial = float(rng.choice([0.05, 0.1, 0.2]))
+    p = int(rng.choice([8, 16, 32]))
+    return QuizQuestion(
+        topic="scaling-laws",
+        prompt=(f"A code is {serial:.0%} serial. What speedup does Amdahl's "
+                f"law predict on {p} cores?"),
+        answer=amdahl_speedup(serial, p),
+        unit="x",
+        points=10.0,
+    )
+
+
+def _q_amat(cpu: CPUSpec, rng: np.random.Generator) -> QuizQuestion:
+    l1 = cpu.caches[0]
+    miss_ratio = float(rng.choice([0.02, 0.05, 0.1]))
+    mem_cycles = cpu.memory.latency_s * cpu.frequency_hz
+    amat = l1.latency_cycles + miss_ratio * mem_cycles
+    return QuizQuestion(
+        topic="memory-hierarchy",
+        prompt=(f"L1 hits take {l1.latency_cycles:.0f} cycles, misses go to "
+                f"memory ({mem_cycles:.0f} cycles). With a {miss_ratio:.0%} "
+                f"miss ratio, what is the AMAT in cycles?"),
+        answer=amat,
+        unit="cycles",
+        points=10.0,
+    )
+
+
+def _q_mm1(cpu: CPUSpec, rng: np.random.Generator) -> QuizQuestion:
+    rho = float(rng.choice([0.5, 0.8, 0.9]))
+    mu = 100.0
+    metrics = mm1(rho * mu, mu)
+    return QuizQuestion(
+        topic="queueing",
+        prompt=(f"An M/M/1 server handles {mu:.0f} req/s and receives "
+                f"{rho * mu:.0f} req/s. What is the mean number of requests "
+                f"in the system?"),
+        answer=metrics.mean_in_system,
+        unit="requests",
+        points=10.0,
+    )
+
+
+def _q_traffic(cpu: CPUSpec, rng: np.random.Generator) -> QuizQuestion:
+    n = int(rng.choice([1, 2, 4])) * 10 ** 6
+    # triad over n doubles: 24 bytes/element at STREAM accounting
+    seconds = 24.0 * n / cpu.stream_bandwidth
+    return QuizQuestion(
+        topic="bandwidth",
+        prompt=(f"STREAM triad over {n:,} float64 elements moves 24 B/element. "
+                f"At {cpu.stream_bandwidth / 1e9:.0f} GB/s, how many "
+                f"milliseconds does one sweep take?"),
+        answer=seconds * 1e3,
+        unit="ms",
+        points=10.0,
+    )
+
+
+def _q_speedup_measured(cpu: CPUSpec, rng: np.random.Generator) -> QuizQuestion:
+    base = float(rng.choice([8.0, 12.0, 20.0]))
+    factor = float(rng.choice([2.5, 4.0, 5.0]))
+    return QuizQuestion(
+        topic="metrics",
+        prompt=(f"A kernel drops from {base:.0f} s to {base / factor:.1f} s "
+                f"after tiling. What speedup is that?"),
+        answer=factor,
+        unit="x",
+        points=10.0,
+    )
+
+
+_GENERATORS = (_q_ridge, _q_attainable, _q_amdahl, _q_amat, _q_mm1,
+               _q_traffic, _q_speedup_measured)
+
+
+def generate_quiz(cpu: CPUSpec | None = None, seed: int = 0) -> Quiz:
+    """Generate the 70-point quiz for a machine (default teaching machine).
+
+    Deterministic given (cpu, seed); seven questions of ten points each,
+    matching Equation 1's S_Q/70 scaling exactly.
+    """
+    cpu = cpu or generic_server_cpu()
+    rng = np.random.default_rng(seed)
+    questions = tuple(gen(cpu, rng) for gen in _GENERATORS)
+    quiz = Quiz(questions)
+    assert quiz.total_points == MAX_QUIZ_POINTS
+    return quiz

@@ -1,0 +1,201 @@
+"""Analytical cost models of MPI collective algorithms.
+
+Standard material of the distributed-systems lectures: the same collective
+has several algorithms whose costs cross over with message size and process
+count (that crossover is why MPI libraries switch algorithms internally).
+Models follow Thakur, Rabenseifner & Gropp (2005), over the alpha-beta
+network model.
+
+All functions return seconds for ``p`` processes and ``m`` bytes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .network import AlphaBeta
+
+__all__ = [
+    "broadcast_linear",
+    "broadcast_binomial",
+    "broadcast_scatter_allgather",
+    "reduce_binomial",
+    "allreduce_ring",
+    "allreduce_recursive_doubling",
+    "allgather_ring",
+    "allgather_recursive_doubling",
+    "scatter_binomial",
+    "reduce_scatter_ring",
+    "alltoall_linear",
+    "best_algorithm",
+    "COLLECTIVE_ALGORITHMS",
+]
+
+
+def _check(p: int, m: float) -> None:
+    if p < 1:
+        raise ValueError("need at least one process")
+    if m < 0:
+        raise ValueError("message size cannot be negative")
+
+
+def broadcast_linear(net: AlphaBeta, p: int, m: float) -> float:
+    """Root sends to each rank in turn: (p-1)(alpha + m/beta)."""
+    _check(p, m)
+    return (p - 1) * net.time(m)
+
+
+def broadcast_binomial(net: AlphaBeta, p: int, m: float) -> float:
+    """Binomial tree: ceil(log2 p) rounds of full-size messages."""
+    _check(p, m)
+    return math.ceil(math.log2(p)) * net.time(m) if p > 1 else 0.0
+
+
+def broadcast_scatter_allgather(net: AlphaBeta, p: int, m: float) -> float:
+    """Van de Geijn long-message broadcast: scatter + ring allgather.
+
+    ~ log2(p)·alpha + 2·(p-1)/p·m/beta — halves the bandwidth term of the
+    binomial tree for large m.
+    """
+    _check(p, m)
+    if p == 1:
+        return 0.0
+    scatter = math.ceil(math.log2(p)) * net.alpha + (p - 1) / p * m / net.beta
+    allgather = (p - 1) * net.alpha + (p - 1) / p * m / net.beta
+    return scatter + allgather
+
+
+def reduce_binomial(net: AlphaBeta, p: int, m: float,
+                    compute_per_byte: float = 0.0) -> float:
+    """Binomial-tree reduction; optional per-byte combine cost."""
+    _check(p, m)
+    if p == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(p))
+    return rounds * (net.time(m) + compute_per_byte * m)
+
+
+def allreduce_ring(net: AlphaBeta, p: int, m: float,
+                   compute_per_byte: float = 0.0) -> float:
+    """Ring (Rabenseifner) allreduce: reduce-scatter + allgather.
+
+    2(p-1) rounds of m/p-byte messages: 2(p-1)·alpha + 2·(p-1)/p·m/beta —
+    bandwidth-optimal, the large-message winner.
+    """
+    _check(p, m)
+    if p == 1:
+        return 0.0
+    chunk = m / p
+    comm = 2 * (p - 1) * net.time(chunk)
+    compute = (p - 1) * chunk * compute_per_byte
+    return comm + compute
+
+
+def allreduce_recursive_doubling(net: AlphaBeta, p: int, m: float,
+                                 compute_per_byte: float = 0.0) -> float:
+    """Recursive doubling: log2(p) rounds of full-size messages.
+
+    log2(p)·(alpha + m/beta) — latency-optimal, the small-message winner.
+    """
+    _check(p, m)
+    if p == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(p))
+    return rounds * (net.time(m) + compute_per_byte * m)
+
+
+def allgather_ring(net: AlphaBeta, p: int, m: float) -> float:
+    """Ring allgather of m bytes per rank: (p-1)·(alpha + m/beta)."""
+    _check(p, m)
+    return (p - 1) * net.time(m) if p > 1 else 0.0
+
+
+def allgather_recursive_doubling(net: AlphaBeta, p: int, m: float) -> float:
+    """Recursive-doubling allgather: log rounds with doubling payloads."""
+    _check(p, m)
+    if p == 1:
+        return 0.0
+    total = 0.0
+    size = m
+    for _ in range(math.ceil(math.log2(p))):
+        total += net.time(size)
+        size *= 2
+    return total
+
+
+def reduce_scatter_ring(net: AlphaBeta, p: int, m: float,
+                        compute_per_byte: float = 0.0) -> float:
+    """Ring reduce-scatter: (p-1) rounds of m/p-byte messages.
+
+    The first half of the Rabenseifner allreduce; also the collective
+    behind sharded-gradient training steps.
+    """
+    _check(p, m)
+    if p == 1:
+        return 0.0
+    chunk = m / p
+    return (p - 1) * (net.time(chunk) + compute_per_byte * chunk)
+
+
+def alltoall_linear(net: AlphaBeta, p: int, m: float) -> float:
+    """Pairwise-exchange all-to-all: p-1 rounds of m-byte messages.
+
+    ``m`` is the per-pair payload; total bytes sent per rank is (p-1)·m —
+    the quadratic total traffic that makes transposes the scalability
+    cliff of distributed FFTs.
+    """
+    _check(p, m)
+    if p == 1:
+        return 0.0
+    return (p - 1) * net.time(m)
+
+
+def scatter_binomial(net: AlphaBeta, p: int, m: float) -> float:
+    """Binomial scatter of m bytes per rank: each round halves the payload."""
+    _check(p, m)
+    if p == 1:
+        return 0.0
+    total = 0.0
+    remaining = m * (p - 1)
+    for _ in range(math.ceil(math.log2(p))):
+        send = remaining / 2 if remaining > m else remaining
+        total += net.time(send)
+        remaining -= send
+        if remaining <= 0:
+            break
+    return total
+
+
+#: collective -> {algorithm name -> cost function(net, p, m)}
+COLLECTIVE_ALGORITHMS = {
+    "broadcast": {
+        "linear": broadcast_linear,
+        "binomial": broadcast_binomial,
+        "scatter-allgather": broadcast_scatter_allgather,
+    },
+    "allreduce": {
+        "ring": allreduce_ring,
+        "recursive-doubling": allreduce_recursive_doubling,
+    },
+    "allgather": {
+        "ring": allgather_ring,
+        "recursive-doubling": allgather_recursive_doubling,
+    },
+}
+
+
+def best_algorithm(collective: str, net: AlphaBeta, p: int, m: float
+                   ) -> tuple[str, float]:
+    """(winning algorithm, seconds) for one collective at (p, m).
+
+    Reproduces the algorithm-switch decision inside MPI libraries; the
+    bench sweeps (p, m) to chart the crossover.
+    """
+    try:
+        algos = COLLECTIVE_ALGORITHMS[collective]
+    except KeyError:
+        raise KeyError(f"unknown collective {collective!r}; "
+                       f"known: {sorted(COLLECTIVE_ALGORITHMS)}") from None
+    results = {name: fn(net, p, m) for name, fn in algos.items()}
+    winner = min(results, key=lambda k: results[k])
+    return winner, results[winner]

@@ -1,0 +1,301 @@
+"""Discrete-event message-passing simulator (the mini-MPI).
+
+The course demonstrates distributed tools (VAMPIR timelines, Score-P
+profiles) but, as §4.2.1 admits, has no assignment for them.  This module
+*is* that missing substrate: an MPI-like programming interface whose
+execution is simulated over an alpha-beta network, producing per-rank
+timelines (exportable as a VAMPIR-style text gantt via
+:mod:`repro.distributed.tracing`).
+
+Rank programs are Python generators that ``yield`` operations:
+
+>>> def program(rank):
+...     if rank.rank == 0:
+...         yield rank.send(1, 1024)
+...     else:
+...         msg = yield rank.recv(0)
+...     yield rank.compute(1e-3)
+...     yield rank.barrier()
+
+Semantics (documented simplifications):
+
+* ``send`` is blocking-synchronous: the sender is busy ``alpha + m/beta``
+  and the message becomes available to the receiver at the send's end.
+* ``recv`` completes at ``max(recv_call_time, message_arrival_time)``.
+* Collectives synchronize all ranks and charge the analytical cost of the
+  configured algorithm (:mod:`repro.distributed.collectives`) on top of
+  the latest arrival.
+* Deadlocks (every live rank waiting) are detected and reported.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+from .collectives import (
+    allgather_ring,
+    allreduce_ring,
+    broadcast_binomial,
+)
+from .network import AlphaBeta
+
+__all__ = ["DeadlockError", "TraceEvent", "RankHandle", "SimResult", "MPISimulator"]
+
+
+class DeadlockError(RuntimeError):
+    """All live ranks are blocked and no message can unblock them."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One state interval of one rank (the VAMPIR timeline unit)."""
+
+    rank: int
+    start: float
+    end: float
+    kind: str      # compute | send | recv | wait | barrier | allreduce | bcast | allgather
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("event ends before it starts")
+
+
+@dataclass(frozen=True)
+class _Op:
+    kind: str
+    peer: int = -1
+    nbytes: float = 0.0
+    seconds: float = 0.0
+    tag: int = 0
+
+
+class RankHandle:
+    """Per-rank API handed to program generators."""
+
+    def __init__(self, rank: int, size: int):
+        self.rank = rank
+        self.size = size
+
+    def compute(self, seconds: float) -> _Op:
+        """Local computation for ``seconds``."""
+        if seconds < 0:
+            raise ValueError("compute time cannot be negative")
+        return _Op("compute", seconds=seconds)
+
+    def send(self, dst: int, nbytes: float, tag: int = 0) -> _Op:
+        """Blocking send of ``nbytes`` to ``dst``."""
+        self._check_peer(dst)
+        if nbytes < 0:
+            raise ValueError("message size cannot be negative")
+        return _Op("send", peer=dst, nbytes=nbytes, tag=tag)
+
+    def recv(self, src: int, tag: int = 0) -> _Op:
+        """Blocking receive from ``src``; yields the message size."""
+        self._check_peer(src)
+        return _Op("recv", peer=src, tag=tag)
+
+    def barrier(self) -> _Op:
+        return _Op("barrier")
+
+    def allreduce(self, nbytes: float) -> _Op:
+        if nbytes < 0:
+            raise ValueError("message size cannot be negative")
+        return _Op("allreduce", nbytes=nbytes)
+
+    def bcast(self, root: int, nbytes: float) -> _Op:
+        self._check_peer(root)
+        if nbytes < 0:
+            raise ValueError("message size cannot be negative")
+        return _Op("bcast", peer=root, nbytes=nbytes)
+
+    def allgather(self, nbytes: float) -> _Op:
+        if nbytes < 0:
+            raise ValueError("message size cannot be negative")
+        return _Op("allgather", nbytes=nbytes)
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"rank {peer} outside [0, {self.size})")
+        if peer == self.rank and self.size > 1:
+            raise ValueError("self-messaging is not supported")
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    n_ranks: int
+    finish_times: tuple[float, ...]
+    events: tuple[TraceEvent, ...]
+    messages_sent: int
+    bytes_sent: float
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finish_times)
+
+    def rank_events(self, rank: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def time_in(self, kind: str) -> float:
+        """Total seconds across ranks spent in one event kind."""
+        return sum(e.end - e.start for e in self.events if e.kind == kind)
+
+    def communication_fraction(self) -> float:
+        """Share of total rank-seconds spent not computing."""
+        total = sum(e.end - e.start for e in self.events)
+        if total == 0:
+            return 0.0
+        comm = total - self.time_in("compute")
+        return comm / total
+
+
+class MPISimulator:
+    """Run rank programs over an alpha-beta network."""
+
+    def __init__(self, n_ranks: int, network: AlphaBeta):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.network = network
+
+    def run(self, program: Callable[[RankHandle], Generator]) -> SimResult:
+        """Execute ``program(rank_handle)`` on every rank."""
+        net = self.network
+        n = self.n_ranks
+        gens = []
+        for r in range(n):
+            gen = program(RankHandle(r, n))
+            if not hasattr(gen, "send"):
+                raise TypeError("program must be a generator function (use yield)")
+            gens.append(gen)
+        time = [0.0] * n
+        done = [False] * n
+        pending: list[_Op | None] = [None] * n   # op the rank is blocked on
+        send_value: list[object] = [None] * n    # value to send into the generator
+        mailbox: dict[tuple[int, int, int], deque] = {}
+        events: list[TraceEvent] = []
+        collective_waiting: dict[str, dict[int, float]] = {}
+        messages_sent = 0
+        bytes_sent = 0.0
+
+        def advance(r: int) -> None:
+            """Resume rank r's generator until it blocks or finishes."""
+            nonlocal messages_sent, bytes_sent
+            while True:
+                try:
+                    op = gens[r].send(send_value[r])
+                except StopIteration:
+                    done[r] = True
+                    return
+                send_value[r] = None
+                if not isinstance(op, _Op):
+                    raise TypeError(f"rank {r} yielded {op!r}, not an operation")
+                if op.kind == "compute":
+                    start = time[r]
+                    time[r] = start + op.seconds
+                    events.append(TraceEvent(r, start, time[r], "compute"))
+                    continue
+                if op.kind == "send":
+                    start = time[r]
+                    duration = net.time(op.nbytes)
+                    time[r] = start + duration
+                    events.append(TraceEvent(r, start, time[r], "send",
+                                             f"->{op.peer} {op.nbytes:.0f}B"))
+                    key = (r, op.peer, op.tag)
+                    mailbox.setdefault(key, deque()).append((time[r], op.nbytes))
+                    messages_sent += 1
+                    bytes_sent += op.nbytes
+                    continue
+                if op.kind == "recv":
+                    key = (op.peer, r, op.tag)
+                    queue = mailbox.get(key)
+                    if queue:
+                        arrival, nbytes = queue.popleft()
+                        start = time[r]
+                        time[r] = max(start, arrival)
+                        kind = "recv" if arrival <= start else "wait"
+                        events.append(TraceEvent(r, start, time[r], kind,
+                                                 f"<-{op.peer} {nbytes:.0f}B"))
+                        send_value[r] = nbytes
+                        continue
+                    pending[r] = op
+                    return
+                # collectives
+                coll_key = op.kind + (f"@{op.peer}" if op.kind == "bcast" else "")
+                collective_waiting.setdefault(coll_key, {})[r] = time[r]
+                pending[r] = op
+                return
+
+        for r in range(n):
+            advance(r)
+
+        while not all(done):
+            progressed = False
+            # complete collectives where everyone arrived
+            for coll_key, arrivals in list(collective_waiting.items()):
+                if len(arrivals) == n:
+                    start_all = max(arrivals.values())
+                    op0 = next(pending[r] for r in arrivals)
+                    cost = self._collective_cost(op0)
+                    end = start_all + cost
+                    for r, t_in in arrivals.items():
+                        events.append(TraceEvent(r, t_in, end, op0.kind,
+                                                 f"{op0.nbytes:.0f}B" if op0.nbytes else ""))
+                        time[r] = end
+                        pending[r] = None
+                        if op0.kind == "allgather":
+                            send_value[r] = op0.nbytes * n
+                    del collective_waiting[coll_key]
+                    for r in arrivals:
+                        advance(r)
+                    progressed = True
+            # retry blocked receives
+            for r in range(n):
+                if done[r] or pending[r] is None:
+                    continue
+                op = pending[r]
+                if op.kind != "recv":
+                    continue
+                key = (op.peer, r, op.tag)
+                queue = mailbox.get(key)
+                if queue:
+                    arrival, nbytes = queue.popleft()
+                    start = time[r]
+                    time[r] = max(start, arrival)
+                    kind = "recv" if arrival <= start else "wait"
+                    events.append(TraceEvent(r, start, time[r], kind,
+                                             f"<-{op.peer} {nbytes:.0f}B"))
+                    send_value[r] = nbytes
+                    pending[r] = None
+                    advance(r)
+                    progressed = True
+            if not progressed:
+                blocked = [r for r in range(n) if not done[r]]
+                raise DeadlockError(
+                    f"ranks {blocked} are all blocked "
+                    f"(waiting on: {[pending[r].kind if pending[r] else '?' for r in blocked]})")
+
+        events.sort(key=lambda e: (e.start, e.rank))
+        return SimResult(
+            n_ranks=n,
+            finish_times=tuple(time),
+            events=tuple(events),
+            messages_sent=messages_sent,
+            bytes_sent=bytes_sent,
+        )
+
+    def _collective_cost(self, op: _Op) -> float:
+        n = self.n_ranks
+        if op.kind == "barrier":
+            return broadcast_binomial(self.network, n, 0.0) * 2  # up + down tree
+        if op.kind == "allreduce":
+            return allreduce_ring(self.network, n, op.nbytes)
+        if op.kind == "bcast":
+            return broadcast_binomial(self.network, n, op.nbytes)
+        if op.kind == "allgather":
+            return allgather_ring(self.network, n, op.nbytes)
+        raise ValueError(f"unknown collective {op.kind!r}")

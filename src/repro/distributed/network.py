@@ -1,0 +1,124 @@
+"""Network cost models: alpha-beta (Hockney) and LogP/LogGP.
+
+The "scale-out to distributed systems" lectures model message passing with
+the standard point-to-point cost models:
+
+* **alpha-beta (Hockney)**: ``T(m) = alpha + m / beta`` — latency plus the
+  reciprocal bandwidth term; the workhorse for collective cost models.
+* **LogP** (Culler et al.): latency L, overhead o, gap g, processors P —
+  separates CPU overhead from wire latency, models small messages.
+* **LogGP** (Alexandrov et al.): adds the Gap-per-byte G for long messages.
+
+All times in seconds, message sizes in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.specs import ClusterSpec
+
+__all__ = ["AlphaBeta", "LogP", "LogGP", "alpha_beta_from_cluster"]
+
+
+@dataclass(frozen=True)
+class AlphaBeta:
+    """Hockney model: T(m) = alpha + m/beta."""
+
+    alpha: float  # latency, seconds
+    beta: float   # bandwidth, bytes/second
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta <= 0:
+            raise ValueError("need alpha >= 0 and beta > 0")
+
+    def time(self, message_bytes: float) -> float:
+        if message_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        return self.alpha + message_bytes / self.beta
+
+    def half_performance_length(self) -> float:
+        """n_1/2: message size where half the asymptotic bandwidth is reached."""
+        return self.alpha * self.beta
+
+    def effective_bandwidth(self, message_bytes: float) -> float:
+        """Achieved bytes/s for one message of the given size."""
+        if message_bytes <= 0:
+            raise ValueError("message size must be positive")
+        return message_bytes / self.time(message_bytes)
+
+
+@dataclass(frozen=True)
+class LogP:
+    """LogP model parameters.
+
+    Small-message point-to-point time: ``o_send + L + o_recv`` = L + 2o.
+    Sustained small-message rate is limited by the gap g (1 message per g
+    seconds per processor).
+    """
+
+    latency: float     # L
+    overhead: float    # o
+    gap: float         # g
+    processors: int    # P
+
+    def __post_init__(self) -> None:
+        if min(self.latency, self.overhead, self.gap) < 0:
+            raise ValueError("LogP parameters cannot be negative")
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+
+    def point_to_point(self) -> float:
+        """One small-message delivery time."""
+        return self.latency + 2 * self.overhead
+
+    def message_rate(self) -> float:
+        """Sustained messages/second per processor (1/g)."""
+        if self.gap == 0:
+            return float("inf")
+        return 1.0 / self.gap
+
+    def k_messages_pipelined(self, k: int) -> float:
+        """Time for one sender to fire k back-to-back messages."""
+        if k < 1:
+            raise ValueError("need at least one message")
+        return (k - 1) * max(self.gap, self.overhead) + self.point_to_point()
+
+
+@dataclass(frozen=True)
+class LogGP:
+    """LogGP: LogP plus Gap-per-byte for long messages.
+
+    Long-message time: ``o + (m-1)·G + L + o``.
+    """
+
+    latency: float
+    overhead: float
+    gap: float
+    gap_per_byte: float
+    processors: int
+
+    def __post_init__(self) -> None:
+        if min(self.latency, self.overhead, self.gap, self.gap_per_byte) < 0:
+            raise ValueError("LogGP parameters cannot be negative")
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+
+    def time(self, message_bytes: float) -> float:
+        if message_bytes < 0:
+            raise ValueError("message size cannot be negative")
+        if message_bytes == 0:
+            return self.latency + 2 * self.overhead
+        return (self.overhead + (message_bytes - 1) * self.gap_per_byte
+                + self.latency + self.overhead)
+
+    def as_alpha_beta(self) -> AlphaBeta:
+        """Long-message asymptotic alpha-beta equivalent."""
+        return AlphaBeta(alpha=self.latency + 2 * self.overhead,
+                         beta=1.0 / self.gap_per_byte if self.gap_per_byte else float("inf"))
+
+
+def alpha_beta_from_cluster(cluster: ClusterSpec) -> AlphaBeta:
+    """Derive the Hockney parameters from a cluster spec's link numbers."""
+    return AlphaBeta(alpha=cluster.link_latency_s,
+                     beta=cluster.link_bandwidth_bytes_per_s)

@@ -1,0 +1,142 @@
+"""Canonical rank programs for the message-passing simulator.
+
+These are the distributed kernels the scale-out lectures analyze: ping-pong
+(network characterization), halo-exchange stencil, allgather-based
+matrix-vector multiply, and a bulk-synchronous compute+allreduce iteration
+(the skeleton of iterative solvers and of data-parallel training).
+
+Each builder returns a generator function suitable for
+:meth:`repro.distributed.mpi_sim.MPISimulator.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from .mpi_sim import RankHandle
+
+__all__ = [
+    "ping_pong",
+    "halo_exchange_stencil",
+    "distributed_matvec",
+    "bsp_iterations",
+]
+
+
+def ping_pong(n_messages: int, nbytes: float) -> Callable[[RankHandle], Generator]:
+    """Rank 0 <-> rank 1 ping-pong; other ranks idle.
+
+    The standard network microbenchmark: makespan / (2·n) estimates the
+    one-way message time, recovering alpha and beta from two sizes.
+    """
+    if n_messages < 1:
+        raise ValueError("need at least one message")
+
+    def program(rank: RankHandle):
+        if rank.size < 2:
+            raise ValueError("ping-pong needs at least 2 ranks")
+        if rank.rank == 0:
+            for _ in range(n_messages):
+                yield rank.send(1, nbytes)
+                yield rank.recv(1)
+        elif rank.rank == 1:
+            for _ in range(n_messages):
+                yield rank.recv(0)
+                yield rank.send(0, nbytes)
+        # others: nothing
+
+    return program
+
+
+def halo_exchange_stencil(iterations: int, rows_per_rank: int, row_bytes: float,
+                          compute_seconds_per_iter: float
+                          ) -> Callable[[RankHandle], Generator]:
+    """1-D-decomposed 2-D stencil: exchange halos, compute, repeat.
+
+    Each rank owns ``rows_per_rank`` rows; per iteration it swaps one halo
+    row (``row_bytes``) with each neighbour, then computes.  The classic
+    surface-to-volume communication pattern: scaling improves as
+    rows_per_rank grows (weak scaling) and degrades under strong scaling.
+
+    The exchange is ordered even/odd to avoid rendezvous deadlock with
+    blocking sends — itself a lecture point.
+    """
+    if iterations < 1 or rows_per_rank < 1:
+        raise ValueError("iterations and rows_per_rank must be positive")
+    if row_bytes < 0 or compute_seconds_per_iter < 0:
+        raise ValueError("costs cannot be negative")
+
+    def program(rank: RankHandle):
+        up = rank.rank - 1 if rank.rank > 0 else None
+        down = rank.rank + 1 if rank.rank < rank.size - 1 else None
+        even = rank.rank % 2 == 0
+        for _ in range(iterations):
+            if even:
+                if down is not None:
+                    yield rank.send(down, row_bytes)
+                    yield rank.recv(down)
+                if up is not None:
+                    yield rank.send(up, row_bytes)
+                    yield rank.recv(up)
+            else:
+                if up is not None:
+                    yield rank.recv(up)
+                    yield rank.send(up, row_bytes)
+                if down is not None:
+                    yield rank.recv(down)
+                    yield rank.send(down, row_bytes)
+            yield rank.compute(compute_seconds_per_iter)
+
+    return program
+
+
+def distributed_matvec(n: int, iterations: int,
+                       seconds_per_flop: float) -> Callable[[RankHandle], Generator]:
+    """Row-block distributed dense matvec ``y = A·x`` with allgather.
+
+    Each rank owns n/p rows of A and n/p entries of x; every iteration
+    allgathers x (8·n/p bytes contributed per rank) then computes its
+    2·n·(n/p) FLOP block.  Used for strong-scaling studies: compute
+    shrinks as 1/p while the allgather cost grows with p.
+    """
+    if n < 1 or iterations < 1:
+        raise ValueError("n and iterations must be positive")
+    if seconds_per_flop <= 0:
+        raise ValueError("seconds_per_flop must be positive")
+
+    def program(rank: RankHandle):
+        rows = n // rank.size
+        if rows == 0:
+            raise ValueError(f"matrix too small for {rank.size} ranks")
+        local_flops = 2.0 * n * rows
+        for _ in range(iterations):
+            yield rank.allgather(8.0 * rows)   # contribute local x slice
+            yield rank.compute(local_flops * seconds_per_flop)
+
+    return program
+
+
+def bsp_iterations(iterations: int, compute_seconds: float, reduce_bytes: float,
+                   imbalance: float = 0.0) -> Callable[[RankHandle], Generator]:
+    """Bulk-synchronous iteration: compute then allreduce.
+
+    ``imbalance`` skews per-rank compute linearly (rank p-1 does
+    ``(1+imbalance)×`` the work of rank 0) — the knob that makes the
+    timeline show everyone waiting on the slowest rank, the load-imbalance
+    signature in VAMPIR.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be positive")
+    if compute_seconds < 0 or reduce_bytes < 0 or imbalance < 0:
+        raise ValueError("costs cannot be negative")
+
+    def program(rank: RankHandle):
+        if rank.size > 1:
+            skew = 1.0 + imbalance * rank.rank / (rank.size - 1)
+        else:
+            skew = 1.0
+        for _ in range(iterations):
+            yield rank.compute(compute_seconds * skew)
+            yield rank.allreduce(reduce_bytes)
+
+    return program

@@ -1,0 +1,137 @@
+"""Scaling analysis: strong/weak scaling and isoefficiency.
+
+Stage-3 feasibility questions for distributed codes: how far does this
+scale, and how must the problem grow to keep efficiency?  Models compose a
+compute-time function with a communication-cost function over rank count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .network import AlphaBeta
+
+__all__ = [
+    "ScalingModel",
+    "strong_scaling",
+    "weak_scaling",
+    "isoefficiency_size",
+    "matvec_scaling_model",
+    "stencil_scaling_model",
+]
+
+
+@dataclass(frozen=True)
+class ScalingModel:
+    """T(p) decomposed into compute and communication terms.
+
+    ``compute(p)`` and ``communicate(p)`` return seconds for the chosen
+    problem size embedded in the closures.
+    """
+
+    name: str
+    compute: Callable[[int], float]
+    communicate: Callable[[int], float]
+
+    def time(self, p: int) -> float:
+        if p < 1:
+            raise ValueError("need at least one process")
+        return self.compute(p) + self.communicate(p)
+
+    def speedup(self, p: int) -> float:
+        return self.time(1) / self.time(p)
+
+    def efficiency(self, p: int) -> float:
+        return self.speedup(p) / p
+
+
+def strong_scaling(model: ScalingModel, processes: list[int]) -> dict[int, float]:
+    """Speedup at fixed problem size over process counts."""
+    if not processes:
+        raise ValueError("need at least one process count")
+    return {p: model.speedup(p) for p in processes}
+
+
+def weak_scaling(model_for_size: Callable[[int], ScalingModel],
+                 base_size: int, processes: list[int]) -> dict[int, float]:
+    """Weak-scaling efficiency: problem grows proportionally with p.
+
+    ``model_for_size(n)`` builds the model for total size n; efficiency is
+    T(1, base) / T(p, p·base).
+    """
+    if base_size < 1:
+        raise ValueError("base size must be positive")
+    if not processes:
+        raise ValueError("need at least one process count")
+    t1 = model_for_size(base_size).time(1)
+    out = {}
+    for p in processes:
+        if p < 1:
+            raise ValueError("process counts must be positive")
+        tp = model_for_size(base_size * p).time(p)
+        out[p] = t1 / tp
+    return out
+
+
+def isoefficiency_size(model_for_size: Callable[[int], ScalingModel],
+                       p: int, target_efficiency: float = 0.8,
+                       max_size: int = 2**30) -> int:
+    """Smallest problem size keeping efficiency >= target at p processes.
+
+    Doubling search; raises if even ``max_size`` cannot reach the target
+    (communication grows too fast — the isoefficiency verdict).
+    """
+    if not 0 < target_efficiency < 1:
+        raise ValueError("target efficiency must be in (0, 1)")
+    if p < 1:
+        raise ValueError("need at least one process")
+    size = max(1, p)
+    while size <= max_size:
+        if model_for_size(size).efficiency(p) >= target_efficiency:
+            return size
+        size *= 2
+    raise ValueError(
+        f"no size up to {max_size} reaches efficiency {target_efficiency} on {p} ranks")
+
+
+def matvec_scaling_model(n: int, net: AlphaBeta,
+                         seconds_per_flop: float) -> ScalingModel:
+    """Row-block distributed dense matvec: 2n²/p FLOP + allgather of x.
+
+    Communication: ring allgather of n/p elements per rank,
+    (p-1)·(alpha + 8n/(p·beta)).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if seconds_per_flop <= 0:
+        raise ValueError("seconds_per_flop must be positive")
+
+    def compute(p: int) -> float:
+        return 2.0 * n * n * seconds_per_flop / p
+
+    def communicate(p: int) -> float:
+        if p == 1:
+            return 0.0
+        return (p - 1) * net.time(8.0 * n / p)
+
+    return ScalingModel(f"matvec-n{n}", compute, communicate)
+
+
+def stencil_scaling_model(n: int, net: AlphaBeta, seconds_per_point: float,
+                          iterations: int = 1) -> ScalingModel:
+    """1-D-decomposed n×n stencil: n²/p points + 2 halo rows per iteration."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if seconds_per_point <= 0 or iterations < 1:
+        raise ValueError("invalid cost parameters")
+
+    def compute(p: int) -> float:
+        return iterations * n * n * seconds_per_point / p
+
+    def communicate(p: int) -> float:
+        if p == 1:
+            return 0.0
+        return iterations * 2 * net.time(8.0 * n)
+
+    return ScalingModel(f"stencil-{n}x{n}", compute, communicate)

@@ -1,0 +1,144 @@
+"""Network topologies: hop counts and their effect on message cost.
+
+The scale-out lectures relate point-to-point cost to the *topology*
+connecting the nodes: a message crossing h hops pays per-hop latency h
+times, and global traffic patterns stress the bisection.  This module
+models the three canonical topologies (ring, 2-D torus, fat-tree) well
+enough to answer the lecture's questions: hop distance between ranks,
+diameter and average distance, bisection width, and the effective
+alpha-beta parameters for nearest-neighbour vs all-to-all traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .network import AlphaBeta
+
+__all__ = ["Topology", "Ring", "Torus2D", "FatTree", "effective_network"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Base: a topology knows hop distances and its bisection width."""
+
+    nodes: int
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ValueError("a topology needs at least two nodes")
+
+    # subclasses implement:
+    def hops(self, a: int, b: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def bisection_links(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # shared derived quantities ------------------------------------------
+
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.nodes:
+            raise ValueError(f"rank {r} outside [0, {self.nodes})")
+
+    @property
+    def diameter(self) -> int:
+        return max(self.hops(0, b) for b in range(self.nodes))
+
+    @property
+    def average_distance(self) -> float:
+        total = sum(self.hops(0, b) for b in range(1, self.nodes))
+        return total / (self.nodes - 1)
+
+
+@dataclass(frozen=True)
+class Ring(Topology):
+    """A bidirectional ring: cheap, diameter n/2, bisection 2."""
+
+    def hops(self, a: int, b: int) -> int:
+        self._check_rank(a)
+        self._check_rank(b)
+        d = abs(a - b)
+        return min(d, self.nodes - d)
+
+    def bisection_links(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class Torus2D(Topology):
+    """A square bidirectional 2-D torus (nodes must be a perfect square)."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        side = math.isqrt(self.nodes)
+        if side * side != self.nodes:
+            raise ValueError("2-D torus needs a square node count")
+
+    @property
+    def side(self) -> int:
+        return math.isqrt(self.nodes)
+
+    def _coords(self, r: int) -> tuple[int, int]:
+        return divmod(r, self.side)
+
+    def hops(self, a: int, b: int) -> int:
+        self._check_rank(a)
+        self._check_rank(b)
+        (ax, ay), (bx, by) = self._coords(a), self._coords(b)
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        return min(dx, self.side - dx) + min(dy, self.side - dy)
+
+    def bisection_links(self) -> int:
+        return 2 * self.side
+
+
+@dataclass(frozen=True)
+class FatTree(Topology):
+    """An idealized full-bisection fat-tree (nodes a power of two).
+
+    Distance is counted in switch hops: 2·levels-to-common-ancestor; the
+    defining property is full bisection (n/2 links).
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.nodes & (self.nodes - 1):
+            raise ValueError("fat-tree model needs a power-of-two node count")
+
+    def hops(self, a: int, b: int) -> int:
+        self._check_rank(a)
+        self._check_rank(b)
+        if a == b:
+            return 0
+        # levels until the two ranks share a subtree
+        level = (a ^ b).bit_length()
+        return 2 * level
+
+    def bisection_links(self) -> int:
+        return self.nodes // 2
+
+
+def effective_network(topology: Topology, link: AlphaBeta,
+                      pattern: str = "nearest-neighbour") -> AlphaBeta:
+    """Alpha-beta parameters as *seen by an application* on a topology.
+
+    Per-hop latency accumulates: effective alpha = link.alpha × hops for
+    the pattern's typical distance.  Bandwidth: nearest-neighbour traffic
+    uses dedicated links (beta unchanged); uniform all-to-all traffic is
+    limited by the bisection — each of n/2 node pairs crossing it shares
+    ``bisection_links`` links:
+    beta_eff = beta × bisection_links / (nodes/2).
+    """
+    if pattern == "nearest-neighbour":
+        hops = 1
+        beta = link.beta
+    elif pattern == "all-to-all":
+        hops = max(1, round(topology.average_distance))
+        share = topology.bisection_links() / (topology.nodes / 2)
+        beta = link.beta * min(1.0, share)
+    else:
+        raise ValueError(f"unknown traffic pattern {pattern!r}")
+    return AlphaBeta(alpha=link.alpha * hops, beta=beta)

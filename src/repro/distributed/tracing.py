@@ -1,0 +1,86 @@
+"""VAMPIR-style timeline rendering of simulator traces.
+
+The course demonstrates VAMPIR/Score-P timelines for distributed runs
+(§4.2.1); this module renders the :class:`SimResult` event stream of the
+mini-MPI the same way: one text gantt row per rank, one glyph per time
+bucket, plus a per-state time profile (Score-P's summary view).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .mpi_sim import SimResult, TraceEvent
+
+__all__ = ["timeline_text", "state_profile", "profile_text", "GLYPHS"]
+
+#: event kind -> gantt glyph
+GLYPHS = {
+    "compute": "#",
+    "send": ">",
+    "recv": "<",
+    "wait": ".",
+    "barrier": "|",
+    "allreduce": "R",
+    "bcast": "B",
+    "allgather": "G",
+}
+
+
+def timeline_text(result: SimResult, width: int = 80) -> str:
+    """Render the run as a text gantt: one row per rank.
+
+    Each column is a makespan/width bucket; the glyph shows the state the
+    rank spent the most time in during that bucket (idle = space).
+    """
+    if width < 10:
+        raise ValueError("timeline too narrow")
+    span = result.makespan
+    if span <= 0:
+        return "(empty run)"
+    dt = span / width
+    lines = [f"timeline: {span * 1e3:.3f} ms total, {dt * 1e6:.1f} us/column"]
+    for r in range(result.n_ranks):
+        # per-bucket dominant state
+        buckets: list[dict[str, float]] = [defaultdict(float) for _ in range(width)]
+        for e in result.rank_events(r):
+            b0 = min(width - 1, int(e.start / dt))
+            b1 = min(width - 1, int(max(e.start, e.end - 1e-15) / dt))
+            for b in range(b0, b1 + 1):
+                lo = max(e.start, b * dt)
+                hi = min(e.end, (b + 1) * dt)
+                if hi > lo:
+                    buckets[b][e.kind] += hi - lo
+                elif e.start == e.end and b == b0:
+                    buckets[b][e.kind] += 1e-18  # zero-length marker
+        row = []
+        for b in buckets:
+            if not b:
+                row.append(" ")
+            else:
+                kind = max(b, key=lambda k: b[k])
+                row.append(GLYPHS.get(kind, "?"))
+        lines.append(f"rank {r:3d} |{''.join(row)}|")
+    legend = "  ".join(f"{g}={k}" for k, g in GLYPHS.items())
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def state_profile(result: SimResult) -> dict[str, float]:
+    """Total rank-seconds per state (Score-P's flat profile)."""
+    profile: dict[str, float] = defaultdict(float)
+    for e in result.events:
+        profile[e.kind] += e.end - e.start
+    return dict(profile)
+
+
+def profile_text(result: SimResult) -> str:
+    """Readable flat profile with percentages."""
+    profile = state_profile(result)
+    total = sum(profile.values())
+    lines = [f"{'state':12s} {'rank-seconds':>14s} {'share':>8s}"]
+    for kind in sorted(profile, key=lambda k: -profile[k]):
+        share = profile[kind] / total if total else 0.0
+        lines.append(f"{kind:12s} {profile[kind]:14.6f} {share:8.1%}")
+    lines.append(f"{'total':12s} {total:14.6f}")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Performance variability and stragglers — the cloud/continuum extension.
+
+The paper's future-work topic (3) points the course toward cloud computing
+and shared/virtualized systems.  The first-order performance phenomenon
+there is *variability*: per-rank compute times are no longer deterministic
+(noisy neighbours, VM scheduling), and bulk-synchronous codes pay the
+**maximum** of p draws every superstep — straggler amplification.
+
+This module provides:
+
+* noise models (deterministic, uniform, exponential-tailed);
+* the analytic expectation of the per-superstep slowdown
+  E[max of p draws]/mean for those models;
+* a simulated counterpart over the mini-MPI (per-rank jitter injected into
+  a BSP program), so the analytic curves can be validated;
+* the standard mitigation analysis: duplicate (speculative) execution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from .mpi_sim import MPISimulator, RankHandle
+from .network import AlphaBeta
+
+__all__ = [
+    "expected_max_uniform",
+    "expected_max_exponential",
+    "straggler_slowdown",
+    "noisy_bsp_program",
+    "simulate_noisy_bsp",
+    "duplicate_execution_gain",
+]
+
+
+def expected_max_uniform(p: int, spread: float) -> float:
+    """E[max of p] for compute times U(1-spread, 1+spread), mean 1.
+
+    E[max] = 1 + spread·(p-1)/(p+1).
+    """
+    if p < 1:
+        raise ValueError("need at least one rank")
+    if not 0 <= spread < 1:
+        raise ValueError("spread must be in [0, 1)")
+    return 1.0 + spread * (p - 1) / (p + 1)
+
+
+def expected_max_exponential(p: int, noise_fraction: float) -> float:
+    """E[max of p] for times 1-f + f·Exp(1) (mean 1, exponential tail).
+
+    E[max of p exponentials] = H_p (harmonic number), so
+    E[max] = (1-f) + f·H_p — the tail makes stragglers grow *with log p*,
+    the qualitative difference from bounded noise.
+    """
+    if p < 1:
+        raise ValueError("need at least one rank")
+    if not 0 <= noise_fraction <= 1:
+        raise ValueError("noise fraction must be in [0, 1]")
+    harmonic = sum(1.0 / k for k in range(1, p + 1))
+    return (1.0 - noise_fraction) + noise_fraction * harmonic
+
+
+def straggler_slowdown(p: int, model: str = "uniform", level: float = 0.2) -> float:
+    """BSP superstep slowdown E[max]/E[X] under a noise model."""
+    if model == "uniform":
+        return expected_max_uniform(p, level)
+    if model == "exponential":
+        return expected_max_exponential(p, level)
+    raise ValueError(f"unknown noise model {model!r}")
+
+
+def noisy_bsp_program(iterations: int, compute_seconds: float,
+                      reduce_bytes: float, noise: Callable[[int, int], float]
+                      ) -> Callable[[RankHandle], object]:
+    """A BSP program whose per-rank compute is scaled by ``noise(rank, it)``.
+
+    ``noise`` returns a multiplicative factor ≥ 0 for (rank, iteration) —
+    deterministic given its arguments, so simulations are reproducible.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be positive")
+    if compute_seconds < 0 or reduce_bytes < 0:
+        raise ValueError("costs cannot be negative")
+
+    def program(rank: RankHandle):
+        for it in range(iterations):
+            factor = noise(rank.rank, it)
+            if factor < 0:
+                raise ValueError("noise factors cannot be negative")
+            yield rank.compute(compute_seconds * factor)
+            yield rank.allreduce(reduce_bytes)
+
+    return program
+
+
+def simulate_noisy_bsp(p: int, net: AlphaBeta, iterations: int = 20,
+                       compute_seconds: float = 1e-3, reduce_bytes: float = 1024,
+                       model: str = "uniform", level: float = 0.2,
+                       seed: int = 0) -> float:
+    """Measured BSP slowdown vs the noise-free run, via the mini-MPI.
+
+    Returns makespan(noisy)/makespan(clean); compare against
+    :func:`straggler_slowdown` (the agreement degrades once communication
+    is non-negligible — itself a teachable effect).
+    """
+    rng = np.random.default_rng(seed)
+    if model == "uniform":
+        draws = 1.0 + level * (2 * rng.random((p, iterations)) - 1.0)
+    elif model == "exponential":
+        draws = (1.0 - level) + level * rng.exponential(1.0, (p, iterations))
+    else:
+        raise ValueError(f"unknown noise model {model!r}")
+
+    sim = MPISimulator(p, net)
+    noisy = sim.run(noisy_bsp_program(iterations, compute_seconds, reduce_bytes,
+                                      lambda r, it: float(draws[r, it])))
+    clean = sim.run(noisy_bsp_program(iterations, compute_seconds, reduce_bytes,
+                                      lambda r, it: 1.0))
+    return noisy.makespan / clean.makespan
+
+
+def duplicate_execution_gain(p: int, noise_fraction: float,
+                             replicas: int = 2) -> float:
+    """Straggler mitigation by speculative duplicates (exponential tail).
+
+    Running ``replicas`` copies of each rank's work and taking the first
+    to finish replaces Exp(1) with Exp(replicas) (the min): the expected
+    superstep max becomes (1-f) + f·H_p/replicas.  Returns the predicted
+    speedup over the unreplicated noisy run — the cloud-era trade of
+    resources for tail latency.
+    """
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    base = expected_max_exponential(p, noise_fraction)
+    harmonic = sum(1.0 / k for k in range(1, p + 1))
+    replicated = (1.0 - noise_fraction) + noise_fraction * harmonic / replicas
+    return base / replicated

@@ -1,0 +1,17 @@
+"""Energy-efficiency metrics and models (the paper's future-work topic 2)."""
+
+from .model import (
+    EnergyReport,
+    PowerModel,
+    dvfs_energy_curve,
+    energy_of_run,
+    energy_optimal_cores,
+)
+
+__all__ = [
+    "PowerModel",
+    "EnergyReport",
+    "energy_of_run",
+    "dvfs_energy_curve",
+    "energy_optimal_cores",
+]

@@ -1,0 +1,175 @@
+"""Energy and power modeling — the paper's future-work topic (2).
+
+The conclusion lists "including additional metrics — such as
+energy-efficiency — more prominently" as a planned course extension.  This
+module implements that extension over the existing machine models:
+
+* a CPU **power model** with static (leakage + uncore) and dynamic
+  (per-active-core, utilization-scaled) components, plus a DRAM term
+  driven by bandwidth — the structure RAPL measurements decompose into;
+* **energy metrics**: joules, energy-per-FLOP, EDP/ED²P;
+* the two classic energy analyses taught with it: **race-to-idle vs.
+  pace-to-idle** under DVFS, and the **energy-optimal core count** for a
+  saturating (memory-bound) kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.specs import CPUSpec
+
+__all__ = [
+    "PowerModel",
+    "EnergyReport",
+    "energy_of_run",
+    "dvfs_energy_curve",
+    "energy_optimal_cores",
+]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Node power decomposition.
+
+    Attributes
+    ----------
+    static_watts:
+        Idle/leakage + uncore power, paid whenever the node is on.
+    core_watts:
+        Dynamic power of one fully-busy core at nominal frequency.
+    dram_watts_per_gbs:
+        DRAM power per GB/s of actual traffic.
+    frequency_exponent:
+        Dynamic power scales as (f/f_nom)^exponent (≈3 with voltage
+        scaling: P ~ C·V²·f and V ~ f).
+    """
+
+    static_watts: float = 40.0
+    core_watts: float = 6.0
+    dram_watts_per_gbs: float = 0.4
+    frequency_exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        if min(self.static_watts, self.core_watts, self.dram_watts_per_gbs) < 0:
+            raise ValueError("power terms cannot be negative")
+        if not 1.0 <= self.frequency_exponent <= 4.0:
+            raise ValueError("frequency exponent outside the plausible 1..4")
+
+    def power(self, active_cores: int, utilization: float = 1.0,
+              dram_gbs: float = 0.0, frequency_scale: float = 1.0) -> float:
+        """Instantaneous watts for a machine state."""
+        if active_cores < 0:
+            raise ValueError("active cores cannot be negative")
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        if dram_gbs < 0:
+            raise ValueError("DRAM bandwidth cannot be negative")
+        if frequency_scale <= 0:
+            raise ValueError("frequency scale must be positive")
+        dynamic = (self.core_watts * active_cores * utilization
+                   * frequency_scale ** self.frequency_exponent)
+        return self.static_watts + dynamic + self.dram_watts_per_gbs * dram_gbs
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one run."""
+
+    seconds: float
+    joules: float
+    flops: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0 or self.joules < 0 or self.flops < 0:
+            raise ValueError("invalid energy report values")
+
+    @property
+    def watts(self) -> float:
+        return self.joules / self.seconds
+
+    @property
+    def joules_per_flop(self) -> float:
+        if self.flops <= 0:
+            raise ValueError("no FLOP work recorded")
+        return self.joules / self.flops
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """The Green500 metric."""
+        if self.flops <= 0:
+            raise ValueError("no FLOP work recorded")
+        return (self.flops / self.seconds) / self.watts / 1e9
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J·s)."""
+        return self.joules * self.seconds
+
+    @property
+    def ed2p(self) -> float:
+        """Energy-delay² product (J·s²) — weights performance harder."""
+        return self.joules * self.seconds ** 2
+
+
+def energy_of_run(power_model: PowerModel, seconds: float, active_cores: int,
+                  flops: float = 0.0, dram_bytes: float = 0.0,
+                  utilization: float = 1.0,
+                  frequency_scale: float = 1.0) -> EnergyReport:
+    """Energy of one kernel execution under the power model."""
+    if seconds <= 0:
+        raise ValueError("run time must be positive")
+    dram_gbs = dram_bytes / seconds / 1e9
+    watts = power_model.power(active_cores, utilization, dram_gbs,
+                              frequency_scale)
+    return EnergyReport(seconds=seconds, joules=watts * seconds, flops=flops)
+
+
+def dvfs_energy_curve(power_model: PowerModel, base_seconds: float,
+                      active_cores: int, compute_bound_fraction: float = 1.0,
+                      scales: tuple[float, ...] = (0.6, 0.8, 1.0, 1.2),
+                      flops: float = 0.0) -> dict[float, EnergyReport]:
+    """Energy vs frequency scale: the race-to-idle analysis.
+
+    A compute-bound kernel's runtime scales as 1/f; a memory-bound one's
+    barely moves.  ``compute_bound_fraction`` interpolates:
+    T(s) = T·(fraction/s + (1-fraction)).  The curve shows the taught
+    result: for compute-bound code with high static power, racing to idle
+    (high f) often wins; for memory-bound code, lower f nearly always
+    saves energy.
+    """
+    if base_seconds <= 0:
+        raise ValueError("base time must be positive")
+    if not 0.0 <= compute_bound_fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    out = {}
+    for s in scales:
+        if s <= 0:
+            raise ValueError("frequency scales must be positive")
+        seconds = base_seconds * (compute_bound_fraction / s
+                                  + (1 - compute_bound_fraction))
+        out[s] = energy_of_run(power_model, seconds, active_cores,
+                               flops=flops, frequency_scale=s)
+    return out
+
+
+def energy_optimal_cores(power_model: PowerModel, cpu: CPUSpec,
+                         cycles_per_line_single: float, mem_cycles_per_line: float,
+                         lines: float) -> tuple[int, dict[int, EnergyReport]]:
+    """Energy-optimal core count for an ECM-style saturating kernel.
+
+    Runtime follows the ECM multicore model (linear until the memory
+    floor); power grows with active cores.  Past saturation, extra cores
+    burn power without adding speed — the energy optimum sits at (or just
+    below) n_sat.  Returns (optimal cores, per-core-count reports).
+    """
+    if cycles_per_line_single <= 0 or mem_cycles_per_line < 0 or lines <= 0:
+        raise ValueError("invalid kernel parameters")
+    reports = {}
+    freq = cpu.frequency_hz
+    for n in range(1, cpu.cores + 1):
+        per_line = max(cycles_per_line_single / n, mem_cycles_per_line)
+        seconds = per_line * lines / freq
+        reports[n] = energy_of_run(power_model, seconds, active_cores=n)
+    best = min(reports, key=lambda n: reports[n].joules)
+    return best, reports

@@ -1,0 +1,167 @@
+"""Assignment and project workloads, each in several optimization variants.
+
+Importing this package populates :data:`repro.kernels.REGISTRY` with every
+variant; examples and benchmarks discover kernels through it.
+"""
+
+from .base import REGISTRY, KernelRegistry, KernelVariant, register
+from .fft import (
+    bit_reverse_permutation,
+    dft_direct,
+    dft_work,
+    fft_iterative,
+    fft_numpy,
+    fft_recursive,
+    fft_vectorized,
+    fft_work,
+    random_signal,
+)
+from .gameoflife import (
+    glider_board,
+    life_step_convolve,
+    life_step_numpy,
+    life_step_scalar,
+    life_work,
+    random_board,
+    run_life,
+)
+from .histogram import (
+    histogram_numpy,
+    histogram_privatized,
+    histogram_scalar,
+    histogram_sorted,
+    histogram_work,
+    random_keys,
+)
+from .matrixmarket import (
+    dumps as matrix_market_dumps,
+    loads as matrix_market_loads,
+    read_matrix_market,
+    write_matrix_market,
+)
+from .matmul import (
+    LOOP_ORDERS,
+    matmul_blocked_numpy,
+    matmul_loop,
+    matmul_numpy,
+    matmul_parallel,
+    matmul_tiled,
+    matmul_traffic_lower_bound,
+    matmul_work,
+    random_matrices,
+)
+from .spmv import (
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    banded_sparse,
+    matrix_features,
+    random_sparse,
+    spmv_coo_numpy,
+    spmv_coo_scalar,
+    spmv_csc_numpy,
+    spmv_csc_scalar,
+    spmv_csr_numpy,
+    spmv_csr_scalar,
+    spmv_work,
+)
+from .stencil import (
+    init_grid,
+    jacobi_solve,
+    jacobi_step_blocked,
+    jacobi_step_inplace,
+    jacobi_step_numpy,
+    jacobi_step_scalar,
+    stencil_work,
+)
+from .stream import (
+    STREAM_KERNELS,
+    add_work,
+    copy_work,
+    scale_work,
+    stream_add,
+    stream_arrays,
+    stream_copy,
+    stream_scale,
+    stream_triad,
+    triad_work,
+)
+
+__all__ = [
+    "REGISTRY",
+    "KernelRegistry",
+    "KernelVariant",
+    "register",
+    # matmul
+    "LOOP_ORDERS",
+    "matmul_loop",
+    "matmul_tiled",
+    "matmul_numpy",
+    "matmul_parallel",
+    "matmul_blocked_numpy",
+    "matmul_work",
+    "matmul_traffic_lower_bound",
+    "random_matrices",
+    # histogram
+    "histogram_scalar",
+    "histogram_sorted",
+    "histogram_numpy",
+    "histogram_privatized",
+    "histogram_work",
+    "random_keys",
+    # spmv
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "random_sparse",
+    "banded_sparse",
+    "matrix_features",
+    "spmv_work",
+    "spmv_csr_scalar",
+    "spmv_csr_numpy",
+    "spmv_csc_scalar",
+    "spmv_csc_numpy",
+    "spmv_coo_scalar",
+    "spmv_coo_numpy",
+    "read_matrix_market",
+    "write_matrix_market",
+    "matrix_market_loads",
+    "matrix_market_dumps",
+    # stream
+    "STREAM_KERNELS",
+    "stream_arrays",
+    "stream_copy",
+    "stream_scale",
+    "stream_add",
+    "stream_triad",
+    "copy_work",
+    "scale_work",
+    "add_work",
+    "triad_work",
+    # stencil
+    "init_grid",
+    "jacobi_solve",
+    "jacobi_step_scalar",
+    "jacobi_step_numpy",
+    "jacobi_step_inplace",
+    "jacobi_step_blocked",
+    "stencil_work",
+    # game of life
+    "random_board",
+    "glider_board",
+    "life_step_scalar",
+    "life_step_numpy",
+    "life_step_convolve",
+    "life_work",
+    "run_life",
+    # fft
+    "dft_direct",
+    "fft_recursive",
+    "fft_iterative",
+    "fft_vectorized",
+    "fft_numpy",
+    "fft_work",
+    "dft_work",
+    "bit_reverse_permutation",
+    "random_signal",
+]

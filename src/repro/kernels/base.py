@@ -1,0 +1,123 @@
+"""Common kernel infrastructure.
+
+Every assignment workload (matmul, histogram, SpMV, STREAM, stencil, Game of
+Life, FFT) is packaged as a set of *variants* of the same computation —
+exactly how the assignments hand students "a basic code" plus suggested
+optimizations.  A variant couples:
+
+* a callable that performs the computation,
+* a :class:`~repro.timing.metrics.WorkCount` model of its algorithmic work,
+* metadata (optimization technique, expected bound) used by reports.
+
+The registry lets the toolbox, examples, and benchmarks discover variants by
+kernel/variant name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..timing.metrics import WorkCount
+
+__all__ = ["KernelVariant", "KernelRegistry", "REGISTRY", "register"]
+
+
+@dataclass(frozen=True)
+class KernelVariant:
+    """One implementation variant of a kernel.
+
+    Attributes
+    ----------
+    kernel:
+        Kernel family name, e.g. ``"matmul"``.
+    name:
+        Variant name, e.g. ``"tiled"``.
+    fn:
+        The implementation.  Signatures vary by family; families document
+        theirs.
+    work:
+        Callable mapping the same problem-size arguments to a
+        :class:`WorkCount`.
+    description:
+        One-line description used by generated reports.
+    technique:
+        Optimization technique demonstrated (``"loop-reordering"``,
+        ``"tiling"``, ``"vectorization"``, ...) or ``"baseline"``.
+    """
+
+    kernel: str
+    name: str
+    fn: Callable
+    work: Callable[..., WorkCount]
+    description: str = ""
+    technique: str = "baseline"
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.kernel}.{self.name}"
+
+
+class KernelRegistry:
+    """Name-indexed store of :class:`KernelVariant` objects."""
+
+    def __init__(self) -> None:
+        self._variants: dict[str, KernelVariant] = {}
+
+    def add(self, variant: KernelVariant) -> KernelVariant:
+        key = variant.qualified_name
+        if key in self._variants:
+            raise ValueError(f"variant {key!r} already registered")
+        self._variants[key] = variant
+        return variant
+
+    def get(self, kernel: str, name: str) -> KernelVariant:
+        key = f"{kernel}.{name}"
+        try:
+            return self._variants[key]
+        except KeyError:
+            raise KeyError(f"no variant {key!r}; known: {sorted(self._variants)}") from None
+
+    def variants_of(self, kernel: str) -> list[KernelVariant]:
+        out = [v for v in self._variants.values() if v.kernel == kernel]
+        if not out:
+            raise KeyError(f"no kernel family {kernel!r}")
+        return out
+
+    def kernels(self) -> list[str]:
+        return sorted({v.kernel for v in self._variants.values()})
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+    def __contains__(self, qualified_name: str) -> bool:
+        return qualified_name in self._variants
+
+
+#: Global registry populated at import time by the kernel modules.
+REGISTRY = KernelRegistry()
+
+
+def register(
+    kernel: str,
+    name: str,
+    work: Callable[..., WorkCount],
+    description: str = "",
+    technique: str = "baseline",
+):
+    """Decorator registering a function as a kernel variant."""
+
+    def deco(fn: Callable) -> Callable:
+        REGISTRY.add(
+            KernelVariant(
+                kernel=kernel,
+                name=name,
+                fn=fn,
+                work=work,
+                description=description,
+                technique=technique,
+            )
+        )
+        return fn
+
+    return deco

@@ -1,0 +1,167 @@
+"""Radix-2 FFT — one of the paper's "exotic" student projects (§5.1).
+
+FFT optimization projects contrast an O(n²) DFT with O(n log n) FFTs and
+then chase constant factors (recursion → iteration → vectorized butterflies
+→ tuned library).  We implement that exact ladder:
+
+* ``dft`` — direct O(n²) summation (the naive reference);
+* ``recursive`` — textbook Cooley-Tukey recursion;
+* ``iterative`` — bit-reversal + iterative butterflies (no recursion
+  overhead, sequential access);
+* ``vectorized`` — iterative schedule with whole-stage NumPy butterflies;
+* ``numpy`` — ``np.fft.fft``, the tuned library endpoint.
+
+All variants compute the unnormalized forward DFT and are cross-checked
+against NumPy in the tests.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+from ..timing.metrics import WorkCount
+from .base import register
+
+__all__ = [
+    "fft_work",
+    "dft_work",
+    "dft_direct",
+    "fft_recursive",
+    "fft_iterative",
+    "fft_vectorized",
+    "fft_numpy",
+    "bit_reverse_permutation",
+    "random_signal",
+]
+
+_B = 16  # complex128
+
+
+def dft_work(n: int) -> WorkCount:
+    """Work of the direct O(n²) DFT: ~8 real FLOP per complex MAC."""
+    _check_pow2(n, allow_any=True)
+    return WorkCount(flops=8.0 * n * n, loads_bytes=_B * n, stores_bytes=_B * n,
+                     int_ops=float(n * n))
+
+
+def fft_work(n: int) -> WorkCount:
+    """Work of a radix-2 FFT: ~5 n log2 n real FLOP (standard accounting)."""
+    _check_pow2(n)
+    stages = int(np.log2(n))
+    return WorkCount(flops=5.0 * n * stages, loads_bytes=_B * n, stores_bytes=_B * n,
+                     int_ops=float(n * stages))
+
+
+def _check_pow2(n: int, allow_any: bool = False) -> None:
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not allow_any and n & (n - 1):
+        raise ValueError(f"radix-2 FFT needs a power-of-two length, got {n}")
+
+
+def random_signal(n: int, seed: int = 0) -> np.ndarray:
+    """Complex test signal of length ``n``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+@register("fft", "dft", dft_work, "direct O(n^2) DFT — the naive reference")
+def dft_direct(x: np.ndarray) -> np.ndarray:
+    """Direct DFT by summation (vectorized inner product per output)."""
+    x = np.asarray(x, dtype=complex)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("signal must be a non-empty 1-D array")
+    n = x.size
+    k = np.arange(n)
+    out = np.empty(n, dtype=complex)
+    for i in range(n):
+        out[i] = np.sum(x * np.exp(-2j * np.pi * i * k / n))
+    return out
+
+
+@register("fft", "recursive", fft_work, "textbook recursive Cooley-Tukey",
+          technique="algorithmic")
+def fft_recursive(x: np.ndarray) -> np.ndarray:
+    """Recursive radix-2 Cooley-Tukey FFT."""
+    x = np.asarray(x, dtype=complex)
+    _check_pow2(x.size)
+
+    def rec(v: np.ndarray) -> np.ndarray:
+        n = v.size
+        if n == 1:
+            return v.copy()
+        even = rec(v[0::2])
+        odd = rec(v[1::2])
+        tw = np.exp(-2j * np.pi * np.arange(n // 2) / n) * odd
+        return np.concatenate([even + tw, even - tw])
+
+    return rec(x)
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index permutation reversing log2(n)-bit indices."""
+    _check_pow2(n)
+    bits = int(np.log2(n))
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    return rev
+
+
+@register("fft", "iterative", fft_work,
+          "bit-reversal + iterative butterflies (scalar)", technique="loop-restructuring")
+def fft_iterative(x: np.ndarray) -> np.ndarray:
+    """Iterative in-place radix-2 FFT with scalar butterflies."""
+    x = np.asarray(x, dtype=complex)
+    n = x.size
+    _check_pow2(n)
+    out = x[bit_reverse_permutation(n)].copy()
+    size = 2
+    while size <= n:
+        half = size // 2
+        wstep = cmath.exp(-2j * cmath.pi / size)
+        for start in range(0, n, size):
+            w = 1.0 + 0j
+            for j in range(half):
+                lo = out[start + j]
+                hi = out[start + j + half] * w
+                out[start + j] = lo + hi
+                out[start + j + half] = lo - hi
+                w *= wstep
+        size *= 2
+    return out
+
+
+@register("fft", "vectorized", fft_work,
+          "iterative schedule with whole-stage numpy butterflies",
+          technique="vectorization")
+def fft_vectorized(x: np.ndarray) -> np.ndarray:
+    """Iterative FFT performing each stage as array-wide operations."""
+    x = np.asarray(x, dtype=complex)
+    n = x.size
+    _check_pow2(n)
+    out = x[bit_reverse_permutation(n)].copy()
+    size = 2
+    while size <= n:
+        half = size // 2
+        tw = np.exp(-2j * np.pi * np.arange(half) / size)
+        blocks = out.reshape(n // size, size)
+        lo = blocks[:, :half]
+        hi = blocks[:, half:] * tw
+        blocks[:, :half], blocks[:, half:] = lo + hi, lo - hi
+        size *= 2
+    return out
+
+
+@register("fft", "numpy", fft_work, "np.fft.fft — the tuned library endpoint",
+          technique="library")
+def fft_numpy(x: np.ndarray) -> np.ndarray:
+    """NumPy's pocketfft-backed FFT."""
+    x = np.asarray(x, dtype=complex)
+    _check_pow2(x.size)
+    return np.fft.fft(x)

@@ -1,0 +1,139 @@
+"""Histogram — assignment 2's data-dependent kernel.
+
+Assignment 2 adds "basic histogram calculation, aiming to add data-dependent
+behavior as an additional modeling challenge": the memory access pattern of
+the bin-increment depends on the *values* of the input, so a purely static
+analytical model cannot predict cache behaviour without a distribution
+assumption.  Variants:
+
+* ``scalar`` — the textbook loop;
+* ``sorted_input`` — same loop over pre-sorted data (perfect bin locality;
+  isolates the data-dependence effect);
+* ``numpy`` — ``np.bincount``-based vectorized version;
+* ``privatized`` — per-chunk private histograms merged at the end, the
+  standard parallelization that trades memory for contention (here it also
+  demonstrates the reduction pattern sequentially).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timing.metrics import WorkCount
+from .base import register
+
+__all__ = [
+    "histogram_work",
+    "histogram_scalar",
+    "histogram_sorted",
+    "histogram_numpy",
+    "histogram_privatized",
+    "random_keys",
+]
+
+_DTYPE_BYTES = 8  # int64 keys and counts
+
+
+def histogram_work(n: int, bins: int) -> WorkCount:
+    """Work of histogramming ``n`` keys into ``bins`` buckets.
+
+    No floating-point work; each element costs one key load, one count
+    load-modify-store, and index arithmetic.  Algorithmic traffic charges
+    the input once and the histogram once.
+    """
+    if n < 1 or bins < 1:
+        raise ValueError("n and bins must be positive")
+    loads = _DTYPE_BYTES * (n + bins)
+    stores = _DTYPE_BYTES * bins
+    return WorkCount(flops=0.0, loads_bytes=loads, stores_bytes=stores,
+                     int_ops=float(2 * n))
+
+
+def random_keys(n: int, bins: int, *, seed: int = 0,
+                distribution: str = "uniform", alpha: float = 1.2) -> np.ndarray:
+    """Generate ``n`` integer keys in ``[0, bins)``.
+
+    ``distribution`` selects the data-dependence regime the assignment
+    studies: ``uniform`` scatters increments over all bins, ``zipf``
+    concentrates them in a few hot bins (cache-friendly, branch-predictable),
+    ``sorted`` is uniform but ordered (perfect locality).
+    """
+    if n < 1 or bins < 1:
+        raise ValueError("n and bins must be positive")
+    rng = np.random.default_rng(seed)
+    if distribution == "uniform":
+        keys = rng.integers(0, bins, size=n)
+    elif distribution == "zipf":
+        if alpha <= 1.0:
+            raise ValueError("zipf alpha must exceed 1")
+        keys = (rng.zipf(alpha, size=n) - 1) % bins
+    elif distribution == "sorted":
+        keys = np.sort(rng.integers(0, bins, size=n))
+    else:
+        raise ValueError(f"unknown distribution {distribution!r}")
+    return keys.astype(np.int64)
+
+
+def _check_keys(keys: np.ndarray, bins: int) -> None:
+    if keys.ndim != 1 or keys.size == 0:
+        raise ValueError("keys must be a non-empty 1-D array")
+    if bins < 1:
+        raise ValueError("bins must be positive")
+
+
+@register("histogram", "scalar", histogram_work, "textbook scalar histogram loop")
+def histogram_scalar(keys: np.ndarray, bins: int) -> np.ndarray:
+    """Count occurrences with an explicit loop; returns int64 counts."""
+    _check_keys(keys, bins)
+    counts = np.zeros(bins, dtype=np.int64)
+    for key in keys:
+        k = int(key)
+        if not 0 <= k < bins:
+            raise ValueError(f"key {k} outside [0, {bins})")
+        counts[k] += 1
+    return counts
+
+
+@register("histogram", "sorted_input", histogram_work,
+          "scalar loop over sorted keys — removes data-dependent locality",
+          technique="data-layout")
+def histogram_sorted(keys: np.ndarray, bins: int) -> np.ndarray:
+    """Sort keys first, then run the scalar loop.
+
+    The extra sort is *work-inefficient* but gives the increment stream
+    perfect spatial locality, demonstrating that the kernel's cost is
+    dominated by the access pattern, not the arithmetic.
+    """
+    _check_keys(keys, bins)
+    return histogram_scalar(np.sort(keys), bins)
+
+
+@register("histogram", "numpy", histogram_work,
+          "np.bincount — the vectorized library endpoint", technique="vectorization")
+def histogram_numpy(keys: np.ndarray, bins: int) -> np.ndarray:
+    """Vectorized histogram via ``np.bincount``."""
+    _check_keys(keys, bins)
+    if keys.min() < 0 or keys.max() >= bins:
+        raise ValueError("keys outside [0, bins)")
+    return np.bincount(keys, minlength=bins).astype(np.int64)
+
+
+@register("histogram", "privatized", histogram_work,
+          "chunk-private histograms merged at the end (parallel reduction shape)",
+          technique="privatization")
+def histogram_privatized(keys: np.ndarray, bins: int, chunks: int = 4) -> np.ndarray:
+    """Privatized histogram: one partial histogram per chunk, then a merge.
+
+    This is the sequential skeleton of the OpenMP reduction version; the
+    parallel simulator replays the same decomposition with timing.
+    """
+    _check_keys(keys, bins)
+    if chunks < 1:
+        raise ValueError("chunks must be positive")
+    partials = np.zeros((chunks, bins), dtype=np.int64)
+    for c, chunk in enumerate(np.array_split(keys, chunks)):
+        if chunk.size:
+            if chunk.min() < 0 or chunk.max() >= bins:
+                raise ValueError("keys outside [0, bins)")
+            partials[c] = np.bincount(chunk, minlength=bins)
+    return partials.sum(axis=0)

@@ -1,0 +1,245 @@
+"""Dense matrix multiplication — the workhorse of assignments 1 and 2.
+
+Assignment 1 hands students "a basic matrix multiplication code" and suggests
+*loop reordering* and *loop tiling*; the point is different versions of the
+same computation with different performance envelopes, all capturable by the
+Roofline model.  We provide:
+
+* all six scalar loop orders (``ijk`` … ``kji``) in pure Python — these have
+  identical FLOP counts but radically different memory-access locality,
+  which the cache simulator exposes;
+* a tiled/blocked variant;
+* NumPy variants standing in for the vectorized/optimized C versions
+  (``numpy_dot`` plays the role of the tuned BLAS endpoint students compare
+  against).
+
+All variants compute ``C += A @ B`` on C-contiguous float64 arrays and are
+cross-checked against each other in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timing.metrics import WorkCount
+from .base import register
+
+__all__ = [
+    "LOOP_ORDERS",
+    "matmul_loop",
+    "matmul_ijk",
+    "matmul_ikj",
+    "matmul_jik",
+    "matmul_jki",
+    "matmul_kij",
+    "matmul_kji",
+    "matmul_tiled",
+    "matmul_numpy",
+    "matmul_parallel",
+    "matmul_blocked_numpy",
+    "matmul_work",
+    "matmul_traffic_lower_bound",
+    "random_matrices",
+]
+
+LOOP_ORDERS = ("ijk", "ikj", "jik", "jki", "kij", "kji")
+
+_DTYPE_BYTES = 8  # float64 throughout
+
+
+def matmul_work(n: int, m: int | None = None, k: int | None = None) -> WorkCount:
+    """Algorithmic work of ``C(n×m) += A(n×k) @ B(k×m)``.
+
+    FLOPs are exactly ``2·n·m·k``.  The *algorithmic* traffic charges each
+    matrix once (compulsory misses only): reads of A, B and C plus the write
+    of C — the standard "perfect cache" assumption of naive Roofline
+    characterization.  Real traffic for out-of-cache sizes is far higher;
+    :func:`matmul_traffic_lower_bound` gives the tighter capacity-aware
+    bound used by the cache-aware roofline.
+    """
+    m = n if m is None else m
+    k = n if k is None else k
+    if min(n, m, k) < 1:
+        raise ValueError("matrix dimensions must be positive")
+    flops = 2.0 * n * m * k
+    loads = _DTYPE_BYTES * (n * k + k * m + n * m)
+    stores = _DTYPE_BYTES * (n * m)
+    # address arithmetic: one index update per inner iteration
+    return WorkCount(flops=flops, loads_bytes=loads, stores_bytes=stores,
+                     int_ops=float(n * m * k))
+
+
+def matmul_traffic_lower_bound(n: int, cache_bytes: float) -> float:
+    """Hong-Kung-style I/O lower bound for square n×n matmul.
+
+    Any schedule must move at least ``n^3 / sqrt(M_words)`` words between a
+    cache of ``M_words`` words and memory (up to a constant).  Returned in
+    bytes; used to bound how much tiling can help.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if cache_bytes <= 0:
+        raise ValueError("cache size must be positive")
+    words = cache_bytes / _DTYPE_BYTES
+    return _DTYPE_BYTES * (n**3) / np.sqrt(words)
+
+
+def random_matrices(n: int, seed: int = 0,
+                    m: int | None = None, k: int | None = None):
+    """(A, B, C) test operands: A is n×k, B is k×m, C is zeros n×m."""
+    m = n if m is None else m
+    k = n if k is None else k
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, k))
+    b = rng.standard_normal((k, m))
+    c = np.zeros((n, m))
+    return a, b, c
+
+
+def _check_operands(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> tuple[int, int, int]:
+    if a.ndim != 2 or b.ndim != 2 or c.ndim != 2:
+        raise ValueError("matmul operands must be 2-D")
+    n, k = a.shape
+    k2, m = b.shape
+    if k != k2 or c.shape != (n, m):
+        raise ValueError(f"shape mismatch: A{a.shape} B{b.shape} C{c.shape}")
+    return n, m, k
+
+
+def matmul_loop(a: np.ndarray, b: np.ndarray, c: np.ndarray, order: str = "ijk") -> np.ndarray:
+    """Scalar triple loop in the given ``order``; updates and returns ``c``.
+
+    ``order`` is a permutation of "ijk": i indexes rows of A/C, j columns of
+    B/C, k the contraction dimension.  For C-contiguous arrays, orders with
+    ``j`` innermost stream B and C rows (good locality), while ``k``
+    innermost strides down B's columns (poor locality).
+    """
+    if sorted(order) != ["i", "j", "k"]:
+        raise ValueError(f"order must be a permutation of 'ijk', got {order!r}")
+    n, m, k = _check_operands(a, b, c)
+    ranges = {"i": range(n), "j": range(m), "k": range(k)}
+    o0, o1, o2 = order
+    idx = {}
+    for idx[o0] in ranges[o0]:
+        for idx[o1] in ranges[o1]:
+            for idx[o2] in ranges[o2]:
+                i, j, kk = idx["i"], idx["j"], idx["k"]
+                c[i, j] += a[i, kk] * b[kk, j]
+    return c
+
+
+def _order_variant(order: str):
+    def impl(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        return matmul_loop(a, b, c, order=order)
+
+    impl.__name__ = f"matmul_{order}"
+    impl.__doc__ = f"Scalar matmul with loop order {order} (see matmul_loop)."
+    return impl
+
+
+matmul_ijk = register("matmul", "ijk", matmul_work,
+                      "scalar triple loop, ijk (textbook) order")(_order_variant("ijk"))
+matmul_ikj = register("matmul", "ikj", matmul_work,
+                      "scalar triple loop, ikj order (streams B and C rows)",
+                      technique="loop-reordering")(_order_variant("ikj"))
+matmul_jik = register("matmul", "jik", matmul_work, "scalar triple loop, jik order",
+                      technique="loop-reordering")(_order_variant("jik"))
+matmul_jki = register("matmul", "jki", matmul_work,
+                      "scalar triple loop, jki order (column-major friendly)",
+                      technique="loop-reordering")(_order_variant("jki"))
+matmul_kij = register("matmul", "kij", matmul_work, "scalar triple loop, kij order",
+                      technique="loop-reordering")(_order_variant("kij"))
+matmul_kji = register("matmul", "kji", matmul_work,
+                      "scalar triple loop, kji order (worst C-layout locality)",
+                      technique="loop-reordering")(_order_variant("kji"))
+
+
+@register("matmul", "tiled", matmul_work,
+          "scalar loop blocked into cache-sized tiles", technique="tiling")
+def matmul_tiled(a: np.ndarray, b: np.ndarray, c: np.ndarray, tile: int = 32) -> np.ndarray:
+    """Cache-blocked scalar matmul with square tiles of edge ``tile``.
+
+    Each (ti, tj, tk) tile triple fits ``3·tile²`` elements; choosing
+    ``tile`` so that this is within L1/L2 turns the k-loop's capacity misses
+    into hits — the effect assignment 1 asks students to demonstrate.
+    """
+    if tile < 1:
+        raise ValueError("tile must be positive")
+    n, m, k = _check_operands(a, b, c)
+    for ti in range(0, n, tile):
+        ti_end = min(ti + tile, n)
+        for tk in range(0, k, tile):
+            tk_end = min(tk + tile, k)
+            for tj in range(0, m, tile):
+                tj_end = min(tj + tile, m)
+                for i in range(ti, ti_end):
+                    for kk in range(tk, tk_end):
+                        aik = a[i, kk]
+                        for j in range(tj, tj_end):
+                            c[i, j] += aik * b[kk, j]
+    return c
+
+
+@register("matmul", "numpy", matmul_work,
+          "BLAS-backed np.matmul — the 'tuned library' endpoint",
+          technique="vectorization")
+def matmul_numpy(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """``C += A @ B`` through NumPy's BLAS; the optimized reference point."""
+    _check_operands(a, b, c)
+    c += a @ b
+    return c
+
+
+@register("matmul", "parallel", matmul_work,
+          "row-block parallel matmul over a real thread pool",
+          technique="parallelization")
+def matmul_parallel(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                    workers: int = 2) -> np.ndarray:
+    """``C += A @ B`` with row blocks distributed over real threads.
+
+    Assignment 1's final task: "implement and Roofline-model a parallel
+    version of matrix multiplication".  NumPy's BLAS releases the GIL, so
+    the thread pool yields true parallel execution; the per-worker block
+    product keeps each thread's working set contiguous.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    n, m, k = _check_operands(a, b, c)
+    if workers == 1:
+        c += a @ b
+        return c
+    from concurrent.futures import ThreadPoolExecutor
+
+    block = (n + workers - 1) // workers
+
+    def do_block(lo: int) -> None:
+        hi = min(lo + block, n)
+        c[lo:hi] += a[lo:hi] @ b
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        list(pool.map(do_block, range(0, n, block)))
+    return c
+
+
+@register("matmul", "blocked_numpy", matmul_work,
+          "tile loop with NumPy inner kernels — tiling at a coarser grain",
+          technique="tiling")
+def matmul_blocked_numpy(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                         tile: int = 128) -> np.ndarray:
+    """Blocked matmul whose inner tile product uses NumPy.
+
+    Demonstrates that once the inner kernel is compute-efficient, blocking
+    matters only for sizes whose working set exceeds the cache.
+    """
+    if tile < 1:
+        raise ValueError("tile must be positive")
+    n, m, k = _check_operands(a, b, c)
+    for ti in range(0, n, tile):
+        ti_end = min(ti + tile, n)
+        for tk in range(0, k, tile):
+            tk_end = min(tk + tile, k)
+            a_blk = a[ti:ti_end, tk:tk_end]
+            for tj in range(0, m, tile):
+                tj_end = min(tj + tile, m)
+                c[ti:ti_end, tj:tj_end] += a_blk @ b[tk:tk_end, tj:tj_end]
+    return c

@@ -1,0 +1,368 @@
+"""Sparse matrix-vector multiplication (SpMV) — assignments 3 and 4.
+
+Assignment 3 provides three versions of SpMV "based on the three classical
+storage models, CSR, CSC, and COO".  We implement the storage formats from
+scratch (the course's provided C code reads Matrix Market files into exactly
+these structures) together with scalar and vectorized kernels per format.
+
+SpMV is the canonical *input-dependent* kernel: runtime depends not just on
+matrix dimensions but on the nonzero count, row-length distribution, and
+bandwidth (distance of nonzeros from the diagonal, which controls reuse of
+the input vector).  That is precisely why assignment 3 uses it to motivate
+statistical models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timing.metrics import WorkCount
+from .base import register
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "random_sparse",
+    "banded_sparse",
+    "spmv_work",
+    "spmv_csr_scalar",
+    "spmv_csr_numpy",
+    "spmv_csc_scalar",
+    "spmv_csc_numpy",
+    "spmv_coo_scalar",
+    "spmv_coo_numpy",
+    "matrix_features",
+]
+
+_VAL_BYTES = 8  # float64 values
+_IDX_BYTES = 8  # int64 indices
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """Coordinate format: parallel (row, col, val) triplet arrays.
+
+    Triplets are kept in row-major sorted order (the order a Matrix Market
+    reader naturally produces after sorting), which the conversion routines
+    rely on.
+    """
+
+    shape: tuple[int, int]
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self) -> None:
+        n, m = self.shape
+        if n < 1 or m < 1:
+            raise ValueError("matrix dimensions must be positive")
+        if not (self.rows.shape == self.cols.shape == self.vals.shape) or self.rows.ndim != 1:
+            raise ValueError("rows/cols/vals must be 1-D arrays of equal length")
+        if self.nnz:
+            if self.rows.min() < 0 or self.rows.max() >= n:
+                raise ValueError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= m:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.size)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        np.add.at(dense, (self.rows, self.cols), self.vals)
+        return dense
+
+    def to_csr(self) -> "CSRMatrix":
+        order = np.lexsort((self.cols, self.rows))
+        rows, cols, vals = self.rows[order], self.cols[order], self.vals[order]
+        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(self.shape, indptr, cols.astype(np.int64), vals.astype(float))
+
+    def to_csc(self) -> "CSCMatrix":
+        order = np.lexsort((self.rows, self.cols))
+        rows, cols, vals = self.rows[order], self.cols[order], self.vals[order]
+        indptr = np.zeros(self.shape[1] + 1, dtype=np.int64)
+        np.add.at(indptr, cols + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSCMatrix(self.shape, indptr, rows.astype(np.int64), vals.astype(float))
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """Compressed Sparse Row: indptr (n+1), indices (col per nnz), data."""
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        n, m = self.shape
+        if self.indptr.shape != (n + 1,):
+            raise ValueError("indptr must have length nrows+1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.data.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.shape != self.data.shape or self.indices.ndim != 1:
+            raise ValueError("indices/data must be 1-D of equal length")
+        if self.nnz and (self.indices.min() < 0 or self.indices.max() >= m):
+            raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        for i in range(self.shape[0]):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            dense[i, self.indices[lo:hi]] += self.data[lo:hi]
+        return dense
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(np.arange(self.shape[0], dtype=np.int64), self.row_lengths())
+        return COOMatrix(self.shape, rows, self.indices.copy(), self.data.copy())
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """Compressed Sparse Column: indptr (m+1), indices (row per nnz), data."""
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        n, m = self.shape
+        if self.indptr.shape != (m + 1,):
+            raise ValueError("indptr must have length ncols+1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.data.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.shape != self.data.shape or self.indices.ndim != 1:
+            raise ValueError("indices/data must be 1-D of equal length")
+        if self.nnz and (self.indices.min() < 0 or self.indices.max() >= n):
+            raise ValueError("row index out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def col_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        for j in range(self.shape[1]):
+            lo, hi = self.indptr[j], self.indptr[j + 1]
+            dense[self.indices[lo:hi], j] += self.data[lo:hi]
+        return dense
+
+    def to_coo(self) -> COOMatrix:
+        cols = np.repeat(np.arange(self.shape[1], dtype=np.int64), self.col_lengths())
+        order = np.lexsort((self.indices, cols))  # keep row-major triplet order
+        return COOMatrix(self.shape, self.indices[order].astype(np.int64),
+                         cols[order], self.data[order])
+
+
+def random_sparse(n: int, m: int | None = None, density: float = 0.01,
+                  seed: int = 0) -> COOMatrix:
+    """Uniform random sparse matrix with ~``density·n·m`` nonzeros.
+
+    Duplicate coordinates are removed (keeping one), so the realized nnz can
+    be slightly below the target; at assignment densities (<5%) the
+    difference is negligible.
+    """
+    m = n if m is None else m
+    if n < 1 or m < 1:
+        raise ValueError("dimensions must be positive")
+    if not 0 < density <= 1:
+        raise ValueError("density must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    target = max(1, int(round(density * n * m)))
+    flat = rng.choice(n * m, size=target, replace=False)
+    rows, cols = np.divmod(flat.astype(np.int64), m)
+    order = np.lexsort((cols, rows))
+    vals = rng.standard_normal(target)
+    return COOMatrix((n, m), rows[order], cols[order], vals)
+
+
+def banded_sparse(n: int, bandwidth: int, fill: float = 1.0, seed: int = 0) -> COOMatrix:
+    """Banded n×n matrix: nonzeros within ``bandwidth`` of the diagonal.
+
+    ``fill`` is the fraction of in-band slots populated.  Bandwidth controls
+    reuse distance of the input vector — the feature assignment 3's models
+    must learn.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if bandwidth < 0 or bandwidth >= n:
+        raise ValueError("bandwidth must be in [0, n)")
+    if not 0 < fill <= 1:
+        raise ValueError("fill must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    rows_list, cols_list = [], []
+    for i in range(n):
+        lo, hi = max(0, i - bandwidth), min(n, i + bandwidth + 1)
+        cols = np.arange(lo, hi, dtype=np.int64)
+        if fill < 1.0:
+            keep = rng.random(cols.size) < fill
+            keep[cols == i] = True  # always keep the diagonal
+            cols = cols[keep]
+        rows_list.append(np.full(cols.size, i, dtype=np.int64))
+        cols_list.append(cols)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    vals = rng.standard_normal(rows.size)
+    return COOMatrix((n, n), rows, cols, vals)
+
+
+def spmv_work(n: int, m: int, nnz: int) -> WorkCount:
+    """Work of ``y = A·x`` for an n×m matrix with ``nnz`` nonzeros.
+
+    2 FLOPs per nonzero (multiply + add).  Algorithmic traffic: values +
+    one index per nonzero, the row/col pointer array, x and y once each.
+    """
+    if n < 1 or m < 1 or nnz < 0:
+        raise ValueError("invalid matrix parameters")
+    flops = 2.0 * nnz
+    loads = (nnz * (_VAL_BYTES + _IDX_BYTES)  # values and indices
+             + (n + 1) * _IDX_BYTES            # pointer array (CSR view)
+             + m * _VAL_BYTES)                 # input vector
+    stores = n * _VAL_BYTES
+    return WorkCount(flops=flops, loads_bytes=loads, stores_bytes=stores,
+                     int_ops=float(2 * nnz))
+
+
+def _work_from_matrix(matrix, _x=None) -> WorkCount:
+    return spmv_work(matrix.shape[0], matrix.shape[1], matrix.nnz)
+
+
+@register("spmv", "csr_scalar", _work_from_matrix, "row-wise scalar CSR SpMV")
+def spmv_csr_scalar(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Scalar CSR SpMV: sequential row scan, gathered x accesses."""
+    _check_x(a, x)
+    y = np.zeros(a.shape[0])
+    for i in range(a.shape[0]):
+        acc = 0.0
+        for p in range(a.indptr[i], a.indptr[i + 1]):
+            acc += a.data[p] * x[a.indices[p]]
+        y[i] = acc
+    return y
+
+
+@register("spmv", "csr_numpy", _work_from_matrix,
+          "CSR SpMV with a vectorized gather + segmented reduction",
+          technique="vectorization")
+def spmv_csr_numpy(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Vectorized CSR SpMV via gather and ``np.add.reduceat``."""
+    _check_x(a, x)
+    if a.nnz == 0:
+        return np.zeros(a.shape[0])
+    products = a.data * x[a.indices]
+    y = np.zeros(a.shape[0])
+    lengths = a.row_lengths()
+    nonempty = np.nonzero(lengths)[0]
+    if nonempty.size:
+        starts = a.indptr[nonempty]
+        y[nonempty] = np.add.reduceat(products, starts)
+    return y
+
+
+@register("spmv", "csc_scalar", _work_from_matrix,
+          "column-wise scalar CSC SpMV (scattered y updates)")
+def spmv_csc_scalar(a: CSCMatrix, x: np.ndarray) -> np.ndarray:
+    """Scalar CSC SpMV: streams columns, scatters into y.
+
+    The scatter makes the *output* access data-dependent — the mirror image
+    of CSR's gathered input, and the reason CSC parallelizes poorly without
+    atomics.
+    """
+    _check_x(a, x)
+    y = np.zeros(a.shape[0])
+    for j in range(a.shape[1]):
+        xj = x[j]
+        for p in range(a.indptr[j], a.indptr[j + 1]):
+            y[a.indices[p]] += a.data[p] * xj
+    return y
+
+
+@register("spmv", "csc_numpy", _work_from_matrix,
+          "CSC SpMV with vectorized scatter-add", technique="vectorization")
+def spmv_csc_numpy(a: CSCMatrix, x: np.ndarray) -> np.ndarray:
+    """Vectorized CSC SpMV via ``np.add.at`` scatter."""
+    _check_x(a, x)
+    if a.nnz == 0:
+        return np.zeros(a.shape[0])
+    cols = np.repeat(np.arange(a.shape[1], dtype=np.int64), a.col_lengths())
+    products = a.data * x[cols]
+    y = np.zeros(a.shape[0])
+    np.add.at(y, a.indices, products)
+    return y
+
+
+@register("spmv", "coo_scalar", _work_from_matrix, "triplet-stream scalar COO SpMV")
+def spmv_coo_scalar(a: COOMatrix, x: np.ndarray) -> np.ndarray:
+    """Scalar COO SpMV: one scattered update per triplet."""
+    _check_x(a, x)
+    y = np.zeros(a.shape[0])
+    for r, c, v in zip(a.rows, a.cols, a.vals):
+        y[r] += v * x[c]
+    return y
+
+
+@register("spmv", "coo_numpy", _work_from_matrix,
+          "COO SpMV with vectorized scatter-add", technique="vectorization")
+def spmv_coo_numpy(a: COOMatrix, x: np.ndarray) -> np.ndarray:
+    """Vectorized COO SpMV via ``np.add.at``."""
+    _check_x(a, x)
+    y = np.zeros(a.shape[0])
+    if a.nnz:
+        np.add.at(y, a.rows, a.vals * x[a.cols])
+    return y
+
+
+def _check_x(a, x: np.ndarray) -> None:
+    if x.ndim != 1 or x.size != a.shape[1]:
+        raise ValueError(f"x must have length {a.shape[1]}, got shape {x.shape}")
+
+
+def matrix_features(coo: COOMatrix) -> dict[str, float]:
+    """Feature vector describing a sparse matrix (assignment 3's inputs).
+
+    These are the features the statistical models train on: size, nonzero
+    count/density, row-length statistics (load balance), and mean/max
+    distance from the diagonal (vector-reuse proxy).
+    """
+    n, m = coo.shape
+    csr = coo.to_csr()
+    lengths = csr.row_lengths().astype(float)
+    if coo.nnz:
+        band = np.abs(coo.rows.astype(float) - coo.cols.astype(float))
+        mean_band, max_band = float(band.mean()), float(band.max())
+    else:
+        mean_band = max_band = 0.0
+    return {
+        "n_rows": float(n),
+        "n_cols": float(m),
+        "nnz": float(coo.nnz),
+        "density": coo.nnz / float(n * m),
+        "row_mean": float(lengths.mean()),
+        "row_std": float(lengths.std()),
+        "row_max": float(lengths.max()),
+        "empty_rows": float(np.count_nonzero(lengths == 0)),
+        "mean_bandwidth": mean_band,
+        "max_bandwidth": max_band,
+    }

@@ -1,0 +1,116 @@
+"""STREAM microbenchmark kernels (McCalpin).
+
+Assignment 2 names STREAM as a model-calibration tool; the microbenchmark
+suite (:mod:`repro.microbench.memory`) runs these kernels to characterize a
+machine's sustainable bandwidth, and the Roofline assignment uses Triad as
+the archetypal memory-bound code.
+
+Each kernel reports STREAM's conventional traffic accounting (e.g. Triad
+moves 3 arrays = 24 bytes/iteration for float64, ignoring write-allocate
+traffic, exactly as the original benchmark does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timing.metrics import WorkCount
+from .base import register
+
+__all__ = [
+    "stream_arrays",
+    "copy_work", "scale_work", "add_work", "triad_work",
+    "stream_copy", "stream_scale", "stream_add", "stream_triad",
+    "STREAM_KERNELS",
+]
+
+_B = 8  # float64
+
+
+def stream_arrays(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Allocate the three STREAM arrays a, b, c of length ``n``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.random(n), rng.random(n), rng.random(n)
+
+
+def copy_work(n: int) -> WorkCount:
+    """c = a: 0 FLOP, 16 bytes/element."""
+    _check_n(n)
+    return WorkCount(flops=0.0, loads_bytes=_B * n, stores_bytes=_B * n)
+
+
+def scale_work(n: int) -> WorkCount:
+    """b = s*c: 1 FLOP, 16 bytes/element."""
+    _check_n(n)
+    return WorkCount(flops=float(n), loads_bytes=_B * n, stores_bytes=_B * n)
+
+
+def add_work(n: int) -> WorkCount:
+    """c = a+b: 1 FLOP, 24 bytes/element."""
+    _check_n(n)
+    return WorkCount(flops=float(n), loads_bytes=2 * _B * n, stores_bytes=_B * n)
+
+
+def triad_work(n: int) -> WorkCount:
+    """a = b+s*c: 2 FLOP, 24 bytes/element."""
+    _check_n(n)
+    return WorkCount(flops=2.0 * n, loads_bytes=2 * _B * n, stores_bytes=_B * n)
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ValueError("n must be positive")
+
+
+def _check_same(*arrays: np.ndarray) -> int:
+    n = arrays[0].size
+    for a in arrays:
+        if a.ndim != 1 or a.size != n:
+            raise ValueError("STREAM arrays must be 1-D and equally sized")
+    return n
+
+
+@register("stream", "copy", lambda a, c: copy_work(a.size), "STREAM Copy: c = a")
+def stream_copy(a: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """c[:] = a[:] (in place, no allocation)."""
+    _check_same(a, c)
+    np.copyto(c, a)
+    return c
+
+
+@register("stream", "scale", lambda c, b, s=3.0: scale_work(c.size),
+          "STREAM Scale: b = s*c")
+def stream_scale(c: np.ndarray, b: np.ndarray, s: float = 3.0) -> np.ndarray:
+    """b[:] = s * c[:]."""
+    _check_same(c, b)
+    np.multiply(c, s, out=b)
+    return b
+
+
+@register("stream", "add", lambda a, b, c: add_work(a.size), "STREAM Add: c = a+b")
+def stream_add(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """c[:] = a[:] + b[:]."""
+    _check_same(a, b, c)
+    np.add(a, b, out=c)
+    return c
+
+
+@register("stream", "triad", lambda a, b, c, s=3.0: triad_work(a.size),
+          "STREAM Triad: a = b + s*c")
+def stream_triad(a: np.ndarray, b: np.ndarray, c: np.ndarray, s: float = 3.0) -> np.ndarray:
+    """a[:] = b[:] + s * c[:] — the canonical memory-bound kernel."""
+    _check_same(a, b, c)
+    np.multiply(c, s, out=a)
+    np.add(a, b, out=a)
+    return a
+
+
+#: Kernel name -> (callable taking pre-allocated arrays, per-n work model).
+STREAM_KERNELS = {
+    "copy": (stream_copy, copy_work),
+    "scale": (stream_scale, scale_work),
+    "add": (stream_add, add_work),
+    "triad": (stream_triad, triad_work),
+}

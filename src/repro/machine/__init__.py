@@ -1,0 +1,53 @@
+"""Machine descriptions: CPUs, GPUs, nodes, clusters, instruction tables."""
+
+from .instruction_tables import (
+    VIRTUAL_ISA,
+    InstructionSpec,
+    InstructionTable,
+    generic_server_table,
+    narrow_mobile_table,
+)
+from .presets import (
+    ALL_GPUS,
+    das5_cluster,
+    das5_node,
+    epyc_like_cpu,
+    generic_server_cpu,
+    gpu_cc30,
+    gpu_cc60,
+    gpu_cc72,
+    student_laptop_cpu,
+)
+from .specs import (
+    CacheLevel,
+    ClusterSpec,
+    CPUSpec,
+    GPUSpec,
+    MemorySpec,
+    NodeSpec,
+    VectorUnit,
+)
+
+__all__ = [
+    "CacheLevel",
+    "MemorySpec",
+    "VectorUnit",
+    "CPUSpec",
+    "GPUSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "InstructionSpec",
+    "InstructionTable",
+    "VIRTUAL_ISA",
+    "generic_server_table",
+    "narrow_mobile_table",
+    "generic_server_cpu",
+    "epyc_like_cpu",
+    "student_laptop_cpu",
+    "das5_node",
+    "das5_cluster",
+    "gpu_cc30",
+    "gpu_cc60",
+    "gpu_cc72",
+    "ALL_GPUS",
+]

@@ -1,0 +1,217 @@
+"""Agner-Fog-style instruction latency/throughput tables.
+
+Assignment 2 of the course points students at "tabulated performance data for
+different processors" (Fog's instruction tables) to calibrate fine-grained
+analytical models, and assignment tooling such as IACA/OSACA/LLVM-MCA builds
+throughput predictions from exactly this kind of table.
+
+We define a small virtual ISA sufficient to express the course kernels
+(matmul, histogram, SpMV, stencil, STREAM) and per-microarchitecture tables
+mapping each opcode to latency, reciprocal throughput, and the set of
+execution ports it can issue to.  The port-model scheduler in
+:mod:`repro.simulator.ports` consumes these tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+__all__ = [
+    "InstructionSpec",
+    "InstructionTable",
+    "VIRTUAL_ISA",
+    "generic_server_table",
+    "narrow_mobile_table",
+]
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Timing of one opcode on one microarchitecture.
+
+    Attributes
+    ----------
+    opcode:
+        Mnemonic, e.g. ``"fmadd"``.
+    latency_cycles:
+        Result latency: cycles from issue until a dependent instruction can
+        issue.
+    ports:
+        Execution ports the instruction may issue to (one micro-op is
+        assumed).  Reciprocal throughput emerges from port contention; an
+        instruction that can go to 2 ports has rthroughput 0.5 in isolation.
+    uops:
+        Number of micro-ops (each occupies one port slot for one cycle).
+    """
+
+    opcode: str
+    latency_cycles: float
+    ports: tuple[str, ...]
+    uops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0:
+            raise ValueError(f"{self.opcode}: negative latency")
+        if not self.ports:
+            raise ValueError(f"{self.opcode}: needs at least one port")
+        if self.uops < 1:
+            raise ValueError(f"{self.opcode}: needs at least one uop")
+
+    @property
+    def reciprocal_throughput(self) -> float:
+        """Best-case cycles/instruction in an infinite independent stream."""
+        return self.uops / len(self.ports)
+
+
+#: The virtual ISA used by kernel instruction mixes in this library.  Each
+#: entry documents the intended semantics; timing lives in per-arch tables.
+VIRTUAL_ISA: tuple[str, ...] = (
+    "load",     # memory read (hit timing added by the cache model)
+    "store",    # memory write
+    "add",      # FP add/sub
+    "mul",      # FP multiply
+    "fmadd",    # fused multiply-add (2 FLOP)
+    "div",      # FP divide
+    "iadd",     # integer ALU (address arithmetic, loop counters)
+    "imul",     # integer multiply
+    "cmp",      # compare / test
+    "branch",   # conditional branch
+    "vload",    # SIMD load of one full vector register
+    "vstore",   # SIMD store
+    "vadd",     # SIMD FP add
+    "vmul",     # SIMD FP multiply
+    "vfmadd",   # SIMD fused multiply-add
+    "gather",   # SIMD gather (indexed loads, SpMV's x[col[j]])
+    "nop",      # scheduling filler
+)
+
+
+class InstructionTable:
+    """A per-microarchitecture table of :class:`InstructionSpec`.
+
+    The table validates that every opcode belongs to :data:`VIRTUAL_ISA` and
+    exposes convenient lookups for the analytical models and the port
+    scheduler.
+    """
+
+    def __init__(self, name: str, specs: Iterable[InstructionSpec], ports: tuple[str, ...]):
+        self.name = name
+        self.ports = tuple(ports)
+        if len(set(self.ports)) != len(self.ports):
+            raise ValueError("duplicate port names")
+        self._specs: dict[str, InstructionSpec] = {}
+        for spec in specs:
+            if spec.opcode not in VIRTUAL_ISA:
+                raise ValueError(f"unknown opcode {spec.opcode!r} (not in VIRTUAL_ISA)")
+            if spec.opcode in self._specs:
+                raise ValueError(f"duplicate opcode {spec.opcode!r}")
+            for port in spec.ports:
+                if port not in self.ports:
+                    raise ValueError(f"{spec.opcode}: unknown port {port!r}")
+            self._specs[spec.opcode] = spec
+
+    def __contains__(self, opcode: str) -> bool:
+        return opcode in self._specs
+
+    def __getitem__(self, opcode: str) -> InstructionSpec:
+        try:
+            return self._specs[opcode]
+        except KeyError:
+            raise KeyError(f"table {self.name!r} has no timing for opcode {opcode!r}") from None
+
+    def latency(self, opcode: str) -> float:
+        return self[opcode].latency_cycles
+
+    def reciprocal_throughput(self, opcode: str) -> float:
+        return self[opcode].reciprocal_throughput
+
+    def opcodes(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def as_dict(self) -> Mapping[str, InstructionSpec]:
+        return dict(self._specs)
+
+    # -- aggregate helpers used by coarse analytical models ---------------
+
+    def mix_cycles_throughput_bound(self, mix: Mapping[str, float]) -> float:
+        """Cycles to retire an instruction *mix* assuming perfect overlap.
+
+        ``mix`` maps opcode -> count.  The bound is the busiest port's
+        occupancy, i.e. what IACA calls the "block throughput" under an
+        optimal (fractional) port assignment.  We distribute each opcode's
+        uops evenly over its allowed ports, which is optimal for
+        single-uop instructions and a tight lower bound in general.
+        """
+        pressure = {p: 0.0 for p in self.ports}
+        for opcode, count in mix.items():
+            if count < 0:
+                raise ValueError(f"negative count for {opcode}")
+            spec = self[opcode]
+            share = count * spec.uops / len(spec.ports)
+            for port in spec.ports:
+                pressure[port] += share
+        return max(pressure.values(), default=0.0)
+
+    def mix_cycles_latency_bound(self, chain: Iterable[str]) -> float:
+        """Cycles for a serial dependency *chain* of opcodes."""
+        return sum(self.latency(op) for op in chain)
+
+
+def generic_server_table() -> InstructionTable:
+    """Timing table for a generic wide out-of-order server core.
+
+    Latencies/throughputs follow the ballpark of Fog's tables for a
+    Skylake-SP-class core: 4-wide issue over ports p0/p1 (FP/vector),
+    p2/p3 (loads), p4 (store), p5/p6 (integer/branch).
+    """
+    ports = ("p0", "p1", "p2", "p3", "p4", "p5", "p6")
+    specs = [
+        InstructionSpec("load", 4, ("p2", "p3")),
+        InstructionSpec("store", 1, ("p4",)),
+        InstructionSpec("add", 4, ("p0", "p1")),
+        InstructionSpec("mul", 4, ("p0", "p1")),
+        InstructionSpec("fmadd", 4, ("p0", "p1")),
+        InstructionSpec("div", 14, ("p0",), uops=3),
+        InstructionSpec("iadd", 1, ("p0", "p1", "p5", "p6")),
+        InstructionSpec("imul", 3, ("p1",)),
+        InstructionSpec("cmp", 1, ("p0", "p1", "p5", "p6")),
+        InstructionSpec("branch", 1, ("p6",)),
+        InstructionSpec("vload", 5, ("p2", "p3")),
+        InstructionSpec("vstore", 1, ("p4",)),
+        InstructionSpec("vadd", 4, ("p0", "p1")),
+        InstructionSpec("vmul", 4, ("p0", "p1")),
+        InstructionSpec("vfmadd", 4, ("p0", "p1")),
+        InstructionSpec("gather", 12, ("p2", "p3"), uops=4),
+        InstructionSpec("nop", 0, ("p0", "p1", "p5", "p6")),
+    ]
+    return InstructionTable("generic-server", specs, ports)
+
+
+def narrow_mobile_table() -> InstructionTable:
+    """Timing table for a narrow 2-wide in-order-ish mobile core.
+
+    Used in ablations to show how model predictions shift between
+    microarchitectures — the point of assignment 2's calibration exercise.
+    """
+    ports = ("p0", "p1", "ls")
+    specs = [
+        InstructionSpec("load", 5, ("ls",)),
+        InstructionSpec("store", 2, ("ls",)),
+        InstructionSpec("add", 5, ("p0",)),
+        InstructionSpec("mul", 6, ("p0",)),
+        InstructionSpec("fmadd", 8, ("p0",)),
+        InstructionSpec("div", 22, ("p0",), uops=6),
+        InstructionSpec("iadd", 1, ("p0", "p1")),
+        InstructionSpec("imul", 4, ("p1",)),
+        InstructionSpec("cmp", 1, ("p0", "p1")),
+        InstructionSpec("branch", 1, ("p1",)),
+        InstructionSpec("vload", 6, ("ls",), uops=2),
+        InstructionSpec("vstore", 3, ("ls",), uops=2),
+        InstructionSpec("vadd", 5, ("p0",)),
+        InstructionSpec("vmul", 6, ("p0",)),
+        InstructionSpec("vfmadd", 8, ("p0",)),
+        InstructionSpec("gather", 20, ("ls",), uops=8),
+        InstructionSpec("nop", 0, ("p0", "p1")),
+    ]
+    return InstructionTable("narrow-mobile", specs, ports)

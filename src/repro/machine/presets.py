@@ -1,0 +1,178 @@
+"""Preset machine descriptions.
+
+The course ran on students' laptops and on the DAS-5 research cluster
+(Bal et al., 2016), with NVIDIA GPUs of compute capability 3.0-7.2
+(paper §A.3).  These presets are *representative*, not vendor datasheets:
+the assignments care about realistic ratios (ridge points, cache sizes,
+core counts), which these reproduce.
+"""
+
+from __future__ import annotations
+
+from .specs import (
+    CacheLevel,
+    ClusterSpec,
+    CPUSpec,
+    GPUSpec,
+    MemorySpec,
+    NodeSpec,
+    VectorUnit,
+)
+
+__all__ = [
+    "generic_server_cpu",
+    "epyc_like_cpu",
+    "student_laptop_cpu",
+    "das5_node",
+    "das5_cluster",
+    "gpu_cc30",
+    "gpu_cc60",
+    "gpu_cc72",
+    "ALL_GPUS",
+]
+
+
+def generic_server_cpu() -> CPUSpec:
+    """A 16-core AVX2 server CPU, the default teaching machine.
+
+    Ridge point ≈ 14 FLOP/byte for FP64 — comfortably above STREAM triad's
+    intensity and below a large tiled matmul's, so the Roofline assignment
+    sees both regimes.
+    """
+    return CPUSpec(
+        name="generic-server",
+        cores=16,
+        frequency_hz=2.6e9,
+        vector=VectorUnit(width_bits=256, fma=True, pipelines=2),
+        caches=(
+            CacheLevel("L1", 32 * 1024, 64, 8, latency_cycles=4, bandwidth_bytes_per_cycle=128),
+            CacheLevel("L2", 1024 * 1024, 64, 16, latency_cycles=12, bandwidth_bytes_per_cycle=64),
+            CacheLevel("L3", 22 * 1024 * 1024, 64, 11, latency_cycles=38,
+                       bandwidth_bytes_per_cycle=32, shared=True),
+        ),
+        memory=MemorySpec(capacity_bytes=192 * 2**30, bandwidth_bytes_per_s=95e9,
+                          latency_s=85e-9),
+        smt=2,
+    )
+
+
+def epyc_like_cpu() -> CPUSpec:
+    """A 32-core AMD-EPYC-like server CPU — the "other vendor" machine.
+
+    Supporting various vendors' hardware is the paper's future-work topic
+    (1); the course's recommended tools are Intel-specific (§A.3).  The
+    EPYC-like preset differs where it matters for the models: more cores
+    at a lower clock, bigger (victim-style) L3 per fewer shared ways, and
+    higher aggregate memory bandwidth — so cross-machine predictions
+    genuinely change.
+    """
+    return CPUSpec(
+        name="epyc-like",
+        cores=32,
+        frequency_hz=2.2e9,
+        vector=VectorUnit(width_bits=256, fma=True, pipelines=2),
+        caches=(
+            CacheLevel("L1", 32 * 1024, 64, 8, latency_cycles=4, bandwidth_bytes_per_cycle=128),
+            CacheLevel("L2", 512 * 1024, 64, 8, latency_cycles=12, bandwidth_bytes_per_cycle=64),
+            CacheLevel("L3", 32 * 1024 * 1024, 64, 16, latency_cycles=46,
+                       bandwidth_bytes_per_cycle=32, shared=True),
+        ),
+        memory=MemorySpec(capacity_bytes=256 * 2**30, bandwidth_bytes_per_s=150e9,
+                          latency_s=95e-9),
+        smt=2,
+    )
+
+
+def student_laptop_cpu() -> CPUSpec:
+    """A 4-core laptop CPU — what students run assignment prototypes on."""
+    return CPUSpec(
+        name="student-laptop",
+        cores=4,
+        frequency_hz=2.0e9,
+        vector=VectorUnit(width_bits=256, fma=True, pipelines=1),
+        caches=(
+            CacheLevel("L1", 32 * 1024, 64, 8, latency_cycles=4, bandwidth_bytes_per_cycle=64),
+            CacheLevel("L2", 256 * 1024, 64, 8, latency_cycles=12, bandwidth_bytes_per_cycle=32),
+            CacheLevel("L3", 6 * 1024 * 1024, 64, 12, latency_cycles=34,
+                       bandwidth_bytes_per_cycle=16, shared=True),
+        ),
+        memory=MemorySpec(capacity_bytes=16 * 2**30, bandwidth_bytes_per_s=20e9,
+                          latency_s=100e-9),
+        smt=2,
+    )
+
+
+def gpu_cc30() -> GPUSpec:
+    """Kepler-class GPU (compute capability 3.0), the oldest the course used."""
+    return GPUSpec(
+        name="kepler-cc30",
+        sms=8,
+        cuda_cores_per_sm=192,
+        frequency_hz=1.0e9,
+        memory_bandwidth_bytes_per_s=192e9,
+        memory_bytes=4 * 2**30,
+        compute_capability=(3, 0),
+        max_threads_per_sm=2048,
+        max_warps_per_sm=64,
+        registers_per_sm=65536,
+        shared_mem_per_sm_bytes=48 * 1024,
+        pcie_bandwidth_bytes_per_s=8e9,
+    )
+
+
+def gpu_cc60() -> GPUSpec:
+    """Pascal-class GPU (compute capability 6.0)."""
+    return GPUSpec(
+        name="pascal-cc60",
+        sms=56,
+        cuda_cores_per_sm=64,
+        frequency_hz=1.3e9,
+        memory_bandwidth_bytes_per_s=720e9,
+        memory_bytes=16 * 2**30,
+        compute_capability=(6, 0),
+        max_threads_per_sm=2048,
+        max_warps_per_sm=64,
+        registers_per_sm=65536,
+        shared_mem_per_sm_bytes=64 * 1024,
+        pcie_bandwidth_bytes_per_s=12e9,
+    )
+
+
+def gpu_cc72() -> GPUSpec:
+    """Volta/Xavier-class GPU (compute capability 7.2), the newest used."""
+    return GPUSpec(
+        name="volta-cc72",
+        sms=80,
+        cuda_cores_per_sm=64,
+        frequency_hz=1.5e9,
+        memory_bandwidth_bytes_per_s=900e9,
+        memory_bytes=32 * 2**30,
+        compute_capability=(7, 2),
+        max_threads_per_sm=2048,
+        max_warps_per_sm=64,
+        registers_per_sm=65536,
+        shared_mem_per_sm_bytes=96 * 1024,
+        pcie_bandwidth_bytes_per_s=14e9,
+    )
+
+
+def ALL_GPUS() -> tuple[GPUSpec, ...]:
+    """All GPU presets spanning the paper's cc 3.0-7.2 range."""
+    return (gpu_cc30(), gpu_cc60(), gpu_cc72())
+
+
+def das5_node() -> NodeSpec:
+    """A DAS-5-like node: dual-socket CPU plus one accelerator."""
+    return NodeSpec(name="das5-node", cpu=generic_server_cpu(), sockets=2,
+                    gpus=(gpu_cc60(),))
+
+
+def das5_cluster(n_nodes: int = 32) -> ClusterSpec:
+    """A DAS-5-like cluster partition with FDR-InfiniBand-class links."""
+    return ClusterSpec(
+        name="das5",
+        node=das5_node(),
+        n_nodes=n_nodes,
+        link_latency_s=1.7e-6,
+        link_bandwidth_bytes_per_s=6.8e9,
+    )

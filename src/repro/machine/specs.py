@@ -1,0 +1,351 @@
+"""Machine descriptions used throughout the toolbox.
+
+The course (Section 2.1 of the paper) targets heterogeneous systems built
+from multi-core CPUs and many-core GPUs, potentially scaled out over several
+nodes.  Every model in this library (Roofline, ECM, analytical, simulator,
+distributed) consumes one of the specification dataclasses defined here, so a
+single machine description drives every stage of the performance-engineering
+process.
+
+All quantities use base SI units: bytes, seconds, hertz, FLOP.  Derived
+quantities (peak FLOP/s, stream bandwidth, machine balance) are exposed as
+properties so that specs remain plain data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "CacheLevel",
+    "MemorySpec",
+    "VectorUnit",
+    "CPUSpec",
+    "GPUSpec",
+    "NodeSpec",
+    "ClusterSpec",
+]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of a cache hierarchy.
+
+    Parameters mirror what ``likwid-topology`` or ``getconf`` would report on
+    a real machine and what the cache simulator (:mod:`repro.simulator.cache`)
+    needs to be instantiated.
+
+    Attributes
+    ----------
+    name:
+        Human-readable level name, e.g. ``"L1"``.
+    capacity_bytes:
+        Total capacity of the cache in bytes.
+    line_bytes:
+        Cache line (block) size in bytes.
+    associativity:
+        Number of ways.  ``associativity == capacity_bytes // line_bytes``
+        makes the cache fully associative.
+    latency_cycles:
+        Load-to-use latency of a hit in core clock cycles.
+    bandwidth_bytes_per_cycle:
+        Sustained bandwidth between this level and the core (or the next
+        level up), in bytes per cycle.  Used by the ECM model.
+    shared:
+        Whether the level is shared between all cores of the CPU (e.g. an
+        L3) or private per core (L1/L2 on most designs).
+    """
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+    latency_cycles: float = 4.0
+    bandwidth_bytes_per_cycle: float = 64.0
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"{self.name}: line size must be a positive power of two")
+        if self.capacity_bytes % self.line_bytes:
+            raise ValueError(f"{self.name}: capacity must be a multiple of the line size")
+        n_lines = self.capacity_bytes // self.line_bytes
+        if not 1 <= self.associativity <= n_lines:
+            raise ValueError(
+                f"{self.name}: associativity {self.associativity} outside [1, {n_lines}]"
+            )
+        if n_lines % self.associativity:
+            raise ValueError(f"{self.name}: #lines must be a multiple of associativity")
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets (lines / ways)."""
+        return self.n_lines // self.associativity
+
+    @property
+    def is_fully_associative(self) -> bool:
+        return self.associativity == self.n_lines
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Main-memory subsystem of one node/socket.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        DRAM capacity.
+    bandwidth_bytes_per_s:
+        Sustainable (STREAM-like) bandwidth, *not* the theoretical pin
+        bandwidth; this is what the Roofline memory ceiling uses.
+    latency_s:
+        Idle random-access latency in seconds.
+    """
+
+    capacity_bytes: int = 64 * 2**30
+    bandwidth_bytes_per_s: float = 50e9
+    latency_s: float = 90e-9
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("memory latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class VectorUnit:
+    """SIMD capability of one core.
+
+    Attributes
+    ----------
+    width_bits:
+        Vector register width (128 = SSE/NEON, 256 = AVX2, 512 = AVX-512).
+    fma:
+        Whether fused multiply-add is supported (doubles peak FLOP/cycle).
+    pipelines:
+        Number of vector FP pipelines (execution ports) per core.
+    """
+
+    width_bits: int = 256
+    fma: bool = True
+    pipelines: int = 2
+
+    def __post_init__(self) -> None:
+        if self.width_bits not in (64, 128, 256, 512, 1024):
+            raise ValueError(f"unsupported vector width: {self.width_bits}")
+        if self.pipelines < 1:
+            raise ValueError("need at least one pipeline")
+
+    def lanes(self, dtype_bytes: int = 8) -> int:
+        """Number of SIMD lanes for elements of ``dtype_bytes`` bytes."""
+        if dtype_bytes <= 0 or self.width_bits % (8 * dtype_bytes):
+            raise ValueError(f"dtype of {dtype_bytes} bytes does not tile the vector")
+        return self.width_bits // (8 * dtype_bytes)
+
+    def flops_per_cycle(self, dtype_bytes: int = 8) -> float:
+        """Peak FLOP/cycle of one core using this unit."""
+        per_pipe = self.lanes(dtype_bytes) * (2 if self.fma else 1)
+        return float(per_pipe * self.pipelines)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A multi-core CPU (one socket).
+
+    The spec carries everything the Roofline model, ECM model and the cache
+    simulator need.  Cache levels must be ordered from closest to the core
+    (L1) to farthest (LLC).
+    """
+
+    name: str
+    cores: int
+    frequency_hz: float
+    vector: VectorUnit = field(default_factory=VectorUnit)
+    caches: tuple[CacheLevel, ...] = ()
+    memory: MemorySpec = field(default_factory=MemorySpec)
+    smt: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("a CPU needs at least one core")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.smt < 1:
+            raise ValueError("SMT factor must be >= 1")
+        caps = [c.capacity_bytes for c in self.caches]
+        if caps != sorted(caps):
+            raise ValueError("cache levels must be ordered smallest (L1) to largest (LLC)")
+
+    # -- derived peaks ----------------------------------------------------
+
+    def peak_flops(self, dtype_bytes: int = 8, cores: int | None = None) -> float:
+        """Peak FLOP/s of ``cores`` cores (default: all) at base frequency."""
+        n = self.cores if cores is None else cores
+        if not 1 <= n <= self.cores:
+            raise ValueError(f"cores must be in [1, {self.cores}]")
+        return n * self.frequency_hz * self.vector.flops_per_cycle(dtype_bytes)
+
+    def peak_scalar_flops(self, cores: int | None = None) -> float:
+        """Peak FLOP/s without SIMD (1 FLOP/pipe/cycle, FMA still counted)."""
+        n = self.cores if cores is None else cores
+        per_core = self.vector.pipelines * (2 if self.vector.fma else 1)
+        return n * self.frequency_hz * per_core
+
+    @property
+    def stream_bandwidth(self) -> float:
+        """Sustained memory bandwidth in bytes/s (socket-level)."""
+        return self.memory.bandwidth_bytes_per_s
+
+    def machine_balance(self, dtype_bytes: int = 8) -> float:
+        """Machine balance in bytes/FLOP (McCalpin 1995).
+
+        Low balance means the machine starves memory-intensive codes; the
+        reciprocal is the Roofline ridge point in FLOP/byte.
+        """
+        return self.stream_bandwidth / self.peak_flops(dtype_bytes)
+
+    def ridge_point(self, dtype_bytes: int = 8) -> float:
+        """Arithmetic intensity (FLOP/byte) where the Roofline changes regime."""
+        return self.peak_flops(dtype_bytes) / self.stream_bandwidth
+
+    def cache(self, name: str) -> CacheLevel:
+        """Look up a cache level by name (case-insensitive)."""
+        for level in self.caches:
+            if level.name.lower() == name.lower():
+                return level
+        raise KeyError(f"{self.name} has no cache level {name!r}")
+
+    def with_cores(self, cores: int) -> "CPUSpec":
+        """A copy of this spec restricted to ``cores`` cores."""
+        if not 1 <= cores <= self.cores:
+            raise ValueError(f"cores must be in [1, {self.cores}]")
+        return replace(self, cores=cores)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A many-core GPU accelerator.
+
+    The course used NVIDIA GPUs of compute capability 3.0-7.2 (paper §A.3);
+    the presets module instantiates representatives of that range.  The model
+    is deliberately architecture-generic: SMs execute warps of ``warp_size``
+    threads, each SM owns register/shared-memory budgets that bound
+    occupancy.
+    """
+
+    name: str
+    sms: int
+    cuda_cores_per_sm: int
+    frequency_hz: float
+    memory_bandwidth_bytes_per_s: float
+    memory_bytes: int
+    compute_capability: tuple[int, int] = (7, 0)
+    warp_size: int = 32
+    max_threads_per_sm: int = 2048
+    max_warps_per_sm: int = 64
+    max_threads_per_block: int = 1024
+    registers_per_sm: int = 65536
+    shared_mem_per_sm_bytes: int = 96 * 1024
+    fma: bool = True
+    kernel_launch_latency_s: float = 5e-6
+    pcie_bandwidth_bytes_per_s: float = 12e9
+
+    def __post_init__(self) -> None:
+        if self.sms < 1 or self.cuda_cores_per_sm < 1:
+            raise ValueError("GPU must have at least one SM with one core")
+        if self.frequency_hz <= 0 or self.memory_bandwidth_bytes_per_s <= 0:
+            raise ValueError("frequency and bandwidth must be positive")
+        if self.max_threads_per_sm % self.warp_size:
+            raise ValueError("max threads/SM must be a multiple of the warp size")
+
+    def peak_flops(self, dtype_bytes: int = 4) -> float:
+        """Peak FLOP/s.  GPUs are rated for FP32; FP64 runs at a 1/2..1/32
+        ratio — we use the conservative 1/8 typical of consumer parts."""
+        base = self.sms * self.cuda_cores_per_sm * self.frequency_hz
+        base *= 2 if self.fma else 1
+        if dtype_bytes == 4:
+            return base
+        if dtype_bytes == 8:
+            return base / 8.0
+        raise ValueError("GPU peak defined for 4- or 8-byte floats only")
+
+    def ridge_point(self, dtype_bytes: int = 4) -> float:
+        return self.peak_flops(dtype_bytes) / self.memory_bandwidth_bytes_per_s
+
+    def machine_balance(self, dtype_bytes: int = 4) -> float:
+        return self.memory_bandwidth_bytes_per_s / self.peak_flops(dtype_bytes)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One cluster node: CPUs plus optional accelerators."""
+
+    name: str
+    cpu: CPUSpec
+    sockets: int = 1
+    gpus: tuple[GPUSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ValueError("need at least one socket")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cpu.cores
+
+    def peak_flops(self, dtype_bytes: int = 8, include_gpus: bool = True) -> float:
+        total = self.sockets * self.cpu.peak_flops(dtype_bytes)
+        if include_gpus:
+            total += sum(g.peak_flops(dtype_bytes) for g in self.gpus)
+        return total
+
+    @property
+    def stream_bandwidth(self) -> float:
+        return self.sockets * self.cpu.stream_bandwidth
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of nodes connected by a network.
+
+    ``link_latency_s``/``link_bandwidth_bytes_per_s`` parameterize the
+    alpha-beta network model in :mod:`repro.distributed.network`.
+    """
+
+    name: str
+    node: NodeSpec
+    n_nodes: int
+    link_latency_s: float = 1.5e-6
+    link_bandwidth_bytes_per_s: float = 6e9
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        if self.link_latency_s < 0 or self.link_bandwidth_bytes_per_s <= 0:
+            raise ValueError("invalid network parameters")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.node.total_cores
+
+    def peak_flops(self, dtype_bytes: int = 8, include_gpus: bool = True) -> float:
+        return self.n_nodes * self.node.peak_flops(dtype_bytes, include_gpus)
+
+    def bisection_bandwidth(self) -> float:
+        """Bandwidth across a bisection assuming a full-bisection fabric."""
+        return (self.n_nodes / 2) * self.link_bandwidth_bytes_per_s
+
+
+def _validate_positive(value: float, what: str) -> float:
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{what} must be positive and finite, got {value}")
+    return value

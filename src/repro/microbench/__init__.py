@@ -1,0 +1,65 @@
+"""Microbenchmarking: harness, memory/compute probes, machine characterization."""
+
+from .compute import (
+    dot_benchmark,
+    fma_benchmark,
+    measure_peak_flops,
+    mul_benchmark,
+    simulated_op_throughput,
+    simulated_peak_flops,
+)
+from .gpu import (
+    bank_conflict_factor,
+    coalesced_transactions,
+    divergence_factor,
+    shared_memory_sweep,
+    warps_to_hide_latency,
+)
+from .harness import (
+    Microbenchmark,
+    MicrobenchResult,
+    MicrobenchSuite,
+    run_microbenchmark,
+)
+from .memory import (
+    detect_cache_cliffs,
+    make_pointer_chain,
+    pointer_chase_latency,
+    run_stream,
+    simulated_latency_sweep,
+    stream_benchmark,
+    working_set_sweep,
+)
+from .suite import (
+    MachineCharacterization,
+    characterize_empirical,
+    characterize_simulated,
+)
+
+__all__ = [
+    "Microbenchmark",
+    "MicrobenchResult",
+    "MicrobenchSuite",
+    "run_microbenchmark",
+    "stream_benchmark",
+    "run_stream",
+    "working_set_sweep",
+    "detect_cache_cliffs",
+    "make_pointer_chain",
+    "pointer_chase_latency",
+    "simulated_latency_sweep",
+    "fma_benchmark",
+    "mul_benchmark",
+    "dot_benchmark",
+    "measure_peak_flops",
+    "simulated_peak_flops",
+    "simulated_op_throughput",
+    "MachineCharacterization",
+    "characterize_empirical",
+    "characterize_simulated",
+    "coalesced_transactions",
+    "bank_conflict_factor",
+    "divergence_factor",
+    "warps_to_hide_latency",
+    "shared_memory_sweep",
+]

@@ -1,0 +1,113 @@
+"""Compute-peak microbenchmarks.
+
+Assignment 2 calibrates the compute terms of analytical models: the
+achievable FLOP rate of the arithmetic the kernel actually uses, which is
+far below datasheet peak for non-FMA or non-SIMD code.  We measure NumPy's
+achievable rates (the empirical plane) and derive per-opcode rates from the
+instruction tables (the simulated plane used for deterministic tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.instruction_tables import InstructionTable
+from ..machine.specs import CPUSpec
+from ..timing.metrics import WorkCount
+from .harness import Microbenchmark, MicrobenchResult, run_microbenchmark
+
+__all__ = [
+    "fma_benchmark",
+    "mul_benchmark",
+    "dot_benchmark",
+    "measure_peak_flops",
+    "simulated_peak_flops",
+    "simulated_op_throughput",
+]
+
+
+def fma_benchmark(n: int = 1_000_000, seed: int = 0) -> Microbenchmark:
+    """``y += a*x`` — one multiply-add (2 FLOP) per element, streaming."""
+
+    def setup() -> tuple:
+        rng = np.random.default_rng(seed)
+        return (rng.random(n), rng.random(n))
+
+    def fn(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        y += 1.000001 * x
+        return y
+
+    return Microbenchmark(f"fma-{n}", setup, fn,
+                          lambda x, y: WorkCount(flops=2.0 * n,
+                                                 loads_bytes=16.0 * n,
+                                                 stores_bytes=8.0 * n))
+
+
+def mul_benchmark(n: int = 1_000_000, seed: int = 0) -> Microbenchmark:
+    """In-place multiply — 1 FLOP per element."""
+
+    def setup() -> tuple:
+        rng = np.random.default_rng(seed)
+        return (rng.random(n) + 1.0,)
+
+    def fn(x: np.ndarray) -> np.ndarray:
+        x *= 1.0000001
+        return x
+
+    return Microbenchmark(f"mul-{n}", setup, fn,
+                          lambda x: WorkCount(flops=float(n), loads_bytes=8.0 * n,
+                                              stores_bytes=8.0 * n))
+
+
+def dot_benchmark(n: int = 512, seed: int = 0) -> Microbenchmark:
+    """n×n matmul through BLAS — the *compute-bound* peak probe.
+
+    Large dot products have intensity ~n/12 FLOP/byte, so for n ≥ 256 the
+    measurement reads the machine's achievable compute roof, not its
+    memory system.
+    """
+
+    def setup() -> tuple:
+        rng = np.random.default_rng(seed)
+        return (rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+
+    def fn(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    return Microbenchmark(f"dot-{n}", setup, fn,
+                          lambda a, b: WorkCount(flops=2.0 * n**3,
+                                                 loads_bytes=16.0 * n * n,
+                                                 stores_bytes=8.0 * n * n))
+
+
+def measure_peak_flops(n: int = 512, repetitions: int = 5,
+                       seed: int = 0) -> MicrobenchResult:
+    """Empirical compute peak via the BLAS dot probe."""
+    return run_microbenchmark(dot_benchmark(n, seed), repetitions=repetitions)
+
+
+def simulated_peak_flops(cpu: CPUSpec, table: InstructionTable,
+                         opcode: str = "vfmadd", dtype_bytes: int = 8,
+                         cores: int | None = None) -> float:
+    """Peak FLOP/s implied by the instruction table for one opcode.
+
+    FLOP/cycle = lanes · flop-per-op / reciprocal-throughput; multiplied by
+    frequency and cores.  This is the "tabulated data" calibration path
+    (Fog's tables) as opposed to running a measurement.
+    """
+    flop_per_op = {"fmadd": 2, "vfmadd": 2, "add": 1, "mul": 1,
+                   "vadd": 1, "vmul": 1}.get(opcode)
+    if flop_per_op is None:
+        raise ValueError(f"opcode {opcode!r} is not a FLOP instruction")
+    lanes = cpu.vector.lanes(dtype_bytes) if opcode.startswith("v") else 1
+    rate_per_cycle = lanes * flop_per_op / table.reciprocal_throughput(opcode)
+    n = cpu.cores if cores is None else cores
+    return rate_per_cycle * cpu.frequency_hz * n
+
+
+def simulated_op_throughput(table: InstructionTable) -> dict[str, float]:
+    """Ops/cycle for every opcode in a table (single core).
+
+    The direct digital analogue of reading Fog's instruction tables.
+    """
+    return {op: 1.0 / table.reciprocal_throughput(op) for op in table.opcodes()}

@@ -1,0 +1,110 @@
+"""GPU microarchitecture models — the Wong et al. microbenchmark results.
+
+The course's reading list includes "Demystifying GPU microarchitecture
+through microbenchmarking" (Wong et al., ISPASS 2010 — reference [18] of
+the paper): the behaviours that paper measured on real silicon are modelled
+here analytically, so the same exercises run without a GPU:
+
+* **global-memory coalescing** — how many 32-byte transactions one warp's
+  access pattern generates;
+* **shared-memory bank conflicts** — serialization factor of strided
+  shared-memory access across 32 banks;
+* **warp divergence** — execution-time inflation of data-dependent
+  branching within a warp;
+* **latency hiding** — how many resident warps cover a given memory
+  latency at a given arithmetic intensity (the occupancy rule of thumb).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "coalesced_transactions",
+    "bank_conflict_factor",
+    "divergence_factor",
+    "warps_to_hide_latency",
+    "shared_memory_sweep",
+]
+
+
+def coalesced_transactions(stride_elements: int, element_bytes: int = 4,
+                           warp_size: int = 32,
+                           transaction_bytes: int = 32) -> int:
+    """Memory transactions issued for one warp's strided global access.
+
+    Thread t accesses ``base + t * stride * element_bytes``; the memory
+    system coalesces the warp's 32 addresses into aligned
+    ``transaction_bytes`` segments.  Unit stride with 4-byte elements
+    needs 4 transactions (128 B); stride >= 8 elements degenerates to one
+    transaction per thread — the 32x traffic blow-up Wong et al. measured.
+    """
+    if stride_elements < 0:
+        raise ValueError("stride cannot be negative")
+    if element_bytes <= 0 or warp_size <= 0 or transaction_bytes <= 0:
+        raise ValueError("sizes must be positive")
+    if stride_elements == 0:
+        return 1  # broadcast: one transaction serves the warp
+    segments = set()
+    for t in range(warp_size):
+        address = t * stride_elements * element_bytes
+        segments.add(address // transaction_bytes)
+    return len(segments)
+
+
+def bank_conflict_factor(stride_elements: int, banks: int = 32) -> int:
+    """Serialization factor of strided shared-memory access.
+
+    With 32 banks of 4-byte words, a warp accessing ``word[t * stride]``
+    conflicts ``gcd(stride, banks)``-fold... precisely: the replay factor
+    is the maximum number of threads hitting one bank =
+    ``warp_size / (banks / gcd(stride, banks))`` for power-of-two banks.
+    Stride 1 → 1 (conflict-free); stride 2 → 2; stride 32 → 32 (fully
+    serialized) — the staircase Wong et al. plot.
+    """
+    if stride_elements <= 0:
+        raise ValueError("stride must be positive")
+    if banks <= 0 or banks & (banks - 1):
+        raise ValueError("banks must be a positive power of two")
+    g = math.gcd(stride_elements, banks)
+    distinct_banks = banks // g
+    return max(1, banks // distinct_banks)
+
+
+def divergence_factor(taken_fraction: float) -> float:
+    """Execution-time inflation of an if/else diverging within a warp.
+
+    SIMT executes both paths when any thread takes each: with a fraction
+    ``f`` of threads taking the if-branch (per warp), expected factor is
+    1 when f in {0, 1} (uniform warps) and 2 when both paths are present.
+    For threads i.i.d. with probability f, the probability both paths are
+    live in a 32-thread warp is ``1 - f^32 - (1-f)^32``.
+    """
+    if not 0.0 <= taken_fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    f = taken_fraction
+    both_live = 1.0 - f ** 32 - (1.0 - f) ** 32
+    return 1.0 + both_live
+
+
+def warps_to_hide_latency(latency_cycles: float, cycles_between_loads: float
+                          ) -> int:
+    """Resident warps needed to hide memory latency (Little's law on warps).
+
+    Each warp issues a load every ``cycles_between_loads`` of compute; to
+    keep the pipeline busy across ``latency_cycles``, the SM needs
+    ``ceil(latency / cycles_between_loads)`` warps — the occupancy rule of
+    thumb behind the 50%-occupancy saturation in
+    :mod:`repro.parallel.gpu`.
+    """
+    if latency_cycles < 0 or cycles_between_loads <= 0:
+        raise ValueError("invalid cycle counts")
+    return max(1, math.ceil(latency_cycles / cycles_between_loads))
+
+
+def shared_memory_sweep(max_stride: int = 33, banks: int = 32
+                        ) -> dict[int, int]:
+    """Conflict factor vs stride: the classic microbenchmark plot."""
+    if max_stride < 1:
+        raise ValueError("need at least stride 1")
+    return {s: bank_conflict_factor(s, banks) for s in range(1, max_stride + 1)}

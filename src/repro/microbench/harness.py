@@ -1,0 +1,123 @@
+"""Microbenchmark harness.
+
+Assignment 2 introduces "microbenchmarking as a model calibration tool";
+this harness runs small, targeted kernels with the measurement discipline
+from :mod:`repro.timing` (warmup, repetition, outlier handling) and converts
+times into the rates models need (FLOP/s, bytes/s, seconds/op).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..timing.metrics import WorkCount
+from ..timing.stats import Summary
+from ..timing.timers import MeasurementResult, measure
+
+__all__ = ["Microbenchmark", "MicrobenchResult", "run_microbenchmark", "MicrobenchSuite"]
+
+
+@dataclass(frozen=True)
+class Microbenchmark:
+    """A small kernel plus its work accounting.
+
+    Attributes
+    ----------
+    name:
+        Identifier in suite reports.
+    setup:
+        Zero-argument callable returning the kernel's operand tuple; run
+        once, outside timing (mirrors STREAM's untimed initialization).
+    fn:
+        Callable taking the operands; the timed region.
+    work:
+        Work per invocation given the operands (for rate conversion).
+    """
+
+    name: str
+    setup: Callable[[], tuple]
+    fn: Callable[..., object]
+    work: Callable[..., WorkCount]
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """Outcome of one microbenchmark: times plus derived rates."""
+
+    name: str
+    work: WorkCount
+    measurement: MeasurementResult
+
+    @property
+    def summary(self) -> Summary:
+        return self.measurement.summary
+
+    @property
+    def seconds(self) -> float:
+        """Representative time: the median repetition (robust to jitter)."""
+        return self.measurement.summary.median
+
+    @property
+    def flops_per_s(self) -> float:
+        if self.work.flops <= 0:
+            raise ValueError(f"{self.name}: no FLOP work defined")
+        return self.work.flops / self.seconds
+
+    @property
+    def bytes_per_s(self) -> float:
+        if self.work.bytes_total <= 0:
+            raise ValueError(f"{self.name}: no traffic defined")
+        return self.work.bytes_total / self.seconds
+
+    @property
+    def best_bytes_per_s(self) -> float:
+        """Bandwidth from the fastest repetition (STREAM's convention)."""
+        return self.work.bytes_total / self.measurement.best
+
+
+def run_microbenchmark(bench: Microbenchmark, repetitions: int = 7,
+                       warmup: int = 2) -> MicrobenchResult:
+    """Set up and measure one microbenchmark."""
+    operands = bench.setup()
+    if not isinstance(operands, tuple):
+        raise TypeError(f"{bench.name}: setup must return a tuple of operands")
+    work = bench.work(*operands)
+    result = measure(lambda: bench.fn(*operands), repetitions=repetitions,
+                     warmup=warmup)
+    return MicrobenchResult(bench.name, work, result)
+
+
+class MicrobenchSuite:
+    """A named collection of microbenchmarks run together.
+
+    Mirrors how the course has students assemble a calibration suite: one
+    benchmark per model parameter (bandwidths, peak rates, latencies).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._benches: list[Microbenchmark] = []
+
+    def add(self, bench: Microbenchmark) -> "MicrobenchSuite":
+        if any(b.name == bench.name for b in self._benches):
+            raise ValueError(f"duplicate benchmark name {bench.name!r}")
+        self._benches.append(bench)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._benches)
+
+    def run(self, repetitions: int = 7, warmup: int = 2) -> dict[str, MicrobenchResult]:
+        return {b.name: run_microbenchmark(b, repetitions, warmup)
+                for b in self._benches}
+
+    @staticmethod
+    def report(results: dict[str, MicrobenchResult]) -> str:
+        lines = [f"{'benchmark':28s} {'median':>12s} {'GB/s':>9s} {'GFLOP/s':>9s} {'cv':>7s}"]
+        for name, r in results.items():
+            gb = f"{r.bytes_per_s / 1e9:9.2f}" if r.work.bytes_total else "      n/a"
+            gf = f"{r.flops_per_s / 1e9:9.2f}" if r.work.flops else "      n/a"
+            lines.append(f"{name:28s} {r.seconds:12.3e} {gb:>9s} {gf:>9s} "
+                         f"{r.summary.cv:7.2%}")
+        return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Memory-system microbenchmarks: bandwidth (STREAM) and latency.
+
+Two classic instruments the course teaches:
+
+* the **STREAM benchmark** (McCalpin) — sustainable bandwidth from four
+  streaming kernels; run empirically (NumPy arrays) and, with a working-set
+  sweep, exposes the cache-size "cliffs" of the hierarchy;
+* the **pointer-chase** — a dependent load chain that measures *latency*
+  (nothing overlaps), here both empirically and on the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kernels.stream import STREAM_KERNELS, stream_arrays
+from ..machine.specs import CPUSpec
+from ..simulator.cache import MultiLevelCache
+from ..timing.timers import measure
+from .harness import Microbenchmark, MicrobenchResult, run_microbenchmark
+
+__all__ = [
+    "stream_benchmark",
+    "run_stream",
+    "working_set_sweep",
+    "detect_cache_cliffs",
+    "make_pointer_chain",
+    "pointer_chase_latency",
+    "simulated_latency_sweep",
+]
+
+
+def stream_benchmark(kernel: str, n: int, seed: int = 0) -> Microbenchmark:
+    """Build one STREAM microbenchmark of ``n`` float64 elements."""
+    if kernel not in STREAM_KERNELS:
+        raise ValueError(f"unknown STREAM kernel {kernel!r}")
+    fn, work = STREAM_KERNELS[kernel]
+
+    def setup() -> tuple:
+        a, b, c = stream_arrays(n, seed)
+        if kernel == "copy":
+            return (a, c)
+        if kernel == "scale":
+            return (c, b)
+        return (a, b, c)
+
+    return Microbenchmark(name=f"stream-{kernel}-{n}", setup=setup, fn=fn,
+                          work=lambda *ops: work(n))
+
+
+def run_stream(n: int = 2_000_000, repetitions: int = 7,
+               kernels: tuple[str, ...] = ("copy", "scale", "add", "triad"),
+               seed: int = 0) -> dict[str, MicrobenchResult]:
+    """Run the STREAM suite; returns per-kernel results.
+
+    The headline number is triad's ``best_bytes_per_s`` — STREAM reports
+    best-of-N by design.
+    """
+    out = {}
+    for kernel in kernels:
+        out[kernel] = run_microbenchmark(stream_benchmark(kernel, n, seed),
+                                         repetitions=repetitions)
+    return out
+
+
+def working_set_sweep(sizes_bytes: list[int], kernel: str = "triad",
+                      repetitions: int = 5, seed: int = 0) -> dict[int, float]:
+    """Triad bandwidth (bytes/s) vs total working-set size.
+
+    On real hardware the curve steps down at each cache capacity; students
+    use this to *discover* the hierarchy empirically.  (Under NumPy the
+    cliffs are muted but present for sizes past the LLC.)
+    """
+    if not sizes_bytes:
+        raise ValueError("need at least one size")
+    out: dict[int, float] = {}
+    for size in sizes_bytes:
+        n = max(64, size // (3 * 8))  # 3 arrays of float64
+        res = run_microbenchmark(stream_benchmark(kernel, n, seed),
+                                 repetitions=repetitions)
+        out[size] = res.best_bytes_per_s
+    return out
+
+
+def detect_cache_cliffs(sweep: dict[int, float], drop_threshold: float = 0.25) -> list[int]:
+    """Working-set sizes where bandwidth drops by ≥ ``drop_threshold``.
+
+    Returns the sizes *at* which the drop is observed — estimates of cache
+    capacities (the drop occurs when the working set stops fitting).
+    """
+    if not 0 < drop_threshold < 1:
+        raise ValueError("drop threshold must be in (0, 1)")
+    sizes = sorted(sweep)
+    cliffs = []
+    for prev, cur in zip(sizes, sizes[1:]):
+        if sweep[prev] <= 0:
+            continue
+        drop = (sweep[prev] - sweep[cur]) / sweep[prev]
+        if drop >= drop_threshold:
+            cliffs.append(prev)
+    return cliffs
+
+
+# ---------------------------------------------------------------------------
+# latency
+# ---------------------------------------------------------------------------
+
+def make_pointer_chain(n_elements: int, stride_elements: int = 0,
+                       seed: int = 0) -> np.ndarray:
+    """A single-cycle permutation for pointer chasing.
+
+    ``chain[i]`` holds the index of the next element.  With
+    ``stride_elements`` 0 the cycle is a random permutation (defeats
+    prefetching); otherwise a fixed-stride ring (exposes prefetchers).
+    """
+    if n_elements < 2:
+        raise ValueError("chain needs at least two elements")
+    if stride_elements:
+        order = (np.arange(n_elements, dtype=np.int64) * stride_elements) % n_elements
+        if np.unique(order).size != n_elements:
+            raise ValueError("stride must be coprime with the chain length")
+    else:
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(n_elements).astype(np.int64)
+    chain = np.empty(n_elements, dtype=np.int64)
+    chain[order] = np.roll(order, -1)
+    return chain
+
+
+def pointer_chase_latency(chain: np.ndarray, hops: int = 100_000,
+                          repetitions: int = 5) -> float:
+    """Empirical seconds/hop over a pointer chain.
+
+    Pure-Python chasing measures interpreter + memory latency; absolute
+    values are Python-scale, but the *relative* growth with footprint still
+    exposes the hierarchy, which is the point of the exercise.
+    """
+    if hops < 1:
+        raise ValueError("need at least one hop")
+    chain_list = chain.tolist()
+
+    def chase() -> int:
+        p = 0
+        for _ in range(hops):
+            p = chain_list[p]
+        return p
+
+    result = measure(chase, repetitions=repetitions, warmup=1)
+    return result.summary.median / hops
+
+
+@dataclass(frozen=True)
+class _LatencyPoint:
+    footprint_bytes: int
+    cycles_per_hop: float
+
+
+def simulated_latency_sweep(cpu: CPUSpec, footprints_bytes: list[int],
+                            hops_per_point: int = 20_000,
+                            seed: int = 0) -> dict[int, float]:
+    """Simulated average access latency (cycles) vs chain footprint.
+
+    Replays random pointer chains through the cache hierarchy and computes
+    AMAT per footprint — the deterministic version of the latency plot,
+    showing each level's latency plateau.
+    """
+    out: dict[int, float] = {}
+    mem_latency_cycles = cpu.memory.latency_s * cpu.frequency_hz
+    for fp in footprints_bytes:
+        n_elements = max(2, fp // 8)
+        chain = make_pointer_chain(n_elements, seed=seed)
+        hierarchy = MultiLevelCache(cpu.caches)
+        p = 0
+        addrs = np.empty(min(hops_per_point, 4 * n_elements), dtype=np.int64)
+        for i in range(addrs.size):
+            addrs[i] = p * 8
+            p = int(chain[p])
+        hierarchy.access_trace(addrs)
+        cycles = 0.0
+        for cache in hierarchy.caches:
+            cycles += cache.stats.hits * cache.level.latency_cycles
+        cycles += hierarchy.memory_accesses * mem_latency_cycles
+        out[fp] = cycles / addrs.size
+    return out

@@ -1,0 +1,117 @@
+"""Machine characterization: assemble microbenchmarks into a calibration.
+
+Stage 2 of the performance-engineering process ("understand current
+performance") starts by characterizing the machine.  This module bundles the
+bandwidth/compute/latency microbenchmarks into one characterization object
+that downstream models (Roofline, analytical, ECM) consume, on either plane:
+
+* :func:`characterize_empirical` — wall-clock measurements of NumPy kernels
+  on the actual interpreter/machine;
+* :func:`characterize_simulated` — deterministic numbers derived from a
+  :class:`~repro.machine.specs.CPUSpec` and an instruction table, used by
+  tests and reproducible benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.instruction_tables import InstructionTable
+from ..machine.specs import CPUSpec
+from .compute import measure_peak_flops, simulated_peak_flops
+from .memory import run_stream, simulated_latency_sweep
+
+__all__ = ["MachineCharacterization", "characterize_empirical", "characterize_simulated"]
+
+
+@dataclass(frozen=True)
+class MachineCharacterization:
+    """Calibrated machine parameters for model building.
+
+    Attributes
+    ----------
+    name:
+        Machine label.
+    peak_flops:
+        Achievable compute rate (FLOP/s).
+    stream_bandwidth:
+        Sustainable memory bandwidth (bytes/s), triad convention.
+    latency_by_footprint:
+        Average access latency (cycles or seconds — see ``latency_unit``)
+        keyed by working-set bytes.
+    source:
+        ``"empirical"`` or ``"simulated"``.
+    """
+
+    name: str
+    peak_flops: float
+    stream_bandwidth: float
+    latency_by_footprint: dict[int, float] = field(default_factory=dict)
+    latency_unit: str = "cycles"
+    source: str = "simulated"
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.stream_bandwidth <= 0:
+            raise ValueError("peaks must be positive")
+
+    @property
+    def ridge_point(self) -> float:
+        return self.peak_flops / self.stream_bandwidth
+
+    @property
+    def machine_balance(self) -> float:
+        return self.stream_bandwidth / self.peak_flops
+
+    def report(self) -> str:
+        lines = [
+            f"Machine characterization: {self.name} [{self.source}]",
+            f"  peak compute    : {self.peak_flops / 1e9:10.2f} GFLOP/s",
+            f"  stream bandwidth: {self.stream_bandwidth / 1e9:10.2f} GB/s",
+            f"  ridge point     : {self.ridge_point:10.3f} FLOP/byte",
+            f"  machine balance : {self.machine_balance:10.4f} byte/FLOP",
+        ]
+        if self.latency_by_footprint:
+            lines.append(f"  latency vs footprint ({self.latency_unit}):")
+            for fp, lat in sorted(self.latency_by_footprint.items()):
+                lines.append(f"    {fp / 1024:10.0f} KiB : {lat:8.2f}")
+        return "\n".join(lines)
+
+
+def characterize_empirical(name: str = "this-machine", stream_n: int = 2_000_000,
+                           dot_n: int = 384, repetitions: int = 5,
+                           seed: int = 0) -> MachineCharacterization:
+    """Measure the running machine through NumPy microbenchmarks."""
+    stream = run_stream(n=stream_n, repetitions=repetitions, seed=seed)
+    bandwidth = stream["triad"].best_bytes_per_s
+    peak = measure_peak_flops(n=dot_n, repetitions=repetitions, seed=seed).flops_per_s
+    return MachineCharacterization(
+        name=name,
+        peak_flops=peak,
+        stream_bandwidth=bandwidth,
+        latency_by_footprint={},
+        latency_unit="seconds",
+        source="empirical",
+    )
+
+
+def characterize_simulated(cpu: CPUSpec, table: InstructionTable,
+                           latency_footprints: tuple[int, ...] = (
+                               16 * 1024, 128 * 1024, 4 * 1024 * 1024,
+                               64 * 1024 * 1024),
+                           seed: int = 0) -> MachineCharacterization:
+    """Deterministic characterization from spec + instruction table.
+
+    Peak compute comes from the table's vector-FMA throughput; bandwidth
+    from the spec's sustainable DRAM number; the latency sweep replays
+    pointer chains through the cache simulator.
+    """
+    peak = simulated_peak_flops(cpu, table, "vfmadd" if cpu.vector.fma else "vmul")
+    latency = simulated_latency_sweep(cpu, list(latency_footprints), seed=seed)
+    return MachineCharacterization(
+        name=cpu.name,
+        peak_flops=peak,
+        stream_bandwidth=cpu.stream_bandwidth,
+        latency_by_footprint=latency,
+        latency_unit="cycles",
+        source="simulated",
+    )

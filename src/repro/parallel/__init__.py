@@ -1,0 +1,36 @@
+"""Shared-memory and accelerator parallelism: schedules, teams, GPU model."""
+
+from .gpu import (
+    KernelConfig,
+    Occupancy,
+    OffloadDecision,
+    gpu_kernel_time,
+    occupancy,
+    offload_analysis,
+)
+from .schedule import SCHEDULES, ScheduleResult, imbalance_ratio, simulate_schedule
+from .threads import (
+    ParallelPatternMatch,
+    RegionCounters,
+    SimulatedTeam,
+    diagnose_parallel,
+    parallel_map,
+)
+
+__all__ = [
+    "SCHEDULES",
+    "ScheduleResult",
+    "simulate_schedule",
+    "imbalance_ratio",
+    "SimulatedTeam",
+    "RegionCounters",
+    "parallel_map",
+    "diagnose_parallel",
+    "ParallelPatternMatch",
+    "KernelConfig",
+    "Occupancy",
+    "occupancy",
+    "gpu_kernel_time",
+    "OffloadDecision",
+    "offload_analysis",
+]

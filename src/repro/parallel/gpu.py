@@ -1,0 +1,151 @@
+"""GPU execution model: occupancy, kernel time, offload decisions.
+
+The course targets CPU+GPU heterogeneous nodes; its GPU material teaches the
+CUDA execution model (SMs, warps, occupancy limits) and the offload
+trade-off (kernel speedup vs PCIe transfer cost).  Without CUDA hardware we
+model both analytically over :class:`~repro.machine.specs.GPUSpec` — the
+occupancy calculation is exactly NVIDIA's occupancy-calculator arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machine.specs import CPUSpec, GPUSpec
+from ..timing.metrics import WorkCount
+
+__all__ = ["KernelConfig", "Occupancy", "occupancy", "gpu_kernel_time",
+           "OffloadDecision", "offload_analysis"]
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """A CUDA-style kernel launch configuration."""
+
+    threads_per_block: int
+    registers_per_thread: int = 32
+    shared_mem_per_block_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block < 1:
+            raise ValueError("need at least one thread per block")
+        if self.registers_per_thread < 1:
+            raise ValueError("need at least one register per thread")
+        if self.shared_mem_per_block_bytes < 0:
+            raise ValueError("shared memory cannot be negative")
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy analysis of one kernel configuration on one GPU."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float
+    limiter: str
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.occupancy
+
+
+def occupancy(gpu: GPUSpec, config: KernelConfig) -> Occupancy:
+    """NVIDIA occupancy-calculator arithmetic.
+
+    Blocks per SM are limited by (a) warp slots, (b) the register file,
+    (c) shared memory; occupancy is resident warps over the SM's maximum.
+    """
+    if config.threads_per_block > gpu.max_threads_per_block:
+        raise ValueError(
+            f"{config.threads_per_block} threads/block exceeds the device "
+            f"limit {gpu.max_threads_per_block}")
+    warps_per_block = math.ceil(config.threads_per_block / gpu.warp_size)
+
+    by_warps = gpu.max_warps_per_sm // warps_per_block
+    regs_per_block = config.registers_per_thread * config.threads_per_block
+    by_regs = gpu.registers_per_sm // regs_per_block if regs_per_block else by_warps
+    if config.shared_mem_per_block_bytes:
+        by_smem = gpu.shared_mem_per_sm_bytes // config.shared_mem_per_block_bytes
+    else:
+        by_smem = by_warps
+    by_threads = gpu.max_threads_per_sm // config.threads_per_block
+
+    limits = [(by_warps, "warp-slots"), (by_threads, "thread-slots"),
+              (by_regs, "registers"), (by_smem, "shared-memory")]
+    blocks, limiter = min(limits, key=lambda lv: lv[0])
+    if blocks == 0:
+        return Occupancy(0, 0, 0.0, limiter)
+    warps = blocks * warps_per_block
+    return Occupancy(blocks, warps, warps / gpu.max_warps_per_sm, limiter)
+
+
+def gpu_kernel_time(gpu: GPUSpec, work: WorkCount, config: KernelConfig,
+                    dtype_bytes: int = 4) -> float:
+    """Roofline-style kernel time with an occupancy-derated compute peak.
+
+    T = launch_latency + max(flops / (peak · occupancy_factor),
+                             bytes / HBM_bandwidth)
+
+    where the occupancy factor saturates at ~50% occupancy (more warps than
+    needed to hide latency add nothing — the standard rule of thumb).
+    """
+    occ = occupancy(gpu, config)
+    if occ.occupancy == 0:
+        raise ValueError("configuration yields zero occupancy; kernel cannot launch")
+    factor = min(1.0, occ.occupancy / 0.5)
+    t_comp = work.flops / (gpu.peak_flops(dtype_bytes) * factor)
+    t_mem = work.bytes_total / gpu.memory_bandwidth_bytes_per_s
+    return gpu.kernel_launch_latency_s + max(t_comp, t_mem)
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """CPU-vs-GPU comparison for one kernel invocation."""
+
+    cpu_seconds: float
+    gpu_kernel_seconds: float
+    transfer_seconds: float
+    worthwhile: bool
+
+    @property
+    def gpu_total_seconds(self) -> float:
+        return self.gpu_kernel_seconds + self.transfer_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_seconds / self.gpu_total_seconds
+
+    @property
+    def breakeven_reuses(self) -> float:
+        """Kernel invocations per transfer needed for offload to pay off.
+
+        infinity when the GPU kernel alone is slower than the CPU.
+        """
+        gain = self.cpu_seconds - self.gpu_kernel_seconds
+        if gain <= 0:
+            return float("inf")
+        return self.transfer_seconds / gain
+
+
+def offload_analysis(cpu: CPUSpec, gpu: GPUSpec, work: WorkCount,
+                     transfer_bytes: float, config: KernelConfig,
+                     dtype_bytes: int = 4) -> OffloadDecision:
+    """Decide whether offloading one kernel call is worthwhile.
+
+    CPU time uses the Roofline bound for the *host* (optimistic for the
+    CPU, which biases the analysis against offload — the conservative
+    teaching default).
+    """
+    if transfer_bytes < 0:
+        raise ValueError("transfer bytes cannot be negative")
+    cpu_seconds = max(work.flops / cpu.peak_flops(8),
+                      work.bytes_total / cpu.stream_bandwidth)
+    kernel_seconds = gpu_kernel_time(gpu, work, config, dtype_bytes)
+    transfer_seconds = transfer_bytes / gpu.pcie_bandwidth_bytes_per_s
+    return OffloadDecision(
+        cpu_seconds=cpu_seconds,
+        gpu_kernel_seconds=kernel_seconds,
+        transfer_seconds=transfer_seconds,
+        worthwhile=kernel_seconds + transfer_seconds < cpu_seconds,
+    )

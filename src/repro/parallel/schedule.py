@@ -1,0 +1,174 @@
+"""OpenMP-style loop scheduling and load balance.
+
+The course's optimization lectures cover shared-memory parallelization with
+OpenMP; the choice of loop schedule (``static``, ``dynamic``, ``guided``,
+chunk sizes) against non-uniform iteration costs is a standard exam topic
+and a recurring project issue (SpMV rows, Game-of-Life regions).  This
+module simulates the schedules exactly as the OpenMP runtime defines them
+over an explicit per-iteration cost vector, yielding per-thread busy times,
+makespan, and imbalance metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ScheduleResult", "simulate_schedule", "imbalance_ratio", "SCHEDULES"]
+
+SCHEDULES = ("static", "static-chunked", "dynamic", "guided")
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one parallel loop."""
+
+    schedule: str
+    threads: int
+    per_thread_busy: tuple[float, ...]
+    makespan: float
+    chunks_dispatched: int
+    overhead: float
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.per_thread_busy)
+
+    @property
+    def imbalance(self) -> float:
+        """(max - mean) / mean of per-thread busy time (0 = perfect)."""
+        mean = self.total_work / self.threads
+        if mean == 0:
+            return 0.0
+        return (max(self.per_thread_busy) - mean) / mean
+
+    @property
+    def efficiency(self) -> float:
+        """Useful work / (threads × makespan)."""
+        if self.makespan == 0:
+            return 1.0
+        return self.total_work / (self.threads * self.makespan)
+
+
+def _chunk_bounds_static(n: int, threads: int) -> list[tuple[int, int, int]]:
+    """(thread, lo, hi) blocks for OpenMP's default static schedule."""
+    out = []
+    base = n // threads
+    extra = n % threads
+    lo = 0
+    for t in range(threads):
+        size = base + (1 if t < extra else 0)
+        out.append((t, lo, lo + size))
+        lo += size
+    return out
+
+
+def simulate_schedule(costs: Sequence[float], threads: int,
+                      schedule: str = "static", chunk: int | None = None,
+                      dispatch_overhead: float = 0.0) -> ScheduleResult:
+    """Simulate one parallel-for over per-iteration ``costs``.
+
+    Parameters
+    ----------
+    costs:
+        Cost (seconds) of each iteration, in loop order.
+    threads:
+        Team size.
+    schedule:
+        ``static`` (one contiguous block per thread), ``static-chunked``
+        (round-robin chunks), ``dynamic`` (first-free-thread-takes-next-
+        chunk), or ``guided`` (dynamic with geometrically shrinking
+        chunks).
+    chunk:
+        Chunk size for the chunked/dynamic schedules (OpenMP defaults:
+        dynamic -> 1, guided -> 1 minimum, static-chunked requires one).
+    dispatch_overhead:
+        Seconds charged to a thread per chunk it acquires — the knob that
+        makes ``dynamic,1`` lose on cheap iterations (the classic
+        trade-off students must measure).
+    """
+    cost_arr = np.asarray(costs, dtype=float)
+    if cost_arr.ndim != 1 or cost_arr.size == 0:
+        raise ValueError("need a non-empty 1-D cost vector")
+    if np.any(cost_arr < 0):
+        raise ValueError("iteration costs cannot be negative")
+    if threads < 1:
+        raise ValueError("need at least one thread")
+    if dispatch_overhead < 0:
+        raise ValueError("overhead cannot be negative")
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r}; choose from {SCHEDULES}")
+    n = cost_arr.size
+
+    busy = [0.0] * threads
+    dispatched = 0
+    overhead_total = 0.0
+
+    if schedule == "static":
+        for t, lo, hi in _chunk_bounds_static(n, threads):
+            if hi > lo:
+                busy[t] += float(cost_arr[lo:hi].sum()) + dispatch_overhead
+                overhead_total += dispatch_overhead
+                dispatched += 1
+    elif schedule == "static-chunked":
+        if chunk is None or chunk < 1:
+            raise ValueError("static-chunked requires a positive chunk size")
+        for c, lo in enumerate(range(0, n, chunk)):
+            hi = min(lo + chunk, n)
+            t = c % threads
+            busy[t] += float(cost_arr[lo:hi].sum()) + dispatch_overhead
+            overhead_total += dispatch_overhead
+            dispatched += 1
+    else:
+        # work-queue schedules: a min-heap of (available_time, thread)
+        if chunk is None:
+            chunk = 1
+        if chunk < 1:
+            raise ValueError("chunk must be positive")
+        heap = [(0.0, t) for t in range(threads)]
+        heapq.heapify(heap)
+        lo = 0
+        remaining = n
+        while remaining > 0:
+            if schedule == "guided":
+                size = max(chunk, remaining // threads)
+            else:  # dynamic
+                size = chunk
+            size = min(size, remaining)
+            hi = lo + size
+            t_avail, t = heapq.heappop(heap)
+            t_done = t_avail + dispatch_overhead + float(cost_arr[lo:hi].sum())
+            busy[t] = t_done
+            overhead_total += dispatch_overhead
+            dispatched += 1
+            heapq.heappush(heap, (t_done, t))
+            lo = hi
+            remaining -= size
+
+    makespan = max(busy)
+    return ScheduleResult(
+        schedule=schedule if chunk is None else f"{schedule},{chunk}",
+        threads=threads,
+        per_thread_busy=tuple(busy),
+        makespan=makespan,
+        chunks_dispatched=dispatched,
+        overhead=overhead_total,
+    )
+
+
+def imbalance_ratio(per_thread_times: Sequence[float]) -> float:
+    """(max - mean)/mean over per-thread busy times.
+
+    LIKWID's load-imbalance metric; > ~0.2 flags the load-imbalance
+    pattern in the parallel diagnosis.
+    """
+    arr = np.asarray(per_thread_times, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("need a non-empty time vector")
+    mean = float(arr.mean())
+    if mean == 0:
+        return 0.0
+    return float((arr.max() - mean) / mean)

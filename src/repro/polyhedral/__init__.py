@@ -1,0 +1,35 @@
+"""Polyhedral model: domains, dependences, legality-checked transforms."""
+
+from .dependence import Dependence, distance_vectors, exact_dependences, gcd_test
+from .domain import AffineAccess, Domain, LoopNest
+from .nests import jacobi_nest, matmul_nest, seidel_nest, transpose_nest
+from .transform import (
+    interchange_legal,
+    legal_orders,
+    lex_positive,
+    nest_trace,
+    simulated_misses,
+    skewed_vectors,
+    tiling_legal,
+)
+
+__all__ = [
+    "Domain",
+    "AffineAccess",
+    "LoopNest",
+    "Dependence",
+    "gcd_test",
+    "exact_dependences",
+    "distance_vectors",
+    "lex_positive",
+    "interchange_legal",
+    "tiling_legal",
+    "skewed_vectors",
+    "legal_orders",
+    "nest_trace",
+    "simulated_misses",
+    "matmul_nest",
+    "jacobi_nest",
+    "seidel_nest",
+    "transpose_nest",
+]

@@ -1,0 +1,162 @@
+"""Dependence analysis over loop nests.
+
+Two classical layers:
+
+* :func:`gcd_test` — the fast *may-depend* filter: an integer solution to
+  ``M1·i - M2·j = c2 - c1`` can only exist if each row's gcd divides the
+  constant; no solution ⇒ provably independent.
+* :func:`exact_dependences` — exact dependence *distance vectors* by cell
+  indexing over the (bounded) domain: group all accesses by the array cell
+  they touch, order each cell's accessors by schedule time, and emit a
+  dependence for every write→later-access and access→later-write pair.
+
+Distance vectors drive the legality checks in
+:mod:`repro.polyhedral.transform`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .domain import AffineAccess, Domain, LoopNest
+
+__all__ = ["Dependence", "gcd_test", "exact_dependences", "distance_vectors"]
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One dependence class between two accesses of a nest.
+
+    ``kind`` is ``flow`` (write→read), ``anti`` (read→write), or
+    ``output`` (write→write).  ``distance`` is the iteration-space vector
+    (sink − source); ``None`` when the dependence is not uniform (distance
+    varies across the domain).
+    """
+
+    array: str
+    kind: str
+    source_access: int
+    sink_access: int
+    distance: tuple[int, ...] | None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("flow", "anti", "output"):
+            raise ValueError(f"unknown dependence kind {self.kind!r}")
+
+    @property
+    def is_loop_carried(self) -> bool:
+        """Carried by some loop (nonzero distance) vs loop-independent."""
+        return self.distance is None or any(d != 0 for d in self.distance)
+
+
+def gcd_test(a1: AffineAccess, a2: AffineAccess) -> bool:
+    """May the two accesses touch a common cell?  (False = provably not.)
+
+    Per-subscript GCD test: ``M1·i = M2·j + (c2 - c1)`` has integer
+    solutions only if gcd of all coefficients divides the constant
+    difference.  Ignores domain bounds — conservative by design.
+    """
+    if a1.array != a2.array:
+        return False
+    if a1.ndim_array != a2.ndim_array:
+        raise ValueError("accesses to the same array disagree on rank")
+    for row1, row2, c1, c2 in zip(a1.matrix, a2.matrix, a1.offset, a2.offset):
+        coeffs = [*row1, *(-c for c in row2)]
+        g = 0
+        for c in coeffs:
+            g = math.gcd(g, abs(c))
+        diff = c2 - c1
+        if g == 0:
+            if diff != 0:
+                return False
+            continue
+        if diff % g != 0:
+            return False
+    return True
+
+
+def exact_dependences(nest: LoopNest, max_points: int = 2_000_000
+                      ) -> list[Dependence]:
+    """All dependences of a nest, with uniform distance vectors when they exist.
+
+    Exact for the given (bounded) domain; ``max_points`` guards against
+    accidental blow-ups.  Schedule time is the original lexicographic
+    order — transforms re-check legality against these distances.
+    """
+    if nest.domain.size > max_points:
+        raise ValueError(
+            f"domain has {nest.domain.size} points; raise max_points to force")
+    points = nest.domain.points()
+    n = points.shape[0]
+
+    # For every (array, cell): ordered list of (time, access_id, is_write).
+    touch: dict[tuple, list[tuple[int, int]]] = defaultdict(list)
+    for acc_id, acc in enumerate(nest.accesses):
+        cells = acc.indices(points)
+        for t in range(n):
+            touch[(acc.array, *map(int, cells[t]))].append((t, acc_id))
+
+    # collect per (source_access, sink_access, kind): set of distances
+    dist_sets: dict[tuple[int, int, str], set[tuple[int, ...]] | None] = {}
+    for key, users in touch.items():
+        users.sort()
+        writers = [(t, a) for t, a in users if nest.accesses[a].is_write]
+        if not writers:
+            continue
+        for t_src, a_src in users:
+            src_is_write = nest.accesses[a_src].is_write
+            for t_snk, a_snk in users:
+                if t_snk <= t_src:
+                    continue
+                snk_is_write = nest.accesses[a_snk].is_write
+                if not src_is_write and not snk_is_write:
+                    continue
+                if src_is_write and snk_is_write:
+                    kind = "output"
+                elif src_is_write:
+                    kind = "flow"
+                else:
+                    kind = "anti"
+                delta = tuple(int(x) for x in points[t_snk] - points[t_src])
+                k = (a_src, a_snk, kind)
+                if k in dist_sets:
+                    existing = dist_sets[k]
+                    if existing is not None:
+                        existing.add(delta)
+                else:
+                    dist_sets[k] = {delta}
+                break  # only the *next* conflicting access: direct dependence
+
+    out: list[Dependence] = []
+    for (a_src, a_snk, kind), deltas in sorted(dist_sets.items()):
+        array = nest.accesses[a_src].array
+        if deltas is not None and len(deltas) == 1:
+            distance: tuple[int, ...] | None = next(iter(deltas))
+        else:
+            distance = None
+        out.append(Dependence(array, kind, a_src, a_snk, distance))
+    return out
+
+
+def distance_vectors(nest: LoopNest, include_loop_independent: bool = False
+                     ) -> list[tuple[int, ...]]:
+    """Unique uniform distance vectors of a nest's dependences.
+
+    Raises if any dependence is non-uniform (no single vector) — those
+    need direction-vector reasoning, which the transforms here refuse
+    rather than approximate.
+    """
+    vectors = set()
+    for dep in exact_dependences(nest):
+        if dep.distance is None:
+            raise ValueError(
+                f"{dep.array}: non-uniform dependence between accesses "
+                f"{dep.source_access} and {dep.sink_access}")
+        if not dep.is_loop_carried and not include_loop_independent:
+            continue
+        vectors.add(dep.distance)
+    return sorted(vectors)

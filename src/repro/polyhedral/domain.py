@@ -1,0 +1,234 @@
+"""Iteration domains and affine accesses — the polyhedral model's data.
+
+The course teaches the polyhedral model (Table 1, via the HiPEAC tutorial)
+as the formal framework behind the loop transformations of assignment 1:
+an iteration *domain* (integer points of a polyhedron — here rectangular
+nests, which cover all course kernels), affine *access functions* mapping
+iterations to array cells, and a *schedule* (loop order) whose legality is
+decided by dependence analysis (:mod:`repro.polyhedral.dependence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Domain", "AffineAccess", "LoopNest"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A rectangular iteration domain: the integer points of ∏ [lo_d, hi_d).
+
+    ``bounds`` is one (lo, hi) half-open interval per loop dimension,
+    outermost first.
+    """
+
+    bounds: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ValueError("domain needs at least one dimension")
+        for d, (lo, hi) in enumerate(self.bounds):
+            if hi <= lo:
+                raise ValueError(f"dimension {d}: empty interval [{lo}, {hi})")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for lo, hi in self.bounds:
+            n *= hi - lo
+        return n
+
+    def extents(self) -> tuple[int, ...]:
+        return tuple(hi - lo for lo, hi in self.bounds)
+
+    def points(self, order: Sequence[int] | None = None) -> np.ndarray:
+        """All points in lexicographic order of the (permuted) loops.
+
+        Returns an array of shape (size, ndim) whose columns are in
+        *original* dimension order; ``order`` permutes which loop runs
+        outermost (``order[0]``) to innermost (``order[-1]``).
+        """
+        perm = self._check_order(order)
+        axes = [np.arange(self.bounds[d][0], self.bounds[d][1]) for d in perm]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        stacked = np.stack([m.ravel() for m in mesh], axis=1)
+        # stacked columns are in perm order; scatter back to original order
+        out = np.empty_like(stacked)
+        for pos, d in enumerate(perm):
+            out[:, d] = stacked[:, pos]
+        return out
+
+    def tiled_points(self, tile_sizes: Sequence[int],
+                     order: Sequence[int] | None = None) -> np.ndarray:
+        """Points in tiled traversal order: tile loops outside, point loops in."""
+        perm = self._check_order(order)
+        if len(tile_sizes) != self.ndim:
+            raise ValueError("need one tile size per dimension")
+        for t in tile_sizes:
+            if t < 1:
+                raise ValueError("tile sizes must be positive")
+        blocks: list[np.ndarray] = []
+        tile_axes = []
+        for d in perm:
+            lo, hi = self.bounds[d]
+            tile_axes.append(range(lo, hi, tile_sizes[d]))
+        import itertools
+
+        for tile_origin in itertools.product(*tile_axes):
+            axes = []
+            for pos, d in enumerate(perm):
+                lo = tile_origin[pos]
+                hi = min(lo + tile_sizes[d], self.bounds[d][1])
+                axes.append(np.arange(lo, hi))
+            mesh = np.meshgrid(*axes, indexing="ij")
+            stacked = np.stack([m.ravel() for m in mesh], axis=1)
+            out = np.empty_like(stacked)
+            for pos, d in enumerate(perm):
+                out[:, d] = stacked[:, pos]
+            blocks.append(out)
+        return np.concatenate(blocks, axis=0)
+
+    def skewed_points(self, outer: int, inner: int, factor: int,
+                      tile_sizes: Sequence[int] | None = None) -> np.ndarray:
+        """Points in skewed execution order: inner' = inner + factor·outer.
+
+        The schedule transform matching
+        :func:`repro.polyhedral.transform.skewed_vectors`: iterations are
+        visited ordered by the *skewed* coordinates (optionally tiled in
+        skewed space), while the returned points remain original
+        coordinates, ready for access-function evaluation.
+        """
+        if factor < 0:
+            raise ValueError("skew factor must be non-negative")
+        if not 0 <= outer < self.ndim or not 0 <= inner < self.ndim or outer == inner:
+            raise ValueError("invalid skew dimensions")
+        pts = self.points()
+        skew_coord = pts.copy()
+        skew_coord[:, inner] = pts[:, inner] + factor * pts[:, outer]
+        if tile_sizes is not None:
+            if len(tile_sizes) != self.ndim:
+                raise ValueError("need one tile size per dimension")
+            for t in tile_sizes:
+                if t < 1:
+                    raise ValueError("tile sizes must be positive")
+            tiles = skew_coord // np.asarray(tile_sizes, dtype=np.int64)
+            keys = [skew_coord[:, d] for d in reversed(range(self.ndim))]
+            keys += [tiles[:, d] for d in reversed(range(self.ndim))]
+            order = np.lexsort(keys)
+        else:
+            order = np.lexsort([skew_coord[:, d]
+                                for d in reversed(range(self.ndim))])
+        return pts[order]
+
+    def contains(self, point: Sequence[int]) -> bool:
+        if len(point) != self.ndim:
+            raise ValueError("point dimensionality mismatch")
+        return all(lo <= x < hi for x, (lo, hi) in zip(point, self.bounds))
+
+    def _check_order(self, order: Sequence[int] | None) -> tuple[int, ...]:
+        if order is None:
+            return tuple(range(self.ndim))
+        perm = tuple(order)
+        if sorted(perm) != list(range(self.ndim)):
+            raise ValueError(f"order must be a permutation of 0..{self.ndim - 1}")
+        return perm
+
+
+@dataclass(frozen=True)
+class AffineAccess:
+    """An affine array access ``array[M·i + c]``.
+
+    ``matrix`` has one row per array subscript, one column per loop
+    dimension; ``offset`` is the constant vector c.
+    """
+
+    array: str
+    matrix: tuple[tuple[int, ...], ...]
+    offset: tuple[int, ...]
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.matrix:
+            raise ValueError("access needs at least one subscript")
+        width = len(self.matrix[0])
+        if any(len(row) != width for row in self.matrix):
+            raise ValueError("ragged access matrix")
+        if len(self.offset) != len(self.matrix):
+            raise ValueError("offset length must equal the number of subscripts")
+
+    @property
+    def ndim_domain(self) -> int:
+        return len(self.matrix[0])
+
+    @property
+    def ndim_array(self) -> int:
+        return len(self.matrix)
+
+    def index(self, point: Sequence[int]) -> tuple[int, ...]:
+        """Array cell accessed at one iteration point."""
+        if len(point) != self.ndim_domain:
+            raise ValueError("point dimensionality mismatch")
+        return tuple(
+            sum(m * x for m, x in zip(row, point)) + c
+            for row, c in zip(self.matrix, self.offset)
+        )
+
+    def indices(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized cell computation for an (n, d) point array."""
+        mat = np.asarray(self.matrix, dtype=np.int64)
+        off = np.asarray(self.offset, dtype=np.int64)
+        return points @ mat.T + off
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A loop nest: a domain plus its array accesses."""
+
+    name: str
+    domain: Domain
+    accesses: tuple[AffineAccess, ...]
+
+    def __post_init__(self) -> None:
+        if not self.accesses:
+            raise ValueError("nest needs at least one access")
+        for acc in self.accesses:
+            if acc.ndim_domain != self.domain.ndim:
+                raise ValueError(
+                    f"access to {acc.array} has {acc.ndim_domain} dims, "
+                    f"domain has {self.domain.ndim}")
+
+    def writes(self) -> tuple[AffineAccess, ...]:
+        return tuple(a for a in self.accesses if a.is_write)
+
+    def arrays(self) -> dict[str, tuple[int, ...]]:
+        """Array name -> required extents (max index + 1 per subscript)."""
+        corners = _domain_corners(self.domain)
+        out: dict[str, list[int]] = {}
+        for acc in self.accesses:
+            idx = acc.indices(corners)
+            lo = idx.min(axis=0)
+            hi = idx.max(axis=0)
+            if np.any(lo < 0):
+                raise ValueError(f"access to {acc.array} goes negative")
+            cur = out.setdefault(acc.array, [0] * acc.ndim_array)
+            for k in range(acc.ndim_array):
+                cur[k] = max(cur[k], int(hi[k]) + 1)
+        return {name: tuple(ext) for name, ext in out.items()}
+
+
+def _domain_corners(domain: Domain) -> np.ndarray:
+    """All 2^d corners of a rectangular domain (affine extremes)."""
+    import itertools
+
+    corners = []
+    for combo in itertools.product(*[(lo, hi - 1) for lo, hi in domain.bounds]):
+        corners.append(combo)
+    return np.asarray(corners, dtype=np.int64)

@@ -1,0 +1,87 @@
+"""Canonical loop nests of the course kernels, in polyhedral form."""
+
+from __future__ import annotations
+
+from .domain import AffineAccess, Domain, LoopNest
+
+__all__ = ["matmul_nest", "jacobi_nest", "seidel_nest", "transpose_nest"]
+
+
+def matmul_nest(n: int) -> LoopNest:
+    """C[i,j] += A[i,k]·B[k,j] over the (i, j, k) cube.
+
+    Carries only the C-reduction along k — every interchange is legal and
+    the full nest is tilable, which is why assignment 1 can suggest both.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    dom = Domain(((0, n), (0, n), (0, n)))  # i, j, k
+    return LoopNest("matmul", dom, (
+        AffineAccess("C", ((1, 0, 0), (0, 1, 0)), (0, 0), is_write=False),
+        AffineAccess("A", ((1, 0, 0), (0, 0, 1)), (0, 0)),
+        AffineAccess("B", ((0, 0, 1), (0, 1, 0)), (0, 0)),
+        AffineAccess("C", ((1, 0, 0), (0, 1, 0)), (0, 0), is_write=True),
+    ))
+
+
+def jacobi_nest(n: int) -> LoopNest:
+    """Out-of-place 5-point Jacobi sweep: dst[i,j] = f(src neighbours).
+
+    No loop-carried dependences (separate arrays), so every order and any
+    tiling is legal — the polyhedral explanation of why Jacobi is the
+    friendly stencil.
+    """
+    if n < 3:
+        raise ValueError("grid must be at least 3x3")
+    dom = Domain(((1, n - 1), (1, n - 1)))  # interior points
+    eye = ((1, 0), (0, 1))
+    return LoopNest("jacobi", dom, (
+        AffineAccess("src", eye, (-1, 0)),
+        AffineAccess("src", eye, (1, 0)),
+        AffineAccess("src", eye, (0, -1)),
+        AffineAccess("src", eye, (0, 1)),
+        AffineAccess("dst", eye, (0, 0), is_write=True),
+    ))
+
+
+def seidel_nest(n: int) -> LoopNest:
+    """In-place 9-point Gauss-Seidel sweep (PolyBench's seidel-2d).
+
+    Reading u[i+1, j-1] at iteration (i, j) — written later, at iteration
+    (i+1, j-1) — produces the anti dependence with distance (1, -1):
+    loop interchange becomes illegal ((-1, 1) is lexicographically
+    negative) and the nest is not fully permutable, so rectangular tiling
+    is illegal *until* the inner loop is skewed by the outer — the classic
+    polyhedral teaching example.
+    """
+    if n < 3:
+        raise ValueError("grid must be at least 3x3")
+    dom = Domain(((1, n - 1), (1, n - 1)))
+    eye = ((1, 0), (0, 1))
+    return LoopNest("seidel", dom, (
+        AffineAccess("u", eye, (-1, -1)),  # updated this sweep (flow)
+        AffineAccess("u", eye, (-1, 0)),
+        AffineAccess("u", eye, (-1, 1)),   # flow with distance (1, -1)
+        AffineAccess("u", eye, (0, -1)),
+        AffineAccess("u", eye, (0, 1)),    # anti with distance (0, 1)
+        AffineAccess("u", eye, (1, -1)),   # anti with distance (1, -1)
+        AffineAccess("u", eye, (1, 0)),
+        AffineAccess("u", eye, (1, 1)),
+        AffineAccess("u", eye, (0, 0), is_write=True),
+    ))
+
+
+def transpose_nest(n: int) -> LoopNest:
+    """B[j,i] = A[i,j] — pure layout conflict: one array is always strided.
+
+    No dependences at all, yet no loop order is good for both arrays;
+    only tiling helps.  The standard motivation for blocking as distinct
+    from reordering.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    dom = Domain(((0, n), (0, n)))
+    return LoopNest("transpose", dom, (
+        AffineAccess("A", ((1, 0), (0, 1)), (0, 0)),
+        AffineAccess("B", ((0, 1), (1, 0)), (0, 0), is_write=True),
+    ))

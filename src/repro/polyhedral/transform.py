@@ -1,0 +1,172 @@
+"""Legality-checked loop transformations and locality evaluation.
+
+The transformations assignment 1 applies by hand (interchange, tiling) are
+justified here formally: a transformation is *legal* iff every dependence
+distance vector stays lexicographically positive under the new schedule.
+The module also closes the loop with the cache simulator: a nest + schedule
+compiles to a memory trace whose simulated misses *measure* the locality
+the transformation was supposed to buy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..machine.specs import CPUSpec
+from ..simulator.cache import MultiLevelCache
+from ..simulator.trace import ArrayLayout, Trace
+from .dependence import distance_vectors
+from .domain import LoopNest
+
+__all__ = [
+    "lex_positive",
+    "interchange_legal",
+    "tiling_legal",
+    "skewed_vectors",
+    "legal_orders",
+    "nest_trace",
+    "simulated_misses",
+]
+
+_ELEM = 8  # float64 array elements
+
+
+def lex_positive(vector: Sequence[int]) -> bool:
+    """Is the vector lexicographically positive (first nonzero > 0)?"""
+    for x in vector:
+        if x != 0:
+            return x > 0
+    return False  # the zero vector is not positive
+
+
+def interchange_legal(vectors: Sequence[Sequence[int]],
+                      order: Sequence[int]) -> bool:
+    """Is the loop permutation ``order`` legal for these distance vectors?
+
+    Legal iff every permuted distance vector remains lexicographically
+    positive (loop-independent zero vectors are ignored).
+    """
+    perm = list(order)
+    for v in vectors:
+        if len(v) != len(perm):
+            raise ValueError("vector/permutation dimensionality mismatch")
+        if all(x == 0 for x in v):
+            continue
+        permuted = [v[d] for d in perm]
+        if not lex_positive(permuted):
+            return False
+    return True
+
+
+def tiling_legal(vectors: Sequence[Sequence[int]],
+                 dims: Sequence[int] | None = None) -> bool:
+    """Is rectangular tiling of ``dims`` legal?
+
+    A loop band is tilable iff it is *fully permutable*: every dependence
+    distance component within the band is non-negative.  (Tiling reorders
+    iterations within and across tiles in ways only full permutability
+    licenses.)
+    """
+    for v in vectors:
+        band = v if dims is None else [v[d] for d in dims]
+        if any(x < 0 for x in band):
+            return False
+    return True
+
+
+def skewed_vectors(vectors: Sequence[Sequence[int]], outer: int, inner: int,
+                   factor: int = 1) -> list[tuple[int, ...]]:
+    """Distance vectors after skewing: inner' = inner + factor·outer.
+
+    Skewing never changes legality of the original order (it is a
+    unimodular schedule change that preserves lexicographic order) but can
+    make a band fully permutable — the classic fix that makes Gauss-Seidel
+    style stencils tilable.
+    """
+    if factor < 0:
+        raise ValueError("skew factor must be non-negative")
+    out = []
+    for v in vectors:
+        if not 0 <= outer < len(v) or not 0 <= inner < len(v) or outer == inner:
+            raise ValueError("invalid skew dimensions")
+        nv = list(v)
+        nv[inner] = nv[inner] + factor * nv[outer]
+        out.append(tuple(nv))
+    return out
+
+
+def legal_orders(nest: LoopNest) -> list[tuple[int, ...]]:
+    """All legal loop permutations of a nest."""
+    import itertools
+
+    vectors = distance_vectors(nest)
+    orders = []
+    for perm in itertools.permutations(range(nest.domain.ndim)):
+        if interchange_legal(vectors, perm):
+            orders.append(perm)
+    return orders
+
+
+def nest_trace(nest: LoopNest, order: Sequence[int] | None = None,
+               tile_sizes: Sequence[int] | None = None,
+               skew: tuple[int, int, int] | None = None,
+               layout: ArrayLayout | None = None) -> Trace:
+    """Compile a nest under a schedule into a memory trace.
+
+    Arrays are laid out row-major at page-aligned bases; accesses are
+    issued in program order per iteration.  ``skew`` = (outer, inner,
+    factor) applies the skewing schedule (optionally tiled in skewed
+    space) — the transform that makes seidel-style nests tilable.  This
+    is what lets the polyhedral layer *measure* locality with the cache
+    simulator instead of arguing about it.
+    """
+    if skew is not None:
+        if order is not None:
+            raise ValueError("skew and order schedules are mutually exclusive")
+        outer, inner, factor = skew
+        points = nest.domain.skewed_points(outer, inner, factor, tile_sizes)
+    elif tile_sizes is not None:
+        points = nest.domain.tiled_points(tile_sizes, order)
+    else:
+        points = nest.domain.points(order)
+    layout = layout or ArrayLayout()
+    extents = nest.arrays()
+    bases: dict[str, int] = {}
+    strides: dict[str, np.ndarray] = {}
+    for name, ext in extents.items():
+        total = int(np.prod(ext))
+        bases[name] = layout.alloc(name, total * _ELEM)
+        # row-major strides
+        s = np.ones(len(ext), dtype=np.int64)
+        for k in range(len(ext) - 2, -1, -1):
+            s[k] = s[k + 1] * ext[k + 1]
+        strides[name] = s
+
+    n = points.shape[0]
+    k = len(nest.accesses)
+    addr = np.empty(n * k, dtype=np.int64)
+    writes = np.empty(n * k, dtype=bool)
+    for j, acc in enumerate(nest.accesses):
+        cells = acc.indices(points)
+        flat = cells @ strides[acc.array]
+        addr[j::k] = bases[acc.array] + flat * _ELEM
+        writes[j::k] = acc.is_write
+    label = f"{nest.name}-order{tuple(order) if order else 'id'}"
+    if tile_sizes:
+        label += f"-tile{tuple(tile_sizes)}"
+    if skew:
+        label += f"-skew{skew}"
+    return Trace(addr, writes, label=label)
+
+
+def simulated_misses(nest: LoopNest, cpu: CPUSpec,
+                     order: Sequence[int] | None = None,
+                     tile_sizes: Sequence[int] | None = None,
+                     prefetch: bool = False) -> dict[str, int]:
+    """Cache misses of a nest under a schedule (the locality measurement)."""
+    trace = nest_trace(nest, order, tile_sizes)
+    hierarchy = MultiLevelCache(cpu.caches, prefetch=prefetch)
+    hierarchy.access_trace(trace.addresses, trace.writes)
+    return hierarchy.miss_counts()

@@ -1,0 +1,5 @@
+"""Profiling: where does the time go (stage 2's first question)."""
+
+from .profiler import FunctionCost, Profile, amdahl_gate, profile_callable
+
+__all__ = ["FunctionCost", "Profile", "profile_callable", "amdahl_gate"]

@@ -1,0 +1,124 @@
+"""Function-level profiling — the "no optimization without measuring" tool.
+
+Assignment 2 has students use "detailed performance profilers like perf";
+stage 2 of the process starts by finding where time goes.  This module
+wraps :mod:`cProfile` into the toolbox idiom: run a workload, get a
+structured flat profile and hotspot report, and apply the course's
+decision rules (is the profile flat or peaked? is the hotspot worth
+attacking, per Amdahl?).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["FunctionCost", "Profile", "profile_callable", "amdahl_gate"]
+
+
+@dataclass(frozen=True)
+class FunctionCost:
+    """One function's share of a profile."""
+
+    name: str
+    calls: int
+    total_seconds: float      # inclusive (cumulative) time
+    self_seconds: float       # exclusive time
+
+    def __post_init__(self) -> None:
+        if self.calls < 0 or self.total_seconds < 0 or self.self_seconds < 0:
+            raise ValueError("profile numbers cannot be negative")
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A flat profile: per-function costs plus the total."""
+
+    total_seconds: float
+    functions: tuple[FunctionCost, ...]
+
+    def hotspots(self, top: int = 5) -> list[FunctionCost]:
+        """The ``top`` functions by exclusive time."""
+        if top < 1:
+            raise ValueError("top must be positive")
+        ranked = sorted(self.functions, key=lambda f: -f.self_seconds)
+        return ranked[:top]
+
+    def fraction(self, name_substring: str) -> float:
+        """Fraction of total time spent (exclusively) in matching functions."""
+        if self.total_seconds <= 0:
+            return 0.0
+        matched = sum(f.self_seconds for f in self.functions
+                      if name_substring in f.name)
+        return matched / self.total_seconds
+
+    @property
+    def flatness(self) -> float:
+        """Share of time outside the single hottest function.
+
+        Near 0: one hotspot (attack it).  Near 1: flat profile (lesson:
+        no single optimization will help; think algorithm or design).
+        """
+        if not self.functions or self.total_seconds <= 0:
+            return 1.0
+        hottest = max(f.self_seconds for f in self.functions)
+        return 1.0 - hottest / self.total_seconds
+
+    def report(self, top: int = 10) -> str:
+        lines = [f"profile: {self.total_seconds:.4f}s total",
+                 f"  {'function':48s} {'calls':>8s} {'self':>9s} {'total':>9s} {'self%':>7s}"]
+        for f in self.hotspots(top):
+            share = f.self_seconds / self.total_seconds if self.total_seconds else 0
+            lines.append(f"  {f.name[:48]:48s} {f.calls:8d} "
+                         f"{f.self_seconds:9.4f} {f.total_seconds:9.4f} {share:7.1%}")
+        lines.append(f"  flatness: {self.flatness:.2f} "
+                     f"({'flat profile' if self.flatness > 0.7 else 'peaked profile'})")
+        return "\n".join(lines)
+
+
+def profile_callable(fn: Callable[[], object], min_self_seconds: float = 0.0
+                     ) -> Profile:
+    """Profile one call of ``fn`` with cProfile.
+
+    Functions below ``min_self_seconds`` of exclusive time are dropped
+    from the structured result (they remain in the total).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    total = stats.total_tt
+    functions = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        if tt < min_self_seconds:
+            continue
+        short = filename.rsplit("/", 1)[-1]
+        functions.append(FunctionCost(
+            name=f"{short}:{lineno}({funcname})",
+            calls=int(nc),
+            total_seconds=float(ct),
+            self_seconds=float(tt),
+        ))
+    return Profile(total_seconds=float(total), functions=tuple(functions))
+
+
+def amdahl_gate(profile: Profile, name_substring: str,
+                assumed_speedup: float = 10.0) -> tuple[float, bool]:
+    """Is optimizing the matching functions worth it?
+
+    Returns (overall speedup if the matched fraction is accelerated by
+    ``assumed_speedup``, worth-it flag at the course's 1.3x threshold).
+    The standard stage-4 sanity check before spending effort.
+    """
+    if assumed_speedup <= 1:
+        raise ValueError("assumed speedup must exceed 1")
+    fraction = profile.fraction(name_substring)
+    serial = 1.0 - fraction
+    # Amdahl with 'workers' = assumed local speedup of the hot part
+    overall = 1.0 / (serial + fraction / assumed_speedup)
+    return overall, overall >= 1.3

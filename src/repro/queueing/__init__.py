@@ -1,0 +1,36 @@
+"""Queueing theory: analytical models, DES, and batch scheduling."""
+
+from .batch import (
+    BatchResult,
+    Job,
+    ScheduledJob,
+    random_workload,
+    simulate_batch,
+)
+from .des import (
+    QueueSimResult,
+    deterministic,
+    exponential,
+    hyperexponential,
+    simulate_queue,
+)
+from .models import QueueMetrics, erlang_c, littles_law_check, mg1, mm1, mmc
+
+__all__ = [
+    "QueueMetrics",
+    "mm1",
+    "mmc",
+    "mg1",
+    "erlang_c",
+    "littles_law_check",
+    "QueueSimResult",
+    "simulate_queue",
+    "exponential",
+    "deterministic",
+    "hyperexponential",
+    "Job",
+    "ScheduledJob",
+    "BatchResult",
+    "simulate_batch",
+    "random_workload",
+]

@@ -1,0 +1,223 @@
+"""Batch-job scheduling — the DAS-5/SLURM substrate, simulated.
+
+The course runs assignments on DAS-5 "featuring job isolation and dedicated
+hardware resources via a SLURM-based scheduler"; queueing theory is on the
+syllabus because shared clusters *are* queueing systems.  This module
+simulates the cluster scheduler itself: rigid parallel jobs over a fixed
+node pool, FCFS with and without EASY backfilling, and the standard batch
+metrics (wait, bounded slowdown, utilization).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Job", "ScheduledJob", "BatchResult", "simulate_batch",
+           "random_workload"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One rigid batch job.
+
+    ``walltime`` is the user's (over-)estimate used by backfilling;
+    ``runtime`` is what the job actually takes (runtime <= walltime).
+    """
+
+    job_id: int
+    submit: float
+    nodes: int
+    runtime: float
+    walltime: float
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("jobs need at least one node")
+        if self.submit < 0 or self.runtime <= 0:
+            raise ValueError("invalid job times")
+        if self.walltime < self.runtime:
+            raise ValueError("walltime must cover the actual runtime")
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """A job with its scheduling outcome."""
+
+    job: Job
+    start: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.job.runtime
+
+    @property
+    def wait(self) -> float:
+        return self.start - self.job.submit
+
+    def bounded_slowdown(self, tau: float = 10.0) -> float:
+        """(wait + runtime) / max(runtime, tau): the standard metric."""
+        return (self.wait + self.job.runtime) / max(self.job.runtime, tau)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one scheduling simulation."""
+
+    policy: str
+    total_nodes: int
+    jobs: tuple[ScheduledJob, ...]
+
+    @property
+    def makespan(self) -> float:
+        return max(j.end for j in self.jobs)
+
+    @property
+    def mean_wait(self) -> float:
+        return float(np.mean([j.wait for j in self.jobs]))
+
+    @property
+    def mean_bounded_slowdown(self) -> float:
+        return float(np.mean([j.bounded_slowdown() for j in self.jobs]))
+
+    @property
+    def utilization(self) -> float:
+        """Node-seconds of work over node-seconds of makespan."""
+        busy = sum(j.job.nodes * j.job.runtime for j in self.jobs)
+        return busy / (self.total_nodes * self.makespan)
+
+    def report(self) -> str:
+        return (f"{self.policy}: makespan={self.makespan:.0f}s "
+                f"wait={self.mean_wait:.0f}s "
+                f"slowdown={self.mean_bounded_slowdown:.2f} "
+                f"util={self.utilization:.1%}")
+
+
+def simulate_batch(jobs: list[Job], total_nodes: int,
+                   policy: str = "fcfs") -> BatchResult:
+    """Simulate a rigid-job schedule.
+
+    Policies:
+
+    * ``fcfs`` — strict submission order; the head-of-line job blocks
+      everything behind it until enough nodes free up.
+    * ``easy-backfill`` — FCFS plus EASY backfilling: a later job may jump
+      ahead iff (using its *walltime*) it cannot delay the reserved start
+      of the head job.
+    """
+    if total_nodes < 1:
+        raise ValueError("cluster needs at least one node")
+    if not jobs:
+        raise ValueError("no jobs to schedule")
+    for job in jobs:
+        if job.nodes > total_nodes:
+            raise ValueError(f"job {job.job_id} needs more nodes than exist")
+    if policy not in ("fcfs", "easy-backfill"):
+        raise ValueError(f"unknown policy {policy!r}")
+
+    queue = sorted(jobs, key=lambda j: (j.submit, j.job_id))
+    # running jobs as (end_time, nodes) heap; walltime-based shadow heap
+    # for backfill reservations
+    running: list[tuple[float, float, int]] = []  # (end, walltime_end, nodes)
+    free = total_nodes
+    clock = 0.0
+    scheduled: list[ScheduledJob] = []
+    pending: list[Job] = []
+    i = 0
+
+    def release_until(t: float) -> None:
+        nonlocal free
+        while running and running[0][0] <= t:
+            _, _, n = heapq.heappop(running)
+            free += n
+
+    def start_job(job: Job, t: float) -> None:
+        nonlocal free
+        free -= job.nodes
+        heapq.heappush(running, (t + job.runtime, t + job.walltime, job.nodes))
+        scheduled.append(ScheduledJob(job, t))
+
+    while i < len(queue) or pending:
+        # admit all submissions up to the clock
+        while i < len(queue) and queue[i].submit <= clock:
+            pending.append(queue[i])
+            i += 1
+        release_until(clock)
+
+        progressed = False
+        if pending:
+            head = pending[0]
+            if head.nodes <= free:
+                start_job(head, max(clock, head.submit))
+                pending.pop(0)
+                progressed = True
+            elif policy == "easy-backfill" and len(pending) > 1:
+                # reserve the head job's start: earliest time enough nodes
+                # free up assuming running jobs end at their *walltime*
+                ends = sorted(running, key=lambda r: r[1])
+                avail = free
+                shadow_start = clock
+                for _end, wall_end, n in ends:
+                    if avail >= head.nodes:
+                        break
+                    avail += n
+                    shadow_start = wall_end
+                shadow_free_after = avail - head.nodes
+                for k, job in enumerate(pending[1:], start=1):
+                    fits_now = job.nodes <= free
+                    # cannot delay the reservation: either finishes (by
+                    # walltime) before the shadow start, or fits in the
+                    # nodes left over at the shadow start
+                    harmless = (clock + job.walltime <= shadow_start
+                                or job.nodes <= min(free, shadow_free_after))
+                    if fits_now and harmless:
+                        start_job(job, clock)
+                        pending.pop(k)
+                        progressed = True
+                        break
+        if progressed:
+            continue
+        # advance time: next job end or next submission
+        times = []
+        if running:
+            times.append(running[0][0])
+        if i < len(queue):
+            times.append(queue[i].submit)
+        if not times:
+            break
+        clock = max(clock, min(times))
+
+    scheduled.sort(key=lambda s: s.job.job_id)
+    return BatchResult(policy=policy, total_nodes=total_nodes,
+                       jobs=tuple(scheduled))
+
+
+def random_workload(n_jobs: int, total_nodes: int, load: float = 0.7,
+                    seed: int = 0, overestimate: float = 2.0) -> list[Job]:
+    """A synthetic Feitelson-flavoured workload.
+
+    Power-of-two-biased node counts, lognormal runtimes, Poisson arrivals
+    tuned so offered load ≈ ``load`` of the cluster, walltimes a constant
+    factor above runtimes (users overestimate).
+    """
+    if n_jobs < 1:
+        raise ValueError("need at least one job")
+    if not 0 < load < 1.5:
+        raise ValueError("load must be in (0, 1.5)")
+    if overestimate < 1.0:
+        raise ValueError("walltime factor must be >= 1")
+    rng = np.random.default_rng(seed)
+    sizes = 2 ** rng.integers(0, max(1, int(np.log2(total_nodes))), n_jobs)
+    sizes = np.minimum(sizes, total_nodes)
+    runtimes = rng.lognormal(mean=5.0, sigma=1.0, size=n_jobs)  # ~minutes
+    mean_work = float(np.mean(sizes * runtimes))
+    interarrival = mean_work / (load * total_nodes)
+    submits = np.cumsum(rng.exponential(interarrival, n_jobs))
+    return [
+        Job(job_id=i, submit=float(submits[i]), nodes=int(sizes[i]),
+            runtime=float(runtimes[i]),
+            walltime=float(runtimes[i]) * overestimate)
+        for i in range(n_jobs)
+    ]

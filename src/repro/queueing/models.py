@@ -1,0 +1,113 @@
+"""Analytical queueing models: M/M/1, M/M/c, M/G/1.
+
+"Queuing theory" is a lecture topic (Table 1, mapped to the modeling
+objectives): servers, interconnects, and I/O systems under load are
+queueing systems, and students should predict waiting times from arrival
+and service rates.  Formulas are the classical steady-state results;
+:mod:`repro.queueing.des` cross-validates every one of them by simulation.
+
+Notation: arrival rate λ (lambda_), service rate μ (mu) per server,
+utilization ρ = λ/(c·μ); L/W are counts/times in system, Lq/Wq in queue.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["QueueMetrics", "mm1", "mmc", "mg1", "erlang_c", "littles_law_check"]
+
+
+@dataclass(frozen=True)
+class QueueMetrics:
+    """Steady-state metrics of a queueing system."""
+
+    utilization: float
+    mean_in_system: float      # L
+    mean_in_queue: float       # Lq
+    mean_time_in_system: float  # W
+    mean_wait: float           # Wq
+    prob_wait: float           # P(arrival must queue)
+
+    def report(self) -> str:
+        return (f"rho={self.utilization:.3f} L={self.mean_in_system:.3f} "
+                f"Lq={self.mean_in_queue:.3f} W={self.mean_time_in_system:.4g}s "
+                f"Wq={self.mean_wait:.4g}s P(wait)={self.prob_wait:.3f}")
+
+
+def _check_rates(lambda_: float, mu: float, servers: int = 1) -> float:
+    if lambda_ <= 0 or mu <= 0:
+        raise ValueError("rates must be positive")
+    if servers < 1:
+        raise ValueError("need at least one server")
+    rho = lambda_ / (servers * mu)
+    if rho >= 1:
+        raise ValueError(f"unstable queue: utilization {rho:.3f} >= 1")
+    return rho
+
+
+def mm1(lambda_: float, mu: float) -> QueueMetrics:
+    """M/M/1: Poisson arrivals, exponential service, one server."""
+    rho = _check_rates(lambda_, mu)
+    L = rho / (1 - rho)
+    Lq = rho * rho / (1 - rho)
+    W = 1.0 / (mu - lambda_)
+    Wq = rho / (mu - lambda_)
+    return QueueMetrics(rho, L, Lq, W, Wq, prob_wait=rho)
+
+
+def erlang_c(lambda_: float, mu: float, servers: int) -> float:
+    """Erlang-C: probability an arrival waits in an M/M/c queue."""
+    rho = _check_rates(lambda_, mu, servers)
+    a = lambda_ / mu  # offered load
+    # numerically stable iterative Erlang-B, then convert to C
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = a * b / (k + a * b)
+    return b / (1 - rho * (1 - b))
+
+
+def mmc(lambda_: float, mu: float, servers: int) -> QueueMetrics:
+    """M/M/c: Poisson arrivals, exponential service, c servers."""
+    rho = _check_rates(lambda_, mu, servers)
+    pw = erlang_c(lambda_, mu, servers)
+    Lq = pw * rho / (1 - rho)
+    Wq = Lq / lambda_
+    W = Wq + 1.0 / mu
+    L = lambda_ * W
+    return QueueMetrics(rho, L, Lq, W, Wq, prob_wait=pw)
+
+
+def mg1(lambda_: float, mu: float, service_cv2: float) -> QueueMetrics:
+    """M/G/1 via Pollaczek–Khinchine.
+
+    ``service_cv2`` is the squared coefficient of variation of service
+    time: 1 reduces to M/M/1, 0 is deterministic service (M/D/1, half the
+    M/M/1 queue), >1 models heavy-tailed service — the lecture's
+    "variability costs you" punchline.
+    """
+    if service_cv2 < 0:
+        raise ValueError("squared CV cannot be negative")
+    rho = _check_rates(lambda_, mu)
+    Lq = rho * rho * (1 + service_cv2) / (2 * (1 - rho))
+    Wq = Lq / lambda_
+    W = Wq + 1.0 / mu
+    L = lambda_ * W
+    return QueueMetrics(rho, L, Lq, W, Wq, prob_wait=rho)
+
+
+def littles_law_check(arrival_rate: float, mean_in_system: float,
+                      mean_time_in_system: float, tolerance: float = 0.05) -> bool:
+    """Does L = λ·W hold within tolerance?
+
+    The consistency check every queueing measurement must pass before
+    being trusted — applied to both the formulas and the simulator.
+    """
+    if arrival_rate <= 0 or mean_time_in_system <= 0:
+        raise ValueError("rate and time must be positive")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    expected = arrival_rate * mean_time_in_system
+    if expected == 0:
+        return mean_in_system == 0
+    return abs(mean_in_system - expected) / expected <= tolerance

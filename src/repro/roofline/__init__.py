@@ -1,0 +1,35 @@
+"""Roofline model and extensions (Assignment 1)."""
+
+from .extensions import (
+    LevelTraffic,
+    effective_intensity,
+    hierarchical_bound,
+    hierarchical_points,
+    hierarchical_traffic,
+)
+from .model import (
+    AppPoint,
+    BandwidthCeiling,
+    ComputeCeiling,
+    RooflineModel,
+    cpu_roofline,
+    gpu_roofline,
+)
+from .plot import ascii_roofline, log_space, roofline_csv
+
+__all__ = [
+    "ComputeCeiling",
+    "BandwidthCeiling",
+    "RooflineModel",
+    "AppPoint",
+    "cpu_roofline",
+    "gpu_roofline",
+    "LevelTraffic",
+    "hierarchical_traffic",
+    "hierarchical_points",
+    "hierarchical_bound",
+    "effective_intensity",
+    "ascii_roofline",
+    "roofline_csv",
+    "log_space",
+]

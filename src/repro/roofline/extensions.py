@@ -1,0 +1,111 @@
+"""Roofline extensions: cache-aware (hierarchical) roofline and helpers.
+
+The lecture topic is "Roofline model *and extensions*": the plain model
+charges all traffic to DRAM, which misclassifies kernels whose working set
+lives in cache.  The **hierarchical roofline** instead measures the traffic
+at *each* memory level (here: from the cache simulator) and places one
+intensity point per level, bounding the kernel by every level's bandwidth
+simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.specs import CPUSpec
+from ..simulator.cache import MultiLevelCache
+from ..simulator.trace import Trace
+from .model import AppPoint, RooflineModel, cpu_roofline
+
+__all__ = ["LevelTraffic", "hierarchical_traffic", "hierarchical_points",
+           "hierarchical_bound", "effective_intensity"]
+
+
+@dataclass(frozen=True)
+class LevelTraffic:
+    """Bytes a kernel moved at one memory-hierarchy level."""
+
+    level: str
+    bytes_moved: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_moved < 0:
+            raise ValueError("traffic cannot be negative")
+
+
+def hierarchical_traffic(cpu: CPUSpec, trace: Trace, policy: str = "lru",
+                         prefetch: bool = True) -> list[LevelTraffic]:
+    """Per-level data traffic of a trace, from cache simulation.
+
+    Traffic *into* level k is (misses at level k-1) × line size; L1 traffic
+    is every reference's payload (we charge one element, 8 bytes); DRAM
+    traffic includes prefetch and writeback transfers.
+    """
+    hierarchy = MultiLevelCache(cpu.caches, policy=policy, prefetch=prefetch)
+    hierarchy.access_trace(trace.addresses, trace.writes)
+    out = [LevelTraffic("L1", float(len(trace) * 8))]
+    caches = hierarchy.caches
+    for k in range(1, len(caches)):
+        line = caches[k].level.line_bytes
+        # inflow = demand fills + prefetch fills of the level above
+        fills = caches[k - 1].stats.misses + caches[k - 1].stats.prefetches
+        out.append(LevelTraffic(caches[k].level.name, float(fills * line)))
+    out.append(LevelTraffic("DRAM", float(hierarchy.dram_traffic_bytes())))
+    return out
+
+
+def hierarchical_points(name: str, flops: float,
+                        traffic: list[LevelTraffic],
+                        seconds: float | None = None) -> list[AppPoint]:
+    """One roofline point per memory level (the hierarchical roofline).
+
+    Each point's intensity is FLOPs divided by that level's traffic; levels
+    with zero traffic are skipped (the kernel never spilled that far).
+    """
+    if flops <= 0:
+        raise ValueError("flops must be positive")
+    points = []
+    for lt in traffic:
+        if lt.bytes_moved > 0:
+            points.append(AppPoint.from_traffic(f"{name}@{lt.level}", flops,
+                                                lt.bytes_moved, seconds))
+    return points
+
+
+def hierarchical_bound(cpu: CPUSpec, flops: float,
+                       traffic: list[LevelTraffic],
+                       dtype_bytes: int = 8,
+                       cores: int | None = None) -> tuple[float, str]:
+    """Tightest performance bound over all levels: (FLOP/s, binding level).
+
+    P ≤ min_level ( B_level · FLOPs / bytes_level ), and ≤ peak compute.
+    """
+    model = cpu_roofline(cpu, dtype_bytes=dtype_bytes, cores=cores)
+    best = model.peak_flops
+    binding = model.compute[0].name
+    for lt in traffic:
+        if lt.bytes_moved <= 0:
+            continue
+        try:
+            bw = model._bandwidth(lt.level).bytes_per_s
+        except KeyError:
+            continue
+        bound = bw * flops / lt.bytes_moved
+        if bound < best:
+            best, binding = bound, lt.level
+    return best, binding
+
+
+def effective_intensity(flops: float, hierarchy: MultiLevelCache) -> float:
+    """Effective (DRAM) arithmetic intensity after caching.
+
+    FLOPs divided by simulated DRAM traffic — what a measured roofline
+    (e.g. with LIKWID's memory counters) reports, as opposed to the
+    algorithmic intensity of the work model.
+    """
+    traffic = hierarchy.dram_traffic_bytes()
+    if flops <= 0:
+        raise ValueError("flops must be positive")
+    if traffic == 0:
+        return float("inf")
+    return flops / traffic

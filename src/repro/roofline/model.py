@@ -1,0 +1,276 @@
+"""The Roofline model (Williams, Waterman & Patterson, 2009) — Assignment 1.
+
+The model bounds attainable performance P of a kernel with arithmetic
+intensity I (FLOP/byte) on a machine with peak compute F (FLOP/s) and
+sustainable memory bandwidth B (bytes/s):
+
+    P(I) = min(F, B · I)
+
+Assignment 1 has students build this model for a machine, characterize
+matrix-multiplication variants on it, optimize guided by the identified
+bottleneck, and re-model — demonstrating that the model "is able to capture
+different versions of the same code".  This module supports exactly that
+workflow: machine rooflines with multiple compute and bandwidth ceilings,
+application characterization from work models / measurements / simulations,
+bound classification, and text/CSV rendering for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.specs import CPUSpec, GPUSpec
+from ..timing.metrics import WorkCount
+
+__all__ = [
+    "ComputeCeiling",
+    "BandwidthCeiling",
+    "RooflineModel",
+    "AppPoint",
+    "cpu_roofline",
+    "gpu_roofline",
+]
+
+
+@dataclass(frozen=True)
+class ComputeCeiling:
+    """A horizontal roof: peak FLOP/s under some restriction.
+
+    Restrictions order ceilings downwards: full SIMD+FMA peak, SIMD without
+    FMA, scalar code, etc.  Assignment reports read off how much headroom a
+    missing optimization leaves on the table.
+    """
+
+    name: str
+    flops_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.flops_per_s <= 0:
+            raise ValueError(f"ceiling {self.name!r} must be positive")
+
+
+@dataclass(frozen=True)
+class BandwidthCeiling:
+    """A diagonal roof: sustainable bandwidth of one memory level."""
+
+    name: str
+    bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_s <= 0:
+            raise ValueError(f"ceiling {self.name!r} must be positive")
+
+
+@dataclass(frozen=True)
+class AppPoint:
+    """One application (version) placed on the roofline.
+
+    Attributes
+    ----------
+    name:
+        Label, e.g. ``"matmul-ijk n=256"``.
+    intensity:
+        Arithmetic intensity in FLOP/byte.  *Algorithmic* intensity uses
+        the work model's compulsory traffic; *effective* intensity divides
+        by measured/simulated DRAM traffic instead (always ≤ algorithmic).
+    achieved_flops_per_s:
+        Measured performance, if available (None for model-only points).
+    """
+
+    name: str
+    intensity: float
+    achieved_flops_per_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.intensity <= 0:
+            raise ValueError("intensity must be positive")
+        if self.achieved_flops_per_s is not None and self.achieved_flops_per_s < 0:
+            raise ValueError("achieved performance cannot be negative")
+
+    @classmethod
+    def from_work(cls, name: str, work: WorkCount,
+                  seconds: float | None = None) -> "AppPoint":
+        """Point from a work model, optionally with a measured runtime."""
+        achieved = work.flops / seconds if seconds else None
+        return cls(name, work.intensity, achieved)
+
+    @classmethod
+    def from_traffic(cls, name: str, flops: float, traffic_bytes: float,
+                     seconds: float | None = None) -> "AppPoint":
+        """Point with *effective* intensity from measured/simulated traffic."""
+        if flops <= 0 or traffic_bytes <= 0:
+            raise ValueError("flops and traffic must be positive")
+        achieved = flops / seconds if seconds else None
+        return cls(name, flops / traffic_bytes, achieved)
+
+
+class RooflineModel:
+    """A machine roofline: one or more compute and bandwidth ceilings.
+
+    The *primary* ceilings (first of each list) define the classic
+    two-segment roofline; extra ceilings add the refinements the course's
+    "Roofline model and extensions" lecture covers (no-FMA, scalar, and
+    per-cache-level bandwidth roofs).
+    """
+
+    def __init__(self, name: str, compute: list[ComputeCeiling],
+                 bandwidth: list[BandwidthCeiling]):
+        if not compute or not bandwidth:
+            raise ValueError("need at least one compute and one bandwidth ceiling")
+        self.name = name
+        # list order is meaningful: the FIRST ceiling of each list is the
+        # primary one (classic roofline = peak SIMD+FMA over DRAM); extra
+        # ceilings are refinements, whatever their magnitude.
+        self.compute = list(compute)
+        self.bandwidth = list(bandwidth)
+
+    # -- core queries -------------------------------------------------------
+
+    @property
+    def peak_flops(self) -> float:
+        return self.compute[0].flops_per_s
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.bandwidth[0].bytes_per_s
+
+    def ridge_point(self, compute_name: str | None = None,
+                    bandwidth_name: str | None = None) -> float:
+        """Intensity where the chosen roofs intersect (FLOP/byte)."""
+        f = self._compute(compute_name).flops_per_s
+        b = self._bandwidth(bandwidth_name).bytes_per_s
+        return f / b
+
+    def attainable(self, intensity: float, compute_name: str | None = None,
+                   bandwidth_name: str | None = None) -> float:
+        """P(I) = min(F, B·I) for the chosen ceilings."""
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        f = self._compute(compute_name).flops_per_s
+        b = self._bandwidth(bandwidth_name).bytes_per_s
+        return min(f, b * intensity)
+
+    def classify(self, intensity: float, compute_name: str | None = None,
+                 bandwidth_name: str | None = None) -> str:
+        """``"memory-bound"`` or ``"compute-bound"`` vs the chosen roofs."""
+        ridge = self.ridge_point(compute_name, bandwidth_name)
+        return "memory-bound" if intensity < ridge else "compute-bound"
+
+    def efficiency(self, point: AppPoint) -> float | None:
+        """Achieved / attainable for a measured point (None if unmeasured)."""
+        if point.achieved_flops_per_s is None:
+            return None
+        return point.achieved_flops_per_s / self.attainable(point.intensity)
+
+    def bounding_ceiling(self, intensity: float) -> str:
+        """Name of the primary ceiling binding at this intensity."""
+        if intensity < self.ridge_point():
+            return self.bandwidth[0].name
+        return self.compute[0].name
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self, points: list[AppPoint]) -> str:
+        """Plain-text assignment-style report placing points under the model."""
+        lines = [f"Roofline model: {self.name}"]
+        lines.append(f"  peak compute : {self.peak_flops / 1e9:10.2f} GFLOP/s"
+                     f" ({self.compute[0].name})")
+        lines.append(f"  peak bandwidth: {self.peak_bandwidth / 1e9:9.2f} GB/s"
+                     f" ({self.bandwidth[0].name})")
+        lines.append(f"  ridge point  : {self.ridge_point():10.3f} FLOP/byte")
+        header = (f"  {'application':28s} {'AI(F/B)':>9s} {'bound':>14s} "
+                  f"{'attainable':>12s} {'achieved':>10s} {'effic.':>7s}")
+        lines.append(header)
+        for p in points:
+            att = self.attainable(p.intensity)
+            eff = self.efficiency(p)
+            ach = (f"{p.achieved_flops_per_s / 1e9:9.2f}G"
+                   if p.achieved_flops_per_s is not None else "      n/a")
+            eff_s = f"{eff:6.1%}" if eff is not None else "   n/a"
+            lines.append(
+                f"  {p.name:28s} {p.intensity:9.3f} {self.classify(p.intensity):>14s} "
+                f"{att / 1e9:10.2f}G {ach:>10s} {eff_s:>7s}")
+        return "\n".join(lines)
+
+    def series(self, intensities: list[float]) -> dict[str, list[float]]:
+        """Attainable-performance series per primary ceiling pair.
+
+        Returns ``{label: [P(I), ...]}`` for plotting; one series per
+        (compute, bandwidth) primary combination plus each extra ceiling.
+        """
+        out: dict[str, list[float]] = {}
+        for comp in self.compute:
+            for bw in self.bandwidth:
+                label = f"{comp.name}|{bw.name}"
+                out[label] = [min(comp.flops_per_s, bw.bytes_per_s * i)
+                              for i in intensities]
+        return out
+
+    # -- helpers -----------------------------------------------------------
+
+    def _compute(self, name: str | None) -> ComputeCeiling:
+        if name is None:
+            return self.compute[0]
+        for c in self.compute:
+            if c.name == name:
+                return c
+        raise KeyError(f"no compute ceiling {name!r}")
+
+    def _bandwidth(self, name: str | None) -> BandwidthCeiling:
+        if name is None:
+            return self.bandwidth[0]
+        for b in self.bandwidth:
+            if b.name == name:
+                return b
+        raise KeyError(f"no bandwidth ceiling {name!r}")
+
+
+def cpu_roofline(cpu: CPUSpec, dtype_bytes: int = 8,
+                 cores: int | None = None,
+                 include_cache_levels: bool = True,
+                 measured_bandwidth: float | None = None) -> RooflineModel:
+    """Roofline of a CPU spec, with the standard optimization ceilings.
+
+    Compute roofs: SIMD+FMA peak, SIMD-without-FMA, scalar+FMA, scalar.
+    Bandwidth roofs: DRAM (the spec's sustainable number, or a measured
+    STREAM result if provided) plus, optionally, each cache level's
+    bandwidth — the "cache-aware Roofline" extension.
+    """
+    n = cpu.cores if cores is None else cores
+    peak = cpu.peak_flops(dtype_bytes, cores=n)
+    fma_factor = 2 if cpu.vector.fma else 1
+    simd_lanes = cpu.vector.lanes(dtype_bytes)
+    compute = [ComputeCeiling("peak (SIMD+FMA)", peak)]
+    if cpu.vector.fma:
+        compute.append(ComputeCeiling("no FMA", peak / 2))
+    compute.append(ComputeCeiling("scalar+FMA" if cpu.vector.fma else "scalar",
+                                  peak / simd_lanes))
+    if cpu.vector.fma:
+        compute.append(ComputeCeiling("scalar", peak / simd_lanes / fma_factor))
+
+    dram = measured_bandwidth if measured_bandwidth else cpu.stream_bandwidth
+    bandwidth = [BandwidthCeiling("DRAM", dram)]
+    if include_cache_levels:
+        for level in cpu.caches:
+            # bandwidth_bytes_per_cycle is per core: private caches
+            # trivially, shared LLCs because they are sliced per core on
+            # modern designs — so every cache roof scales with cores used.
+            agg = level.bandwidth_bytes_per_cycle * cpu.frequency_hz * n
+            bandwidth.append(BandwidthCeiling(level.name, agg))
+    label = f"{cpu.name} ({n}/{cpu.cores} cores, fp{dtype_bytes * 8})"
+    return RooflineModel(label, compute, bandwidth)
+
+
+def gpu_roofline(gpu: GPUSpec, dtype_bytes: int = 4,
+                 include_pcie: bool = True) -> RooflineModel:
+    """Roofline of a GPU: device peak vs HBM, plus the PCIe transfer roof.
+
+    The PCIe ceiling is the course's standard teaching device for offload
+    decisions: a kernel whose data crosses the bus each call must clear the
+    (much lower) PCIe roof, not the HBM one.
+    """
+    compute = [ComputeCeiling(f"fp{dtype_bytes * 8} peak", gpu.peak_flops(dtype_bytes))]
+    bandwidth = [BandwidthCeiling("HBM", gpu.memory_bandwidth_bytes_per_s)]
+    if include_pcie:
+        bandwidth.append(BandwidthCeiling("PCIe", gpu.pcie_bandwidth_bytes_per_s))
+    return RooflineModel(f"{gpu.name} (fp{dtype_bytes * 8})", compute, bandwidth)

@@ -1,0 +1,117 @@
+"""Text rendering of roofline models.
+
+The assignment "suggests tools that can calculate and plot the model
+automatically" but asks students to "reflect on the difference between
+modeling by hand and by tool".  We provide both: :func:`ascii_roofline`
+renders a log-log chart in plain text (terminal/report friendly, no plotting
+dependency), and :func:`roofline_csv` exports the series for any external
+plotting tool.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .model import AppPoint, RooflineModel
+
+__all__ = ["ascii_roofline", "roofline_csv", "log_space"]
+
+
+def log_space(lo: float, hi: float, n: int) -> list[float]:
+    """n log-spaced values in [lo, hi]."""
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if n < 2:
+        raise ValueError("need at least two samples")
+    step = (math.log10(hi) - math.log10(lo)) / (n - 1)
+    return [10 ** (math.log10(lo) + i * step) for i in range(n)]
+
+
+def ascii_roofline(model: RooflineModel, points: list[AppPoint] | None = None,
+                   width: int = 72, height: int = 20,
+                   intensity_range: tuple[float, float] = (2 ** -6, 2 ** 8)) -> str:
+    """Render a log-log roofline chart as ASCII art.
+
+    ``*`` marks the primary roofline, ``-`` secondary ceilings, letters mark
+    application points (legend below the chart).
+    """
+    if width < 20 or height < 8:
+        raise ValueError("chart too small to be legible")
+    lo_i, hi_i = intensity_range
+    if lo_i <= 0 or hi_i <= lo_i:
+        raise ValueError("invalid intensity range")
+    intensities = log_space(lo_i, hi_i, width)
+
+    primary = [model.attainable(i) for i in intensities]
+    secondary: list[list[float]] = []
+    for comp in model.compute[1:]:
+        secondary.append([min(comp.flops_per_s, model.peak_bandwidth * i)
+                          for i in intensities])
+    for bw in model.bandwidth[1:]:
+        secondary.append([min(model.peak_flops, bw.bytes_per_s * i)
+                          for i in intensities])
+
+    lo_p = min(min(primary), *(min(s) for s in secondary)) if secondary else min(primary)
+    hi_p = model.peak_flops
+    points = points or []
+    for p in points:
+        if p.achieved_flops_per_s:
+            lo_p = min(lo_p, p.achieved_flops_per_s)
+            hi_p = max(hi_p, p.achieved_flops_per_s)
+    lo_p /= 2  # margin
+    log_lo, log_hi = math.log10(lo_p), math.log10(hi_p)
+
+    def row_of(value: float) -> int:
+        frac = (math.log10(max(value, lo_p)) - log_lo) / (log_hi - log_lo)
+        return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for series, mark in [(s, "-") for s in secondary] + [(primary, "*")]:
+        for x, val in enumerate(series):
+            grid[height - 1 - row_of(val)][x] = mark
+
+    legend: list[str] = []
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    for idx, p in enumerate(points):
+        if p.achieved_flops_per_s is None:
+            continue
+        x = _nearest_index(intensities, p.intensity)
+        y = height - 1 - row_of(p.achieved_flops_per_s)
+        letter = letters[idx % len(letters)]
+        grid[y][x] = letter
+        legend.append(f"  {letter}: {p.name} "
+                      f"(AI={p.intensity:.3g}, {p.achieved_flops_per_s / 1e9:.2f} GFLOP/s)")
+
+    lines = [f"{model.name}  [log-log: x=AI {lo_i:g}..{hi_i:g} F/B, "
+             f"y={lo_p / 1e9:.3g}..{hi_p / 1e9:.3g} GFLOP/s]"]
+    for r, row in enumerate(grid):
+        y_label = 10 ** (log_hi - (log_hi - log_lo) * r / (height - 1))
+        lines.append(f"{y_label / 1e9:8.2f}G |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def _nearest_index(values: list[float], target: float) -> int:
+    best, best_d = 0, float("inf")
+    log_t = math.log10(target)
+    for i, v in enumerate(values):
+        d = abs(math.log10(v) - log_t)
+        if d < best_d:
+            best, best_d = i, d
+    return best
+
+
+def roofline_csv(model: RooflineModel, n_samples: int = 64,
+                 intensity_range: tuple[float, float] = (2 ** -6, 2 ** 8)) -> str:
+    """CSV export: intensity column plus one attainable column per roof pair."""
+    lo, hi = intensity_range
+    intensities = log_space(lo, hi, n_samples)
+    series = model.series(intensities)
+    header = ",".join(["intensity_flop_per_byte"]
+                      + [label.replace(",", ";") for label in series])
+    rows = [header]
+    for i, intensity in enumerate(intensities):
+        row = [f"{intensity:.6g}"] + [f"{series[label][i]:.6g}" for label in series]
+        rows.append(",".join(row))
+    return "\n".join(rows)

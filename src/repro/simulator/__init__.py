@@ -1,0 +1,68 @@
+"""Machine simulators: caches, memory traces, port scheduler, CPU timing.
+
+This package substitutes for the hardware-measurement tools the course uses
+on real machines (perf/PAPI/LIKWID counters, IACA/OSACA/LLVM-MCA schedulers)
+— see DESIGN.md's substitution table.
+"""
+
+from .bodies import (
+    daxpy_body,
+    histogram_body,
+    matmul_inner_body,
+    matmul_inner_unrolled,
+    pointer_chase_body,
+    reduction_body,
+    spmv_inner_body,
+    stencil_body,
+    triad_body,
+)
+from .cache import Cache, CacheStats, MultiLevelCache, amat, hierarchy_for
+from .cpu import CPUModel, KernelSimulation, SimulatedCounters
+from .ports import Instr, LoopBody, PortAnalysis, analyze_loop, schedule
+from .trace import (
+    ArrayLayout,
+    Trace,
+    histogram_trace,
+    matmul_tiled_trace,
+    matmul_trace,
+    random_access_trace,
+    spmv_csr_trace,
+    stencil_trace,
+    stream_trace,
+    strided_trace,
+)
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "MultiLevelCache",
+    "hierarchy_for",
+    "amat",
+    "Trace",
+    "ArrayLayout",
+    "matmul_trace",
+    "matmul_tiled_trace",
+    "stream_trace",
+    "stencil_trace",
+    "histogram_trace",
+    "spmv_csr_trace",
+    "random_access_trace",
+    "strided_trace",
+    "Instr",
+    "LoopBody",
+    "PortAnalysis",
+    "analyze_loop",
+    "schedule",
+    "CPUModel",
+    "KernelSimulation",
+    "SimulatedCounters",
+    "triad_body",
+    "matmul_inner_body",
+    "matmul_inner_unrolled",
+    "spmv_inner_body",
+    "histogram_body",
+    "stencil_body",
+    "daxpy_body",
+    "reduction_body",
+    "pointer_chase_body",
+]

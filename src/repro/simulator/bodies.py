@@ -1,0 +1,180 @@
+"""Canonical loop bodies of the course kernels for the port scheduler.
+
+These express the inner loops of the assignment kernels over the virtual
+ISA, with realistic dependency structure (e.g. matmul's FMA reduction is a
+loop-carried chain; triad's iterations are independent).  Assignment 2's
+instruction-granularity analytical models are built from these bodies.
+"""
+
+from __future__ import annotations
+
+from .ports import Instr, LoopBody
+
+__all__ = [
+    "triad_body",
+    "matmul_inner_body",
+    "matmul_inner_unrolled",
+    "spmv_inner_body",
+    "histogram_body",
+    "stencil_body",
+    "daxpy_body",
+    "reduction_body",
+    "pointer_chase_body",
+]
+
+
+def triad_body(vectorized: bool = False) -> LoopBody:
+    """STREAM triad ``a[i] = b[i] + s*c[i]``: independent iterations."""
+    if vectorized:
+        return LoopBody((
+            Instr("vload"),                       # 0: load b[i:i+w]
+            Instr("vload"),                       # 1: load c[i:i+w]
+            Instr("vfmadd", deps=((0, 0), (1, 0))),  # 2: b + s*c
+            Instr("vstore", deps=((2, 0),)),      # 3: store a
+            Instr("iadd", deps=((4, 1),)),        # 4: i += w (carried)
+            Instr("cmp", deps=((4, 0),)),         # 5
+            Instr("branch", deps=((5, 0),)),      # 6
+        ), label="triad-simd")
+    return LoopBody((
+        Instr("load"),                        # 0: b[i]
+        Instr("load"),                        # 1: c[i]
+        Instr("fmadd", deps=((0, 0), (1, 0))),   # 2
+        Instr("store", deps=((2, 0),)),       # 3
+        Instr("iadd", deps=((4, 1),)),        # 4 (carried induction)
+        Instr("cmp", deps=((4, 0),)),         # 5
+        Instr("branch", deps=((5, 0),)),      # 6
+    ), label="triad-scalar")
+
+
+def matmul_inner_body(vectorized: bool = False) -> LoopBody:
+    """Matmul k-loop ``acc += A[i,k]*B[k,j]``: loop-carried FMA reduction.
+
+    The accumulator dependency (distance 1 on the FMA) makes this
+    latency-bound on machines whose FMA latency exceeds its reciprocal
+    throughput — the classic motivation for unrolling with multiple
+    accumulators.
+    """
+    op = "vfmadd" if vectorized else "fmadd"
+    ld = "vload" if vectorized else "load"
+    return LoopBody((
+        Instr(ld),                                    # 0: A element
+        Instr(ld),                                    # 1: B element
+        Instr(op, deps=((0, 0), (1, 0), (2, 1))),     # 2: acc += a*b (carried)
+        Instr("iadd", deps=((3, 1),)),                # 3: k++ (carried)
+        Instr("cmp", deps=((3, 0),)),                 # 4
+        Instr("branch", deps=((4, 0),)),              # 5
+    ), label=f"matmul-inner-{'simd' if vectorized else 'scalar'}")
+
+
+def matmul_inner_unrolled(accumulators: int, vectorized: bool = False) -> LoopBody:
+    """Matmul inner loop unrolled over ``accumulators`` independent chains.
+
+    Each accumulator carries its own reduction, hiding FMA latency; with
+    enough chains the loop flips from latency- to throughput-bound.  This
+    is the optimization assignment 2 asks students to *predict* before
+    applying.
+    """
+    if accumulators < 1:
+        raise ValueError("need at least one accumulator")
+    op = "vfmadd" if vectorized else "fmadd"
+    ld = "vload" if vectorized else "load"
+    instrs: list[Instr] = []
+    fma_positions: list[int] = []
+    for _ in range(accumulators):
+        a = len(instrs)
+        instrs.append(Instr(ld))
+        b = len(instrs)
+        instrs.append(Instr(ld))
+        fma = len(instrs)
+        instrs.append(Instr(op, deps=((a, 0), (b, 0), (fma, 1))))
+        fma_positions.append(fma)
+    i = len(instrs)
+    instrs.append(Instr("iadd", deps=((i, 1),)))
+    instrs.append(Instr("cmp", deps=((i, 0),)))
+    instrs.append(Instr("branch", deps=((i + 1, 0),)))
+    return LoopBody(tuple(instrs), label=f"matmul-inner-unroll{accumulators}")
+
+
+def spmv_inner_body() -> LoopBody:
+    """CSR SpMV nonzero loop: load col index, gather x, FMA into carried acc."""
+    return LoopBody((
+        Instr("load"),                                # 0: indices[p]
+        Instr("load"),                                # 1: data[p]
+        Instr("gather", deps=((0, 0),)),              # 2: x[indices[p]]
+        Instr("fmadd", deps=((1, 0), (2, 0), (3, 1))),  # 3: acc (carried)
+        Instr("iadd", deps=((4, 1),)),                # 4: p++ (carried)
+        Instr("cmp", deps=((4, 0),)),                 # 5
+        Instr("branch", deps=((5, 0),)),              # 6
+    ), label="spmv-csr-inner")
+
+
+def histogram_body() -> LoopBody:
+    """Histogram loop: data-dependent read-modify-write of the count array."""
+    return LoopBody((
+        Instr("load"),                        # 0: key = keys[i]
+        Instr("load", deps=((0, 0),)),        # 1: counts[key]  (address dep)
+        Instr("iadd", deps=((1, 0),)),        # 2: +1
+        Instr("store", deps=((2, 0),)),       # 3: counts[key]
+        Instr("iadd", deps=((4, 1),)),        # 4: i++ (carried)
+        Instr("cmp", deps=((4, 0),)),         # 5
+        Instr("branch", deps=((5, 0),)),      # 6
+    ), label="histogram")
+
+
+def stencil_body(vectorized: bool = False) -> LoopBody:
+    """5-point Jacobi update: 4 loads, add tree, scale, store."""
+    ld = "vload" if vectorized else "load"
+    add = "vadd" if vectorized else "add"
+    mul = "vmul" if vectorized else "mul"
+    st = "vstore" if vectorized else "store"
+    return LoopBody((
+        Instr(ld),                            # 0 north
+        Instr(ld),                            # 1 west
+        Instr(ld),                            # 2 east
+        Instr(ld),                            # 3 south
+        Instr(add, deps=((0, 0), (1, 0))),    # 4
+        Instr(add, deps=((2, 0), (3, 0))),    # 5
+        Instr(add, deps=((4, 0), (5, 0))),    # 6
+        Instr(mul, deps=((6, 0),)),           # 7: * 0.25
+        Instr(st, deps=((7, 0),)),            # 8
+        Instr("iadd", deps=((9, 1),)),        # 9 (carried)
+        Instr("cmp", deps=((9, 0),)),         # 10
+        Instr("branch", deps=((10, 0),)),     # 11
+    ), label=f"stencil-{'simd' if vectorized else 'scalar'}")
+
+
+def daxpy_body() -> LoopBody:
+    """DAXPY ``y[i] += a*x[i]`` — the lab-session demo kernel."""
+    return LoopBody((
+        Instr("load"),                        # 0: x[i]
+        Instr("load"),                        # 1: y[i]
+        Instr("fmadd", deps=((0, 0), (1, 0))),  # 2
+        Instr("store", deps=((2, 0),)),       # 3
+        Instr("iadd", deps=((4, 1),)),        # 4 (carried)
+        Instr("cmp", deps=((4, 0),)),         # 5
+        Instr("branch", deps=((5, 0),)),      # 6
+    ), label="daxpy")
+
+
+def reduction_body() -> LoopBody:
+    """Sum reduction: the purest loop-carried latency chain."""
+    return LoopBody((
+        Instr("load"),                        # 0: x[i]
+        Instr("add", deps=((0, 0), (1, 1))),  # 1: acc += (carried)
+        Instr("iadd", deps=((2, 1),)),        # 2 (carried)
+        Instr("cmp", deps=((2, 0),)),         # 3
+        Instr("branch", deps=((3, 0),)),      # 4
+    ), label="sum-reduction")
+
+
+def pointer_chase_body() -> LoopBody:
+    """Pointer chase: each load's address depends on the previous load.
+
+    The microbenchmark that measures *latency* rather than bandwidth —
+    nothing can overlap.
+    """
+    return LoopBody((
+        Instr("load", deps=((0, 1),)),        # 0: p = *p (carried through itself)
+        Instr("cmp", deps=((0, 0),)),         # 1
+        Instr("branch", deps=((1, 0),)),      # 2
+    ), label="pointer-chase")

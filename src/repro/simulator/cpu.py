@@ -1,0 +1,256 @@
+"""In-order CPU timing model combining the port and cache simulators.
+
+This is the "simulator" of the course's *Simulation and simulators* lecture:
+given a kernel's loop body (instruction schedule) and its memory trace
+(cache behaviour), it produces cycle counts and a full set of simulated
+hardware events.  :mod:`repro.counters` wraps the result in a PAPI-like
+counting API for assignment 4.
+
+The timing model brackets reality between two classical bounds:
+
+* ``optimistic`` — perfect overlap of compute and memory:
+  ``max(compute_cycles, dram_bandwidth_cycles)`` (a Roofline in cycle
+  space);
+* ``pessimistic`` — no overlap: compute plus every cache-miss stall
+  serialized (an in-order, blocking-cache machine).
+
+Real out-of-order cores land in between; the reported ``counters.cycles``
+uses the ECM-style composition ``max(compute, latency_stalls + bandwidth)``
+— compute overlaps with memory, while demand-miss stalls serialize with
+data transfer — which tracks modern cores well enough for the counter and
+pattern exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.instruction_tables import InstructionTable
+from ..machine.specs import CPUSpec
+from .cache import MultiLevelCache, hierarchy_for
+from .ports import LoopBody, PortAnalysis, analyze_loop
+from .trace import Trace
+
+__all__ = ["SimulatedCounters", "KernelSimulation", "CPUModel"]
+
+_FLOP_OPS = {"add": 1, "mul": 1, "fmadd": 2, "div": 1}
+_VECTOR_FLOP_OPS = {"vadd": 1, "vmul": 1, "vfmadd": 2}
+_LOAD_OPS = {"load", "vload", "gather"}
+_STORE_OPS = {"store", "vstore"}
+
+
+@dataclass(frozen=True)
+class SimulatedCounters:
+    """Hardware-event values produced by one simulated kernel execution.
+
+    Field names deliberately mirror PAPI preset events (PAPI_TOT_CYC,
+    PAPI_TOT_INS, PAPI_L1_DCM, ...) so assignment 4's exercises read like
+    the real thing.
+    """
+
+    cycles: float
+    instructions: float
+    flops: float
+    loads: int
+    stores: int
+    level_hits: dict[str, int]
+    level_misses: dict[str, int]
+    dram_accesses: int
+    dram_bytes: int
+    branches: float
+    branch_mispredicts: float
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def miss_ratio(self, level: str) -> float:
+        hits = self.level_hits.get(level, 0)
+        misses = self.level_misses.get(level, 0)
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    def flops_per_cycle(self) -> float:
+        return self.flops / self.cycles if self.cycles else 0.0
+
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bytes / self.cycles if self.cycles else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat event dictionary (counter name -> value)."""
+        out: dict[str, float] = {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "flops": self.flops,
+            "loads": float(self.loads),
+            "stores": float(self.stores),
+            "dram_accesses": float(self.dram_accesses),
+            "dram_bytes": float(self.dram_bytes),
+            "branches": self.branches,
+            "branch_mispredicts": self.branch_mispredicts,
+        }
+        for name, hits in self.level_hits.items():
+            out[f"{name.lower()}_hits"] = float(hits)
+        for name, misses in self.level_misses.items():
+            out[f"{name.lower()}_misses"] = float(misses)
+        return out
+
+
+@dataclass(frozen=True)
+class KernelSimulation:
+    """Full result of simulating one kernel: counters plus timing brackets."""
+
+    label: str
+    counters: SimulatedCounters
+    port_analysis: PortAnalysis
+    optimistic_cycles: float
+    pessimistic_cycles: float
+    frequency_hz: float
+
+    @property
+    def optimistic_seconds(self) -> float:
+        return self.optimistic_cycles / self.frequency_hz
+
+    @property
+    def pessimistic_seconds(self) -> float:
+        return self.pessimistic_cycles / self.frequency_hz
+
+    @property
+    def seconds(self) -> float:
+        return self.counters.cycles / self.frequency_hz
+
+
+class CPUModel:
+    """Single-core timing model over a :class:`CPUSpec`.
+
+    Parameters
+    ----------
+    cpu:
+        Machine description (caches + memory feed the cache model).
+    table:
+        Instruction timing table for the port model.
+    policy:
+        Cache replacement policy for every level.
+    branch_mispredict_rate:
+        Fraction of branches mispredicted (default: a well-predicted loop).
+        Synthetic "bad speculation" kernels override this.
+    mispredict_penalty_cycles:
+        Pipeline refill cost per mispredict.
+    memory_parallelism:
+        Outstanding-miss parallelism (MLP): how many cache misses overlap
+        in flight.  1 models a blocking cache (pointer chase); modern
+        cores sustain 8-12 for streaming patterns thanks to miss buffers
+        and prefetchers.  Miss *latency* stalls are divided by this.
+    """
+
+    def __init__(self, cpu: CPUSpec, table: InstructionTable,
+                 policy: str = "lru", branch_mispredict_rate: float = 0.005,
+                 mispredict_penalty_cycles: float = 15.0,
+                 memory_parallelism: float = 4.0, prefetch: bool = True,
+                 seed: int = 0):
+        if memory_parallelism < 1:
+            raise ValueError("memory parallelism must be >= 1")
+        if not 0 <= branch_mispredict_rate <= 1:
+            raise ValueError("mispredict rate must be in [0, 1]")
+        if mispredict_penalty_cycles < 0:
+            raise ValueError("mispredict penalty cannot be negative")
+        self.cpu = cpu
+        self.table = table
+        self.policy = policy
+        self.branch_mispredict_rate = branch_mispredict_rate
+        self.mispredict_penalty_cycles = mispredict_penalty_cycles
+        self.memory_parallelism = memory_parallelism
+        self.prefetch = prefetch
+        self._seed = seed
+
+    def new_hierarchy(self) -> MultiLevelCache:
+        return hierarchy_for(self.cpu, policy=self.policy, seed=self._seed,
+                             prefetch=self.prefetch)
+
+    # -- main entry ---------------------------------------------------------
+
+    def run(self, trace: Trace, body: LoopBody, iterations: int,
+            label: str | None = None,
+            branch_mispredict_rate: float | None = None) -> KernelSimulation:
+        """Simulate ``iterations`` executions of ``body`` issuing ``trace``.
+
+        The trace is replayed through a fresh cache hierarchy; the body is
+        scheduled on the port model.  ``iterations`` is the dynamic trip
+        count of the modelled loop (e.g. n³ for scalar matmul).
+        """
+        if iterations < 1:
+            raise ValueError("iterations must be positive")
+        mispredict_rate = (self.branch_mispredict_rate
+                           if branch_mispredict_rate is None else branch_mispredict_rate)
+        if not 0 <= mispredict_rate <= 1:
+            raise ValueError("mispredict rate must be in [0, 1]")
+
+        hierarchy = self.new_hierarchy()
+        hierarchy.access_trace(trace.addresses, trace.writes)
+        analysis = analyze_loop(body, self.table)
+
+        compute_cycles = analysis.cycles_per_iteration * iterations
+
+        # memory-side cycle accounting
+        freq = self.cpu.frequency_hz
+        mem_latency_cycles = self.cpu.memory.latency_s * freq
+        l1_latency = self.cpu.caches[0].latency_cycles
+        extra_latency = 0.0
+        for level_idx, cache in enumerate(hierarchy.caches):
+            if level_idx == 0:
+                continue  # L1 hit latency is inside the port model's load latency
+            extra_latency += cache.stats.hits * (cache.level.latency_cycles - l1_latency)
+        extra_latency += hierarchy.memory_accesses * (mem_latency_cycles - l1_latency)
+        extra_latency /= self.memory_parallelism
+
+        dram_bytes = hierarchy.dram_traffic_bytes()
+        bytes_per_cycle = self.cpu.memory.bandwidth_bytes_per_s / freq
+        bandwidth_cycles = dram_bytes / bytes_per_cycle
+
+        mix = body.opcode_mix()
+        branches = float(mix.get("branch", 0)) * iterations
+        mispredicts = branches * mispredict_rate
+        penalty = mispredicts * self.mispredict_penalty_cycles
+
+        optimistic = max(compute_cycles, bandwidth_cycles) + penalty
+        realistic = max(compute_cycles, extra_latency + bandwidth_cycles) + penalty
+        pessimistic = compute_cycles + max(extra_latency, bandwidth_cycles) + penalty
+
+        # event totals
+        instructions = float(sum(mix.values())) * iterations
+        flops = 0.0
+        vec_lanes = self.cpu.vector.lanes(8)
+        for op, count in mix.items():
+            if op in _FLOP_OPS:
+                flops += _FLOP_OPS[op] * count * iterations
+            elif op in _VECTOR_FLOP_OPS:
+                flops += _VECTOR_FLOP_OPS[op] * count * iterations * vec_lanes
+
+        level_hits = {c.level.name: c.stats.hits for c in hierarchy.caches}
+        level_misses = {c.level.name: c.stats.misses for c in hierarchy.caches}
+
+        counters = SimulatedCounters(
+            cycles=realistic,
+            instructions=instructions,
+            flops=flops,
+            loads=trace.n_reads,
+            stores=trace.n_writes,
+            level_hits=level_hits,
+            level_misses=level_misses,
+            dram_accesses=hierarchy.memory_accesses,
+            dram_bytes=dram_bytes,
+            branches=branches,
+            branch_mispredicts=mispredicts,
+        )
+        return KernelSimulation(
+            label=label or trace.label or body.label,
+            counters=counters,
+            port_analysis=analysis,
+            optimistic_cycles=optimistic,
+            pessimistic_cycles=pessimistic,
+            frequency_hz=freq,
+        )

@@ -1,0 +1,379 @@
+"""Memory-trace generation for the course kernels.
+
+A :class:`Trace` is the bridge between a kernel's *algorithm* and the cache
+simulator: the exact sequence of (byte address, is-write) references its
+inner loops issue.  Generators mirror the kernel variants in
+:mod:`repro.kernels` — same loop orders, same tiling — so simulated miss
+counts respond to the same optimizations the assignments study.
+
+Traces are dense NumPy arrays; generators are vectorized over inner loops so
+that assignment-scale problems (10^5-10^6 references) are generated in
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kernels.spmv import COOMatrix, CSRMatrix
+
+__all__ = [
+    "Trace",
+    "ArrayLayout",
+    "matmul_trace",
+    "matmul_tiled_trace",
+    "stream_trace",
+    "stencil_trace",
+    "histogram_trace",
+    "spmv_csr_trace",
+    "random_access_trace",
+    "strided_trace",
+]
+
+_F8 = 8  # float64 / int64 element size
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A memory reference stream.
+
+    Attributes
+    ----------
+    addresses:
+        Byte addresses, int64.
+    writes:
+        Boolean write flags, same length.
+    label:
+        Human-readable description for reports.
+    """
+
+    addresses: np.ndarray
+    writes: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.addresses.ndim != 1 or self.addresses.shape != self.writes.shape:
+            raise ValueError("addresses/writes must be 1-D arrays of equal length")
+        if self.addresses.size and self.addresses.min() < 0:
+            raise ValueError("addresses must be non-negative")
+
+    def __len__(self) -> int:
+        return int(self.addresses.size)
+
+    @property
+    def n_reads(self) -> int:
+        return int(np.count_nonzero(~self.writes))
+
+    @property
+    def n_writes(self) -> int:
+        return int(np.count_nonzero(self.writes))
+
+    def footprint_bytes(self, line_bytes: int = 64) -> int:
+        """Unique lines touched × line size — the trace's working set."""
+        if line_bytes <= 0:
+            raise ValueError("line size must be positive")
+        return int(np.unique(self.addresses // line_bytes).size) * line_bytes
+
+    def concat(self, other: "Trace") -> "Trace":
+        return Trace(
+            np.concatenate([self.addresses, other.addresses]),
+            np.concatenate([self.writes, other.writes]),
+            label=f"{self.label}+{other.label}",
+        )
+
+
+class ArrayLayout:
+    """Assigns non-overlapping, page-aligned base addresses to named arrays.
+
+    Mirrors a simple bump allocator so traces of multi-array kernels don't
+    alias accidentally (unless a test deliberately wants aliasing).
+    """
+
+    def __init__(self, start: int = 0, alignment: int = 4096):
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a positive power of two")
+        self._next = _align_up(start, alignment)
+        self._alignment = alignment
+        self._bases: dict[str, int] = {}
+
+    def alloc(self, name: str, n_bytes: int) -> int:
+        if name in self._bases:
+            raise ValueError(f"array {name!r} already allocated")
+        if n_bytes <= 0:
+            raise ValueError("allocation must be positive")
+        base = self._next
+        self._bases[name] = base
+        self._next = _align_up(base + n_bytes, self._alignment)
+        return base
+
+    def base(self, name: str) -> int:
+        return self._bases[name]
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+def _interleave(columns: list[np.ndarray], writes: list[bool], label: str) -> Trace:
+    """Build a trace from per-reference columns issued round-robin.
+
+    ``columns[k][i]`` is the address of the k-th reference of iteration i.
+    """
+    n = columns[0].size
+    k = len(columns)
+    addr = np.empty(n * k, dtype=np.int64)
+    for j, col in enumerate(columns):
+        if col.size != n:
+            raise ValueError("columns must be equally long")
+        addr[j::k] = col
+    wr = np.empty(n * k, dtype=bool)
+    for j, w in enumerate(writes):
+        wr[j::k] = w
+    return Trace(addr, wr, label=label)
+
+
+# ---------------------------------------------------------------------------
+# matmul
+# ---------------------------------------------------------------------------
+
+def _matmul_indices(n: int, order: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened (i, j, k) index streams for the given loop order."""
+    if sorted(order) != ["i", "j", "k"]:
+        raise ValueError(f"order must be a permutation of 'ijk', got {order!r}")
+    axes = {axis: pos for pos, axis in enumerate(order)}
+    grids = np.meshgrid(np.arange(n), np.arange(n), np.arange(n), indexing="ij")
+    # grids[p] varies along axis p; map loop axes onto mesh axes by order
+    out = {}
+    for axis in "ijk":
+        out[axis] = grids[axes[axis]].ravel()
+    return out["i"], out["j"], out["k"]
+
+
+def matmul_trace(n: int, order: str = "ijk", layout: ArrayLayout | None = None) -> Trace:
+    """Reference stream of scalar ``C += A·B`` with the given loop order.
+
+    Per inner iteration: load A[i,k], load B[k,j], load C[i,j], store
+    C[i,j] — exactly what :func:`repro.kernels.matmul.matmul_loop` does.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    layout = layout or ArrayLayout()
+    a0 = layout.alloc("A", n * n * _F8)
+    b0 = layout.alloc("B", n * n * _F8)
+    c0 = layout.alloc("C", n * n * _F8)
+    i, j, k = _matmul_indices(n, order)
+    a_addr = a0 + (i * n + k) * _F8
+    b_addr = b0 + (k * n + j) * _F8
+    c_addr = c0 + (i * n + j) * _F8
+    return _interleave([a_addr, b_addr, c_addr, c_addr],
+                       [False, False, False, True],
+                       label=f"matmul-{order}-n{n}")
+
+
+def matmul_tiled_trace(n: int, tile: int, layout: ArrayLayout | None = None) -> Trace:
+    """Reference stream of the tiled matmul (ti,tk,tj / i,k,j order)."""
+    if n < 1 or tile < 1:
+        raise ValueError("n and tile must be positive")
+    layout = layout or ArrayLayout()
+    a0 = layout.alloc("A", n * n * _F8)
+    b0 = layout.alloc("B", n * n * _F8)
+    c0 = layout.alloc("C", n * n * _F8)
+    i_parts, j_parts, k_parts = [], [], []
+    for ti in range(0, n, tile):
+        ni = min(tile, n - ti)
+        for tk in range(0, n, tile):
+            nk = min(tile, n - tk)
+            for tj in range(0, n, tile):
+                nj = min(tile, n - tj)
+                ii, kk, jj = np.meshgrid(np.arange(ti, ti + ni),
+                                         np.arange(tk, tk + nk),
+                                         np.arange(tj, tj + nj), indexing="ij")
+                i_parts.append(ii.ravel())
+                k_parts.append(kk.ravel())
+                j_parts.append(jj.ravel())
+    i = np.concatenate(i_parts)
+    j = np.concatenate(j_parts)
+    k = np.concatenate(k_parts)
+    a_addr = a0 + (i * n + k) * _F8
+    b_addr = b0 + (k * n + j) * _F8
+    c_addr = c0 + (i * n + j) * _F8
+    return _interleave([a_addr, b_addr, c_addr, c_addr],
+                       [False, False, False, True],
+                       label=f"matmul-tiled{tile}-n{n}")
+
+
+# ---------------------------------------------------------------------------
+# STREAM
+# ---------------------------------------------------------------------------
+
+def stream_trace(n: int, kernel: str = "triad", layout: ArrayLayout | None = None) -> Trace:
+    """Reference stream of one STREAM kernel over arrays of length ``n``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    layout = layout or ArrayLayout()
+    a0 = layout.alloc("a", n * _F8)
+    b0 = layout.alloc("b", n * _F8)
+    c0 = layout.alloc("c", n * _F8)
+    idx = np.arange(n, dtype=np.int64) * _F8
+    if kernel == "copy":        # c = a
+        cols, wr = [a0 + idx, c0 + idx], [False, True]
+    elif kernel == "scale":     # b = s*c
+        cols, wr = [c0 + idx, b0 + idx], [False, True]
+    elif kernel == "add":       # c = a+b
+        cols, wr = [a0 + idx, b0 + idx, c0 + idx], [False, False, True]
+    elif kernel == "triad":     # a = b+s*c
+        cols, wr = [b0 + idx, c0 + idx, a0 + idx], [False, False, True]
+    else:
+        raise ValueError(f"unknown STREAM kernel {kernel!r}")
+    return _interleave(cols, wr, label=f"stream-{kernel}-n{n}")
+
+
+# ---------------------------------------------------------------------------
+# stencil
+# ---------------------------------------------------------------------------
+
+def stencil_trace(n: int, m: int | None = None, tile: int | None = None,
+                  layout: ArrayLayout | None = None) -> Trace:
+    """Reference stream of one 5-point Jacobi sweep (row-major traversal).
+
+    With ``tile`` the interior is traversed in square blocks, matching
+    :func:`repro.kernels.stencil.jacobi_step_blocked`.
+    """
+    m = n if m is None else m
+    if n < 3 or m < 3:
+        raise ValueError("grid must be at least 3x3")
+    layout = layout or ArrayLayout()
+    src0 = layout.alloc("src", n * m * _F8)
+    dst0 = layout.alloc("dst", n * m * _F8)
+
+    def block(i_lo, i_hi, j_lo, j_hi):
+        ii, jj = np.meshgrid(np.arange(i_lo, i_hi), np.arange(j_lo, j_hi),
+                             indexing="ij")
+        return ii.ravel(), jj.ravel()
+
+    if tile is None:
+        i, j = block(1, n - 1, 1, m - 1)
+    else:
+        if tile < 1:
+            raise ValueError("tile must be positive")
+        parts_i, parts_j = [], []
+        for ti in range(1, n - 1, tile):
+            for tj in range(1, m - 1, tile):
+                bi, bj = block(ti, min(ti + tile, n - 1), tj, min(tj + tile, m - 1))
+                parts_i.append(bi)
+                parts_j.append(bj)
+        i = np.concatenate(parts_i)
+        j = np.concatenate(parts_j)
+    north = src0 + ((i - 1) * m + j) * _F8
+    south = src0 + ((i + 1) * m + j) * _F8
+    west = src0 + (i * m + (j - 1)) * _F8
+    east = src0 + (i * m + (j + 1)) * _F8
+    out = dst0 + (i * m + j) * _F8
+    suffix = f"-tile{tile}" if tile else ""
+    return _interleave([north, west, east, south, out],
+                       [False, False, False, False, True],
+                       label=f"stencil-{n}x{m}{suffix}")
+
+
+# ---------------------------------------------------------------------------
+# histogram
+# ---------------------------------------------------------------------------
+
+def histogram_trace(keys: np.ndarray, bins: int, layout: ArrayLayout | None = None) -> Trace:
+    """Reference stream of the scalar histogram loop over ``keys``.
+
+    Per element: load keys[i], load counts[key], store counts[key].  The
+    counts addresses are *data-dependent* — the property assignment 2 adds
+    histogram to demonstrate.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.ndim != 1 or keys.size == 0:
+        raise ValueError("keys must be a non-empty 1-D array")
+    if bins < 1 or keys.min() < 0 or keys.max() >= bins:
+        raise ValueError("keys outside [0, bins)")
+    layout = layout or ArrayLayout()
+    k0 = layout.alloc("keys", keys.size * _F8)
+    h0 = layout.alloc("counts", bins * _F8)
+    idx = np.arange(keys.size, dtype=np.int64)
+    key_addr = k0 + idx * _F8
+    cnt_addr = h0 + keys * _F8
+    return _interleave([key_addr, cnt_addr, cnt_addr],
+                       [False, False, True],
+                       label=f"histogram-n{keys.size}-b{bins}")
+
+
+# ---------------------------------------------------------------------------
+# SpMV
+# ---------------------------------------------------------------------------
+
+def spmv_csr_trace(matrix: CSRMatrix | COOMatrix,
+                   layout: ArrayLayout | None = None) -> Trace:
+    """Reference stream of scalar CSR SpMV.
+
+    Per nonzero: load indices[p], load data[p], load x[col]; per row one
+    store of y[i].  The x gathers are where matrix structure (bandwidth)
+    shows up as locality.
+    """
+    csr = matrix.to_csr() if isinstance(matrix, COOMatrix) else matrix
+    layout = layout or ArrayLayout()
+    d0 = layout.alloc("data", max(1, csr.nnz) * _F8)
+    i0 = layout.alloc("indices", max(1, csr.nnz) * _F8)
+    x0 = layout.alloc("x", csr.shape[1] * _F8)
+    y0 = layout.alloc("y", csr.shape[0] * _F8)
+    p = np.arange(csr.nnz, dtype=np.int64)
+    per_nnz = _interleave(
+        [i0 + p * _F8, d0 + p * _F8, x0 + csr.indices.astype(np.int64) * _F8],
+        [False, False, False],
+        label="nnz",
+    ) if csr.nnz else Trace(np.empty(0, np.int64), np.empty(0, bool), "nnz")
+    # insert the y store after each row's nonzeros
+    lengths = csr.row_lengths()
+    n = csr.shape[0]
+    addr_parts: list[np.ndarray] = []
+    write_parts: list[np.ndarray] = []
+    pos = 0
+    for i in range(n):
+        cnt = int(lengths[i]) * 3
+        addr_parts.append(per_nnz.addresses[pos:pos + cnt])
+        write_parts.append(per_nnz.writes[pos:pos + cnt])
+        addr_parts.append(np.array([y0 + i * _F8], dtype=np.int64))
+        write_parts.append(np.array([True]))
+        pos += cnt
+    return Trace(np.concatenate(addr_parts), np.concatenate(write_parts),
+                 label=f"spmv-csr-{csr.shape[0]}x{csr.shape[1]}-nnz{csr.nnz}")
+
+
+# ---------------------------------------------------------------------------
+# synthetic access patterns (assignment 4's pattern kernels)
+# ---------------------------------------------------------------------------
+
+def strided_trace(n_accesses: int, stride_bytes: int, footprint_bytes: int,
+                  write_fraction: float = 0.0, base: int = 0) -> Trace:
+    """Wrap-around strided sweep — the "strided access" pattern generator."""
+    if n_accesses < 1 or stride_bytes < 1 or footprint_bytes < stride_bytes:
+        raise ValueError("invalid strided trace parameters")
+    if not 0 <= write_fraction <= 1:
+        raise ValueError("write_fraction must be in [0, 1]")
+    idx = (np.arange(n_accesses, dtype=np.int64) * stride_bytes) % footprint_bytes
+    writes = np.zeros(n_accesses, dtype=bool)
+    if write_fraction > 0:
+        writes[: int(round(write_fraction * n_accesses))] = True
+        writes = np.random.default_rng(0).permutation(writes)
+    return Trace(base + idx, writes,
+                 label=f"strided-{stride_bytes}B-fp{footprint_bytes}")
+
+
+def random_access_trace(n_accesses: int, footprint_bytes: int,
+                        element_bytes: int = 8, seed: int = 0,
+                        write_fraction: float = 0.0, base: int = 0) -> Trace:
+    """Uniform random accesses over a footprint — the latency-bound pattern."""
+    if n_accesses < 1 or footprint_bytes < element_bytes:
+        raise ValueError("invalid random trace parameters")
+    rng = np.random.default_rng(seed)
+    n_elems = footprint_bytes // element_bytes
+    idx = rng.integers(0, n_elems, size=n_accesses).astype(np.int64)
+    writes = rng.random(n_accesses) < write_fraction
+    return Trace(base + idx * element_bytes, writes,
+                 label=f"random-fp{footprint_bytes}")

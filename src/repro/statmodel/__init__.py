@@ -1,0 +1,57 @@
+"""Statistical performance modeling (Assignment 3)."""
+
+from .comparison import ComparisonResult, ModelEntry, compare_models
+from .features import (
+    FeaturePipeline,
+    dataset_from_dicts,
+    matmul_feature_pipeline,
+    spmv_feature_pipeline,
+)
+from .importance import (
+    importance_report,
+    permutation_importance,
+    rank_features,
+)
+from .regression import (
+    DecisionTreeRegressor,
+    KNNRegressor,
+    LinearRegressor,
+    PolynomialRegressor,
+    RandomForestRegressor,
+)
+from .validation import (
+    CVResult,
+    Regressor,
+    cross_validate,
+    learning_curve,
+    mape,
+    r_squared,
+    rmse,
+    train_test_split,
+)
+
+__all__ = [
+    "LinearRegressor",
+    "PolynomialRegressor",
+    "KNNRegressor",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "FeaturePipeline",
+    "spmv_feature_pipeline",
+    "matmul_feature_pipeline",
+    "dataset_from_dicts",
+    "Regressor",
+    "train_test_split",
+    "mape",
+    "rmse",
+    "r_squared",
+    "CVResult",
+    "cross_validate",
+    "learning_curve",
+    "ModelEntry",
+    "ComparisonResult",
+    "compare_models",
+    "permutation_importance",
+    "rank_features",
+    "importance_report",
+]

@@ -1,0 +1,99 @@
+"""Analytical-vs-statistical model comparison — assignment 3's capstone.
+
+The assignment "showcase[s] the interpretability of the models by
+comparison, by exposing students to two extremes: the highly-explainable
+analytical model vs. the black-box statistical models".  This module runs
+both kinds of model on the same held-out data and produces the comparison
+report the students write by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from .validation import mape, r_squared, rmse
+
+__all__ = ["ModelEntry", "ComparisonResult", "compare_models"]
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One contender: a predict function plus its interpretability class.
+
+    ``kind`` is ``"analytical"`` or ``"statistical"``; ``explanation``
+    carries whatever human-readable account the model can give of itself
+    (closed-form formula, coefficient listing, or "none — black box").
+    """
+
+    name: str
+    predict: Callable[[np.ndarray], np.ndarray]
+    kind: str
+    explanation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("analytical", "statistical"):
+            raise ValueError("kind must be 'analytical' or 'statistical'")
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Per-model accuracy on shared held-out data."""
+
+    names: tuple[str, ...]
+    kinds: tuple[str, ...]
+    mapes: tuple[float, ...]
+    rmses: tuple[float, ...]
+    r2s: tuple[float, ...]
+    explanations: tuple[str, ...]
+
+    def best(self, metric: str = "mape") -> str:
+        """Name of the most accurate model under ``metric``."""
+        if metric == "mape":
+            return self.names[int(np.argmin(self.mapes))]
+        if metric == "rmse":
+            return self.names[int(np.argmin(self.rmses))]
+        if metric == "r2":
+            return self.names[int(np.argmax(self.r2s))]
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def by_name(self, name: str) -> dict[str, float]:
+        if name not in self.names:
+            raise KeyError(name)
+        i = self.names.index(name)
+        return {"mape": self.mapes[i], "rmse": self.rmses[i], "r2": self.r2s[i]}
+
+    def report(self) -> str:
+        lines = [f"  {'model':28s} {'kind':>12s} {'MAPE':>8s} {'RMSE':>11s} {'R^2':>7s}"]
+        for n, k, m, r, r2 in zip(self.names, self.kinds, self.mapes,
+                                  self.rmses, self.r2s):
+            lines.append(f"  {n:28s} {k:>12s} {m:8.1%} {r:11.4e} {r2:7.3f}")
+        lines.append(f"  best by MAPE: {self.best('mape')}")
+        for n, e in zip(self.names, self.explanations):
+            if e:
+                lines.append(f"  [{n}] {e}")
+        return "\n".join(lines)
+
+
+def compare_models(entries: Sequence[ModelEntry], X_test: np.ndarray,
+                   y_test: np.ndarray) -> ComparisonResult:
+    """Evaluate every entry on the same held-out (X, y)."""
+    if not entries:
+        raise ValueError("need at least one model")
+    X_test = np.asarray(X_test, dtype=float)
+    y_test = np.asarray(y_test, dtype=float)
+    names, kinds, mapes, rmses, r2s, explanations = [], [], [], [], [], []
+    for entry in entries:
+        pred = np.asarray(entry.predict(X_test), dtype=float)
+        if pred.shape != y_test.shape:
+            raise ValueError(f"{entry.name}: prediction shape mismatch")
+        names.append(entry.name)
+        kinds.append(entry.kind)
+        mapes.append(mape(y_test, pred))
+        rmses.append(rmse(y_test, pred))
+        r2s.append(r_squared(y_test, pred))
+        explanations.append(entry.explanation)
+    return ComparisonResult(tuple(names), tuple(kinds), tuple(mapes),
+                            tuple(rmses), tuple(r2s), tuple(explanations))

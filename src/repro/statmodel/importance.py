@@ -1,0 +1,66 @@
+"""Feature importance — which workload properties drive performance?
+
+Assignment 3's reflection question: after a statistical model fits, *what
+did it learn*?  Permutation importance answers it model-agnostically: break
+one feature's relationship to the target by shuffling it, and measure how
+much held-out accuracy degrades.  Works identically for the interpretable
+and the black-box regressors, which is exactly why the comparison exercise
+needs it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .validation import Regressor, mape
+
+__all__ = ["permutation_importance", "rank_features", "importance_report"]
+
+
+def permutation_importance(model: Regressor, X: np.ndarray, y: np.ndarray,
+                           n_repeats: int = 5, seed: int = 0) -> np.ndarray:
+    """Per-feature MAPE increase when that feature is shuffled.
+
+    Returns an array of shape (n_features,): mean degradation over
+    ``n_repeats`` shuffles.  Near-zero (or negative, from noise) means the
+    model ignores the feature.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+        raise ValueError("X/y shape mismatch")
+    if n_repeats < 1:
+        raise ValueError("need at least one repeat")
+    rng = np.random.default_rng(seed)
+    base = mape(y, np.asarray(model.predict(X), dtype=float))
+    importances = np.zeros(X.shape[1])
+    for j in range(X.shape[1]):
+        degradations = []
+        for _ in range(n_repeats):
+            shuffled = X.copy()
+            shuffled[:, j] = rng.permutation(shuffled[:, j])
+            degradations.append(
+                mape(y, np.asarray(model.predict(shuffled), dtype=float)) - base)
+        importances[j] = float(np.mean(degradations))
+    return importances
+
+
+def rank_features(importances: np.ndarray, names: list[str]) -> list[tuple[str, float]]:
+    """(name, importance) pairs sorted most-important first."""
+    importances = np.asarray(importances, dtype=float)
+    if importances.ndim != 1 or len(names) != importances.size:
+        raise ValueError("names/importances length mismatch")
+    order = np.argsort(-importances)
+    return [(names[i], float(importances[i])) for i in order]
+
+
+def importance_report(model: Regressor, X: np.ndarray, y: np.ndarray,
+                      names: list[str], n_repeats: int = 5,
+                      seed: int = 0) -> str:
+    """Readable ranking; the paragraph students paste into their report."""
+    ranked = rank_features(
+        permutation_importance(model, X, y, n_repeats, seed), names)
+    lines = [f"  {'feature':20s} {'MAPE increase when shuffled':>28s}"]
+    for name, imp in ranked:
+        lines.append(f"  {name:20s} {imp:>+28.1%}")
+    return "\n".join(lines)

@@ -1,0 +1,313 @@
+"""Statistical performance models — regressors built from scratch.
+
+Assignment 3 asks students to "work around the limitations of analytical
+modeling by using machine-learning models", collecting performance data and
+modelling expected performance statistically.  The course environment has no
+scikit-learn dependency, and neither do we: every estimator here is
+implemented from first principles on NumPy —
+
+* :class:`LinearRegressor` — ordinary least squares with optional ridge
+  regularization and feature standardization; fully interpretable
+  (coefficients in input units).
+* :class:`PolynomialRegressor` — OLS on a degree-d monomial expansion.
+* :class:`KNNRegressor` — k-nearest-neighbour averaging; non-parametric.
+* :class:`DecisionTreeRegressor` — CART with variance-reduction splits.
+* :class:`RandomForestRegressor` — bagged trees with feature subsampling;
+  the course's stand-in "black-box" model for the interpretability
+  discussion.
+
+All estimators share the fit/predict protocol and validate their inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LinearRegressor",
+    "PolynomialRegressor",
+    "KNNRegressor",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+]
+
+
+def _check_xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D (samples x features)")
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise ValueError("y must be 1-D and match X's sample count")
+    if X.shape[0] == 0:
+        raise ValueError("need at least one sample")
+    if not (np.all(np.isfinite(X)) and np.all(np.isfinite(y))):
+        raise ValueError("X/y contain non-finite values")
+    return X, y
+
+
+def _check_fitted(model, attr: str) -> None:
+    if getattr(model, attr, None) is None:
+        raise RuntimeError(f"{type(model).__name__} is not fitted")
+
+
+class LinearRegressor:
+    """Ordinary least squares, optionally ridge-regularized.
+
+    Features are standardized internally (zero mean, unit variance) so the
+    ridge penalty is scale-free and coefficients are comparable; reported
+    ``coefficients`` are transformed back to input units.
+    """
+
+    def __init__(self, ridge: float = 0.0):
+        if ridge < 0:
+            raise ValueError("ridge penalty cannot be negative")
+        self.ridge = ridge
+        self.coefficients: np.ndarray | None = None
+        self.intercept: float | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegressor":
+        X, y = _check_xy(X, y)
+        mu = X.mean(axis=0)
+        sigma = X.std(axis=0)
+        sigma[sigma == 0] = 1.0
+        Xs = (X - mu) / sigma
+        n, d = Xs.shape
+        A = Xs.T @ Xs + self.ridge * np.eye(d)
+        b = Xs.T @ (y - y.mean())
+        beta_s = np.linalg.solve(A, b) if self.ridge > 0 else np.linalg.lstsq(A, b, rcond=None)[0]
+        beta = beta_s / sigma
+        self.coefficients = beta
+        self.intercept = float(y.mean() - mu @ beta)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        _check_fitted(self, "coefficients")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.coefficients.shape[0]:
+            raise ValueError("X has wrong shape for this model")
+        return X @ self.coefficients + self.intercept
+
+    def explain(self, feature_names: list[str] | None = None) -> str:
+        """Human-readable coefficient listing — the interpretability story."""
+        _check_fitted(self, "coefficients")
+        names = feature_names or [f"x{i}" for i in range(self.coefficients.size)]
+        if len(names) != self.coefficients.size:
+            raise ValueError("feature_names length mismatch")
+        parts = [f"{self.intercept:+.4g}"]
+        for name, c in zip(names, self.coefficients):
+            parts.append(f"{c:+.4g}*{name}")
+        return "y = " + " ".join(parts)
+
+
+class PolynomialRegressor:
+    """OLS on a polynomial feature expansion (pure interaction monomials).
+
+    Degree-2 on (a, b) expands to (a, b, a², ab, b²).  Ridge is passed to
+    the underlying linear solve; expansions are standardized there.
+    """
+
+    def __init__(self, degree: int = 2, ridge: float = 1e-8):
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self._linear = LinearRegressor(ridge=ridge)
+        self._n_features: int | None = None
+
+    def _expand(self, X: np.ndarray) -> np.ndarray:
+        from itertools import combinations_with_replacement
+
+        cols = [X]
+        for d in range(2, self.degree + 1):
+            for combo in combinations_with_replacement(range(X.shape[1]), d):
+                cols.append(np.prod(X[:, combo], axis=1, keepdims=True))
+        return np.hstack(cols)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "PolynomialRegressor":
+        X, y = _check_xy(X, y)
+        self._n_features = X.shape[1]
+        self._linear.fit(self._expand(X), y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        _check_fitted(self, "_n_features")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._n_features:
+            raise ValueError("X has wrong shape for this model")
+        return self._linear.predict(self._expand(X))
+
+
+class KNNRegressor:
+    """k-nearest-neighbour regression with z-scored distances."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        X, y = _check_xy(X, y)
+        self._mu = X.mean(axis=0)
+        self._sigma = X.std(axis=0)
+        self._sigma[self._sigma == 0] = 1.0
+        self._X = (X - self._mu) / self._sigma
+        self._y = y
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        _check_fitted(self, "_X")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._X.shape[1]:
+            raise ValueError("X has wrong shape for this model")
+        Xs = (X - self._mu) / self._sigma
+        k = min(self.k, self._X.shape[0])
+        out = np.empty(Xs.shape[0])
+        for i, row in enumerate(Xs):
+            d2 = np.sum((self._X - row) ** 2, axis=1)
+            nearest = np.argpartition(d2, k - 1)[:k]
+            out[i] = float(self._y[nearest].mean())
+        return out
+
+
+@dataclass
+class _TreeNode:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_TreeNode | None" = None
+    right: "_TreeNode | None" = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree with variance-reduction splits."""
+
+    def __init__(self, max_depth: int = 8, min_samples_leaf: int = 2,
+                 max_features: int | None = None, seed: int = 0):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(seed)
+        self._root: _TreeNode | None = None
+        self._n_features: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = _check_xy(X, y)
+        self._n_features = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(value=float(y.mean()))
+        if depth >= self.max_depth or y.size < 2 * self.min_samples_leaf or np.ptp(y) == 0:
+            return node
+        n_feat = X.shape[1]
+        if self.max_features is not None and self.max_features < n_feat:
+            candidates = self._rng.choice(n_feat, size=self.max_features, replace=False)
+        else:
+            candidates = np.arange(n_feat)
+        best = (np.inf, -1, 0.0)  # (weighted sse, feature, threshold)
+        for f in candidates:
+            order = np.argsort(X[:, f], kind="stable")
+            xs, ys = X[order, f], y[order]
+            # candidate splits between distinct consecutive values
+            distinct = np.nonzero(np.diff(xs))[0]
+            for idx in distinct:
+                n_left = idx + 1
+                if n_left < self.min_samples_leaf or y.size - n_left < self.min_samples_leaf:
+                    continue
+                left, right = ys[:n_left], ys[n_left:]
+                sse = (np.sum((left - left.mean()) ** 2)
+                       + np.sum((right - right.mean()) ** 2))
+                if sse < best[0]:
+                    best = (sse, int(f), float((xs[idx] + xs[idx + 1]) / 2))
+        if best[1] < 0:
+            return node
+        _, f, thr = best
+        mask = X[:, f] <= thr
+        node.feature, node.threshold = f, thr
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        _check_fitted(self, "_root")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._n_features:
+            raise ValueError("X has wrong shape for this model")
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        _check_fitted(self, "_root")
+
+        def walk(node: _TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+
+class RandomForestRegressor:
+    """Bagged CART trees with feature subsampling.
+
+    The "black-box" end of assignment 3's interpretability spectrum:
+    typically the most accurate on data-dependent kernels like SpMV, but
+    its reasoning is opaque — exactly the trade-off students must discuss.
+    """
+
+    def __init__(self, n_trees: int = 30, max_depth: int = 10,
+                 min_samples_leaf: int = 2, max_features: int | None = None,
+                 seed: int = 0):
+        if n_trees < 1:
+            raise ValueError("need at least one tree")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list[DecisionTreeRegressor] | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X, y = _check_xy(X, y)
+        rng = np.random.default_rng(self.seed)
+        n = X.shape[0]
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, X.shape[1] // 3 + 1)
+        self._trees = []
+        for t in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=self.seed + 1 + t,
+            )
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        _check_fitted(self, "_trees")
+        preds = np.stack([tree.predict(X) for tree in self._trees])
+        return preds.mean(axis=0)

@@ -1,0 +1,147 @@
+"""Validation of statistical performance models.
+
+Assignment 3 requires students to "evaluate the prediction accuracy of the
+proposed model" — which means held-out data, cross-validation, and the right
+error metrics (performance data spans orders of magnitude, so percentage
+errors, not absolute ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+__all__ = [
+    "Regressor",
+    "train_test_split",
+    "mape",
+    "rmse",
+    "r_squared",
+    "CVResult",
+    "cross_validate",
+    "learning_curve",
+]
+
+
+class Regressor(Protocol):
+    """Fit/predict protocol every estimator in this package implements."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+def train_test_split(X: np.ndarray, y: np.ndarray, test_fraction: float = 0.25,
+                     seed: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into (X_train, X_test, y_train, y_test)."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+        raise ValueError("X/y shape mismatch")
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = X.shape[0]
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError("not enough samples to split")
+    perm = np.random.default_rng(seed).permutation(n)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute percentage error."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValueError("shape mismatch or empty input")
+    if np.any(y_true == 0):
+        raise ValueError("MAPE undefined when a true value is zero")
+    return float(np.mean(np.abs((y_pred - y_true) / y_true)))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root-mean-square error."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValueError("shape mismatch or empty input")
+    return float(np.sqrt(np.mean((y_pred - y_true) ** 2)))
+
+
+def r_squared(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.shape != y_pred.shape or y_true.size == 0:
+        raise ValueError("shape mismatch or empty input")
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class CVResult:
+    """Per-fold and aggregate cross-validation errors."""
+
+    fold_mape: tuple[float, ...]
+    fold_rmse: tuple[float, ...]
+
+    @property
+    def mean_mape(self) -> float:
+        return float(np.mean(self.fold_mape))
+
+    @property
+    def mean_rmse(self) -> float:
+        return float(np.mean(self.fold_rmse))
+
+    @property
+    def std_mape(self) -> float:
+        return float(np.std(self.fold_mape))
+
+
+def cross_validate(model_factory, X: np.ndarray, y: np.ndarray,
+                   folds: int = 5, seed: int = 0) -> CVResult:
+    """k-fold cross-validation; ``model_factory()`` builds a fresh model."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X/y shape mismatch")
+    n = X.shape[0]
+    if folds < 2 or folds > n:
+        raise ValueError("folds must be in [2, n_samples]")
+    perm = np.random.default_rng(seed).permutation(n)
+    fold_idx = np.array_split(perm, folds)
+    mapes, rmses = [], []
+    for k in range(folds):
+        test = fold_idx[k]
+        train = np.concatenate([fold_idx[j] for j in range(folds) if j != k])
+        model = model_factory()
+        model.fit(X[train], y[train])
+        pred = model.predict(X[test])
+        mapes.append(mape(y[test], pred))
+        rmses.append(rmse(y[test], pred))
+    return CVResult(tuple(mapes), tuple(rmses))
+
+
+def learning_curve(model_factory, X: np.ndarray, y: np.ndarray,
+                   train_sizes: list[int], test_fraction: float = 0.25,
+                   seed: int = 0) -> dict[int, float]:
+    """Held-out MAPE vs training-set size.
+
+    Shows whether more measurements would help — "the challenges of defining
+    and collecting training data" the assignment highlights.
+    """
+    X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction, seed)
+    out: dict[int, float] = {}
+    for size in train_sizes:
+        if not 1 <= size <= X_train.shape[0]:
+            raise ValueError(f"train size {size} outside [1, {X_train.shape[0]}]")
+        model = model_factory()
+        model.fit(X_train[:size], y_train[:size])
+        out[size] = mape(y_test, model.predict(X_test))
+    return out

@@ -1,0 +1,204 @@
+"""Experimental design for empirical performance analysis (Objective 4).
+
+Lesson 3 of the paper: "Do not underestimate empirical analysis efforts …
+this is often the case when experimental design is missing, and/or
+automation is not properly defined."  This module is that automation: it
+expresses full-factorial and one-factor-at-a-time designs over named
+factors, runs them with replication, and collects results in a tidy table
+ready for statistical modeling (assignment 3 consumes these tables as
+training data).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .stats import Summary, summarize
+
+__all__ = [
+    "Factor",
+    "Design",
+    "full_factorial",
+    "one_factor_at_a_time",
+    "Observation",
+    "ResultTable",
+    "run_design",
+]
+
+
+@dataclass(frozen=True)
+class Factor:
+    """A named experimental factor with its candidate levels."""
+
+    name: str
+    levels: tuple
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("factor needs a name")
+        if len(self.levels) == 0:
+            raise ValueError(f"factor {self.name!r} needs at least one level")
+        if len(set(self.levels)) != len(self.levels):
+            raise ValueError(f"factor {self.name!r} has duplicate levels")
+
+
+@dataclass(frozen=True)
+class Design:
+    """An ordered collection of experimental configurations."""
+
+    factors: tuple[Factor, ...]
+    points: tuple[Mapping[str, object], ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Mapping[str, object]]:
+        return iter(self.points)
+
+
+def full_factorial(factors: Sequence[Factor]) -> Design:
+    """Cross product of all factor levels — the assignments' default design."""
+    if not factors:
+        raise ValueError("need at least one factor")
+    names = [f.name for f in factors]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate factor names")
+    points = tuple(
+        dict(zip(names, combo))
+        for combo in itertools.product(*(f.levels for f in factors))
+    )
+    return Design(tuple(factors), points)
+
+
+def one_factor_at_a_time(
+    baseline: Mapping[str, object], factors: Sequence[Factor]
+) -> Design:
+    """Vary one factor at a time around a baseline configuration.
+
+    Cheaper than full factorial; the course teaches it as the screening
+    design to find which factors matter before committing to a sweep.
+    """
+    if not factors:
+        raise ValueError("need at least one factor")
+    for f in factors:
+        if f.name not in baseline:
+            raise ValueError(f"baseline missing factor {f.name!r}")
+    points: list[dict[str, object]] = [dict(baseline)]
+    seen = {tuple(sorted(baseline.items(), key=lambda kv: kv[0]))}
+    for f in factors:
+        for level in f.levels:
+            pt = dict(baseline)
+            pt[f.name] = level
+            key = tuple(sorted(pt.items(), key=lambda kv: kv[0]))
+            if key not in seen:
+                seen.add(key)
+                points.append(pt)
+    return Design(tuple(factors), tuple(points))
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One configuration's replicated measurements."""
+
+    config: Mapping[str, object]
+    values: tuple[float, ...]
+    summary: Summary
+
+
+@dataclass
+class ResultTable:
+    """Tidy result collection: one row per (configuration, replicate).
+
+    ``to_arrays`` exports a numeric feature matrix + response vector for
+    :mod:`repro.statmodel`; non-numeric factors are label-encoded with a
+    stable, documented mapping.
+    """
+
+    observations: list[Observation] = field(default_factory=list)
+
+    def append(self, obs: Observation) -> None:
+        self.observations.append(obs)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def configs(self) -> list[Mapping[str, object]]:
+        return [o.config for o in self.observations]
+
+    def means(self) -> np.ndarray:
+        return np.array([o.summary.mean for o in self.observations])
+
+    def factor_names(self) -> list[str]:
+        if not self.observations:
+            return []
+        return sorted(self.observations[0].config)
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, dict[str, dict[object, int]]]:
+        """(X, y, encodings): features, mean response, label encodings."""
+        if not self.observations:
+            raise ValueError("empty result table")
+        names = self.factor_names()
+        encodings: dict[str, dict[object, int]] = {}
+        columns: list[list[float]] = []
+        for obs in self.observations:
+            if sorted(obs.config) != names:
+                raise ValueError("inconsistent factor names across observations")
+            row: list[float] = []
+            for name in names:
+                value = obs.config[name]
+                if isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
+                    value, bool
+                ):
+                    row.append(float(value))
+                else:
+                    enc = encodings.setdefault(name, {})
+                    if value not in enc:
+                        enc[value] = len(enc)
+                    row.append(float(enc[value]))
+            columns.append(row)
+        X = np.asarray(columns, dtype=float)
+        y = self.means()
+        return X, y, encodings
+
+    def rows(self) -> list[dict[str, object]]:
+        """One flat dict per observation — convenient for CSV export."""
+        out = []
+        for obs in self.observations:
+            row: dict[str, object] = dict(obs.config)
+            row["mean"] = obs.summary.mean
+            row["median"] = obs.summary.median
+            row["ci_low"] = obs.summary.ci_low
+            row["ci_high"] = obs.summary.ci_high
+            row["n_samples"] = obs.summary.n
+            out.append(row)
+        return out
+
+
+def run_design(
+    design: Design,
+    run: Callable[..., float],
+    replicates: int = 3,
+    seed: int | None = None,
+) -> ResultTable:
+    """Execute ``run(**config)`` for every design point with replication.
+
+    ``run`` must return the measured value (e.g. seconds).  When ``seed`` is
+    given, a per-replicate ``seed`` keyword is injected so stochastic
+    workloads are reproducible yet varied across replicates.
+    """
+    if replicates < 1:
+        raise ValueError("need at least one replicate")
+    table = ResultTable()
+    for i, config in enumerate(design):
+        values = []
+        for r in range(replicates):
+            kwargs = dict(config)
+            if seed is not None:
+                kwargs["seed"] = seed + i * replicates + r
+            values.append(float(run(**kwargs)))
+        table.append(Observation(dict(config), tuple(values), summarize(values)))
+    return table

@@ -1,0 +1,249 @@
+"""Robust statistics for performance measurements.
+
+Lecture topic "Basics of performance" (Table 1) teaches how to *correctly
+measure and communicate* performance data: which average to use for which
+metric, confidence intervals, and outlier handling.  This module implements
+that methodology:
+
+* arithmetic mean for times, **harmonic** mean for rates derived from a
+  fixed amount of work, geometric mean for normalized ratios (speedups over
+  a benchmark suite) — using the wrong mean is the classic benchmarking
+  crime (Fleming & Wallace, 1986);
+* confidence intervals via Student's t (small samples) and the
+  nonparametric percentile bootstrap;
+* outlier rejection with the median-absolute-deviation (MAD) rule, which
+  tolerates the heavy right tail of timing distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _sps
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "significantly_faster",
+    "arithmetic_mean",
+    "harmonic_mean",
+    "geometric_mean",
+    "confidence_interval",
+    "bootstrap_ci",
+    "mad_outlier_mask",
+    "reject_outliers",
+    "coefficient_of_variation",
+    "speedup",
+    "relative_error",
+    "percent_of_peak",
+]
+
+
+def _as_array(samples: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("need a non-empty 1-D sequence of samples")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("samples contain NaN or infinity")
+    return arr
+
+
+def arithmetic_mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean — correct for *times* (additive quantities)."""
+    return float(np.mean(_as_array(samples)))
+
+
+def harmonic_mean(samples: Sequence[float]) -> float:
+    """Harmonic mean — correct for *rates* over equal amounts of work.
+
+    E.g. the mean FLOP/s over repetitions of the same kernel equals
+    total work / total time, which is the harmonic mean of per-run rates.
+    """
+    arr = _as_array(samples)
+    if np.any(arr <= 0):
+        raise ValueError("harmonic mean requires strictly positive rates")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean — correct for normalized ratios (speedups)."""
+    arr = _as_array(samples)
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive ratios")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Two-sided Student-t confidence interval for the mean.
+
+    With a single sample the interval degenerates to (x, x).
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    arr = _as_array(samples)
+    mean = float(np.mean(arr))
+    if arr.size == 1:
+        return (mean, mean)
+    sem = float(np.std(arr, ddof=1) / math.sqrt(arr.size))
+    if sem == 0.0:
+        return (mean, mean)
+    half = float(_sps.t.ppf(0.5 + confidence / 2, df=arr.size - 1)) * sem
+    return (mean - half, mean + half)
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    statistic=np.median,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for an arbitrary statistic.
+
+    Timing distributions are rarely normal (long right tails from OS jitter),
+    so the course teaches the bootstrap as the assumption-free alternative.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 1:
+        raise ValueError("need at least one resample")
+    arr = _as_array(samples)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    reps = np.apply_along_axis(statistic, 1, arr[idx])
+    lo, hi = np.percentile(reps, [100 * (0.5 - confidence / 2), 100 * (0.5 + confidence / 2)])
+    return (float(lo), float(hi))
+
+
+def mad_outlier_mask(samples: Sequence[float], threshold: float = 3.5) -> np.ndarray:
+    """Boolean mask, ``True`` where a sample is a MAD outlier.
+
+    Uses the modified z-score of Iglewicz & Hoaglin: a point is an outlier
+    when ``0.6745 * |x - median| / MAD > threshold``.  When MAD is zero
+    (more than half the samples identical) no point is flagged.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    arr = _as_array(samples)
+    med = np.median(arr)
+    mad = np.median(np.abs(arr - med))
+    if mad == 0:
+        return np.zeros(arr.shape, dtype=bool)
+    return np.asarray(0.6745 * np.abs(arr - med) / mad > threshold)
+
+
+def reject_outliers(samples: Sequence[float], threshold: float = 3.5) -> np.ndarray:
+    """Samples with MAD outliers removed (never removes everything)."""
+    arr = _as_array(samples)
+    keep = ~mad_outlier_mask(arr, threshold)
+    return arr[keep] if keep.any() else arr
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """Std/mean; the course's rule of thumb for "is this run stable?"."""
+    arr = _as_array(samples)
+    mean = float(np.mean(arr))
+    if mean == 0:
+        raise ValueError("CV undefined for zero mean")
+    ddof = 1 if arr.size > 1 else 0
+    return float(np.std(arr, ddof=ddof) / abs(mean))
+
+
+def speedup(baseline_time: float, optimized_time: float) -> float:
+    """Classic speedup T_base / T_opt (>1 means the optimization helped)."""
+    if baseline_time <= 0 or optimized_time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / optimized_time
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """Signed relative model error (prediction - measurement) / measurement."""
+    if measured == 0:
+        raise ValueError("relative error undefined for zero measurement")
+    return (predicted - measured) / measured
+
+
+def percent_of_peak(achieved: float, peak: float) -> float:
+    """Achieved fraction of a peak rate, in percent."""
+    if peak <= 0:
+        raise ValueError("peak must be positive")
+    if achieved < 0:
+        raise ValueError("achieved rate must be non-negative")
+    return 100.0 * achieved / peak
+
+
+def significantly_faster(candidate_times: Sequence[float],
+                         baseline_times: Sequence[float],
+                         alpha: float = 0.05) -> bool:
+    """Is the candidate *statistically* faster than the baseline?
+
+    One-sided Mann-Whitney U test (nonparametric — timing samples are not
+    normal) at significance level ``alpha``.  The course's empirical-
+    analysis rule: never claim a speedup from overlapping noise; with
+    fewer than 4 samples per side, this conservatively returns False.
+    """
+    if not 0 < alpha < 1:
+        raise ValueError("alpha must be in (0, 1)")
+    a = _as_array(candidate_times)
+    b = _as_array(baseline_times)
+    if a.size < 4 or b.size < 4:
+        return False
+    result = _sps.mannwhitneyu(a, b, alternative="less")
+    return bool(result.pvalue < alpha)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of a measurement sample.
+
+    Produced by :func:`summarize`; this is the record the reporting stage
+    (stage 7) serializes into tables.
+    """
+
+    n: int
+    mean: float
+    median: float
+    std: float
+    min: float
+    max: float
+    ci_low: float
+    ci_high: float
+    cv: float
+    n_outliers: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.3e} median={self.median:.3e} "
+            f"ci95=[{self.ci_low:.3e}, {self.ci_high:.3e}] cv={self.cv:.2%}"
+        )
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95,
+              drop_outliers: bool = True) -> Summary:
+    """Summarize a sample of measurements the way the course teaches.
+
+    Outliers are flagged with the MAD rule and (by default) removed before
+    the mean/CI are computed; min/max/n always refer to the raw sample so
+    the reader can see what was dropped.
+    """
+    raw = _as_array(samples)
+    kept = reject_outliers(raw) if drop_outliers else raw
+    lo, hi = confidence_interval(kept, confidence)
+    mean = float(np.mean(kept))
+    return Summary(
+        n=int(raw.size),
+        mean=mean,
+        median=float(np.median(kept)),
+        std=float(np.std(kept, ddof=1)) if kept.size > 1 else 0.0,
+        min=float(np.min(raw)),
+        max=float(np.max(raw)),
+        ci_low=lo,
+        ci_high=hi,
+        cv=coefficient_of_variation(kept) if mean != 0 else 0.0,
+        n_outliers=int(raw.size - kept.size),
+    )

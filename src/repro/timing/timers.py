@@ -1,0 +1,179 @@
+"""Timers and repetition control.
+
+Implements the measurement discipline from the "Basics of performance"
+lecture: monotonic clocks, explicit warmup to reach steady state, enough
+repetitions to bound the confidence interval, and detection of unstable
+runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .stats import Summary, coefficient_of_variation, summarize
+
+__all__ = [
+    "Timer",
+    "MeasurementResult",
+    "measure",
+    "measure_until_stable",
+    "steady_state_index",
+]
+
+
+class Timer:
+    """A context-manager stopwatch over the monotonic high-resolution clock.
+
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = float("nan")
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = time.perf_counter()
+        if self._start is None:  # pragma: no cover - defensive
+            raise RuntimeError("Timer exited without entering")
+        self.elapsed = end - self._start
+
+
+@dataclass(frozen=True)
+class MeasurementResult:
+    """Raw repetitions plus their statistical summary."""
+
+    times: tuple[float, ...]
+    warmup_times: tuple[float, ...]
+    summary: Summary
+    stable: bool
+
+    @property
+    def best(self) -> float:
+        """Fastest repetition — closest to noise-free hardware time."""
+        return min(self.times)
+
+    def rate(self, work: float) -> float:
+        """Turn a fixed amount of ``work`` into a rate using *total* time.
+
+        Equivalent to the harmonic mean of per-repetition rates, which is
+        the correct average for rates over equal work.
+        """
+        if work <= 0:
+            raise ValueError("work must be positive")
+        return work * len(self.times) / sum(self.times)
+
+
+def measure(
+    fn: Callable[[], object],
+    repetitions: int = 7,
+    warmup: int = 2,
+    cv_threshold: float = 0.05,
+) -> MeasurementResult:
+    """Measure ``fn`` with warmup and repetition.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable; its return value is ignored (but returning
+        something prevents the work being optimized away in compiled
+        languages — we keep the convention for portability of the method).
+    repetitions:
+        Timed repetitions after warmup.
+    warmup:
+        Untimed (but recorded) warmup runs that populate caches, trigger
+        lazy allocation, and JIT-compile where applicable.
+    cv_threshold:
+        The run is flagged unstable when the coefficient of variation of
+        the timed repetitions exceeds this threshold.
+    """
+    if repetitions < 1:
+        raise ValueError("need at least one timed repetition")
+    if warmup < 0:
+        raise ValueError("warmup cannot be negative")
+    warm: list[float] = []
+    for _ in range(warmup):
+        with Timer() as t:
+            fn()
+        warm.append(t.elapsed)
+    times: list[float] = []
+    for _ in range(repetitions):
+        with Timer() as t:
+            fn()
+        times.append(t.elapsed)
+    summary = summarize(times)
+    stable = len(times) == 1 or coefficient_of_variation(times) <= cv_threshold
+    return MeasurementResult(tuple(times), tuple(warm), summary, stable)
+
+
+def measure_until_stable(
+    fn: Callable[[], object],
+    cv_threshold: float = 0.05,
+    batch: int = 5,
+    max_repetitions: int = 60,
+    warmup: int = 2,
+) -> MeasurementResult:
+    """Keep adding repetitions until the CV falls below ``cv_threshold``.
+
+    Mirrors what mature harnesses (Google Benchmark, pytest-benchmark) do:
+    the sample grows until the estimate is tight or a budget is exhausted.
+    """
+    if batch < 2:
+        raise ValueError("batch must be at least 2 to estimate variance")
+    if max_repetitions < batch:
+        raise ValueError("max_repetitions must cover at least one batch")
+    warm: list[float] = []
+    for _ in range(warmup):
+        with Timer() as t:
+            fn()
+        warm.append(t.elapsed)
+    times: list[float] = []
+    while len(times) < max_repetitions:
+        for _ in range(batch):
+            with Timer() as t:
+                fn()
+            times.append(t.elapsed)
+        if coefficient_of_variation(times) <= cv_threshold:
+            break
+    summary = summarize(times)
+    stable = coefficient_of_variation(times) <= cv_threshold
+    return MeasurementResult(tuple(times), tuple(warm), summary, stable)
+
+
+def steady_state_index(times: Sequence[float], window: int = 3,
+                       tolerance: float = 0.10) -> int:
+    """Index at which a series of repetition times reaches steady state.
+
+    A position ``i`` is steady when every time in ``times[i:i+window]`` is
+    within ``tolerance`` (relative) of the median of the tail from ``i``.
+    Returns ``len(times)`` when no steady window exists — the caller should
+    then increase warmup.  Used to decide how many warmup runs a new kernel
+    needs before trusting measurements.
+    """
+    arr = np.asarray(times, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("need a non-empty 1-D series")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if window > arr.size:
+        return int(arr.size)
+    for i in range(arr.size - window + 1):
+        tail_median = float(np.median(arr[i:]))
+        if tail_median == 0:
+            return i
+        win = arr[i : i + window]
+        if np.all(np.abs(win - tail_median) <= tolerance * tail_median):
+            return i
+    return int(arr.size)

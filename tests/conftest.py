@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.machine import (
+    generic_server_cpu,
+    generic_server_table,
+    narrow_mobile_table,
+    student_laptop_cpu,
+)
+
+
+@pytest.fixture(scope="session")
+def cpu():
+    """The default teaching machine."""
+    return generic_server_cpu()
+
+
+@pytest.fixture(scope="session")
+def laptop():
+    return student_laptop_cpu()
+
+
+@pytest.fixture(scope="session")
+def table():
+    return generic_server_table()
+
+
+@pytest.fixture(scope="session")
+def mobile_table():
+    return narrow_mobile_table()

@@ -1,0 +1,70 @@
+"""Tests for repro.analytical.ecm."""
+
+import pytest
+
+from repro.analytical import ECMModel
+from repro.simulator import matmul_inner_body, triad_body
+
+
+@pytest.fixture(scope="module")
+def ecm(cpu, table):
+    return ECMModel(cpu, table)
+
+
+class TestECM:
+    def test_iterations_per_line(self, ecm):
+        pred = ecm.predict(triad_body(True), 2, 1)
+        assert pred.iterations_per_line == 8  # 64B line / 8B doubles
+
+    def test_composition_rule(self, ecm):
+        pred = ecm.predict(triad_body(True), 2, 1)
+        assert pred.cycles_per_line == pytest.approx(
+            max(pred.t_overlap, pred.t_nonoverlap + pred.t_data_total))
+
+    def test_memory_resident_slower_than_cache_resident(self, ecm):
+        mem = ecm.predict(triad_body(True), 2, 1)
+        l2 = ecm.predict(triad_body(True), 2, 1, hit_level="L2")
+        assert mem.cycles_per_line > l2.cycles_per_line
+
+    def test_cache_resident_has_no_mem_term(self, ecm):
+        pred = ecm.predict(triad_body(True), 2, 1, hit_level="L3")
+        assert "MEM" not in pred.t_levels
+
+    def test_compute_bound_kernel_saturation_infinite(self, ecm):
+        pred = ecm.predict(matmul_inner_body(True), 2, 0, hit_level="L2")
+        assert pred.saturation_cores() == float("inf")
+
+    def test_streaming_kernel_saturates(self, ecm, cpu):
+        pred = ecm.predict(triad_body(True), 2, 1)
+        n_sat = pred.saturation_cores()
+        assert 1 < n_sat < cpu.cores
+
+    def test_scaling_curve_flattens_at_saturation(self, ecm, cpu):
+        pred = ecm.predict(triad_body(True), 2, 1)
+        curve = ecm.scaling_curve(pred)
+        values = [curve[p] for p in sorted(curve)]
+        # strictly decreasing then constant at the memory floor
+        floor = pred.t_levels["MEM"]
+        assert values[-1] == pytest.approx(floor)
+        assert values[0] > values[1]
+
+    def test_multicore_never_beats_memory_floor(self, ecm):
+        pred = ecm.predict(triad_body(True), 2, 1)
+        assert pred.multicore_cycles_per_line(1000) == pytest.approx(
+            pred.t_levels["MEM"])
+
+    def test_seconds_scales_with_iterations(self, ecm):
+        pred = ecm.predict(triad_body(True), 2, 1)
+        assert pred.seconds(1600) == pytest.approx(pred.seconds(800) * 2)
+
+    def test_rejects_streamless(self, ecm):
+        with pytest.raises(ValueError):
+            ecm.predict(triad_body(True), 0, 0)
+
+    def test_unknown_hit_level(self, ecm):
+        with pytest.raises(KeyError):
+            ecm.predict(triad_body(True), 2, 1, hit_level="L9")
+
+    def test_report_format(self, ecm):
+        text = ecm.predict(triad_body(True), 2, 1).report()
+        assert "cy/line" in text and "n_sat" in text

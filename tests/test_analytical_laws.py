@@ -1,0 +1,124 @@
+"""Tests for repro.analytical.laws and calibration."""
+
+import pytest
+
+from repro.analytical import (
+    amdahl_limit,
+    amdahl_speedup,
+    amdahl_with_overhead,
+    calibrate_loop_term,
+    fit_linear_cost,
+    fit_power_law,
+    fit_serial_fraction,
+    gustafson_speedup,
+    optimal_workers_with_overhead,
+    speedup_curve,
+)
+
+
+class TestAmdahl:
+    def test_single_worker_is_unity(self):
+        assert amdahl_speedup(0.2, 1) == pytest.approx(1.0)
+
+    def test_limit(self):
+        assert amdahl_limit(0.05) == pytest.approx(20.0)
+        assert amdahl_limit(0.0) == float("inf")
+
+    def test_monotone_in_workers(self):
+        s = [amdahl_speedup(0.1, p) for p in (1, 2, 4, 8, 16)]
+        assert s == sorted(s)
+
+    def test_bounded_by_limit(self):
+        assert amdahl_speedup(0.1, 10_000) < amdahl_limit(0.1)
+
+    def test_fully_parallel_is_linear(self):
+        assert amdahl_speedup(0.0, 64) == pytest.approx(64.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 4)
+
+
+class TestGustafson:
+    def test_exceeds_amdahl_for_same_fraction(self):
+        s = 0.1
+        assert gustafson_speedup(s, 64) > amdahl_speedup(s, 64)
+
+    def test_linear_when_fully_parallel(self):
+        assert gustafson_speedup(0.0, 32) == 32.0
+
+    def test_serial_only_is_unity(self):
+        assert gustafson_speedup(1.0, 32) == 1.0
+
+
+class TestOverheadModel:
+    def test_curve_turns_over(self):
+        curve = speedup_curve(0.05, 64, overhead_fraction_per_worker=0.003)
+        best = max(curve, key=curve.get)
+        assert 1 < best < 64
+        assert curve[64] < curve[best]
+
+    def test_analytic_optimum_matches_curve(self):
+        s, k = 0.05, 0.003
+        predicted = optimal_workers_with_overhead(s, k)
+        curve = speedup_curve(s, 64, k)
+        best = max(curve, key=curve.get)
+        assert abs(best - predicted) <= 2
+
+    def test_no_overhead_reduces_to_amdahl(self):
+        assert amdahl_with_overhead(0.2, 8, 0.0) == pytest.approx(
+            amdahl_speedup(0.2, 8))
+
+
+class TestSerialFractionFit:
+    def test_recovers_exact_amdahl(self):
+        s = 0.07
+        data = {p: amdahl_speedup(s, p) for p in (2, 4, 8, 16, 32)}
+        assert fit_serial_fraction(data) == pytest.approx(s, abs=1e-9)
+
+    def test_clamped_to_unit_interval(self):
+        # superlinear measurements would imply negative s; clamp to 0
+        assert fit_serial_fraction({2: 3.0, 4: 6.0}) == 0.0
+
+    def test_needs_multiworker_point(self):
+        with pytest.raises(ValueError):
+            fit_serial_fraction({1: 1.0})
+
+
+class TestFits:
+    def test_linear_fit_recovers_parameters(self):
+        sizes = [10, 20, 40, 80]
+        times = [1e-3 + n * 2e-6 for n in sizes]
+        fit = fit_linear_cost(sizes, times)
+        assert fit.overhead == pytest.approx(1e-3, rel=0.01)
+        assert fit.cost_per_item == pytest.approx(2e-6, rel=0.01)
+        assert fit.r_squared > 0.999
+
+    def test_linear_fit_clamps_negative(self):
+        fit = fit_linear_cost([1, 2, 3], [3e-3, 2e-3, 1e-3])
+        assert fit.cost_per_item == 0.0
+
+    def test_power_law_recovers_exponent(self):
+        sizes = [16, 32, 64, 128]
+        times = [1e-9 * n ** 3 for n in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(3.0, abs=1e-6)
+        assert fit.predict(256) == pytest.approx(1e-9 * 256 ** 3, rel=1e-6)
+
+    def test_power_law_linear_kernel(self):
+        fit = fit_power_law([100, 200, 400], [1e-6 * n for n in (100, 200, 400)])
+        assert fit.exponent == pytest.approx(1.0, abs=1e-6)
+
+    def test_calibrate_loop_term_measures(self):
+        import time
+
+        # sleeps must be well above the OS timer granularity (~1 ms)
+        term = calibrate_loop_term(
+            "sleepy", lambda n: time.sleep(n * 2e-3),
+            sizes=[2, 6, 12], repetitions=1, trip_count=100)
+        assert term.seconds_per_iteration == pytest.approx(2e-3, rel=0.5)
+        assert term.trip_count == 100
+
+    def test_fit_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_linear_cost([1], [1.0])

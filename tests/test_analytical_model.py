@@ -1,0 +1,148 @@
+"""Tests for repro.analytical.model."""
+
+import pytest
+
+from repro.analytical import (
+    FunctionLevelModel,
+    InstructionLevelModel,
+    LoopLevelModel,
+    LoopTerm,
+    ModelEvaluation,
+    evaluate_model,
+)
+from repro.kernels import matmul_work, triad_work
+from repro.microbench import characterize_simulated
+from repro.simulator import stream_trace, triad_body
+
+
+@pytest.fixture(scope="module")
+def machine(cpu, table):
+    return characterize_simulated(cpu, table)
+
+
+class TestFunctionLevel:
+    def test_memory_bound_prediction_is_traffic_over_bandwidth(self, machine):
+        model = FunctionLevelModel(machine)
+        w = triad_work(1_000_000)
+        assert model.predict_seconds(w) == pytest.approx(
+            w.bytes_total / machine.stream_bandwidth)
+        assert model.bound(w) == "memory"
+
+    def test_compute_bound_prediction(self, machine):
+        model = FunctionLevelModel(machine)
+        w = matmul_work(1024)
+        assert model.predict_seconds(w) == pytest.approx(
+            w.flops / machine.peak_flops)
+        assert model.bound(w) == "compute"
+
+    def test_no_overlap_is_sum(self, machine):
+        w = triad_work(1000)
+        overlap = FunctionLevelModel(machine, overlap=True).predict_seconds(w)
+        serial = FunctionLevelModel(machine, overlap=False).predict_seconds(w)
+        assert serial > overlap
+        assert serial == pytest.approx(
+            w.flops / machine.peak_flops + w.bytes_total / machine.stream_bandwidth)
+
+    def test_explain_mentions_bound(self, machine):
+        text = FunctionLevelModel(machine).explain(triad_work(100))
+        assert "memory-bound" in text
+
+
+class TestLoopLevel:
+    def test_sum_of_terms(self):
+        model = LoopLevelModel("m", (
+            LoopTerm("inner", 1000, 1e-6),
+            LoopTerm("setup", 1, 0.0, overhead_seconds=5e-4),
+        ))
+        assert model.predict_seconds() == pytest.approx(1e-3 + 5e-4)
+
+    def test_dominant_term(self):
+        model = LoopLevelModel("m", (
+            LoopTerm("small", 10, 1e-9),
+            LoopTerm("big", 1000, 1e-6),
+        ))
+        assert model.dominant_term().name == "big"
+
+    def test_explain_lists_terms(self):
+        model = LoopLevelModel("m", (LoopTerm("inner", 10, 1e-6),))
+        assert "inner" in model.explain()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LoopLevelModel("m", ())
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            LoopTerm("x", 10, -1e-6)
+
+
+class TestInstructionLevel:
+    def test_compute_only_prediction(self, cpu, table):
+        model = InstructionLevelModel(cpu, table)
+        n = 10000
+        t = model.predict_seconds(triad_body(), n)
+        # 1.5 cycles/iteration on the default table
+        assert t == pytest.approx(1.5 * n / cpu.frequency_hz, rel=0.2)
+
+    def test_with_memory_slower(self, cpu, table):
+        model = InstructionLevelModel(cpu, table)
+        n = 20000
+        bare = model.predict_seconds(triad_body(), n)
+        full = model.predict_seconds(triad_body(), n, stream_trace(n, "triad"))
+        assert full > bare
+
+    def test_bounds_ordered(self, cpu, table):
+        model = InstructionLevelModel(cpu, table)
+        n = 5000
+        opt, pess = model.predict_bounds(triad_body(), n, stream_trace(n, "triad"))
+        assert opt <= pess
+
+    def test_explain_names_bottleneck(self, cpu, table):
+        model = InstructionLevelModel(cpu, table)
+        text = model.explain(triad_body(), 100)
+        assert "throughput bound" in text
+
+
+class TestEvaluation:
+    def test_mape(self):
+        ev = ModelEvaluation("m", (1.1, 2.0), (1.0, 2.0))
+        assert ev.mape == pytest.approx(0.05)
+
+    def test_rank_correlation_perfect(self):
+        ev = ModelEvaluation("m", (1.0, 2.0, 3.0), (10.0, 20.0, 30.0))
+        assert ev.rank_correlation() == pytest.approx(1.0)
+
+    def test_rank_correlation_inverted(self):
+        ev = ModelEvaluation("m", (3.0, 2.0, 1.0), (10.0, 20.0, 30.0))
+        assert ev.rank_correlation() == pytest.approx(-1.0)
+
+    def test_evaluate_model_pairs_by_key(self):
+        ev = evaluate_model("m", {"a": 1.0, "b": 2.0}, {"b": 2.0, "a": 1.0})
+        assert ev.mape == 0.0
+        assert ev.labels == ("a", "b")
+
+    def test_evaluate_model_key_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_model("m", {"a": 1.0}, {"b": 1.0})
+
+    def test_report_contains_errors(self):
+        ev = ModelEvaluation("m", (1.2,), (1.0,), ("case",))
+        assert "+20.0%" in ev.report()
+
+    def test_granularity_ladder_improves_accuracy(self, cpu, table, machine):
+        """The assignment's core observation: finer granularity -> better
+        prediction of the *simulated ground truth*."""
+        from repro.simulator import CPUModel
+
+        n = 30000
+        truth = CPUModel(cpu, table).run(
+            stream_trace(n, "triad"), triad_body(), n).seconds
+
+        # function-level on single core: crude peak-based estimate
+        single = characterize_simulated(cpu.with_cores(1), table)
+        coarse = FunctionLevelModel(single).predict_seconds(triad_work(n))
+        fine = InstructionLevelModel(cpu, table).predict_seconds(
+            triad_body(), n, stream_trace(n, "triad"))
+        err_coarse = abs(coarse - truth) / truth
+        err_fine = abs(fine - truth) / truth
+        assert err_fine <= err_coarse

@@ -1,0 +1,158 @@
+"""Tests for the seven-stage process engine and requirements."""
+
+import pytest
+
+from repro.core import (
+    EngineeringProcess,
+    Feasibility,
+    Metric,
+    ProcessError,
+    Requirement,
+    assess_feasibility,
+)
+
+
+class TestRequirement:
+    def test_latency_lower_is_better(self):
+        req = Requirement("halve it", Metric.LATENCY_SECONDS, 0.5)
+        assert req.met_by(0.4)
+        assert not req.met_by(0.6)
+
+    def test_speedup_higher_is_better(self):
+        req = Requirement("4x", Metric.SPEEDUP, 4.0)
+        assert req.met_by(4.5)
+        assert not req.met_by(3.9)
+
+    def test_gap_ratio(self):
+        req = Requirement("4x", Metric.SPEEDUP, 4.0)
+        assert req.gap(2.0) == 2.0
+        assert req.gap(8.0) == 0.5
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            Requirement("x", Metric.SPEEDUP, 0.0)
+
+
+class TestFeasibility:
+    def test_comfortable_target_feasible(self):
+        req = Requirement("x", Metric.FLOPS, 1e9)
+        assert assess_feasibility(req, bound=1e11) is Feasibility.FEASIBLE
+
+    def test_target_beyond_bound_infeasible(self):
+        req = Requirement("x", Metric.FLOPS, 1e12)
+        assert assess_feasibility(req, bound=1e11) is Feasibility.INFEASIBLE
+
+    def test_near_bound_marginal(self):
+        req = Requirement("x", Metric.FLOPS, 0.9e11)
+        assert assess_feasibility(req, bound=1e11) is Feasibility.MARGINAL
+
+    def test_latency_direction(self):
+        req = Requirement("x", Metric.LATENCY_SECONDS, 0.1)
+        assert assess_feasibility(req, bound=0.01) is Feasibility.FEASIBLE
+        assert assess_feasibility(req, bound=0.5) is Feasibility.INFEASIBLE
+
+
+class TestProcessHappyPath:
+    def make(self):
+        proc = EngineeringProcess("app")
+        proc.set_requirement(Requirement("3x", Metric.SPEEDUP, 3.0))
+        proc.record_baseline(1.0, "naive")
+        proc.assess_feasibility(bound=0.1)
+        return proc
+
+    def test_full_walkthrough(self):
+        proc = self.make()
+        proc.propose("tiling", "blocking", predicted_seconds=0.4)
+        proc.apply("tiling", 0.5)
+        assert proc.assess() is False  # 2x < 3x
+        assert proc.iteration == 2
+        proc.propose("simd", "vectorize")
+        proc.apply("simd", 0.25)
+        assert proc.assess() is True
+        report = proc.report()
+        assert "tiling" in report and "simd" in report
+        assert "MET" in report
+
+    def test_prediction_error_recorded(self):
+        proc = self.make()
+        attempt = proc.propose("opt", predicted_seconds=0.5)
+        proc.apply("opt", 0.4)
+        assert attempt.prediction_error() == pytest.approx(0.25)
+
+    def test_latency_requirement_assessment(self):
+        proc = EngineeringProcess("app")
+        proc.set_requirement(Requirement("under 0.3s", Metric.LATENCY_SECONDS, 0.3))
+        proc.record_baseline(1.0)
+        proc.assess_feasibility(bound=0.05)
+        proc.propose("opt")
+        proc.apply("opt", 0.2)
+        assert proc.assess() is True
+
+
+class TestProcessDiscipline:
+    def test_baseline_requires_requirement(self):
+        proc = EngineeringProcess("app")
+        with pytest.raises(ProcessError):
+            proc.record_baseline(1.0)
+
+    def test_feasibility_requires_baseline(self):
+        proc = EngineeringProcess("app")
+        proc.set_requirement(Requirement("x", Metric.SPEEDUP, 2.0))
+        with pytest.raises(ProcessError):
+            proc.assess_feasibility(0.1)
+
+    def test_propose_requires_feasibility(self):
+        proc = EngineeringProcess("app")
+        proc.set_requirement(Requirement("x", Metric.SPEEDUP, 2.0))
+        proc.record_baseline(1.0)
+        with pytest.raises(ProcessError):
+            proc.propose("opt")
+
+    def test_cannot_optimize_toward_infeasible_target(self):
+        proc = EngineeringProcess("app")
+        proc.set_requirement(Requirement("1000x", Metric.SPEEDUP, 1000.0))
+        proc.record_baseline(1.0)
+        assert proc.assess_feasibility(bound=0.1) is Feasibility.INFEASIBLE
+        with pytest.raises(ProcessError):
+            proc.propose("hopeless")
+
+    def test_apply_requires_proposal(self):
+        proc = EngineeringProcess("app")
+        proc.set_requirement(Requirement("x", Metric.SPEEDUP, 2.0))
+        proc.record_baseline(1.0)
+        proc.assess_feasibility(0.1)
+        with pytest.raises(ProcessError):
+            proc.apply("never-proposed", 0.5)
+
+    def test_assess_requires_application(self):
+        proc = EngineeringProcess("app")
+        proc.set_requirement(Requirement("x", Metric.SPEEDUP, 2.0))
+        proc.record_baseline(1.0)
+        proc.assess_feasibility(0.1)
+        proc.propose("opt")
+        with pytest.raises(ProcessError):
+            proc.assess()
+
+    def test_duplicate_proposal_rejected(self):
+        proc = EngineeringProcess("app")
+        proc.set_requirement(Requirement("x", Metric.SPEEDUP, 2.0))
+        proc.record_baseline(1.0)
+        proc.assess_feasibility(0.1)
+        proc.propose("opt")
+        with pytest.raises(ProcessError):
+            proc.propose("opt")
+
+    def test_closed_after_report(self):
+        proc = EngineeringProcess("app")
+        proc.set_requirement(Requirement("x", Metric.SPEEDUP, 2.0))
+        proc.record_baseline(1.0)
+        proc.report()
+        with pytest.raises(ProcessError):
+            proc.record_baseline(2.0)
+
+    def test_history_logged(self):
+        proc = EngineeringProcess("app")
+        proc.set_requirement(Requirement("x", Metric.SPEEDUP, 2.0))
+        proc.record_baseline(1.0)
+        assert any("S1" in h for h in proc.history)
+        assert any("S2" in h for h in proc.history)

@@ -1,0 +1,55 @@
+"""Tests for the Toolbox facade."""
+
+import pytest
+
+from repro.core import Toolbox
+from repro.machine import narrow_mobile_table, student_laptop_cpu
+
+
+@pytest.fixture(scope="module")
+def toolbox():
+    return Toolbox.default()
+
+
+class TestToolbox:
+    def test_default_machine(self, toolbox):
+        assert toolbox.cpu.name == "generic-server"
+
+    def test_characterization_cached(self, toolbox):
+        assert toolbox.characterize() is toolbox.characterize()
+
+    def test_roofline_cached_default(self, toolbox):
+        assert toolbox.roofline() is toolbox.roofline()
+
+    def test_roofline_parametrized_not_cached(self, toolbox):
+        one_core = toolbox.roofline(cores=1)
+        assert one_core is not toolbox.roofline()
+        assert one_core.peak_flops < toolbox.roofline().peak_flops
+
+    def test_counter_session_works(self, toolbox):
+        from repro.simulator import stream_trace, triad_body
+
+        session = toolbox.counter_session(["PAPI_TOT_CYC"])
+        n = 500
+        reading = session.count(stream_trace(n, "copy"), triad_body(), n)
+        assert reading["PAPI_TOT_CYC"] > 0
+
+    def test_models_consistent_with_machine(self, toolbox):
+        from repro.kernels import triad_work
+
+        fm = toolbox.function_model()
+        w = triad_work(100_000)
+        assert fm.predict_seconds(w) == pytest.approx(
+            w.bytes_total / toolbox.characterize().stream_bandwidth)
+
+    def test_ecm_cached(self, toolbox):
+        assert toolbox.ecm() is toolbox.ecm()
+
+    def test_summary_mentions_machine(self, toolbox):
+        text = toolbox.summary()
+        assert "generic-server" in text
+        assert "ridge" in text
+
+    def test_custom_machine(self):
+        tb = Toolbox(student_laptop_cpu(), narrow_mobile_table())
+        assert tb.characterize().peak_flops < Toolbox.default().characterize().peak_flops

@@ -1,0 +1,88 @@
+"""Tests for repro.counters: events, collector, derived metrics."""
+
+import pytest
+
+from repro.counters import (
+    EVENTS,
+    CounterSession,
+    available_events,
+    derived_metrics,
+)
+from repro.simulator import stream_trace, triad_body
+
+
+class TestEvents:
+    def test_papi_presets_present(self):
+        for name in ("PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_L1_DCM",
+                     "PAPI_BR_MSP", "PAPI_FP_OPS"):
+            assert name in EVENTS
+
+    def test_available_sorted(self):
+        events = available_events()
+        assert events == sorted(events)
+        assert len(events) >= 12
+
+    def test_descriptions_non_empty(self):
+        for event in EVENTS.values():
+            assert event.describe
+
+
+class TestCounterSession:
+    def test_default_counts_everything(self, cpu, table):
+        session = CounterSession(cpu, table)
+        n = 3000
+        reading = session.count(stream_trace(n, "triad"), triad_body(), n)
+        assert reading["PAPI_TOT_INS"] == 7 * n
+        assert reading["PAPI_LD_INS"] == 2 * n
+        assert reading["PAPI_SR_INS"] == n
+        assert reading["PAPI_TOT_CYC"] > 0
+
+    def test_event_subset(self, cpu, table):
+        session = CounterSession(cpu, table, ["PAPI_TOT_CYC"])
+        n = 500
+        reading = session.count(stream_trace(n, "copy"), triad_body(), n)
+        assert set(reading.values) == {"PAPI_TOT_CYC"}
+        with pytest.raises(KeyError):
+            reading["PAPI_TOT_INS"]
+
+    def test_unknown_event_rejected(self, cpu, table):
+        with pytest.raises(KeyError):
+            CounterSession(cpu, table, ["PAPI_MADE_UP"])
+
+    def test_empty_event_set_rejected(self, cpu, table):
+        with pytest.raises(ValueError):
+            CounterSession(cpu, table, [])
+
+    def test_report_lists_events(self, cpu, table):
+        session = CounterSession(cpu, table, ["PAPI_TOT_CYC", "PAPI_TOT_INS"])
+        n = 200
+        reading = session.count(stream_trace(n, "copy"), triad_body(), n,
+                                label="demo")
+        text = reading.report()
+        assert "demo" in text and "PAPI_TOT_CYC" in text
+
+
+class TestDerivedMetrics:
+    def test_core_ratios_consistent(self, cpu, table):
+        session = CounterSession(cpu, table)
+        n = 5000
+        reading = session.count(stream_trace(n, "triad"), triad_body(), n)
+        m = derived_metrics(reading, cpu)
+        assert m["cpi"] == pytest.approx(1.0 / m["ipc"])
+        assert 0 <= m["l1_miss_ratio"] <= 1
+        assert 0 <= m["bandwidth_utilization"] <= 1.2
+        assert m["traffic_waste"] > 0
+
+    def test_streaming_waste_near_unity(self, cpu, table):
+        session = CounterSession(cpu, table)
+        n = 20000
+        reading = session.count(stream_trace(n, "triad"), triad_body(), n)
+        m = derived_metrics(reading, cpu)
+        assert m["traffic_waste"] == pytest.approx(1.0, abs=0.4)
+
+    def test_needs_full_event_set(self, cpu, table):
+        session = CounterSession(cpu, table, ["PAPI_TOT_CYC"])
+        n = 100
+        reading = session.count(stream_trace(n, "copy"), triad_body(), n)
+        with pytest.raises(KeyError):
+            derived_metrics(reading, cpu)

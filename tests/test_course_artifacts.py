@@ -1,0 +1,145 @@
+"""Tests for curriculum (Table 1), figures (SW-2/SW-3), artifact graph (Fig. 2)."""
+
+import pytest
+
+from repro.course import (
+    MILESTONES,
+    OBJECTIVES,
+    PREREQUISITES,
+    STAGES,
+    TIMELINE,
+    TOPICS,
+    artifact_graph,
+    coverage_matrix,
+    figure1_series,
+    figure1_text,
+    figure2_text,
+    inputs_for,
+    reproduction_order,
+    table1_text,
+    table2_text,
+    table2a_rows,
+    table2b_rows,
+    topic_by_name,
+    topics_for_objective,
+    topics_for_stage,
+    validate_graph,
+)
+
+
+class TestCurriculum:
+    def test_structure_counts_exact(self):
+        assert len(STAGES) == 7        # §2.3
+        assert len(OBJECTIVES) == 8    # §3.1
+        assert len(PREREQUISITES) == 5  # §3.2
+        assert len(MILESTONES) == 4    # §3.3
+        assert len(TOPICS) == 11       # Table 1 rows
+        assert len(TIMELINE) == 8      # 8-week block
+
+    def test_topic_names_match_table1(self):
+        names = [t.name for t in TOPICS]
+        assert names == [
+            "Basics of performance",
+            "Code tuning and optimization",
+            "Roofline model and extensions",
+            "Analytical modeling",
+            "(Micro)benchmarking",
+            "Data-driven and stat. modeling",
+            "Simulation and simulators",
+            "Perf. counters and patterns",
+            "Scale-out to distributed systems",
+            "Queuing theory",
+            "Polyhedral model",
+        ]
+
+    def test_every_topic_maps_to_importable_module(self):
+        import importlib
+
+        for topic in TOPICS:
+            assert importlib.import_module(topic.module)
+
+    def test_every_stage_covered_except_reporting(self):
+        # stages 2-6 are the practical ones (§2.3); they must be covered
+        for stage in range(2, 7):
+            assert topics_for_stage(stage), f"stage {stage} uncovered"
+
+    def test_every_objective_served(self):
+        for objective in range(1, 9):
+            assert topics_for_objective(objective), f"objective {objective} unserved"
+
+    def test_coverage_matrix_shape(self):
+        matrix = coverage_matrix()
+        assert len(matrix) == 11
+        row = matrix["Roofline model and extensions"]
+        assert len(row) == 15  # 7 stages + 8 objectives
+        assert row["O2"] is True
+
+    def test_lookup(self):
+        assert topic_by_name("Queuing theory").module == "repro.queueing"
+        with pytest.raises(KeyError):
+            topic_by_name("Quantum computing")
+
+    def test_table1_text_renders_all_topics(self):
+        text = table1_text()
+        for topic in TOPICS:
+            assert topic.name in text
+
+
+class TestFigure1:
+    def test_series_lengths(self):
+        series = figure1_series()
+        assert len(series["year"]) == 7
+        assert series["year"][0] == 2017
+        assert sum(series["total_enrolled"]) == 146
+
+    def test_missing_respondents_are_none(self):
+        series = figure1_series()
+        assert series["evaluation_respondents"][2] is None  # 2019
+
+    def test_text_rendering(self):
+        text = figure1_text()
+        assert "2017" in text and "2023" in text
+        assert "n/a" in text  # missing evaluations
+
+
+class TestTable2:
+    def test_2a_rows_carry_means(self):
+        rows = table2a_rows()
+        assert len(rows) == 13
+        for row in rows:
+            assert row["mean"] == pytest.approx(row["paper_mean"])
+
+    def test_2b_rows(self):
+        rows = table2b_rows()
+        assert [r["statement"] for r in rows] == ["Workload", "Level"]
+
+    def test_text_layout(self):
+        text = table2_text()
+        assert "Taught me a lot" in text
+        assert "Assignment 4" in text
+        assert "Workload" in text
+
+
+class TestFigure2:
+    def test_graph_is_dag_and_valid(self):
+        assert validate_graph() == []
+
+    def test_reproduction_order_topological(self):
+        order = reproduction_order()
+        g = artifact_graph()
+        position = {node: i for i, node in enumerate(order)}
+        for u, v in g.edges:
+            assert position[u] < position[v]
+
+    def test_figure_dependencies_match_paper(self):
+        assert inputs_for("Figure 1") == {"DATA-1", "SW-2"}
+        assert inputs_for("Table 2") == {"DATA-2", "SW-3"}
+        assert {"Figure 1", "Table 2", "DOC-1", "DOC-2"} <= inputs_for("LaTeX Paper")
+
+    def test_unknown_artifact(self):
+        with pytest.raises(KeyError):
+            inputs_for("Figure 99")
+
+    def test_text_rendering_shows_availability(self):
+        text = figure2_text()
+        assert "[solid]" in text and "[dashed]" in text and "[dotted]" in text

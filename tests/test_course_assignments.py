@@ -1,0 +1,82 @@
+"""Tests for the assignment registry (§4.2) and its cross-consistency."""
+
+import importlib
+from pathlib import Path
+
+import pytest
+
+from repro.course import (
+    ASSIGNMENT_POINTS,
+    ASSIGNMENTS,
+    assignment,
+    release_schedule,
+    topics_for_objective,
+)
+
+
+class TestRegistry:
+    def test_four_assignments(self):
+        assert len(ASSIGNMENTS) == 4
+        assert [a.number for a in ASSIGNMENTS] == [1, 2, 3, 4]
+
+    def test_points_match_equation_3(self):
+        assert tuple(a.points for a in ASSIGNMENTS) == ASSIGNMENT_POINTS
+
+    def test_titles_match_paper(self):
+        assert ASSIGNMENTS[0].title == "The Roofline Model"
+        assert "Microbenchmarking" in ASSIGNMENTS[1].title
+        assert ASSIGNMENTS[2].title == "Statistical Modeling"
+        assert "Patterns" in ASSIGNMENTS[3].title
+
+    def test_release_staging_matches_421(self):
+        """§4.2.1: A1 first (2-week deadline), then A2 overlapping, then
+        A3 and A4 released together with the course-end deadline."""
+        schedule = release_schedule()
+        assert schedule[1] == [1]
+        assert schedule[3] == [2]
+        assert schedule[5] == [3, 4]
+        assert assignment(3).deadline_week == assignment(4).deadline_week == 8
+
+    def test_a1_two_week_deadline(self):
+        assert assignment(1).duration_weeks == 2
+
+    def test_a3_a4_share_three_weeks(self):
+        assert assignment(3).duration_weeks == 3
+        assert assignment(4).duration_weeks == 3
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            assignment(5)
+
+
+class TestCrossConsistency:
+    def test_modules_import(self):
+        for spec in ASSIGNMENTS:
+            for module in spec.our_modules:
+                importlib.import_module(module)
+
+    def test_examples_exist(self):
+        root = Path(__file__).resolve().parent.parent
+        for spec in ASSIGNMENTS:
+            assert (root / spec.example).exists(), spec.example
+
+    def test_kernels_registered(self):
+        from repro.kernels import REGISTRY
+
+        families = set(REGISTRY.kernels())
+        for spec in ASSIGNMENTS:
+            for kernel in spec.kernels:
+                if kernel != "synthetic-patterns":
+                    assert kernel in families, kernel
+
+    def test_objectives_are_taught(self):
+        """Every objective an assignment serves must be covered by at
+        least one Table 1 topic."""
+        for spec in ASSIGNMENTS:
+            for objective in spec.objectives:
+                assert topics_for_objective(objective), (spec.number, objective)
+
+    def test_spmv_appears_in_both_a3_and_a4(self):
+        # §4.2: assignment 4 reuses SpMV from assignment 3
+        assert "spmv" in assignment(3).kernels
+        assert "spmv" in assignment(4).kernels

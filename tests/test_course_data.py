@@ -1,0 +1,162 @@
+"""Tests for the paper's data artifacts (DATA-1/DATA-2) and grading."""
+
+import numpy as np
+import pytest
+
+from repro.course import (
+    ASSIGNMENT_POINTS,
+    METRICS_2A,
+    METRICS_2B,
+    PASSING_GRADE,
+    STUDENTS,
+    assignments_grade,
+    final_grade,
+    is_passing,
+    load_students_csv,
+    metrics_csv,
+    project_grade,
+    simulate_cohort,
+    students_csv,
+    team_divisor,
+    totals,
+)
+
+
+class TestData1:
+    def test_paper_totals_exact(self):
+        t = totals()
+        assert t["enrolled"] == 146   # §5.1
+        assert t["passed"] == 93      # §5.1
+        assert t["respondents"] == 41  # §1
+        assert t["editions"] == 7     # taught seven times
+
+    def test_years_2017_to_2023(self):
+        years = [r.year for r in STUDENTS]
+        assert years == list(range(2017, 2024))
+
+    def test_evaluations_missing_2019_2022(self):
+        missing = [r.year for r in STUDENTS if r.respondents is None]
+        assert missing == [2019, 2022]  # Figure 1 caption
+
+    def test_dropout_within_paper_range(self):
+        for r in STUDENTS:
+            assert 0.15 <= r.dropout_rate <= 0.50  # §5.1: "15-50% drop out"
+
+    def test_respondents_do_not_exceed_passed(self):
+        for r in STUDENTS:
+            if r.respondents is not None:
+                assert r.respondents <= r.passed
+
+    def test_enrollment_trend_rising(self):
+        assert STUDENTS[-1].enrolled > STUDENTS[0].enrolled
+
+    def test_csv_round_trip(self):
+        assert load_students_csv(students_csv()) == STUDENTS
+
+    def test_csv_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            load_students_csv("hello,world")
+
+
+class TestData2:
+    def test_every_mean_matches_paper(self):
+        """Table 2's printed M column must be reproduced exactly from the
+        printed counts — the core SW-3 check."""
+        for row in METRICS_2A + METRICS_2B:
+            assert round(row.mean, 1) == pytest.approx(row.paper_mean)
+
+    def test_thirteen_2a_statements(self):
+        assert len(METRICS_2A) == 13
+
+    def test_two_2b_statements(self):
+        assert len(METRICS_2B) == 2
+        assert [r.statement for r in METRICS_2B] == ["Workload", "Level"]
+
+    def test_response_counts_bounded_by_respondents(self):
+        for row in METRICS_2A + METRICS_2B:
+            assert row.n_responses <= 41
+
+    def test_apply_subject_matter_highest(self):
+        best = max(METRICS_2A, key=lambda r: r.mean)
+        assert best.statement == "To apply subject matter"  # paper's 4.8
+
+    def test_workload_high_but_2b_optimal_is_3_to_4(self):
+        workload = METRICS_2B[0]
+        assert workload.mean == pytest.approx(4.0, abs=0.05)  # above optimal!
+
+    def test_metrics_csv_contains_all_rows(self):
+        csv = metrics_csv()
+        for row in METRICS_2A + METRICS_2B:
+            assert row.statement in csv
+
+
+class TestGrading:
+    def test_equation_1_verbatim(self):
+        # G = max(1, min(10, 0.5 Gp + 0.3 Ga + 0.3 (Ge + Sq/70)))
+        assert final_grade(8.0, 8.0, 7.0, 35.0) == pytest.approx(
+            0.5 * 8 + 0.3 * 8 + 0.3 * (7 + 0.5))
+
+    def test_equation_1_clamps_at_10(self):
+        assert final_grade(10.0, 10.0, 10.0, 70.0) == 10.0
+
+    def test_equation_1_floor_at_1(self):
+        assert final_grade(1.0, 0.0, 1.0, 0.0) == pytest.approx(1.0)
+
+    def test_equation_2_verbatim(self):
+        assert project_grade(8.0, 7.0, 9.0) == pytest.approx(
+            0.4 * 8 + 0.3 * 7 + 0.3 * 9)
+
+    def test_equation_3_divisors(self):
+        assert team_divisor(1) == 32
+        assert team_divisor(2) == 36
+        assert team_divisor(3) == 40
+        assert team_divisor(4) == 40
+
+    def test_equation_3_full_marks_solo_exceeds_ten(self):
+        # 42 points / 32 -> 13.125: the paper's deliberate slack
+        assert assignments_grade((10, 9, 11, 12), 1) == pytest.approx(13.125)
+
+    def test_equation_3_full_marks_team_of_four(self):
+        assert assignments_grade((10, 9, 11, 12), 4) == pytest.approx(10.5)
+
+    def test_assignment_point_caps(self):
+        assert ASSIGNMENT_POINTS == (10, 9, 11, 12)
+        with pytest.raises(ValueError):
+            assignments_grade((11, 0, 0, 0), 2)
+
+    def test_team_size_bounds(self):
+        with pytest.raises(ValueError):
+            team_divisor(5)
+
+    def test_passing_threshold(self):
+        assert is_passing(5.5)
+        assert not is_passing(5.4)
+        assert PASSING_GRADE == 5.5
+
+    def test_quiz_bonus_can_push_over(self):
+        without = final_grade(6.0, 5.0, 5.0, 0.0)
+        with_quiz = final_grade(6.0, 5.0, 5.0, 70.0)
+        assert with_quiz == pytest.approx(without + 0.3)
+
+
+class TestCohortSimulation:
+    def test_narrative_averages(self):
+        """§5.1: completing students average ~8 on components; the grading
+        scheme's slack then yields high final grades with near-total pass
+        rate among completers."""
+        cohort = simulate_cohort(146, seed=7)
+        exam = np.mean([s.exam for s in cohort])
+        proj = np.mean([s.project for s in cohort])
+        assert exam == pytest.approx(7.5, abs=0.4)
+        assert proj == pytest.approx(8.0, abs=0.4)
+        pass_rate = np.mean([s.passed for s in cohort])
+        assert pass_rate > 0.95
+
+    def test_deterministic(self):
+        a = simulate_cohort(20, seed=3)
+        b = simulate_cohort(20, seed=3)
+        assert [s.final for s in a] == [s.final for s in b]
+
+    def test_all_grades_in_range(self):
+        for s in simulate_cohort(50, seed=1):
+            assert 1.0 <= s.final <= 10.0

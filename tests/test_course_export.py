@@ -1,0 +1,98 @@
+"""Tests for the artifact exporter and new machine/kernel additions."""
+
+import numpy as np
+import pytest
+
+from repro.course import export_artifacts, load_students_csv, STUDENTS
+from repro.kernels import matmul_parallel, random_matrices
+from repro.machine import epyc_like_cpu, generic_server_cpu
+
+
+class TestExport:
+    def test_writes_full_tree(self, tmp_path):
+        written = export_artifacts(tmp_path / "artifacts")
+        assert set(written) == {
+            "data/students.csv", "data/metrics.csv",
+            "figures/figure1.txt", "figures/figure2.txt",
+            "tables/table1.txt", "tables/table2.txt", "MANIFEST.txt",
+        }
+        for path in written.values():
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_exported_csv_round_trips(self, tmp_path):
+        written = export_artifacts(tmp_path)
+        text = written["data/students.csv"].read_text()
+        assert load_students_csv(text) == STUDENTS
+
+    def test_manifest_reports_sound_graph(self, tmp_path):
+        written = export_artifacts(tmp_path)
+        manifest = written["MANIFEST.txt"].read_text()
+        assert "graph audit: sound" in manifest
+        assert "DATA-1" in manifest
+
+    def test_idempotent(self, tmp_path):
+        export_artifacts(tmp_path)
+        written = export_artifacts(tmp_path)  # second run overwrites cleanly
+        assert len(written) == 7
+
+    def test_rejects_file_target(self, tmp_path):
+        target = tmp_path / "file.txt"
+        target.write_text("x")
+        with pytest.raises(NotADirectoryError):
+            export_artifacts(target)
+
+
+class TestParallelMatmul:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_correct(self, workers):
+        a, b, c = random_matrices(33, seed=2)
+        assert np.allclose(matmul_parallel(a, b, c, workers=workers), a @ b)
+
+    def test_accumulates(self):
+        a, b, c = random_matrices(16, seed=3)
+        c[:] = 2.0
+        assert np.allclose(matmul_parallel(a, b, c, workers=2), a @ b + 2.0)
+
+    def test_registered(self):
+        from repro.kernels import REGISTRY
+
+        assert REGISTRY.get("matmul", "parallel").technique == "parallelization"
+
+    def test_rejects_zero_workers(self):
+        a, b, c = random_matrices(4)
+        with pytest.raises(ValueError):
+            matmul_parallel(a, b, c, workers=0)
+
+
+class TestEpycPreset:
+    def test_differs_from_intel_like(self):
+        intel = generic_server_cpu()
+        amd = epyc_like_cpu()
+        assert amd.cores > intel.cores
+        assert amd.frequency_hz < intel.frequency_hz
+        assert amd.stream_bandwidth > intel.stream_bandwidth
+
+    def test_usable_by_the_whole_stack(self):
+        from repro.machine import generic_server_table
+        from repro.microbench import characterize_simulated
+        from repro.roofline import cpu_roofline
+        from repro.simulator import hierarchy_for
+
+        amd = epyc_like_cpu()
+        ch = characterize_simulated(amd, generic_server_table())
+        assert ch.peak_flops == pytest.approx(amd.peak_flops())
+        assert cpu_roofline(amd).ridge_point() > 0
+        h = hierarchy_for(amd)
+        h.access_trace(np.arange(0, 64 * 100, 8, dtype=np.int64))
+        assert h.total_accesses == 800
+
+    def test_cross_machine_prediction_differs(self):
+        """The same kernel lands differently on the two vendors' rooflines
+        — the point of multi-vendor support."""
+        from repro.kernels import matmul_work
+        from repro.roofline import cpu_roofline
+
+        work = matmul_work(96)
+        intel = cpu_roofline(generic_server_cpu())
+        amd = cpu_roofline(epyc_like_cpu())
+        assert intel.attainable(work.intensity) != amd.attainable(work.intensity)

@@ -1,0 +1,87 @@
+"""Tests for the generated in-class quiz (the S_Q term of Equation 1)."""
+
+import pytest
+
+from repro.course import (
+    MAX_QUIZ_POINTS,
+    Quiz,
+    QuizQuestion,
+    final_grade,
+    generate_quiz,
+)
+from repro.machine import epyc_like_cpu, generic_server_cpu
+
+
+class TestGeneration:
+    def test_totals_seventy_points(self):
+        assert generate_quiz(seed=0).total_points == MAX_QUIZ_POINTS == 70.0
+
+    def test_deterministic_given_seed(self):
+        a = generate_quiz(seed=5)
+        b = generate_quiz(seed=5)
+        assert a.answer_key() == b.answer_key()
+        assert [q.prompt for q in a.questions] == [q.prompt for q in b.questions]
+
+    def test_seeds_vary_parameters(self):
+        keys = {tuple(generate_quiz(seed=s).answer_key()) for s in range(6)}
+        assert len(keys) > 1
+
+    def test_machine_specific_answers(self):
+        intel = generate_quiz(generic_server_cpu(), seed=1)
+        amd = generate_quiz(epyc_like_cpu(), seed=1)
+        # ridge-point question answers differ across vendors
+        assert intel.answer_key()[0] != amd.answer_key()[0]
+
+    def test_covers_multiple_topics(self):
+        topics = {q.topic for q in generate_quiz(seed=2).questions}
+        assert len(topics) >= 5
+
+    def test_answers_are_model_correct(self):
+        cpu = generic_server_cpu()
+        quiz = generate_quiz(cpu, seed=3)
+        ridge_q = next(q for q in quiz.questions if "ridge point" in q.prompt)
+        assert ridge_q.answer == pytest.approx(cpu.ridge_point())
+
+    def test_render_lists_every_question(self):
+        quiz = generate_quiz(seed=4)
+        text = quiz.render()
+        assert text.count("\n") == len(quiz.questions)
+
+
+class TestGrading:
+    def test_perfect_answers_full_marks(self):
+        quiz = generate_quiz(seed=0)
+        assert quiz.grade(quiz.answer_key()) == 70.0
+
+    def test_within_tolerance_accepted(self):
+        quiz = generate_quiz(seed=0)
+        fuzzed = [a * 1.02 for a in quiz.answer_key()]
+        assert quiz.grade(fuzzed) == 70.0
+
+    def test_outside_tolerance_rejected(self):
+        quiz = generate_quiz(seed=0)
+        wrong = [a * 2.0 for a in quiz.answer_key()]
+        assert quiz.grade(wrong) == 0.0
+
+    def test_response_length_checked(self):
+        quiz = generate_quiz(seed=0)
+        with pytest.raises(ValueError):
+            quiz.grade([1.0])
+
+    def test_feeds_equation_1(self):
+        quiz = generate_quiz(seed=0)
+        points = quiz.grade(quiz.answer_key())
+        boosted = final_grade(7.0, 7.0, 6.0, points)
+        plain = final_grade(7.0, 7.0, 6.0, 0.0)
+        assert boosted == pytest.approx(plain + 0.3)  # 0.3 * 70/70
+
+    def test_question_validation(self):
+        with pytest.raises(ValueError):
+            QuizQuestion("t", "p", 1.0, "x", points=0.0)
+        with pytest.raises(ValueError):
+            QuizQuestion("t", "p", 1.0, "x", points=5.0, tolerance=2.0)
+
+    def test_zero_answer_graded_exactly(self):
+        q = QuizQuestion("t", "p", 0.0, "x", points=5.0)
+        assert q.grade(0.0) == 5.0
+        assert q.grade(0.1) == 0.0

@@ -1,0 +1,166 @@
+"""Tests for the discrete-event mini-MPI and trace rendering."""
+
+import pytest
+
+from repro.distributed import (
+    AlphaBeta,
+    DeadlockError,
+    MPISimulator,
+    bsp_iterations,
+    distributed_matvec,
+    halo_exchange_stencil,
+    ping_pong,
+    profile_text,
+    state_profile,
+    timeline_text,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return AlphaBeta(alpha=1e-6, beta=1e9)
+
+
+class TestPointToPoint:
+    def test_ping_pong_exact_makespan(self, net):
+        sim = MPISimulator(2, net)
+        result = sim.run(ping_pong(5, 4096))
+        assert result.makespan == pytest.approx(10 * net.time(4096))
+        assert result.messages_sent == 10
+        assert result.bytes_sent == 10 * 4096
+
+    def test_recv_returns_message_size(self, net):
+        got = []
+
+        def program(rank):
+            if rank.rank == 0:
+                yield rank.send(1, 777)
+            else:
+                size = yield rank.recv(0)
+                got.append(size)
+
+        MPISimulator(2, net).run(program)
+        assert got == [777]
+
+    def test_wait_time_recorded(self, net):
+        def program(rank):
+            if rank.rank == 0:
+                yield rank.compute(1e-3)  # receiver waits for this
+                yield rank.send(1, 100)
+            else:
+                yield rank.recv(0)
+
+        result = MPISimulator(2, net).run(program)
+        assert result.time_in("wait") == pytest.approx(1e-3 + net.time(100),
+                                                       rel=0.01)
+
+    def test_tag_matching(self, net):
+        order = []
+
+        def program(rank):
+            if rank.rank == 0:
+                yield rank.send(1, 10, tag=1)
+                yield rank.send(1, 20, tag=2)
+            else:
+                b = yield rank.recv(0, tag=2)
+                a = yield rank.recv(0, tag=1)
+                order.extend([a, b])
+
+        MPISimulator(2, net).run(program)
+        assert order == [10, 20]
+
+    def test_deadlock_detected(self, net):
+        def program(rank):
+            yield rank.recv((rank.rank + 1) % rank.size)
+
+        with pytest.raises(DeadlockError):
+            MPISimulator(2, net).run(program)
+
+    def test_self_send_rejected(self, net):
+        def program(rank):
+            yield rank.send(rank.rank, 10)
+
+        with pytest.raises(ValueError):
+            MPISimulator(2, net).run(program)
+
+    def test_non_generator_program_rejected(self, net):
+        with pytest.raises(TypeError):
+            MPISimulator(2, net).run(lambda rank: None)
+
+
+class TestCollectivesInSim:
+    def test_barrier_synchronizes(self, net):
+        def program(rank):
+            yield rank.compute(1e-3 * (rank.rank + 1))
+            yield rank.barrier()
+
+        result = MPISimulator(4, net).run(program)
+        # all ranks end together, after the slowest
+        assert result.makespan >= 4e-3
+        assert max(result.finish_times) - min(result.finish_times) < 1e-12
+
+    def test_allreduce_charged_ring_cost(self, net):
+        from repro.distributed import allreduce_ring
+
+        def program(rank):
+            yield rank.allreduce(1 << 20)
+
+        result = MPISimulator(8, net).run(program)
+        assert result.makespan == pytest.approx(allreduce_ring(net, 8, 1 << 20))
+
+    def test_allgather_returns_total_bytes(self, net):
+        got = []
+
+        def program(rank):
+            total = yield rank.allgather(100)
+            got.append(total)
+
+        MPISimulator(4, net).run(program)
+        assert got == [400] * 4
+
+
+class TestPrograms:
+    def test_halo_exchange_runs_and_is_mostly_compute(self, net):
+        sim = MPISimulator(4, net)
+        result = sim.run(halo_exchange_stencil(10, 128, 1024, 1e-3))
+        assert result.communication_fraction() < 0.2
+        assert result.time_in("compute") == pytest.approx(4 * 10 * 1e-3)
+
+    def test_halo_exchange_no_deadlock_odd_ranks(self, net):
+        result = MPISimulator(5, net).run(halo_exchange_stencil(3, 16, 512, 1e-5))
+        assert result.makespan > 0
+
+    def test_matvec_strong_scaling_shape(self, net):
+        # makespan decreases with ranks until communication dominates
+        times = {}
+        for p in (1, 2, 4, 8):
+            result = MPISimulator(p, net).run(
+                distributed_matvec(256, 3, seconds_per_flop=2e-8))
+            times[p] = result.makespan
+        assert times[2] < times[1]
+        assert times[4] < times[2]
+
+    def test_bsp_imbalance_shows_as_wait(self, net):
+        balanced = MPISimulator(4, net).run(bsp_iterations(3, 1e-3, 1024))
+        skewed = MPISimulator(4, net).run(
+            bsp_iterations(3, 1e-3, 1024, imbalance=1.0))
+        assert skewed.makespan > balanced.makespan * 1.5
+
+
+class TestTracing:
+    def test_timeline_has_row_per_rank(self, net):
+        result = MPISimulator(3, net).run(bsp_iterations(2, 1e-4, 256))
+        text = timeline_text(result, width=40)
+        assert text.count("rank ") == 3
+        assert "#" in text  # compute glyph present
+
+    def test_state_profile_sums_events(self, net):
+        result = MPISimulator(2, net).run(ping_pong(3, 1024))
+        profile = state_profile(result)
+        assert set(profile) <= {"compute", "send", "recv", "wait"}
+        assert profile["send"] > 0
+
+    def test_profile_text_shows_shares(self, net):
+        result = MPISimulator(4, net).run(bsp_iterations(2, 1e-3, 4096))
+        text = profile_text(result)
+        assert "compute" in text and "%" in text

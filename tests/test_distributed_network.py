@@ -1,0 +1,124 @@
+"""Tests for repro.distributed.network and collectives."""
+
+import math
+
+import pytest
+
+from repro.distributed import (
+    AlphaBeta,
+    LogGP,
+    LogP,
+    allgather_ring,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    alpha_beta_from_cluster,
+    best_algorithm,
+    broadcast_binomial,
+    broadcast_linear,
+    broadcast_scatter_allgather,
+    reduce_binomial,
+)
+from repro.machine import das5_cluster
+
+
+@pytest.fixture(scope="module")
+def net():
+    return AlphaBeta(alpha=2e-6, beta=5e9)
+
+
+class TestAlphaBeta:
+    def test_time_formula(self, net):
+        assert net.time(5000) == pytest.approx(2e-6 + 1e-6)
+
+    def test_half_performance_length(self, net):
+        n_half = net.half_performance_length()
+        assert net.effective_bandwidth(n_half) == pytest.approx(net.beta / 2)
+
+    def test_effective_bandwidth_approaches_beta(self, net):
+        assert net.effective_bandwidth(1 << 30) == pytest.approx(net.beta, rel=0.01)
+
+    def test_from_cluster(self):
+        c = das5_cluster(4)
+        net = alpha_beta_from_cluster(c)
+        assert net.alpha == c.link_latency_s
+        assert net.beta == c.link_bandwidth_bytes_per_s
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AlphaBeta(-1e-6, 1e9)
+
+
+class TestLogP:
+    def test_point_to_point(self):
+        model = LogP(latency=2e-6, overhead=5e-7, gap=1e-6, processors=8)
+        assert model.point_to_point() == pytest.approx(3e-6)
+
+    def test_message_rate(self):
+        model = LogP(2e-6, 5e-7, 1e-6, 8)
+        assert model.message_rate() == pytest.approx(1e6)
+
+    def test_pipelined_messages(self):
+        model = LogP(2e-6, 5e-7, 1e-6, 8)
+        t1 = model.k_messages_pipelined(1)
+        t10 = model.k_messages_pipelined(10)
+        assert t10 == pytest.approx(t1 + 9 * 1e-6)
+
+    def test_loggp_long_message(self):
+        model = LogGP(2e-6, 5e-7, 1e-6, gap_per_byte=2e-10, processors=8)
+        t = model.time(1_000_000)
+        assert t == pytest.approx(5e-7 + (1e6 - 1) * 2e-10 + 2e-6 + 5e-7)
+
+    def test_loggp_to_alpha_beta(self):
+        model = LogGP(2e-6, 5e-7, 1e-6, 2e-10, 8)
+        ab = model.as_alpha_beta()
+        assert ab.alpha == pytest.approx(3e-6)
+        assert ab.beta == pytest.approx(5e9)
+
+
+class TestCollectives:
+    def test_binomial_beats_linear_at_scale(self, net):
+        m = 8192
+        assert (broadcast_binomial(net, 64, m)
+                < broadcast_linear(net, 64, m))
+
+    def test_binomial_rounds(self, net):
+        m = 1024
+        assert broadcast_binomial(net, 32, m) == pytest.approx(5 * net.time(m))
+
+    def test_scatter_allgather_wins_for_large_messages(self, net):
+        p, m = 64, 1 << 24
+        assert (broadcast_scatter_allgather(net, p, m)
+                < broadcast_binomial(net, p, m))
+
+    def test_binomial_wins_for_small_messages(self, net):
+        p, m = 64, 64
+        assert (broadcast_binomial(net, p, m)
+                < broadcast_scatter_allgather(net, p, m))
+
+    def test_allreduce_crossover(self, net):
+        p = 32
+        small_winner, _ = best_algorithm("allreduce", net, p, 128)
+        large_winner, _ = best_algorithm("allreduce", net, p, 1 << 24)
+        assert small_winner == "recursive-doubling"
+        assert large_winner == "ring"
+
+    def test_ring_allreduce_bandwidth_optimal(self, net):
+        # ring's bandwidth term approaches 2m/beta, independent of p
+        m = 1 << 26
+        t64 = allreduce_ring(net, 64, m)
+        bandwidth_term = 2 * (64 - 1) / 64 * m / net.beta
+        assert t64 == pytest.approx(bandwidth_term + 2 * 63 * net.alpha, rel=1e-6)
+
+    def test_single_process_collectives_free(self, net):
+        assert broadcast_binomial(net, 1, 100) == 0.0
+        assert allreduce_ring(net, 1, 100) == 0.0
+        assert allgather_ring(net, 1, 100) == 0.0
+
+    def test_reduce_compute_term(self, net):
+        base = reduce_binomial(net, 8, 1024)
+        with_compute = reduce_binomial(net, 8, 1024, compute_per_byte=1e-9)
+        assert with_compute == pytest.approx(base + 3 * 1024 * 1e-9)
+
+    def test_unknown_collective(self, net):
+        with pytest.raises(KeyError):
+            best_algorithm("alltoallw", net, 4, 100)

@@ -1,0 +1,85 @@
+"""Tests for repro.distributed.scaling."""
+
+import pytest
+
+from repro.distributed import (
+    AlphaBeta,
+    isoefficiency_size,
+    matvec_scaling_model,
+    stencil_scaling_model,
+    strong_scaling,
+    weak_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return AlphaBeta(alpha=2e-6, beta=6e9)
+
+
+class TestStrongScaling:
+    def test_matvec_peaks_then_degrades(self, net):
+        model = matvec_scaling_model(4096, net, seconds_per_flop=2e-11)
+        curve = strong_scaling(model, [1, 2, 4, 8, 16, 32, 64, 128])
+        values = list(curve.values())
+        peak_idx = values.index(max(values))
+        assert 0 < peak_idx < len(values) - 1  # interior maximum
+        assert curve[1] == pytest.approx(1.0)
+
+    def test_bigger_problem_scales_further(self, net):
+        small = matvec_scaling_model(1024, net, 2e-11)
+        large = matvec_scaling_model(16384, net, 2e-11)
+        assert large.speedup(64) > small.speedup(64)
+
+    def test_efficiency_decreases(self, net):
+        model = stencil_scaling_model(2048, net, seconds_per_point=5e-9)
+        assert model.efficiency(2) > model.efficiency(16)
+
+
+class TestWeakScaling:
+    def test_stencil_weak_scaling_near_flat(self, net):
+        # weak scaling for a 2-D stencil grows the *area* with p, i.e. the
+        # edge with sqrt(p); per-rank compute then stays constant and only
+        # the (small) halo cost grows
+        def factory(total_points):
+            edge = int(round(total_points ** 0.5))
+            return stencil_scaling_model(edge, net, seconds_per_point=5e-9,
+                                         iterations=10)
+
+        eff = weak_scaling(factory, base_size=1024 * 1024, processes=[1, 4, 16])
+        assert eff[1] == pytest.approx(1.0)
+        assert eff[16] > 0.8
+
+    def test_invalid_base(self, net):
+        with pytest.raises(ValueError):
+            weak_scaling(lambda n: stencil_scaling_model(n, net, 1e-9), 0, [1])
+
+
+class TestIsoefficiency:
+    def test_larger_p_needs_larger_problem(self, net):
+        def factory(n):
+            return matvec_scaling_model(n, net, 2e-11)
+
+        n8 = isoefficiency_size(factory, 8, target_efficiency=0.7)
+        n32 = isoefficiency_size(factory, 32, target_efficiency=0.7)
+        assert n32 > n8
+
+    def test_returned_size_meets_target(self, net):
+        def factory(n):
+            return matvec_scaling_model(n, net, 2e-11)
+
+        n = isoefficiency_size(factory, 16, target_efficiency=0.7)
+        assert factory(n).efficiency(16) >= 0.7
+
+    def test_unreachable_target_raises(self, net):
+        # constant communication per process regardless of n -> isoefficient,
+        # so build a pathological model where comm grows with n faster than compute
+        from repro.distributed import ScalingModel
+
+        def factory(n):
+            return ScalingModel("bad", lambda p: n / p * 1e-9,
+                                lambda p: n * 1e-7 if p > 1 else 0.0)
+
+        with pytest.raises(ValueError):
+            isoefficiency_size(factory, 4, target_efficiency=0.9,
+                               max_size=1 << 20)

@@ -1,0 +1,142 @@
+"""Tests for network topologies and feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    AlphaBeta,
+    FatTree,
+    Ring,
+    Torus2D,
+    effective_network,
+)
+from repro.statmodel import (
+    LinearRegressor,
+    RandomForestRegressor,
+    importance_report,
+    permutation_importance,
+    rank_features,
+)
+
+
+class TestRing:
+    def test_hops_wrap_around(self):
+        r = Ring(16)
+        assert r.hops(0, 1) == 1
+        assert r.hops(0, 15) == 1
+        assert r.hops(0, 8) == 8
+
+    def test_diameter_half(self):
+        assert Ring(16).diameter == 8
+        assert Ring(15).diameter == 7
+
+    def test_bisection_two(self):
+        assert Ring(64).bisection_links() == 2
+
+    def test_average_distance_quarter(self):
+        assert Ring(16).average_distance == pytest.approx(64 / 15)
+
+
+class TestTorus:
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            Torus2D(12)
+
+    def test_manhattan_with_wrap(self):
+        t = Torus2D(16)  # 4x4
+        assert t.hops(0, 5) == 2   # (0,0)->(1,1)
+        assert t.hops(0, 15) == 2  # (0,0)->(3,3): wraps both dims
+        assert t.hops(0, 10) == 4  # (0,0)->(2,2): the far corner
+
+    def test_diameter_is_side(self):
+        assert Torus2D(16).diameter == 4
+        assert Torus2D(64).diameter == 8
+
+    def test_better_than_ring(self):
+        assert Torus2D(64).diameter < Ring(64).diameter
+        assert Torus2D(64).bisection_links() > Ring(64).bisection_links()
+
+
+class TestFatTree:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            FatTree(12)
+
+    def test_sibling_distance_small(self):
+        f = FatTree(16)
+        assert f.hops(0, 1) == 2   # via the first-level switch
+        assert f.hops(0, 0) == 0
+
+    def test_cross_tree_distance_logarithmic(self):
+        f = FatTree(16)
+        assert f.hops(0, 15) == 2 * 4
+
+    def test_full_bisection(self):
+        assert FatTree(64).bisection_links() == 32
+
+
+class TestEffectiveNetwork:
+    def test_nearest_neighbour_keeps_beta(self):
+        link = AlphaBeta(1e-6, 10e9)
+        eff = effective_network(Ring(16), link, "nearest-neighbour")
+        assert eff.beta == link.beta
+        assert eff.alpha == link.alpha
+
+    def test_all_to_all_on_ring_bisection_limited(self):
+        link = AlphaBeta(1e-6, 10e9)
+        eff = effective_network(Ring(16), link, "all-to-all")
+        assert eff.beta == pytest.approx(10e9 * 2 / 8)
+        assert eff.alpha > link.alpha  # multi-hop latency
+
+    def test_fat_tree_all_to_all_full_rate(self):
+        link = AlphaBeta(1e-6, 10e9)
+        eff = effective_network(FatTree(16), link, "all-to-all")
+        assert eff.beta == link.beta  # full bisection
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            effective_network(Ring(4), AlphaBeta(1e-6, 1e9), "hotspot")
+
+
+class TestFeatureImportance:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((150, 3))
+        y = 4 * X[:, 0] + 0.5 + 0.01 * rng.standard_normal(150)
+        return X, y
+
+    def test_informative_feature_ranks_first(self, data):
+        X, y = data
+        model = LinearRegressor().fit(X, y)
+        imp = permutation_importance(model, X, y, seed=2)
+        ranked = rank_features(imp, ["a", "b", "c"])
+        assert ranked[0][0] == "a"
+        assert ranked[0][1] > 10 * max(abs(ranked[1][1]), abs(ranked[2][1]))
+
+    def test_works_on_black_box(self, data):
+        X, y = data
+        model = RandomForestRegressor(n_trees=15, seed=3).fit(X, y)
+        imp = permutation_importance(model, X, y, seed=4)
+        assert int(np.argmax(imp)) == 0
+
+    def test_deterministic_by_seed(self, data):
+        X, y = data
+        model = LinearRegressor().fit(X, y)
+        a = permutation_importance(model, X, y, seed=9)
+        b = permutation_importance(model, X, y, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_report_format(self, data):
+        X, y = data
+        model = LinearRegressor().fit(X, y)
+        text = importance_report(model, X, y, ["a", "b", "c"], seed=5)
+        assert "a" in text and "%" in text
+
+    def test_validation(self, data):
+        X, y = data
+        model = LinearRegressor().fit(X, y)
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, n_repeats=0)
+        with pytest.raises(ValueError):
+            rank_features(np.zeros(3), ["a", "b"])

@@ -1,0 +1,98 @@
+"""Tests for the cloud-variability / straggler extension."""
+
+import pytest
+
+from repro.distributed import (
+    AlphaBeta,
+    duplicate_execution_gain,
+    expected_max_exponential,
+    expected_max_uniform,
+    simulate_noisy_bsp,
+    straggler_slowdown,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return AlphaBeta(1e-6, 6e9)
+
+
+class TestAnalyticModels:
+    def test_single_rank_no_amplification(self):
+        assert expected_max_uniform(1, 0.3) == pytest.approx(1.0)
+        assert expected_max_exponential(1, 0.3) == pytest.approx(1.0)
+
+    def test_no_noise_no_amplification(self):
+        assert expected_max_uniform(64, 0.0) == 1.0
+        assert expected_max_exponential(64, 0.0) == 1.0
+
+    def test_uniform_bounded_by_support(self):
+        # even with infinite ranks, U(1-s, 1+s) maxes below 1+s
+        assert expected_max_uniform(10_000, 0.3) < 1.3
+
+    def test_exponential_grows_logarithmically(self):
+        # H_p grows like log p: doubling p adds ~f·log(2)
+        import math
+
+        f = 0.5
+        delta = (expected_max_exponential(128, f)
+                 - expected_max_exponential(64, f))
+        assert delta == pytest.approx(f * (math.log(128) - math.log(64)),
+                                      abs=0.01)
+
+    def test_tail_worse_than_bounded_noise_at_scale(self):
+        assert (straggler_slowdown(64, "exponential", 0.3)
+                > straggler_slowdown(64, "uniform", 0.3))
+
+    def test_monotone_in_ranks(self):
+        values = [straggler_slowdown(p, "exponential", 0.3)
+                  for p in (2, 8, 32, 128)]
+        assert values == sorted(values)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            straggler_slowdown(4, "pareto", 0.1)
+
+
+class TestSimulation:
+    def test_sim_matches_uniform_analytic(self, net):
+        p = 8
+        measured = simulate_noisy_bsp(p, net, iterations=40, model="uniform",
+                                      level=0.3, seed=2)
+        predicted = straggler_slowdown(p, "uniform", 0.3)
+        assert measured == pytest.approx(predicted, rel=0.1)
+
+    def test_sim_matches_exponential_analytic(self, net):
+        p = 8
+        measured = simulate_noisy_bsp(p, net, iterations=60,
+                                      model="exponential", level=0.4, seed=3)
+        predicted = straggler_slowdown(p, "exponential", 0.4)
+        assert measured == pytest.approx(predicted, rel=0.2)
+
+    def test_noise_free_simulation_is_unity(self, net):
+        assert simulate_noisy_bsp(4, net, model="uniform", level=0.0
+                                  ) == pytest.approx(1.0)
+
+    def test_deterministic_by_seed(self, net):
+        a = simulate_noisy_bsp(4, net, seed=5)
+        b = simulate_noisy_bsp(4, net, seed=5)
+        assert a == b
+
+
+class TestMitigation:
+    def test_duplicates_help(self):
+        assert duplicate_execution_gain(64, 0.5, replicas=2) > 1.2
+
+    def test_more_replicas_diminishing(self):
+        g2 = duplicate_execution_gain(64, 0.5, 2)
+        g4 = duplicate_execution_gain(64, 0.5, 4)
+        assert g4 > g2
+        # diminishing returns in absolute superstep time saved: going
+        # 1->2 replicas cuts E[max] by twice what 2->4 cuts
+        base = expected_max_exponential(64, 0.5)
+        saved_1_2 = base - base / g2
+        saved_2_4 = base / g2 - base / g4
+        assert saved_2_4 < saved_1_2
+
+    def test_no_noise_no_gain(self):
+        assert duplicate_execution_gain(64, 0.0, 2) == pytest.approx(1.0)

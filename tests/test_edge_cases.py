@@ -1,0 +1,158 @@
+"""Cross-cutting edge cases and failure injection.
+
+Small contracts that the per-module suites don't pin down: operator
+overloads, degenerate inputs, error messages carrying actionable context,
+and cheap invariants across module boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator import CacheStats, Trace
+from repro.timing import Summary, WorkCount, summarize
+
+
+class TestCacheStats:
+    def test_addition(self):
+        a = CacheStats(10, 7, 3, 2, 1, 5)
+        b = CacheStats(1, 1, 0, 0, 0, 0)
+        c = a + b
+        assert (c.accesses, c.hits, c.misses) == (11, 8, 3)
+        assert c.prefetches == 5
+
+    def test_ratios_on_empty(self):
+        empty = CacheStats()
+        assert empty.miss_ratio == 0.0
+        assert empty.hit_ratio == 0.0
+
+    def test_addition_type_guard(self):
+        with pytest.raises(TypeError):
+            CacheStats() + 5
+
+
+class TestTraceEdges:
+    def test_empty_trace_allowed(self):
+        t = Trace(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+        assert len(t) == 0 and t.n_reads == 0
+
+    def test_concat_preserves_order(self):
+        a = Trace(np.array([1, 2], dtype=np.int64), np.zeros(2, bool), "a")
+        b = Trace(np.array([3], dtype=np.int64), np.ones(1, bool), "b")
+        c = a.concat(b)
+        assert c.addresses.tolist() == [1, 2, 3]
+        assert "a" in c.label and "b" in c.label
+
+    def test_footprint_rejects_bad_line(self):
+        t = Trace(np.array([0], dtype=np.int64), np.array([False]))
+        with pytest.raises(ValueError):
+            t.footprint_bytes(0)
+
+
+class TestErrorMessagesCarryContext:
+    def test_registry_lists_known_variants(self):
+        from repro.kernels import REGISTRY
+
+        with pytest.raises(KeyError) as err:
+            REGISTRY.get("matmul", "quantum")
+        assert "matmul" in str(err.value)
+
+    def test_counter_session_names_unknown_events(self, cpu, table):
+        from repro.counters import CounterSession
+
+        with pytest.raises(KeyError) as err:
+            CounterSession(cpu, table, ["PAPI_BOGUS"])
+        assert "PAPI_BOGUS" in str(err.value)
+
+    def test_deadlock_error_names_blocked_ranks(self):
+        from repro.distributed import AlphaBeta, DeadlockError, MPISimulator
+
+        def program(rank):
+            yield rank.recv((rank.rank + 1) % rank.size)
+
+        with pytest.raises(DeadlockError) as err:
+            MPISimulator(3, AlphaBeta(1e-6, 1e9)).run(program)
+        assert "0" in str(err.value) and "recv" in str(err.value)
+
+    def test_cache_lookup_error_names_machine(self, cpu):
+        with pytest.raises(KeyError) as err:
+            cpu.cache("L7")
+        assert "L7" in str(err.value)
+
+
+class TestSummaryAndWork:
+    def test_summary_single_sample(self):
+        s = summarize([5.0])
+        assert s.mean == s.median == s.min == s.max == 5.0
+        assert s.std == 0.0 and s.n_outliers == 0
+
+    def test_workcount_radd_not_supported_silently(self):
+        w = WorkCount(flops=1.0)
+        with pytest.raises(TypeError):
+            _ = w + 5
+
+    def test_summary_is_frozen(self):
+        s = summarize([1.0, 2.0])
+        with pytest.raises(AttributeError):
+            s.mean = 3.0
+
+
+class TestDeterminism:
+    """Seeded components must replay exactly — the property every
+    reproducible benchmark in this repo leans on."""
+
+    def test_simulated_counters_replay(self, cpu, table):
+        from repro.counters import CounterSession
+        from repro.simulator import stream_trace, triad_body
+
+        def run():
+            session = CounterSession(cpu, table)
+            n = 2000
+            return session.count(stream_trace(n, "copy"), triad_body(), n).values
+
+        assert run() == run()
+
+    def test_workload_generators_replay(self):
+        from repro.kernels import random_keys, random_sparse
+
+        a = random_sparse(30, density=0.1, seed=9)
+        b = random_sparse(30, density=0.1, seed=9)
+        assert np.array_equal(a.vals, b.vals)
+        assert np.array_equal(random_keys(100, 8, seed=3),
+                              random_keys(100, 8, seed=3))
+
+    def test_mpi_simulation_replays(self):
+        from repro.distributed import AlphaBeta, MPISimulator, bsp_iterations
+
+        net = AlphaBeta(1e-6, 1e9)
+        a = MPISimulator(4, net).run(bsp_iterations(3, 1e-3, 100)).makespan
+        b = MPISimulator(4, net).run(bsp_iterations(3, 1e-3, 100)).makespan
+        assert a == b
+
+
+class TestWorkModelsMatchImplementations:
+    """Work models must count what the code actually does."""
+
+    def test_stream_triad_flops(self):
+        from repro.kernels import stream_arrays, stream_triad, triad_work
+
+        n = 64
+        a, b, c = stream_arrays(n, seed=0)
+        expected = b + 3.0 * c
+        stream_triad(a, b, c)
+        assert np.allclose(a, expected)
+        assert triad_work(n).flops == 2 * n  # one mul + one add per element
+
+    def test_matmul_flops_vs_numpy_result_size(self):
+        from repro.kernels import matmul_work
+
+        w = matmul_work(3, m=5, k=7)
+        assert w.flops == 2 * 3 * 5 * 7
+        assert w.stores_bytes == 8 * 3 * 5
+
+    def test_spmv_work_independent_of_format(self):
+        from repro.kernels import random_sparse, spmv_work
+
+        coo = random_sparse(40, density=0.1, seed=2)
+        w1 = spmv_work(*coo.shape, coo.nnz)
+        w2 = spmv_work(*coo.shape, coo.to_csr().nnz)
+        assert w1.flops == w2.flops

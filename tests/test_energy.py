@@ -1,0 +1,101 @@
+"""Tests for repro.energy."""
+
+import pytest
+
+from repro.energy import (
+    EnergyReport,
+    PowerModel,
+    dvfs_energy_curve,
+    energy_of_run,
+    energy_optimal_cores,
+)
+from repro.machine import generic_server_cpu
+
+
+class TestPowerModel:
+    def test_idle_power_is_static(self):
+        pm = PowerModel(static_watts=40)
+        assert pm.power(0) == 40.0
+
+    def test_dynamic_scales_with_cores_and_utilization(self):
+        pm = PowerModel(static_watts=0, core_watts=5)
+        assert pm.power(4) == 20.0
+        assert pm.power(4, utilization=0.5) == 10.0
+
+    def test_dram_term(self):
+        pm = PowerModel(static_watts=0, core_watts=0, dram_watts_per_gbs=0.5)
+        assert pm.power(0, dram_gbs=50.0) == 25.0
+
+    def test_frequency_cubes(self):
+        pm = PowerModel(static_watts=0, core_watts=8, frequency_exponent=3.0)
+        assert pm.power(1, frequency_scale=2.0) == pytest.approx(64.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(static_watts=-1)
+        with pytest.raises(ValueError):
+            PowerModel().power(1, utilization=1.5)
+
+
+class TestEnergyReport:
+    def test_derived_metrics(self):
+        rep = EnergyReport(seconds=2.0, joules=100.0, flops=1e9)
+        assert rep.watts == 50.0
+        assert rep.joules_per_flop == pytest.approx(1e-7)
+        assert rep.gflops_per_watt == pytest.approx(0.5 / 50.0)
+        assert rep.edp == 200.0
+        assert rep.ed2p == 400.0
+
+    def test_flopless_report_rejects_flop_metrics(self):
+        rep = EnergyReport(seconds=1.0, joules=10.0)
+        with pytest.raises(ValueError):
+            _ = rep.joules_per_flop
+
+    def test_energy_of_run_composes(self):
+        pm = PowerModel(static_watts=10, core_watts=5, dram_watts_per_gbs=1.0)
+        rep = energy_of_run(pm, seconds=2.0, active_cores=2, dram_bytes=4e9)
+        # dram 4 GB over 2 s = 2 GB/s -> 2 W; total 10 + 10 + 2 = 22 W
+        assert rep.joules == pytest.approx(44.0)
+
+
+class TestDVFS:
+    def test_memory_bound_prefers_low_frequency(self):
+        pm = PowerModel(static_watts=40, core_watts=6)
+        curve = dvfs_energy_curve(pm, 10.0, 16, compute_bound_fraction=0.1)
+        assert curve[0.6].joules < curve[1.0].joules < curve[1.2].joules
+
+    def test_compute_bound_with_high_static_prefers_racing(self):
+        # static power dominates one busy core: finish fast, shut down
+        pm = PowerModel(static_watts=80, core_watts=3)
+        curve = dvfs_energy_curve(pm, 10.0, 1, compute_bound_fraction=1.0)
+        assert curve[1.2].joules < curve[0.6].joules
+
+    def test_memory_bound_runtime_frequency_insensitive(self):
+        pm = PowerModel()
+        curve = dvfs_energy_curve(pm, 10.0, 8, compute_bound_fraction=0.0)
+        assert curve[0.6].seconds == curve[1.2].seconds == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dvfs_energy_curve(PowerModel(), -1.0, 4)
+
+
+class TestEnergyOptimalCores:
+    def test_optimum_at_saturation_for_streaming(self, cpu):
+        pm = PowerModel(static_watts=40, core_watts=6)
+        # ECM-like triad: saturates around 27/7 ~ 4 cores
+        best, reports = energy_optimal_cores(pm, cpu, 27.0, 7.0, lines=1e8)
+        assert best == pytest.approx(round(27.0 / 7.0), abs=1)
+        # beyond saturation: same time, more power
+        assert reports[16].joules > reports[best].joules
+        assert reports[16].seconds == pytest.approx(reports[best].seconds,
+                                                    rel=0.05)
+
+    def test_compute_bound_prefers_all_cores(self, cpu):
+        pm = PowerModel(static_watts=100, core_watts=1)
+        best, _ = energy_optimal_cores(pm, cpu, 32.0, 0.0, lines=1e8)
+        assert best == cpu.cores
+
+    def test_validation(self, cpu):
+        with pytest.raises(ValueError):
+            energy_optimal_cores(PowerModel(), cpu, -1.0, 1.0, 10.0)

@@ -1,0 +1,175 @@
+"""Cross-module integration tests: full assignment pipelines in miniature."""
+
+import numpy as np
+import pytest
+
+from repro.core import EngineeringProcess, Metric, Requirement, Toolbox
+from repro.kernels import (
+    matmul_work,
+    random_sparse,
+    matrix_features,
+    spmv_csr_numpy,
+    triad_work,
+)
+from repro.roofline import AppPoint, cpu_roofline, hierarchical_traffic
+from repro.simulator import (
+    CPUModel,
+    matmul_tiled_trace,
+    matmul_trace,
+    matmul_inner_body,
+    stream_trace,
+    triad_body,
+)
+from repro.statmodel import (
+    LinearRegressor,
+    RandomForestRegressor,
+    mape,
+    spmv_feature_pipeline,
+    train_test_split,
+)
+from repro.timing import Factor, full_factorial, run_design
+
+
+class TestAssignment1Pipeline:
+    """Roofline of matmul versions on the simulated plane."""
+
+    def test_tiling_improves_effective_intensity(self, cpu, table):
+        n = 48
+        model = CPUModel(cpu, table, prefetch=False)
+        body = matmul_inner_body()
+        naive = model.run(matmul_trace(n, "ijk"), body, n ** 3)
+        tiled = model.run(matmul_tiled_trace(n, 16), body, n ** 3)
+        flops = matmul_work(n).flops
+        ai_naive = flops / naive.counters.dram_bytes
+        ai_tiled = flops / tiled.counters.dram_bytes
+        # both should be classified correctly and tiling must not hurt
+        assert ai_tiled >= ai_naive
+
+    def test_roofline_places_triad_and_matmul_correctly(self, cpu):
+        roofline = cpu_roofline(cpu)
+        triad = AppPoint.from_work("triad", triad_work(10 ** 6))
+        mm = AppPoint.from_work("matmul-512", matmul_work(512))
+        assert roofline.classify(triad.intensity) == "memory-bound"
+        assert roofline.classify(mm.intensity) == "compute-bound"
+
+    def test_hierarchical_roofline_binds_streaming_at_dram(self, cpu):
+        n = 30000
+        traffic = hierarchical_traffic(cpu, stream_trace(n, "triad"))
+        from repro.roofline import hierarchical_bound
+
+        _, level = hierarchical_bound(cpu, 2.0 * n, traffic)
+        assert level == "DRAM"
+
+
+class TestAssignment2Pipeline:
+    """Analytical models calibrated by the (simulated) microbench suite."""
+
+    def test_function_model_predicts_simulated_triad(self, cpu, table):
+        from repro.analytical import FunctionLevelModel
+        from repro.microbench import characterize_simulated
+
+        n = 40000
+        truth = CPUModel(cpu, table).run(
+            stream_trace(n, "triad"), triad_body(True), n // 4).seconds
+        single = characterize_simulated(cpu.with_cores(1), table)
+        model = FunctionLevelModel(single)
+        predicted = model.predict_seconds(triad_work(n))
+        assert predicted == pytest.approx(truth, rel=0.75)
+
+    def test_ecm_and_roofline_agree_on_memory_bound(self, cpu, table):
+        from repro.analytical import ECMModel
+
+        ecm = ECMModel(cpu, table)
+        pred = ecm.predict(triad_body(True), 2, 1)
+        # ECM says saturation well below core count == memory bound
+        assert pred.saturation_cores() < cpu.cores
+
+
+class TestAssignment3Pipeline:
+    """Statistical SpMV model trained on simulated measurements."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self, cpu, table):
+        from repro.simulator import spmv_csr_trace, spmv_inner_body
+
+        model = CPUModel(cpu, table)
+        descriptors, times = [], []
+        rng = np.random.default_rng(0)
+        for i in range(24):
+            n = int(rng.integers(40, 140))
+            density = float(rng.uniform(0.02, 0.12))
+            coo = random_sparse(n, density=density, seed=i)
+            sim = model.run(spmv_csr_trace(coo), spmv_inner_body(),
+                            max(coo.nnz, 1))
+            descriptors.append(matrix_features(coo))
+            times.append(sim.seconds)
+        X = spmv_feature_pipeline().transform(descriptors)
+        return X, np.asarray(times)
+
+    def test_statistical_model_predicts_held_out(self, dataset):
+        X, y = dataset
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.25, seed=1)
+        model = LinearRegressor().fit(Xtr, ytr)
+        assert mape(yte, model.predict(Xte)) < 0.5
+
+    def test_nnz_is_dominant_feature(self, dataset):
+        X, y = dataset
+        model = LinearRegressor().fit(X, y)
+        names = spmv_feature_pipeline().names
+        contributions = np.abs(model.coefficients) * X.std(axis=0)
+        assert names[int(np.argmax(contributions))] in ("nnz", "log_nnz", "row_mean")
+
+
+class TestAssignment4Pipeline:
+    def test_counters_identify_spmv_as_irregular(self, cpu, table):
+        from repro.counters import CounterSession, derived_metrics
+        from repro.kernels import banded_sparse
+        from repro.simulator import spmv_csr_trace, spmv_inner_body
+
+        # x must exceed L1 (n=12000 -> 96 KiB) for the gathers to miss
+        n = 12_000
+        coo = banded_sparse(n, n - 1, fill=6.0 / (2 * n), seed=5)
+        session = CounterSession(cpu, table)
+        reading = session.count(spmv_csr_trace(coo), spmv_inner_body(), coo.nnz)
+        metrics = derived_metrics(reading, cpu)
+        # the x-gathers are unprefetchable: L1 misses far above streaming's
+        from repro.simulator import stream_trace, triad_body
+
+        stream_reading = session.count(stream_trace(20000, "triad"),
+                                       triad_body(), 20000)
+        stream_metrics = derived_metrics(stream_reading, cpu)
+        assert metrics["l1_miss_ratio"] > 20 * stream_metrics["l1_miss_ratio"]
+        assert metrics["l1_miss_ratio"] > 0.1
+
+
+class TestFullProcess:
+    def test_process_driven_by_toolbox_models(self):
+        """Stage 1-7 walkthrough with model-derived bound and predictions."""
+        tb = Toolbox.default()
+        n = 256
+        work = matmul_work(n)
+        roofline = tb.roofline(cores=1)
+        bound_seconds = work.flops / roofline.attainable(work.intensity)
+
+        proc = EngineeringProcess(f"matmul-{n}")
+        proc.set_requirement(Requirement("10x over naive", Metric.SPEEDUP, 10.0))
+        baseline = 50 * bound_seconds  # pretend-naive measurement
+        proc.record_baseline(baseline, "scalar ijk")
+        verdict = proc.assess_feasibility(bound_seconds)
+        assert verdict.value in ("feasible", "marginal")
+        proc.propose("tiled+simd", "per roofline", predicted_seconds=baseline / 12)
+        proc.apply("tiled+simd", baseline / 11)
+        assert proc.assess() is True
+        assert "MET" in proc.report()
+
+
+class TestExperimentToModel:
+    def test_design_table_feeds_regression(self):
+        design = full_factorial([Factor("n", (50, 100, 150, 200, 400))])
+        table = run_design(design, lambda n: 1e-9 * n ** 2 + 1e-6, replicates=2)
+        X, y, _ = table.to_arrays()
+        from repro.statmodel import PolynomialRegressor
+
+        model = PolynomialRegressor(degree=2).fit(X, y)
+        pred = model.predict(np.array([[300.0]]))[0]
+        assert pred == pytest.approx(1e-9 * 300 ** 2 + 1e-6, rel=0.05)

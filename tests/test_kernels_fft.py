@@ -1,0 +1,78 @@
+"""Tests for repro.kernels.fft."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    bit_reverse_permutation,
+    dft_direct,
+    dft_work,
+    fft_iterative,
+    fft_numpy,
+    fft_recursive,
+    fft_vectorized,
+    fft_work,
+    random_signal,
+)
+
+ALL_FFTS = [dft_direct, fft_recursive, fft_iterative, fft_vectorized, fft_numpy]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fn", ALL_FFTS)
+    @pytest.mark.parametrize("n", [1, 2, 8, 64])
+    def test_matches_numpy_reference(self, fn, n):
+        x = random_signal(n, seed=n)
+        assert np.allclose(fn(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("fn", ALL_FFTS)
+    def test_impulse_gives_flat_spectrum(self, fn):
+        x = np.zeros(16, dtype=complex)
+        x[0] = 1.0
+        assert np.allclose(fn(x), np.ones(16))
+
+    @pytest.mark.parametrize("fn", ALL_FFTS)
+    def test_linearity(self, fn):
+        x = random_signal(32, seed=1)
+        y = random_signal(32, seed=2)
+        assert np.allclose(fn(x + 2 * y), fn(x) + 2 * fn(y), atol=1e-8)
+
+    def test_parseval(self):
+        x = random_signal(64, seed=3)
+        X = fft_vectorized(x)
+        assert np.sum(np.abs(x) ** 2) == pytest.approx(np.sum(np.abs(X) ** 2) / 64)
+
+    @pytest.mark.parametrize("fn", [fft_recursive, fft_iterative, fft_vectorized])
+    def test_non_power_of_two_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(random_signal(12))
+
+    def test_dft_handles_any_length(self):
+        x = random_signal(12, seed=4)
+        assert np.allclose(dft_direct(x), np.fft.fft(x))
+
+
+class TestBitReversal:
+    def test_is_permutation(self):
+        p = bit_reverse_permutation(16)
+        assert sorted(p.tolist()) == list(range(16))
+
+    def test_is_involution(self):
+        p = bit_reverse_permutation(32)
+        assert np.array_equal(p[p], np.arange(32))
+
+    def test_known_values_n8(self):
+        assert bit_reverse_permutation(8).tolist() == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+class TestWork:
+    def test_fft_asymptotically_cheaper(self):
+        n = 1 << 16
+        assert fft_work(n).flops < dft_work(n).flops / 100
+
+    def test_fft_flops_formula(self):
+        assert fft_work(8).flops == 5 * 8 * 3
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft_work(12)

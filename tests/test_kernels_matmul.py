@@ -1,0 +1,110 @@
+"""Tests for repro.kernels.matmul."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    LOOP_ORDERS,
+    matmul_blocked_numpy,
+    matmul_loop,
+    matmul_numpy,
+    matmul_tiled,
+    matmul_traffic_lower_bound,
+    matmul_work,
+    random_matrices,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("order", LOOP_ORDERS)
+    def test_all_loop_orders_agree_with_blas(self, order):
+        a, b, c = random_matrices(9, seed=3)
+        assert np.allclose(matmul_loop(a, b, c, order), a @ b)
+
+    def test_rectangular(self):
+        a, b, c = random_matrices(5, seed=1, m=7, k=3)
+        assert np.allclose(matmul_loop(a, b, c, "ikj"), a @ b)
+
+    @pytest.mark.parametrize("tile", [1, 3, 4, 16])
+    def test_tiled_all_tile_sizes(self, tile):
+        a, b, c = random_matrices(10, seed=2)
+        assert np.allclose(matmul_tiled(a, b, c, tile=tile), a @ b)
+
+    def test_tiled_non_dividing_tile(self):
+        a, b, c = random_matrices(7, seed=4)
+        assert np.allclose(matmul_tiled(a, b, c, tile=3), a @ b)
+
+    def test_blocked_numpy(self):
+        a, b, c = random_matrices(20, seed=5)
+        assert np.allclose(matmul_blocked_numpy(a, b, c, tile=7), a @ b)
+
+    def test_accumulates_into_c(self):
+        a, b, c = random_matrices(4, seed=6)
+        c[:] = 1.0
+        assert np.allclose(matmul_numpy(a, b, c), a @ b + 1.0)
+
+    def test_invalid_order_rejected(self):
+        a, b, c = random_matrices(3)
+        with pytest.raises(ValueError):
+            matmul_loop(a, b, c, "iik")
+
+    def test_shape_mismatch_rejected(self):
+        a, b, _ = random_matrices(3)
+        with pytest.raises(ValueError):
+            matmul_numpy(a, b, np.zeros((4, 4)))
+
+
+class TestWorkModel:
+    def test_flops_exact(self):
+        assert matmul_work(10).flops == 2000.0
+
+    def test_rectangular_flops(self):
+        assert matmul_work(2, m=3, k=4).flops == 2 * 2 * 3 * 4
+
+    def test_traffic_charges_each_matrix_once(self):
+        w = matmul_work(10)
+        assert w.loads_bytes == 8 * 3 * 100
+        assert w.stores_bytes == 8 * 100
+
+    def test_intensity_grows_linearly(self):
+        # algorithmic AI of square matmul is n/16 for large n
+        w = matmul_work(256)
+        assert w.intensity == pytest.approx(256 / 16, rel=0.3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            matmul_work(0)
+
+
+class TestIOLowerBound:
+    def test_bound_below_naive_traffic(self):
+        # the bound must not exceed the traffic of the naive schedule (~n^3)
+        n, cache = 128, 32 * 1024
+        assert matmul_traffic_lower_bound(n, cache) < 8 * (n ** 3)
+
+    def test_bound_decreases_with_cache_size(self):
+        assert (matmul_traffic_lower_bound(128, 1 << 20)
+                < matmul_traffic_lower_bound(128, 1 << 15))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            matmul_traffic_lower_bound(0, 1024)
+        with pytest.raises(ValueError):
+            matmul_traffic_lower_bound(8, 0)
+
+
+class TestPerformanceShape:
+    def test_numpy_much_faster_than_scalar(self):
+        # the assignment's punchline: the tuned library is orders of
+        # magnitude faster than the interpreted triple loop
+        import time
+
+        a, b, c = random_matrices(48, seed=7)
+        t0 = time.perf_counter()
+        matmul_loop(a, b, c.copy(), "ijk")
+        t_loop = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(10):
+            matmul_numpy(a, b, c.copy())
+        t_np = (time.perf_counter() - t0) / 10
+        assert t_loop > 20 * t_np

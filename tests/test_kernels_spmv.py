@@ -1,0 +1,135 @@
+"""Tests for repro.kernels.spmv."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    banded_sparse,
+    matrix_features,
+    random_sparse,
+    spmv_coo_numpy,
+    spmv_coo_scalar,
+    spmv_csc_numpy,
+    spmv_csc_scalar,
+    spmv_csr_numpy,
+    spmv_csr_scalar,
+    spmv_work,
+)
+
+
+@pytest.fixture(scope="module")
+def coo():
+    return random_sparse(60, density=0.06, seed=11)
+
+
+@pytest.fixture(scope="module")
+def x(coo):
+    return np.random.default_rng(5).random(coo.shape[1])
+
+
+class TestFormats:
+    def test_csr_roundtrip_dense(self, coo):
+        assert np.allclose(coo.to_csr().to_dense(), coo.to_dense())
+
+    def test_csc_roundtrip_dense(self, coo):
+        assert np.allclose(coo.to_csc().to_dense(), coo.to_dense())
+
+    def test_csr_to_coo_roundtrip(self, coo):
+        back = coo.to_csr().to_coo()
+        assert np.allclose(back.to_dense(), coo.to_dense())
+
+    def test_csc_to_coo_roundtrip(self, coo):
+        back = coo.to_csc().to_coo()
+        assert np.allclose(back.to_dense(), coo.to_dense())
+
+    def test_nnz_preserved(self, coo):
+        assert coo.to_csr().nnz == coo.nnz == coo.to_csc().nnz
+
+    def test_row_lengths_sum_to_nnz(self, coo):
+        assert coo.to_csr().row_lengths().sum() == coo.nnz
+
+    def test_matches_scipy(self, coo):
+        import scipy.sparse as sp
+
+        ours = coo.to_csr()
+        ref = sp.coo_matrix((coo.vals, (coo.rows, coo.cols)), shape=coo.shape).tocsr()
+        assert np.allclose(ours.to_dense(), ref.toarray())
+
+    def test_out_of_range_index_rejected(self):
+        from repro.kernels import COOMatrix
+
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), np.array([5]), np.array([0]), np.array([1.0]))
+
+
+class TestSpMVVariants:
+    @pytest.mark.parametrize("fn,fmt", [
+        (spmv_csr_scalar, "csr"), (spmv_csr_numpy, "csr"),
+        (spmv_csc_scalar, "csc"), (spmv_csc_numpy, "csc"),
+        (spmv_coo_scalar, "coo"), (spmv_coo_numpy, "coo"),
+    ])
+    def test_matches_dense(self, coo, x, fn, fmt):
+        m = {"csr": coo.to_csr(), "csc": coo.to_csc(), "coo": coo}[fmt]
+        assert np.allclose(fn(m, x), coo.to_dense() @ x)
+
+    def test_wrong_x_length_rejected(self, coo):
+        with pytest.raises(ValueError):
+            spmv_csr_scalar(coo.to_csr(), np.zeros(coo.shape[1] + 1))
+
+    def test_empty_rows_produce_zeros(self):
+        from repro.kernels import COOMatrix
+
+        coo = COOMatrix((4, 4), np.array([0, 2]), np.array([1, 3]),
+                        np.array([2.0, 3.0]))
+        y = spmv_csr_numpy(coo.to_csr(), np.ones(4))
+        assert np.allclose(y, [2.0, 0.0, 3.0, 0.0])
+
+
+class TestGenerators:
+    def test_random_sparse_density(self):
+        coo = random_sparse(100, density=0.05, seed=3)
+        assert coo.nnz == pytest.approx(500, rel=0.05)
+
+    def test_random_sparse_no_duplicates(self):
+        coo = random_sparse(50, density=0.1, seed=4)
+        keys = set(zip(coo.rows.tolist(), coo.cols.tolist()))
+        assert len(keys) == coo.nnz
+
+    def test_banded_respects_bandwidth(self):
+        coo = banded_sparse(40, bandwidth=3, seed=5)
+        assert np.all(np.abs(coo.rows - coo.cols) <= 3)
+
+    def test_banded_keeps_diagonal(self):
+        coo = banded_sparse(20, bandwidth=2, fill=0.3, seed=6)
+        dense = coo.to_dense()
+        assert np.all(np.abs(np.diag(dense)) > 0)
+
+    def test_banded_rejects_excess_bandwidth(self):
+        with pytest.raises(ValueError):
+            banded_sparse(10, bandwidth=10)
+
+
+class TestFeaturesAndWork:
+    def test_features_complete(self, coo):
+        f = matrix_features(coo)
+        for key in ("n_rows", "nnz", "density", "row_mean", "row_max",
+                    "mean_bandwidth"):
+            assert key in f
+
+    def test_density_consistent(self, coo):
+        f = matrix_features(coo)
+        assert f["density"] == pytest.approx(coo.nnz / (60 * 60))
+
+    def test_banded_has_smaller_bandwidth_feature(self):
+        narrow = matrix_features(banded_sparse(50, 2, seed=1))
+        wide = matrix_features(random_sparse(50, density=0.1, seed=1))
+        assert narrow["mean_bandwidth"] < wide["mean_bandwidth"]
+
+    def test_work_flops(self):
+        w = spmv_work(10, 10, 30)
+        assert w.flops == 60.0
+
+    def test_work_scales_with_nnz_not_size(self):
+        sparse = spmv_work(1000, 1000, 100)
+        dense = spmv_work(10, 10, 100)
+        assert sparse.flops == dense.flops

@@ -1,0 +1,161 @@
+"""Tests for repro.machine.specs."""
+
+import pytest
+
+from repro.machine import (
+    CacheLevel,
+    ClusterSpec,
+    CPUSpec,
+    MemorySpec,
+    NodeSpec,
+    VectorUnit,
+    das5_cluster,
+    das5_node,
+    generic_server_cpu,
+    gpu_cc30,
+    gpu_cc60,
+    gpu_cc72,
+    student_laptop_cpu,
+)
+
+
+class TestCacheLevel:
+    def test_geometry(self):
+        l1 = CacheLevel("L1", 32 * 1024, 64, 8)
+        assert l1.n_lines == 512
+        assert l1.n_sets == 64
+        assert not l1.is_fully_associative
+
+    def test_fully_associative(self):
+        c = CacheLevel("tiny", 1024, 64, 16)
+        assert c.is_fully_associative
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheLevel("bad", 1024, 48)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            CacheLevel("bad", 0)
+
+    def test_rejects_excess_associativity(self):
+        with pytest.raises(ValueError):
+            CacheLevel("bad", 1024, 64, 32)
+
+    def test_rejects_unaligned_capacity(self):
+        with pytest.raises(ValueError):
+            CacheLevel("bad", 1000, 64, 4)
+
+
+class TestVectorUnit:
+    def test_lanes_fp64(self):
+        assert VectorUnit(256).lanes(8) == 4
+
+    def test_lanes_fp32(self):
+        assert VectorUnit(256).lanes(4) == 8
+
+    def test_flops_per_cycle_with_fma(self):
+        vu = VectorUnit(256, fma=True, pipelines=2)
+        assert vu.flops_per_cycle(8) == 16.0
+
+    def test_flops_per_cycle_without_fma(self):
+        vu = VectorUnit(256, fma=False, pipelines=2)
+        assert vu.flops_per_cycle(8) == 8.0
+
+    def test_rejects_weird_width(self):
+        with pytest.raises(ValueError):
+            VectorUnit(192)
+
+    def test_rejects_non_dividing_dtype(self):
+        with pytest.raises(ValueError):
+            VectorUnit(256).lanes(3)
+
+
+class TestCPUSpec:
+    def test_peak_flops_all_cores(self, cpu):
+        # 16 cores * 2.6 GHz * 16 FLOP/cycle
+        assert cpu.peak_flops() == pytest.approx(16 * 2.6e9 * 16)
+
+    def test_peak_flops_single_core(self, cpu):
+        assert cpu.peak_flops(cores=1) == pytest.approx(2.6e9 * 16)
+
+    def test_peak_scalar_below_vector(self, cpu):
+        assert cpu.peak_scalar_flops() < cpu.peak_flops()
+
+    def test_ridge_point_is_peak_over_bandwidth(self, cpu):
+        assert cpu.ridge_point() == pytest.approx(
+            cpu.peak_flops() / cpu.stream_bandwidth)
+
+    def test_machine_balance_is_reciprocal_of_ridge(self, cpu):
+        assert cpu.machine_balance() == pytest.approx(1.0 / cpu.ridge_point())
+
+    def test_cache_lookup_case_insensitive(self, cpu):
+        assert cpu.cache("l2").name == "L2"
+
+    def test_cache_lookup_missing(self, cpu):
+        with pytest.raises(KeyError):
+            cpu.cache("L4")
+
+    def test_with_cores_scales_peak(self, cpu):
+        half = cpu.with_cores(8)
+        assert half.peak_flops() == pytest.approx(cpu.peak_flops() / 2)
+
+    def test_with_cores_out_of_range(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.with_cores(17)
+
+    def test_cache_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            CPUSpec("bad", 4, 2e9, caches=(
+                CacheLevel("L2", 256 * 1024),
+                CacheLevel("L1", 32 * 1024),
+            ))
+
+
+class TestGPUSpec:
+    def test_fp32_peak(self):
+        g = gpu_cc60()
+        assert g.peak_flops(4) == pytest.approx(56 * 64 * 1.3e9 * 2)
+
+    def test_fp64_derated(self):
+        g = gpu_cc60()
+        assert g.peak_flops(8) == pytest.approx(g.peak_flops(4) / 8)
+
+    def test_rejects_other_dtypes(self):
+        with pytest.raises(ValueError):
+            gpu_cc60().peak_flops(2)
+
+    def test_compute_capability_range_covers_paper(self):
+        ccs = [g.compute_capability for g in (gpu_cc30(), gpu_cc60(), gpu_cc72())]
+        assert min(ccs) == (3, 0) and max(ccs) == (7, 2)
+
+    def test_newer_gpus_have_more_bandwidth(self):
+        assert (gpu_cc30().memory_bandwidth_bytes_per_s
+                < gpu_cc60().memory_bandwidth_bytes_per_s
+                < gpu_cc72().memory_bandwidth_bytes_per_s)
+
+
+class TestNodeAndCluster:
+    def test_node_total_cores(self):
+        node = das5_node()
+        assert node.total_cores == 2 * 16
+
+    def test_node_peak_includes_gpu(self):
+        node = das5_node()
+        assert node.peak_flops(8) > node.peak_flops(8, include_gpus=False)
+
+    def test_cluster_aggregates(self):
+        c = das5_cluster(8)
+        assert c.total_cores == 8 * 32
+        assert c.peak_flops() == pytest.approx(8 * c.node.peak_flops())
+
+    def test_bisection_bandwidth(self):
+        c = das5_cluster(8)
+        assert c.bisection_bandwidth() == pytest.approx(4 * c.link_bandwidth_bytes_per_s)
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            ClusterSpec("bad", das5_node(), 0)
+
+    def test_laptop_is_smaller_than_server(self):
+        assert student_laptop_cpu().peak_flops() < generic_server_cpu().peak_flops()

@@ -1,0 +1,81 @@
+"""Tests for repro.machine.instruction_tables."""
+
+import pytest
+
+from repro.machine import (
+    VIRTUAL_ISA,
+    InstructionSpec,
+    InstructionTable,
+    generic_server_table,
+    narrow_mobile_table,
+)
+
+
+class TestInstructionSpec:
+    def test_reciprocal_throughput_two_ports(self):
+        spec = InstructionSpec("add", 4, ("p0", "p1"))
+        assert spec.reciprocal_throughput == 0.5
+
+    def test_reciprocal_throughput_multi_uop(self):
+        spec = InstructionSpec("div", 14, ("p0",), uops=3)
+        assert spec.reciprocal_throughput == 3.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            InstructionSpec("add", -1, ("p0",))
+
+    def test_rejects_portless(self):
+        with pytest.raises(ValueError):
+            InstructionSpec("add", 1, ())
+
+
+class TestInstructionTable:
+    def test_covers_full_isa(self, table):
+        for opcode in VIRTUAL_ISA:
+            assert opcode in table
+
+    def test_mobile_covers_full_isa(self, mobile_table):
+        for opcode in VIRTUAL_ISA:
+            assert opcode in mobile_table
+
+    def test_unknown_opcode_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            InstructionTable("bad", [InstructionSpec("bogus", 1, ("p0",))], ("p0",))
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionTable("bad", [InstructionSpec("add", 1, ("p9",))], ("p0",))
+
+    def test_duplicate_opcode_rejected(self):
+        specs = [InstructionSpec("add", 1, ("p0",)), InstructionSpec("add", 2, ("p0",))]
+        with pytest.raises(ValueError):
+            InstructionTable("bad", specs, ("p0",))
+
+    def test_lookup_missing_raises_keyerror(self, table):
+        with pytest.raises(KeyError):
+            table["madeup"]
+
+    def test_fma_latency_positive(self, table):
+        assert table.latency("fmadd") > 0
+
+    def test_mobile_slower_than_server(self, table, mobile_table):
+        assert mobile_table.latency("fmadd") > table.latency("fmadd")
+        assert (mobile_table.reciprocal_throughput("fmadd")
+                > table.reciprocal_throughput("fmadd"))
+
+    def test_mix_throughput_bound_simple(self, table):
+        # two fmadds spread over p0/p1 -> 1 cycle
+        assert table.mix_cycles_throughput_bound({"fmadd": 2}) == pytest.approx(1.0)
+
+    def test_mix_throughput_bound_store_port(self, table):
+        # stores have a single port -> n stores take n cycles
+        assert table.mix_cycles_throughput_bound({"store": 5}) == pytest.approx(5.0)
+
+    def test_mix_latency_bound_is_sum(self, table):
+        chain = ["load", "fmadd", "store"]
+        assert table.mix_cycles_latency_bound(chain) == pytest.approx(
+            table.latency("load") + table.latency("fmadd") + table.latency("store"))
+
+    def test_mix_rejects_negative_counts(self, table):
+        with pytest.raises(ValueError):
+            table.mix_cycles_throughput_bound({"add": -1})

@@ -1,0 +1,114 @@
+"""Tests for Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    banded_sparse,
+    matrix_market_dumps,
+    matrix_market_loads,
+    random_sparse,
+    read_matrix_market,
+    spmv_csr_numpy,
+    write_matrix_market,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_values_preserved(self, seed):
+        coo = random_sparse(25, density=0.08, seed=seed)
+        back = matrix_market_loads(matrix_market_dumps(coo))
+        assert back.shape == coo.shape
+        assert back.nnz == coo.nnz
+        assert np.allclose(back.to_dense(), coo.to_dense())
+
+    def test_file_round_trip(self, tmp_path):
+        coo = banded_sparse(30, 3, seed=4)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(coo, path, comment="banded test\nsecond line")
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), coo.to_dense())
+        text = path.read_text()
+        assert text.startswith("%%MatrixMarket matrix coordinate real general")
+        assert "% banded test" in text
+
+    def test_rectangular(self):
+        coo = random_sparse(8, m=13, density=0.2, seed=5)
+        back = matrix_market_loads(matrix_market_dumps(coo))
+        assert back.shape == (8, 13)
+        assert np.allclose(back.to_dense(), coo.to_dense())
+
+    def test_integer_field(self):
+        coo = random_sparse(10, density=0.2, seed=6)
+        text = matrix_market_dumps(coo, field="integer")
+        back = matrix_market_loads(text)
+        assert np.allclose(back.to_dense(), np.round(coo.to_dense()))
+
+    def test_loaded_matrix_is_spmv_ready(self):
+        coo = random_sparse(40, density=0.1, seed=7)
+        back = matrix_market_loads(matrix_market_dumps(coo))
+        x = np.random.default_rng(0).random(40)
+        assert np.allclose(spmv_csr_numpy(back.to_csr(), x),
+                           coo.to_dense() @ x)
+
+
+class TestFormats:
+    def test_symmetric_mirrored(self):
+        text = ("%%MatrixMarket matrix coordinate real symmetric\n"
+                "3 3 3\n1 1 2.0\n2 1 1.5\n3 1 -4.0\n")
+        dense = matrix_market_loads(text).to_dense()
+        assert dense[0, 1] == 1.5 and dense[1, 0] == 1.5
+        assert dense[0, 2] == -4.0 and dense[2, 0] == -4.0
+        assert dense[0, 0] == 2.0  # diagonal not duplicated
+
+    def test_skew_symmetric_sign(self):
+        text = ("%%MatrixMarket matrix coordinate real skew-symmetric\n"
+                "2 2 1\n2 1 3.0\n")
+        dense = matrix_market_loads(text).to_dense()
+        assert dense[1, 0] == 3.0 and dense[0, 1] == -3.0
+
+    def test_skew_symmetric_rejects_diagonal(self):
+        text = ("%%MatrixMarket matrix coordinate real skew-symmetric\n"
+                "2 2 1\n1 1 3.0\n")
+        with pytest.raises(ValueError):
+            matrix_market_loads(text)
+
+    def test_pattern_field_ones(self):
+        text = ("%%MatrixMarket matrix coordinate pattern general\n"
+                "2 3 2\n1 2\n2 3\n")
+        dense = matrix_market_loads(text).to_dense()
+        assert dense[0, 1] == 1.0 and dense[1, 2] == 1.0
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "% header comment\n\n"
+                "2 2 1\n"
+                "% mid comment\n"
+                "1 1 5.0\n")
+        assert matrix_market_loads(text).to_dense()[0, 0] == 5.0
+
+
+class TestValidation:
+    def test_bad_banner(self):
+        with pytest.raises(ValueError):
+            matrix_market_loads("%%NotMatrixMarket\n1 1 0\n")
+
+    def test_unsupported_field(self):
+        with pytest.raises(ValueError):
+            matrix_market_loads(
+                "%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+
+    def test_entry_count_mismatch(self):
+        with pytest.raises(ValueError):
+            matrix_market_loads(
+                "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            matrix_market_loads(
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n")
+
+    def test_empty_payload(self):
+        with pytest.raises(ValueError):
+            matrix_market_loads("")

@@ -1,0 +1,143 @@
+"""Tests for repro.microbench."""
+
+import numpy as np
+import pytest
+
+from repro.microbench import (
+    MicrobenchSuite,
+    Microbenchmark,
+    characterize_empirical,
+    characterize_simulated,
+    detect_cache_cliffs,
+    make_pointer_chain,
+    measure_peak_flops,
+    pointer_chase_latency,
+    run_microbenchmark,
+    run_stream,
+    simulated_latency_sweep,
+    simulated_op_throughput,
+    simulated_peak_flops,
+    stream_benchmark,
+)
+from repro.timing import WorkCount
+
+
+class TestHarness:
+    def test_runs_and_derives_rates(self):
+        bench = Microbenchmark(
+            "axpy",
+            setup=lambda: (np.ones(10000), np.ones(10000)),
+            fn=lambda x, y: np.add(x, y, out=y),
+            work=lambda x, y: WorkCount(flops=float(x.size),
+                                        loads_bytes=16.0 * x.size,
+                                        stores_bytes=8.0 * x.size),
+        )
+        result = run_microbenchmark(bench, repetitions=3, warmup=1)
+        assert result.flops_per_s > 0
+        assert result.bytes_per_s > 0
+        assert result.best_bytes_per_s >= result.bytes_per_s * 0.5
+
+    def test_setup_must_return_tuple(self):
+        bench = Microbenchmark("bad", setup=lambda: np.ones(4),
+                               fn=lambda x: x, work=lambda x: WorkCount())
+        with pytest.raises(TypeError):
+            run_microbenchmark(bench)
+
+    def test_suite_rejects_duplicates(self):
+        suite = MicrobenchSuite("s")
+        suite.add(stream_benchmark("copy", 1000))
+        with pytest.raises(ValueError):
+            suite.add(stream_benchmark("copy", 1000))
+
+    def test_suite_runs_all(self):
+        suite = MicrobenchSuite("s")
+        suite.add(stream_benchmark("copy", 1000)).add(stream_benchmark("triad", 1000))
+        results = suite.run(repetitions=2, warmup=0)
+        assert len(results) == 2
+        report = MicrobenchSuite.report(results)
+        assert "stream-copy-1000" in report
+
+
+class TestStream:
+    def test_all_four_kernels(self):
+        results = run_stream(n=200_000, repetitions=2)
+        assert set(results) == {"copy", "scale", "add", "triad"}
+        for r in results.values():
+            assert r.best_bytes_per_s > 1e8  # any machine beats 100 MB/s
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            stream_benchmark("fma", 100)
+
+    def test_cliff_detection(self):
+        sweep = {1024: 100e9, 4096: 95e9, 16384: 50e9, 65536: 48e9, 262144: 20e9}
+        cliffs = detect_cache_cliffs(sweep, drop_threshold=0.3)
+        assert cliffs == [4096, 65536]
+
+    def test_cliff_detection_flat(self):
+        assert detect_cache_cliffs({1: 1e9, 2: 0.99e9}) == []
+
+
+class TestPointerChase:
+    def test_chain_is_single_cycle(self):
+        chain = make_pointer_chain(257, seed=1)
+        seen = set()
+        p = 0
+        for _ in range(257):
+            assert p not in seen
+            seen.add(p)
+            p = int(chain[p])
+        assert p == 0  # back to start after exactly n hops
+
+    def test_strided_chain(self):
+        chain = make_pointer_chain(8, stride_elements=3)
+        assert sorted(np.asarray(chain).tolist()) == list(range(8))
+
+    def test_non_coprime_stride_rejected(self):
+        with pytest.raises(ValueError):
+            make_pointer_chain(8, stride_elements=2)
+
+    def test_latency_positive(self):
+        chain = make_pointer_chain(64, seed=2)
+        assert pointer_chase_latency(chain, hops=2000, repetitions=2) > 0
+
+    def test_simulated_sweep_increases_with_footprint(self, cpu):
+        sweep = simulated_latency_sweep(
+            cpu, [8 * 1024, 256 * 1024, 64 * 1024 * 1024], hops_per_point=6000)
+        values = [sweep[k] for k in sorted(sweep)]
+        assert values[0] < values[1] < values[2]
+
+
+class TestComputePeaks:
+    def test_empirical_peak_positive(self):
+        result = measure_peak_flops(n=128, repetitions=2)
+        assert result.flops_per_s > 1e8
+
+    def test_simulated_peak_formula(self, cpu, table):
+        peak = simulated_peak_flops(cpu, table, "vfmadd")
+        # 4 lanes * 2 flops / 0.5 rthroughput * freq * cores
+        assert peak == pytest.approx(4 * 2 / 0.5 * cpu.frequency_hz * cpu.cores)
+
+    def test_simulated_peak_rejects_non_flop_ops(self, cpu, table):
+        with pytest.raises(ValueError):
+            simulated_peak_flops(cpu, table, "load")
+
+    def test_op_throughput_table(self, table):
+        tput = simulated_op_throughput(table)
+        assert tput["fmadd"] == pytest.approx(2.0)  # 2 ports
+        assert tput["store"] == pytest.approx(1.0)
+
+
+class TestCharacterization:
+    def test_simulated_characterization(self, cpu, table):
+        ch = characterize_simulated(cpu, table)
+        assert ch.source == "simulated"
+        assert ch.peak_flops == pytest.approx(cpu.peak_flops())
+        assert ch.ridge_point == pytest.approx(cpu.ridge_point())
+        assert len(ch.latency_by_footprint) == 4
+        assert "GFLOP/s" in ch.report()
+
+    def test_empirical_characterization_runs(self):
+        ch = characterize_empirical(stream_n=100_000, dot_n=96, repetitions=2)
+        assert ch.source == "empirical"
+        assert ch.peak_flops > ch.stream_bandwidth / 8  # > 1 flop per element

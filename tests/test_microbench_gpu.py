@@ -1,0 +1,86 @@
+"""Tests for the GPU microarchitecture models (Wong et al. reproductions)."""
+
+import pytest
+
+from repro.microbench import (
+    bank_conflict_factor,
+    coalesced_transactions,
+    divergence_factor,
+    shared_memory_sweep,
+    warps_to_hide_latency,
+)
+
+
+class TestCoalescing:
+    def test_unit_stride_fp32(self):
+        # 32 threads x 4 B = 128 B = 4 transactions of 32 B
+        assert coalesced_transactions(1, element_bytes=4) == 4
+
+    def test_unit_stride_fp64(self):
+        assert coalesced_transactions(1, element_bytes=8) == 8
+
+    def test_broadcast_is_one(self):
+        assert coalesced_transactions(0) == 1
+
+    def test_large_stride_fully_scattered(self):
+        # one transaction per thread: the 32x blow-up
+        assert coalesced_transactions(8, element_bytes=4) == 32
+
+    def test_monotone_in_stride(self):
+        values = [coalesced_transactions(s) for s in (1, 2, 4, 8)]
+        assert values == sorted(values)
+        assert values[-1] == 32
+
+    def test_traffic_ratio_matches_wong(self):
+        # stride-8 fp32 moves 8x the useful data of stride-1
+        assert (coalesced_transactions(8) / coalesced_transactions(1)) == 8
+
+
+class TestBankConflicts:
+    def test_conflict_free_unit_stride(self):
+        assert bank_conflict_factor(1) == 1
+
+    def test_power_of_two_staircase(self):
+        assert [bank_conflict_factor(s) for s in (1, 2, 4, 8, 16, 32)] == \
+               [1, 2, 4, 8, 16, 32]
+
+    def test_odd_strides_conflict_free(self):
+        for stride in (3, 5, 7, 31, 33):
+            assert bank_conflict_factor(stride) == 1
+
+    def test_sweep_covers_range(self):
+        sweep = shared_memory_sweep(33)
+        assert sweep[1] == 1 and sweep[32] == 32 and sweep[33] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bank_conflict_factor(0)
+        with pytest.raises(ValueError):
+            bank_conflict_factor(1, banks=33)
+
+
+class TestDivergence:
+    def test_uniform_warps_no_penalty(self):
+        assert divergence_factor(0.0) == 1.0
+        assert divergence_factor(1.0) == 1.0
+
+    def test_coin_flip_always_diverges(self):
+        assert divergence_factor(0.5) == pytest.approx(2.0, abs=1e-6)
+
+    def test_symmetry(self):
+        assert divergence_factor(0.2) == pytest.approx(divergence_factor(0.8))
+
+    def test_bounded(self):
+        for f in (0.01, 0.1, 0.3, 0.7, 0.99):
+            assert 1.0 <= divergence_factor(f) <= 2.0
+
+
+class TestLatencyHiding:
+    def test_rule_of_thumb(self):
+        assert warps_to_hide_latency(400, 10) == 40
+
+    def test_compute_heavy_needs_few_warps(self):
+        assert warps_to_hide_latency(400, 400) == 1
+
+    def test_at_least_one_warp(self):
+        assert warps_to_hide_latency(0, 10) == 1

@@ -1,0 +1,98 @@
+"""Tests for repro.parallel.gpu."""
+
+import pytest
+
+from repro.kernels import matmul_work, triad_work
+from repro.machine import gpu_cc30, gpu_cc60
+from repro.parallel import (
+    KernelConfig,
+    gpu_kernel_time,
+    occupancy,
+    offload_analysis,
+)
+
+
+class TestOccupancy:
+    def test_full_occupancy_small_blocks(self):
+        occ = occupancy(gpu_cc60(), KernelConfig(256, registers_per_thread=32))
+        assert occ.occupancy == pytest.approx(1.0)
+        assert occ.blocks_per_sm == 8
+
+    def test_register_pressure_limits(self):
+        occ = occupancy(gpu_cc60(), KernelConfig(256, registers_per_thread=128))
+        assert occ.limiter == "registers"
+        assert occ.occupancy < 0.5
+
+    def test_shared_memory_limits(self):
+        occ = occupancy(gpu_cc60(), KernelConfig(
+            64, registers_per_thread=16, shared_mem_per_block_bytes=48 * 1024))
+        assert occ.limiter == "shared-memory"
+        assert occ.blocks_per_sm == 1
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(gpu_cc60(), KernelConfig(2048))
+
+    def test_zero_occupancy_possible(self):
+        occ = occupancy(gpu_cc60(), KernelConfig(
+            1024, shared_mem_per_block_bytes=128 * 1024))
+        assert occ.occupancy == 0.0
+
+    def test_partial_warp_rounded_up(self):
+        occ = occupancy(gpu_cc60(), KernelConfig(33))  # 2 warps per block
+        assert occ.warps_per_sm % 2 == 0
+
+
+class TestKernelTime:
+    def test_memory_bound_kernel_time(self):
+        g = gpu_cc60()
+        w = triad_work(10_000_000)
+        t = gpu_kernel_time(g, w, KernelConfig(256), dtype_bytes=4)
+        expected = g.kernel_launch_latency_s + w.bytes_total / g.memory_bandwidth_bytes_per_s
+        assert t == pytest.approx(expected)
+
+    def test_launch_latency_dominates_tiny_kernels(self):
+        g = gpu_cc60()
+        t = gpu_kernel_time(g, triad_work(64), KernelConfig(64))
+        assert t == pytest.approx(g.kernel_launch_latency_s, rel=0.05)
+
+    def test_low_occupancy_derates_compute(self):
+        g = gpu_cc60()
+        w = matmul_work(2048)
+        fast = gpu_kernel_time(g, w, KernelConfig(256, registers_per_thread=32))
+        slow = gpu_kernel_time(g, w, KernelConfig(256, registers_per_thread=160))
+        assert slow > fast
+
+    def test_unlaunchable_config_rejected(self):
+        g = gpu_cc60()
+        with pytest.raises(ValueError):
+            gpu_kernel_time(g, triad_work(100), KernelConfig(
+                1024, shared_mem_per_block_bytes=128 * 1024))
+
+
+class TestOffload:
+    def test_big_matmul_worth_offloading(self, cpu):
+        decision = offload_analysis(cpu, gpu_cc60(), matmul_work(4096),
+                                    transfer_bytes=3 * 4096 * 4096 * 8,
+                                    config=KernelConfig(256))
+        assert decision.worthwhile
+        assert decision.speedup > 1
+
+    def test_small_kernel_not_worth_it(self, cpu):
+        decision = offload_analysis(cpu, gpu_cc60(), matmul_work(64),
+                                    transfer_bytes=3 * 64 * 64 * 8,
+                                    config=KernelConfig(256))
+        assert not decision.worthwhile
+
+    def test_breakeven_reuses(self, cpu):
+        decision = offload_analysis(cpu, gpu_cc60(), matmul_work(2048),
+                                    transfer_bytes=3 * 2048 * 2048 * 8,
+                                    config=KernelConfig(256))
+        assert 0 < decision.breakeven_reuses < float("inf")
+
+    def test_weak_gpu_less_attractive(self, cpu):
+        w = matmul_work(1024)
+        transfer = 3 * 1024 * 1024 * 8
+        strong = offload_analysis(cpu, gpu_cc60(), w, transfer, KernelConfig(256))
+        weak = offload_analysis(cpu, gpu_cc30(), w, transfer, KernelConfig(256))
+        assert weak.gpu_total_seconds > strong.gpu_total_seconds

@@ -1,0 +1,101 @@
+"""Tests for repro.parallel.schedule."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import imbalance_ratio, simulate_schedule
+
+
+class TestStatic:
+    def test_uniform_costs_perfectly_balanced(self):
+        r = simulate_schedule([1.0] * 16, 4, "static")
+        assert r.imbalance == pytest.approx(0.0)
+        assert r.makespan == pytest.approx(4.0)
+
+    def test_remainder_iterations_distributed(self):
+        r = simulate_schedule([1.0] * 10, 4, "static")
+        # blocks of 3,3,2,2
+        assert max(r.per_thread_busy) == pytest.approx(3.0)
+
+    def test_triangular_costs_imbalance(self):
+        # costs grow linearly (e.g. triangular loop): last block heaviest
+        costs = np.arange(1, 101, dtype=float)
+        r = simulate_schedule(costs, 4, "static")
+        assert r.imbalance > 0.4
+
+    def test_total_work_conserved(self):
+        costs = np.random.default_rng(0).random(100)
+        r = simulate_schedule(costs, 8, "static")
+        assert r.total_work == pytest.approx(costs.sum())
+
+
+class TestDynamic:
+    def test_dynamic_fixes_triangular_imbalance(self):
+        costs = np.arange(1, 101, dtype=float)
+        static = simulate_schedule(costs, 4, "static")
+        dynamic = simulate_schedule(costs, 4, "dynamic", chunk=1)
+        assert dynamic.makespan < static.makespan
+        assert dynamic.imbalance < static.imbalance
+
+    def test_dispatch_overhead_penalizes_fine_chunks(self):
+        costs = [1e-6] * 1000
+        fine = simulate_schedule(costs, 4, "dynamic", chunk=1,
+                                 dispatch_overhead=1e-6)
+        coarse = simulate_schedule(costs, 4, "dynamic", chunk=100,
+                                   dispatch_overhead=1e-6)
+        assert fine.makespan > coarse.makespan
+        assert fine.chunks_dispatched == 1000
+
+    def test_guided_fewer_chunks_than_dynamic(self):
+        costs = [1.0] * 256
+        guided = simulate_schedule(costs, 4, "guided", chunk=1)
+        dynamic = simulate_schedule(costs, 4, "dynamic", chunk=1)
+        assert guided.chunks_dispatched < dynamic.chunks_dispatched
+
+    def test_single_thread_makespan_is_total(self):
+        costs = [1.0, 2.0, 3.0]
+        r = simulate_schedule(costs, 1, "dynamic", chunk=1)
+        assert r.makespan == pytest.approx(6.0)
+
+
+class TestStaticChunked:
+    def test_round_robin_assignment(self):
+        # 4 chunks of 2 over 2 threads -> alternating
+        costs = [1.0, 1.0, 5.0, 5.0, 1.0, 1.0, 5.0, 5.0]
+        r = simulate_schedule(costs, 2, "static-chunked", chunk=2)
+        assert r.per_thread_busy[0] == pytest.approx(4.0)
+        assert r.per_thread_busy[1] == pytest.approx(20.0)
+
+    def test_requires_chunk(self):
+        with pytest.raises(ValueError):
+            simulate_schedule([1.0], 2, "static-chunked")
+
+
+class TestValidation:
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            simulate_schedule([1.0], 2, "magic")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_schedule([-1.0], 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_schedule([], 2)
+
+    def test_efficiency_bounded(self):
+        r = simulate_schedule(np.random.default_rng(1).random(50), 4, "static")
+        assert 0 < r.efficiency <= 1.0
+
+
+class TestImbalanceRatio:
+    def test_zero_for_equal(self):
+        assert imbalance_ratio([2.0, 2.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert imbalance_ratio([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            imbalance_ratio([])

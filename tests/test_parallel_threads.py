@@ -1,0 +1,103 @@
+"""Tests for repro.parallel.threads."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    SimulatedTeam,
+    diagnose_parallel,
+    parallel_map,
+)
+
+
+class TestSimulatedTeam:
+    def test_region_counters_consistent(self):
+        team = SimulatedTeam(4)
+        region = team.run_region([1e-4] * 100)
+        assert region.threads == 4
+        assert region.makespan_seconds >= max(region.per_thread_busy)
+        assert region.imbalance == pytest.approx(0.0)
+
+    def test_critical_sections_serialize(self):
+        team = SimulatedTeam(4, critical_seconds_per_entry=1e-5)
+        free = team.run_region([1e-6] * 100)
+        locked = team.run_region([1e-6] * 100, critical_entries=100)
+        assert locked.makespan_seconds > free.makespan_seconds + 9e-4
+
+    def test_false_sharing_inflates_busy_time(self):
+        team = SimulatedTeam(4, false_sharing_seconds_per_event=1e-6)
+        clean = team.run_region([1e-6] * 100)
+        dirty = team.run_region([1e-6] * 100, false_sharing_events=1000)
+        assert dirty.makespan_seconds > clean.makespan_seconds
+
+    def test_speedup_curve_monotone_until_overheads(self):
+        team = SimulatedTeam(8, fork_join_seconds=0.0)
+        curve = team.speedup_curve([1e-5] * 800)
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[8] > curve[2] > curve[1]
+
+    def test_fork_join_caps_speedup_of_tiny_regions(self):
+        team = SimulatedTeam(8, fork_join_seconds=1e-3)
+        curve = team.speedup_curve([1e-6] * 100)
+        assert curve[8] < 1.0  # region smaller than the barrier cost
+
+    def test_rejects_negative_events(self):
+        with pytest.raises(ValueError):
+            SimulatedTeam(2).run_region([1.0], critical_entries=-1)
+
+
+class TestParallelDiagnosis:
+    def test_imbalance_detected_for_triangular_static(self):
+        team = SimulatedTeam(4, fork_join_seconds=0.0)
+        costs = np.arange(1, 201, dtype=float) * 1e-6
+        region = team.run_region(costs, "static")
+        top = diagnose_parallel(region)[0]
+        assert top.pattern == "load-imbalance"
+        assert top.detected
+
+    def test_dynamic_schedule_clears_imbalance(self):
+        team = SimulatedTeam(4, fork_join_seconds=0.0)
+        costs = np.arange(1, 201, dtype=float) * 1e-6
+        region = team.run_region(costs, "dynamic", chunk=4)
+        match = [m for m in diagnose_parallel(region)
+                 if m.pattern == "load-imbalance"][0]
+        assert not match.detected
+
+    def test_sync_overhead_detected(self):
+        team = SimulatedTeam(4, fork_join_seconds=0.0,
+                             critical_seconds_per_entry=5e-6)
+        region = team.run_region([1e-6] * 200, critical_entries=200)
+        top = diagnose_parallel(region)[0]
+        assert top.pattern == "synchronization-overhead"
+        assert top.detected
+
+    def test_false_sharing_detected(self):
+        team = SimulatedTeam(4, fork_join_seconds=0.0,
+                             false_sharing_seconds_per_event=5e-6)
+        region = team.run_region([1e-6] * 200, false_sharing_events=400)
+        top = diagnose_parallel(region)[0]
+        assert top.pattern == "false-sharing"
+        assert top.detected
+
+
+class TestParallelMap:
+    def test_results_cover_range(self):
+        out = parallel_map(lambda lo, hi: (lo, hi), 100, workers=3, chunk=30)
+        assert out[0] == (0, 30)
+        assert out[-1] == (90, 100)
+
+    def test_sum_correct_with_threads(self):
+        a = np.arange(100_000, dtype=float)
+        parts = parallel_map(lambda lo, hi: float(a[lo:hi].sum()), a.size,
+                             workers=4)
+        assert sum(parts) == pytest.approx(a.sum())
+
+    def test_single_worker_serial_path(self):
+        calls = []
+        parallel_map(lambda lo, hi: calls.append((lo, hi)), 10, workers=1,
+                     chunk=5)
+        assert calls == [(0, 5), (5, 10)]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            parallel_map(lambda lo, hi: None, 0, 1)

@@ -1,0 +1,81 @@
+"""Tests for performance patterns and their synthetic kernels (assignment 4)."""
+
+import pytest
+
+from repro.counters import (
+    PATTERN_KERNELS,
+    PATTERNS,
+    CounterSession,
+    detect,
+    diagnose,
+    make_pattern_kernel,
+)
+
+
+@pytest.fixture(scope="module")
+def session(cpu, table):
+    return CounterSession(cpu, table)
+
+
+class TestCatalogue:
+    def test_every_pattern_has_remedy(self):
+        for p in PATTERNS:
+            assert p.remedy and p.description
+
+    def test_pattern_names_unique(self):
+        names = [p.name for p in PATTERNS]
+        assert len(names) == len(set(names))
+
+    def test_kernels_cover_detectable_patterns(self):
+        detectable = {p.name for p in PATTERNS}
+        assert set(PATTERN_KERNELS) <= detectable
+
+
+@pytest.mark.parametrize("pattern", sorted(PATTERN_KERNELS))
+class TestDetection:
+    def test_synthetic_kernel_detected_as_intended(self, pattern, cpu, table,
+                                                   session):
+        k = make_pattern_kernel(pattern, cpu)
+        reading = session.count(k.trace, k.body, k.iterations, label=k.name,
+                                branch_mispredict_rate=k.mispredict_rate)
+        top = detect(reading, cpu)
+        assert top.pattern == k.expected_pattern
+        assert top.detected, f"{pattern}: score {top.score} below threshold"
+
+
+class TestDiagnose:
+    def test_ranked_descending(self, cpu, session):
+        k = make_pattern_kernel("memory-latency-bound", cpu)
+        matches = diagnose(session.count(k.trace, k.body, k.iterations), cpu)
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+        assert len(matches) == len(PATTERNS)
+
+    def test_fix_removes_signature(self, cpu, session):
+        """The demonstrate-then-fix loop: the strided kernel's pattern
+        disappears when the stride is removed (layout fix)."""
+        import numpy as np
+
+        from repro.simulator import Trace, strided_trace
+        from repro.simulator.bodies import reduction_body
+
+        n = 40000
+        bad = make_pattern_kernel("strided-access", cpu)
+        bad_reading = session.count(bad.trace, bad.body, bad.iterations)
+        fixed_trace = strided_trace(n, 8, 8 * n)  # unit stride after AoS->SoA
+        good_reading = session.count(fixed_trace, reduction_body(), n)
+        bad_score = [m for m in diagnose(bad_reading, cpu)
+                     if m.pattern == "strided-access"][0].score
+        good_score = [m for m in diagnose(good_reading, cpu)
+                      if m.pattern == "strided-access"][0].score
+        assert bad_score >= 0.5
+        assert good_score < 0.2
+
+    def test_unknown_pattern_kernel(self, cpu):
+        with pytest.raises(KeyError):
+            make_pattern_kernel("quantum-stall", cpu)
+
+    def test_scale_grows_trace(self, cpu):
+        small = make_pattern_kernel("bad-speculation", cpu, scale=1)
+        large = make_pattern_kernel("bad-speculation", cpu, scale=2)
+        assert len(large.trace) == 2 * len(small.trace)

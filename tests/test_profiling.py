@@ -1,0 +1,96 @@
+"""Tests for repro.profiling."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.profiling import FunctionCost, Profile, amdahl_gate, profile_callable
+
+
+def _hot():
+    time.sleep(0.03)
+
+
+def _cold():
+    time.sleep(0.005)
+
+
+def _workload():
+    _hot()
+    _cold()
+
+
+class TestProfileCallable:
+    def test_finds_the_hotspot(self):
+        profile = profile_callable(_workload, min_self_seconds=0.001)
+        hot = profile.hotspots(1)[0]
+        # sleep dominates; both calls funnel into the same builtin
+        assert "sleep" in hot.name
+        assert profile.total_seconds >= 0.03
+
+    def test_fraction_by_substring(self):
+        profile = profile_callable(_workload)
+        assert profile.fraction("sleep") > 0.8
+        assert profile.fraction("no-such-function") == 0.0
+
+    def test_min_self_filter(self):
+        profile = profile_callable(_workload, min_self_seconds=10.0)
+        assert profile.functions == ()
+        assert profile.total_seconds > 0
+
+    def test_propagates_exceptions_but_profiles(self):
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            profile_callable(boom)
+
+
+class TestProfileAnalysis:
+    def make(self, costs):
+        functions = tuple(FunctionCost(f"f{i}", 1, c, c)
+                          for i, c in enumerate(costs))
+        return Profile(total_seconds=sum(costs), functions=functions)
+
+    def test_flatness_single_hotspot(self):
+        profile = self.make([0.9, 0.05, 0.05])
+        assert profile.flatness == pytest.approx(0.1)
+
+    def test_flatness_flat_profile(self):
+        profile = self.make([0.25] * 4)
+        assert profile.flatness == pytest.approx(0.75)
+
+    def test_hotspots_ordering(self):
+        profile = self.make([0.1, 0.5, 0.2])
+        assert [f.name for f in profile.hotspots(2)] == ["f1", "f2"]
+
+    def test_report_mentions_flatness(self):
+        assert "flatness" in self.make([1.0]).report()
+
+    def test_amdahl_gate_hot_function_worth_it(self):
+        profile = self.make([0.9, 0.1])
+        speedup, worth = amdahl_gate(profile, "f0", assumed_speedup=10.0)
+        assert speedup == pytest.approx(1.0 / (0.1 + 0.9 / 10))
+        assert worth
+
+    def test_amdahl_gate_cold_function_not_worth_it(self):
+        profile = self.make([0.1, 0.9])
+        speedup, worth = amdahl_gate(profile, "f0", assumed_speedup=100.0)
+        assert speedup < 1.2
+        assert not worth
+
+    def test_amdahl_gate_validates_speedup(self):
+        with pytest.raises(ValueError):
+            amdahl_gate(self.make([1.0]), "f0", assumed_speedup=1.0)
+
+
+class TestOnRealKernel:
+    def test_profile_guides_to_the_inner_loop(self):
+        from repro.kernels import matmul_loop, random_matrices
+
+        a, b, c = random_matrices(24, seed=1)
+        profile = profile_callable(lambda: matmul_loop(a, b, c, "ijk"))
+        assert profile.fraction("matmul_loop") > 0.5
+        speedup, worth = amdahl_gate(profile, "matmul_loop")
+        assert worth

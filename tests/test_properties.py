@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical import amdahl_speedup, fit_power_law
+from repro.course import final_grade
+from repro.distributed import AlphaBeta, allreduce_ring, broadcast_binomial
+from repro.kernels import (
+    bit_reverse_permutation,
+    fft_vectorized,
+    histogram_numpy,
+    histogram_scalar,
+    matmul_work,
+)
+from repro.machine import CacheLevel
+from repro.parallel import simulate_schedule
+from repro.polyhedral import lex_positive
+from repro.queueing import mm1
+from repro.simulator import Cache, MultiLevelCache
+from repro.timing import (
+    WorkCount,
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    reject_outliers,
+    summarize,
+)
+
+positive_floats = st.floats(min_value=1e-6, max_value=1e6,
+                            allow_nan=False, allow_infinity=False)
+
+
+class TestStatisticsProperties:
+    @given(st.lists(positive_floats, min_size=2, max_size=40))
+    def test_mean_inequality_chain(self, data):
+        """harmonic <= geometric <= arithmetic for positive data."""
+        h = harmonic_mean(data)
+        g = geometric_mean(data)
+        a = arithmetic_mean(data)
+        assert h <= g * (1 + 1e-9)
+        assert g <= a * (1 + 1e-9)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=40))
+    def test_outlier_rejection_never_empty(self, data):
+        kept = reject_outliers(data)
+        assert len(kept) >= 1
+        assert set(np.asarray(kept).tolist()) <= set(data)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=30))
+    def test_summary_bounds(self, data):
+        s = summarize(data)
+        assert s.min <= s.median <= s.max
+        assert s.ci_low <= s.ci_high
+
+
+class TestWorkCountProperties:
+    @given(st.floats(0, 1e9), st.floats(0, 1e9), st.floats(0, 1e9))
+    def test_addition_commutative(self, f, l, s):
+        a = WorkCount(f, l, s)
+        b = WorkCount(s, f, l)
+        assert (a + b).flops == (b + a).flops
+        assert (a + b).bytes_total == pytest.approx((b + a).bytes_total)
+
+    @given(st.integers(1, 64), st.integers(1, 64), st.integers(1, 64))
+    def test_matmul_flops_formula(self, n, m, k):
+        assert matmul_work(n, m, k).flops == 2.0 * n * m * k
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_conservation(self, addresses):
+        cache = Cache(CacheLevel("L1", 1024, 64, 4))
+        for a in addresses:
+            cache.access(a)
+        s = cache.stats
+        assert s.hits + s.misses == s.accesses == len(addresses)
+        assert cache.occupancy <= cache.level.n_lines
+        assert s.evictions == s.misses - cache.occupancy
+
+    @given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=200),
+           st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_bigger_cache_never_misses_more_fully_assoc(self, addresses, shift):
+        """LRU inclusion property: a larger fully-associative LRU cache
+        never misses more than a smaller one on the same trace."""
+        small = Cache(CacheLevel("s", 512, 64, 8))    # fully associative
+        large = Cache(CacheLevel("l", 2048, 64, 32))  # fully associative
+        for a in addresses:
+            small.access(a << shift)
+            large.access(a << shift)
+        assert large.stats.misses <= small.stats.misses
+
+    @given(st.lists(st.tuples(st.integers(0, 1 << 15), st.booleans()),
+                    min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_hierarchy_miss_monotonicity(self, trace):
+        """Demand misses cannot increase down the hierarchy."""
+        h = MultiLevelCache((CacheLevel("L1", 512, 64, 2),
+                             CacheLevel("L2", 4096, 64, 8)))
+        for a, w in trace:
+            h.access(a, w)
+        l1, l2 = h.caches
+        assert l2.stats.accesses == l1.stats.misses
+        assert l2.stats.misses <= l1.stats.misses
+        assert h.memory_accesses == l2.stats.misses
+
+
+class TestFFTProperties:
+    @given(st.integers(0, 6))
+    def test_bit_reversal_involution(self, log_n):
+        n = 1 << log_n
+        p = bit_reverse_permutation(n)
+        assert np.array_equal(p[p], np.arange(n))
+
+    @given(st.integers(1, 5), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_fft_parseval(self, log_n, seed):
+        n = 1 << log_n
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        X = fft_vectorized(x)
+        assert np.sum(np.abs(x) ** 2) == pytest.approx(
+            np.sum(np.abs(X) ** 2) / n, rel=1e-9)
+
+
+class TestHistogramProperties:
+    @given(st.integers(1, 400), st.integers(1, 40), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_counts_conserve_and_agree(self, n, bins, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, bins, n).astype(np.int64)
+        fast = histogram_numpy(keys, bins)
+        slow = histogram_scalar(keys, bins)
+        assert np.array_equal(fast, slow)
+        assert fast.sum() == n
+
+
+class TestScheduleProperties:
+    @given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=100),
+           st.integers(1, 8),
+           st.sampled_from(["static", "dynamic", "guided"]))
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_invariants(self, costs, threads, kind):
+        chunk = 2 if kind != "static" else None
+        r = simulate_schedule(costs, threads, kind, chunk=chunk)
+        total = sum(costs)
+        # work is conserved and makespan is bounded by [total/p, total]
+        assert r.total_work == pytest.approx(total, abs=1e-9)
+        assert r.makespan >= total / threads - 1e-9
+        assert r.makespan <= total + 1e-9
+
+
+class TestLawProperties:
+    @given(st.floats(0.0, 1.0), st.integers(1, 1024))
+    def test_amdahl_bounds(self, s, p):
+        sp = amdahl_speedup(s, p)
+        assert 1.0 - 1e-12 <= sp or p == 1
+        assert sp <= p + 1e-9
+
+    @given(st.floats(0.5, 4.0), st.floats(1e-9, 1e-3))
+    def test_power_fit_roundtrip(self, exponent, coefficient):
+        sizes = [16.0, 32.0, 64.0, 128.0]
+        times = [coefficient * n ** exponent for n in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+
+
+class TestNetworkProperties:
+    @given(st.floats(0, 1e-4), st.floats(1e6, 1e12),
+           st.integers(2, 512), st.floats(1, 1e8))
+    @settings(max_examples=40)
+    def test_collective_costs_positive_and_tree_beats_linear(
+            self, alpha, beta, p, m):
+        net = AlphaBeta(alpha, beta)
+        tree = broadcast_binomial(net, p, m)
+        assert tree > 0
+        assert allreduce_ring(net, p, m) > 0
+        # a binomial tree never loses to p-1 sequential sends
+        from repro.distributed import broadcast_linear
+
+        assert tree <= broadcast_linear(net, p, m) + 1e-12
+
+
+class TestQueueProperties:
+    @given(st.floats(0.1, 9.0))
+    def test_mm1_littles_law(self, lam):
+        m = mm1(lam, 10.0)
+        assert m.mean_in_system == pytest.approx(lam * m.mean_time_in_system)
+        assert m.mean_in_queue == pytest.approx(lam * m.mean_wait)
+        assert m.mean_in_system >= m.mean_in_queue
+
+
+class TestGradingProperties:
+    @given(st.floats(1, 10), st.floats(0, 10), st.floats(1, 10), st.floats(0, 70))
+    def test_final_grade_in_range_and_monotone(self, gp, ga, ge, sq):
+        g = final_grade(gp, ga, ge, sq)
+        assert 1.0 <= g <= 10.0
+        # improving the project can never lower the grade
+        better = final_grade(min(10.0, gp + 0.5), ga, ge, sq)
+        assert better >= g - 1e-9
+
+
+class TestLexPositive:
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=5),
+           st.lists(st.integers(-5, 5), min_size=1, max_size=5))
+    def test_sum_of_lex_positive_is_lex_positive(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        if lex_positive(a) and lex_positive(b):
+            assert lex_positive([x + y for x, y in zip(a, b)])

@@ -1,0 +1,124 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import FatTree, Ring, Torus2D
+from repro.energy import PowerModel, energy_of_run
+from repro.microbench import bank_conflict_factor, coalesced_transactions
+from repro.queueing import Job, random_workload, simulate_batch
+
+
+class TestTopologyProperties:
+    @given(st.integers(2, 64), st.integers(0, 63), st.integers(0, 63))
+    def test_ring_metric_axioms(self, n, a, b):
+        r = Ring(n)
+        a, b = a % n, b % n
+        assert r.hops(a, b) == r.hops(b, a)           # symmetry
+        assert (r.hops(a, b) == 0) == (a == b)        # identity
+        assert r.hops(a, b) <= r.diameter
+
+    @given(st.integers(2, 8), st.integers(0, 63), st.integers(0, 63),
+           st.integers(0, 63))
+    def test_torus_triangle_inequality(self, side, a, b, c):
+        t = Torus2D(side * side)
+        n = side * side
+        a, b, c = a % n, b % n, c % n
+        assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+
+    @given(st.integers(1, 6), st.integers(0, 63), st.integers(0, 63))
+    def test_fat_tree_symmetric(self, log_n, a, b):
+        n = 1 << log_n
+        f = FatTree(max(2, n))
+        a, b = a % f.nodes, b % f.nodes
+        assert f.hops(a, b) == f.hops(b, a)
+        assert f.hops(a, b) % 2 == 0  # up-and-down switch hops
+
+
+class TestGpuModelProperties:
+    @given(st.integers(1, 64))
+    def test_coalescing_bounded_by_warp(self, stride):
+        txns = coalesced_transactions(stride, element_bytes=4)
+        assert 1 <= txns <= 32
+
+    @given(st.integers(1, 128))
+    def test_bank_conflicts_divide_banks(self, stride):
+        factor = bank_conflict_factor(stride, banks=32)
+        assert 32 % factor == 0
+        assert 1 <= factor <= 32
+
+
+class TestEnergyProperties:
+    @given(st.floats(0.01, 100.0), st.integers(0, 64),
+           st.floats(0.0, 1.0), st.floats(0.5, 2.0))
+    def test_energy_positive_and_monotone_in_time(self, seconds, cores,
+                                                  utilization, scale):
+        pm = PowerModel()
+        e1 = energy_of_run(pm, seconds, cores, utilization=utilization,
+                           frequency_scale=scale)
+        e2 = energy_of_run(pm, seconds * 2, cores, utilization=utilization,
+                           frequency_scale=scale)
+        assert e1.joules > 0
+        assert e2.joules == pytest.approx(2 * e1.joules)
+
+    @given(st.integers(0, 32), st.integers(0, 32))
+    def test_power_monotone_in_cores(self, few, extra):
+        pm = PowerModel()
+        assert pm.power(few + extra) >= pm.power(few)
+
+
+class TestBatchProperties:
+    @given(st.integers(1, 40), st.integers(2, 6), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_invariants(self, n_jobs, log_nodes, seed):
+        nodes = 2 ** log_nodes
+        jobs = random_workload(n_jobs, nodes, load=0.7, seed=seed)
+        for policy in ("fcfs", "easy-backfill"):
+            result = simulate_batch(jobs, nodes, policy)
+            # every job scheduled exactly once, never before submission
+            assert sorted(s.job.job_id for s in result.jobs) == \
+                   sorted(j.job_id for j in jobs)
+            for s in result.jobs:
+                assert s.start >= s.job.submit
+            # node capacity never exceeded
+            events = []
+            for s in result.jobs:
+                events.append((s.start, 1, s.job.nodes))
+                events.append((s.end, 0, -s.job.nodes))
+            events.sort()
+            in_use = 0
+            for _, _, delta in events:
+                in_use += delta
+                assert in_use <= nodes
+            # utilization is a valid fraction
+            assert 0 < result.utilization <= 1.0 + 1e-9
+
+    def test_backfill_improves_waits_in_aggregate(self):
+        """EASY gives no per-trace guarantee (backfilled jobs may delay
+        non-head jobs, and a finite trace's makespan can even grow), but
+        across a workload population it must cut waiting time."""
+        fcfs_waits, easy_waits = [], []
+        for seed in range(12):
+            jobs = random_workload(25, 16, load=0.8, seed=seed)
+            fcfs_waits.append(simulate_batch(jobs, 16, "fcfs").mean_wait)
+            easy_waits.append(
+                simulate_batch(jobs, 16, "easy-backfill").mean_wait)
+        assert float(np.mean(easy_waits)) < float(np.mean(fcfs_waits))
+        # and it wins (or ties) on a clear majority of traces
+        wins = sum(e <= f + 1e-9 for e, f in zip(easy_waits, fcfs_waits))
+        assert wins >= 8
+
+
+class TestQuizProperties:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_quiz_scores_bounded(self, seed):
+        from repro.course import generate_quiz
+
+        quiz = generate_quiz(seed=seed)
+        assert quiz.total_points == 70.0
+        key = quiz.answer_key()
+        assert quiz.grade(key) == 70.0
+        assert quiz.grade([0.0 if abs(a) > 1 else 1e9 for a in key]) <= 70.0

@@ -1,0 +1,113 @@
+"""Tests for repro.queueing: formulas + DES cross-validation."""
+
+import pytest
+
+from repro.queueing import (
+    deterministic,
+    erlang_c,
+    exponential,
+    hyperexponential,
+    littles_law_check,
+    mg1,
+    mm1,
+    mmc,
+    simulate_queue,
+)
+
+
+class TestMM1:
+    def test_textbook_values(self):
+        m = mm1(8.0, 10.0)
+        assert m.utilization == pytest.approx(0.8)
+        assert m.mean_in_system == pytest.approx(4.0)
+        assert m.mean_time_in_system == pytest.approx(0.5)
+        assert m.mean_wait == pytest.approx(0.4)
+
+    def test_littles_law_holds(self):
+        m = mm1(3.0, 5.0)
+        assert littles_law_check(3.0, m.mean_in_system,
+                                 m.mean_time_in_system, tolerance=1e-9)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mm1(10.0, 10.0)
+
+    def test_blowup_near_saturation(self):
+        assert mm1(9.9, 10.0).mean_wait > 50 * mm1(5.0, 10.0).mean_wait
+
+
+class TestMMC:
+    def test_reduces_to_mm1(self):
+        a = mm1(4.0, 10.0)
+        b = mmc(4.0, 10.0, 1)
+        assert b.mean_wait == pytest.approx(a.mean_wait)
+        assert b.mean_in_system == pytest.approx(a.mean_in_system)
+
+    def test_pooling_beats_partitioning(self):
+        # one fast queue of 4 servers beats 4 separate M/M/1s at same load
+        single = mm1(2.0, 10.0).mean_wait
+        pooled = mmc(8.0, 10.0, 4).mean_wait
+        assert pooled < single
+
+    def test_erlang_c_bounds(self):
+        pw = erlang_c(8.0, 10.0, 4)
+        assert 0 < pw < 1
+
+    def test_more_servers_less_waiting(self):
+        assert mmc(8.0, 10.0, 8).mean_wait < mmc(8.0, 10.0, 2).mean_wait
+
+
+class TestMG1:
+    def test_cv2_one_is_mm1(self):
+        assert mg1(8.0, 10.0, 1.0).mean_wait == pytest.approx(mm1(8.0, 10.0).mean_wait)
+
+    def test_deterministic_halves_queue(self):
+        assert mg1(8.0, 10.0, 0.0).mean_in_queue == pytest.approx(
+            mm1(8.0, 10.0).mean_in_queue / 2)
+
+    def test_variability_hurts(self):
+        assert mg1(8.0, 10.0, 4.0).mean_wait > mg1(8.0, 10.0, 1.0).mean_wait
+
+
+class TestDESValidation:
+    def test_mm1_simulation_matches_theory(self):
+        theory = mm1(7.0, 10.0)
+        sim = simulate_queue(exponential(7.0, seed=1), exponential(10.0, seed=2),
+                             customers=60_000, warmup=2_000)
+        assert sim.mean_wait == pytest.approx(theory.mean_wait, rel=0.12)
+        assert sim.utilization == pytest.approx(theory.utilization, rel=0.05)
+
+    def test_mmc_simulation_matches_theory(self):
+        theory = mmc(24.0, 10.0, 4)
+        sim = simulate_queue(exponential(24.0, seed=3), exponential(10.0, seed=4),
+                             servers=4, customers=60_000, warmup=2_000)
+        assert sim.mean_wait == pytest.approx(theory.mean_wait, rel=0.2)
+
+    def test_md1_simulation_matches_pk(self):
+        theory = mg1(8.0, 10.0, 0.0)
+        sim = simulate_queue(exponential(8.0, seed=5), deterministic(10.0),
+                             customers=60_000, warmup=2_000)
+        assert sim.mean_wait == pytest.approx(theory.mean_wait, rel=0.12)
+
+    def test_hyperexponential_worse_than_exponential(self):
+        exp_sim = simulate_queue(exponential(8.0, seed=6), exponential(10.0, seed=7),
+                                 customers=40_000)
+        hyper_sim = simulate_queue(exponential(8.0, seed=6),
+                                   hyperexponential(10.0, 4.0, seed=8),
+                                   customers=40_000)
+        assert hyper_sim.mean_wait > exp_sim.mean_wait
+
+    def test_littles_law_in_simulation(self):
+        sim = simulate_queue(exponential(5.0, seed=9), exponential(10.0, seed=10),
+                             customers=40_000)
+        assert littles_law_check(5.0, sim.mean_in_system,
+                                 sim.mean_time_in_system, tolerance=0.1)
+
+    def test_distribution_validation(self):
+        with pytest.raises(ValueError):
+            exponential(0.0)
+        with pytest.raises(ValueError):
+            hyperexponential(1.0, cv2=0.5)
+        with pytest.raises(ValueError):
+            simulate_queue(exponential(1.0), exponential(2.0), customers=10,
+                           warmup=10)

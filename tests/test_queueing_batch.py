@@ -1,0 +1,118 @@
+"""Tests for the SLURM-like batch scheduler."""
+
+import pytest
+
+from repro.queueing import Job, random_workload, simulate_batch
+
+
+def classic_jobs():
+    """Half-cluster job, then a full-cluster blocker, then a small job."""
+    return [
+        Job(0, 0.0, 8, 100.0, 120.0),
+        Job(1, 1.0, 16, 50.0, 60.0),
+        Job(2, 2.0, 4, 30.0, 40.0),
+    ]
+
+
+class TestFCFS:
+    def test_head_of_line_blocking(self):
+        result = simulate_batch(classic_jobs(), 16, "fcfs")
+        starts = {j.job.job_id: j.start for j in result.jobs}
+        assert starts[0] == 0.0
+        assert starts[1] == 100.0   # waits for the whole cluster
+        assert starts[2] == 150.0   # blocked behind job 1 despite free nodes
+
+    def test_sequential_when_saturated(self):
+        jobs = [Job(i, 0.0, 4, 10.0, 12.0) for i in range(4)]
+        result = simulate_batch(jobs, 4, "fcfs")
+        starts = sorted(j.start for j in result.jobs)
+        assert starts == [0.0, 10.0, 20.0, 30.0]
+
+    def test_parallel_when_room(self):
+        jobs = [Job(i, 0.0, 2, 10.0, 12.0) for i in range(4)]
+        result = simulate_batch(jobs, 8, "fcfs")
+        assert all(j.start == 0.0 for j in result.jobs)
+        assert result.makespan == 10.0
+
+    def test_submission_times_respected(self):
+        jobs = [Job(0, 5.0, 1, 1.0, 2.0)]
+        result = simulate_batch(jobs, 4, "fcfs")
+        assert result.jobs[0].start == 5.0
+        assert result.jobs[0].wait == 0.0
+
+
+class TestBackfill:
+    def test_small_job_backfills(self):
+        result = simulate_batch(classic_jobs(), 16, "easy-backfill")
+        starts = {j.job.job_id: j.start for j in result.jobs}
+        assert starts[2] == 2.0         # jumps into the 8 free nodes
+        assert starts[1] == 100.0       # reservation not delayed
+
+    def test_backfill_never_delays_the_head(self):
+        # a long backfill candidate that WOULD delay the head must wait
+        jobs = [
+            Job(0, 0.0, 8, 100.0, 110.0),
+            Job(1, 1.0, 16, 50.0, 60.0),
+            Job(2, 2.0, 8, 500.0, 600.0),  # would block the reservation
+        ]
+        result = simulate_batch(jobs, 16, "easy-backfill")
+        starts = {j.job.job_id: j.start for j in result.jobs}
+        assert starts[1] == 100.0
+        assert starts[2] >= 150.0
+
+    def test_backfill_improves_wait_and_utilization(self):
+        wl = random_workload(80, 32, load=0.85, seed=3)
+        fcfs = simulate_batch(wl, 32, "fcfs")
+        easy = simulate_batch(wl, 32, "easy-backfill")
+        assert easy.mean_wait <= fcfs.mean_wait
+        assert easy.utilization >= fcfs.utilization * 0.99
+
+    def test_all_jobs_scheduled_once(self):
+        wl = random_workload(50, 16, seed=4)
+        result = simulate_batch(wl, 16, "easy-backfill")
+        assert sorted(j.job.job_id for j in result.jobs) == list(range(50))
+
+    def test_nodes_never_oversubscribed(self):
+        wl = random_workload(60, 8, load=0.9, seed=5)
+        result = simulate_batch(wl, 8, "easy-backfill")
+        events = []
+        for sched in result.jobs:
+            events.append((sched.start, sched.job.nodes))
+            events.append((sched.end, -sched.job.nodes))
+        events.sort()
+        in_use = 0
+        for _, delta in events:
+            in_use += delta
+            assert in_use <= 8
+
+
+class TestMetricsAndValidation:
+    def test_bounded_slowdown_floor(self):
+        job = Job(0, 0.0, 1, 1.0, 2.0)
+        result = simulate_batch([job], 4, "fcfs")
+        # tiny job with no wait: bounded slowdown clamps to ~runtime/tau
+        assert result.jobs[0].bounded_slowdown(tau=10.0) == pytest.approx(0.1)
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_batch([Job(0, 0.0, 32, 1.0, 2.0)], 16)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            simulate_batch(classic_jobs(), 16, "sjf")
+
+    def test_walltime_below_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            Job(0, 0.0, 1, 10.0, 5.0)
+
+    def test_workload_generator_properties(self):
+        wl = random_workload(100, 32, seed=7)
+        assert len(wl) == 100
+        assert all(1 <= j.nodes <= 32 for j in wl)
+        assert all(j.walltime >= j.runtime for j in wl)
+        submits = [j.submit for j in wl]
+        assert submits == sorted(submits)
+
+    def test_report_format(self):
+        result = simulate_batch(classic_jobs(), 16)
+        assert "util=" in result.report()

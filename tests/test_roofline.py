@@ -1,0 +1,150 @@
+"""Tests for repro.roofline (model + plot)."""
+
+import pytest
+
+from repro.kernels import matmul_work, triad_work
+from repro.machine import gpu_cc60
+from repro.roofline import (
+    AppPoint,
+    BandwidthCeiling,
+    ComputeCeiling,
+    RooflineModel,
+    ascii_roofline,
+    cpu_roofline,
+    gpu_roofline,
+    log_space,
+    roofline_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def model(cpu):
+    return cpu_roofline(cpu)
+
+
+class TestModel:
+    def test_ridge_point(self, model, cpu):
+        assert model.ridge_point() == pytest.approx(
+            cpu.peak_flops() / cpu.stream_bandwidth)
+
+    def test_attainable_below_ridge_is_bandwidth_limited(self, model):
+        i = model.ridge_point() / 10
+        assert model.attainable(i) == pytest.approx(model.peak_bandwidth * i)
+
+    def test_attainable_above_ridge_is_compute_limited(self, model):
+        assert model.attainable(10 * model.ridge_point()) == model.peak_flops
+
+    def test_attainable_continuous_at_ridge(self, model):
+        r = model.ridge_point()
+        assert model.attainable(r) == pytest.approx(model.peak_flops)
+
+    def test_classification(self, model):
+        assert model.classify(0.01 * model.ridge_point()) == "memory-bound"
+        assert model.classify(100 * model.ridge_point()) == "compute-bound"
+
+    def test_triad_is_memory_bound(self, model):
+        p = AppPoint.from_work("triad", triad_work(1_000_000))
+        assert model.classify(p.intensity) == "memory-bound"
+
+    def test_large_matmul_is_compute_bound(self, model):
+        p = AppPoint.from_work("matmul", matmul_work(512))
+        assert model.classify(p.intensity) == "compute-bound"
+
+    def test_secondary_ceilings_ordered(self, model):
+        peaks = [c.flops_per_s for c in model.compute]
+        assert peaks[0] == max(peaks)
+        names = [c.name for c in model.compute]
+        assert "scalar" in names  # the no-SIMD-no-FMA teaching ceiling
+
+    def test_primary_bandwidth_is_dram(self, model):
+        assert model.bandwidth[0].name == "DRAM"
+        assert model.bounding_ceiling(0.01) == "DRAM"
+
+    def test_cache_bandwidth_ceilings_above_dram(self, model):
+        dram = model._bandwidth("DRAM").bytes_per_s
+        for name in ("L1", "L2"):
+            assert model._bandwidth(name).bytes_per_s > dram
+
+    def test_efficiency_of_perfect_point(self, model):
+        i = 0.05
+        p = AppPoint("x", i, achieved_flops_per_s=model.attainable(i))
+        assert model.efficiency(p) == pytest.approx(1.0)
+
+    def test_efficiency_none_when_unmeasured(self, model):
+        assert model.efficiency(AppPoint("x", 1.0)) is None
+
+    def test_measured_bandwidth_overrides_spec(self, cpu):
+        m = cpu_roofline(cpu, measured_bandwidth=10e9)
+        assert m.peak_bandwidth == 10e9
+
+    def test_core_scaling(self, cpu):
+        one = cpu_roofline(cpu, cores=1)
+        allc = cpu_roofline(cpu)
+        assert one.peak_flops == pytest.approx(allc.peak_flops / cpu.cores)
+
+    def test_rejects_empty_ceilings(self):
+        with pytest.raises(ValueError):
+            RooflineModel("bad", [], [BandwidthCeiling("DRAM", 1e9)])
+
+    def test_unknown_ceiling_lookup(self, model):
+        with pytest.raises(KeyError):
+            model.attainable(1.0, compute_name="quantum")
+
+
+class TestAppPoint:
+    def test_from_work_with_time(self):
+        w = triad_work(1000)
+        p = AppPoint.from_work("t", w, seconds=1e-6)
+        assert p.achieved_flops_per_s == pytest.approx(w.flops / 1e-6)
+
+    def test_from_traffic_effective_intensity(self):
+        p = AppPoint.from_traffic("m", flops=1000, traffic_bytes=4000)
+        assert p.intensity == 0.25
+
+    def test_rejects_zero_intensity(self):
+        with pytest.raises(ValueError):
+            AppPoint("x", 0.0)
+
+
+class TestGPURoofline:
+    def test_pcie_roof_below_hbm(self):
+        m = gpu_roofline(gpu_cc60())
+        assert (m._bandwidth("PCIe").bytes_per_s
+                < m._bandwidth("HBM").bytes_per_s)
+
+    def test_pcie_ridge_much_higher(self):
+        m = gpu_roofline(gpu_cc60())
+        assert (m.ridge_point(bandwidth_name="PCIe")
+                > 10 * m.ridge_point(bandwidth_name="HBM"))
+
+    def test_fp64_peak_lower(self):
+        g = gpu_cc60()
+        assert (gpu_roofline(g, dtype_bytes=8).peak_flops
+                < gpu_roofline(g, dtype_bytes=4).peak_flops)
+
+
+class TestRendering:
+    def test_report_mentions_every_point(self, model):
+        pts = [AppPoint.from_work("triad", triad_work(1000), 1e-5),
+               AppPoint.from_work("matmul", matmul_work(64))]
+        text = model.report(pts)
+        assert "triad" in text and "matmul" in text
+        assert "ridge point" in text
+
+    def test_ascii_chart_renders(self, model):
+        p = AppPoint("kernel-A", 0.1, achieved_flops_per_s=5e9)
+        chart = ascii_roofline(model, [p], width=40, height=10)
+        assert "A" in chart
+        assert chart.count("\n") >= 10
+
+    def test_csv_has_header_and_rows(self, model):
+        csv = roofline_csv(model, n_samples=8)
+        lines = csv.splitlines()
+        assert lines[0].startswith("intensity_flop_per_byte")
+        assert len(lines) == 9
+
+    def test_log_space_endpoints(self):
+        pts = log_space(1.0, 100.0, 3)
+        assert pts[0] == pytest.approx(1.0)
+        assert pts[1] == pytest.approx(10.0)
+        assert pts[2] == pytest.approx(100.0)

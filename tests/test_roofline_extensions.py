@@ -1,0 +1,80 @@
+"""Tests for the hierarchical (cache-aware) roofline extension."""
+
+import pytest
+
+from repro.kernels import matmul_work
+from repro.roofline import (
+    LevelTraffic,
+    effective_intensity,
+    hierarchical_bound,
+    hierarchical_points,
+    hierarchical_traffic,
+)
+from repro.simulator import hierarchy_for, matmul_trace, stream_trace
+
+
+class TestHierarchicalTraffic:
+    def test_traffic_decreases_down_the_hierarchy_for_cached_kernel(self, cpu):
+        # a small matmul reuses data: L1 traffic >> DRAM traffic
+        trace = matmul_trace(32, "ikj")
+        traffic = {t.level: t.bytes_moved for t in hierarchical_traffic(cpu, trace)}
+        assert traffic["L1"] > traffic["DRAM"]
+
+    def test_streaming_kernel_traffic_flat(self, cpu):
+        # STREAM has no reuse: every level moves roughly the same bytes
+        n = 40000
+        trace = stream_trace(n, "triad")
+        traffic = {t.level: t.bytes_moved for t in hierarchical_traffic(cpu, trace)}
+        assert traffic["DRAM"] == pytest.approx(traffic["L2"], rel=0.35)
+
+    def test_levels_present(self, cpu):
+        traffic = hierarchical_traffic(cpu, stream_trace(1000, "copy"))
+        assert [t.level for t in traffic] == ["L1", "L2", "L3", "DRAM"]
+
+
+class TestHierarchicalPoints:
+    def test_one_point_per_level_with_traffic(self):
+        traffic = [LevelTraffic("L1", 1000.0), LevelTraffic("DRAM", 100.0)]
+        pts = hierarchical_points("k", flops=500.0, traffic=traffic)
+        assert [p.name for p in pts] == ["k@L1", "k@DRAM"]
+        assert pts[1].intensity == 5.0
+
+    def test_zero_traffic_levels_skipped(self):
+        traffic = [LevelTraffic("L1", 1000.0), LevelTraffic("DRAM", 0.0)]
+        pts = hierarchical_points("k", 500.0, traffic)
+        assert len(pts) == 1
+
+
+class TestHierarchicalBound:
+    def test_bound_at_most_peak(self, cpu):
+        trace = matmul_trace(32, "ikj")
+        traffic = hierarchical_traffic(cpu, trace)
+        bound, _ = hierarchical_bound(cpu, matmul_work(32).flops, traffic)
+        assert bound <= cpu.peak_flops()
+
+    def test_binding_level_named(self, cpu):
+        n = 40000
+        trace = stream_trace(n, "triad")
+        traffic = hierarchical_traffic(cpu, trace)
+        bound, level = hierarchical_bound(cpu, 2.0 * n, traffic)
+        assert level in ("L1", "L2", "L3", "DRAM")
+        # streaming: DRAM must be the binding level
+        assert level == "DRAM"
+
+
+class TestEffectiveIntensity:
+    def test_cached_kernel_effective_above_worst_case(self, cpu):
+        trace = matmul_trace(24, "ikj")
+        h = hierarchy_for(cpu, prefetch=True)
+        h.access_trace(trace.addresses, trace.writes)
+        flops = matmul_work(24).flops
+        eff = effective_intensity(flops, h)
+        # effective intensity with reuse beats charging every access to DRAM
+        per_access = flops / (len(trace) * 8)
+        assert eff > per_access
+
+    def test_rejects_zero_flops(self, cpu):
+        h = hierarchy_for(cpu)
+        h.access_trace(stream_trace(100, "copy").addresses)
+        with pytest.raises(ValueError):
+            effective_intensity(0.0, h)

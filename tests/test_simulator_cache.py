@@ -1,0 +1,221 @@
+"""Tests for repro.simulator.cache."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CacheLevel
+from repro.simulator import Cache, MultiLevelCache, amat, hierarchy_for
+
+
+def tiny_level(capacity=512, line=64, ways=2, name="L1", **kw):
+    return CacheLevel(name, capacity, line, ways, **kw)
+
+
+class TestSingleCache:
+    def test_cold_miss_then_hit(self):
+        c = Cache(tiny_level())
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(63) is True   # same line
+        assert c.access(64) is False  # next line
+
+    def test_lru_eviction_order(self):
+        # 2-way set: fill with A, B; touch A; insert C -> B evicted
+        c = Cache(tiny_level())
+        n_sets = c.level.n_sets
+        line = c.level.line_bytes
+        a, b, d = 0, n_sets * line, 2 * n_sets * line  # all map to set 0
+        c.access(a)
+        c.access(b)
+        c.access(a)        # A most recent
+        c.access(d)        # evicts B
+        assert c.contains(a)
+        assert not c.contains(b)
+        assert c.contains(d)
+
+    def test_fifo_ignores_recency(self):
+        c = Cache(tiny_level(), policy="fifo")
+        n_sets = c.level.n_sets
+        line = c.level.line_bytes
+        a, b, d = 0, n_sets * line, 2 * n_sets * line
+        c.access(a)
+        c.access(b)
+        c.access(a)        # recency irrelevant under FIFO
+        c.access(d)        # evicts A (oldest insert)
+        assert not c.contains(a)
+        assert c.contains(b)
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = Cache(tiny_level())
+        n_sets, line = c.level.n_sets, c.level.line_bytes
+        c.access(0, is_write=True)
+        c.access(n_sets * line)
+        c.access(2 * n_sets * line)  # evicts dirty line 0
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache(tiny_level())
+        n_sets, line = c.level.n_sets, c.level.line_bytes
+        for k in range(3):
+            c.access(k * n_sets * line)
+        assert c.stats.evictions == 1
+        assert c.stats.writebacks == 0
+
+    def test_capacity_sweep_thrashes(self):
+        c = Cache(tiny_level(capacity=512, ways=2))
+        # footprint 2x capacity, repeated sweep -> ~100% misses after warmup
+        addrs = [(i * 64) % 1024 for i in range(64)]
+        for a in addrs:
+            c.access(a)
+        assert c.stats.miss_ratio > 0.9
+
+    def test_fits_in_cache_all_hits_after_warmup(self):
+        c = Cache(tiny_level(capacity=512, ways=8))
+        addrs = [(i * 64) % 512 for i in range(80)]
+        for a in addrs:
+            c.access(a)
+        assert c.stats.hits == 80 - 8
+
+    def test_reset(self):
+        c = Cache(tiny_level())
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.occupancy == 0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(tiny_level()).access(-1)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(tiny_level(), policy="mru")
+
+    def test_random_policy_deterministic_by_seed(self):
+        levels = tiny_level(capacity=256, ways=2)
+        rng_addrs = np.random.default_rng(0).integers(0, 4096, 500).tolist()
+        c1 = Cache(levels, policy="random", seed=5)
+        c2 = Cache(levels, policy="random", seed=5)
+        for a in rng_addrs:
+            c1.access(a)
+            c2.access(a)
+        assert c1.stats.misses == c2.stats.misses
+
+
+class TestHierarchy:
+    def make(self, prefetch=False):
+        return MultiLevelCache(
+            (tiny_level(512, name="L1", ways=2),
+             tiny_level(2048, name="L2", ways=4)),
+            prefetch=prefetch)
+
+    def test_miss_fills_all_levels(self):
+        h = self.make()
+        assert h.access(0) == 2  # memory
+        assert h.access(0) == 0  # now L1 hit
+        assert h.memory_accesses == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = self.make()
+        l1 = h.caches[0]
+        n_sets, line = l1.level.n_sets, l1.level.line_bytes
+        conflict = [k * n_sets * line for k in range(3)]
+        for a in conflict:
+            h.access(a)
+        # address 0 evicted from L1 but still in L2
+        assert h.access(0) == 1
+
+    def test_level_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            MultiLevelCache((tiny_level(2048), tiny_level(512)))
+
+    def test_trace_fast_path_equals_slow_path(self, cpu):
+        rng = np.random.default_rng(2)
+        addrs = np.concatenate([
+            rng.integers(0, 100_000, 2000),
+            np.arange(0, 64 * 500, 8),
+        ]).astype(np.int64)
+        writes = rng.random(addrs.size) < 0.25
+        for prefetch in (False, True):
+            fast = hierarchy_for(cpu, prefetch=prefetch)
+            fast.access_trace(addrs, writes)
+            slow = hierarchy_for(cpu, prefetch=prefetch)
+            for a, w in zip(addrs.tolist(), writes.tolist()):
+                slow.access(a, w)
+            assert fast.miss_counts() == slow.miss_counts()
+            assert fast.memory_writebacks == slow.memory_writebacks
+            assert fast.memory_prefetches == slow.memory_prefetches
+            for cf, cs in zip(fast.caches, slow.caches):
+                assert cf.stats == cs.stats
+
+    def test_dram_traffic_accounts_lines(self):
+        h = self.make()
+        h.access_trace(np.arange(0, 64 * 10, 64))
+        assert h.dram_traffic_bytes() == 10 * 64
+
+    def test_writeback_traffic_counted(self):
+        h = self.make()
+        l2 = h.caches[1]
+        stride = l2.level.n_sets * l2.level.line_bytes
+        addrs = np.array([k * stride for k in range(8)], dtype=np.int64)
+        h.access_trace(addrs, np.ones(8, dtype=bool))
+        assert h.memory_writebacks > 0
+        assert h.dram_traffic_bytes() > 8 * 64
+
+    def test_reset_clears_everything(self):
+        h = self.make()
+        h.access_trace(np.arange(0, 6400, 64))
+        h.reset()
+        assert h.total_accesses == 0
+        assert h.memory_accesses == 0
+
+
+class TestPrefetcher:
+    def test_stream_covered(self, cpu):
+        h = hierarchy_for(cpu, prefetch=True)
+        h.access_trace(np.arange(0, 64 * 3000, 8, dtype=np.int64))
+        assert h.caches[0].stats.miss_ratio < 0.01
+        assert h.memory_prefetches > 1000
+
+    def test_stride_covered(self, cpu):
+        h = hierarchy_for(cpu, prefetch=True)
+        h.access_trace(np.arange(0, 256 * 5000, 256, dtype=np.int64))
+        assert h.caches[0].stats.miss_ratio < 0.05
+
+    def test_random_not_covered(self, cpu):
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 1 << 28, 20000).astype(np.int64) & ~7
+        h = hierarchy_for(cpu, prefetch=True)
+        h.access_trace(addrs)
+        assert h.caches[0].stats.miss_ratio > 0.9
+        assert h.memory_prefetches < 0.05 * addrs.size
+
+    def test_prefetch_traffic_charged_to_dram(self, cpu):
+        stream = np.arange(0, 64 * 2000, 8, dtype=np.int64)
+        on = hierarchy_for(cpu, prefetch=True)
+        on.access_trace(stream)
+        off = hierarchy_for(cpu, prefetch=False)
+        off.access_trace(stream)
+        # same unique lines -> comparable total DRAM traffic (within 10%)
+        assert on.dram_traffic_bytes() == pytest.approx(
+            off.dram_traffic_bytes(), rel=0.1)
+
+    def test_prefetch_off_by_default(self, cpu):
+        h = hierarchy_for(cpu)
+        h.access_trace(np.arange(0, 64 * 100, 8, dtype=np.int64))
+        assert h.memory_prefetches == 0
+
+
+class TestAmat:
+    def test_all_l1_hits_equals_l1_latency(self, cpu):
+        h = hierarchy_for(cpu)
+        addrs = np.zeros(100, dtype=np.int64)
+        h.access_trace(addrs)
+        value = amat(h, memory_latency_cycles=200)
+        l1 = cpu.caches[0].latency_cycles
+        # 99 hits at L1 latency, 1 cold miss to memory
+        assert value == pytest.approx((99 * l1 + 200) / 100)
+
+    def test_requires_accesses(self, cpu):
+        with pytest.raises(ValueError):
+            amat(hierarchy_for(cpu), 100)

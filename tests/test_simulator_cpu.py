@@ -1,0 +1,94 @@
+"""Tests for repro.simulator.cpu."""
+
+import pytest
+
+from repro.simulator import (
+    CPUModel,
+    matmul_trace,
+    stream_trace,
+    triad_body,
+    matmul_inner_body,
+    pointer_chase_body,
+    random_access_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def model(cpu, table):
+    return CPUModel(cpu, table)
+
+
+class TestCPUModel:
+    def test_counters_are_consistent(self, model):
+        n = 5000
+        sim = model.run(stream_trace(n, "triad"), triad_body(), iterations=n)
+        c = sim.counters
+        assert c.instructions == 7 * n
+        assert c.flops == 2 * n  # one scalar FMA per iteration
+        assert c.loads == 2 * n
+        assert c.stores == n
+        assert c.cycles > 0
+        assert 0 < c.ipc < 8
+
+    def test_cycles_bracketed(self, model):
+        n = 5000
+        sim = model.run(stream_trace(n, "triad"), triad_body(), iterations=n)
+        assert sim.optimistic_cycles <= sim.counters.cycles <= sim.pessimistic_cycles
+
+    def test_streaming_faster_than_random(self, model, cpu):
+        n = 8000
+        stream_sim = model.run(stream_trace(n, "triad"), triad_body(), n)
+        rand = random_access_trace(3 * n, 64 * cpu.caches[-1].capacity_bytes,
+                                   seed=1)
+        random_sim = model.run(rand, pointer_chase_body(), 3 * n)
+        assert (stream_sim.counters.cycles / n
+                < random_sim.counters.cycles / (3 * n))
+
+    def test_seconds_uses_frequency(self, model, cpu):
+        n = 1000
+        sim = model.run(stream_trace(n, "copy"),
+                        triad_body(), iterations=n)
+        assert sim.seconds == pytest.approx(sim.counters.cycles / cpu.frequency_hz)
+
+    def test_mispredict_rate_inflates_cycles(self, cpu, table):
+        n = 5000
+        trace = stream_trace(n, "triad")
+        good = CPUModel(cpu, table, branch_mispredict_rate=0.0)
+        bad = CPUModel(cpu, table, branch_mispredict_rate=0.3)
+        assert (bad.run(trace, triad_body(), n).counters.cycles
+                > good.run(trace, triad_body(), n).counters.cycles)
+
+    def test_per_run_mispredict_override(self, model):
+        n = 2000
+        trace = stream_trace(n, "triad")
+        base = model.run(trace, triad_body(), n)
+        hot = model.run(trace, triad_body(), n, branch_mispredict_rate=0.5)
+        assert hot.counters.branch_mispredicts > base.counters.branch_mispredicts
+
+    def test_memory_parallelism_reduces_latency_penalty(self, cpu, table):
+        n = 4000
+        trace = random_access_trace(n, 32 * cpu.caches[-1].capacity_bytes, seed=2)
+        blocking = CPUModel(cpu, table, memory_parallelism=1.0)
+        parallel = CPUModel(cpu, table, memory_parallelism=8.0)
+        assert (parallel.run(trace, pointer_chase_body(), n).counters.cycles
+                < blocking.run(trace, pointer_chase_body(), n).counters.cycles)
+
+    def test_vector_flops_scaled_by_lanes(self, model, cpu):
+        n = 1024
+        sim = model.run(stream_trace(n, "triad"), triad_body(vectorized=True),
+                        iterations=n // 4)
+        # vfmadd: 2 flops x 4 lanes per iteration
+        assert sim.counters.flops == pytest.approx(2 * 4 * (n // 4))
+
+    def test_rejects_bad_iterations(self, model):
+        with pytest.raises(ValueError):
+            model.run(stream_trace(8, "copy"), triad_body(), iterations=0)
+
+    def test_matmul_locality_difference_visible_in_cycles(self, cpu, table):
+        n = 48
+        model = CPUModel(cpu, table)
+        body = matmul_inner_body()
+        good = model.run(matmul_trace(n, "ikj"), body, n ** 3)
+        bad = model.run(matmul_trace(n, "jki"), body, n ** 3)
+        assert (good.counters.level_misses["L1"]
+                <= bad.counters.level_misses["L1"])

@@ -1,0 +1,117 @@
+"""Tests for repro.simulator.ports and bodies."""
+
+import pytest
+
+from repro.simulator import (
+    Instr,
+    LoopBody,
+    analyze_loop,
+    daxpy_body,
+    histogram_body,
+    matmul_inner_body,
+    matmul_inner_unrolled,
+    pointer_chase_body,
+    reduction_body,
+    schedule,
+    spmv_inner_body,
+    stencil_body,
+    triad_body,
+)
+
+
+class TestLoopBodyValidation:
+    def test_forward_same_iteration_dep_rejected(self):
+        with pytest.raises(ValueError):
+            LoopBody((Instr("load", deps=((1, 0),)), Instr("add")))
+
+    def test_out_of_range_dep_rejected(self):
+        with pytest.raises(ValueError):
+            LoopBody((Instr("load", deps=((5, 1),)),))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LoopBody((Instr("load", deps=((0, -1),)),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LoopBody(())
+
+    def test_opcode_mix(self):
+        body = triad_body()
+        mix = body.opcode_mix()
+        assert mix["load"] == 2
+        assert mix["store"] == 1
+
+
+class TestBounds:
+    def test_throughput_bound_is_busiest_port(self, table):
+        # 4 independent fmadds over 2 FP ports -> 2 cycles/iteration
+        body = LoopBody(tuple(Instr("fmadd") for _ in range(4)))
+        pa = analyze_loop(body, table)
+        assert pa.throughput_cycles == pytest.approx(2.0)
+
+    def test_latency_bound_from_carried_chain(self, table):
+        pa = analyze_loop(reduction_body(), table)
+        assert pa.latency_cycles == pytest.approx(table.latency("add"))
+        assert pa.bound == "latency"
+
+    def test_pointer_chase_latency_bound(self, table):
+        pa = analyze_loop(pointer_chase_body(), table)
+        assert pa.latency_cycles == pytest.approx(table.latency("load"))
+
+    def test_independent_stream_throughput_bound(self, table):
+        pa = analyze_loop(triad_body(), table)
+        assert pa.bound == "throughput"
+
+    def test_scheduled_between_bounds(self, table):
+        for body in (triad_body(), matmul_inner_body(), spmv_inner_body(),
+                     histogram_body(), stencil_body(), daxpy_body()):
+            pa = analyze_loop(body, table)
+            assert pa.cycles_per_iteration >= pa.throughput_cycles - 1e-9
+            assert pa.cycles_per_iteration >= pa.latency_cycles - 0.5
+
+    def test_schedule_monotone_in_iterations(self, table):
+        body = matmul_inner_body()
+        assert schedule(body, table, 64) > schedule(body, table, 32)
+
+
+class TestUnrolling:
+    def test_unrolling_hides_fma_latency(self, table):
+        base = analyze_loop(matmul_inner_body(), table)
+        unrolled = analyze_loop(matmul_inner_unrolled(8), table)
+        per_elem_base = base.cycles_per_iteration
+        per_elem_unrolled = unrolled.cycles_per_iteration / 8
+        assert per_elem_unrolled < per_elem_base
+        assert base.bound == "latency"
+        assert unrolled.bound == "throughput"
+
+    def test_unrolling_converges_to_port_throughput(self, table):
+        unrolled = analyze_loop(matmul_inner_unrolled(16), table)
+        # 16 fmadds over 2 ports -> 8 cycles... but 32 loads over 2 load
+        # ports -> 16 cycles dominate; either way = throughput bound
+        assert unrolled.cycles_per_iteration == pytest.approx(
+            unrolled.throughput_cycles, rel=0.15)
+
+
+class TestMicroarchSensitivity:
+    def test_narrow_core_slower(self, table, mobile_table):
+        for body in (triad_body(), matmul_inner_body()):
+            fast = analyze_loop(body, table).cycles_per_iteration
+            slow = analyze_loop(body, mobile_table).cycles_per_iteration
+            assert slow > fast
+
+    def test_gather_cost_dominates_spmv_on_mobile(self, mobile_table):
+        pa = analyze_loop(spmv_inner_body(), mobile_table)
+        assert pa.bottleneck_port == "ls"
+
+
+class TestIssueWidth:
+    def test_narrow_issue_slows_schedule(self, table):
+        body = LoopBody(tuple(Instr("iadd") for _ in range(8)))
+        wide = schedule(body, table, 32)
+        narrow = schedule(body, table, 32, issue_width=2)
+        assert narrow > wide
+
+    def test_invalid_issue_width(self, table):
+        with pytest.raises(ValueError):
+            schedule(triad_body(), table, 8, issue_width=0)

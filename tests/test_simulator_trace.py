@@ -1,0 +1,187 @@
+"""Tests for repro.simulator.trace."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import banded_sparse, matmul_work, random_keys, stencil_work
+from repro.simulator import (
+    ArrayLayout,
+    Trace,
+    histogram_trace,
+    matmul_tiled_trace,
+    matmul_trace,
+    random_access_trace,
+    spmv_csr_trace,
+    stencil_trace,
+    stream_trace,
+    strided_trace,
+)
+
+
+class TestTrace:
+    def test_basic_properties(self):
+        t = Trace(np.array([0, 8, 16], dtype=np.int64),
+                  np.array([False, True, False]))
+        assert len(t) == 3
+        assert t.n_reads == 2
+        assert t.n_writes == 1
+
+    def test_footprint_counts_unique_lines(self):
+        t = Trace(np.array([0, 8, 64, 72], dtype=np.int64),
+                  np.zeros(4, dtype=bool))
+        assert t.footprint_bytes(64) == 128
+
+    def test_concat(self):
+        a = Trace(np.array([0], dtype=np.int64), np.array([False]), "a")
+        b = Trace(np.array([8], dtype=np.int64), np.array([True]), "b")
+        c = a.concat(b)
+        assert len(c) == 2 and c.writes.tolist() == [False, True]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([0, 8], dtype=np.int64), np.array([True]))
+
+
+class TestArrayLayout:
+    def test_non_overlapping(self):
+        lay = ArrayLayout()
+        a = lay.alloc("a", 1000)
+        b = lay.alloc("b", 1000)
+        assert b >= a + 1000
+
+    def test_alignment(self):
+        lay = ArrayLayout(alignment=4096)
+        lay.alloc("a", 100)
+        assert lay.alloc("b", 100) % 4096 == 0
+
+    def test_duplicate_rejected(self):
+        lay = ArrayLayout()
+        lay.alloc("a", 10)
+        with pytest.raises(ValueError):
+            lay.alloc("a", 10)
+
+
+class TestMatmulTrace:
+    def test_length_and_mix(self):
+        t = matmul_trace(8, "ijk")
+        assert len(t) == 4 * 8 ** 3
+        assert t.n_writes == 8 ** 3
+
+    def test_footprint_is_three_matrices(self):
+        n = 16
+        t = matmul_trace(n, "ikj")
+        assert t.footprint_bytes(64) == pytest.approx(3 * n * n * 8, rel=0.1)
+
+    def test_orders_permute_same_accesses(self):
+        a = matmul_trace(6, "ijk")
+        b = matmul_trace(6, "kji")
+        assert np.array_equal(np.sort(a.addresses), np.sort(b.addresses))
+
+    def test_tiled_same_multiset_of_accesses(self):
+        a = matmul_trace(8, "ijk")
+        b = matmul_tiled_trace(8, 3)
+        assert np.array_equal(np.sort(a.addresses), np.sort(b.addresses))
+
+    def test_traffic_matches_work_model_footprint(self):
+        n = 12
+        t = matmul_trace(n, "ijk")
+        w = matmul_work(n)
+        # compulsory traffic = unique bytes touched = loads in the work model
+        assert t.footprint_bytes(8) * 1.0 == w.loads_bytes
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            matmul_trace(4, "abc")
+
+
+class TestStreamTrace:
+    @pytest.mark.parametrize("kernel,per_iter", [
+        ("copy", 2), ("scale", 2), ("add", 3), ("triad", 3)])
+    def test_lengths(self, kernel, per_iter):
+        t = stream_trace(100, kernel)
+        assert len(t) == per_iter * 100
+        assert t.n_writes == 100
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            stream_trace(10, "fma")
+
+
+class TestStencilTrace:
+    def test_interior_only(self):
+        n = 10
+        t = stencil_trace(n)
+        assert len(t) == 5 * (n - 2) ** 2
+
+    def test_tiled_permutes_accesses(self):
+        plain = stencil_trace(12)
+        tiled = stencil_trace(12, tile=4)
+        assert np.array_equal(np.sort(plain.addresses), np.sort(tiled.addresses))
+
+    def test_write_count_matches_work(self):
+        t = stencil_trace(10, 12)
+        assert t.n_writes == stencil_work(10, 12).stores_bytes / 8
+
+
+class TestHistogramTrace:
+    def test_three_refs_per_key(self):
+        keys = random_keys(100, 16, seed=0)
+        t = histogram_trace(keys, 16)
+        assert len(t) == 300
+        assert t.n_writes == 100
+
+    def test_data_dependence_visible(self):
+        # sorted keys touch counts monotonically; uniform keys jump around
+        n, bins = 2000, 512
+        sorted_t = histogram_trace(random_keys(n, bins, seed=1, distribution="sorted"), bins)
+        uniform_t = histogram_trace(random_keys(n, bins, seed=1), bins)
+        jumps_sorted = np.abs(np.diff(sorted_t.addresses[1::3])).sum()
+        jumps_uniform = np.abs(np.diff(uniform_t.addresses[1::3])).sum()
+        assert jumps_uniform > 10 * jumps_sorted
+
+    def test_out_of_range_keys_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_trace(np.array([4], dtype=np.int64), 3)
+
+
+class TestSpmvTrace:
+    def test_length(self):
+        coo = banded_sparse(30, 2, seed=2)
+        t = spmv_csr_trace(coo)
+        assert len(t) == 3 * coo.nnz + 30
+        assert t.n_writes == 30
+
+    def test_bandwidth_improves_locality(self, cpu):
+        from repro.simulator import hierarchy_for
+
+        # x must exceed L1 for structure to matter: n=6000 -> 48 KiB
+        n = 6000
+        narrow = spmv_csr_trace(banded_sparse(n, 8, seed=3))
+        wide = spmv_csr_trace(
+            banded_sparse(n, n - 1, fill=17 / (2 * n), seed=3))
+        h1 = hierarchy_for(cpu)
+        h1.access_trace(narrow.addresses, narrow.writes)
+        h2 = hierarchy_for(cpu)
+        h2.access_trace(wide.addresses, wide.writes)
+        # x-gather locality: banded matrix misses less per nonzero
+        assert (h1.caches[0].stats.miss_ratio
+                < h2.caches[0].stats.miss_ratio)
+
+
+class TestSyntheticTraces:
+    def test_strided_wraps(self):
+        t = strided_trace(100, 256, 1024)
+        assert t.addresses.max() < 1024
+
+    def test_random_within_footprint(self):
+        t = random_access_trace(1000, 4096, seed=1)
+        assert t.addresses.max() < 4096
+        assert t.addresses.min() >= 0
+
+    def test_write_fraction(self):
+        t = random_access_trace(1000, 4096, seed=1, write_fraction=0.5)
+        assert 0.4 < t.n_writes / len(t) < 0.6
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            strided_trace(10, 64, 32)

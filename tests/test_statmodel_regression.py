@@ -1,0 +1,162 @@
+"""Tests for repro.statmodel.regression."""
+
+import numpy as np
+import pytest
+
+from repro.statmodel import (
+    DecisionTreeRegressor,
+    KNNRegressor,
+    LinearRegressor,
+    PolynomialRegressor,
+    RandomForestRegressor,
+    r_squared,
+)
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(1)
+    X = rng.random((150, 3))
+    y = 2.0 + 3.0 * X[:, 0] - 1.5 * X[:, 2] + 0.01 * rng.standard_normal(150)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def nonlinear_data():
+    rng = np.random.default_rng(2)
+    X = rng.random((200, 2)) * 4 - 2
+    y = np.sin(X[:, 0] * 2) + X[:, 1] ** 2 + 0.05 * rng.standard_normal(200)
+    return X, y
+
+
+class TestLinear:
+    def test_recovers_coefficients(self, linear_data):
+        X, y = linear_data
+        model = LinearRegressor().fit(X, y)
+        assert model.intercept == pytest.approx(2.0, abs=0.05)
+        assert model.coefficients[0] == pytest.approx(3.0, abs=0.05)
+        assert model.coefficients[1] == pytest.approx(0.0, abs=0.05)
+        assert model.coefficients[2] == pytest.approx(-1.5, abs=0.05)
+
+    def test_ridge_shrinks_coefficients(self, linear_data):
+        X, y = linear_data
+        plain = LinearRegressor().fit(X, y)
+        ridge = LinearRegressor(ridge=100.0).fit(X, y)
+        assert (np.abs(ridge.coefficients).sum()
+                < np.abs(plain.coefficients).sum())
+
+    def test_constant_feature_handled(self):
+        X = np.column_stack([np.ones(20), np.arange(20.0)])
+        y = 2 * np.arange(20.0) + 1
+        model = LinearRegressor().fit(X, y)
+        assert r_squared(y, model.predict(X)) > 0.999
+
+    def test_explain_readable(self, linear_data):
+        X, y = linear_data
+        model = LinearRegressor().fit(X, y)
+        text = model.explain(["a", "b", "c"])
+        assert text.startswith("y = ") and "*a" in text
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressor().predict(np.zeros((1, 2)))
+
+    def test_wrong_width_rejected(self, linear_data):
+        X, y = linear_data
+        model = LinearRegressor().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegressor().fit(np.array([[np.nan]]), np.array([1.0]))
+
+
+class TestPolynomial:
+    def test_fits_quadratic_exactly(self):
+        X = np.linspace(-2, 2, 50).reshape(-1, 1)
+        y = 1 + 2 * X[:, 0] + 3 * X[:, 0] ** 2
+        model = PolynomialRegressor(degree=2).fit(X, y)
+        assert r_squared(y, model.predict(X)) > 0.9999
+
+    def test_captures_interaction(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((100, 2))
+        y = X[:, 0] * X[:, 1]
+        model = PolynomialRegressor(degree=2).fit(X, y)
+        assert r_squared(y, model.predict(X)) > 0.999
+
+    def test_beats_linear_on_nonlinear(self, nonlinear_data):
+        X, y = nonlinear_data
+        lin = LinearRegressor().fit(X, y)
+        poly = PolynomialRegressor(degree=3).fit(X, y)
+        assert (r_squared(y, poly.predict(X))
+                > r_squared(y, lin.predict(X)))
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            PolynomialRegressor(degree=0)
+
+
+class TestKNN:
+    def test_interpolates_training_points(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        y = X[:, 0] * 2
+        model = KNNRegressor(k=1).fit(X, y)
+        assert np.allclose(model.predict(X), y)
+
+    def test_k_larger_than_data_clamped(self):
+        X = np.arange(3.0).reshape(-1, 1)
+        y = np.array([1.0, 2.0, 3.0])
+        model = KNNRegressor(k=10).fit(X, y)
+        assert model.predict(np.array([[1.0]]))[0] == pytest.approx(2.0)
+
+    def test_standardization_matters(self):
+        # one feature with huge scale must not drown the informative one
+        rng = np.random.default_rng(4)
+        X = np.column_stack([rng.random(100), rng.random(100) * 1e6])
+        y = X[:, 0]  # only the small-scale feature matters... but distance
+        model = KNNRegressor(k=3).fit(X, y)
+        pred = model.predict(X)
+        assert r_squared(y, pred) > 0.5
+
+
+class TestTreeAndForest:
+    def test_tree_fits_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        model = DecisionTreeRegressor(max_depth=2, min_samples_leaf=1).fit(X, y)
+        assert r_squared(y, model.predict(X)) > 0.99
+
+    def test_tree_depth_respected(self):
+        X = np.random.default_rng(5).random((200, 2))
+        y = X[:, 0] + X[:, 1]
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert model.depth() <= 3
+
+    def test_tree_constant_target_single_leaf(self):
+        X = np.random.default_rng(6).random((20, 2))
+        model = DecisionTreeRegressor().fit(X, np.full(20, 7.0))
+        assert model.depth() == 0
+        assert np.allclose(model.predict(X), 7.0)
+
+    def test_forest_beats_single_tree_on_nonlinear(self, nonlinear_data):
+        X, y = nonlinear_data
+        rng = np.random.default_rng(7)
+        idx = rng.permutation(len(y))
+        train, test = idx[:150], idx[150:]
+        tree = DecisionTreeRegressor(max_depth=4, seed=0).fit(X[train], y[train])
+        forest = RandomForestRegressor(n_trees=30, max_depth=6, seed=0).fit(
+            X[train], y[train])
+        assert (r_squared(y[test], forest.predict(X[test]))
+                >= r_squared(y[test], tree.predict(X[test])) - 0.02)
+
+    def test_forest_deterministic_by_seed(self, nonlinear_data):
+        X, y = nonlinear_data
+        a = RandomForestRegressor(n_trees=5, seed=9).fit(X, y).predict(X[:10])
+        b = RandomForestRegressor(n_trees=5, seed=9).fit(X, y).predict(X[:10])
+        assert np.array_equal(a, b)
+
+    def test_forest_rejects_zero_trees(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)

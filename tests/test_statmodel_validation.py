@@ -1,0 +1,149 @@
+"""Tests for repro.statmodel validation, features, comparison."""
+
+import numpy as np
+import pytest
+
+from repro.statmodel import (
+    FeaturePipeline,
+    LinearRegressor,
+    ModelEntry,
+    compare_models,
+    cross_validate,
+    dataset_from_dicts,
+    learning_curve,
+    mape,
+    matmul_feature_pipeline,
+    r_squared,
+    rmse,
+    spmv_feature_pipeline,
+    train_test_split,
+)
+
+
+class TestMetrics:
+    def test_mape(self):
+        assert mape(np.array([1.0, 2.0]), np.array([1.1, 1.8])) == pytest.approx(0.1)
+
+    def test_mape_rejects_zero_truth(self):
+        with pytest.raises(ValueError):
+            mape(np.array([0.0]), np.array([1.0]))
+
+    def test_rmse(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5))
+
+    def test_r_squared_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_r_squared_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+
+class TestSplitAndCV:
+    def test_split_partitions(self):
+        X = np.arange(40.0).reshape(-1, 2)
+        y = np.arange(20.0)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.25, seed=0)
+        assert len(yte) == 5 and len(ytr) == 15
+        assert sorted(np.concatenate([ytr, yte]).tolist()) == y.tolist()
+
+    def test_split_deterministic(self):
+        X = np.arange(20.0).reshape(-1, 1)
+        y = np.arange(20.0)
+        a = train_test_split(X, y, seed=3)[3]
+        b = train_test_split(X, y, seed=3)[3]
+        assert np.array_equal(a, b)
+
+    def test_cv_runs_all_folds(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((60, 2))
+        y = X @ np.array([1.0, 2.0]) + 0.01 * rng.standard_normal(60)
+        result = cross_validate(lambda: LinearRegressor(), X, y, folds=5)
+        assert len(result.fold_mape) == 5
+        assert result.mean_mape < 0.1
+
+    def test_cv_rejects_too_many_folds(self):
+        X = np.zeros((3, 1))
+        with pytest.raises(ValueError):
+            cross_validate(lambda: LinearRegressor(), X, np.ones(3), folds=10)
+
+    def test_learning_curve_improves_with_data(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((300, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 1.0 + 0.2 * rng.standard_normal(300)
+        curve = learning_curve(lambda: LinearRegressor(), X, y,
+                               train_sizes=[5, 50, 200], seed=2)
+        assert curve[200] <= curve[5]
+
+
+class TestFeatures:
+    def test_pipeline_transform(self):
+        pipe = (FeaturePipeline()
+                .add("n", lambda d: d["n"])
+                .add("n2", lambda d: d["n"] ** 2))
+        X = pipe.transform([{"n": 3.0}, {"n": 4.0}])
+        assert X.tolist() == [[3.0, 9.0], [4.0, 16.0]]
+
+    def test_duplicate_feature_rejected(self):
+        pipe = FeaturePipeline().add("n", lambda d: d["n"])
+        with pytest.raises(ValueError):
+            pipe.add("n", lambda d: d["n"])
+
+    def test_non_finite_rejected(self):
+        pipe = FeaturePipeline().add("bad", lambda d: float("inf"))
+        with pytest.raises(ValueError):
+            pipe.transform([{}])
+
+    def test_spmv_pipeline_consumes_matrix_features(self):
+        from repro.kernels import matrix_features, random_sparse
+
+        feats = matrix_features(random_sparse(50, density=0.05, seed=1))
+        X = spmv_feature_pipeline().transform([feats])
+        assert X.shape == (1, 8)
+        assert np.all(np.isfinite(X))
+
+    def test_matmul_pipeline_n3(self):
+        X = matmul_feature_pipeline().transform([{"n": 10}])
+        assert X[0, 2] == 1000.0
+
+    def test_dataset_builder(self):
+        pipe = matmul_feature_pipeline()
+        X, y = dataset_from_dicts([{"n": 2}, {"n": 4}], [1e-3, 8e-3], pipe)
+        assert X.shape == (2, 4)
+        assert y.tolist() == [1e-3, 8e-3]
+
+    def test_dataset_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError):
+            dataset_from_dicts([{"n": 2}], [0.0], matmul_feature_pipeline())
+
+
+class TestComparison:
+    def test_ranks_models(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((50, 1))
+        y = 3 * X[:, 0] + 1
+        good = ModelEntry("good", lambda X: 3 * X[:, 0] + 1, "analytical", "y=3x+1")
+        bad = ModelEntry("bad", lambda X: np.full(X.shape[0], y.mean()),
+                         "statistical")
+        result = compare_models([good, bad], X, y)
+        assert result.best("mape") == "good"
+        assert result.best("r2") == "good"
+        assert "y=3x+1" in result.report()
+
+    def test_by_name(self):
+        X = np.ones((3, 1))
+        y = np.ones(3)
+        entry = ModelEntry("m", lambda X: np.ones(X.shape[0]), "analytical")
+        result = compare_models([entry], X, y)
+        assert result.by_name("m")["mape"] == 0.0
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ModelEntry("m", lambda X: X, "magical")
+
+    def test_shape_mismatch_rejected(self):
+        entry = ModelEntry("m", lambda X: np.ones(99), "analytical")
+        with pytest.raises(ValueError):
+            compare_models([entry], np.ones((3, 1)), np.ones(3))

@@ -1,0 +1,98 @@
+"""Tests for variant comparison and significance testing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    ComparisonTable,
+    compare_variants,
+    significantly_faster,
+)
+
+
+class TestSignificance:
+    def test_clear_separation_detected(self):
+        fast = [1.0, 1.01, 0.99, 1.02, 0.98]
+        slow = [2.0, 2.01, 1.99, 2.02, 1.98]
+        assert significantly_faster(fast, slow)
+        assert not significantly_faster(slow, fast)
+
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(1.0, 0.1, 20).tolist()
+        b = rng.normal(1.0, 0.1, 20).tolist()
+        assert not significantly_faster(a, b)
+
+    def test_small_samples_conservative(self):
+        assert not significantly_faster([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])
+
+    def test_overlapping_noise_rejected(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(1.00, 0.5, 6).tolist()
+        b = (rng.normal(1.02, 0.5, 6)).tolist()
+        # a 2% difference buried in 50% noise must not count as a win
+        assert not significantly_faster([abs(x) for x in a],
+                                        [abs(x) for x in b])
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            significantly_faster([1.0] * 5, [2.0] * 5, alpha=1.5)
+
+
+class TestCompareVariants:
+    def test_ranks_and_flags(self):
+        table = compare_variants({
+            "base": lambda: time.sleep(0.003),
+            "opt": lambda: time.sleep(0.001),
+        }, baseline="base", repetitions=6, warmup=1)
+        assert table.best().name == "opt"
+        assert [r.name for r in table.winners()] == ["opt"]
+        opt = next(r for r in table.results if r.name == "opt")
+        assert opt.speedup_vs_baseline > 2.0
+
+    def test_baseline_has_unit_speedup(self):
+        table = compare_variants({
+            "base": lambda: time.sleep(0.001),
+            "other": lambda: time.sleep(0.001),
+        }, baseline="base", repetitions=5, warmup=0)
+        base = next(r for r in table.results if r.name == "base")
+        assert base.speedup_vs_baseline == 1.0
+
+    def test_equal_variants_produce_no_meaningful_winner(self):
+        # identical workloads: any "winner" from timer jitter must be a
+        # hair's breadth, never a real speedup
+        table = compare_variants({
+            "a": lambda: time.sleep(0.002),
+            "b": lambda: time.sleep(0.002),
+        }, baseline="a", repetitions=6, warmup=1)
+        for r in table.winners():
+            assert r.speedup_vs_baseline < 1.1
+
+    def test_report_marks_baseline(self):
+        table = compare_variants({
+            "a": lambda: None,
+            "b": lambda: None,
+        }, baseline="a", repetitions=4, warmup=0)
+        assert "(baseline)" in table.report()
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError):
+            compare_variants({"a": lambda: None, "b": lambda: None},
+                             baseline="c")
+
+    def test_needs_two_variants(self):
+        with pytest.raises(ValueError):
+            compare_variants({"a": lambda: None}, baseline="a")
+
+    def test_on_real_kernels(self):
+        from repro.kernels import life_step_numpy, life_step_scalar, random_board
+
+        board = random_board(48, seed=1)
+        table = compare_variants({
+            "scalar": lambda: life_step_scalar(board),
+            "numpy": lambda: life_step_numpy(board),
+        }, baseline="scalar", repetitions=5, warmup=1)
+        assert table.best().name == "numpy"
+        assert table.winners()[0].name == "numpy"

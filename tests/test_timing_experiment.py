@@ -1,0 +1,92 @@
+"""Tests for repro.timing.experiment."""
+
+import pytest
+
+from repro.timing import (
+    Factor,
+    full_factorial,
+    one_factor_at_a_time,
+    run_design,
+)
+
+
+class TestFactor:
+    def test_rejects_duplicate_levels(self):
+        with pytest.raises(ValueError):
+            Factor("n", (1, 1, 2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Factor("n", ())
+
+
+class TestFullFactorial:
+    def test_cross_product_size(self):
+        d = full_factorial([Factor("a", (1, 2, 3)), Factor("b", ("x", "y"))])
+        assert len(d) == 6
+
+    def test_all_combinations_present(self):
+        d = full_factorial([Factor("a", (1, 2)), Factor("b", (10, 20))])
+        combos = {(p["a"], p["b"]) for p in d}
+        assert combos == {(1, 10), (1, 20), (2, 10), (2, 20)}
+
+    def test_duplicate_factor_names_rejected(self):
+        with pytest.raises(ValueError):
+            full_factorial([Factor("a", (1,)), Factor("a", (2,))])
+
+
+class TestOneFactorAtATime:
+    def test_size_is_sum_not_product(self):
+        base = {"a": 1, "b": 10}
+        d = one_factor_at_a_time(base, [Factor("a", (1, 2, 3)), Factor("b", (10, 20))])
+        # baseline + 2 new a-levels + 1 new b-level
+        assert len(d) == 4
+
+    def test_baseline_must_cover_factors(self):
+        with pytest.raises(ValueError):
+            one_factor_at_a_time({"a": 1}, [Factor("b", (1, 2))])
+
+    def test_no_duplicate_points(self):
+        base = {"a": 1}
+        d = one_factor_at_a_time(base, [Factor("a", (1, 2))])
+        keys = [tuple(sorted(p.items())) for p in d]
+        assert len(keys) == len(set(keys))
+
+
+class TestRunDesign:
+    def test_replication_and_table_shape(self):
+        d = full_factorial([Factor("n", (10, 20))])
+        table = run_design(d, lambda n: float(n), replicates=3)
+        assert len(table) == 2
+        assert all(len(obs.values) == 3 for obs in table.observations)
+
+    def test_seed_injection(self):
+        d = full_factorial([Factor("n", (1,))])
+        seen = []
+        run_design(d, lambda n, seed: seen.append(seed) or 1.0,
+                   replicates=3, seed=100)
+        assert seen == [100, 101, 102]
+
+    def test_to_arrays_numeric(self):
+        d = full_factorial([Factor("n", (10, 20)), Factor("m", (1, 2))])
+        table = run_design(d, lambda n, m: float(n * m), replicates=1)
+        X, y, enc = table.to_arrays()
+        assert X.shape == (4, 2)
+        assert y.shape == (4,)
+        assert enc == {}
+
+    def test_to_arrays_label_encoding(self):
+        d = full_factorial([Factor("kind", ("csr", "coo"))])
+        table = run_design(d, lambda kind: 1.0 if kind == "csr" else 2.0,
+                           replicates=1)
+        X, y, enc = table.to_arrays()
+        assert "kind" in enc
+        assert set(enc["kind"].values()) == {0, 1}
+
+    def test_rows_flat_export(self):
+        d = full_factorial([Factor("n", (5,))])
+        table = run_design(d, lambda n: 2.0, replicates=2)
+        rows = table.rows()
+        assert rows[0]["n"] == 5  # the factor, not the sample count
+        assert rows[0]["mean"] == pytest.approx(2.0)
+        assert rows[0]["n_samples"] == 2

@@ -1,0 +1,92 @@
+"""Tests for repro.timing.metrics."""
+
+import pytest
+
+from repro.timing import (
+    WorkCount,
+    arithmetic_intensity,
+    bandwidth,
+    cpi,
+    flops_rate,
+    ipc,
+    karp_flatt,
+    parallel_efficiency,
+    scaled_efficiency,
+    time_from_rate,
+)
+
+
+class TestWorkCount:
+    def test_totals_and_intensity(self):
+        w = WorkCount(flops=100, loads_bytes=40, stores_bytes=10)
+        assert w.bytes_total == 50
+        assert w.intensity == 2.0
+
+    def test_traffic_free_work_has_infinite_intensity(self):
+        assert WorkCount(flops=10).intensity == float("inf")
+
+    def test_addition(self):
+        a = WorkCount(1, 2, 3, 4)
+        b = WorkCount(10, 20, 30, 40)
+        c = a + b
+        assert (c.flops, c.loads_bytes, c.stores_bytes, c.int_ops) == (11, 22, 33, 44)
+
+    def test_scale(self):
+        w = WorkCount(2, 4, 6).scale(3)
+        assert (w.flops, w.loads_bytes, w.stores_bytes) == (6, 12, 18)
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WorkCount(1).scale(-1)
+
+    def test_rejects_negative_fields(self):
+        with pytest.raises(ValueError):
+            WorkCount(flops=-1)
+
+
+class TestRates:
+    def test_flops_rate(self):
+        assert flops_rate(1e9, 0.5) == 2e9
+
+    def test_bandwidth(self):
+        assert bandwidth(100, 2) == 50
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            flops_rate(1, 0)
+
+    def test_arithmetic_intensity(self):
+        assert arithmetic_intensity(100, 50) == 2.0
+
+    def test_time_from_rate_inverts(self):
+        assert time_from_rate(1e9, 2e9) == 0.5
+
+
+class TestParallelMetrics:
+    def test_efficiency(self):
+        assert parallel_efficiency(8.0, 16) == 0.5
+
+    def test_scaled_efficiency(self):
+        assert scaled_efficiency(1.0, 1.25) == 0.8
+
+    def test_karp_flatt_recovers_serial_fraction(self):
+        # S from Amdahl with s=0.1, p=8: karp-flatt must return exactly 0.1
+        s = 0.1
+        p = 8
+        speedup = 1.0 / (s + (1 - s) / p)
+        assert karp_flatt(speedup, p) == pytest.approx(s)
+
+    def test_karp_flatt_needs_two_workers(self):
+        with pytest.raises(ValueError):
+            karp_flatt(1.0, 1)
+
+
+class TestCpiIpc:
+    def test_cpi_ipc_reciprocal(self):
+        assert cpi(100, 50) == 2.0
+        assert ipc(100, 50) == 0.5
+        assert cpi(10, 4) == pytest.approx(1.0 / ipc(10, 4))
+
+    def test_cpi_rejects_zero_instructions(self):
+        with pytest.raises(ValueError):
+            cpi(10, 0)

@@ -1,0 +1,145 @@
+"""Tests for repro.timing.stats."""
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    arithmetic_mean,
+    bootstrap_ci,
+    coefficient_of_variation,
+    confidence_interval,
+    geometric_mean,
+    harmonic_mean,
+    mad_outlier_mask,
+    percent_of_peak,
+    reject_outliers,
+    relative_error,
+    speedup,
+    summarize,
+)
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_harmonic_equals_total_work_over_total_time(self):
+        # two runs of 100 units of work at rates 50 and 100 -> 2s + 1s
+        rates = [50.0, 100.0]
+        assert harmonic_mean(rates) == pytest.approx(200.0 / 3.0)
+
+    def test_harmonic_below_arithmetic(self):
+        data = [10.0, 20.0, 90.0]
+        assert harmonic_mean(data) < arithmetic_mean(data)
+
+    def test_geometric_of_reciprocal_ratios_is_symmetric(self):
+        # geomean(x) * geomean(1/x) == 1 -- the property that makes it the
+        # right mean for normalized speedups
+        ratios = [2.0, 0.5, 3.0, 1.0 / 3.0]
+        assert geometric_mean(ratios) == pytest.approx(1.0)
+
+    def test_harmonic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([1.0, float("nan")])
+
+
+class TestConfidenceIntervals:
+    def test_interval_contains_mean(self):
+        data = [1.0, 1.1, 0.9, 1.05, 0.95]
+        lo, hi = confidence_interval(data)
+        assert lo <= arithmetic_mean(data) <= hi
+
+    def test_single_sample_degenerates(self):
+        assert confidence_interval([3.0]) == (3.0, 3.0)
+
+    def test_zero_variance_degenerates(self):
+        assert confidence_interval([2.0, 2.0, 2.0]) == (2.0, 2.0)
+
+    def test_higher_confidence_is_wider(self):
+        data = [1.0, 1.2, 0.8, 1.1, 0.9, 1.05]
+        lo95, hi95 = confidence_interval(data, 0.95)
+        lo99, hi99 = confidence_interval(data, 0.99)
+        assert hi99 - lo99 > hi95 - lo95
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_bootstrap_brackets_median(self):
+        rng = np.random.default_rng(0)
+        data = rng.lognormal(0, 0.3, 200)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo <= float(np.median(data)) <= hi
+
+    def test_bootstrap_deterministic_given_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(data, seed=7) == bootstrap_ci(data, seed=7)
+
+
+class TestOutliers:
+    def test_flags_obvious_outlier(self):
+        data = [1.0, 1.01, 0.99, 1.02, 50.0]
+        mask = mad_outlier_mask(data)
+        assert mask.tolist() == [False, False, False, False, True]
+
+    def test_no_outliers_in_uniform_data(self):
+        assert not mad_outlier_mask([1.0, 1.0, 1.0, 1.0]).any()
+
+    def test_reject_keeps_clean_points(self):
+        data = [1.0, 1.01, 0.99, 100.0]
+        kept = reject_outliers(data)
+        assert len(kept) == 3
+        assert 100.0 not in kept
+
+    def test_never_rejects_everything(self):
+        kept = reject_outliers([1.0, 2.0])
+        assert len(kept) >= 1
+
+
+class TestDerived:
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_speedup_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_relative_error_signed(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.9, 1.0) == pytest.approx(-0.1)
+
+    def test_percent_of_peak(self):
+        assert percent_of_peak(50.0, 100.0) == 50.0
+
+    def test_cv_scale_free(self):
+        data = [1.0, 1.5, 2.0]
+        assert coefficient_of_variation(data) == pytest.approx(
+            coefficient_of_variation([10.0, 15.0, 20.0]))
+
+
+class TestSummarize:
+    def test_counts_outliers_but_reports_raw_extremes(self):
+        data = [1.0, 1.05, 0.95, 1.0, 30.0]
+        s = summarize(data)
+        assert s.n == 5
+        assert s.n_outliers == 1
+        assert s.max == 30.0
+        assert s.mean < 2.0  # outlier excluded from mean
+
+    def test_without_outlier_rejection(self):
+        data = [1.0, 1.0, 1.0, 30.0]
+        s = summarize(data, drop_outliers=False)
+        assert s.n_outliers == 0
+        assert s.mean > 5.0

@@ -1,0 +1,91 @@
+"""Tests for repro.timing.timers."""
+
+import time
+
+import pytest
+
+from repro.timing import (
+    Timer,
+    measure,
+    measure_until_stable,
+    steady_state_index,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_nested_timers_independent(self):
+        with Timer() as outer:
+            with Timer() as inner:
+                time.sleep(0.005)
+        assert outer.elapsed >= inner.elapsed
+
+
+class TestMeasure:
+    def test_runs_requested_repetitions(self):
+        calls = []
+        result = measure(lambda: calls.append(1), repetitions=5, warmup=2)
+        assert len(calls) == 7
+        assert len(result.times) == 5
+        assert len(result.warmup_times) == 2
+
+    def test_rate_uses_total_time(self):
+        result = measure(lambda: time.sleep(0.002), repetitions=3, warmup=0)
+        rate = result.rate(work=100.0)
+        assert rate == pytest.approx(300.0 / sum(result.times))
+
+    def test_best_is_minimum(self):
+        result = measure(lambda: None, repetitions=5, warmup=0)
+        assert result.best == min(result.times)
+
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repetitions=0)
+
+    def test_rate_rejects_nonpositive_work(self):
+        result = measure(lambda: None, repetitions=2, warmup=0)
+        with pytest.raises(ValueError):
+            result.rate(0)
+
+
+class TestMeasureUntilStable:
+    def test_stops_quickly_for_stable_fn(self):
+        result = measure_until_stable(lambda: time.sleep(0.001),
+                                      cv_threshold=0.5, batch=3,
+                                      max_repetitions=30)
+        assert result.stable
+        assert len(result.times) <= 30
+
+    def test_respects_budget(self):
+        result = measure_until_stable(lambda: None, cv_threshold=1e-12,
+                                      batch=2, max_repetitions=6)
+        assert len(result.times) <= 6
+
+    def test_rejects_tiny_batch(self):
+        with pytest.raises(ValueError):
+            measure_until_stable(lambda: None, batch=1)
+
+
+class TestSteadyState:
+    def test_detects_warmup_transient(self):
+        times = [10.0, 5.0, 1.0, 1.01, 0.99, 1.0, 1.0]
+        idx = steady_state_index(times)
+        assert idx == 2
+
+    def test_immediately_steady(self):
+        assert steady_state_index([1.0, 1.0, 1.0, 1.0]) == 0
+
+    def test_never_steady_returns_length(self):
+        times = [float(2 ** i) for i in range(8)]
+        assert steady_state_index(times, window=3, tolerance=0.01) == 8
+
+    def test_window_longer_than_series(self):
+        assert steady_state_index([1.0, 1.0], window=5) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            steady_state_index([])
