@@ -1,0 +1,82 @@
+"""Auto-tuner harness overhead: cached vs cold search cost.
+
+The tuning subsystem's pitch is that the cache makes revisits free: a
+repeated search over the same space must cost bookkeeping only, never a
+measurement.  This bench quantifies both sides on a real kernel objective —
+
+* COLD: grid search over matmul-tiled's L1-admissible tile axis, every
+  configuration actually timed;
+* CACHED: the identical search against the warm shared cache (zero new
+  measurements);
+
+and prints the ratio, the per-hit overhead, and the tuning history the
+cached run replays.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.kernels import REGISTRY, random_matrices
+from repro.timing import Timer
+from repro.tuning import (
+    EvaluationHarness,
+    GridSearch,
+    space_for,
+    tiles_fit_cache,
+    timed_objective,
+)
+
+N = 32
+
+
+def _space(cpu):
+    variant = REGISTRY.get("matmul", "tiled")
+    return space_for(variant, constraints=[tiles_fit_cache(
+        cpu.cache("L1").capacity_bytes)])
+
+
+def _objective():
+    variant = REGISTRY.get("matmul", "tiled")
+    return timed_objective(variant.fn, lambda cfg: random_matrices(N),
+                           warmup=0, repetitions=1)
+
+
+def _search(space, objective, cache):
+    harness = EvaluationHarness(objective, kernel="matmul.tiled",
+                                problem=f"n={N}", cache=cache)
+    return GridSearch().run(space, harness)
+
+
+def test_bench_tuning_cold_vs_cached(benchmark, cpu):
+    space = _space(cpu)
+    objective = _objective()
+    cache = {}
+
+    with Timer() as cold:
+        first = _search(space, objective, cache)
+
+    # the timed region: the whole search with every config already cached
+    second = benchmark.pedantic(_search, args=(space, objective, cache),
+                                rounds=3, iterations=1)
+
+    assert first.measurements == space.size()
+    assert second.measurements == 0
+    assert second.cache_hits == space.size()
+    assert second.best_config == first.best_config
+
+    cached_seconds = benchmark.stats.stats.min
+    speedup = cold.elapsed / cached_seconds
+    per_hit = cached_seconds / space.size()
+    emit("tuning harness: cached vs cold grid search (matmul.tiled, n=%d)" % N,
+         "\n".join([
+             f"  space               : {space.size()} L1-admissible tile(s)",
+             f"  cold search         : {cold.elapsed:10.4e}s "
+             f"({first.measurements} measurements)",
+             f"  cached search       : {cached_seconds:10.4e}s "
+             f"({second.cache_hits} hits, 0 measurements)",
+             f"  speedup             : {speedup:10.1f}x",
+             f"  overhead per hit    : {per_hit:10.4e}s",
+             "",
+             second.report(),
+         ]))
+    assert speedup > 10  # cache hits must be orders cheaper than measuring

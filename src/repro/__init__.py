@@ -21,6 +21,7 @@ Sub-packages map to the course topics (Table 1 of the paper):
 ``repro.distributed``   network models, collectives, mini-MPI, scaling
 ``repro.queueing``      queueing theory + discrete-event validation
 ``repro.polyhedral``    iteration domains, dependences, legal transforms
+``repro.tuning``        search-based kernel auto-tuning (stage 5, automated)
 ``repro.course``        the paper's own artifacts: data, grading, figures
 ======================  =====================================================
 
@@ -40,8 +41,19 @@ from .core import (
     Stage,
     Toolbox,
 )
+from .tuning import (
+    Budget,
+    CoordinateDescent,
+    GridSearch,
+    RandomSearch,
+    SearchSpace,
+    SimulatedAnnealing,
+    TuningResult,
+    tune,
+    tune_variant,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Toolbox",
@@ -51,5 +63,15 @@ __all__ = [
     "Metric",
     "Feasibility",
     "ProcessError",
+    # auto-tuning (stage 5)
+    "SearchSpace",
+    "Budget",
+    "GridSearch",
+    "RandomSearch",
+    "CoordinateDescent",
+    "SimulatedAnnealing",
+    "TuningResult",
+    "tune",
+    "tune_variant",
     "__version__",
 ]

@@ -4,7 +4,7 @@ Importing this package populates :data:`repro.kernels.REGISTRY` with every
 variant; examples and benchmarks discover kernels through it.
 """
 
-from .base import REGISTRY, KernelRegistry, KernelVariant, register
+from .base import REGISTRY, KernelRegistry, KernelVariant, TunableParam, register
 from .fft import (
     bit_reverse_permutation,
     dft_direct,
@@ -91,6 +91,7 @@ __all__ = [
     "REGISTRY",
     "KernelRegistry",
     "KernelVariant",
+    "TunableParam",
     "register",
     # matmul
     "LOOP_ORDERS",

@@ -20,7 +20,47 @@ from typing import Callable
 
 from ..timing.metrics import WorkCount
 
-__all__ = ["KernelVariant", "KernelRegistry", "REGISTRY", "register"]
+__all__ = ["TunableParam", "KernelVariant", "KernelRegistry", "REGISTRY", "register"]
+
+
+@dataclass(frozen=True)
+class TunableParam:
+    """Declared tunable knob of a kernel variant.
+
+    Pure metadata — the auto-tuner (:mod:`repro.tuning`) converts these
+    into search-space parameters via ``space_for``.  ``kind`` selects the
+    axis shape:
+
+    * ``"int"``   — integers ``low..high`` with stride ``step``;
+    * ``"pow2"``  — powers of two in ``[low, high]``;
+    * ``"choice"``— the explicit ``choices`` tuple.
+    """
+
+    name: str
+    kind: str
+    default: object
+    low: int | None = None
+    high: int | None = None
+    step: int = 1
+    choices: tuple = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tunable needs a name")
+        if self.kind not in ("int", "pow2", "choice"):
+            raise ValueError(f"{self.name}: unknown tunable kind {self.kind!r}")
+        if self.kind == "choice":
+            if not self.choices:
+                raise ValueError(f"{self.name}: choice tunable needs choices")
+            if self.default not in self.choices:
+                raise ValueError(f"{self.name}: default {self.default!r} not a choice")
+        else:
+            if self.low is None or self.high is None:
+                raise ValueError(f"{self.name}: {self.kind} tunable needs low and high")
+            if not self.low <= self.default <= self.high:
+                raise ValueError(
+                    f"{self.name}: default {self.default} outside [{self.low}, {self.high}]")
 
 
 @dataclass(frozen=True)
@@ -44,6 +84,9 @@ class KernelVariant:
     technique:
         Optimization technique demonstrated (``"loop-reordering"``,
         ``"tiling"``, ``"vectorization"``, ...) or ``"baseline"``.
+    tunables:
+        Declared tunable keyword parameters of ``fn`` (empty for variants
+        with nothing to tune); consumed by :mod:`repro.tuning`.
     """
 
     kernel: str
@@ -52,10 +95,25 @@ class KernelVariant:
     work: Callable[..., WorkCount]
     description: str = ""
     technique: str = "baseline"
+    tunables: tuple[TunableParam, ...] = ()
 
     @property
     def qualified_name(self) -> str:
         return f"{self.kernel}.{self.name}"
+
+    @property
+    def is_tunable(self) -> bool:
+        return bool(self.tunables)
+
+    def tunable(self, name: str) -> TunableParam:
+        for t in self.tunables:
+            if t.name == name:
+                return t
+        raise KeyError(f"{self.qualified_name} has no tunable {name!r}")
+
+    def default_config(self) -> dict:
+        """Default value of every declared tunable."""
+        return {t.name: t.default for t in self.tunables}
 
 
 class KernelRegistry:
@@ -87,6 +145,11 @@ class KernelRegistry:
     def kernels(self) -> list[str]:
         return sorted({v.kernel for v in self._variants.values()})
 
+    def tunable_variants(self, kernel: str | None = None) -> list[KernelVariant]:
+        """Variants declaring at least one tunable, optionally per family."""
+        return [v for v in self._variants.values()
+                if v.is_tunable and (kernel is None or v.kernel == kernel)]
+
     def __len__(self) -> int:
         return len(self._variants)
 
@@ -104,6 +167,7 @@ def register(
     work: Callable[..., WorkCount],
     description: str = "",
     technique: str = "baseline",
+    tunables: tuple[TunableParam, ...] = (),
 ):
     """Decorator registering a function as a kernel variant."""
 
@@ -116,6 +180,7 @@ def register(
                 work=work,
                 description=description,
                 technique=technique,
+                tunables=tuple(tunables),
             )
         )
         return fn

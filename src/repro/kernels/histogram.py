@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..timing.metrics import WorkCount
-from .base import register
+from .base import TunableParam, register
 
 __all__ = [
     "histogram_work",
@@ -120,7 +120,9 @@ def histogram_numpy(keys: np.ndarray, bins: int) -> np.ndarray:
 
 @register("histogram", "privatized", histogram_work,
           "chunk-private histograms merged at the end (parallel reduction shape)",
-          technique="privatization")
+          technique="privatization",
+          tunables=(TunableParam("chunks", "int", 4, low=1, high=16,
+                                 description="number of private partial histograms"),))
 def histogram_privatized(keys: np.ndarray, bins: int, chunks: int = 4) -> np.ndarray:
     """Privatized histogram: one partial histogram per chunk, then a merge.
 

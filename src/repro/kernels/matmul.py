@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..timing.metrics import WorkCount
-from .base import register
+from .base import TunableParam, register
 
 __all__ = [
     "LOOP_ORDERS",
@@ -155,7 +155,9 @@ matmul_kji = register("matmul", "kji", matmul_work,
 
 
 @register("matmul", "tiled", matmul_work,
-          "scalar loop blocked into cache-sized tiles", technique="tiling")
+          "scalar loop blocked into cache-sized tiles", technique="tiling",
+          tunables=(TunableParam("tile", "pow2", 32, low=4, high=256,
+                                 description="square tile edge (elements)"),))
 def matmul_tiled(a: np.ndarray, b: np.ndarray, c: np.ndarray, tile: int = 32) -> np.ndarray:
     """Cache-blocked scalar matmul with square tiles of edge ``tile``.
 
@@ -192,7 +194,9 @@ def matmul_numpy(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
 
 @register("matmul", "parallel", matmul_work,
           "row-block parallel matmul over a real thread pool",
-          technique="parallelization")
+          technique="parallelization",
+          tunables=(TunableParam("workers", "int", 2, low=1, high=8,
+                                 description="thread-pool size"),))
 def matmul_parallel(a: np.ndarray, b: np.ndarray, c: np.ndarray,
                     workers: int = 2) -> np.ndarray:
     """``C += A @ B`` with row blocks distributed over real threads.
@@ -223,7 +227,9 @@ def matmul_parallel(a: np.ndarray, b: np.ndarray, c: np.ndarray,
 
 @register("matmul", "blocked_numpy", matmul_work,
           "tile loop with NumPy inner kernels — tiling at a coarser grain",
-          technique="tiling")
+          technique="tiling",
+          tunables=(TunableParam("tile", "pow2", 128, low=16, high=512,
+                                 description="square tile edge (elements)"),))
 def matmul_blocked_numpy(a: np.ndarray, b: np.ndarray, c: np.ndarray,
                          tile: int = 128) -> np.ndarray:
     """Blocked matmul whose inner tile product uses NumPy.

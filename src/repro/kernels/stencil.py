@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..timing.metrics import WorkCount
-from .base import register
+from .base import TunableParam, register
 
 __all__ = [
     "stencil_work",
@@ -114,7 +114,9 @@ def jacobi_step_inplace(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
 
 
 @register("stencil", "blocked", stencil_work,
-          "spatially tiled Jacobi sweep (numpy inner blocks)", technique="tiling")
+          "spatially tiled Jacobi sweep (numpy inner blocks)", technique="tiling",
+          tunables=(TunableParam("tile", "pow2", 64, low=16, high=512,
+                                 description="square spatial tile edge"),))
 def jacobi_step_blocked(src: np.ndarray, dst: np.ndarray, tile: int = 64) -> np.ndarray:
     """Jacobi sweep over square spatial tiles.
 

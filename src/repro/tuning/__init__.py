@@ -1,0 +1,119 @@
+"""Search-based kernel auto-tuning — stage 5 (TUNING) of §2.3, automated.
+
+The paper's seven-stage process names its fifth stage *tuning*: apply the
+proposed optimization and tune its parameters until the measured time
+matches (or refutes) the model's prediction.  The course curriculum lists
+"Code tuning and optimization" as a core topic, but by hand that stage is
+a notebook sweep — unrecorded, unreproducible, and over-measured.  This
+subsystem makes it an explicit, budgeted, cached, seeded artifact:
+
+==============================  ==========================================
+:mod:`repro.tuning.space`       declarative search spaces: integer /
+                                power-of-two / choice parameters plus
+                                cross-parameter constraints from machine
+                                specs (e.g. "3·tile² elements fit in L1")
+:mod:`repro.tuning.strategies`  exhaustive grid, seeded random, greedy
+                                coordinate descent, simulated annealing —
+                                deterministic under a seed
+:mod:`repro.tuning.harness`     budgeted evaluation (eval-count and
+                                wall-clock caps), memoizing cache keyed on
+                                (kernel, problem, config), JSON-persistable
+                                :class:`TuningResult` histories
+:mod:`repro.tuning.guidance`    Roofline/analytical predictions rank or
+                                prune configs before measuring; per-config
+                                measured-vs-predicted error reports
+:mod:`repro.tuning.tune`        ``tune()`` / ``tune_variant()`` entry
+                                points; winners land on an
+                                :class:`~repro.core.process.EngineeringProcess`
+                                as stage-5 attempts
+==============================  ==========================================
+
+Quickstart — tune a registered kernel's tile size::
+
+    from repro.kernels import REGISTRY, random_matrices
+    from repro.tuning import Budget, CoordinateDescent, tune_variant
+
+    variant = REGISTRY.get("matmul", "tiled")
+    result = tune_variant(
+        variant,
+        setup=lambda cfg: random_matrices(96),
+        strategy=CoordinateDescent(),
+        budget=Budget(max_evaluations=30),
+    )
+    print(result.report())         # best tile + full search history
+"""
+
+from .guidance import (
+    GuidedSearch,
+    ModelGuide,
+    PredictionError,
+    guidance_report,
+    prediction_errors,
+    prune_by_prediction,
+    rank_by_prediction,
+    roofline_guide,
+)
+from .harness import (
+    Budget,
+    BudgetExhausted,
+    Evaluation,
+    EvaluationHarness,
+    TuningResult,
+    timed_objective,
+)
+from .space import (
+    ChoiceParam,
+    Constraint,
+    IntegerParam,
+    Parameter,
+    PowerOfTwoParam,
+    SearchSpace,
+    config_key,
+    tiles_fit_cache,
+)
+from .strategies import (
+    CoordinateDescent,
+    GridSearch,
+    RandomSearch,
+    SearchStrategy,
+    SimulatedAnnealing,
+)
+from .tune import space_for, tune, tune_variant
+
+__all__ = [
+    # space
+    "Parameter",
+    "IntegerParam",
+    "PowerOfTwoParam",
+    "ChoiceParam",
+    "Constraint",
+    "SearchSpace",
+    "tiles_fit_cache",
+    "config_key",
+    # harness
+    "Budget",
+    "BudgetExhausted",
+    "Evaluation",
+    "EvaluationHarness",
+    "TuningResult",
+    "timed_objective",
+    # strategies
+    "SearchStrategy",
+    "GridSearch",
+    "RandomSearch",
+    "CoordinateDescent",
+    "SimulatedAnnealing",
+    # guidance
+    "ModelGuide",
+    "roofline_guide",
+    "rank_by_prediction",
+    "prune_by_prediction",
+    "GuidedSearch",
+    "PredictionError",
+    "prediction_errors",
+    "guidance_report",
+    # entry points
+    "space_for",
+    "tune",
+    "tune_variant",
+]

@@ -1,0 +1,175 @@
+"""Model-guided pruning and ranking for the auto-tuner.
+
+The paper's stage-3 lesson — model *before* you measure — applies inside
+the tuning loop too: an analytical or Roofline prediction is free, a
+measurement is not.  This module lets any ``config -> predicted seconds``
+model steer the search:
+
+* :class:`ModelGuide` — a named predictor; :func:`roofline_guide` builds
+  one from a :class:`~repro.roofline.model.RooflineModel` plus a
+  config-dependent work model (the prediction is the Roofline bound
+  ``flops / attainable(intensity)``).
+* :func:`rank_by_prediction` / :func:`prune_by_prediction` — order a
+  configuration list by predicted time, or keep only the most promising
+  prefix, before any measurement happens.
+* :class:`GuidedSearch` — a strategy that measures the top-``keep``
+  predicted configurations in predicted order; with a tight budget this is
+  "spend measurements where the model says it matters".
+* :func:`guidance_report` — the measured-vs-predicted error table for a
+  finished search, closing the loop: a guide whose ranking disagrees with
+  the measurements is itself a finding worth reporting (stage 7).
+
+A guide attached to an :class:`~repro.tuning.harness.EvaluationHarness`
+(via ``predict=guide.predict``) stamps its prediction onto every
+:class:`~repro.tuning.harness.Evaluation`, so the error analysis needs no
+extra bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..roofline.model import RooflineModel
+from ..timing.metrics import WorkCount
+from .harness import EvaluationHarness, TuningResult
+from .space import SearchSpace
+from .strategies import SearchStrategy
+
+__all__ = [
+    "ModelGuide",
+    "roofline_guide",
+    "rank_by_prediction",
+    "prune_by_prediction",
+    "GuidedSearch",
+    "PredictionError",
+    "prediction_errors",
+    "guidance_report",
+]
+
+
+@dataclass(frozen=True)
+class ModelGuide:
+    """A named performance model ``config -> predicted seconds``."""
+
+    name: str
+    predict_fn: Callable[[Mapping[str, object]], float]
+
+    def predict(self, config: Mapping[str, object]) -> float:
+        seconds = float(self.predict_fn(dict(config)))
+        if seconds <= 0:
+            raise ValueError(
+                f"guide {self.name!r} predicted non-positive time for {config}")
+        return seconds
+
+
+def roofline_guide(roofline: RooflineModel,
+                   work: Callable[[Mapping[str, object]], WorkCount],
+                   name: str | None = None) -> ModelGuide:
+    """Guide predicting the Roofline *bound* for each configuration.
+
+    ``work(config)`` maps a configuration to its :class:`WorkCount` —
+    tunables that change the algorithm (loop order, variant) change the
+    work model; tunables that only change the schedule (tile size) may
+    return a constant.  The prediction is optimistic by construction
+    (it is a bound), so expect positive prediction errors on slow configs;
+    the *ranking* is what guides the search.
+    """
+
+    def predict(config: Mapping[str, object]) -> float:
+        w = work(config)
+        return w.flops / roofline.attainable(w.intensity)
+
+    return ModelGuide(name or f"roofline:{roofline.name}", predict)
+
+
+def rank_by_prediction(guide: ModelGuide,
+                       configs: Iterable[Mapping[str, object]]) -> list[dict]:
+    """Configurations sorted by predicted time, fastest first.
+
+    The sort is stable: configurations the model cannot distinguish keep
+    their input (enumeration) order, so ranking stays deterministic.
+    """
+    return [dict(c) for c in sorted(configs, key=lambda c: guide.predict(c))]
+
+
+def prune_by_prediction(guide: ModelGuide,
+                        configs: Iterable[Mapping[str, object]],
+                        keep: int | float) -> list[dict]:
+    """Keep the best-predicted prefix: a count (int) or a fraction (float).
+
+    ``keep=0.25`` keeps the top quarter (at least one); ``keep=10`` keeps
+    the top ten.  Skipped configurations cost nothing — that is the point.
+    """
+    ranked = rank_by_prediction(guide, configs)
+    if isinstance(keep, bool) or not isinstance(keep, (int, float)):
+        raise ValueError("keep must be an int count or a float fraction")
+    if isinstance(keep, float):
+        if not 0 < keep <= 1:
+            raise ValueError("fractional keep must be in (0, 1]")
+        n = max(1, int(round(keep * len(ranked))))
+    else:
+        if keep < 1:
+            raise ValueError("integer keep must be positive")
+        n = keep
+    return ranked[:n]
+
+
+class GuidedSearch(SearchStrategy):
+    """Measure the ``keep`` best-predicted configurations, best first.
+
+    Model-guided pruning as a strategy: the guide ranks the whole space for
+    free, the budget is spent only on the promising prefix.  Wrap the same
+    guide into the harness (``predict=guide.predict``) to get per-config
+    measured-vs-predicted errors in the history.
+    """
+
+    name = "guided"
+
+    def __init__(self, guide: ModelGuide, keep: int | float = 0.25):
+        self.guide = guide
+        self.keep = keep
+
+    def _search(self, space: SearchSpace, harness: EvaluationHarness) -> None:
+        for config in prune_by_prediction(self.guide, space.configs(), self.keep):
+            harness.evaluate(config)
+
+
+@dataclass(frozen=True)
+class PredictionError:
+    """Measured-vs-predicted outcome for one evaluated configuration."""
+
+    config: Mapping[str, object]
+    predicted_seconds: float
+    measured_seconds: float
+
+    @property
+    def error(self) -> float:
+        """(predicted - measured)/measured; negative means model too slow."""
+        return (self.predicted_seconds - self.measured_seconds) / self.measured_seconds
+
+
+def prediction_errors(result: TuningResult) -> list[PredictionError]:
+    """Per-configuration errors for every cold evaluation with a prediction."""
+    return [
+        PredictionError(dict(e.config), e.predicted_seconds, e.seconds)
+        for e in result.history
+        if not e.cached and e.predicted_seconds is not None
+    ]
+
+
+def guidance_report(result: TuningResult) -> str:
+    """Plain-text measured-vs-predicted table (stage-7 material)."""
+    errors = prediction_errors(result)
+    if not errors:
+        return f"guidance report: no model predictions recorded for {result.kernel}"
+    lines = [
+        f"Guidance report: {result.kernel} [{result.problem}] via {result.strategy}",
+        f"  {'predicted':>12s} {'measured':>12s} {'error':>8s}  config",
+    ]
+    for pe in errors:
+        lines.append(f"  {pe.predicted_seconds:12.4e} {pe.measured_seconds:12.4e} "
+                     f"{pe.error:+8.0%}  {dict(sorted(pe.config.items()))}")
+    mean_abs = sum(abs(pe.error) for pe in errors) / len(errors)
+    lines.append(f"  mean |error| over {len(errors)} config(s): {mean_abs:.0%}")
+    return "\n".join(lines)

@@ -1,0 +1,292 @@
+"""Budgeted, memoizing evaluation harness for the auto-tuner.
+
+The harness is the only component that ever *measures*: strategies ask it
+to evaluate configurations and it enforces the tuning discipline —
+
+* every cold evaluation goes through the measurement methodology of
+  :mod:`repro.timing` (warmup + repetitions) when timing a real kernel;
+* an explicit :class:`Budget` caps both the number of cold evaluations and
+  the wall-clock spent, raising :class:`BudgetExhausted` so strategies stop
+  cleanly mid-search;
+* a memoizing cache keyed on ``(kernel, problem, config)`` makes revisited
+  configurations free — a repeated search over the same space performs zero
+  new measurements;
+* everything is recorded: the :class:`TuningResult` history is the stage-7
+  artifact, JSON-persistable and byte-identical across runs for a
+  deterministic objective and seed.
+
+The *objective* is any callable mapping a configuration dict to a positive
+number (smaller is better; seconds by convention).  Use
+:func:`timed_objective` to build one from a real kernel with proper
+warmup/repetition, or pass an analytical/simulated model directly for
+deterministic searches.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, MutableMapping
+
+from ..timing.timers import measure
+from .space import config_key
+
+__all__ = [
+    "BudgetExhausted",
+    "Budget",
+    "Evaluation",
+    "TuningResult",
+    "EvaluationHarness",
+    "timed_objective",
+]
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised by the harness when a cold evaluation would exceed the budget."""
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Limits on a tuning run.
+
+    Attributes
+    ----------
+    max_evaluations:
+        Maximum number of *cold* (measured) evaluations; cache hits are
+        free.  ``None`` leaves the count unbounded.
+    max_seconds:
+        Wall-clock ceiling for the whole search, checked before each cold
+        evaluation.  ``None`` leaves time unbounded.
+    """
+
+    max_evaluations: int | None = None
+    max_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_evaluations is not None and self.max_evaluations < 1:
+            raise ValueError("max_evaluations must be positive")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+        if self.max_evaluations is None and self.max_seconds is None:
+            raise ValueError("budget must bound evaluations or time (or both)")
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One harness call: a configuration and what it cost.
+
+    ``cached`` evaluations repeat a configuration already measured this
+    search (or found in a shared cache) and consumed no budget.
+    """
+
+    index: int
+    config: Mapping[str, object]
+    seconds: float
+    predicted_seconds: float | None = None
+    cached: bool = False
+
+    def prediction_error(self) -> float | None:
+        """(predicted - measured)/measured, when a model guided this eval."""
+        if self.predicted_seconds is None:
+            return None
+        return (self.predicted_seconds - self.seconds) / self.seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "config": dict(sorted(self.config.items())),
+            "seconds": self.seconds,
+            "predicted_seconds": self.predicted_seconds,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "Evaluation":
+        return cls(index=int(d["index"]), config=dict(d["config"]),
+                   seconds=float(d["seconds"]),
+                   predicted_seconds=(None if d.get("predicted_seconds") is None
+                                      else float(d["predicted_seconds"])),
+                   cached=bool(d.get("cached", False)))
+
+
+@dataclass
+class TuningResult:
+    """The complete record of one search — the documentation artifact.
+
+    History preserves evaluation order (including cache hits), so two runs
+    with the same seed over the same deterministic objective serialize to
+    byte-identical JSON.
+    """
+
+    kernel: str
+    problem: str
+    strategy: str
+    history: list[Evaluation] = field(default_factory=list)
+
+    # -- outcomes -----------------------------------------------------------
+
+    @property
+    def best(self) -> Evaluation:
+        if not self.history:
+            raise ValueError("empty tuning history")
+        return min(self.history, key=lambda e: e.seconds)
+
+    @property
+    def best_config(self) -> dict:
+        return dict(self.best.config)
+
+    @property
+    def best_seconds(self) -> float:
+        return self.best.seconds
+
+    @property
+    def measurements(self) -> int:
+        """Cold (budget-consuming) evaluations."""
+        return sum(1 for e in self.history if not e.cached)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.history if e.cached)
+
+    # -- persistence --------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, fixed separators) — diff-stable."""
+        doc = {
+            "kernel": self.kernel,
+            "problem": self.problem,
+            "strategy": self.strategy,
+            "history": [e.to_dict() for e in self.history],
+        }
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningResult":
+        doc = json.loads(text)
+        return cls(kernel=doc["kernel"], problem=doc["problem"],
+                   strategy=doc["strategy"],
+                   history=[Evaluation.from_dict(e) for e in doc["history"]])
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self) -> str:
+        """Plain-text summary table of the search."""
+        lines = [
+            f"Tuning result: {self.kernel} [{self.problem}] via {self.strategy}",
+            f"  {self.measurements} measurement(s), {self.cache_hits} cache hit(s)",
+        ]
+        if self.history:
+            best = self.best
+            lines.append(f"  best {best.seconds:.4e}s at {dict(sorted(best.config.items()))}")
+            lines.append(f"  {'#':>4s} {'seconds':>12s} {'predicted':>12s} "
+                         f"{'err':>7s} {'hit':>4s}  config")
+            for e in self.history:
+                pred = (f"{e.predicted_seconds:12.4e}"
+                        if e.predicted_seconds is not None else "         n/a")
+                err = e.prediction_error()
+                err_s = f"{err:+7.0%}" if err is not None else "    n/a"
+                hit = "yes" if e.cached else "   "
+                lines.append(f"  {e.index:4d} {e.seconds:12.4e} {pred} {err_s} {hit:>4s}"
+                             f"  {dict(sorted(e.config.items()))}")
+        return "\n".join(lines)
+
+
+class EvaluationHarness:
+    """Evaluate configurations under a budget, memoizing every result.
+
+    Parameters
+    ----------
+    objective:
+        ``config dict -> positive seconds`` (lower is better).
+    kernel, problem:
+        Cache-key namespace: results for the same configuration of a
+        different kernel or problem size never collide.
+    budget:
+        The :class:`Budget` to enforce; ``None`` means unbounded.
+    cache:
+        Optional externally-owned mapping shared between harnesses (and
+        thus between searches); defaults to a private dict.
+    predict:
+        Optional model ``config -> predicted seconds`` attached to every
+        evaluation for measured-vs-predicted reporting
+        (see :mod:`repro.tuning.guidance`).
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(self, objective: Callable[[Mapping[str, object]], float],
+                 kernel: str = "objective", problem: str = "",
+                 budget: Budget | None = None,
+                 cache: MutableMapping[tuple, float] | None = None,
+                 predict: Callable[[Mapping[str, object]], float] | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.objective = objective
+        self.kernel = kernel
+        self.problem = problem
+        self.budget = budget
+        self.cache = cache if cache is not None else {}
+        self.predict = predict
+        self._clock = clock
+        self._started: float | None = None
+        self.history: list[Evaluation] = []
+        self.measurements = 0
+
+    # -- core ---------------------------------------------------------------
+
+    def _key(self, config: Mapping[str, object]) -> tuple:
+        return (self.kernel, self.problem, config_key(config))
+
+    def evaluate(self, config: Mapping[str, object]) -> float:
+        """Measure ``config`` (or recall it), record it, return seconds."""
+        if self._started is None:
+            self._started = self._clock()
+        key = self._key(config)
+        predicted = self.predict(config) if self.predict is not None else None
+        if key in self.cache:
+            seconds = self.cache[key]
+            self.history.append(Evaluation(len(self.history), dict(config),
+                                           seconds, predicted, cached=True))
+            return seconds
+        if self.budget is not None:
+            if (self.budget.max_evaluations is not None
+                    and self.measurements >= self.budget.max_evaluations):
+                raise BudgetExhausted(
+                    f"evaluation budget of {self.budget.max_evaluations} spent")
+            if (self.budget.max_seconds is not None
+                    and self._clock() - self._started >= self.budget.max_seconds):
+                raise BudgetExhausted(
+                    f"wall-clock budget of {self.budget.max_seconds}s spent")
+        seconds = float(self.objective(dict(config)))
+        if seconds <= 0:
+            raise ValueError(f"objective must be positive, got {seconds} for {config}")
+        self.measurements += 1
+        self.cache[key] = seconds
+        self.history.append(Evaluation(len(self.history), dict(config),
+                                       seconds, predicted, cached=False))
+        return seconds
+
+    def result(self, strategy: str = "?") -> TuningResult:
+        """Freeze the history into a :class:`TuningResult`."""
+        return TuningResult(kernel=self.kernel, problem=self.problem,
+                            strategy=strategy, history=list(self.history))
+
+
+def timed_objective(fn: Callable, setup: Callable[[Mapping[str, object]], tuple],
+                    warmup: int = 1, repetitions: int = 3) -> Callable:
+    """Build an objective that times ``fn`` with proper methodology.
+
+    ``setup(config)`` returns the positional arguments for the timed calls
+    (invoked once per evaluation, outside the timed region); the
+    configuration itself is splatted as keyword arguments.  The objective
+    returns the *best* repetition (closest to noise-free hardware time, per
+    :attr:`repro.timing.timers.MeasurementResult.best`).
+    """
+
+    def objective(config: Mapping[str, object]) -> float:
+        args = setup(config)
+        res = measure(lambda: fn(*args, **config),
+                      repetitions=repetitions, warmup=warmup)
+        return res.best
+
+    return objective

@@ -1,0 +1,305 @@
+"""Declarative search spaces for kernel auto-tuning.
+
+A tuning run searches over *configurations*: assignments of values to named
+tunable parameters (tile sizes, worker counts, variant choices).  This
+module describes that space declaratively so that every strategy in
+:mod:`repro.tuning.strategies` — and the cache in
+:mod:`repro.tuning.harness` — sees the same deterministic enumeration:
+
+* :class:`IntegerParam` — an inclusive integer range with a stride;
+* :class:`PowerOfTwoParam` — powers of two between two bounds, the natural
+  axis for tile/block sizes;
+* :class:`ChoiceParam` — an explicit, ordered set of values (variant names,
+  schedules, ...);
+* :class:`Constraint` — a cross-parameter predicate such as "three tiles
+  must fit in L1" (:func:`tiles_fit_cache`), pruning configurations that a
+  machine model already rules out.
+
+The space exposes exactly the hooks the strategies need: full enumeration
+(grid), seeded sampling (random search, annealing starts), single-parameter
+axes (coordinate descent), and adjacent neighbours (annealing moves).  All
+orderings are deterministic — same space, same iteration order, every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "IntegerParam",
+    "PowerOfTwoParam",
+    "ChoiceParam",
+    "Constraint",
+    "SearchSpace",
+    "tiles_fit_cache",
+    "config_key",
+]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """Base class: a named, ordered, finite axis of the search space."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter needs a name")
+
+    def values(self) -> tuple:
+        """Ordered candidate values; subclasses must override."""
+        raise NotImplementedError
+
+    @property
+    def default(self):
+        """Default value; subclasses may override."""
+        return self.values()[0]
+
+    def __len__(self) -> int:
+        return len(self.values())
+
+    def index_of(self, value) -> int:
+        """Position of ``value`` on this axis (ValueError when absent)."""
+        vals = self.values()
+        try:
+            return vals.index(value)
+        except ValueError:
+            raise ValueError(
+                f"parameter {self.name!r}: {value!r} not among {vals}") from None
+
+
+@dataclass(frozen=True)
+class IntegerParam(Parameter):
+    """Inclusive integer range ``low..high`` with stride ``step``."""
+
+    low: int = 1
+    high: int = 1
+    step: int = 1
+    default_value: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.low > self.high:
+            raise ValueError(f"{self.name}: low {self.low} exceeds high {self.high}")
+        if self.step < 1:
+            raise ValueError(f"{self.name}: step must be positive")
+        if self.default_value is not None and self.default_value not in self.values():
+            raise ValueError(f"{self.name}: default {self.default_value} not in range")
+
+    def values(self) -> tuple:
+        return tuple(range(self.low, self.high + 1, self.step))
+
+    @property
+    def default(self) -> int:
+        return self.default_value if self.default_value is not None else self.low
+
+
+@dataclass(frozen=True)
+class PowerOfTwoParam(Parameter):
+    """Powers of two in ``[low, high]`` — tile/block/worker axes."""
+
+    low: int = 1
+    high: int = 1
+    default_value: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for bound, label in ((self.low, "low"), (self.high, "high")):
+            if bound < 1 or bound & (bound - 1):
+                raise ValueError(f"{self.name}: {label} must be a positive power of two")
+        if self.low > self.high:
+            raise ValueError(f"{self.name}: low {self.low} exceeds high {self.high}")
+        if self.default_value is not None and self.default_value not in self.values():
+            raise ValueError(f"{self.name}: default {self.default_value} not a "
+                             f"power of two in range")
+
+    def values(self) -> tuple:
+        out = []
+        v = self.low
+        while v <= self.high:
+            out.append(v)
+            v *= 2
+        return tuple(out)
+
+    @property
+    def default(self) -> int:
+        return self.default_value if self.default_value is not None else self.low
+
+
+@dataclass(frozen=True)
+class ChoiceParam(Parameter):
+    """Explicit ordered candidate values (variant names, schedules, ...)."""
+
+    choices: tuple = ()
+    default_value: object = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.choices:
+            raise ValueError(f"{self.name}: needs at least one choice")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"{self.name}: duplicate choices")
+        if self.default_value is not None and self.default_value not in self.choices:
+            raise ValueError(f"{self.name}: default {self.default_value!r} not a choice")
+
+    def values(self) -> tuple:
+        return self.choices
+
+    @property
+    def default(self):
+        return self.default_value if self.default_value is not None else self.choices[0]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A cross-parameter validity predicate with a human-readable reason.
+
+    ``predicate`` receives the full configuration mapping and returns
+    whether it is admissible.  Constraints encode machine knowledge — e.g.
+    a tile working set bounded by a cache capacity from
+    :class:`repro.machine.specs.CPUSpec` — so the search never measures
+    configurations a model already rejects.
+    """
+
+    description: str
+    predicate: Callable[[Mapping[str, object]], bool]
+
+    def __call__(self, config: Mapping[str, object]) -> bool:
+        return bool(self.predicate(config))
+
+
+def tiles_fit_cache(capacity_bytes: float, param: str = "tile",
+                    arrays: int = 3, dtype_bytes: int = 8) -> Constraint:
+    """Constraint: ``arrays · tile² · dtype_bytes ≤ capacity_bytes``.
+
+    The classic blocked-matmul admissibility condition (three ``tile×tile``
+    operand blocks resident at once); pass ``machine.cache("L1")
+    .capacity_bytes`` or an L2 capacity for coarser blocking.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("cache capacity must be positive")
+
+    def pred(config: Mapping[str, object]) -> bool:
+        tile = int(config[param])
+        return arrays * tile * tile * dtype_bytes <= capacity_bytes
+
+    return Constraint(
+        f"{arrays}*{param}^2*{dtype_bytes}B <= {capacity_bytes:g}B", pred)
+
+
+def config_key(config: Mapping[str, object]) -> tuple:
+    """Canonical hashable identity of a configuration (sorted items)."""
+    return tuple(sorted(config.items(), key=lambda kv: kv[0]))
+
+
+class SearchSpace:
+    """A finite product of parameter axes filtered by constraints.
+
+    Iteration order is deterministic: the cross product enumerates the
+    *last* parameter fastest (odometer order), exactly like
+    :func:`repro.timing.experiment.full_factorial`.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter],
+                 constraints: Sequence[Constraint] = ()):
+        if not parameters:
+            raise ValueError("search space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names: {names}")
+        self.parameters = tuple(parameters)
+        self.constraints = tuple(constraints)
+        if not any(True for _ in self.configs()):
+            raise ValueError("constraints leave no valid configuration")
+
+    # -- queries ------------------------------------------------------------
+
+    def parameter(self, name: str) -> Parameter:
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise KeyError(f"no parameter {name!r}; known: {[p.name for p in self.parameters]}")
+
+    def is_valid(self, config: Mapping[str, object]) -> bool:
+        """Is ``config`` on-axis for every parameter and constraint-clean?"""
+        if sorted(config) != sorted(p.name for p in self.parameters):
+            return False
+        for p in self.parameters:
+            if config[p.name] not in p.values():
+                return False
+        return all(c(config) for c in self.constraints)
+
+    def configs(self) -> Iterator[dict]:
+        """All valid configurations in deterministic odometer order."""
+        import itertools
+
+        axes = [p.values() for p in self.parameters]
+        names = [p.name for p in self.parameters]
+        for combo in itertools.product(*axes):
+            cfg = dict(zip(names, combo))
+            if all(c(cfg) for c in self.constraints):
+                yield cfg
+
+    def size(self) -> int:
+        """Number of valid configurations (enumerates once)."""
+        return sum(1 for _ in self.configs())
+
+    def default_config(self) -> dict:
+        """Per-parameter defaults, repaired to the nearest valid config.
+
+        When constraints reject the raw defaults the first valid
+        configuration in enumeration order is returned instead.
+        """
+        cfg = {p.name: p.default for p in self.parameters}
+        if self.is_valid(cfg):
+            return cfg
+        return next(iter(self.configs()))
+
+    # -- strategy hooks -----------------------------------------------------
+
+    def sample(self, rng: np.random.Generator, max_tries: int = 1000) -> dict:
+        """One valid configuration drawn uniformly per axis (rejection)."""
+        for _ in range(max_tries):
+            cfg = {p.name: p.values()[int(rng.integers(len(p)))]
+                   for p in self.parameters}
+            if all(c(cfg) for c in self.constraints):
+                return cfg
+        raise RuntimeError(
+            f"could not sample a valid configuration in {max_tries} tries; "
+            "constraints may be too tight")
+
+    def axis(self, config: Mapping[str, object], name: str) -> list[dict]:
+        """Valid configs varying ``name`` over its axis, others fixed.
+
+        The coordinate-descent sweep: includes ``config`` itself when valid.
+        """
+        param = self.parameter(name)
+        out = []
+        for value in param.values():
+            cfg = dict(config)
+            cfg[name] = value
+            if all(c(cfg) for c in self.constraints):
+                out.append(cfg)
+        return out
+
+    def neighbors(self, config: Mapping[str, object]) -> list[dict]:
+        """Valid configs one axis-step away in any single parameter."""
+        out = []
+        for p in self.parameters:
+            vals = p.values()
+            i = p.index_of(config[p.name])
+            for j in (i - 1, i + 1):
+                if 0 <= j < len(vals):
+                    cfg = dict(config)
+                    cfg[p.name] = vals[j]
+                    if all(c(cfg) for c in self.constraints):
+                        out.append(cfg)
+        return out
+
+    def __repr__(self) -> str:
+        axes = ", ".join(f"{p.name}[{len(p)}]" for p in self.parameters)
+        return f"SearchSpace({axes}, {len(self.constraints)} constraint(s))"

@@ -1,0 +1,174 @@
+"""Search strategies over a :class:`~repro.tuning.space.SearchSpace`.
+
+Four classic strategies from the code-tuning literature, ordered by how
+much structure they assume:
+
+* :class:`GridSearch` — exhaustive enumeration; the ground truth every
+  other strategy is judged against on small spaces.
+* :class:`RandomSearch` — seeded uniform sampling; the standard baseline
+  that is surprisingly hard to beat on low-effective-dimension spaces
+  (Bergstra & Bengio, 2012).
+* :class:`CoordinateDescent` — greedy axis sweeps from a starting point;
+  the shape of hand-tuning ("fix everything, sweep the tile size, repeat")
+  made systematic.
+* :class:`SimulatedAnnealing` — neighbour moves with a cooling temperature,
+  escaping the local minima coordinate descent gets stuck in.
+
+Every strategy is deterministic under its seed: identical seeds replay the
+identical sequence of configurations, so tuning histories are reproducible
+artifacts (the reproducibility-engineering stance of the course).
+Strategies never measure anything themselves — they ask the
+:class:`~repro.tuning.harness.EvaluationHarness` and stop cleanly when it
+raises :class:`~repro.tuning.harness.BudgetExhausted`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .harness import BudgetExhausted, EvaluationHarness, TuningResult
+from .space import SearchSpace, config_key
+
+__all__ = [
+    "SearchStrategy",
+    "GridSearch",
+    "RandomSearch",
+    "CoordinateDescent",
+    "SimulatedAnnealing",
+]
+
+
+class SearchStrategy(ABC):
+    """Template: run the concrete search, absorb budget exhaustion."""
+
+    name = "abstract"
+
+    def run(self, space: SearchSpace, harness: EvaluationHarness) -> TuningResult:
+        """Search ``space`` through ``harness`` until done or out of budget."""
+        try:
+            self._search(space, harness)
+        except BudgetExhausted:
+            pass
+        return harness.result(strategy=self.name)
+
+    @abstractmethod
+    def _search(self, space: SearchSpace, harness: EvaluationHarness) -> None:
+        ...
+
+
+class GridSearch(SearchStrategy):
+    """Evaluate every valid configuration in deterministic odometer order."""
+
+    name = "grid"
+
+    def _search(self, space: SearchSpace, harness: EvaluationHarness) -> None:
+        for config in space.configs():
+            harness.evaluate(config)
+
+
+class RandomSearch(SearchStrategy):
+    """Seeded uniform sampling without replacement (until the space or the
+    budget is exhausted, whichever comes first)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0, max_samples: int | None = None):
+        if max_samples is not None and max_samples < 1:
+            raise ValueError("max_samples must be positive")
+        self.seed = seed
+        self.max_samples = max_samples
+
+    def _search(self, space: SearchSpace, harness: EvaluationHarness) -> None:
+        rng = np.random.default_rng(self.seed)
+        total = space.size()
+        limit = total if self.max_samples is None else min(self.max_samples, total)
+        seen: set[tuple] = set()
+        while len(seen) < limit:
+            config = space.sample(rng)
+            key = config_key(config)
+            if key in seen:
+                continue
+            seen.add(key)
+            harness.evaluate(config)
+
+
+class CoordinateDescent(SearchStrategy):
+    """Greedy cyclic axis sweeps from a starting configuration.
+
+    Each pass sweeps every parameter's full axis (others held fixed) and
+    moves to the best point found; passes repeat until one completes with
+    no improvement, a deterministic fixed point.  ``seed=None`` starts from
+    the space's default configuration (reproducible without randomness);
+    an integer seed starts from a seeded random sample instead.
+    """
+
+    name = "coordinate-descent"
+
+    def __init__(self, seed: int | None = None, max_passes: int = 10):
+        if max_passes < 1:
+            raise ValueError("max_passes must be positive")
+        self.seed = seed
+        self.max_passes = max_passes
+
+    def _search(self, space: SearchSpace, harness: EvaluationHarness) -> None:
+        if self.seed is None:
+            current = space.default_config()
+        else:
+            current = space.sample(np.random.default_rng(self.seed))
+        best = harness.evaluate(current)
+        for _ in range(self.max_passes):
+            improved = False
+            for param in space.parameters:
+                for config in space.axis(current, param.name):
+                    if config == current:
+                        continue
+                    seconds = harness.evaluate(config)
+                    if seconds < best:
+                        best, current, improved = seconds, config, True
+            if not improved:
+                return
+
+
+class SimulatedAnnealing(SearchStrategy):
+    """Metropolis neighbour moves under a geometric cooling schedule.
+
+    A move to a worse neighbour (relative regression ``delta``) is accepted
+    with probability ``exp(-delta / T)``; ``T`` cools by ``cooling`` each
+    step from ``initial_temperature``.  With the temperature expressed in
+    *relative* objective units the schedule is scale-free: the same settings
+    work for second-scale and microsecond-scale objectives.
+    """
+
+    name = "simulated-annealing"
+
+    def __init__(self, seed: int = 0, steps: int = 100,
+                 initial_temperature: float = 0.5, cooling: float = 0.95):
+        if steps < 1:
+            raise ValueError("steps must be positive")
+        if initial_temperature <= 0:
+            raise ValueError("initial temperature must be positive")
+        if not 0 < cooling < 1:
+            raise ValueError("cooling must be in (0, 1)")
+        self.seed = seed
+        self.steps = steps
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+
+    def _search(self, space: SearchSpace, harness: EvaluationHarness) -> None:
+        rng = np.random.default_rng(self.seed)
+        current = space.sample(rng)
+        current_s = harness.evaluate(current)
+        temperature = self.initial_temperature
+        for _ in range(self.steps):
+            neighbors = space.neighbors(current)
+            if not neighbors:
+                return
+            candidate = neighbors[int(rng.integers(len(neighbors)))]
+            candidate_s = harness.evaluate(candidate)
+            delta = (candidate_s - current_s) / current_s
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                current, current_s = candidate, candidate_s
+            temperature *= self.cooling

@@ -1,0 +1,140 @@
+"""The ``tune()`` entry point: search, record, feed stage 5.
+
+Ties the subsystem together and hooks it into the seven-stage process:
+
+* :func:`space_for` turns a kernel variant's declared
+  :class:`~repro.kernels.base.TunableParam` metadata into a
+  :class:`~repro.tuning.space.SearchSpace`;
+* :func:`tune` runs a strategy over a space through a budgeted harness
+  and, when given an :class:`~repro.core.process.EngineeringProcess`,
+  registers the winner as a stage-5 :class:`~repro.core.process.Attempt`
+  (predicted time from the guide, measured time from the harness) — the
+  tuning loop becomes a recorded, reproducible step of the methodology
+  instead of an ad-hoc notebook sweep;
+* :func:`tune_variant` is the one-call convenience for registered kernels:
+  build the space from metadata, time the kernel with proper methodology,
+  search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, MutableMapping, Sequence
+
+from ..core.process import EngineeringProcess, ProcessError
+from ..kernels.base import KernelVariant, TunableParam
+from .guidance import ModelGuide
+from .harness import Budget, EvaluationHarness, TuningResult, timed_objective
+from .space import (
+    ChoiceParam,
+    Constraint,
+    IntegerParam,
+    Parameter,
+    PowerOfTwoParam,
+    SearchSpace,
+)
+from .strategies import SearchStrategy
+
+__all__ = ["space_for", "tune", "tune_variant"]
+
+
+def _as_parameter(t: TunableParam) -> Parameter:
+    if t.kind == "int":
+        return IntegerParam(t.name, low=t.low, high=t.high, step=t.step,
+                            default_value=t.default)
+    if t.kind == "pow2":
+        return PowerOfTwoParam(t.name, low=t.low, high=t.high,
+                               default_value=t.default)
+    return ChoiceParam(t.name, choices=t.choices, default_value=t.default)
+
+
+def space_for(variant: KernelVariant,
+              constraints: Sequence[Constraint] = (),
+              overrides: Mapping[str, Parameter] | None = None) -> SearchSpace:
+    """Search space from a variant's declared tunables.
+
+    ``overrides`` replaces the metadata-derived axis for a parameter (e.g.
+    to clip the tile range to the current problem size); every override
+    must name a declared tunable.
+    """
+    if not variant.is_tunable:
+        raise ValueError(f"{variant.qualified_name} declares no tunables")
+    overrides = dict(overrides or {})
+    unknown = set(overrides) - {t.name for t in variant.tunables}
+    if unknown:
+        raise ValueError(f"{variant.qualified_name}: overrides for undeclared "
+                         f"tunables {sorted(unknown)}")
+    params = [overrides.get(t.name, _as_parameter(t)) for t in variant.tunables]
+    return SearchSpace(params, constraints)
+
+
+def tune(objective: Callable[[Mapping[str, object]], float],
+         space: SearchSpace,
+         strategy: SearchStrategy,
+         *,
+         kernel: str = "objective",
+         problem: str = "",
+         budget: Budget | None = None,
+         guide: ModelGuide | None = None,
+         cache: MutableMapping[tuple, float] | None = None,
+         process: EngineeringProcess | None = None,
+         attempt_name: str | None = None) -> TuningResult:
+    """Search ``space`` for the configuration minimizing ``objective``.
+
+    Returns the full :class:`TuningResult` history.  With ``process``
+    given (stages 1-4 already walked: requirement, baseline, feasibility),
+    the winner is proposed and applied as one stage-5 attempt named
+    ``attempt_name`` (default ``"autotune:<kernel>"``), carrying the
+    guide's prediction for the winning configuration when a guide is
+    attached — so the process report shows the tuner's model error like
+    any other optimization attempt.
+    """
+    if process is not None and process.feasibility is None:
+        # fail before spending the measurement budget, not after
+        raise ProcessError(
+            "tune() needs a process past stage 3 (requirement, baseline, "
+            "feasibility) so the winner can be proposed and applied")
+    harness = EvaluationHarness(
+        objective, kernel=kernel, problem=problem, budget=budget,
+        cache=cache, predict=guide.predict if guide is not None else None)
+    result = strategy.run(space, harness)
+    if not result.history:
+        raise RuntimeError(
+            f"search of {kernel} produced no evaluations; widen the budget")
+    if process is not None:
+        best = result.best
+        name = attempt_name or f"autotune:{kernel}"
+        rationale = (f"{strategy.name} search over {space.size()} config(s), "
+                     f"{result.measurements} measured, best {dict(sorted(best.config.items()))}")
+        process.propose(name, rationale=rationale,
+                        predicted_seconds=best.predicted_seconds)
+        process.apply(name, measured_seconds=best.seconds)
+    return result
+
+
+def tune_variant(variant: KernelVariant,
+                 setup: Callable[[Mapping[str, object]], tuple],
+                 strategy: SearchStrategy,
+                 *,
+                 problem: str = "",
+                 constraints: Sequence[Constraint] = (),
+                 overrides: Mapping[str, Parameter] | None = None,
+                 budget: Budget | None = None,
+                 guide: ModelGuide | None = None,
+                 cache: MutableMapping[tuple, float] | None = None,
+                 process: EngineeringProcess | None = None,
+                 warmup: int = 1,
+                 repetitions: int = 3) -> TuningResult:
+    """Auto-tune a registered kernel variant end to end.
+
+    ``setup(config)`` builds the positional arguments for one timed call
+    (operands, grids, ...); the searched configuration is passed as keyword
+    arguments — exactly the registry convention where tunables are keyword
+    parameters of ``variant.fn``.
+    """
+    space = space_for(variant, constraints=constraints, overrides=overrides)
+    objective = timed_objective(variant.fn, setup,
+                                warmup=warmup, repetitions=repetitions)
+    return tune(objective, space, strategy,
+                kernel=variant.qualified_name, problem=problem,
+                budget=budget, guide=guide, cache=cache, process=process,
+                attempt_name=f"autotune:{variant.qualified_name}")

@@ -21,6 +21,24 @@ class TestFactor:
 
 
 class TestFullFactorial:
+    def test_empty_factor_list_rejected(self):
+        with pytest.raises(ValueError):
+            full_factorial([])
+
+    def test_single_factor_single_level(self):
+        d = full_factorial([Factor("n", (64,))])
+        assert len(d) == 1
+        assert list(d) == [{"n": 64}]
+
+    def test_all_single_level_factors_yield_one_point(self):
+        d = full_factorial([Factor("a", (1,)), Factor("b", ("x",))])
+        assert len(d) == 1
+        assert d.points[0] == {"a": 1, "b": "x"}
+
+    def test_last_factor_varies_fastest(self):
+        d = full_factorial([Factor("a", (1, 2)), Factor("b", (10, 20))])
+        assert [p["b"] for p in d][:2] == [10, 20]
+
     def test_cross_product_size(self):
         d = full_factorial([Factor("a", (1, 2, 3)), Factor("b", ("x", "y"))])
         assert len(d) == 6
@@ -36,6 +54,25 @@ class TestFullFactorial:
 
 
 class TestOneFactorAtATime:
+    def test_empty_factor_list_rejected(self):
+        with pytest.raises(ValueError):
+            one_factor_at_a_time({"a": 1}, [])
+
+    def test_single_level_factor_equal_to_baseline_adds_nothing(self):
+        d = one_factor_at_a_time({"a": 1}, [Factor("a", (1,))])
+        assert len(d) == 1
+        assert d.points[0] == {"a": 1}
+
+    def test_baseline_off_axis_still_enumerated_once(self):
+        # a baseline level absent from the factor's levels stays the anchor
+        d = one_factor_at_a_time({"a": 0}, [Factor("a", (1, 2))])
+        assert [p["a"] for p in d] == [0, 1, 2]
+
+    def test_baseline_point_comes_first(self):
+        base = {"a": 1, "b": 10}
+        d = one_factor_at_a_time(base, [Factor("a", (2,)), Factor("b", (20,))])
+        assert d.points[0] == base
+
     def test_size_is_sum_not_product(self):
         base = {"a": 1, "b": 10}
         d = one_factor_at_a_time(base, [Factor("a", (1, 2, 3)), Factor("b", (10, 20))])
@@ -54,6 +91,17 @@ class TestOneFactorAtATime:
 
 
 class TestRunDesign:
+    def test_rejects_nonpositive_replicates(self):
+        d = full_factorial([Factor("n", (1,))])
+        with pytest.raises(ValueError):
+            run_design(d, lambda n: 1.0, replicates=0)
+
+    def test_single_point_design_runs(self):
+        d = full_factorial([Factor("n", (64,))])
+        table = run_design(d, lambda n: float(n), replicates=2)
+        assert len(table) == 1
+        assert table.means()[0] == pytest.approx(64.0)
+
     def test_replication_and_table_shape(self):
         d = full_factorial([Factor("n", (10, 20))])
         table = run_design(d, lambda n: float(n), replicates=3)

@@ -1,0 +1,128 @@
+"""Tests for repro.tuning.guidance: model-guided ranking and pruning."""
+
+import math
+
+import pytest
+
+from repro.machine import generic_server_cpu
+from repro.roofline import cpu_roofline
+from repro.kernels import matmul_work
+from repro.tuning import (
+    EvaluationHarness,
+    GuidedSearch,
+    ModelGuide,
+    PowerOfTwoParam,
+    SearchSpace,
+    guidance_report,
+    prediction_errors,
+    prune_by_prediction,
+    rank_by_prediction,
+    roofline_guide,
+)
+
+
+def convex(cfg):
+    return 1.0 + (math.log2(cfg["tile"]) - 6) ** 2
+
+
+def space():
+    return SearchSpace([PowerOfTwoParam("tile", low=4, high=256)])
+
+
+def perfect_guide():
+    """A guide that predicts the objective exactly."""
+    return ModelGuide("oracle", convex)
+
+
+class TestModelGuide:
+    def test_predict_passes_config_through(self):
+        assert perfect_guide().predict({"tile": 64}) == 1.0
+
+    def test_rejects_nonpositive_predictions(self):
+        bad = ModelGuide("bad", lambda c: 0.0)
+        with pytest.raises(ValueError):
+            bad.predict({"tile": 4})
+
+
+class TestRankAndPrune:
+    def test_rank_orders_by_prediction(self):
+        ranked = rank_by_prediction(perfect_guide(), space().configs())
+        assert ranked[0] == {"tile": 64}
+        assert ranked[-1]["tile"] in (4, 256)  # the worst corners
+
+    def test_rank_is_stable_for_ties(self):
+        flat = ModelGuide("flat", lambda c: 1.0)
+        ranked = rank_by_prediction(flat, space().configs())
+        assert ranked == list(space().configs())
+
+    def test_prune_integer_keep(self):
+        kept = prune_by_prediction(perfect_guide(), space().configs(), keep=2)
+        assert len(kept) == 2
+        assert kept[0] == {"tile": 64}
+
+    def test_prune_fractional_keep(self):
+        kept = prune_by_prediction(perfect_guide(), space().configs(), keep=0.5)
+        assert len(kept) == max(1, round(0.5 * space().size()))
+
+    def test_prune_keep_validation(self):
+        with pytest.raises(ValueError):
+            prune_by_prediction(perfect_guide(), space().configs(), keep=0)
+        with pytest.raises(ValueError):
+            prune_by_prediction(perfect_guide(), space().configs(), keep=1.5)
+        with pytest.raises(ValueError):
+            prune_by_prediction(perfect_guide(), space().configs(), keep=True)
+
+
+class TestGuidedSearch:
+    def test_spends_budget_on_predicted_best(self):
+        guide = perfect_guide()
+        harness = EvaluationHarness(convex, predict=guide.predict)
+        result = GuidedSearch(guide, keep=3).run(space(), harness)
+        assert result.measurements == 3
+        assert result.best_config == {"tile": 64}
+        # an exact guide has zero error on every evaluation
+        assert all(e.prediction_error() == 0.0 for e in result.history)
+
+
+class TestRooflineGuide:
+    def test_prediction_is_the_roofline_bound(self):
+        cpu = generic_server_cpu()
+        roofline = cpu_roofline(cpu)
+        work = matmul_work(64)
+        guide = roofline_guide(roofline, lambda cfg: work)
+        expected = work.flops / roofline.attainable(work.intensity)
+        assert guide.predict({"tile": 8}) == pytest.approx(expected)
+
+    def test_guide_name_mentions_roofline(self):
+        cpu = generic_server_cpu()
+        guide = roofline_guide(cpu_roofline(cpu), lambda cfg: matmul_work(16))
+        assert "roofline" in guide.name
+
+
+class TestErrorReporting:
+    def run_with_guide(self):
+        biased = ModelGuide("biased", lambda c: 2.0 * convex(c))
+        harness = EvaluationHarness(convex, kernel="k", predict=biased.predict)
+        return GuidedSearch(biased, keep=4).run(space(), harness)
+
+    def test_prediction_errors_per_config(self):
+        errors = prediction_errors(self.run_with_guide())
+        assert len(errors) == 4
+        # model predicts 2x the measurement -> +100% error everywhere
+        assert all(pe.error == pytest.approx(1.0) for pe in errors)
+
+    def test_cached_evaluations_excluded(self):
+        harness = EvaluationHarness(convex, predict=perfect_guide().predict)
+        harness.evaluate({"tile": 4})
+        harness.evaluate({"tile": 4})
+        assert len(prediction_errors(harness.result())) == 1
+
+    def test_report_includes_mean_error(self):
+        text = guidance_report(self.run_with_guide())
+        assert "mean |error|" in text
+        assert "+100%" in text
+
+    def test_report_without_predictions(self):
+        harness = EvaluationHarness(convex)
+        harness.evaluate({"tile": 4})
+        assert "no model predictions" in guidance_report(harness.result())

@@ -1,0 +1,157 @@
+"""Tests for repro.tuning.harness: budgets, cache, persistence."""
+
+import math
+
+import pytest
+
+from repro.tuning import (
+    Budget,
+    BudgetExhausted,
+    Evaluation,
+    EvaluationHarness,
+    GridSearch,
+    PowerOfTwoParam,
+    SearchSpace,
+    TuningResult,
+    timed_objective,
+)
+
+
+def convex(cfg):
+    """Deterministic convex objective with the minimum at tile=64."""
+    return 1.0 + (math.log2(cfg["tile"]) - 6) ** 2
+
+
+def space():
+    return SearchSpace([PowerOfTwoParam("tile", low=4, high=256)])
+
+
+class TestBudget:
+    def test_needs_some_bound(self):
+        with pytest.raises(ValueError):
+            Budget()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Budget(max_evaluations=0)
+        with pytest.raises(ValueError):
+            Budget(max_seconds=0.0)
+
+    def test_evaluation_budget_enforced(self):
+        h = EvaluationHarness(convex, budget=Budget(max_evaluations=3))
+        for tile in (4, 8, 16):
+            h.evaluate({"tile": tile})
+        with pytest.raises(BudgetExhausted):
+            h.evaluate({"tile": 32})
+
+    def test_wallclock_budget_enforced_via_injected_clock(self):
+        ticks = iter(range(100))
+        h = EvaluationHarness(convex, budget=Budget(max_seconds=2.5),
+                              clock=lambda: float(next(ticks)))
+        h.evaluate({"tile": 4})   # clock 0 (start), 1 (check... )
+        h.evaluate({"tile": 8})
+        with pytest.raises(BudgetExhausted):
+            for tile in (16, 32, 64):
+                h.evaluate({"tile": tile})
+
+    def test_cache_hits_are_budget_free(self):
+        h = EvaluationHarness(convex, budget=Budget(max_evaluations=1))
+        h.evaluate({"tile": 4})
+        # revisits never raise, however tight the budget
+        for _ in range(5):
+            h.evaluate({"tile": 4})
+        assert h.measurements == 1
+        assert h.result().cache_hits == 5
+
+
+class TestCache:
+    def test_repeated_search_measures_nothing_new(self):
+        cache = {}
+        sp = space()
+        first = GridSearch().run(sp, EvaluationHarness(convex, kernel="k", cache=cache))
+        second = GridSearch().run(sp, EvaluationHarness(convex, kernel="k", cache=cache))
+        assert first.measurements == sp.size()
+        assert second.measurements == 0
+        assert second.cache_hits == sp.size()
+        assert second.best_config == first.best_config
+
+    def test_cache_keyed_on_kernel_and_problem(self):
+        cache = {}
+        h1 = EvaluationHarness(convex, kernel="a", problem="n=64", cache=cache)
+        h2 = EvaluationHarness(convex, kernel="a", problem="n=128", cache=cache)
+        h3 = EvaluationHarness(convex, kernel="b", problem="n=64", cache=cache)
+        for h in (h1, h2, h3):
+            h.evaluate({"tile": 8})
+        assert len(cache) == 3
+
+    def test_counts_objective_calls(self):
+        calls = []
+        h = EvaluationHarness(lambda c: calls.append(1) or 1.0)
+        h.evaluate({"tile": 4})
+        h.evaluate({"tile": 4})
+        assert len(calls) == 1
+
+    def test_rejects_nonpositive_objective(self):
+        h = EvaluationHarness(lambda c: 0.0)
+        with pytest.raises(ValueError):
+            h.evaluate({"tile": 4})
+
+
+class TestTuningResult:
+    def result(self):
+        h = EvaluationHarness(convex, kernel="k", problem="p")
+        for tile in (4, 64, 64, 256):
+            h.evaluate({"tile": tile})
+        return h.result(strategy="grid")
+
+    def test_best_is_minimum(self):
+        r = self.result()
+        assert r.best_config == {"tile": 64}
+        assert r.best_seconds == 1.0
+
+    def test_measurement_and_hit_counts(self):
+        r = self.result()
+        assert r.measurements == 3
+        assert r.cache_hits == 1
+
+    def test_json_roundtrip(self):
+        r = self.result()
+        back = TuningResult.from_json(r.to_json())
+        assert back.to_json() == r.to_json()
+        assert back.best_config == r.best_config
+        assert [e.cached for e in back.history] == [e.cached for e in r.history]
+
+    def test_empty_history_has_no_best(self):
+        with pytest.raises(ValueError):
+            TuningResult("k", "p", "grid").best
+
+    def test_report_mentions_best_and_hits(self):
+        text = self.result().report()
+        assert "best 1.0000e+00s" in text
+        assert "1 cache hit(s)" in text
+
+    def test_prediction_error(self):
+        e = Evaluation(0, {"tile": 4}, seconds=2.0, predicted_seconds=1.0)
+        assert e.prediction_error() == pytest.approx(-0.5)
+        assert Evaluation(0, {}, 1.0).prediction_error() is None
+
+
+class TestTimedObjective:
+    def test_times_a_real_kernel(self):
+        from repro.kernels import matmul_tiled, random_matrices
+
+        obj = timed_objective(matmul_tiled, lambda cfg: random_matrices(24),
+                              warmup=0, repetitions=1)
+        seconds = obj({"tile": 8})
+        assert seconds > 0
+
+    def test_setup_called_once_per_evaluation(self):
+        made = []
+
+        def setup(cfg):
+            made.append(cfg)
+            return ()
+
+        obj = timed_objective(lambda **kw: None, setup, warmup=2, repetitions=3)
+        obj({"tile": 4})
+        assert len(made) == 1

@@ -1,0 +1,161 @@
+"""Tests for repro.tuning.space."""
+
+import numpy as np
+import pytest
+
+from repro.tuning import (
+    ChoiceParam,
+    Constraint,
+    IntegerParam,
+    PowerOfTwoParam,
+    SearchSpace,
+    config_key,
+    tiles_fit_cache,
+)
+
+
+class TestParameters:
+    def test_integer_values_and_default(self):
+        p = IntegerParam("workers", low=1, high=8, step=1)
+        assert p.values() == tuple(range(1, 9))
+        assert p.default == 1
+
+    def test_integer_step(self):
+        p = IntegerParam("n", low=2, high=10, step=4)
+        assert p.values() == (2, 6, 10)
+
+    def test_integer_explicit_default(self):
+        p = IntegerParam("n", low=1, high=4, default_value=2)
+        assert p.default == 2
+
+    def test_integer_default_off_axis_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerParam("n", low=2, high=10, step=4, default_value=3)
+
+    def test_integer_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerParam("n", low=5, high=1)
+
+    def test_pow2_values(self):
+        p = PowerOfTwoParam("tile", low=4, high=64)
+        assert p.values() == (4, 8, 16, 32, 64)
+
+    def test_pow2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            PowerOfTwoParam("tile", low=3, high=64)
+
+    def test_choice_order_preserved(self):
+        p = ChoiceParam("order", choices=("ikj", "ijk", "jki"))
+        assert p.values() == ("ikj", "ijk", "jki")
+        assert p.default == "ikj"
+
+    def test_choice_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ChoiceParam("order", choices=("a", "a"))
+
+    def test_index_of(self):
+        p = PowerOfTwoParam("tile", low=4, high=16)
+        assert p.index_of(8) == 1
+        with pytest.raises(ValueError):
+            p.index_of(5)
+
+
+class TestSearchSpace:
+    def space(self):
+        return SearchSpace([
+            PowerOfTwoParam("tile", low=4, high=32),
+            IntegerParam("workers", low=1, high=2),
+        ])
+
+    def test_enumeration_is_odometer_ordered(self):
+        cfgs = list(self.space().configs())
+        assert cfgs[0] == {"tile": 4, "workers": 1}
+        assert cfgs[1] == {"tile": 4, "workers": 2}
+        assert len(cfgs) == 4 * 2
+
+    def test_size_counts_valid_only(self):
+        constrained = SearchSpace(
+            [PowerOfTwoParam("tile", low=4, high=32)],
+            [Constraint("tile <= 16", lambda c: c["tile"] <= 16)],
+        )
+        assert constrained.size() == 3
+
+    def test_unsatisfiable_constraints_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([IntegerParam("n", low=1, high=3)],
+                        [Constraint("impossible", lambda c: False)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([IntegerParam("n", low=1, high=2),
+                         IntegerParam("n", low=1, high=2)])
+
+    def test_is_valid(self):
+        sp = self.space()
+        assert sp.is_valid({"tile": 8, "workers": 2})
+        assert not sp.is_valid({"tile": 5, "workers": 2})   # off-axis
+        assert not sp.is_valid({"tile": 8})                 # missing param
+        assert not sp.is_valid({"tile": 8, "workers": 2, "x": 1})
+
+    def test_default_config_repairs_to_valid(self):
+        sp = SearchSpace(
+            [PowerOfTwoParam("tile", low=4, high=32, default_value=32)],
+            [Constraint("tile <= 8", lambda c: c["tile"] <= 8)],
+        )
+        assert sp.default_config() == {"tile": 4}
+
+    def test_sample_is_deterministic_under_seed(self):
+        sp = self.space()
+        a = [sp.sample(np.random.default_rng(7)) for _ in range(5)]
+        b = [sp.sample(np.random.default_rng(7)) for _ in range(5)]
+        assert a == b
+
+    def test_sample_respects_constraints(self):
+        sp = SearchSpace(
+            [PowerOfTwoParam("tile", low=4, high=256)],
+            [tiles_fit_cache(32 * 1024)],
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert sp.is_valid(sp.sample(rng))
+
+    def test_axis_holds_other_params_fixed(self):
+        sp = self.space()
+        axis = sp.axis({"tile": 8, "workers": 2}, "tile")
+        assert len(axis) == 4
+        assert all(c["workers"] == 2 for c in axis)
+
+    def test_neighbors_are_one_step_away(self):
+        sp = self.space()
+        nbrs = sp.neighbors({"tile": 8, "workers": 1})
+        assert {"tile": 4, "workers": 1} in nbrs
+        assert {"tile": 16, "workers": 1} in nbrs
+        assert {"tile": 8, "workers": 2} in nbrs
+        assert len(nbrs) == 3  # workers=0 does not exist
+
+    def test_neighbors_respect_constraints(self):
+        sp = SearchSpace(
+            [PowerOfTwoParam("tile", low=4, high=32)],
+            [Constraint("tile != 16", lambda c: c["tile"] != 16)],
+        )
+        assert sp.neighbors({"tile": 8}) == [{"tile": 4}]
+
+
+class TestTilesFitCache:
+    def test_classic_matmul_bound(self):
+        # 3 * 32^2 * 8B = 24KiB fits a 32KiB L1; 3 * 64^2 * 8B = 96KiB does not
+        c = tiles_fit_cache(32 * 1024)
+        assert c({"tile": 32})
+        assert not c({"tile": 64})
+
+    def test_description_names_the_bound(self):
+        assert "L1" not in tiles_fit_cache(1024).description  # generic text
+        assert "tile" in tiles_fit_cache(1024).description
+
+
+class TestConfigKey:
+    def test_order_insensitive(self):
+        assert config_key({"a": 1, "b": 2}) == config_key({"b": 2, "a": 1})
+
+    def test_distinct_configs_distinct_keys(self):
+        assert config_key({"a": 1}) != config_key({"a": 2})

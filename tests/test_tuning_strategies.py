@@ -1,0 +1,129 @@
+"""Tests for repro.tuning.strategies.
+
+The acceptance bar: on a synthetic convex objective every strategy finds
+the optimum within its budget, and identical seeds give byte-identical
+TuningResult histories.
+"""
+
+import math
+
+import pytest
+
+from repro.tuning import (
+    Budget,
+    CoordinateDescent,
+    EvaluationHarness,
+    GridSearch,
+    IntegerParam,
+    PowerOfTwoParam,
+    RandomSearch,
+    SearchSpace,
+    SimulatedAnnealing,
+)
+
+OPTIMUM = {"tile": 64, "workers": 4}
+
+
+def convex(cfg):
+    """Separable convex bowl over (tile, workers), minimum at OPTIMUM."""
+    return (1.0 + (math.log2(cfg["tile"]) - 6) ** 2
+            + 0.5 * (cfg["workers"] - 4) ** 2)
+
+
+def space():
+    return SearchSpace([
+        PowerOfTwoParam("tile", low=4, high=256),
+        IntegerParam("workers", low=1, high=8),
+    ])
+
+
+ALL_STRATEGIES = [
+    GridSearch(),
+    RandomSearch(seed=3),
+    CoordinateDescent(),
+    CoordinateDescent(seed=5),
+    SimulatedAnnealing(seed=7, steps=80),
+]
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES,
+                         ids=lambda s: f"{s.name}")
+def test_finds_optimum_within_budget(strategy):
+    harness = EvaluationHarness(convex, budget=Budget(max_evaluations=56))
+    result = strategy.run(space(), harness)
+    assert result.best_config == OPTIMUM
+    assert result.best_seconds == pytest.approx(1.0)
+    assert result.measurements <= 56
+
+
+@pytest.mark.parametrize("make", [
+    lambda: GridSearch(),
+    lambda: RandomSearch(seed=11),
+    lambda: CoordinateDescent(seed=11),
+    lambda: SimulatedAnnealing(seed=11, steps=60),
+], ids=["grid", "random", "coordinate-descent", "simulated-annealing"])
+def test_identical_seeds_give_byte_identical_histories(make):
+    def run_once():
+        harness = EvaluationHarness(convex, kernel="convex",
+                                    budget=Budget(max_evaluations=40))
+        return make().run(space(), harness).to_json()
+
+    assert run_once() == run_once()
+
+
+def test_grid_visits_every_config_exactly_once():
+    sp = space()
+    result = GridSearch().run(sp, EvaluationHarness(convex))
+    assert result.measurements == sp.size()
+    assert result.cache_hits == 0
+
+
+def test_grid_stops_cleanly_at_budget():
+    result = GridSearch().run(space(),
+                              EvaluationHarness(convex, budget=Budget(max_evaluations=5)))
+    assert result.measurements == 5
+
+
+def test_random_samples_without_replacement():
+    result = RandomSearch(seed=0).run(space(), EvaluationHarness(convex))
+    assert result.cache_hits == 0
+    assert result.measurements == space().size()
+
+
+def test_random_max_samples_cap():
+    result = RandomSearch(seed=0, max_samples=6).run(space(), EvaluationHarness(convex))
+    assert result.measurements == 6
+
+
+def test_coordinate_descent_converges_without_budget():
+    # deterministic default start; terminates at a fixed point on its own
+    result = CoordinateDescent().run(space(), EvaluationHarness(convex))
+    assert result.best_config == OPTIMUM
+
+
+def test_coordinate_descent_under_30_evals_on_2d_bowl():
+    # the satellite example's contract: tile axis (7) + workers axis (8)
+    # swept from the default in <= 30 evaluations
+    harness = EvaluationHarness(convex, budget=Budget(max_evaluations=30))
+    result = CoordinateDescent().run(space(), harness)
+    assert result.best_config == OPTIMUM
+    assert result.measurements <= 30
+
+
+def test_annealing_different_seeds_explore_differently():
+    a = SimulatedAnnealing(seed=1, steps=30).run(space(), EvaluationHarness(convex))
+    b = SimulatedAnnealing(seed=2, steps=30).run(space(), EvaluationHarness(convex))
+    assert [e.config for e in a.history] != [e.config for e in b.history]
+
+
+def test_strategy_parameter_validation():
+    with pytest.raises(ValueError):
+        RandomSearch(max_samples=0)
+    with pytest.raises(ValueError):
+        CoordinateDescent(max_passes=0)
+    with pytest.raises(ValueError):
+        SimulatedAnnealing(steps=0)
+    with pytest.raises(ValueError):
+        SimulatedAnnealing(initial_temperature=-1.0)
+    with pytest.raises(ValueError):
+        SimulatedAnnealing(cooling=1.5)

@@ -1,0 +1,134 @@
+"""Tests for repro.tuning.tune: entry points and stage-5 integration."""
+
+import math
+
+import pytest
+
+from repro import EngineeringProcess, Metric, Requirement
+from repro.kernels import REGISTRY
+from repro.tuning import (
+    Budget,
+    CoordinateDescent,
+    GridSearch,
+    IntegerParam,
+    ModelGuide,
+    PowerOfTwoParam,
+    SearchSpace,
+    space_for,
+    tiles_fit_cache,
+    tune,
+    tune_variant,
+)
+
+
+def convex(cfg):
+    return 1.0 + (math.log2(cfg["tile"]) - 6) ** 2
+
+
+def space():
+    return SearchSpace([PowerOfTwoParam("tile", low=4, high=256)])
+
+
+class TestSpaceFor:
+    def test_builds_axes_from_metadata(self):
+        sp = space_for(REGISTRY.get("matmul", "tiled"))
+        tiles = sp.parameter("tile")
+        assert tiles.values() == (4, 8, 16, 32, 64, 128, 256)
+        assert tiles.default == 32
+
+    def test_integer_tunable_maps_to_integer_axis(self):
+        sp = space_for(REGISTRY.get("matmul", "parallel"))
+        assert sp.parameter("workers").values() == tuple(range(1, 9))
+
+    def test_registry_lists_tunable_variants(self):
+        tunable = {v.qualified_name for v in REGISTRY.tunable_variants()}
+        assert {"matmul.tiled", "matmul.parallel", "matmul.blocked_numpy",
+                "stencil.blocked", "histogram.privatized"} <= tunable
+        assert all(v.kernel == "stencil" for v in REGISTRY.tunable_variants("stencil"))
+
+    def test_untunable_variant_rejected(self):
+        with pytest.raises(ValueError):
+            space_for(REGISTRY.get("matmul", "numpy"))
+
+    def test_constraints_prune_the_space(self):
+        sp = space_for(REGISTRY.get("matmul", "tiled"),
+                       constraints=[tiles_fit_cache(32 * 1024)])
+        assert max(c["tile"] for c in sp.configs()) == 32
+
+    def test_overrides_replace_axes(self):
+        sp = space_for(REGISTRY.get("matmul", "tiled"),
+                       overrides={"tile": PowerOfTwoParam("tile", low=8, high=16)})
+        assert sp.parameter("tile").values() == (8, 16)
+
+    def test_override_for_undeclared_tunable_rejected(self):
+        with pytest.raises(ValueError):
+            space_for(REGISTRY.get("matmul", "tiled"),
+                      overrides={"nope": IntegerParam("nope", low=1, high=2)})
+
+    def test_variant_default_config(self):
+        assert REGISTRY.get("matmul", "tiled").default_config() == {"tile": 32}
+
+
+class TestTuneProcessIntegration:
+    def walked_process(self):
+        proc = EngineeringProcess("matmul n=64")
+        proc.set_requirement(Requirement("2x faster", Metric.SPEEDUP, 2.0))
+        proc.record_baseline(10.0, "untuned default")
+        proc.assess_feasibility(bound=0.5)
+        return proc
+
+    def test_winner_recorded_as_stage5_attempt(self):
+        proc = self.walked_process()
+        guide = ModelGuide("oracle", convex)
+        result = tune(convex, space(), GridSearch(), kernel="matmul.tiled",
+                      guide=guide, process=proc)
+        attempt = proc.attempts["autotune:matmul.tiled"]
+        assert attempt.applied
+        assert attempt.measured_seconds == result.best_seconds
+        assert attempt.predicted_seconds == pytest.approx(1.0)
+        assert attempt.prediction_error() == pytest.approx(0.0)
+        assert "grid" in attempt.rationale
+
+    def test_process_report_shows_the_tuning_attempt(self):
+        proc = self.walked_process()
+        tune(convex, space(), GridSearch(), kernel="k", process=proc)
+        assert proc.assess() is True  # 1.0s vs 10.0 baseline beats 2x
+        assert "autotune:k" in proc.report()
+
+    def test_without_process_nothing_is_proposed(self):
+        result = tune(convex, space(), GridSearch())
+        assert result.best_config == {"tile": 64}
+
+    def test_process_before_stage3_fails_fast(self):
+        from repro import ProcessError
+
+        calls = []
+        proc = EngineeringProcess("x")  # stages 1-3 not walked
+        with pytest.raises(ProcessError):
+            tune(lambda c: calls.append(1) or convex(c), space(),
+                 GridSearch(), process=proc)
+        assert calls == []  # no measurement budget was spent
+
+    def test_empty_search_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            tune(convex, space(), GridSearch(),
+                 budget=Budget(max_seconds=1e-12))
+
+
+class TestTuneVariant:
+    def test_tunes_a_real_kernel_under_budget(self):
+        from repro.kernels import random_matrices
+
+        variant = REGISTRY.get("matmul", "tiled")
+        result = tune_variant(
+            variant,
+            setup=lambda cfg: random_matrices(16),
+            strategy=CoordinateDescent(),
+            overrides={"tile": PowerOfTwoParam("tile", low=4, high=16,
+                                               default_value=8)},
+            budget=Budget(max_evaluations=10),
+            warmup=0, repetitions=1,
+        )
+        assert result.kernel == "matmul.tiled"
+        assert result.best_config["tile"] in (4, 8, 16)
+        assert result.measurements <= 10
