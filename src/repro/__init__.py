@@ -17,7 +17,7 @@ Sub-packages map to the course topics (Table 1 of the paper):
 ``repro.statmodel``     statistical performance models (assignment 3)
 ``repro.simulator``     cache / port / CPU simulators (the counter source)
 ``repro.counters``      PAPI-like counters & performance patterns (asg. 4)
-``repro.parallel``      OpenMP-like schedules, thread teams, GPU occupancy
+``repro.parallel``      schedules, thread teams, execution backends, GPU
 ``repro.distributed``   network models, collectives, mini-MPI, scaling
 ``repro.queueing``      queueing theory + discrete-event validation
 ``repro.polyhedral``    iteration domains, dependences, legal transforms

@@ -19,8 +19,11 @@ cross-checked against each other in the test suite.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
+from ..parallel.backends import chunk_bounds, default_chunk, open_backend
 from ..timing.metrics import WorkCount
 from .base import TunableParam, register
 
@@ -36,6 +39,7 @@ __all__ = [
     "matmul_tiled",
     "matmul_numpy",
     "matmul_parallel",
+    "matmul_chunked",
     "matmul_blocked_numpy",
     "matmul_work",
     "matmul_traffic_lower_bound",
@@ -222,6 +226,65 @@ def matmul_parallel(a: np.ndarray, b: np.ndarray, c: np.ndarray,
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
         list(pool.map(do_block, range(0, n, block)))
+    return c
+
+
+def _matmul_rows(ha, hb, hc, inner: str, bounds: tuple[int, int]) -> None:
+    """One row-block ``C[lo:hi] += A[lo:hi] @ B`` through array handles.
+
+    Module-level (hence picklable) so the process backend can ship it; the
+    handles resolve to shared-memory views there and to the caller's own
+    arrays under the serial/thread backends.
+    """
+    lo, hi = bounds
+    a, b, c = ha.array, hb.array, hc.array
+    if inner == "numpy":
+        c[lo:hi] += a[lo:hi] @ b
+        return
+    k, m = b.shape
+    for i in range(lo, hi):
+        for kk in range(k):
+            aik = a[i, kk]
+            for j in range(m):
+                c[i, j] += aik * b[kk, j]
+
+
+@register("matmul", "chunked", matmul_work,
+          "row-block matmul over a pluggable execution backend",
+          technique="parallelization",
+          tunables=(TunableParam("workers", "int", 2, low=1, high=8,
+                                 description="backend worker count"),
+                    TunableParam("backend", "choice", "thread",
+                                 choices=("serial", "thread", "process"),
+                                 description="execution backend"),
+                    TunableParam("inner", "choice", "numpy",
+                                 choices=("numpy", "scalar"),
+                                 description="per-block inner kernel")))
+def matmul_chunked(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                   workers: int = 2, backend: str = "thread",
+                   inner: str = "numpy", chunk_size: int | None = None) -> np.ndarray:
+    """``C += A @ B`` as independent row blocks on an execution backend.
+
+    The decomposition is fixed; only the executor varies — the point of the
+    backend subsystem.  With ``inner="scalar"`` the block body is pure
+    Python (GIL-bound): the thread backend cannot speed it up but the
+    process backend can, since operands travel as zero-copy shared-memory
+    views, never pickled matrices.  ``backend`` may also be a live
+    :class:`~repro.parallel.backends.ExecutionBackend` to amortize one pool
+    across calls (it is borrowed, not closed).
+    """
+    if inner not in ("numpy", "scalar"):
+        raise ValueError(f"unknown inner kernel {inner!r}")
+    n, m, k = _check_operands(a, b, c)
+    bounds = chunk_bounds(n, chunk_size or default_chunk(n, workers))
+    with open_backend(backend, workers) as ex:
+        ha, hb, hc = ex.share(a), ex.share(b), ex.share(c)
+        try:
+            ex.map(partial(_matmul_rows, ha, hb, hc, inner), bounds)
+            ex.gather(hc, c)
+        finally:
+            for h in (ha, hb, hc):
+                h.release()
     return c
 
 

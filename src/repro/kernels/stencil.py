@@ -15,8 +15,11 @@ example.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
+from ..parallel.backends import chunk_bounds, default_chunk, open_backend
 from ..timing.metrics import WorkCount
 from .base import TunableParam, register
 
@@ -26,6 +29,7 @@ __all__ = [
     "jacobi_step_numpy",
     "jacobi_step_inplace",
     "jacobi_step_blocked",
+    "jacobi_step_chunked",
     "jacobi_solve",
     "init_grid",
 ]
@@ -135,6 +139,67 @@ def jacobi_step_blocked(src: np.ndarray, dst: np.ndarray, tile: int = 64) -> np.
             dst[ti:ti_end, tj:tj_end] = 0.25 * (
                 src[ti - 1:ti_end - 1, tj:tj_end] + src[ti + 1:ti_end + 1, tj:tj_end]
                 + src[ti:ti_end, tj - 1:tj_end - 1] + src[ti:ti_end, tj + 1:tj_end + 1])
+    return dst
+
+
+def _jacobi_band(hsrc, hdst, inner: str, bounds: tuple[int, int]) -> None:
+    """Sweep interior rows ``[lo, hi)`` of a tile band through handles.
+
+    Jacobi reads only ``src`` and writes disjoint ``dst`` rows, so bands
+    are independent — the classic halo-free data-parallel sweep.  Bounds
+    are absolute grid row indices inside the interior.
+    """
+    lo, hi = bounds
+    src, dst = hsrc.array, hdst.array
+    if inner == "numpy":
+        dst[lo:hi, 1:-1] = 0.25 * (src[lo - 1:hi - 1, 1:-1] + src[lo + 1:hi + 1, 1:-1]
+                                   + src[lo:hi, :-2] + src[lo:hi, 2:])
+        return
+    m = src.shape[1]
+    for i in range(lo, hi):
+        for j in range(1, m - 1):
+            dst[i, j] = 0.25 * (src[i - 1, j] + src[i + 1, j]
+                                + src[i, j - 1] + src[i, j + 1])
+
+
+@register("stencil", "chunked", stencil_work,
+          "row-band tile sweep over a pluggable execution backend",
+          technique="parallelization",
+          tunables=(TunableParam("workers", "int", 2, low=1, high=8,
+                                 description="backend worker count"),
+                    TunableParam("backend", "choice", "thread",
+                                 choices=("serial", "thread", "process"),
+                                 description="execution backend"),
+                    TunableParam("inner", "choice", "numpy",
+                                 choices=("numpy", "scalar"),
+                                 description="per-band inner kernel")))
+def jacobi_step_chunked(src: np.ndarray, dst: np.ndarray,
+                        workers: int = 2, backend: str = "thread",
+                        inner: str = "numpy",
+                        chunk_size: int | None = None) -> np.ndarray:
+    """One Jacobi sweep as independent interior row bands on a backend.
+
+    The grids travel to process workers as zero-copy shared-memory views;
+    each band writes a disjoint slab of ``dst``, so no merge is needed —
+    only the gather back into the caller's ``dst``.
+    """
+    if inner not in ("numpy", "scalar"):
+        raise ValueError(f"unknown inner kernel {inner!r}")
+    n, m = _check_grids(src, dst)
+    dst[0, :], dst[-1, :] = src[0, :], src[-1, :]
+    dst[:, 0], dst[:, -1] = src[:, 0], src[:, -1]
+    interior = n - 2
+    bounds = [(lo + 1, hi + 1)  # shift [0, interior) to absolute rows
+              for lo, hi in chunk_bounds(interior,
+                                         chunk_size or default_chunk(interior, workers))]
+    with open_backend(backend, workers) as ex:
+        hsrc, hdst = ex.share(src), ex.share(dst)
+        try:
+            ex.map(partial(_jacobi_band, hsrc, hdst, inner), bounds)
+            ex.gather(hdst, dst)
+        finally:
+            hsrc.release()
+            hdst.release()
     return dst
 
 

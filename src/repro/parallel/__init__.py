@@ -1,5 +1,21 @@
-"""Shared-memory and accelerator parallelism: schedules, teams, GPU model."""
+"""Shared-memory and accelerator parallelism: schedules, teams, backends, GPU model."""
 
+from .backends import (
+    BACKENDS,
+    ArrayHandle,
+    BackendTiming,
+    ExecutionBackend,
+    LocalArray,
+    ProcessBackend,
+    SerialBackend,
+    SharedArray,
+    ThreadBackend,
+    chunk_bounds,
+    compare_backends,
+    default_chunk,
+    make_backend,
+    open_backend,
+)
 from .gpu import (
     KernelConfig,
     Occupancy,
@@ -27,6 +43,22 @@ __all__ = [
     "parallel_map",
     "diagnose_parallel",
     "ParallelPatternMatch",
+    # execution backends
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "ArrayHandle",
+    "LocalArray",
+    "SharedArray",
+    "make_backend",
+    "open_backend",
+    "chunk_bounds",
+    "default_chunk",
+    "BackendTiming",
+    "compare_backends",
+    # GPU model
     "KernelConfig",
     "Occupancy",
     "occupancy",

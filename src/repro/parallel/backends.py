@@ -1,0 +1,433 @@
+"""Pluggable execution backends: serial, threads, and zero-copy processes.
+
+The course's stage-4/stage-5 loop (implement → tune) wants students to
+observe *real* multicore speedup on the course's own kernels, but a
+``ThreadPoolExecutor`` cannot deliver it for pure-Python scalar code: the
+GIL serializes every bytecode-bound chunk.  This module is the paper's
+OpenMP substitution made honest — one decomposition, three executors:
+
+* :class:`SerialBackend` — runs chunks inline; the baseline and the
+  reference every parallel result is cross-checked against.
+* :class:`ThreadBackend` — a thread pool; real speedup only for
+  GIL-releasing (NumPy) chunk bodies.
+* :class:`ProcessBackend` — a process pool whose operand arrays live in
+  ``multiprocessing.shared_memory``: workers receive a tiny
+  ``(name, shape, dtype)`` handle and map the *same physical pages*, so
+  matrices are never pickled and scalar Python chunks scale across cores.
+
+Array sharing is uniform across backends through :class:`ArrayHandle`:
+``backend.share(a)`` returns a handle whose ``.array`` is either the
+caller's array itself (serial/thread — already shared address space) or a
+shared-memory view (process).  Kernels write through the handle and call
+:meth:`ExecutionBackend.gather` to land results back in the caller's
+buffer; for serial/thread that is a no-op, preserving in-place semantics.
+
+Backends are context managers and release everything they own on exit:
+worker processes are joined and shared segments unlinked even when a chunk
+raises (the resource-hygiene tests assert both).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context, shared_memory
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BACKENDS",
+    "ArrayHandle",
+    "LocalArray",
+    "SharedArray",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "open_backend",
+    "chunk_bounds",
+    "BackendTiming",
+    "compare_backends",
+]
+
+#: Registered backend names, in increasing isolation order.
+BACKENDS = ("serial", "thread", "process")
+
+
+# ---------------------------------------------------------------------------
+# array handles
+# ---------------------------------------------------------------------------
+
+
+class ArrayHandle(ABC):
+    """A backend-appropriate reference to a NumPy array.
+
+    ``.array`` is the view workers read and write; ``release()`` frees any
+    resources the handle owns and is idempotent.
+    """
+
+    @property
+    @abstractmethod
+    def array(self) -> np.ndarray:
+        ...
+
+    def release(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    @property
+    def released(self) -> bool:
+        """True once the handle holds no releasable resources."""
+        return True
+
+
+class LocalArray(ArrayHandle):
+    """Serial/thread handle: the caller's array itself (zero copies)."""
+
+    __slots__ = ("_array",)
+
+    def __init__(self, array: np.ndarray):
+        self._array = array
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._array
+
+
+# Worker-side cache of attached segments, keyed by segment name.  Pool
+# workers are reused across tasks, so each worker attaches a segment once;
+# the cache is bounded because segment names never recur (the owner picks
+# fresh names) but a long-lived backend can stream many arrays through.
+_ATTACH_CACHE: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+_ATTACH_CACHE_MAX = 64
+
+
+def _attached_view(name: str, shape: tuple, dtype: str) -> np.ndarray:
+    cached = _ATTACH_CACHE.get(name)
+    if cached is None:
+        if len(_ATTACH_CACHE) >= _ATTACH_CACHE_MAX:
+            _, (old_shm, _) = _ATTACH_CACHE.popitem()
+            old_shm.close()
+        shm = shared_memory.SharedMemory(name=name)
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        _ATTACH_CACHE[name] = (shm, view)
+        return view
+    return cached[1]
+
+
+def _rebuild_shared(name: str, shape: tuple, dtype: str) -> "SharedArray":
+    return SharedArray(name=name, shape=shape, dtype=dtype)
+
+
+class SharedArray(ArrayHandle):
+    """Process handle: an array living in a ``shared_memory`` segment.
+
+    Picklable by *name* only — sending the handle to a worker costs a few
+    dozen bytes regardless of array size; the worker re-attaches the
+    segment and builds a view over the same physical pages (zero copies
+    after the initial :meth:`wrap`).
+
+    The creating process owns the segment: :meth:`release` closes *and*
+    unlinks it.  Attached (worker-side) instances only ever close.
+    """
+
+    def __init__(self, name: str, shape: tuple, dtype: str,
+                 shm: shared_memory.SharedMemory | None = None,
+                 owner: bool = False):
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = str(dtype)
+        self._shm = shm
+        self._owner = owner
+        self._released = False
+
+    @classmethod
+    def wrap(cls, array: np.ndarray) -> "SharedArray":
+        """Copy ``array`` into a fresh shared segment (the one copy paid)."""
+        arr = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        return cls(name=shm.name, shape=arr.shape, dtype=arr.dtype.str,
+                   shm=shm, owner=True)
+
+    @property
+    def array(self) -> np.ndarray:
+        if self._released:
+            raise RuntimeError(f"shared segment {self.name} already released")
+        if self._shm is None:  # worker side: attach lazily, cache per process
+            return _attached_view(self.name, self.shape, self.dtype)
+        return np.ndarray(self.shape, dtype=np.dtype(self.dtype),
+                          buffer=self._shm.buf)
+
+    def release(self) -> None:
+        if self._released or self._shm is None:
+            self._released = True
+            return
+        self._released = True
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def __reduce__(self):
+        return _rebuild_shared, (self.name, self.shape, self.dtype)
+
+
+# ---------------------------------------------------------------------------
+# backends
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend(ABC):
+    """Uniform executor interface over one chunk decomposition.
+
+    ``map(fn, items)`` applies a callable to every item and returns the
+    results **in input order** — never completion order — so chunked
+    kernels are deterministic regardless of scheduling.  Backends are
+    context managers; :meth:`close` is idempotent and releases every
+    resource the backend still owns (pools, shared segments).
+    """
+
+    name = "abstract"
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self._handles: list[ArrayHandle] = []
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shutdown()
+        finally:
+            for handle in self._handles:
+                handle.release()
+            self._handles.clear()
+
+    def _shutdown(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{self.name} backend already closed")
+
+    # -- data ---------------------------------------------------------------
+
+    def share(self, array: np.ndarray) -> ArrayHandle:
+        """Expose ``array`` to workers without pickling its contents.
+
+        The backend keeps a safety-net reference and releases any segment
+        still live at :meth:`close`; callers that release per-invocation
+        (the chunked kernels do) make that a no-op.
+        """
+        self._check_open()
+        handle = self._share(array)
+        self._handles = [h for h in self._handles if not h.released]
+        self._handles.append(handle)
+        return handle
+
+    def _share(self, array: np.ndarray) -> ArrayHandle:
+        return LocalArray(array)
+
+    def gather(self, handle: ArrayHandle, out: np.ndarray) -> np.ndarray:
+        """Land a written-to handle back into the caller's buffer."""
+        if handle.array is not out:
+            np.copyto(out, handle.array)
+        return out
+
+    # -- execution ----------------------------------------------------------
+
+    @abstractmethod
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """``[fn(item) for item in items]``, possibly concurrently."""
+        ...
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution — the reference each parallel backend must match."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1):
+        super().__init__(workers)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        self._check_open()
+        return [fn(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution: shared address space, GIL-limited."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2):
+        super().__init__(workers)
+        self._pool = ThreadPoolExecutor(max_workers=workers)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        self._check_open()
+        return list(self._pool.map(fn, items))
+
+    def _shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution with zero-copy shared-memory operands.
+
+    Prefers the ``fork`` start method where available (workers inherit the
+    imported interpreter, so spawn-up is milliseconds, not import time) and
+    falls back to the platform default otherwise.  ``share()`` places the
+    array in a shared segment owned by this backend; segments are unlinked
+    at :meth:`close` even if a task raised.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2, start_method: str | None = None):
+        super().__init__(workers)
+        if start_method is None:
+            start_method = "fork" if "fork" in get_all_start_methods() else None
+        ctx = get_context(start_method) if start_method else get_context()
+        self._pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        self._check_open()
+        return list(self._pool.map(fn, items))
+
+    def _share(self, array: np.ndarray) -> ArrayHandle:
+        return SharedArray.wrap(array)
+
+    def _shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# construction and decomposition helpers
+# ---------------------------------------------------------------------------
+
+_BACKEND_TYPES = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(backend: str, workers: int = 2) -> ExecutionBackend:
+    """Construct a backend by registered name (see :data:`BACKENDS`)."""
+    try:
+        cls = _BACKEND_TYPES[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}") from None
+    if backend == "serial":
+        return cls()
+    return cls(workers)
+
+
+@contextmanager
+def open_backend(backend: "str | ExecutionBackend", workers: int = 2):
+    """Yield a backend, owning its lifecycle only when built here.
+
+    A string constructs a fresh backend that is closed on exit; an
+    :class:`ExecutionBackend` instance is *borrowed* — yielded as-is and
+    left open, so callers can amortize one process pool across many kernel
+    invocations (the chunked kernels and ``parallel_map`` accept both).
+    """
+    if isinstance(backend, ExecutionBackend):
+        yield backend
+        return
+    built = make_backend(backend, workers)
+    try:
+        with built:
+            yield built
+    finally:
+        pass
+
+
+def chunk_bounds(n: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Half-open ``(lo, hi)`` chunk bounds covering ``[0, n)`` in order."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    return [(lo, min(lo + chunk_size, n)) for lo in range(0, n, chunk_size)]
+
+
+def default_chunk(n: int, workers: int) -> int:
+    """One chunk per worker — the static-schedule default."""
+    return max(1, math.ceil(n / max(1, workers)))
+
+
+# ---------------------------------------------------------------------------
+# timing integration: measured (not modelled) backend comparisons
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BackendTiming:
+    """Measured wall-clock of one backend on one chunked workload."""
+
+    backend: str
+    workers: int
+    seconds: float
+    speedup: float  # vs. the serial backend in the same comparison
+
+    def __str__(self) -> str:
+        return (f"{self.backend:>8s} x{self.workers}: {self.seconds:.4e}s "
+                f"({self.speedup:.2f}x)")
+
+
+def compare_backends(run: Callable[[ExecutionBackend], object],
+                     workers: int,
+                     backends: Sequence[str] = BACKENDS,
+                     repetitions: int = 3,
+                     warmup: int = 1) -> list[BackendTiming]:
+    """Measure ``run(backend)`` under each backend with proper methodology.
+
+    ``run`` receives a live backend and performs one full chunked workload
+    through it (pool spawn-up is *excluded* from the timed region — the
+    steady-state regime a tuning loop amortizes into).  Timing goes through
+    :func:`repro.timing.timers.measure` (warmup + repetitions, best rep),
+    and speedups are reported against the ``serial`` entry, which is
+    prepended if absent so the ratio is always well-defined.
+    """
+    from ..timing.timers import measure
+
+    names = list(backends)
+    if "serial" not in names:
+        names.insert(0, "serial")
+    best: dict[str, float] = {}
+    for name in names:
+        with make_backend(name, workers) as backend:
+            result = measure(lambda: run(backend),
+                             repetitions=repetitions, warmup=warmup)
+        best[name] = result.best
+    serial = best["serial"]
+    return [BackendTiming(name, 1 if name == "serial" else workers,
+                          best[name], serial / best[name])
+            for name in names]

@@ -7,19 +7,20 @@ Two planes, as everywhere in this library:
   barrier, critical sections, false-sharing penalties) produce per-thread
   timelines and parallel counters.  Feeds the parallel performance
   patterns (load imbalance, synchronization overhead, false sharing).
-* :func:`parallel_map` — an actual ``ThreadPoolExecutor`` runner for
-  NumPy-heavy chunk functions (NumPy releases the GIL, so real speedups
-  are observable), used by the examples to measure true speedup curves.
+* :func:`parallel_map` — an actual chunk runner over the pluggable
+  execution backends of :mod:`repro.parallel.backends` (serial, threads,
+  zero-copy processes), used by the examples to measure true speedup
+  curves.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
+from .backends import ExecutionBackend, chunk_bounds, default_chunk, open_backend
 from .schedule import ScheduleResult, imbalance_ratio, simulate_schedule
 
 __all__ = [
@@ -136,25 +137,50 @@ class SimulatedTeam:
         return out
 
 
-def parallel_map(chunk_fn: Callable[[int, int], object], n: int,
-                 workers: int, chunk: int | None = None) -> list[object]:
-    """Run ``chunk_fn(lo, hi)`` over [0, n) with a real thread pool.
+class _ChunkCall:
+    """Picklable adapter turning ``fn(lo, hi)`` into ``fn(bounds)``."""
 
-    ``chunk_fn`` must be GIL-releasing (NumPy slicing work) for real
-    speedup; results are returned in chunk order.
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[int, int], object]):
+        self.fn = fn
+
+    def __call__(self, bounds: tuple[int, int]) -> object:
+        return self.fn(*bounds)
+
+
+def parallel_map(chunk_fn: Callable[[int, int], object], n: int,
+                 workers: int, chunk: int | None = None,
+                 *, chunk_size: int | None = None,
+                 backend: "str | ExecutionBackend | None" = None) -> list[object]:
+    """Run ``chunk_fn(lo, hi)`` over [0, n) through an execution backend.
+
+    A thin wrapper over :mod:`repro.parallel.backends` that keeps the
+    historical signature.  Results are **always** returned in input (chunk)
+    order, whatever the completion order.  ``chunk_size`` is the preferred
+    spelling of the legacy ``chunk`` parameter (they are aliases; passing
+    conflicting values is an error).  ``backend`` selects the executor:
+    ``None`` keeps the historical behaviour (inline for ``workers == 1``,
+    a thread pool otherwise); a name from :data:`~repro.parallel.backends.BACKENDS`
+    or a live :class:`~repro.parallel.backends.ExecutionBackend` (borrowed,
+    left open) runs the chunks there instead.  For real speedup the chunk
+    body must release the GIL under ``"thread"`` but not under
+    ``"process"`` — provided ``chunk_fn`` is picklable.
     """
     if n < 1 or workers < 1:
         raise ValueError("n and workers must be positive")
-    if chunk is None:
-        chunk = (n + workers - 1) // workers
-    if chunk < 1:
+    if chunk is not None and chunk_size is not None and chunk != chunk_size:
+        raise ValueError(f"chunk={chunk} conflicts with chunk_size={chunk_size}")
+    size = chunk_size if chunk_size is not None else chunk
+    if size is None:
+        size = default_chunk(n, workers)
+    if size < 1:
         raise ValueError("chunk must be positive")
-    bounds = [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
-    if workers == 1:
-        return [chunk_fn(lo, hi) for lo, hi in bounds]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(chunk_fn, lo, hi) for lo, hi in bounds]
-        return [f.result() for f in futures]
+    bounds = chunk_bounds(n, size)
+    if backend is None:
+        backend = "serial" if workers == 1 else "thread"
+    with open_backend(backend, workers) as ex:
+        return ex.map(_ChunkCall(chunk_fn), bounds)
 
 
 @dataclass(frozen=True)

@@ -211,6 +211,12 @@ class EvaluationHarness:
         Optional model ``config -> predicted seconds`` attached to every
         evaluation for measured-vs-predicted reporting
         (see :mod:`repro.tuning.guidance`).
+    backend:
+        Optional :class:`~repro.parallel.backends.ExecutionBackend` through
+        which :meth:`evaluate_many` measures *independent* cold
+        configurations concurrently.  ``None`` (the default) keeps every
+        path strictly serial.  The backend is borrowed, never closed.  A
+        process backend additionally requires a picklable objective.
     clock:
         Monotonic time source (injectable for deterministic tests).
     """
@@ -220,6 +226,7 @@ class EvaluationHarness:
                  budget: Budget | None = None,
                  cache: MutableMapping[tuple, float] | None = None,
                  predict: Callable[[Mapping[str, object]], float] | None = None,
+                 backend=None,
                  clock: Callable[[], float] = time.monotonic):
         self.objective = objective
         self.kernel = kernel
@@ -227,6 +234,7 @@ class EvaluationHarness:
         self.budget = budget
         self.cache = cache if cache is not None else {}
         self.predict = predict
+        self.backend = backend
         self._clock = clock
         self._started: float | None = None
         self.history: list[Evaluation] = []
@@ -265,6 +273,79 @@ class EvaluationHarness:
         self.history.append(Evaluation(len(self.history), dict(config),
                                        seconds, predicted, cached=False))
         return seconds
+
+    def evaluate_many(self, configs) -> list[float]:
+        """Evaluate a batch of *independent* configurations.
+
+        Semantically identical to calling :meth:`evaluate` on each config
+        in order — same history entries, same ``cached`` flags (a config
+        repeated within the batch is measured once and replayed as a cache
+        hit), same cache keys, same :class:`BudgetExhausted` point (the
+        entries before the exhausting config are recorded, then the error
+        is raised) — so for a deterministic objective the resulting
+        :class:`TuningResult` is byte-identical to a serial run.
+
+        With a ``backend`` attached, the cold (unmeasured) configurations
+        are dispatched through ``backend.map`` concurrently; results are
+        still recorded in input order.  The only semantic difference is
+        the wall-clock budget: it is checked once per batch rather than
+        before each cold evaluation, since cold evaluations no longer have
+        a serial "before".
+        """
+        configs = [dict(c) for c in configs]
+        if self.backend is None:
+            return [self.evaluate(c) for c in configs]
+        if self._started is None:
+            self._started = self._clock()
+        # Plan: replay serial cache/budget semantics to find which configs
+        # are cold, stopping at the config a serial run would raise on.
+        cold: list[dict] = []
+        cold_keys: list[tuple] = []
+        planned = 0
+        exhausted: str | None = None
+        for config in configs:
+            key = self._key(config)
+            if key not in self.cache and key not in cold_keys:
+                if self.budget is not None:
+                    if (self.budget.max_evaluations is not None
+                            and self.measurements + len(cold)
+                            >= self.budget.max_evaluations):
+                        exhausted = (f"evaluation budget of "
+                                     f"{self.budget.max_evaluations} spent")
+                        break
+                    if (self.budget.max_seconds is not None
+                            and self._clock() - self._started
+                            >= self.budget.max_seconds):
+                        exhausted = (f"wall-clock budget of "
+                                     f"{self.budget.max_seconds}s spent")
+                        break
+                cold.append(config)
+                cold_keys.append(key)
+            planned += 1
+        measured = self.backend.map(self.objective, cold) if cold else []
+        seconds_by_key = dict(zip(cold_keys, (float(s) for s in measured)))
+        # Record in input order, replaying what a serial loop would do.
+        out: list[float] = []
+        for config in configs[:planned]:
+            key = self._key(config)
+            predicted = self.predict(config) if self.predict is not None else None
+            if key in self.cache:
+                seconds = self.cache[key]
+                self.history.append(Evaluation(len(self.history), dict(config),
+                                               seconds, predicted, cached=True))
+            else:
+                seconds = seconds_by_key[key]
+                if seconds <= 0:
+                    raise ValueError(
+                        f"objective must be positive, got {seconds} for {config}")
+                self.measurements += 1
+                self.cache[key] = seconds
+                self.history.append(Evaluation(len(self.history), dict(config),
+                                               seconds, predicted, cached=False))
+            out.append(seconds)
+        if exhausted is not None:
+            raise BudgetExhausted(exhausted)
+        return out
 
     def result(self, strategy: str = "?") -> TuningResult:
         """Freeze the history into a :class:`TuningResult`."""

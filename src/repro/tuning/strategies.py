@@ -60,13 +60,18 @@ class SearchStrategy(ABC):
 
 
 class GridSearch(SearchStrategy):
-    """Evaluate every valid configuration in deterministic odometer order."""
+    """Evaluate every valid configuration in deterministic odometer order.
+
+    All grid points are independent, so the whole enumeration is one
+    :meth:`~repro.tuning.harness.EvaluationHarness.evaluate_many` batch —
+    concurrent when the harness carries an execution backend, and recorded
+    identically to a serial sweep either way.
+    """
 
     name = "grid"
 
     def _search(self, space: SearchSpace, harness: EvaluationHarness) -> None:
-        for config in space.configs():
-            harness.evaluate(config)
+        harness.evaluate_many(space.configs())
 
 
 class RandomSearch(SearchStrategy):
@@ -85,14 +90,19 @@ class RandomSearch(SearchStrategy):
         rng = np.random.default_rng(self.seed)
         total = space.size()
         limit = total if self.max_samples is None else min(self.max_samples, total)
+        # Sampling consumes the RNG, never the measurements, so the whole
+        # seeded draw sequence can be fixed up front and evaluated as one
+        # independent batch (same order a serial run would measure in).
         seen: set[tuple] = set()
+        samples: list[dict] = []
         while len(seen) < limit:
             config = space.sample(rng)
             key = config_key(config)
             if key in seen:
                 continue
             seen.add(key)
-            harness.evaluate(config)
+            samples.append(config)
+        harness.evaluate_many(samples)
 
 
 class CoordinateDescent(SearchStrategy):
@@ -122,10 +132,15 @@ class CoordinateDescent(SearchStrategy):
         for _ in range(self.max_passes):
             improved = False
             for param in space.parameters:
-                for config in space.axis(current, param.name):
-                    if config == current:
-                        continue
-                    seconds = harness.evaluate(config)
+                # one axis sweep is decided before any of its results, so
+                # its configurations are independent: batch them (the
+                # winner is picked afterwards, exactly as the serial loop
+                # would — axis configs are distinct, so later comparisons
+                # never see a current that appears again in the sweep)
+                candidates = [config for config in space.axis(current, param.name)
+                              if config != current]
+                for config, seconds in zip(candidates,
+                                           harness.evaluate_many(candidates)):
                     if seconds < best:
                         best, current, improved = seconds, config, True
             if not improved:

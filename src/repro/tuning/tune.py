@@ -76,6 +76,7 @@ def tune(objective: Callable[[Mapping[str, object]], float],
          budget: Budget | None = None,
          guide: ModelGuide | None = None,
          cache: MutableMapping[tuple, float] | None = None,
+         backend=None,
          process: EngineeringProcess | None = None,
          attempt_name: str | None = None) -> TuningResult:
     """Search ``space`` for the configuration minimizing ``objective``.
@@ -87,6 +88,12 @@ def tune(objective: Callable[[Mapping[str, object]], float],
     guide's prediction for the winning configuration when a guide is
     attached — so the process report shows the tuner's model error like
     any other optimization attempt.
+
+    ``backend`` (an :class:`~repro.parallel.backends.ExecutionBackend`,
+    borrowed and left open) lets batching strategies measure independent
+    configurations concurrently; for a deterministic objective the
+    resulting history is byte-identical to the serial search under the
+    same seed (see :meth:`EvaluationHarness.evaluate_many`).
     """
     if process is not None and process.feasibility is None:
         # fail before spending the measurement budget, not after
@@ -95,7 +102,8 @@ def tune(objective: Callable[[Mapping[str, object]], float],
             "feasibility) so the winner can be proposed and applied")
     harness = EvaluationHarness(
         objective, kernel=kernel, problem=problem, budget=budget,
-        cache=cache, predict=guide.predict if guide is not None else None)
+        cache=cache, predict=guide.predict if guide is not None else None,
+        backend=backend)
     result = strategy.run(space, harness)
     if not result.history:
         raise RuntimeError(
@@ -121,6 +129,7 @@ def tune_variant(variant: KernelVariant,
                  budget: Budget | None = None,
                  guide: ModelGuide | None = None,
                  cache: MutableMapping[tuple, float] | None = None,
+                 backend=None,
                  process: EngineeringProcess | None = None,
                  warmup: int = 1,
                  repetitions: int = 3) -> TuningResult:
@@ -136,5 +145,6 @@ def tune_variant(variant: KernelVariant,
                                 warmup=warmup, repetitions=repetitions)
     return tune(objective, space, strategy,
                 kernel=variant.qualified_name, problem=problem,
-                budget=budget, guide=guide, cache=cache, process=process,
+                budget=budget, guide=guide, cache=cache, backend=backend,
+                process=process,
                 attempt_name=f"autotune:{variant.qualified_name}")

@@ -1,0 +1,169 @@
+"""Chunked parallel kernel variants cross-checked against their serial peers.
+
+Every parallel variant must be *numerically indistinguishable* from the
+serial variant it decomposes, for every backend and for the awkward shapes
+that break naive chunking: chunk counts that do not divide the extent,
+1-row matrices, workers exceeding the work, and SpMV rows with no nonzeros.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    REGISTRY,
+    banded_sparse,
+    histogram_chunked,
+    histogram_scalar,
+    init_grid,
+    jacobi_step_chunked,
+    jacobi_step_numpy,
+    matmul_chunked,
+    random_keys,
+    random_matrices,
+    random_sparse,
+    spmv_csr_chunked,
+    spmv_csr_scalar,
+)
+from repro.parallel import BACKENDS, ProcessBackend
+
+pytestmark = pytest.mark.parametrize("backend", BACKENDS)
+
+
+class TestMatmulChunked:
+    @pytest.mark.parametrize("n", [1, 2, 7, 16])
+    def test_matches_numpy_for_odd_shapes(self, backend, n):
+        a, b, c = random_matrices(n, seed=n)
+        matmul_chunked(a, b, c, workers=3, backend=backend)
+        assert np.allclose(c, a @ b)
+
+    def test_scalar_inner_matches(self, backend):
+        a, b, c = random_matrices(5, seed=1)
+        matmul_chunked(a, b, c, workers=2, backend=backend, inner="scalar")
+        assert np.allclose(c, a @ b)
+
+    def test_rectangular_and_accumulating(self, backend):
+        a, b, c = random_matrices(6, seed=2, m=3, k=9)
+        c[:] = 1.0
+        expected = 1.0 + a @ b
+        matmul_chunked(a, b, c, workers=4, backend=backend)
+        assert np.allclose(c, expected)
+
+    def test_workers_exceed_rows(self, backend):
+        a, b, c = random_matrices(2, seed=3)
+        matmul_chunked(a, b, c, workers=8, backend=backend)
+        assert np.allclose(c, a @ b)
+
+    def test_explicit_non_divisible_chunk(self, backend):
+        a, b, c = random_matrices(10, seed=4)
+        matmul_chunked(a, b, c, workers=2, backend=backend, chunk_size=3)
+        assert np.allclose(c, a @ b)
+
+    def test_rejects_unknown_inner(self, backend):
+        a, b, c = random_matrices(2)
+        with pytest.raises(ValueError, match="inner"):
+            matmul_chunked(a, b, c, backend=backend, inner="fortran")
+
+
+class TestStencilChunked:
+    @pytest.mark.parametrize("shape", [(3, 3), (4, 9), (17, 5)])
+    def test_matches_numpy_sweep(self, backend, shape):
+        n, m = shape
+        rng = np.random.default_rng(n * m)
+        src = rng.standard_normal(shape)
+        ref, out = np.empty_like(src), np.empty_like(src)
+        jacobi_step_numpy(src, ref)
+        jacobi_step_chunked(src, out, workers=3, backend=backend)
+        assert np.allclose(out, ref)
+
+    def test_scalar_inner_matches(self, backend):
+        src = init_grid(8)
+        ref, out = np.empty_like(src), np.empty_like(src)
+        jacobi_step_numpy(src, ref)
+        jacobi_step_chunked(src, out, workers=2, backend=backend, inner="scalar")
+        assert np.allclose(out, ref)
+
+    def test_single_interior_row(self, backend):
+        src = np.random.default_rng(0).standard_normal((3, 6))
+        ref, out = np.empty_like(src), np.empty_like(src)
+        jacobi_step_numpy(src, ref)
+        jacobi_step_chunked(src, out, workers=4, backend=backend)
+        assert np.allclose(out, ref)
+
+
+class TestHistogramChunked:
+    @pytest.mark.parametrize("n,bins", [(1, 1), (13, 4), (100, 7)])
+    def test_matches_scalar(self, backend, n, bins):
+        keys = random_keys(n, bins, seed=n)
+        assert np.array_equal(histogram_chunked(keys, bins, workers=3,
+                                                backend=backend),
+                              histogram_scalar(keys, bins))
+
+    def test_scalar_inner_matches(self, backend):
+        keys = random_keys(29, 5, seed=1)
+        assert np.array_equal(histogram_chunked(keys, 5, workers=2,
+                                                backend=backend, inner="scalar"),
+                              histogram_scalar(keys, 5))
+
+    def test_out_of_range_keys_rejected(self, backend):
+        keys = np.array([0, 1, 9], dtype=np.int64)
+        with pytest.raises(ValueError, match="outside"):
+            histogram_chunked(keys, 3, workers=2, backend=backend)
+
+    def test_chunk_smaller_than_workers(self, backend):
+        keys = random_keys(3, 2, seed=2)
+        assert np.array_equal(histogram_chunked(keys, 2, workers=8,
+                                                backend=backend),
+                              histogram_scalar(keys, 2))
+
+
+class TestSpmvChunked:
+    def test_matches_scalar_random(self, backend):
+        csr = random_sparse(17, density=0.15, seed=5).to_csr()
+        x = np.random.default_rng(5).standard_normal(17)
+        assert np.allclose(spmv_csr_chunked(csr, x, workers=3, backend=backend),
+                           spmv_csr_scalar(csr, x))
+
+    def test_empty_rows_stay_zero(self, backend):
+        # sparse enough that several rows have no nonzeros at all
+        csr = random_sparse(31, density=0.02, seed=6).to_csr()
+        assert np.count_nonzero(csr.row_lengths() == 0) > 0
+        x = np.random.default_rng(6).standard_normal(31)
+        assert np.allclose(spmv_csr_chunked(csr, x, workers=4, backend=backend),
+                           spmv_csr_scalar(csr, x))
+
+    def test_scalar_inner_matches(self, backend):
+        csr = banded_sparse(12, bandwidth=2, seed=7).to_csr()
+        x = np.random.default_rng(7).standard_normal(12)
+        assert np.allclose(spmv_csr_chunked(csr, x, workers=2, backend=backend,
+                                            inner="scalar"),
+                           spmv_csr_scalar(csr, x))
+
+    def test_single_row_matrix(self, backend):
+        csr = random_sparse(1, m=9, density=0.5, seed=8).to_csr()
+        x = np.arange(9.0)
+        assert np.allclose(spmv_csr_chunked(csr, x, workers=4, backend=backend),
+                           spmv_csr_scalar(csr, x))
+
+
+class TestRegistryMetadata:
+    def test_chunked_variants_registered_with_workers_tunable(self, backend):
+        del backend  # parametrized at module level; irrelevant here
+        for kernel, name in [("matmul", "chunked"), ("stencil", "chunked"),
+                             ("histogram", "chunked"), ("spmv", "csr_chunked")]:
+            variant = REGISTRY.get(kernel, name)
+            assert variant.technique == "parallelization"
+            assert variant.tunable("workers").kind == "int"
+            assert set(variant.tunable("backend").choices) == set(BACKENDS)
+
+
+class TestSharedBackendInstance:
+    def test_one_pool_amortized_over_kernels(self, backend):
+        if backend != "process":
+            pytest.skip("amortization matters for the process pool")
+        with ProcessBackend(2) as pool:
+            a, b, c = random_matrices(6, seed=9)
+            matmul_chunked(a, b, c, workers=2, backend=pool)
+            keys = random_keys(50, 4, seed=9)
+            counts = histogram_chunked(keys, 4, workers=2, backend=pool)
+        assert np.allclose(c, a @ b)
+        assert np.array_equal(counts, histogram_scalar(keys, 4))

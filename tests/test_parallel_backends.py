@@ -1,0 +1,249 @@
+"""Execution backends: API contract, zero-copy sharing, resource hygiene."""
+
+import multiprocessing
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    BACKENDS,
+    LocalArray,
+    ProcessBackend,
+    SerialBackend,
+    SharedArray,
+    ThreadBackend,
+    chunk_bounds,
+    compare_backends,
+    default_chunk,
+    make_backend,
+    open_backend,
+    parallel_map,
+)
+from multiprocessing import shared_memory
+
+
+def _double(x):
+    return 2 * x
+
+
+def _span(lo, hi):
+    return (lo, hi)
+
+
+def _boom(x):
+    raise RuntimeError(f"worker failure on {x}")
+
+
+def _write_row(args):
+    handle, row, value = args
+    handle.array[row, :] = value
+
+
+def _no_children(timeout=5.0):
+    """True once no worker processes remain (joins may lag shutdown)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return not multiprocessing.active_children()
+
+
+def _segment_gone(name: str) -> bool:
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    shm.close()
+    return False
+
+
+class TestChunkBounds:
+    def test_covers_range_in_order(self):
+        bounds = chunk_bounds(10, 3)
+        assert bounds == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_chunk_when_oversized(self):
+        assert chunk_bounds(4, 100) == [(0, 4)]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            chunk_bounds(0, 1)
+        with pytest.raises(ValueError):
+            chunk_bounds(5, 0)
+
+    def test_default_chunk_one_per_worker(self):
+        assert default_chunk(10, 3) == 4
+        assert default_chunk(2, 8) == 1
+
+
+class TestBackendContract:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_map_preserves_input_order(self, name):
+        with make_backend(name, 3) as backend:
+            assert backend.map(_double, list(range(20))) == [2 * i for i in range(20)]
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_share_and_gather_roundtrip(self, name):
+        a = np.arange(12.0).reshape(3, 4)
+        out = np.zeros_like(a)
+        with make_backend(name, 2) as backend:
+            handle = backend.share(a)
+            backend.gather(handle, out)
+        assert np.array_equal(out, a)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu", 2)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(0)
+
+    def test_map_after_close_rejected(self):
+        backend = SerialBackend()
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.map(_double, [1])
+
+    def test_close_is_idempotent(self):
+        backend = ThreadBackend(2)
+        backend.close()
+        backend.close()
+
+    def test_open_backend_borrows_instances(self):
+        with ThreadBackend(2) as backend:
+            with open_backend(backend, 4) as ex:
+                assert ex is backend
+            # borrowed: still usable after the inner context exits
+            assert backend.map(_double, [3]) == [6]
+
+    def test_serial_share_is_the_array_itself(self):
+        a = np.zeros(4)
+        with SerialBackend() as backend:
+            assert backend.share(a).array is a
+
+
+class TestSharedArray:
+    def test_handle_pickles_by_name_not_contents(self):
+        a = np.random.default_rng(0).standard_normal((64, 64))
+        handle = SharedArray.wrap(a)
+        try:
+            blob = pickle.dumps(handle)
+            assert len(blob) < 512  # a few dozen bytes of metadata, not 32 KiB
+            clone = pickle.loads(blob)
+            assert np.array_equal(clone.array, a)
+        finally:
+            handle.release()
+
+    def test_wrap_copies_and_release_unlinks(self):
+        handle = SharedArray.wrap(np.arange(5.0))
+        name = handle.name
+        assert not _segment_gone(name)
+        handle.release()
+        assert _segment_gone(name)
+        handle.release()  # idempotent
+
+    def test_array_access_after_release_rejected(self):
+        handle = SharedArray.wrap(np.arange(3.0))
+        handle.release()
+        with pytest.raises(RuntimeError, match="released"):
+            handle.array
+
+    def test_empty_array_roundtrip(self):
+        handle = SharedArray.wrap(np.empty(0))
+        try:
+            assert handle.array.size == 0
+        finally:
+            handle.release()
+
+    def test_local_array_is_always_released(self):
+        assert LocalArray(np.zeros(1)).released
+
+
+class TestProcessZeroCopy:
+    def test_workers_write_into_shared_pages(self):
+        a = np.zeros((4, 8))
+        with ProcessBackend(2) as backend:
+            handle = backend.share(a)
+            backend.map(_write_row, [(handle, r, float(r + 1)) for r in range(4)])
+            backend.gather(handle, a)
+        assert np.array_equal(a, np.outer(np.arange(1.0, 5.0), np.ones(8)))
+
+
+class TestResourceHygiene:
+    def test_normal_exit_leaks_nothing(self):
+        with ProcessBackend(2) as backend:
+            handle = backend.share(np.arange(16.0))
+            name = handle.name
+            backend.map(_double, [1, 2, 3])
+        assert _segment_gone(name)
+        assert _no_children()
+
+    def test_worker_raise_leaks_nothing(self):
+        name = None
+        with pytest.raises(RuntimeError, match="worker failure"):
+            with ProcessBackend(2) as backend:
+                handle = backend.share(np.arange(16.0))
+                name = handle.name
+                backend.map(_boom, [1, 2])
+        assert name is not None and _segment_gone(name)
+        assert _no_children()
+
+    def test_thread_backend_worker_raise_propagates(self):
+        with pytest.raises(RuntimeError, match="worker failure"):
+            with ThreadBackend(2) as backend:
+                backend.map(_boom, [1])
+
+    def test_backend_close_releases_unreleased_handles(self):
+        backend = ProcessBackend(2)
+        handle = backend.share(np.arange(4.0))
+        backend.close()
+        assert handle.released and _segment_gone(handle.name)
+
+
+class TestParallelMapWrapper:
+    def test_signature_and_chunking_preserved(self):
+        out = parallel_map(lambda lo, hi: (lo, hi), 100, workers=3, chunk=30)
+        assert out == [(0, 30), (30, 60), (60, 90), (90, 100)]
+
+    def test_chunk_size_alias(self):
+        out = parallel_map(lambda lo, hi: (lo, hi), 10, workers=2, chunk_size=4)
+        assert out == [(0, 4), (4, 8), (8, 10)]
+
+    def test_conflicting_chunk_spellings_rejected(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            parallel_map(lambda lo, hi: None, 10, workers=2, chunk=3, chunk_size=4)
+
+    def test_results_in_input_order_despite_skew(self):
+        def slow_first(lo, hi):
+            if lo == 0:
+                time.sleep(0.02)
+            return lo
+        assert parallel_map(slow_first, 8, workers=4, chunk_size=2) == [0, 2, 4, 6]
+
+    def test_process_backend_via_wrapper(self):
+        out = parallel_map(_span, 4, workers=2, chunk_size=1, backend="process")
+        assert out == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_borrowed_backend_instance(self):
+        with ThreadBackend(2) as backend:
+            first = parallel_map(lambda lo, hi: hi - lo, 6, workers=2,
+                                 backend=backend)
+            second = parallel_map(lambda lo, hi: hi - lo, 6, workers=2,
+                                  backend=backend)
+        assert first == second == [3, 3]
+
+
+class TestCompareBackends:
+    def test_reports_serial_baseline_and_speedups(self):
+        def run(backend):
+            return backend.map(_double, list(range(8)))
+
+        timings = compare_backends(run, workers=2, backends=("serial", "thread"),
+                                   repetitions=1, warmup=0)
+        assert [t.backend for t in timings] == ["serial", "thread"]
+        assert timings[0].speedup == pytest.approx(1.0)
+        assert all(t.seconds > 0 for t in timings)

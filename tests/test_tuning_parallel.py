@@ -1,0 +1,143 @@
+"""Backend-parallel tuning must be indistinguishable from serial tuning.
+
+The harness promise: a search run with an execution backend attached
+produces the *byte-identical* TuningResult (same best config, same history
+order, same cached flags, same cache keys) as the serial harness under the
+same seed, for any deterministic objective.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ProcessBackend, SerialBackend, ThreadBackend
+from repro.tuning import (
+    Budget,
+    BudgetExhausted,
+    CoordinateDescent,
+    EvaluationHarness,
+    GridSearch,
+    IntegerParam,
+    RandomSearch,
+    SearchSpace,
+    SimulatedAnnealing,
+    tune,
+)
+
+
+def _objective(config):
+    """Deterministic bowl with a unique minimum at (5, 2); module-level so
+    the process backend can pickle it."""
+    return 1e-3 * ((config["x"] - 5) ** 2 + (config["y"] - 2) ** 2 + 1)
+
+
+def _space():
+    return SearchSpace([IntegerParam("x", low=0, high=8, default_value=4),
+                        IntegerParam("y", low=0, high=4, default_value=2)])
+
+
+def _harness(backend=None, budget=None, cache=None):
+    return EvaluationHarness(_objective, kernel="bowl", problem="unit",
+                             budget=budget, cache=cache, backend=backend)
+
+
+STRATEGIES = [GridSearch(), RandomSearch(seed=11, max_samples=15),
+              CoordinateDescent(), CoordinateDescent(seed=3),
+              SimulatedAnnealing(seed=5, steps=12)]
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES,
+                             ids=lambda s: s.name + str(id(s) % 7))
+    def test_thread_backend_history_byte_identical(self, strategy):
+        serial = strategy.run(_space(), _harness())
+        with ThreadBackend(4) as backend:
+            parallel = strategy.run(_space(), _harness(backend=backend))
+        assert serial.to_json() == parallel.to_json()
+        assert serial.best_config == parallel.best_config
+
+    def test_process_backend_history_byte_identical(self):
+        serial = GridSearch().run(_space(), _harness())
+        with ProcessBackend(2) as backend:
+            parallel = GridSearch().run(_space(), _harness(backend=backend))
+        assert serial.to_json() == parallel.to_json()
+
+    def test_tune_entry_point_accepts_backend(self):
+        serial = tune(_objective, _space(), GridSearch(), kernel="bowl")
+        with ThreadBackend(3) as backend:
+            parallel = tune(_objective, _space(), GridSearch(), kernel="bowl",
+                            backend=backend)
+        assert serial.to_json() == parallel.to_json()
+        assert parallel.best_config == {"x": 5, "y": 2}
+
+
+class TestBudgetSemantics:
+    def test_exhaustion_point_identical_to_serial(self):
+        serial = GridSearch().run(_space(), _harness(budget=Budget(max_evaluations=7)))
+        with ThreadBackend(3) as backend:
+            parallel = GridSearch().run(
+                _space(), _harness(backend=backend, budget=Budget(max_evaluations=7)))
+        assert serial.to_json() == parallel.to_json()
+        assert parallel.measurements == 7
+
+    def test_evaluate_many_raises_after_recording_prefix(self):
+        with ThreadBackend(2) as backend:
+            harness = _harness(backend=backend, budget=Budget(max_evaluations=2))
+            with pytest.raises(BudgetExhausted):
+                harness.evaluate_many([{"x": i, "y": 0} for i in range(5)])
+        assert harness.measurements == 2
+        assert len(harness.history) == 2
+
+    def test_cache_hits_are_free_in_batches(self):
+        cache = {}
+        with ThreadBackend(2) as backend:
+            first = _harness(backend=backend, cache=cache)
+            GridSearch().run(_space(), first)
+            second = _harness(backend=backend, cache=cache,
+                              budget=Budget(max_evaluations=1))
+            result = GridSearch().run(_space(), second)
+        # warm cache: the whole re-search costs zero measurements
+        assert second.measurements == 0
+        assert result.cache_hits == len(result.history)
+
+
+class TestBatchSemantics:
+    def test_duplicates_within_batch_replay_as_hits(self):
+        harness = _harness(backend=SerialBackend())
+        config = {"x": 1, "y": 1}
+        seconds = harness.evaluate_many([config, config, {"x": 2, "y": 2}])
+        assert seconds[0] == seconds[1]
+        assert [e.cached for e in harness.history] == [False, True, False]
+        assert harness.measurements == 2
+
+    def test_empty_batch_is_a_no_op(self):
+        harness = _harness(backend=SerialBackend())
+        assert harness.evaluate_many([]) == []
+        assert harness.history == []
+
+    def test_without_backend_delegates_to_evaluate(self):
+        harness = _harness()
+        harness.evaluate_many([{"x": 0, "y": 0}, {"x": 1, "y": 0}])
+        assert harness.measurements == 2
+        assert [e.cached for e in harness.history] == [False, False]
+
+    def test_nonpositive_objective_rejected_in_batch(self):
+        def bad(config):
+            return 0.0
+        harness = EvaluationHarness(bad, backend=SerialBackend())
+        with pytest.raises(ValueError, match="positive"):
+            harness.evaluate_many([{"x": 1}])
+
+    def test_result_ordering_deterministic_under_skew(self):
+        """Slow evaluations must not reorder the recorded history."""
+        import time
+
+        def skewed(config):
+            if config["x"] == 0:
+                time.sleep(0.02)
+            return float(config["x"] + 1)
+
+        with ThreadBackend(4) as backend:
+            harness = EvaluationHarness(skewed, backend=backend)
+            harness.evaluate_many([{"x": x} for x in range(4)])
+        assert [e.config["x"] for e in harness.history] == [0, 1, 2, 3]
+        assert [e.seconds for e in harness.history] == [1.0, 2.0, 3.0, 4.0]
