@@ -1,0 +1,86 @@
+"""Observability overhead: disabled tracing must be nearly free.
+
+The contract that makes it safe to leave instrumentation in every hot
+path (``measure``'s repetition loop, the tuning harness, backend chunk
+dispatch) is that the disabled path — the default — costs a method call
+returning a shared no-op handle and nothing more.  This bench measures
+``measure()`` on a small NumPy kernel through the instrumented path
+against a hand-rolled replica of the pre-instrumentation timing loop and
+asserts the per-repetition overhead stays under 5% (the ISSUE acceptance
+bound).  A second bench records the *enabled* cost for the log, so trace
+users know the price of turning it on.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the kernel for CI.
+"""
+
+import os
+
+import numpy as np
+from conftest import emit
+
+from repro.observe import MetricsRegistry, Tracer
+from repro.timing import measure
+from repro.timing.timers import Timer
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+N = 96 if SMOKE else 192
+REPS = 20 if SMOKE else 40
+ROUNDS = 3
+
+
+def _kernel():
+    a = np.random.default_rng(0).random((N, N))
+    return lambda: a @ a
+
+
+def _bare_best(fn, repetitions):
+    """The pre-instrumentation measure() loop: Timer + append, nothing else."""
+    times = []
+    for _ in range(repetitions):
+        with Timer() as t:
+            fn()
+        times.append(t.elapsed)
+    return min(times)
+
+
+def test_bench_disabled_tracer_overhead():
+    """Acceptance: measure() with tracing disabled is < 5% over a bare loop."""
+    fn = _kernel()
+    for _ in range(3):  # warm caches and BLAS threads
+        fn()
+    # interleave rounds so drift hits both paths equally; compare the best
+    bare = []
+    instrumented = []
+    for _ in range(ROUNDS):
+        bare.append(_bare_best(fn, REPS))
+        instrumented.append(measure(fn, repetitions=REPS, warmup=0).best)
+    best_bare = min(bare)
+    best_instr = min(instrumented)
+    overhead = best_instr / best_bare - 1.0
+    emit("observe / disabled-tracer overhead on measure()",
+         f"kernel: {N}x{N} matmul, {REPS} reps x {ROUNDS} rounds\n"
+         f"bare best         {best_bare:.4e}s\n"
+         f"instrumented best {best_instr:.4e}s\n"
+         f"overhead          {overhead:+.2%} (bound: +5%)")
+    assert overhead < 0.05, f"disabled-tracer overhead {overhead:+.2%}"
+
+
+def test_bench_enabled_tracer_cost_recorded():
+    """Informational: per-repetition cost of tracing ON (spans recorded)."""
+    fn = _kernel()
+    for _ in range(3):
+        fn()
+    off = min(measure(fn, repetitions=REPS, warmup=0).best
+              for _ in range(ROUNDS))
+    tracer = Tracer(metrics=MetricsRegistry())
+    on = min(measure(fn, repetitions=REPS, warmup=0, tracer=tracer).best
+             for _ in range(ROUNDS))
+    spans = len(tracer.spans)
+    emit("observe / enabled-tracer cost on measure()",
+         f"tracing off best {off:.4e}s\n"
+         f"tracing on  best {on:.4e}s ({on / off - 1.0:+.2%}, "
+         f"{spans} spans recorded)")
+    assert spans == ROUNDS * (REPS + 1)  # reps + the measure span, per round
+    # spans wrap the Timer region from outside: enabling tracing must not
+    # blow up the *measured* time either (generous noise allowance)
+    assert on < off * 1.5

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Trace a full auto-tuning run into one Chrome/Perfetto timeline.
+
+The course's workflow-profiling tools (Score-P, VAMPIR, VTune) all answer
+the same question: *where did the time go?*  ``repro.observe`` answers it
+for this repo's own machinery.  This example runs a real ``tune()`` over
+matmul tile sizes through a ``ThreadBackend``, with tracing enabled, and
+writes every layer — the search, each evaluation (cache hits included),
+the batch dispatch, the worker-side chunk execution, and the individual
+timed repetitions inside each chunk — into a single ``.trace.json``.
+
+Open the file at https://ui.perfetto.dev (or chrome://tracing): each
+worker appears as its own track, with ``timing.repetition`` spans nested
+inside ``backend.chunk`` spans nested under the ``tuning.search`` span
+on the coordinator track.
+
+Run:  PYTHONPATH=src python examples/trace_tuning_run.py
+      (set REPRO_BENCH_SMOKE=1 for a fast CI-sized run)
+
+The objective closes over the problem arrays, so it is not picklable —
+hence the thread backend here.  A module-level objective works the same
+way through ``ProcessBackend``, with worker spans reconciled across pids.
+"""
+
+import os
+
+from repro.kernels import REGISTRY, random_matrices
+from repro.observe import gantt_text, tracing
+from repro.tuning import (
+    Budget,
+    GridSearch,
+    timed_objective,
+    space_for,
+    tune,
+)
+from repro.parallel import ThreadBackend
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+N = 24 if SMOKE else 40
+OUT = "trace_tuning_run.trace.json"
+
+
+def main() -> None:
+    variant = REGISTRY.get("matmul", "tiled")
+    objective = timed_objective(variant.fn,
+                                setup=lambda cfg: random_matrices(N),
+                                warmup=1, repetitions=2 if SMOKE else 3)
+    space = space_for(variant)
+
+    with tracing() as tracer:
+        with ThreadBackend(2) as backend:
+            result = tune(objective, space, GridSearch(),
+                          kernel=variant.qualified_name, problem=f"n={N}",
+                          backend=backend,
+                          budget=Budget(max_evaluations=space.size()))
+
+    tracer.write_chrome_trace(OUT)
+
+    print(result.report())
+    print()
+    spans = tracer.spans
+    kinds = sorted({s.kind for s in spans})
+    print(f"captured {len(spans)} spans across layers {kinds}")
+    print(f"wrote {OUT} — open it at https://ui.perfetto.dev")
+    print()
+    print("worker-chunk timeline (same spans, text gantt):")
+    chunks = [s for s in spans if s.name == "backend.chunk"]
+    print(gantt_text(chunks, width=72, track=lambda s: s.attrs.get("rank"),
+                     label="worker"))
+    print()
+    print(tracer.metrics.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ Sub-packages map to the course topics (Table 1 of the paper):
 ``repro.queueing``      queueing theory + discrete-event validation
 ``repro.polyhedral``    iteration domains, dependences, legal transforms
 ``repro.tuning``        search-based kernel auto-tuning (stage 5, automated)
+``repro.observe``       structured tracing + metrics; Chrome-trace export
 ``repro.course``        the paper's own artifacts: data, grading, figures
 ======================  =====================================================
 
@@ -41,6 +42,16 @@ from .core import (
     Stage,
     Toolbox,
 )
+from .observe import (
+    METRICS,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
 from .tuning import (
     Budget,
     CoordinateDescent,
@@ -53,7 +64,7 @@ from .tuning import (
     tune_variant,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Toolbox",
@@ -73,5 +84,14 @@ __all__ = [
     "TuningResult",
     "tune",
     "tune_variant",
+    # observability
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "MetricsRegistry",
+    "METRICS",
     "__version__",
 ]

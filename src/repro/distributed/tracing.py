@@ -4,15 +4,25 @@ The course demonstrates VAMPIR/Score-P timelines for distributed runs
 (§4.2.1); this module renders the :class:`SimResult` event stream of the
 mini-MPI the same way: one text gantt row per rank, one glyph per time
 bucket, plus a per-state time profile (Score-P's summary view).
+
+The rendering itself lives in :mod:`repro.observe.export` — simulator
+events are converted to :class:`~repro.observe.spans.Span` records (one
+track per rank) and fed to the same gantt renderer live tracers use, so
+the mini-MPI is one consumer of the unified span format rather than a
+parallel timeline implementation.  :func:`result_spans` exposes that
+conversion, which also makes simulator runs exportable to Chrome
+``trace_event`` JSON via :func:`repro.observe.export.write_chrome_trace`.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+from ..observe import Span, gantt_text
 from .mpi_sim import SimResult, TraceEvent
 
-__all__ = ["timeline_text", "state_profile", "profile_text", "GLYPHS"]
+__all__ = ["timeline_text", "state_profile", "profile_text", "result_spans",
+           "GLYPHS"]
 
 #: event kind -> gantt glyph
 GLYPHS = {
@@ -27,43 +37,31 @@ GLYPHS = {
 }
 
 
+def result_spans(result: SimResult) -> list[Span]:
+    """The run's events in the unified span format: one track per rank."""
+    return [Span(name=e.kind, category=e.kind, start=e.start, end=e.end,
+                 pid=0, tid=e.rank,
+                 attrs={"rank": e.rank, **({"detail": e.detail} if e.detail else {})})
+            for e in result.events]
+
+
 def timeline_text(result: SimResult, width: int = 80) -> str:
     """Render the run as a text gantt: one row per rank.
 
     Each column is a makespan/width bucket; the glyph shows the state the
     rank spent the most time in during that bucket (idle = space).
+    Zero-length events (e.g. a barrier nobody waits at) still show their
+    glyph whenever their bucket is idle-dominated, instead of being
+    outvoted by any sliver of timed state.
     """
     if width < 10:
         raise ValueError("timeline too narrow")
-    span = result.makespan
-    if span <= 0:
+    if result.makespan <= 0:
         return "(empty run)"
-    dt = span / width
-    lines = [f"timeline: {span * 1e3:.3f} ms total, {dt * 1e6:.1f} us/column"]
-    for r in range(result.n_ranks):
-        # per-bucket dominant state
-        buckets: list[dict[str, float]] = [defaultdict(float) for _ in range(width)]
-        for e in result.rank_events(r):
-            b0 = min(width - 1, int(e.start / dt))
-            b1 = min(width - 1, int(max(e.start, e.end - 1e-15) / dt))
-            for b in range(b0, b1 + 1):
-                lo = max(e.start, b * dt)
-                hi = min(e.end, (b + 1) * dt)
-                if hi > lo:
-                    buckets[b][e.kind] += hi - lo
-                elif e.start == e.end and b == b0:
-                    buckets[b][e.kind] += 1e-18  # zero-length marker
-        row = []
-        for b in buckets:
-            if not b:
-                row.append(" ")
-            else:
-                kind = max(b, key=lambda k: b[k])
-                row.append(GLYPHS.get(kind, "?"))
-        lines.append(f"rank {r:3d} |{''.join(row)}|")
-    legend = "  ".join(f"{g}={k}" for k, g in GLYPHS.items())
-    lines.append(f"legend: {legend}")
-    return "\n".join(lines)
+    return gantt_text(result_spans(result), width=width, glyphs=GLYPHS,
+                      track=lambda s: s.tid, label="rank",
+                      t0=0.0, t1=result.makespan,
+                      tracks=range(result.n_ranks))
 
 
 def state_profile(result: SimResult) -> dict[str, float]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..observe import Tracer, get_tracer
 from ..timing.metrics import WorkCount
 from ..timing.stats import Summary
 from ..timing.timers import MeasurementResult, measure
@@ -77,14 +78,27 @@ class MicrobenchResult:
 
 
 def run_microbenchmark(bench: Microbenchmark, repetitions: int = 7,
-                       warmup: int = 2) -> MicrobenchResult:
-    """Set up and measure one microbenchmark."""
+                       warmup: int = 2,
+                       tracer: Tracer | None = None) -> MicrobenchResult:
+    """Set up and measure one microbenchmark.
+
+    With tracing enabled the run emits a ``microbench.run`` span tagged
+    with the kernel's work accounting — FLOPs, bytes, and operational
+    intensity — so a trace viewer (or a roofline overlay) can relate each
+    timed region to its position on the roofline.
+    """
     operands = bench.setup()
     if not isinstance(operands, tuple):
         raise TypeError(f"{bench.name}: setup must return a tuple of operands")
     work = bench.work(*operands)
-    result = measure(lambda: bench.fn(*operands), repetitions=repetitions,
-                     warmup=warmup)
+    tracer = get_tracer() if tracer is None else tracer
+    intensity = work.intensity if work.bytes_total > 0 else None
+    with tracer.span("microbench.run", category="microbench",
+                     benchmark=bench.name, flops=work.flops,
+                     bytes=work.bytes_total, intensity=intensity) as span:
+        result = measure(lambda: bench.fn(*operands), repetitions=repetitions,
+                         warmup=warmup, tracer=tracer)
+        span.set("median_seconds", result.summary.median)
     return MicrobenchResult(bench.name, work, result)
 
 

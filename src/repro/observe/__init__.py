@@ -1,0 +1,66 @@
+"""Unified observability: structured tracing, metrics, and exporters.
+
+The course's profiling/tracing lecture (Table 1: perf, VTune, Nsight,
+Score-P, VAMPIR, Scalasca) teaches that optimization starts from
+*measurement artifacts you can inspect*.  This package is that layer for
+the toolbox — one span format, produced everywhere and consumed by every
+view:
+
+==============================  ==========================================
+:mod:`repro.observe.spans`      :class:`Span`/:class:`Tracer` context
+                                managers with per-thread nesting, a no-op
+                                :class:`NullTracer` (tracing is off by
+                                default and nearly free when off), the
+                                ``REPRO_TRACE`` toggle, and cross-process
+                                span adoption
+:mod:`repro.observe.metrics`    :class:`MetricsRegistry` — counters,
+                                gauges, histograms — with a process-wide
+                                :data:`METRICS` default
+:mod:`repro.observe.export`     Chrome ``trace_event`` JSON (open in
+                                ``chrome://tracing`` / Perfetto) and the
+                                shared text-gantt renderer behind
+                                :func:`repro.distributed.tracing.timeline_text`
+==============================  ==========================================
+
+Instrumented subsystems: :func:`repro.timing.timers.measure` (one span per
+warmup/timed repetition), the tuning harness (evaluate / cache-hit /
+budget spans and counters), execution backends (worker-side per-chunk
+spans shipped back and reconciled onto one timeline, pids/tids mapped to
+ranks), and the microbenchmark harness (spans tagged with FLOPs, bytes,
+and operational intensity for roofline overlays).
+
+Quickstart::
+
+    from repro.observe import tracing
+    from repro.timing import measure
+
+    with tracing() as tracer:
+        measure(lambda: sum(range(10_000)), repetitions=5)
+    tracer.write_chrome_trace("run.trace.json")   # -> chrome://tracing
+    print(tracer.gantt(width=72))                 # text timeline
+"""
+
+from .export import auto_glyphs, chrome_trace, gantt_text, write_chrome_trace
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .spans import NullTracer, Span, Tracer, get_tracer, set_tracer, tracing
+
+__all__ = [
+    # spans
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    # exporters
+    "chrome_trace",
+    "write_chrome_trace",
+    "gantt_text",
+    "auto_glyphs",
+]

@@ -1,0 +1,195 @@
+"""Span exporters: Chrome ``trace_event`` JSON and the text gantt.
+
+Two consumers of the same :class:`~repro.observe.spans.Span` stream:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` emit the Chrome
+  trace-event format (complete ``"ph": "X"`` events, microsecond
+  timestamps) — load the file in ``chrome://tracing`` or
+  https://ui.perfetto.dev to get the VAMPIR-style zoomable timeline the
+  course demonstrates with Score-P traces;
+* :func:`gantt_text` renders the same spans as a fixed-width text gantt,
+  one row per track — the renderer
+  :func:`repro.distributed.tracing.timeline_text` is built on, so the
+  mini-MPI simulator and live tracers share one timeline implementation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import defaultdict
+from typing import Callable, Iterable, Mapping, Sequence
+
+from .metrics import MetricsRegistry
+from .spans import Span
+
+__all__ = ["chrome_trace", "write_chrome_trace", "gantt_text", "auto_glyphs"]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+
+def _json_safe(value):
+    """Clamp attribute values to what JSON can carry."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        value = float(value) if isinstance(value, float) else value
+        if isinstance(value, float) and not math.isfinite(value):
+            return str(value)
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    try:  # numpy scalars
+        return _json_safe(value.item())
+    except AttributeError:
+        return str(value)
+
+
+def chrome_trace(spans: Iterable[Span],
+                 metrics: MetricsRegistry | None = None,
+                 epoch: float | None = None) -> dict:
+    """Spans (plus an optional metrics snapshot) as a trace-event document.
+
+    Timestamps are microseconds relative to ``epoch`` (default: the
+    earliest span start across all processes — ``perf_counter`` is
+    system-wide on Linux, so forked workers land on the parent's
+    timeline).  Worker tracks that were reconciled with a ``rank``
+    attribute get ``thread_name`` metadata, so the Perfetto track list
+    reads ``rank 0..n-1`` instead of raw thread ids.
+    """
+    spans = list(spans)
+    if epoch is None:
+        epoch = min((s.start for s in spans), default=0.0)
+    events: list[dict] = []
+    track_names: dict[tuple[int, int], str] = {}
+    for s in spans:
+        args = {str(k): _json_safe(v) for k, v in s.attrs.items()}
+        events.append({
+            "name": s.name,
+            "cat": s.kind,
+            "ph": "X",
+            "ts": (s.start - epoch) * 1e6,
+            "dur": s.duration * 1e6,
+            "pid": int(s.pid),
+            "tid": int(s.tid),
+            "args": args,
+        })
+        rank = s.attrs.get("rank")
+        if rank is not None:
+            track_names.setdefault((int(s.pid), int(s.tid)), f"rank {rank}")
+    for (pid, tid), name in sorted(track_names.items()):
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": name}})
+    doc: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        doc["metrics"] = metrics.snapshot()
+    return doc
+
+
+def write_chrome_trace(path, spans: Iterable[Span],
+                       metrics: MetricsRegistry | None = None) -> None:
+    """Write :func:`chrome_trace` output to ``path`` (a ``.trace.json``)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(spans, metrics=metrics), fh, indent=1)
+
+
+# ---------------------------------------------------------------------------
+# text gantt
+# ---------------------------------------------------------------------------
+
+#: Fallback glyph cycle for kinds without an assigned glyph.
+_GLYPH_POOL = "#*+o=%@&"
+
+
+def auto_glyphs(kinds: Iterable[str]) -> dict[str, str]:
+    """Stable kind->glyph assignment: first letter, then the pool."""
+    glyphs: dict[str, str] = {}
+    used: set[str] = set()
+    pool = iter(_GLYPH_POOL * 4)
+    for kind in sorted(set(kinds)):
+        first = (kind[:1] or "?").upper()
+        glyph = first if first not in used else next(
+            (g for g in pool if g not in used), "?")
+        glyphs[kind] = glyph
+        used.add(glyph)
+    return glyphs
+
+
+def gantt_text(spans: Iterable[Span], width: int = 80,
+               glyphs: Mapping[str, str] | None = None,
+               track: Callable[[Span], object] | None = None,
+               label: str = "track",
+               t0: float | None = None, t1: float | None = None,
+               tracks: Sequence | None = None,
+               legend: bool = True) -> str:
+    """Render spans as a text gantt: one row per track, one glyph per bucket.
+
+    Each column is a ``(t1 - t0) / width`` bucket; the glyph shows the span
+    kind that *dominates* the bucket (idle = space).  Zero-length spans
+    (barriers, instant events) are rendered as their glyph whenever their
+    bucket is idle-dominated — i.e. real work covers less than half the
+    bucket — so instantaneous events are never outvoted into invisibility
+    by a sliver of compute.
+
+    ``track`` maps a span to its row key (default ``(pid, tid)``);
+    ``tracks`` forces the row set and order (rows without spans render
+    idle); ``t0``/``t1`` pin the time axis (default: span extent).
+    """
+    if width < 10:
+        raise ValueError("timeline too narrow")
+    spans = list(spans)
+    if track is None:
+        track = lambda s: (s.pid, s.tid)
+    if t0 is None:
+        t0 = min((s.start for s in spans), default=0.0)
+    if t1 is None:
+        t1 = max((s.end for s in spans), default=0.0)
+    extent = t1 - t0
+    if extent <= 0:
+        return "(empty run)"
+    if tracks is None:
+        tracks = sorted({track(s) for s in spans})
+    by_track: dict[object, list[Span]] = defaultdict(list)
+    for s in spans:
+        by_track[track(s)].append(s)
+    if glyphs is None:
+        glyphs = auto_glyphs(s.kind for s in spans)
+    dt = extent / width
+    lines = [f"timeline: {extent * 1e3:.3f} ms total, {dt * 1e6:.1f} us/column"]
+    for key in tracks:
+        durations: list[dict[str, float]] = [defaultdict(float)
+                                             for _ in range(width)]
+        instants: list[list[str]] = [[] for _ in range(width)]
+        for s in by_track.get(key, ()):
+            start, end = s.start - t0, s.end - t0
+            b0 = min(width - 1, max(0, int(start / dt)))
+            if s.end == s.start:
+                instants[b0].append(s.kind)
+                continue
+            b1 = min(width - 1, int(max(start, end - 1e-15) / dt))
+            for b in range(b0, b1 + 1):
+                lo = max(start, b * dt)
+                hi = min(end, (b + 1) * dt)
+                if hi > lo:
+                    durations[b][s.kind] += hi - lo
+        row = []
+        for b in range(width):
+            busy = sum(durations[b].values())
+            if instants[b] and busy < dt / 2:
+                # instantaneous event in an idle-dominated bucket: show it
+                row.append(glyphs.get(instants[b][-1], "?"))
+            elif durations[b]:
+                kind = max(durations[b], key=lambda k: durations[b][k])
+                row.append(glyphs.get(kind, "?"))
+            else:
+                row.append(" ")
+        lines.append(f"{label} {key!s:>3} |{''.join(row)}|")
+    if legend:
+        lines.append("legend: " + "  ".join(f"{g}={k}"
+                                            for k, g in glyphs.items()))
+    return "\n".join(lines)

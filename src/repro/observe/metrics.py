@@ -1,0 +1,158 @@
+"""Process-wide metrics: counters, gauges, histograms.
+
+The numerical counterpart to spans: where a span answers *when and how
+long*, a metric answers *how often and how much*.  Instrumented code
+reaches metrics through its tracer (:meth:`Tracer.count` & co.), so the
+disabled path costs nothing; standalone use goes through a
+:class:`MetricsRegistry` (or the shared :data:`METRICS` default).
+
+All three instrument types are deliberately minimal — dict-backed, lock
+protected, snapshot-able to plain JSON — because their job here is to ride
+along in trace exports, not to feed a scrape endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_right
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+
+#: Default histogram bucket upper bounds: decades from 100ns to 1000s,
+#: wide enough for any duration this toolbox measures.
+DEFAULT_BUCKETS = tuple(10.0 ** e for e in range(-7, 4))
+
+
+class Counter:
+    """A monotonically increasing count (cache hits, measurements, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (queue depth, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution summarized into fixed buckets plus running moments.
+
+    ``buckets`` are ascending upper bounds; observations above the last
+    bound land in an implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("buckets must be non-empty and strictly ascending")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_right(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments; one per process by default.
+
+    A name is bound to one instrument type for the registry's lifetime —
+    asking for ``counter("x")`` after ``gauge("x")`` is an error, not a
+    silent shadow.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls(name, *args)
+            elif not isinstance(instrument, cls):
+                raise TypeError(f"metric {name!r} already registered as "
+                                f"{type(instrument).__name__}")
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, buckets)
+
+    def snapshot(self) -> dict:
+        """Plain-JSON view of every instrument (what exporters embed)."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        doc: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, inst in sorted(instruments.items()):
+            if isinstance(inst, Counter):
+                doc["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                doc["gauges"][name] = None if math.isnan(inst.value) else inst.value
+            elif isinstance(inst, Histogram):
+                doc["histograms"][name] = {
+                    "count": inst.count,
+                    "total": inst.total,
+                    "min": None if inst.count == 0 else inst.min,
+                    "max": None if inst.count == 0 else inst.max,
+                    "buckets": list(inst.buckets),
+                    "counts": list(inst.counts),
+                }
+        return doc
+
+    def report(self) -> str:
+        """Readable one-line-per-instrument summary."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in snap["counters"].items():
+            lines.append(f"counter   {name:32s} {value}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"gauge     {name:32s} {value}")
+        for name, h in snap["histograms"].items():
+            mean = h["total"] / h["count"] if h["count"] else float("nan")
+            lines.append(f"histogram {name:32s} n={h['count']} "
+                         f"mean={mean:.4e} min={h['min']} max={h['max']}")
+        return "\n".join(lines) if lines else "(no metrics)"
+
+
+#: The process-wide default registry tracers attach to.
+METRICS = MetricsRegistry()

@@ -1,0 +1,317 @@
+"""Structured spans and tracers — the toolbox's Score-P/VTune substitution.
+
+A :class:`Span` is one named, timed interval with attributes; a
+:class:`Tracer` collects spans (nested per thread, reconciled across
+processes) and owns a :class:`~repro.observe.metrics.MetricsRegistry` for
+the counters instrumented code attaches alongside.  The key property is
+that tracing is **off by default and nearly free when off**: the active
+tracer is a :class:`NullTracer` whose ``span()`` returns a shared no-op
+context manager, so instrumented hot paths (``measure``'s repetition loop,
+the tuning harness, backend chunk dispatch) pay only a method call and an
+attribute lookup — the overhead benchmark in
+``benchmarks/test_bench_observe.py`` pins this below a few percent.
+
+Enable tracing three ways, most specific wins:
+
+* pass ``tracer=`` explicitly to an instrumented entry point;
+* install one for a region: ``with tracing() as t: ...`` (thread-local,
+  safe under concurrent thread workers);
+* set ``REPRO_TRACE=1`` in the environment (process-wide).
+
+Span times come from ``time.perf_counter`` — on Linux a system-wide
+monotonic clock — so spans captured in forked worker processes line up
+with the parent's on one timeline; exporters normalize to the earliest
+span start.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Mapping
+
+from .metrics import METRICS, MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named, closed time interval — the unit every exporter consumes.
+
+    Picklable by construction (primitives only), because process-backend
+    workers ship their spans back to the parent for reconciliation.
+    ``start``/``end`` are ``perf_counter`` seconds; ``category`` groups
+    spans for glyph/color selection (defaults to the name's first dotted
+    component); ``attrs`` carries counters and metadata (config dicts,
+    repetition seconds, operational intensity, ...).
+    """
+
+    name: str
+    start: float
+    end: float
+    category: str = ""
+    pid: int = 0
+    tid: int = 0
+    span_id: int = 0
+    parent_id: int | None = None
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span {self.name!r} ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def kind(self) -> str:
+        """Category if set, else the name's first dotted component."""
+        return self.category or self.name.split(".", 1)[0]
+
+    def with_attrs(self, **extra) -> "Span":
+        return replace(self, attrs={**self.attrs, **extra})
+
+
+class _SpanHandle:
+    """Context manager for one in-flight span; records on exit."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_attrs", "_start",
+                 "_span_id", "_parent_id")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 attrs: dict):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._attrs = attrs
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._parent_id = stack[-1] if stack else None
+        self._span_id = next(tracer._ids)
+        stack.append(self._span_id)
+        self._start = tracer._clock()
+        return self
+
+    def set(self, key: str, value: object) -> None:
+        """Attach (or overwrite) one attribute while the span is open."""
+        self._attrs[key] = value
+
+    def __exit__(self, *exc) -> None:
+        tracer = self._tracer
+        end = tracer._clock()
+        stack = tracer._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        tracer._record(Span(
+            name=self._name, start=self._start, end=end,
+            category=self._category, pid=tracer.pid,
+            tid=threading.get_ident(), span_id=self._span_id,
+            parent_id=self._parent_id, attrs=dict(self._attrs)))
+
+
+class _NullSpan:
+    """Shared no-op span handle: the entire cost of disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans and metrics for one observed run.
+
+    Thread-safe: spans may close concurrently from thread-pool workers.
+    ``metrics`` defaults to the process-wide
+    :data:`~repro.observe.metrics.METRICS` registry; pass a fresh
+    :class:`MetricsRegistry` to isolate a run's counters.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 metrics: MetricsRegistry | None = None):
+        self._clock = clock
+        self.pid = os.getpid()
+        self.metrics = metrics if metrics is not None else METRICS
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, category: str = "", **attrs) -> _SpanHandle:
+        """Open a nested span: ``with tracer.span("tuning.evaluate"): ...``"""
+        return _SpanHandle(self, name, category, attrs)
+
+    def record(self, name: str, start: float, end: float, category: str = "",
+               pid: int | None = None, tid: int | None = None,
+               **attrs) -> Span:
+        """Record a span from explicit, caller-measured timestamps."""
+        span = Span(name=name, start=start, end=end, category=category,
+                    pid=self.pid if pid is None else pid,
+                    tid=threading.get_ident() if tid is None else tid,
+                    span_id=next(self._ids), attrs=dict(attrs))
+        self._record(span)
+        return span
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    # -- cross-tracer reconciliation ----------------------------------------
+
+    def adopt(self, spans: Iterable[Span]) -> None:
+        """Merge spans captured by another tracer (a shipped worker batch)."""
+        spans = list(spans)
+        with self._lock:
+            self._spans.extend(spans)
+
+    def drain(self) -> list[Span]:
+        """Pop every recorded span (workers ship the drained batch back)."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return spans
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        with self._lock:
+            return tuple(self._spans)
+
+    # -- metrics convenience -------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    # -- exports (delegated) -------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` document (see :mod:`repro.observe.export`)."""
+        from .export import chrome_trace
+        return chrome_trace(self.spans, metrics=self.metrics)
+
+    def write_chrome_trace(self, path) -> None:
+        from .export import write_chrome_trace
+        write_chrome_trace(path, self.spans, metrics=self.metrics)
+
+    def gantt(self, width: int = 80) -> str:
+        """Text gantt of this tracer's spans (one row per pid/tid track)."""
+        from .export import gantt_text
+        return gantt_text(self.spans, width=width)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op.
+
+    ``span()`` returns a single shared handle, so the instrumented hot
+    paths allocate nothing; metric methods drop their updates.
+    """
+
+    enabled = False
+
+    def span(self, name: str, category: str = "", **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name: str, start: float, end: float, category: str = "",
+               pid: int | None = None, tid: int | None = None, **attrs):
+        return None
+
+    def adopt(self, spans: Iterable[Span]) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# active-tracer resolution
+# ---------------------------------------------------------------------------
+
+_NULL = NullTracer()
+_GLOBAL: Tracer | None = None
+_ENV_TRACER: Tracer | None = None
+_LOCAL = threading.local()
+
+
+def get_tracer() -> Tracer:
+    """The active tracer: thread-local > global > ``REPRO_TRACE`` > null."""
+    tracer = getattr(_LOCAL, "tracer", None)
+    if tracer is not None:
+        return tracer
+    if _GLOBAL is not None:
+        return _GLOBAL
+    if os.environ.get("REPRO_TRACE", "") not in ("", "0"):
+        global _ENV_TRACER
+        if _ENV_TRACER is None:
+            _ENV_TRACER = Tracer()
+        return _ENV_TRACER
+    return _NULL
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install ``tracer`` process-wide (``None`` uninstalls); returns the
+    previously installed tracer (which may also be ``None``)."""
+    global _GLOBAL
+    previous, _GLOBAL = _GLOBAL, tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None):
+    """Make ``tracer`` (default: a fresh :class:`Tracer`) active for this
+    thread only — safe when thread-pool workers trace concurrently::
+
+        with tracing() as t:
+            measure(kernel)
+        t.write_chrome_trace("run.trace.json")
+    """
+    tracer = Tracer() if tracer is None else tracer
+    previous = getattr(_LOCAL, "tracer", None)
+    _LOCAL.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _LOCAL.tracer = previous

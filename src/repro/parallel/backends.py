@@ -39,6 +39,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..observe import Span, get_tracer, tracing
+
 __all__ = [
     "BACKENDS",
     "ArrayHandle",
@@ -189,6 +191,31 @@ class SharedArray(ArrayHandle):
 # ---------------------------------------------------------------------------
 
 
+class _TracedChunk:
+    """Worker-side wrapper: run one chunk under a capture tracer.
+
+    Installed by :meth:`ExecutionBackend.map` when tracing is enabled.  The
+    worker (a pool thread or a forked process) runs the chunk inside a
+    fresh thread-local tracer, so nested instrumentation (``measure`` calls
+    inside an objective, say) is captured too; the drained spans travel
+    back with the result and the parent reconciles them onto its timeline.
+    Module-level and slot-only so the process backend can pickle it
+    whenever ``fn`` itself is picklable — the same constraint plain
+    ``map`` already imposes.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, item):
+        with tracing() as tracer:
+            with tracer.span("backend.chunk", category="backend"):
+                result = self.fn(item)
+        return result, tracer.drain()
+
+
 class ExecutionBackend(ABC):
     """Uniform executor interface over one chunk decomposition.
 
@@ -207,6 +234,8 @@ class ExecutionBackend(ABC):
         self.workers = workers
         self._handles: list[ArrayHandle] = []
         self._closed = False
+        # (pid, tid) -> rank labels, stable across map() calls on this backend
+        self._worker_ranks: dict[tuple[int, int], int] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -260,9 +289,42 @@ class ExecutionBackend(ABC):
 
     # -- execution ----------------------------------------------------------
 
-    @abstractmethod
     def map(self, fn: Callable, items: Iterable) -> list:
-        """``[fn(item) for item in items]``, possibly concurrently."""
+        """``[fn(item) for item in items]``, possibly concurrently.
+
+        With tracing enabled (see :mod:`repro.observe`), each chunk runs
+        under a worker-side capture tracer; its spans are shipped back
+        with the result and reconciled onto the caller's timeline, with
+        each distinct worker ``(pid, tid)`` mapped to a stable rank.  The
+        disabled path dispatches ``fn`` untouched.
+        """
+        self._check_open()
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._map(fn, items)
+        items = list(items)
+        with tracer.span("backend.map", category="backend",
+                         backend=self.name, workers=self.workers,
+                         chunks=len(items)):
+            shipped = self._map(_TracedChunk(fn), items)
+        results = []
+        for result, spans in shipped:
+            self._reconcile(tracer, spans)
+            results.append(result)
+        return results
+
+    def _reconcile(self, tracer, spans: list[Span]) -> None:
+        """Adopt worker spans, stamping each with its worker's rank."""
+        adopted = []
+        for span in spans:
+            rank = self._worker_ranks.setdefault(
+                (span.pid, span.tid), len(self._worker_ranks))
+            adopted.append(span.with_attrs(rank=rank, backend=self.name))
+        tracer.adopt(adopted)
+
+    @abstractmethod
+    def _map(self, fn: Callable, items: Iterable) -> list:
+        """Backend-specific dispatch of ``fn`` over ``items``, in order."""
         ...
 
 
@@ -274,8 +336,7 @@ class SerialBackend(ExecutionBackend):
     def __init__(self, workers: int = 1):
         super().__init__(workers)
 
-    def map(self, fn: Callable, items: Iterable) -> list:
-        self._check_open()
+    def _map(self, fn: Callable, items: Iterable) -> list:
         return [fn(item) for item in items]
 
 
@@ -288,8 +349,7 @@ class ThreadBackend(ExecutionBackend):
         super().__init__(workers)
         self._pool = ThreadPoolExecutor(max_workers=workers)
 
-    def map(self, fn: Callable, items: Iterable) -> list:
-        self._check_open()
+    def _map(self, fn: Callable, items: Iterable) -> list:
         return list(self._pool.map(fn, items))
 
     def _shutdown(self) -> None:
@@ -315,8 +375,7 @@ class ProcessBackend(ExecutionBackend):
         ctx = get_context(start_method) if start_method else get_context()
         self._pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
 
-    def map(self, fn: Callable, items: Iterable) -> list:
-        self._check_open()
+    def _map(self, fn: Callable, items: Iterable) -> list:
         return list(self._pool.map(fn, items))
 
     def _share(self, array: np.ndarray) -> ArrayHandle:

@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..observe import Tracer, get_tracer
 from .stats import Summary, coefficient_of_variation, summarize
 
 __all__ = [
@@ -81,6 +82,7 @@ def measure(
     repetitions: int = 7,
     warmup: int = 2,
     cv_threshold: float = 0.05,
+    tracer: Tracer | None = None,
 ) -> MeasurementResult:
     """Measure ``fn`` with warmup and repetition.
 
@@ -98,23 +100,39 @@ def measure(
     cv_threshold:
         The run is flagged unstable when the coefficient of variation of
         the timed repetitions exceeds this threshold.
+    tracer:
+        Observability hook: one ``timing.measure`` span wrapping a span per
+        warmup/timed repetition.  ``None`` uses the active tracer (a no-op
+        unless tracing was enabled; see :mod:`repro.observe`).  Spans wrap
+        the :class:`Timer` region from outside, so enabling tracing never
+        pollutes the measured times.
     """
     if repetitions < 1:
         raise ValueError("need at least one timed repetition")
     if warmup < 0:
         raise ValueError("warmup cannot be negative")
-    warm: list[float] = []
-    for _ in range(warmup):
-        with Timer() as t:
-            fn()
-        warm.append(t.elapsed)
-    times: list[float] = []
-    for _ in range(repetitions):
-        with Timer() as t:
-            fn()
-        times.append(t.elapsed)
-    summary = summarize(times)
-    stable = len(times) == 1 or coefficient_of_variation(times) <= cv_threshold
+    tracer = get_tracer() if tracer is None else tracer
+    with tracer.span("timing.measure", category="timing",
+                     repetitions=repetitions, warmup=warmup) as mspan:
+        warm: list[float] = []
+        for _ in range(warmup):
+            with tracer.span("timing.warmup", category="timing") as span:
+                with Timer() as t:
+                    fn()
+                span.set("seconds", t.elapsed)
+            warm.append(t.elapsed)
+        times: list[float] = []
+        for _ in range(repetitions):
+            with tracer.span("timing.repetition", category="timing") as span:
+                with Timer() as t:
+                    fn()
+                span.set("seconds", t.elapsed)
+            times.append(t.elapsed)
+        summary = summarize(times)
+        stable = (len(times) == 1
+                  or coefficient_of_variation(times) <= cv_threshold)
+        mspan.set("stable", stable)
+        mspan.set("best_seconds", min(times))
     return MeasurementResult(tuple(times), tuple(warm), summary, stable)
 
 
@@ -124,31 +142,46 @@ def measure_until_stable(
     batch: int = 5,
     max_repetitions: int = 60,
     warmup: int = 2,
+    tracer: Tracer | None = None,
 ) -> MeasurementResult:
     """Keep adding repetitions until the CV falls below ``cv_threshold``.
 
     Mirrors what mature harnesses (Google Benchmark, pytest-benchmark) do:
     the sample grows until the estimate is tight or a budget is exhausted.
+    ``max_repetitions`` is a hard cap: the final batch is clamped so no
+    more than ``max_repetitions`` timed repetitions ever run.
     """
     if batch < 2:
         raise ValueError("batch must be at least 2 to estimate variance")
     if max_repetitions < batch:
         raise ValueError("max_repetitions must cover at least one batch")
-    warm: list[float] = []
-    for _ in range(warmup):
-        with Timer() as t:
-            fn()
-        warm.append(t.elapsed)
-    times: list[float] = []
-    while len(times) < max_repetitions:
-        for _ in range(batch):
-            with Timer() as t:
-                fn()
-            times.append(t.elapsed)
-        if coefficient_of_variation(times) <= cv_threshold:
-            break
-    summary = summarize(times)
-    stable = coefficient_of_variation(times) <= cv_threshold
+    if warmup < 0:
+        raise ValueError("warmup cannot be negative")
+    tracer = get_tracer() if tracer is None else tracer
+    with tracer.span("timing.measure_until_stable", category="timing",
+                     batch=batch, max_repetitions=max_repetitions) as mspan:
+        warm: list[float] = []
+        for _ in range(warmup):
+            with tracer.span("timing.warmup", category="timing") as span:
+                with Timer() as t:
+                    fn()
+                span.set("seconds", t.elapsed)
+            warm.append(t.elapsed)
+        times: list[float] = []
+        while len(times) < max_repetitions:
+            # the budget is a hard cap: clamp the last batch to what's left
+            for _ in range(min(batch, max_repetitions - len(times))):
+                with tracer.span("timing.repetition", category="timing") as span:
+                    with Timer() as t:
+                        fn()
+                    span.set("seconds", t.elapsed)
+                times.append(t.elapsed)
+            if coefficient_of_variation(times) <= cv_threshold:
+                break
+        summary = summarize(times)
+        stable = coefficient_of_variation(times) <= cv_threshold
+        mspan.set("repetitions", len(times))
+        mspan.set("stable", stable)
     return MeasurementResult(tuple(times), tuple(warm), summary, stable)
 
 

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, MutableMapping
 
+from ..observe import Tracer, get_tracer
 from ..timing.timers import measure
 from .space import config_key
 
@@ -219,6 +220,17 @@ class EvaluationHarness:
         process backend additionally requires a picklable objective.
     clock:
         Monotonic time source (injectable for deterministic tests).
+    tracer:
+        Observability hook: every call emits a ``tuning.evaluate`` span
+        (attributes: config, cached, seconds) plus ``tuning.*`` counters.
+        ``None`` uses the active tracer — a no-op unless tracing is
+        enabled (see :mod:`repro.observe`).
+
+    The wall-clock budget clock starts at the first evaluation after
+    construction (or after :meth:`reset_clock`).  Strategies reset it at
+    the start of every search, so a harness reused across searches — the
+    documented repeated-search/shared-cache workflow — never counts idle
+    time between searches against ``Budget.max_seconds``.
     """
 
     def __init__(self, objective: Callable[[Mapping[str, object]], float],
@@ -227,7 +239,8 @@ class EvaluationHarness:
                  cache: MutableMapping[tuple, float] | None = None,
                  predict: Callable[[Mapping[str, object]], float] | None = None,
                  backend=None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 tracer: Tracer | None = None):
         self.objective = objective
         self.kernel = kernel
         self.problem = problem
@@ -235,6 +248,7 @@ class EvaluationHarness:
         self.cache = cache if cache is not None else {}
         self.predict = predict
         self.backend = backend
+        self.tracer = tracer
         self._clock = clock
         self._started: float | None = None
         self.history: list[Evaluation] = []
@@ -245,34 +259,68 @@ class EvaluationHarness:
     def _key(self, config: Mapping[str, object]) -> tuple:
         return (self.kernel, self.problem, config_key(config))
 
+    def _tracer_now(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    def reset_clock(self) -> None:
+        """Restart the wall-clock budget: the next evaluation starts it.
+
+        Called by :meth:`SearchStrategy.run
+        <repro.tuning.strategies.SearchStrategy.run>` so each search is
+        budgeted on its own elapsed time, not on the harness's lifetime.
+        """
+        self._started = None
+
+    def _check_budget(self, planned_cold: int = 0) -> None:
+        if self.budget is None:
+            return
+        if (self.budget.max_evaluations is not None
+                and self.measurements + planned_cold
+                >= self.budget.max_evaluations):
+            raise BudgetExhausted(
+                f"evaluation budget of {self.budget.max_evaluations} spent")
+        if (self.budget.max_seconds is not None
+                and self._clock() - self._started >= self.budget.max_seconds):
+            raise BudgetExhausted(
+                f"wall-clock budget of {self.budget.max_seconds}s spent")
+
     def evaluate(self, config: Mapping[str, object]) -> float:
         """Measure ``config`` (or recall it), record it, return seconds."""
         if self._started is None:
             self._started = self._clock()
-        key = self._key(config)
-        predicted = self.predict(config) if self.predict is not None else None
-        if key in self.cache:
-            seconds = self.cache[key]
+        tracer = self._tracer_now()
+        with tracer.span("tuning.evaluate", category="tuning",
+                         kernel=self.kernel, problem=self.problem,
+                         config=dict(config)) as span:
+            key = self._key(config)
+            predicted = self.predict(config) if self.predict is not None else None
+            if key in self.cache:
+                seconds = self.cache[key]
+                self.history.append(Evaluation(len(self.history), dict(config),
+                                               seconds, predicted, cached=True))
+                span.set("cached", True)
+                span.set("seconds", seconds)
+                tracer.count("tuning.cache_hits")
+                return seconds
+            try:
+                self._check_budget()
+            except BudgetExhausted:
+                span.set("budget_exhausted", True)
+                tracer.count("tuning.budget_exhausted")
+                raise
+            seconds = float(self.objective(dict(config)))
+            if seconds <= 0:
+                raise ValueError(
+                    f"objective must be positive, got {seconds} for {config}")
+            self.measurements += 1
+            self.cache[key] = seconds
             self.history.append(Evaluation(len(self.history), dict(config),
-                                           seconds, predicted, cached=True))
+                                           seconds, predicted, cached=False))
+            span.set("cached", False)
+            span.set("seconds", seconds)
+            tracer.count("tuning.measurements")
+            tracer.observe("tuning.seconds", seconds)
             return seconds
-        if self.budget is not None:
-            if (self.budget.max_evaluations is not None
-                    and self.measurements >= self.budget.max_evaluations):
-                raise BudgetExhausted(
-                    f"evaluation budget of {self.budget.max_evaluations} spent")
-            if (self.budget.max_seconds is not None
-                    and self._clock() - self._started >= self.budget.max_seconds):
-                raise BudgetExhausted(
-                    f"wall-clock budget of {self.budget.max_seconds}s spent")
-        seconds = float(self.objective(dict(config)))
-        if seconds <= 0:
-            raise ValueError(f"objective must be positive, got {seconds} for {config}")
-        self.measurements += 1
-        self.cache[key] = seconds
-        self.history.append(Evaluation(len(self.history), dict(config),
-                                       seconds, predicted, cached=False))
-        return seconds
 
     def evaluate_many(self, configs) -> list[float]:
         """Evaluate a batch of *independent* configurations.
@@ -297,6 +345,7 @@ class EvaluationHarness:
             return [self.evaluate(c) for c in configs]
         if self._started is None:
             self._started = self._clock()
+        tracer = self._tracer_now()
         # Plan: replay serial cache/budget semantics to find which configs
         # are cold, stopping at the config a serial run would raise on.
         cold: list[dict] = []
@@ -306,23 +355,23 @@ class EvaluationHarness:
         for config in configs:
             key = self._key(config)
             if key not in self.cache and key not in cold_keys:
-                if self.budget is not None:
-                    if (self.budget.max_evaluations is not None
-                            and self.measurements + len(cold)
-                            >= self.budget.max_evaluations):
-                        exhausted = (f"evaluation budget of "
-                                     f"{self.budget.max_evaluations} spent")
-                        break
-                    if (self.budget.max_seconds is not None
-                            and self._clock() - self._started
-                            >= self.budget.max_seconds):
-                        exhausted = (f"wall-clock budget of "
-                                     f"{self.budget.max_seconds}s spent")
-                        break
+                try:
+                    self._check_budget(planned_cold=len(cold))
+                except BudgetExhausted as exc:
+                    exhausted = str(exc)
+                    tracer.count("tuning.budget_exhausted")
+                    break
                 cold.append(config)
                 cold_keys.append(key)
             planned += 1
-        measured = self.backend.map(self.objective, cold) if cold else []
+        if cold:
+            with tracer.span("tuning.evaluate_many", category="tuning",
+                             kernel=self.kernel, problem=self.problem,
+                             batch=len(configs), cold=len(cold),
+                             backend=self.backend.name):
+                measured = self.backend.map(self.objective, cold)
+        else:
+            measured = []
         seconds_by_key = dict(zip(cold_keys, (float(s) for s in measured)))
         # Record in input order, replaying what a serial loop would do.
         out: list[float] = []
@@ -333,6 +382,7 @@ class EvaluationHarness:
                 seconds = self.cache[key]
                 self.history.append(Evaluation(len(self.history), dict(config),
                                                seconds, predicted, cached=True))
+                tracer.count("tuning.cache_hits")
             else:
                 seconds = seconds_by_key[key]
                 if seconds <= 0:
@@ -342,6 +392,8 @@ class EvaluationHarness:
                 self.cache[key] = seconds
                 self.history.append(Evaluation(len(self.history), dict(config),
                                                seconds, predicted, cached=False))
+                tracer.count("tuning.measurements")
+                tracer.observe("tuning.seconds", seconds)
             out.append(seconds)
         if exhausted is not None:
             raise BudgetExhausted(exhausted)

@@ -47,11 +47,21 @@ class SearchStrategy(ABC):
     name = "abstract"
 
     def run(self, space: SearchSpace, harness: EvaluationHarness) -> TuningResult:
-        """Search ``space`` through ``harness`` until done or out of budget."""
-        try:
-            self._search(space, harness)
-        except BudgetExhausted:
-            pass
+        """Search ``space`` through ``harness`` until done or out of budget.
+
+        Restarts the harness's wall-clock budget first: a reused harness
+        (repeated searches over a shared cache) is budgeted per search,
+        never charged for idle time between searches.
+        """
+        harness.reset_clock()
+        tracer = harness._tracer_now()
+        with tracer.span("tuning.search", category="tuning",
+                         strategy=self.name, kernel=harness.kernel,
+                         problem=harness.problem):
+            try:
+                self._search(space, harness)
+            except BudgetExhausted:
+                pass
         return harness.result(strategy=self.name)
 
     @abstractmethod

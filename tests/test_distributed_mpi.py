@@ -154,6 +154,56 @@ class TestTracing:
         assert text.count("rank ") == 3
         assert "#" in text  # compute glyph present
 
+    def test_zero_length_event_visible_in_idle_bucket(self):
+        """Regression: a zero-length barrier used to carry a 1e-18 weight
+        that any real time in the bucket outvoted, so instantaneous events
+        vanished from the gantt.  In an idle-dominated bucket the event's
+        glyph must render."""
+        from repro.distributed import SimResult, TraceEvent
+
+        result = SimResult(
+            n_ranks=2,
+            finish_times=(0.04, 1.0),
+            events=(
+                TraceEvent(0, 0.0, 0.04, "compute"),   # < half of bucket 0
+                TraceEvent(0, 0.04, 0.04, "barrier"),  # instantaneous
+                TraceEvent(1, 0.0, 1.0, "compute"),
+            ),
+            messages_sent=0, bytes_sent=0.0)
+        text = timeline_text(result, width=10)
+        row0 = text.splitlines()[1]
+        assert row0.startswith("rank   0")
+        cells = row0[row0.index("|") + 1:-1]
+        assert cells[0] == "|"  # barrier glyph, not the compute sliver
+
+    def test_zero_length_event_yields_to_busy_bucket(self):
+        from repro.distributed import SimResult, TraceEvent
+
+        result = SimResult(
+            n_ranks=1,
+            finish_times=(1.0,),
+            events=(
+                TraceEvent(0, 0.0, 1.0, "compute"),
+                TraceEvent(0, 0.5, 0.5, "barrier"),  # bucket is all compute
+            ),
+            messages_sent=0, bytes_sent=0.0)
+        text = timeline_text(result, width=10)
+        row0 = text.splitlines()[1]
+        cells = row0[row0.index("|") + 1:-1]
+        assert cells == "#" * 10
+
+    def test_result_spans_share_the_unified_format(self, net):
+        import json
+
+        from repro.distributed import result_spans
+        from repro.observe import chrome_trace
+
+        result = MPISimulator(2, net).run(ping_pong(2, 1024))
+        spans = result_spans(result)
+        assert len(spans) == len(result.events)
+        assert {s.tid for s in spans} == {0, 1}
+        json.dumps(chrome_trace(spans))  # exportable to Perfetto as-is
+
     def test_state_profile_sums_events(self, net):
         result = MPISimulator(2, net).run(ping_pong(3, 1024))
         profile = state_profile(result)

@@ -1,0 +1,227 @@
+"""Tests for repro.observe: spans, tracers, metrics, active-tracer rules."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.observe import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+class TestSpan:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Span("x", start=1.0, end=0.5)
+
+    def test_kind_falls_back_to_name_prefix(self):
+        assert Span("timing.repetition", 0, 1).kind == "timing"
+        assert Span("x", 0, 1, category="tuning").kind == "tuning"
+
+    def test_with_attrs_merges(self):
+        s = Span("x", 0, 1, attrs={"a": 1})
+        merged = s.with_attrs(rank=3)
+        assert merged.attrs == {"a": 1, "rank": 3}
+        assert s.attrs == {"a": 1}  # original untouched
+
+    def test_picklable_for_worker_shipping(self):
+        s = Span("backend.chunk", 0.0, 1.0, category="backend",
+                 pid=7, tid=9, attrs={"config": {"tile": 8}})
+        back = pickle.loads(pickle.dumps(s))
+        assert back == s
+
+
+class TestTracer:
+    def test_span_records_interval(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        with tracer.span("work", category="w", tag="a") as sp:
+            sp.set("extra", 1)
+        (span,) = tracer.spans
+        assert span.name == "work"
+        assert span.end >= span.start
+        assert span.attrs == {"tag": "a", "extra": 1}
+
+    def test_nested_spans_get_parent_ids(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans  # inner closes first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.start <= inner.start and inner.end <= outer.end
+
+    def test_record_explicit_timestamps(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        span = tracer.record("x", start=1.0, end=2.0, tid=5)
+        assert span.duration == 1.0
+        assert tracer.spans == (span,)
+
+    def test_drain_empties(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        with tracer.span("a"):
+            pass
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert tracer.spans == ()
+
+    def test_adopt_merges_foreign_spans(self):
+        parent = Tracer(metrics=MetricsRegistry())
+        worker = Tracer(metrics=MetricsRegistry())
+        with worker.span("chunk"):
+            pass
+        parent.adopt(worker.drain())
+        assert [s.name for s in parent.spans] == ["chunk"]
+
+    def test_thread_workers_record_concurrently(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+
+        def work():
+            for _ in range(50):
+                with tracer.span("w"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.spans) == 200
+
+    def test_metric_conveniences(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(metrics=registry)
+        tracer.count("hits", 2)
+        tracer.gauge("depth", 3.0)
+        tracer.observe("seconds", 0.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["hits"] == 2
+        assert snap["gauges"]["depth"] == 3.0
+        assert snap["histograms"]["seconds"]["count"] == 1
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        tracer = NullTracer()
+        with tracer.span("x", anything=1) as sp:
+            sp.set("k", "v")
+        tracer.count("c")
+        tracer.gauge("g", 1.0)
+        tracer.observe("h", 1.0)
+        tracer.adopt([Span("y", 0, 1)])
+        assert tracer.spans == ()
+        assert not tracer.enabled
+
+    def test_span_handle_is_shared(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+
+class TestActiveTracer:
+    def test_default_is_null(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert not get_tracer().enabled
+
+    def test_env_toggle_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert get_tracer().enabled
+
+    def test_env_zero_stays_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not get_tracer().enabled
+
+    def test_set_tracer_installs_globally(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+
+    def test_tracing_context_is_thread_local(self):
+        seen = {}
+        with tracing() as tracer:
+            assert get_tracer() is tracer
+
+            def probe():
+                seen["other"] = get_tracer()
+
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["other"] is not tracer  # other threads keep their default
+        assert get_tracer() is not tracer   # restored on exit
+
+
+class TestMetrics:
+    def test_counter_only_increases(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("g")
+        g.set(5)
+        g.set(2)
+        assert g.value == 2.0
+
+    def test_histogram_buckets_and_moments(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1]  # below 1, (1,10], overflow
+        assert h.count == 3
+        assert h.min == 0.5 and h.max == 50.0
+        assert h.mean == pytest.approx(55.5 / 3)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_registry_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+
+    def test_registry_rejects_type_shadowing(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")
+
+    def test_snapshot_is_json_plain(self):
+        import json
+
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.gauge("g")  # never set: NaN -> None
+        r.histogram("h").observe(0.1)
+        doc = r.snapshot()
+        json.dumps(doc)
+        assert doc["gauges"]["g"] is None
+
+    def test_report_lists_instruments(self):
+        r = MetricsRegistry()
+        r.counter("tuning.cache_hits").inc(7)
+        text = r.report()
+        assert "tuning.cache_hits" in text and "7" in text
+        assert MetricsRegistry().report() == "(no metrics)"
+
+    def test_process_wide_default_exists(self):
+        assert isinstance(METRICS, MetricsRegistry)

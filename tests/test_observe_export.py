@@ -1,0 +1,169 @@
+"""Tests for repro.observe.export: Chrome trace round-trips and the gantt."""
+
+import json
+
+import pytest
+
+from repro.observe import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    auto_glyphs,
+    chrome_trace,
+    gantt_text,
+    tracing,
+    write_chrome_trace,
+)
+
+
+def spans_fixture():
+    return [
+        Span("outer", start=10.0, end=10.010, category="timing", pid=1, tid=1,
+             span_id=1),
+        Span("inner", start=10.002, end=10.006, category="timing", pid=1,
+             tid=1, span_id=2, parent_id=1, attrs={"seconds": 0.004}),
+        Span("chunk", start=10.001, end=10.009, category="backend", pid=2,
+             tid=7, span_id=1, attrs={"rank": 0}),
+    ]
+
+
+class TestChromeTrace:
+    def test_events_are_well_formed(self):
+        doc = chrome_trace(spans_fixture())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 3
+        for e in events:
+            assert e["ph"] == "X"
+            assert isinstance(e["ts"], float) and e["ts"] >= 0
+            assert isinstance(e["dur"], float) and e["dur"] >= 0
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+            assert isinstance(e["name"], str) and isinstance(e["cat"], str)
+
+    def test_timestamps_relative_to_earliest_start_in_us(self):
+        doc = chrome_trace(spans_fixture())
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert by_name["outer"]["ts"] == pytest.approx(0.0)
+        assert by_name["inner"]["ts"] == pytest.approx(2000.0)
+        assert by_name["outer"]["dur"] == pytest.approx(10000.0)
+
+    def test_rank_attrs_become_thread_name_metadata(self):
+        doc = chrome_trace(spans_fixture())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["pid"] == 2 and meta[0]["tid"] == 7
+        assert meta[0]["args"]["name"] == "rank 0"
+
+    def test_document_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        doc = chrome_trace(spans_fixture(), metrics=registry)
+        text = json.dumps(doc)
+        back = json.loads(text)
+        assert back["metrics"]["counters"]["c"] == 2
+        assert back["displayTimeUnit"] == "ms"
+
+    def test_nonfinite_and_exotic_attrs_are_clamped(self):
+        spans = [Span("x", 0, 1, attrs={"inf": float("inf"),
+                                        "nested": {"a": (1, 2)},
+                                        "obj": object()})]
+        doc = chrome_trace(spans)
+        args = doc["traceEvents"][0]["args"]
+        json.dumps(doc)
+        assert args["inf"] == "inf"
+        assert args["nested"] == {"a": [1, 2]}
+        assert isinstance(args["obj"], str)
+
+    def test_write_round_trips_through_json_tool(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace(path, spans_fixture())
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 4  # 3 spans + 1 metadata
+
+    def test_empty_trace_is_valid(self):
+        doc = chrome_trace([])
+        assert doc["traceEvents"] == []
+        json.dumps(doc)
+
+
+class TestNesting:
+    def test_spans_nest_without_overlap_per_thread(self):
+        """Within one (pid, tid) track, spans are properly nested: any two
+        either disjoint or one containing the other."""
+        tracer = Tracer(metrics=MetricsRegistry())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                with tracer.span("d"):
+                    pass
+        spans = tracer.spans
+        for i, s1 in enumerate(spans):
+            for s2 in spans[i + 1:]:
+                if (s1.pid, s1.tid) != (s2.pid, s2.tid):
+                    continue
+                disjoint = s1.end <= s2.start or s2.end <= s1.start
+                nested = ((s1.start <= s2.start and s2.end <= s1.end)
+                          or (s2.start <= s1.start and s1.end <= s2.end))
+                assert disjoint or nested, (s1, s2)
+
+
+class TestGantt:
+    def test_one_row_per_track_with_glyphs(self):
+        spans = [Span("compute", 0.0, 1.0, category="compute", tid=0),
+                 Span("compute", 0.5, 1.0, category="compute", tid=1)]
+        text = gantt_text(spans, width=10, glyphs={"compute": "#"},
+                          track=lambda s: s.tid, label="rank")
+        lines = text.splitlines()
+        assert lines[1].startswith("rank   0 |")
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+        assert "legend: #=compute" in text
+
+    def test_zero_length_span_shows_in_idle_bucket(self):
+        spans = [Span("barrier", 0.2, 0.2, category="barrier", tid=0),
+                 Span("compute", 0.0, 1.0, category="compute", tid=1)]
+        text = gantt_text(spans, width=10,
+                          glyphs={"barrier": "B", "compute": "#"},
+                          track=lambda s: s.tid, label="rank")
+        row0 = text.splitlines()[1]
+        cells = row0[row0.index("|") + 1:-1]
+        assert cells[2] == "B"  # 0.2 lands in bucket 2 of an idle row
+
+    def test_zero_length_span_outvoted_only_when_bucket_busy(self):
+        # bucket 0 is 80% compute: the sliver wins; bucket 2's instant shows
+        spans = [Span("compute", 0.0, 0.08, category="compute", tid=0),
+                 Span("barrier", 0.01, 0.01, category="barrier", tid=0),
+                 Span("barrier", 0.25, 0.25, category="barrier", tid=0),
+                 Span("compute", 0.0, 1.0, category="compute", tid=1)]
+        text = gantt_text(spans, width=10,
+                          glyphs={"barrier": "B", "compute": "#"},
+                          track=lambda s: s.tid, label="rank")
+        row0 = text.splitlines()[1]
+        cells = row0[row0.index("|") + 1:-1]
+        assert cells[0] == "#"  # busy bucket: dominant state wins
+        assert cells[2] == "B"  # idle bucket: the instant is visible
+
+    def test_empty_run(self):
+        assert gantt_text([]) == "(empty run)"
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            gantt_text([Span("x", 0, 1)], width=5)
+
+    def test_tracer_gantt_smoke(self):
+        with tracing() as tracer:
+            with tracer.span("timing.measure"):
+                pass
+        assert "timeline:" in tracer.gantt(width=40) or \
+            tracer.gantt(width=40) == "(empty run)"
+
+
+class TestAutoGlyphs:
+    def test_first_letter_then_pool(self):
+        glyphs = auto_glyphs(["timing", "tuning", "backend"])
+        assert glyphs["backend"] == "B"
+        assert len(set(glyphs.values())) == 3
+
+    def test_stable_assignment(self):
+        kinds = ["b", "a", "c"]
+        assert auto_glyphs(kinds) == auto_glyphs(sorted(kinds))

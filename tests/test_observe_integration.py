@@ -1,0 +1,216 @@
+"""Cross-subsystem tracing: tuning + timing + backends on one timeline.
+
+The observability pitch is a *single* trace spanning the tuning search,
+the measurement methodology, and worker-side chunk execution — including
+chunks that ran in other processes.  These tests pin that contract.
+"""
+
+import json
+
+import pytest
+
+from repro.kernels import matmul_chunked, random_matrices
+from repro.microbench import Microbenchmark, run_microbenchmark
+from repro.observe import MetricsRegistry, Tracer, chrome_trace, tracing
+from repro.parallel import ProcessBackend, SerialBackend, ThreadBackend
+from repro.timing import WorkCount, measure
+from repro.tuning import (
+    Budget,
+    EvaluationHarness,
+    GridSearch,
+    IntegerParam,
+    SearchSpace,
+    tune,
+)
+
+
+def _objective(config):
+    """Module-level deterministic bowl so the process backend can pickle."""
+    return 1e-3 * ((config["x"] - 2) ** 2 + 1)
+
+
+def _timed_objective(config):
+    """Objective that itself uses the measurement methodology (module-level
+    so process workers can pickle it): its timing spans are captured by the
+    worker-side tracer and shipped back."""
+    return measure(lambda: sum(range(200)), repetitions=2, warmup=1).best + 1e-9
+
+
+def _space():
+    return SearchSpace([IntegerParam("x", low=0, high=4, default_value=2)])
+
+
+class TestMeasureSpans:
+    def test_measure_emits_one_span_per_repetition(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        measure(lambda: None, repetitions=5, warmup=2, tracer=tracer)
+        names = [s.name for s in tracer.spans]
+        assert names.count("timing.repetition") == 5
+        assert names.count("timing.warmup") == 2
+        assert names.count("timing.measure") == 1
+
+    def test_repetition_spans_nest_inside_measure(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        measure(lambda: None, repetitions=3, warmup=0, tracer=tracer)
+        outer = next(s for s in tracer.spans if s.name == "timing.measure")
+        reps = [s for s in tracer.spans if s.name == "timing.repetition"]
+        assert all(r.parent_id == outer.span_id for r in reps)
+        assert all(outer.start <= r.start and r.end <= outer.end for r in reps)
+        assert all(r.attrs["seconds"] >= 0 for r in reps)
+
+    def test_disabled_tracer_records_nothing(self):
+        with tracing(Tracer(metrics=MetricsRegistry())) as tracer:
+            pass  # only checking nothing leaked from other tests
+        measure(lambda: None, repetitions=2, warmup=0)
+        assert tracer.spans == ()
+
+
+class TestTuningSpans:
+    def test_evaluate_spans_carry_config_and_cache_flag(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        h = EvaluationHarness(_objective, kernel="bowl", tracer=tracer)
+        h.evaluate({"x": 2})
+        h.evaluate({"x": 2})
+        spans = [s for s in tracer.spans if s.name == "tuning.evaluate"]
+        assert [s.attrs["cached"] for s in spans] == [False, True]
+        assert spans[0].attrs["config"] == {"x": 2}
+        snap = tracer.metrics.snapshot()
+        assert snap["counters"]["tuning.measurements"] == 1
+        assert snap["counters"]["tuning.cache_hits"] == 1
+
+    def test_budget_exhaustion_is_counted(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        h = EvaluationHarness(_objective, budget=Budget(max_evaluations=1),
+                              tracer=tracer)
+        h.evaluate({"x": 0})
+        with pytest.raises(Exception):
+            h.evaluate({"x": 1})
+        assert tracer.metrics.snapshot()["counters"]["tuning.budget_exhausted"] == 1
+
+    def test_search_span_wraps_evaluations(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        h = EvaluationHarness(_objective, kernel="bowl", tracer=tracer)
+        GridSearch().run(_space(), h)
+        names = [s.name for s in tracer.spans]
+        assert "tuning.search" in names
+        search = next(s for s in tracer.spans if s.name == "tuning.search")
+        assert search.attrs["strategy"] == "grid"
+        evals = [s for s in tracer.spans if s.name == "tuning.evaluate"]
+        assert all(search.start <= e.start and e.end <= search.end
+                   for e in evals)
+
+
+class TestBackendReconciliation:
+    @pytest.mark.parametrize("backend_cls", [SerialBackend, ThreadBackend])
+    def test_chunk_spans_adopted_with_ranks(self, backend_cls):
+        with tracing() as tracer:
+            with backend_cls(2) as backend:
+                out = backend.map(_objective, [{"x": i} for i in range(4)])
+        assert len(out) == 4
+        chunks = [s for s in tracer.spans if s.name == "backend.chunk"]
+        assert len(chunks) == 4
+        assert all("rank" in s.attrs for s in chunks)
+        assert "backend.map" in {s.name for s in tracer.spans}
+
+    def test_process_chunks_reconciled_across_pids(self):
+        with tracing() as tracer:
+            with ProcessBackend(2) as backend:
+                backend.map(_objective, [{"x": i} for i in range(6)])
+        chunks = [s for s in tracer.spans if s.name == "backend.chunk"]
+        assert len(chunks) == 6
+        parent = next(s for s in tracer.spans if s.name == "backend.map")
+        assert any(s.pid != parent.pid for s in chunks)  # really other procs
+        ranks = {s.attrs["rank"] for s in chunks}
+        assert ranks <= {0, 1} and ranks  # pids/tids mapped to ranks
+
+    def test_worker_ranks_stable_across_map_calls(self):
+        with tracing() as tracer:
+            with ThreadBackend(1) as backend:
+                backend.map(_objective, [{"x": 0}])
+                backend.map(_objective, [{"x": 1}])
+        chunks = [s for s in tracer.spans if s.name == "backend.chunk"]
+        assert {s.attrs["rank"] for s in chunks} == {0}
+
+    def test_disabled_tracing_dispatches_fn_untouched(self):
+        with SerialBackend() as backend:
+            assert backend.map(_objective, [{"x": 2}]) == [1e-3]
+
+    def test_results_stay_in_input_order_when_traced(self):
+        with tracing():
+            with ThreadBackend(4) as backend:
+                out = backend.map(_objective, [{"x": i} for i in range(8)])
+        assert out == [_objective({"x": i}) for i in range(8)]
+
+
+class TestSingleTraceAcceptance:
+    """ISSUE acceptance: one tune() through a backend -> one Chrome trace
+    with nested spans from tuning, timing, and worker-side chunks."""
+
+    @pytest.mark.parametrize("backend_cls", [ThreadBackend, ProcessBackend])
+    def test_tune_produces_unified_chrome_trace(self, backend_cls, tmp_path):
+        with tracing() as tracer:
+            with backend_cls(2) as backend:
+                result = tune(_timed_objective, _space(), GridSearch(),
+                              kernel="traced", backend=backend,
+                              budget=Budget(max_evaluations=10))
+        assert result.measurements == 5
+        kinds = {s.kind for s in tracer.spans}
+        assert {"tuning", "timing", "backend"} <= kinds
+        # timing spans were captured worker-side, inside chunk spans
+        chunks = [s for s in tracer.spans if s.name == "backend.chunk"]
+        timing = [s for s in tracer.spans if s.kind == "timing"]
+        assert chunks and timing
+        assert any(
+            c.pid == t.pid and c.tid == t.tid
+            and c.start <= t.start and t.end <= c.end
+            for c in chunks for t in timing)
+        path = tmp_path / "tune.trace.json"
+        tracer.write_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"tuning.search", "tuning.evaluate_many", "backend.map",
+                "backend.chunk", "timing.measure",
+                "timing.repetition"} <= names
+
+
+class TestMicrobenchSpans:
+    def test_span_tagged_with_operational_intensity(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        bench = Microbenchmark(
+            name="triad",
+            setup=lambda: (list(range(8)),),
+            fn=lambda xs: sum(xs),
+            work=lambda xs: WorkCount(flops=2.0 * len(xs),
+                                      loads_bytes=16.0 * len(xs),
+                                      stores_bytes=8.0 * len(xs)))
+        run_microbenchmark(bench, repetitions=2, warmup=1, tracer=tracer)
+        span = next(s for s in tracer.spans if s.name == "microbench.run")
+        assert span.attrs["benchmark"] == "triad"
+        assert span.attrs["flops"] == 16.0
+        assert span.attrs["bytes"] == 192.0
+        assert span.attrs["intensity"] == pytest.approx(16.0 / 192.0)
+        assert span.attrs["median_seconds"] >= 0
+
+    def test_traffic_free_kernel_has_no_intensity(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        bench = Microbenchmark(name="alu", setup=lambda: (),
+                               fn=lambda: None,
+                               work=lambda: WorkCount(flops=1.0))
+        run_microbenchmark(bench, repetitions=1, warmup=0, tracer=tracer)
+        span = next(s for s in tracer.spans if s.name == "microbench.run")
+        assert span.attrs["intensity"] is None
+
+
+class TestChunkedKernelTrace:
+    def test_matmul_chunked_through_process_backend_is_traced(self):
+        import numpy as np
+
+        a, b, c = random_matrices(32, seed=0)
+        with tracing() as tracer:
+            matmul_chunked(a, b, c, workers=2, backend="process",
+                           inner="numpy")
+        assert np.allclose(c, a @ b)
+        chunks = [s for s in tracer.spans if s.name == "backend.chunk"]
+        assert chunks
+        doc = chrome_trace(tracer.spans)
+        json.dumps(doc)

@@ -65,9 +65,30 @@ class TestMeasureUntilStable:
                                       batch=2, max_repetitions=6)
         assert len(result.times) <= 6
 
+    def test_budget_is_hard_cap_when_batch_does_not_divide(self):
+        """Regression: batch=5, max=6 used to run 10 repetitions — the last
+        batch must be clamped so the budget is a hard cap."""
+        calls = []
+        result = measure_until_stable(lambda: calls.append(1),
+                                      cv_threshold=1e-12, batch=5,
+                                      max_repetitions=6, warmup=0)
+        assert len(result.times) == 6
+        assert len(calls) == 6
+
+    @pytest.mark.parametrize("batch,cap", [(2, 7), (5, 13), (3, 4)])
+    def test_never_exceeds_max_repetitions(self, batch, cap):
+        result = measure_until_stable(lambda: None, cv_threshold=1e-12,
+                                      batch=batch, max_repetitions=cap,
+                                      warmup=0)
+        assert len(result.times) == cap
+
     def test_rejects_tiny_batch(self):
         with pytest.raises(ValueError):
             measure_until_stable(lambda: None, batch=1)
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError):
+            measure_until_stable(lambda: None, warmup=-1)
 
 
 class TestSteadyState:

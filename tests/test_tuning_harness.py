@@ -54,6 +54,52 @@ class TestBudget:
             for tile in (16, 32, 64):
                 h.evaluate({"tile": tile})
 
+    def test_reused_harness_does_not_count_idle_time_between_searches(self):
+        """Regression: _started was set on the first evaluate() and never
+        reset, so a harness reused for a second search (the documented
+        repeated-search/shared-cache workflow) charged the idle time in
+        between against max_seconds and falsely raised BudgetExhausted."""
+        now = [0.0]
+        h = EvaluationHarness(convex, budget=Budget(max_seconds=10.0),
+                              clock=lambda: now[0])
+        first = GridSearch().run(space(), h)
+        assert first.measurements == space().size()
+        now[0] += 1e6  # a long lunch between searches
+        second = GridSearch().run(space(), h)
+        assert second.cache_hits == space().size()
+        # and a fresh config after the idle gap is still measurable
+        h.reset_clock()
+        assert h.evaluate({"tile": 512}) > 0
+
+    def test_reset_clock_restarts_wallclock_budget(self):
+        ticks = iter(float(i) for i in range(100))
+        h = EvaluationHarness(convex, budget=Budget(max_seconds=2.5),
+                              clock=lambda: next(ticks))
+        h.evaluate({"tile": 4})
+        h.evaluate({"tile": 8})
+        with pytest.raises(BudgetExhausted):
+            h.evaluate({"tile": 16})
+        h.reset_clock()  # a new search: the next evaluation restarts the clock
+        h.evaluate({"tile": 16})
+        h.evaluate({"tile": 32})
+
+    def test_strategy_run_resets_clock(self):
+        now = [0.0]
+
+        def objective(cfg):
+            now[0] += 1.0  # each measurement costs one fake second
+            return convex(cfg)
+
+        h = EvaluationHarness(objective, budget=Budget(max_seconds=100.0),
+                              clock=lambda: now[0])
+        h.evaluate({"tile": 4})  # ad-hoc use starts the clock ...
+        now[0] += 1000.0         # ... then the harness sits idle
+        result = GridSearch().run(space(), h)
+        # the search was NOT cut short by the stale pre-search clock (the
+        # history keeps the pre-search evaluation as its first entry)
+        assert result.measurements + result.cache_hits == space().size() + 1
+        assert result.measurements == space().size()
+
     def test_cache_hits_are_budget_free(self):
         h = EvaluationHarness(convex, budget=Budget(max_evaluations=1))
         h.evaluate({"tile": 4})
