@@ -10,6 +10,15 @@ that comparison.
 import pytest
 
 from repro.machine import generic_server_cpu, generic_server_table
+from repro.perfdb.capture import install_capture
+
+
+def pytest_configure(config):
+    # `python -m repro.perfdb record` sets REPRO_PERFDB_CAPTURE and reruns
+    # this suite; the capture plugin then harvests every test's raw
+    # measure() repetition times (and pytest-benchmark rounds) into the
+    # perf store.  Without the env var this is a no-op.
+    install_capture(config)
 
 
 @pytest.fixture(scope="session")

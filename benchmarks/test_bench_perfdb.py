@@ -1,0 +1,110 @@
+"""The perf-gate's own benchmark suite + the record-overhead bound.
+
+Three small kernel benchmarks measured with the toolbox's own
+``timing.measure`` — these are what ``python -m repro.perfdb record``
+captures for the longitudinal store and what the CI ``perf-gate-smoke``
+job gates on.  ``REPRO_PERFDB_INJECT=<factor>`` multiplies the matmul
+benchmark's work: the artificial slowdown hook CI uses to prove the gate
+actually fires (a 3x injection must produce a nonzero ``compare`` exit).
+
+The last bench is the acceptance bound: recording (a capture tracer around
+the test plus the span harvest) must add < 5% over the bare benchmark —
+the same contract PR 3 pinned for disabled tracing, now for the *enabled*
+capture path, so ``record`` never distorts the numbers it stores.
+
+``REPRO_BENCH_SMOKE=1`` shrinks sizes for CI.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.observe import MetricsRegistry, Tracer, tracing
+from repro.perfdb.capture import harvest_measure_times
+from repro.timing import measure
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+#: The CI gate's artificial-slowdown hook: repeat the matmul this many times.
+INJECT = max(1, int(os.environ.get("REPRO_PERFDB_INJECT", "1") or "1"))
+
+# Gate kernels are sized to ~0.5ms: sub-0.1ms kernels show tens-of-percent
+# median drift *between process invocations*, which would make the
+# back-to-back determinism contract (compare exits 0) flaky.
+N = 256 if SMOKE else 384
+REPS = 11 if SMOKE else 15
+ROUNDS = 3
+
+
+def test_bench_gate_matmul():
+    """Dense matmul — carries the REPRO_PERFDB_INJECT slowdown hook."""
+    a = np.random.default_rng(0).random((N, N))
+
+    def kernel():
+        out = None
+        for _ in range(INJECT):
+            out = a @ a
+        return out
+
+    res = measure(kernel, repetitions=REPS, warmup=2)
+    emit("perfdb gate / matmul",
+         f"{N}x{N} matmul x{INJECT}: median {res.summary.median:.4e}s "
+         f"cv {res.summary.cv:.2%}")
+    assert res.best > 0
+
+
+def test_bench_gate_histogram():
+    values = np.random.default_rng(1).integers(0, 256, size=N * N * 8)
+    res = measure(lambda: np.bincount(values, minlength=256),
+                  repetitions=REPS, warmup=2)
+    emit("perfdb gate / histogram",
+         f"{values.size} values: median {res.summary.median:.4e}s")
+    assert res.best > 0
+
+
+def test_bench_gate_stencil():
+    grid = np.random.default_rng(2).random((N * 3, N * 3))
+
+    def kernel():
+        return (grid[1:-1, 1:-1] + grid[:-2, 1:-1] + grid[2:, 1:-1]
+                + grid[1:-1, :-2] + grid[1:-1, 2:]) * 0.2
+
+    res = measure(kernel, repetitions=REPS, warmup=2)
+    emit("perfdb gate / stencil",
+         f"{grid.shape} 5-point stencil: median {res.summary.median:.4e}s")
+    assert res.best > 0
+
+
+@pytest.mark.perfdb_skip  # meta-benchmark: measures the capture path itself
+def test_bench_record_capture_overhead():
+    """Acceptance: the record capture path adds < 5% over bare measure()."""
+    a = np.random.default_rng(0).random((N, N))
+    fn = lambda: a @ a  # noqa: E731
+    for _ in range(3):  # warm caches and BLAS threads
+        fn()
+
+    def bare():
+        return measure(fn, repetitions=REPS, warmup=0).best
+
+    def captured():
+        # exactly what PerfCapturePlugin does around one test
+        tracer = Tracer(metrics=MetricsRegistry())
+        with tracing(tracer):
+            best = measure(fn, repetitions=REPS, warmup=0).best
+        sampled = harvest_measure_times(tracer.spans)
+        assert sampled and len(sampled[0]) == REPS
+        return best
+
+    # interleave rounds so machine drift hits both paths equally
+    bare_best, captured_best = [], []
+    for _ in range(ROUNDS):
+        bare_best.append(bare())
+        captured_best.append(captured())
+    overhead = min(captured_best) / min(bare_best) - 1.0
+    emit("perfdb / record capture overhead on measure()",
+         f"kernel: {N}x{N} matmul, {REPS} reps x {ROUNDS} rounds\n"
+         f"bare best     {min(bare_best):.4e}s\n"
+         f"captured best {min(captured_best):.4e}s\n"
+         f"overhead      {overhead:+.2%} (bound: +5%)")
+    assert overhead < 0.05, f"record capture overhead {overhead:+.2%}"

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Longitudinal performance tracking: store, gate, and drift-scan demo.
+
+Builds a deterministic synthetic benchmark history — ten runs of three
+kernels where one kernel quietly steps 40% slower halfway through and
+another regresses sharply in the final run — then walks the whole
+`repro.perfdb` workflow over it:
+
+    1. append RunRecords to a PerfStore (the JSONL history)
+    2. pin a baseline
+    3. gate the latest run with compare_runs (the `compare` CI gate)
+    4. scan full histories for change points (`history_drift`)
+    5. print the sparkline dashboard (`report`)
+
+Everything here also works on *real* runs captured with
+``python -m repro.perfdb record benchmarks/``; synthetic times just make
+the demo reproducible anywhere.
+
+Run:  python examples/perf_tracking.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.perfdb import (
+    PerfStore,
+    RunRecord,
+    compare_runs,
+    history_drift,
+    report_text,
+)
+
+N_RUNS = 10
+REPS = 15
+
+
+def synthetic_times(rng, median):
+    """One benchmark's repetition times: tight noise around a median."""
+    return list(np.abs(rng.normal(median, 0.02 * median, REPS)))
+
+
+def median_for(run_index, kernel):
+    """The planted history: one drift step, one final-run regression."""
+    if kernel == "matmul":
+        # regresses sharply in the very last run (a bad commit)
+        return 1.0e-3 if run_index < N_RUNS - 1 else 2.1e-3
+    if kernel == "histogram":
+        # steps 40% slower halfway through and stays there (quiet drift a
+        # pairwise latest-vs-previous gate would never flag)
+        return 4.0e-4 if run_index < N_RUNS // 2 else 5.6e-4
+    return 2.5e-3  # stencil: healthy throughout
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    store = PerfStore(tempfile.mkdtemp(prefix="perfdb-demo-"))
+
+    print(f"== 1. recording {N_RUNS} synthetic runs -> {store.root}")
+    for i in range(N_RUNS):
+        samples = {f"kernels/{k}": synthetic_times(rng, median_for(i, k))
+                   for k in ("matmul", "histogram", "stencil")}
+        store.append(RunRecord.new(
+            samples, label=f"edition{i}", machine={}, git_sha=f"{i:07x}a",
+            created=1700000000.0 + 86400.0 * i))
+    print(f"   stored {len(store.runs())} runs, "
+          f"{len(store.benchmark_ids())} benchmarks each")
+
+    print("\n== 2. pin the first run as baseline")
+    baseline = store.set_baseline(store.runs()[0].run_id)
+    print(f"   {baseline.describe()}")
+
+    print("\n== 3. gate the latest run (what `compare` does in CI)")
+    verdict = compare_runs(store.latest(), store.baseline())
+    print(verdict.report())
+    assert not verdict.ok, "the planted matmul regression must trip the gate"
+    (worst,) = [r for r in verdict.regressions if "matmul" in r.benchmark_id]
+    print(f"   -> CI would exit 1: {worst.benchmark_id} is "
+          f"{worst.ratio:.2f}x the baseline")
+
+    print("\n== 4. drift scan over full histories (what pairwise gates miss)")
+    for bid in store.benchmark_ids():
+        points = history_drift(store.runs(), bid)
+        if not points:
+            print(f"   {bid}: no change points")
+        for cp in points:
+            print(f"   {bid}: shifted {cp.rel_change:+.0%} at run "
+                  f"{cp.run_id} (run #{cp.index})")
+    assert any(history_drift(store.runs(), b) for b in store.benchmark_ids())
+
+    print("\n== 5. the dashboard (what `report` prints)")
+    print(report_text(store))
+
+
+if __name__ == "__main__":
+    main()

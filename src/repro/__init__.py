@@ -23,6 +23,7 @@ Sub-packages map to the course topics (Table 1 of the paper):
 ``repro.polyhedral``    iteration domains, dependences, legal transforms
 ``repro.tuning``        search-based kernel auto-tuning (stage 5, automated)
 ``repro.observe``       structured tracing + metrics; Chrome-trace export
+``repro.perfdb``        longitudinal benchmark store + regression gate
 ``repro.course``        the paper's own artifacts: data, grading, figures
 ======================  =====================================================
 
@@ -52,6 +53,7 @@ from .observe import (
     set_tracer,
     tracing,
 )
+from .perfdb import PerfStore, RunRecord, compare_runs
 from .tuning import (
     Budget,
     CoordinateDescent,
@@ -93,5 +95,9 @@ __all__ = [
     "tracing",
     "MetricsRegistry",
     "METRICS",
+    # longitudinal performance tracking
+    "PerfStore",
+    "RunRecord",
+    "compare_runs",
     "__version__",
 ]

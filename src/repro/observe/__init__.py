@@ -41,7 +41,14 @@ Quickstart::
 """
 
 from .export import auto_glyphs, chrome_trace, gantt_text, write_chrome_trace
-from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    snapshot_delta,
+)
 from .spans import NullTracer, Span, Tracer, get_tracer, set_tracer, tracing
 
 __all__ = [
@@ -58,6 +65,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "METRICS",
+    "snapshot_delta",
     # exporters
     "chrome_trace",
     "write_chrome_trace",

@@ -17,7 +17,8 @@ import math
 import threading
 from bisect import bisect_right
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS",
+           "snapshot_delta"]
 
 #: Default histogram bucket upper bounds: decades from 100ns to 1000s,
 #: wide enough for any duration this toolbox measures.
@@ -152,6 +153,39 @@ class MetricsRegistry:
             lines.append(f"histogram {name:32s} n={h['count']} "
                          f"mean={mean:.4e} min={h['min']} max={h['max']}")
         return "\n".join(lines) if lines else "(no metrics)"
+
+
+def snapshot_delta(before: dict, after: dict) -> dict:
+    """What happened between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Counters and histogram counts/totals are subtracted (instruments absent
+    from ``before`` count from zero); gauges keep their ``after`` value, as
+    do histogram min/max, which cannot be windowed after the fact.  Zero
+    counter deltas are dropped so the result names only what actually moved
+    — this is the snapshot a :class:`~repro.perfdb.record.RunRecord`
+    attaches to a recorded benchmark run.
+    """
+    doc: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for name, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(name, 0)
+        if delta:
+            doc["counters"][name] = delta
+    doc["gauges"] = dict(after.get("gauges", {}))
+    for name, h in after.get("histograms", {}).items():
+        prev = before.get("histograms", {}).get(name)
+        if prev is None:
+            doc["histograms"][name] = dict(h)
+            continue
+        counts = [c - p for c, p in zip(h["counts"], prev["counts"])]
+        doc["histograms"][name] = {
+            "count": h["count"] - prev["count"],
+            "total": h["total"] - prev["total"],
+            "min": h["min"],
+            "max": h["max"],
+            "buckets": list(h["buckets"]),
+            "counts": counts,
+        }
+    return doc
 
 
 #: The process-wide default registry tracers attach to.

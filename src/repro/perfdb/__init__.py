@@ -1,0 +1,91 @@
+"""Longitudinal performance tracking: store, gate, and report benchmarks.
+
+The toolbox can *measure* (:mod:`repro.timing`) and *observe one run*
+(:mod:`repro.observe`) — this package is the memory on top: a durable,
+append-only store of benchmark results plus a statistical regression gate
+and a dashboard, so optimisation claims are checked against history, the
+way the paper's seven-stage process (and its own seven-edition
+self-evaluation) demands.  It substitutes for continuous-benchmarking
+services such as ``asv`` or Codespeed.
+
+==============================  ==========================================
+:mod:`repro.perfdb.record`      :class:`RunRecord` — raw times + summary
+                                per benchmark, machine fingerprint, git
+                                SHA, metrics snapshot, schema version
+:mod:`repro.perfdb.store`       :class:`PerfStore` — append-only JSONL,
+                                corrupt-line tolerant, atomic concurrent
+                                appends, baseline pinning
+:mod:`repro.perfdb.compare`     :func:`compare_runs` — Mann-Whitney gate
+                                with median-ratio effect sizes, plus the
+                                :func:`history_drift` change-point scan
+:mod:`repro.perfdb.report`      sparkline text dashboard over the history
+:mod:`repro.perfdb.capture`     pytest plugin that harvests raw
+                                ``timing.measure`` repetition times (and
+                                pytest-benchmark rounds) during ``record``
+:mod:`repro.perfdb.cli`         ``python -m repro.perfdb`` — ``record`` /
+                                ``compare`` (the CI gate) / ``report`` /
+                                ``baseline``
+==============================  ==========================================
+
+Quickstart::
+
+    from repro.perfdb import PerfStore, RunRecord, compare_runs
+
+    store = PerfStore(".perfdb")
+    store.append(RunRecord.new({"kernels/matmul": times}))
+    verdicts = compare_runs(store.latest(), store.baseline())
+    print(verdicts.report())
+"""
+
+from .compare import (
+    IMPROVED,
+    MISSING,
+    NEW,
+    REGRESSED,
+    UNCHANGED,
+    BenchmarkComparison,
+    ChangePoint,
+    RunComparison,
+    compare_runs,
+    history_drift,
+)
+from .record import (
+    SCHEMA_VERSION,
+    BenchmarkResult,
+    RunRecord,
+    SchemaMismatch,
+    calibration_probe,
+    current_git_sha,
+    machine_fingerprint,
+)
+from .report import report_text, sparkline
+from .store import DEFAULT_STORE_DIR, PerfStore, PerfStoreWarning
+
+__all__ = [
+    # records
+    "SCHEMA_VERSION",
+    "SchemaMismatch",
+    "BenchmarkResult",
+    "RunRecord",
+    "calibration_probe",
+    "machine_fingerprint",
+    "current_git_sha",
+    # store
+    "PerfStore",
+    "PerfStoreWarning",
+    "DEFAULT_STORE_DIR",
+    # comparison engine
+    "compare_runs",
+    "RunComparison",
+    "BenchmarkComparison",
+    "ChangePoint",
+    "history_drift",
+    "IMPROVED",
+    "REGRESSED",
+    "UNCHANGED",
+    "NEW",
+    "MISSING",
+    # reporting
+    "report_text",
+    "sparkline",
+]

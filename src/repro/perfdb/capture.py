@@ -1,0 +1,151 @@
+"""Pytest-side capture: turn a benchmark session into raw per-benchmark times.
+
+``repro-perfdb record`` runs the ``benchmarks/`` suite in a child pytest
+with ``REPRO_PERFDB_CAPTURE`` pointing at an output path;
+``benchmarks/conftest.py`` calls :func:`install_capture` so this plugin
+rides along.  Capture works by *observation*, not by changing benchmarks:
+a thread-local :class:`~repro.observe.Tracer` wraps each test call, and
+afterwards the top-level ``timing.measure`` / ``timing.measure_until_stable``
+spans are harvested — their ``timing.repetition`` children carry the raw
+per-repetition seconds the store needs.  Tests that use the
+pytest-benchmark fixture instead contribute that fixture's raw rounds.
+
+Benchmark ids are stable across runs by construction: the pytest node id,
+plus a ``::measureK`` suffix numbering the top-level measure calls within
+one test in execution order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import defaultdict
+from typing import Iterable, Mapping, Sequence
+
+import pytest
+
+from ..observe import METRICS, Span, Tracer, tracing
+from ..observe.metrics import snapshot_delta
+
+__all__ = ["CAPTURE_ENV", "harvest_measure_times", "PerfCapturePlugin",
+           "install_capture", "load_capture"]
+
+#: Environment variable naming the JSON file a capture session writes.
+CAPTURE_ENV = "REPRO_PERFDB_CAPTURE"
+
+_MEASURE_SPANS = ("timing.measure", "timing.measure_until_stable")
+
+
+def harvest_measure_times(spans: Iterable[Span]) -> list[list[float]]:
+    """Raw repetition times of each *top-level* measure span, in call order.
+
+    Top-level means ``parent_id is None``: measurements made inside other
+    instrumented machinery (a tuning search, a variant comparison) belong
+    to that machinery's span tree and are deliberately not double-counted
+    as benchmarks of their own.
+    """
+    spans = sorted(spans, key=lambda s: s.span_id)
+    children: dict[int | None, list[Span]] = defaultdict(list)
+    for s in spans:
+        children[s.parent_id].append(s)
+    out: list[list[float]] = []
+    for s in spans:
+        if s.name not in _MEASURE_SPANS or s.parent_id is not None:
+            continue
+        times = [float(c.attrs["seconds"]) for c in children[s.span_id]
+                 if c.name == "timing.repetition" and "seconds" in c.attrs]
+        if times:
+            out.append(times)
+    return out
+
+
+def _pytest_benchmark_times(item) -> list[float] | None:
+    """Raw rounds from a pytest-benchmark fixture, when the test used one."""
+    bench = getattr(item, "funcargs", {}).get("benchmark")
+    stats = getattr(bench, "stats", None)          # Metadata (or None)
+    inner = getattr(stats, "stats", None)          # Stats with .data
+    data = getattr(inner, "data", None)
+    if data:
+        times = [float(t) for t in data if t > 0]
+        return times or None
+    return None
+
+
+class PerfCapturePlugin:
+    """Collects per-benchmark samples for the whole session, then writes JSON.
+
+    The output document: ``{"schema": 1, "samples": {id: [seconds, ...]},
+    "metrics": <observe snapshot delta>, "exitstatus": int}``.
+    """
+
+    def __init__(self, out_path: str | os.PathLike):
+        self.out_path = os.fspath(out_path)
+        self.samples: dict[str, list[float]] = {}
+        self._metrics_before = METRICS.snapshot()
+
+    def pytest_collection_modifyitems(self, config, items):
+        # Meta-benchmarks (marked perfdb_skip) measure the toolbox itself,
+        # not a kernel: during a record they would only add noisy
+        # pseudo-benchmarks, and their own assertions could abort the run.
+        keep, drop = [], []
+        for it in items:
+            (keep if it.get_closest_marker("perfdb_skip") is None
+             else drop).append(it)
+        if drop:
+            config.hook.pytest_deselected(items=drop)
+            items[:] = keep
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(self, item):
+        if item.get_closest_marker("perfdb_skip") is not None:
+            return (yield)
+        tracer = Tracer(metrics=METRICS)
+        with tracing(tracer):
+            result = yield
+        for k, times in enumerate(harvest_measure_times(tracer.spans)):
+            self.samples[f"{item.nodeid}::measure{k}"] = times
+        bench_times = _pytest_benchmark_times(item)
+        if bench_times:
+            self.samples[item.nodeid] = bench_times
+        return result
+
+    def pytest_sessionfinish(self, session, exitstatus):
+        doc = {
+            "schema": 1,
+            "samples": {bid: times
+                        for bid, times in sorted(self.samples.items())},
+            "metrics": snapshot_delta(self._metrics_before,
+                                      METRICS.snapshot()),
+            "exitstatus": int(exitstatus),
+        }
+        with open(self.out_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+
+
+def install_capture(config) -> None:
+    """Register the capture plugin when ``REPRO_PERFDB_CAPTURE`` is set.
+
+    Called from ``benchmarks/conftest.py``'s ``pytest_configure`` (or any
+    suite that wants to be recordable); without the environment variable
+    only the ``perfdb_skip`` marker is registered, so plain benchmark runs
+    are otherwise untouched.
+    """
+    config.addinivalue_line(
+        "markers",
+        "perfdb_skip: exclude this test from perfdb record capture "
+        "(meta-benchmarks that measure the toolbox itself, not a kernel)")
+    path = os.environ.get(CAPTURE_ENV)
+    if path and not config.pluginmanager.has_plugin("repro-perfdb-capture"):
+        config.pluginmanager.register(PerfCapturePlugin(path),
+                                      "repro-perfdb-capture")
+
+
+def load_capture(path: str | os.PathLike) -> tuple[dict, Mapping]:
+    """Read a capture file back: ``(samples, metrics)``; raises on damage."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != 1:
+        raise ValueError(f"unknown capture schema {doc.get('schema')!r}")
+    samples = {str(k): [float(t) for t in v]
+               for k, v in doc.get("samples", {}).items()}
+    return samples, doc.get("metrics", {})

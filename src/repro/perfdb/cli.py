@@ -1,0 +1,196 @@
+"""``python -m repro.perfdb`` — record, compare, report, baseline.
+
+The longitudinal workflow, start to finish::
+
+    python -m repro.perfdb record benchmarks/test_bench_perfdb.py
+    python -m repro.perfdb baseline latest        # pin it
+    ... hack on a kernel ...
+    python -m repro.perfdb record benchmarks/test_bench_perfdb.py
+    python -m repro.perfdb compare                # exit 1 on regression
+    python -m repro.perfdb report                 # sparkline dashboard
+
+``compare`` is the CI gate: exit 0 when no benchmark significantly
+regressed against the baseline (the pinned run, else the run before the
+candidate), exit 1 on a regression, exit 2 on operational errors.
+``record`` honours ``REPRO_BENCH_SMOKE`` (and any other environment) by
+passing it straight through to the child pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from .capture import CAPTURE_ENV, load_capture
+from .compare import compare_runs
+from .record import RunRecord, calibration_probe, machine_fingerprint
+from .report import report_text
+from .store import PerfStore
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-perfdb",
+        description="longitudinal benchmark tracking and regression gating")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="store directory (default: $REPRO_PERFDB or "
+                             ".perfdb)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run benchmarks and store a run")
+    rec.add_argument("targets", nargs="*", default=None, metavar="PYTEST_ARG",
+                     help="pytest targets/args (default: benchmarks/)")
+    rec.add_argument("--label", default="", help="free-form run label")
+    rec.add_argument("--passes", type=int, default=3,
+                     help="independent pytest passes whose raw samples are "
+                          "pooled into the run (default 3); >1 spreads the "
+                          "measurement over time so a transient machine-"
+                          "load burst cannot contaminate a whole benchmark")
+
+    cmp_ = sub.add_parser("compare", help="gate a run against a baseline")
+    cmp_.add_argument("--candidate", default=None, metavar="RUN",
+                      help="run id/prefix or 'latest' (default: latest)")
+    cmp_.add_argument("--baseline", default=None, metavar="RUN",
+                      help="run id/prefix (default: pinned baseline, else "
+                           "the run before the candidate)")
+    cmp_.add_argument("--alpha", type=float, default=0.05,
+                      help="Mann-Whitney significance level (default 0.05)")
+    cmp_.add_argument("--min-change", type=float, default=0.10,
+                      help="practical-significance floor on the median "
+                           "ratio (default 0.10 = 10%%)")
+
+    rep = sub.add_parser("report", help="sparkline dashboard of the history")
+    rep.add_argument("--width", type=int, default=24,
+                     help="sparkline length in runs (default 24)")
+
+    base = sub.add_parser("baseline", help="show or pin the baseline run")
+    base.add_argument("run", nargs="?", default=None,
+                      help="run id/prefix or 'latest' to pin; omit to show")
+    return parser
+
+
+def _cmd_record(store: PerfStore, args) -> int:
+    targets = list(args.targets) if args.targets else ["benchmarks/"]
+    passes = max(1, int(args.passes))
+    store.root.mkdir(parents=True, exist_ok=True)
+    capture_path = store.root / f"capture-{os.getpid()}.json"
+    env = dict(os.environ)
+    env[CAPTURE_ENV] = str(capture_path)
+    # make `repro` importable in the child regardless of the caller's cwd
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep)
+                     if p])
+    cmd = [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+           *targets]
+    print(f"perfdb record: {' '.join(cmd)}  ({passes} pass(es))")
+    # Pool raw samples across independent pytest passes: a transient burst
+    # of machine load (contention, throttling) lasting longer than one
+    # benchmark's repetition window then taints at most one pass's share
+    # of the samples, and the pooled median stays on the quiet-machine
+    # level — the store-side analogue of "repeat your experiments".
+    # Probe machine speed before the passes and again after (inside the
+    # fingerprint), keeping the quieter of the two windows: a single short
+    # probe is more burst-prone than the pooled benchmarks it calibrates.
+    try:
+        cal_before = calibration_probe()
+    except Exception:
+        cal_before = None
+    samples: dict[str, list[float]] = {}
+    metrics: dict = {}
+    for n in range(passes):
+        try:
+            proc = subprocess.run(cmd, env=env)
+            if proc.returncode != 0:
+                print(f"perfdb record: benchmark pass {n + 1}/{passes} "
+                      f"failed (pytest exit {proc.returncode}); nothing "
+                      f"stored", file=sys.stderr)
+                return 2
+            if not capture_path.exists():
+                print("perfdb record: the benchmark run produced no capture "
+                      "file — does the suite's conftest call "
+                      "repro.perfdb.capture.install_capture?",
+                      file=sys.stderr)
+                return 2
+            pass_samples, metrics = load_capture(capture_path)
+        finally:
+            capture_path.unlink(missing_ok=True)
+        for bid, times in pass_samples.items():
+            samples.setdefault(bid, []).extend(times)
+    if not samples:
+        print("perfdb record: no benchmark produced measurable samples",
+              file=sys.stderr)
+        return 2
+    machine = machine_fingerprint()
+    cal_after = machine.get("calibration")
+    if cal_before and cal_after:
+        machine["calibration"] = min(
+            (cal_before, cal_after), key=lambda c: c["best_seconds"])
+    record = RunRecord.new(samples, label=args.label, metrics=metrics,
+                           machine=machine)
+    store.append(record)
+    print(f"perfdb record: stored {record.describe()} -> {store.runs_path}")
+    return 0
+
+
+def _cmd_compare(store: PerfStore, args) -> int:
+    runs = store.runs()
+    if len(runs) < 2:
+        print(f"perfdb compare: need at least two runs in {store.root}, "
+              f"have {len(runs)}", file=sys.stderr)
+        return 2
+    try:
+        candidate = store.get(args.candidate) if args.candidate else runs[-1]
+        if args.baseline:
+            baseline = store.get(args.baseline)
+        else:
+            baseline = store.baseline()
+            if baseline is None or baseline.run_id == candidate.run_id:
+                earlier = [r for r in runs if r.created < candidate.created
+                           or (r.created == candidate.created
+                               and r.run_id != candidate.run_id)]
+                if not earlier:
+                    print("perfdb compare: no earlier run to compare "
+                          "against", file=sys.stderr)
+                    return 2
+                baseline = earlier[-1]
+        comparison = compare_runs(candidate, baseline, alpha=args.alpha,
+                                  min_rel_change=args.min_change)
+    except (LookupError, ValueError) as exc:
+        print(f"perfdb compare: {exc}", file=sys.stderr)
+        return 2
+    print(comparison.report())
+    return 0 if comparison.ok else 1
+
+
+def _cmd_report(store: PerfStore, args) -> int:
+    print(report_text(store, width=args.width))
+    return 0
+
+
+def _cmd_baseline(store: PerfStore, args) -> int:
+    if args.run is None:
+        pinned = store.baseline()
+        print(f"baseline: {pinned.describe()}" if pinned
+              else "baseline: (none pinned)")
+        return 0
+    try:
+        record = store.set_baseline(args.run)
+    except LookupError as exc:
+        print(f"perfdb baseline: {exc}", file=sys.stderr)
+        return 2
+    print(f"baseline pinned: {record.describe()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    store = PerfStore(args.store)
+    handler = {"record": _cmd_record, "compare": _cmd_compare,
+               "report": _cmd_report, "baseline": _cmd_baseline}[args.command]
+    return handler(store, args)

@@ -1,0 +1,299 @@
+"""The regression gate: verdict every benchmark against a baseline run.
+
+Reuses the course's comparison discipline from :mod:`repro.timing.stats`
+wholesale — a one-sided Mann-Whitney test via
+:func:`~repro.timing.stats.significantly_faster` (never claim a change
+from overlapping noise), a bootstrap CI on the median ratio as the effect
+size, and a practical-significance floor (``min_rel_change``) so a
+statistically real 0.5% wobble does not fail CI.
+
+Pairwise verdicts miss slow drifts — ten runs each 2% slower than the
+last never trip a latest-vs-previous gate — so :func:`history_drift` runs
+the :func:`~repro.timing.stats.change_points` scan over a benchmark's
+full stored history of per-run medians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..timing.stats import (
+    change_points,
+    median_ratio_ci,
+    significantly_faster,
+)
+from .record import RunRecord
+
+__all__ = [
+    "IMPROVED",
+    "REGRESSED",
+    "UNCHANGED",
+    "NEW",
+    "MISSING",
+    "BenchmarkComparison",
+    "RunComparison",
+    "compare_runs",
+    "ChangePoint",
+    "history_drift",
+]
+
+IMPROVED = "improved"
+REGRESSED = "regressed"
+UNCHANGED = "unchanged"
+NEW = "new"          # benchmark exists only in the candidate run
+MISSING = "missing"  # benchmark disappeared from the candidate run
+
+#: Only normalise by the calibration probes when the candidate's machine
+#: ran more than this much *slower* than the baseline's — below it, probe
+#: noise would add more error than it removes (the practical-significance
+#: floor absorbs small drift anyway).
+NORMALIZE_DRIFT = 0.10
+
+
+def _probe_seconds(run: RunRecord) -> float | None:
+    """The run's calibration-probe best time, if the record carries one."""
+    cal = run.machine.get("calibration") if run.machine else None
+    try:
+        best = float(cal["best_seconds"])  # type: ignore[index]
+    except (TypeError, KeyError, ValueError):
+        return None
+    return best if best > 0 else None
+
+
+@dataclass(frozen=True)
+class BenchmarkComparison:
+    """One benchmark's verdict: candidate vs baseline.
+
+    ``ratio`` is median(candidate)/median(baseline) — above 1 is slower —
+    with ``ratio_ci`` its bootstrap confidence interval; ``rel_change`` is
+    the same effect expressed as a signed fraction.
+    """
+
+    benchmark_id: str
+    verdict: str
+    candidate_median: float | None
+    baseline_median: float | None
+    ratio: float | None
+    ratio_ci: tuple[float, float] | None
+    rel_change: float | None
+    significant: bool
+    #: min(candidate)/min(baseline) — the quiet-machine effect size.
+    best_ratio: float | None = None
+
+    @property
+    def regressed(self) -> bool:
+        return self.verdict == REGRESSED
+
+
+def _compare_times(benchmark_id: str, candidate: Sequence[float],
+                   baseline: Sequence[float], alpha: float,
+                   min_rel_change: float,
+                   confidence: float) -> BenchmarkComparison:
+    from ..timing.stats import summarize
+
+    cand_med = summarize(candidate).median
+    base_med = summarize(baseline).median
+    ratio = cand_med / base_med
+    rel_change = ratio - 1.0
+    best_ratio = min(candidate) / min(baseline)
+    ci = median_ratio_ci(candidate, baseline, confidence=confidence)
+    slower = significantly_faster(baseline, candidate, alpha)
+    faster = significantly_faster(candidate, baseline, alpha)
+    # Four conditions to claim a change: rank test, effect CI clear of 1,
+    # a practically meaningful median shift — and the same shift in the
+    # *best* time.  Timing noise is one-sided (contention and throttling
+    # only ever add time), so the min over the samples estimates the
+    # quiet-machine time: a median that moved while the min did not is a
+    # machine-load artifact, not a code change.
+    if (slower and ci[0] > 1.0 and rel_change >= min_rel_change
+            and best_ratio >= 1.0 + min_rel_change):
+        verdict, significant = REGRESSED, True
+    elif (faster and ci[1] < 1.0 and rel_change <= -min_rel_change
+            and best_ratio <= 1.0 - min_rel_change):
+        verdict, significant = IMPROVED, True
+    else:
+        verdict, significant = UNCHANGED, slower or faster
+    return BenchmarkComparison(
+        benchmark_id=benchmark_id, verdict=verdict,
+        candidate_median=cand_med, baseline_median=base_med,
+        ratio=ratio, ratio_ci=ci, rel_change=rel_change,
+        significant=significant, best_ratio=best_ratio)
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """Every benchmark's verdict for one candidate/baseline pair."""
+
+    candidate: RunRecord
+    baseline: RunRecord
+    results: tuple[BenchmarkComparison, ...]
+    alpha: float
+    min_rel_change: float
+    #: Machine-speed factor divided out of the candidate's times (1.0 when
+    #: the calibration probes agreed or were absent).
+    machine_scale: float = 1.0
+
+    @property
+    def regressions(self) -> tuple[BenchmarkComparison, ...]:
+        return tuple(r for r in self.results if r.verdict == REGRESSED)
+
+    @property
+    def improvements(self) -> tuple[BenchmarkComparison, ...]:
+        return tuple(r for r in self.results if r.verdict == IMPROVED)
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: true when no benchmark significantly regressed."""
+        return not self.regressions
+
+    def report(self) -> str:
+        """Text verdict table, worst offenders first."""
+        lines = [
+            f"perfdb compare: candidate {self.candidate.describe()}",
+            f"        baseline  {self.baseline.describe()}",
+            f"  gate: Mann-Whitney alpha={self.alpha}, practical floor "
+            f"{self.min_rel_change:+.1%}",
+        ]
+        if self.machine_scale != 1.0:
+            lines.append(
+                f"  calibration: candidate machine ran "
+                f"{self.machine_scale:.2f}x the baseline's probe speed — "
+                f"candidate times normalised by /{self.machine_scale:.3f}")
+        lines += [
+            f"  {'benchmark':52s} {'base med':>10s} {'cand med':>10s} "
+            f"{'ratio':>7s} {'best':>7s} {'ci95(ratio)':>16s} verdict",
+        ]
+        for r in self.results:
+            bid = r.benchmark_id
+            bid = bid if len(bid) <= 52 else "..." + bid[-49:]
+            if r.verdict in (NEW, MISSING):
+                lines.append(f"  {bid:52s} {'-':>10s} {'-':>10s} {'-':>7s} "
+                             f"{'-':>7s} {'-':>16s} {r.verdict}")
+                continue
+            ci = f"[{r.ratio_ci[0]:6.3f},{r.ratio_ci[1]:6.3f}]"
+            flag = "" if r.verdict == UNCHANGED else (
+                f"  ({r.rel_change:+.1%})")
+            lines.append(
+                f"  {bid:52s} {r.baseline_median:10.3e} "
+                f"{r.candidate_median:10.3e} {r.ratio:7.3f} "
+                f"{r.best_ratio:7.3f} {ci:>16s} {r.verdict}{flag}")
+        lines.append(
+            f"  verdicts: {len(self.regressions)} regressed, "
+            f"{len(self.improvements)} improved, "
+            f"{sum(1 for r in self.results if r.verdict == UNCHANGED)} "
+            f"unchanged, "
+            f"{sum(1 for r in self.results if r.verdict in (NEW, MISSING))} "
+            f"new/missing -> gate {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _severity(c: BenchmarkComparison) -> tuple:
+    rank = {REGRESSED: 0, MISSING: 1, NEW: 2, UNCHANGED: 3, IMPROVED: 4}
+    return (rank[c.verdict],
+            -(c.rel_change if c.rel_change is not None else 0.0),
+            c.benchmark_id)
+
+
+def compare_runs(candidate: RunRecord, baseline: RunRecord,
+                 alpha: float = 0.05, min_rel_change: float = 0.10,
+                 confidence: float = 0.95,
+                 normalize: bool = True) -> RunComparison:
+    """Verdict every benchmark the two runs share (plus new/missing ones).
+
+    A benchmark *regresses* when the baseline's times are significantly
+    faster (one-sided Mann-Whitney at ``alpha``), the bootstrap CI of the
+    median ratio sits entirely above 1, the median moved by at least
+    ``min_rel_change``, **and** the best (minimum) time moved by as much —
+    statistical and practical significance together, exactly the claim
+    discipline the course grades.  The default 10% floor absorbs the
+    run-to-run drift separate process invocations show even on an idle
+    machine (CPU frequency, cache and allocator state).  The best-time
+    condition uses timing noise's one-sidedness: load can only *add*
+    time, so a code change moves the min along with the median, while a
+    busy machine moves only the median — a real regression worth acting
+    on clears all four.
+
+    With ``normalize`` (the default), when both records carry a
+    :func:`~repro.perfdb.record.calibration_probe` and the candidate's
+    probe ran more than :data:`NORMALIZE_DRIFT` *slower* than the
+    baseline's, the candidate's times are divided by the probe ratio
+    before any statistics run.  The probe is a fixed NumPy kernel no repo
+    change can touch, so a probe shift can only mean the *machine* ran at
+    a different speed (throttling, sustained contention, a different
+    host) — exactly the run-level confound that would otherwise flag
+    every benchmark at once.  Normalisation is deliberately one-sided: a
+    slower candidate machine needs excusing, a faster one cannot create a
+    false regression, and scaling times *up* from a noisy probe would.
+    """
+    if candidate.run_id == baseline.run_id:
+        raise ValueError("cannot compare a run against itself")
+    scale = 1.0
+    if normalize:
+        cal_c, cal_b = _probe_seconds(candidate), _probe_seconds(baseline)
+        if cal_c is not None and cal_b is not None:
+            drift = cal_c / cal_b
+            if drift > 1.0 + NORMALIZE_DRIFT:
+                scale = drift
+    results: list[BenchmarkComparison] = []
+    for bid in sorted(set(candidate.benchmarks) | set(baseline.benchmarks)):
+        cand = candidate.benchmarks.get(bid)
+        base = baseline.benchmarks.get(bid)
+        if base is None:
+            results.append(BenchmarkComparison(
+                bid, NEW, cand.summary.median, None, None, None, None, False))
+        elif cand is None:
+            results.append(BenchmarkComparison(
+                bid, MISSING, None, base.summary.median, None, None, None,
+                False))
+        else:
+            cand_times = [t / scale for t in cand.times]
+            results.append(_compare_times(bid, cand_times, base.times,
+                                          alpha, min_rel_change, confidence))
+    results.sort(key=_severity)
+    return RunComparison(candidate=candidate, baseline=baseline,
+                         results=tuple(results), alpha=alpha,
+                         min_rel_change=min_rel_change, machine_scale=scale)
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """A level shift in one benchmark's history of per-run medians."""
+
+    benchmark_id: str
+    index: int          # first run of the new regime (into ``run_ids``)
+    run_id: str
+    before_median: float
+    after_median: float
+
+    @property
+    def rel_change(self) -> float:
+        return self.after_median / self.before_median - 1.0
+
+
+def history_drift(runs: Sequence[RunRecord], benchmark_id: str,
+                  min_segment: int = 3, alpha: float = 0.01,
+                  min_rel_change: float = 0.05) -> list[ChangePoint]:
+    """Change-point scan over one benchmark's full stored history.
+
+    ``runs`` is the oldest-first run list (e.g. ``store.history(bid)``);
+    the series scanned is the per-run median.  Catches the drift and
+    step-many-runs-ago cases a pairwise gate is blind to.
+    """
+    import numpy as np
+
+    with_bench = [r for r in runs if benchmark_id in r.benchmarks]
+    series = [r.benchmarks[benchmark_id].summary.median for r in with_bench]
+    if len(series) < 2 * min_segment:
+        return []
+    points = change_points(series, min_segment=min_segment, alpha=alpha,
+                           min_rel_change=min_rel_change)
+    bounds = [0] + points + [len(series)]
+    out = []
+    for i, idx in enumerate(points):
+        out.append(ChangePoint(
+            benchmark_id=benchmark_id, index=idx,
+            run_id=with_bench[idx].run_id,
+            before_median=float(np.median(series[bounds[i]:idx])),
+            after_median=float(np.median(series[idx:bounds[i + 2]]))))
+    return out

@@ -1,0 +1,244 @@
+"""Run records: the durable unit of the longitudinal benchmark store.
+
+"Beyond the Badge" (PAPERS.md) argues that reproducibility needs durable,
+provenance-stamped measurement artifacts, not one-off numbers.  A
+:class:`RunRecord` is that artifact for one pass over the benchmark suite:
+every benchmark's *raw* repetition times (so later comparisons can rerun
+the statistics, not trust old verdicts), their :class:`~repro.timing.stats.
+Summary`, and enough provenance to know whether two runs are comparable at
+all — a machine fingerprint, the git SHA, and the
+:mod:`repro.observe` metrics snapshot of the run.
+
+Records are schema-versioned: loaders refuse records from a different
+schema instead of misreading them (see :class:`SchemaMismatch`).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from typing import Mapping, Sequence
+
+from ..timing.stats import Summary, summarize
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaMismatch",
+    "BenchmarkResult",
+    "RunRecord",
+    "calibration_probe",
+    "machine_fingerprint",
+    "current_git_sha",
+]
+
+#: Bump on any backwards-incompatible change to the record layout.
+SCHEMA_VERSION = 1
+
+
+class SchemaMismatch(ValueError):
+    """A serialized record carries a schema version this code cannot read."""
+
+
+def calibration_probe(repetitions: int = 9, warmup: int = 3) -> dict:
+    """Measure a fixed reference kernel: the run's machine-speed stamp.
+
+    A 256x256 NumPy matmul, best-of-``repetitions`` — deliberately
+    *independent of any repo code*, so a change to the toolbox can never
+    move the probe.  Two runs whose probes differ substantially were
+    measured on effectively different machines (another host, thermal
+    throttling, sustained contention); the comparison engine uses the
+    probe ratio to normalise sustained machine-speed drift out of its
+    verdicts instead of reporting every benchmark "regressed" because the
+    whole box was slow that afternoon.
+    """
+    import numpy as np
+
+    from ..observe import NullTracer
+    from ..timing.timers import measure
+
+    a = np.random.default_rng(0).random((256, 256))
+    # NullTracer: the probe must never show up as a captured benchmark
+    res = measure(lambda: a @ a, repetitions=repetitions, warmup=warmup,
+                  tracer=NullTracer())
+    return {"kernel": "numpy-matmul-256", "best_seconds": res.best,
+            "median_seconds": res.summary.median}
+
+
+def machine_fingerprint(calibrate: bool = True) -> dict:
+    """Where a run was measured — the comparability stamp.
+
+    Runtime facts (host, platform, interpreter and library versions, core
+    count), the default teaching-machine preset's key figures from
+    :mod:`repro.machine.presets` (so a record names both the *actual* host
+    and the *modeled* machine its analytical comparisons assumed), and —
+    unless ``calibrate=False`` — the :func:`calibration_probe`.
+    """
+    import numpy
+
+    fp: dict[str, object] = {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        import scipy
+
+        fp["scipy"] = scipy.__version__
+    except Exception:  # pragma: no cover - scipy is a hard dep in practice
+        fp["scipy"] = None
+    try:
+        from ..machine.presets import generic_server_cpu
+
+        cpu = generic_server_cpu()
+        fp["preset"] = {
+            "name": cpu.name,
+            "cores": cpu.cores,
+            "peak_gflops": cpu.peak_flops() / 1e9,
+            "stream_gbs": cpu.stream_bandwidth / 1e9,
+            "ridge_point": cpu.ridge_point(),
+        }
+    except Exception:  # pragma: no cover - presets are part of the package
+        fp["preset"] = None
+    if calibrate:
+        try:
+            fp["calibration"] = calibration_probe()
+        except Exception:  # pragma: no cover - probe is plain numpy
+            fp["calibration"] = None
+    return fp
+
+
+def current_git_sha(cwd: str | None = None) -> str | None:
+    """The repository HEAD, or ``None`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """One benchmark's raw repetition times plus their summary."""
+
+    benchmark_id: str
+    times: tuple[float, ...]
+    summary: Summary
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise ValueError(f"benchmark {self.benchmark_id!r} has no times")
+        if any(t <= 0 for t in self.times):
+            raise ValueError(f"benchmark {self.benchmark_id!r} has "
+                             "non-positive times")
+
+    @classmethod
+    def from_times(cls, benchmark_id: str,
+                   times: Sequence[float]) -> "BenchmarkResult":
+        times = tuple(float(t) for t in times)
+        return cls(benchmark_id=benchmark_id, times=times,
+                   summary=summarize(times))
+
+    def to_dict(self) -> dict:
+        return {"times": list(self.times), "summary": asdict(self.summary)}
+
+    @classmethod
+    def from_dict(cls, benchmark_id: str, d: Mapping) -> "BenchmarkResult":
+        return cls(benchmark_id=benchmark_id,
+                   times=tuple(float(t) for t in d["times"]),
+                   summary=Summary(**d["summary"]))
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One recorded pass over the benchmark suite.
+
+    ``created`` is Unix epoch seconds; ``benchmarks`` maps a stable
+    benchmark id (pytest node id plus a per-test measure index) to its
+    :class:`BenchmarkResult`; ``metrics`` is the
+    :func:`repro.observe.snapshot_delta` of the run.
+    """
+
+    run_id: str
+    created: float
+    benchmarks: Mapping[str, BenchmarkResult]
+    machine: Mapping[str, object] = field(default_factory=dict)
+    git_sha: str | None = None
+    label: str = ""
+    metrics: Mapping[str, object] = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.run_id:
+            raise ValueError("run_id cannot be empty")
+        if not self.benchmarks:
+            raise ValueError("a run must contain at least one benchmark")
+
+    @classmethod
+    def new(cls, samples: Mapping[str, Sequence[float]], label: str = "",
+            metrics: Mapping | None = None,
+            machine: Mapping | None = None,
+            git_sha: str | None = None,
+            created: float | None = None) -> "RunRecord":
+        """Build a record from raw per-benchmark samples, stamping provenance."""
+        created = time.time() if created is None else float(created)
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(created))
+        return cls(
+            run_id=f"{stamp}-{uuid.uuid4().hex[:6]}",
+            created=created,
+            benchmarks={bid: BenchmarkResult.from_times(bid, times)
+                        for bid, times in sorted(samples.items())},
+            machine=machine_fingerprint() if machine is None else dict(machine),
+            git_sha=current_git_sha() if git_sha is None else git_sha,
+            label=label,
+            metrics=dict(metrics) if metrics else {},
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "run_id": self.run_id,
+            "created": self.created,
+            "label": self.label,
+            "git_sha": self.git_sha,
+            "machine": dict(self.machine),
+            "metrics": dict(self.metrics),
+            "benchmarks": {bid: r.to_dict()
+                           for bid, r in sorted(self.benchmarks.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "RunRecord":
+        schema = d.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise SchemaMismatch(
+                f"record schema {schema!r} (this reader expects "
+                f"{SCHEMA_VERSION}); refusing to guess at its layout")
+        return cls(
+            run_id=str(d["run_id"]),
+            created=float(d["created"]),
+            benchmarks={bid: BenchmarkResult.from_dict(bid, r)
+                        for bid, r in d["benchmarks"].items()},
+            machine=dict(d.get("machine", {})),
+            git_sha=d.get("git_sha"),
+            label=str(d.get("label", "")),
+            metrics=dict(d.get("metrics", {})),
+        )
+
+    def describe(self) -> str:
+        """One-line inventory: ``run_id  when  [label]  sha  n benchmarks``."""
+        when = time.strftime("%Y-%m-%d %H:%M:%S",
+                             time.localtime(self.created))
+        sha = (self.git_sha or "nogit")[:8]
+        label = f" [{self.label}]" if self.label else ""
+        return (f"{self.run_id}  {when}  {sha}"
+                f"  {len(self.benchmarks)} benchmark(s){label}")

@@ -1,0 +1,94 @@
+"""Text dashboard over the stored benchmark history.
+
+Same idiom as the shared text renderer in :mod:`repro.observe.export`:
+fixed-width rows, a legend, worst offenders first.  Each benchmark gets a
+sparkline of its per-run medians across the whole store, its latest-vs-
+baseline ratio, and any change points the drift scan found — the
+longitudinal view (the paper evaluates its own course across seven
+editions the same way).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from .compare import history_drift
+from .record import RunRecord
+from .store import PerfStore
+
+__all__ = ["sparkline", "report_text"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"  # ▁▂▃▄▅▆▇█
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Render a series as unicode block glyphs, low to high.
+
+    ``width`` caps the number of glyphs (keeping the most recent values);
+    a flat series renders mid-height so one glyph never reads as "low".
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be positive")
+        vals = vals[-width:]
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _BLOCKS[3] * len(vals)
+    span = hi - lo
+    return "".join(_BLOCKS[min(7, int(8 * (v - lo) / span))] for v in vals)
+
+
+def _ratio_key(entry: tuple) -> tuple:
+    _, ratio, *_ = entry
+    return (-(ratio if ratio is not None else float("-inf")), entry[0])
+
+
+def report_text(store: PerfStore, width: int = 24,
+                drift_alpha: float = 0.01) -> str:
+    """The ``repro-perfdb report`` dashboard for one store."""
+    runs = store.runs()
+    if not runs:
+        return f"(no runs recorded in {store.root})"
+    baseline = store.baseline() or runs[0]
+    lines = [f"perfdb report: {len(runs)} run(s) in {store.root}", "runs:"]
+    for run in runs:
+        pin = "  *baseline*" if run.run_id == baseline.run_id else ""
+        lines.append(f"  {run.describe()}{pin}")
+
+    latest = runs[-1]
+    entries = []
+    for bid in store.benchmark_ids():
+        history = [r for r in runs if bid in r.benchmarks]
+        series = [r.benchmarks[bid].summary.median for r in history]
+        ratio = None
+        if bid in latest.benchmarks and bid in baseline.benchmarks \
+                and latest.run_id != baseline.run_id:
+            ratio = (latest.benchmarks[bid].summary.median
+                     / baseline.benchmarks[bid].summary.median)
+        drifts = history_drift(history, bid, alpha=drift_alpha)
+        entries.append((bid, ratio, series, drifts))
+    entries.sort(key=_ratio_key)
+
+    lines.append(f"benchmarks (worst vs baseline first, sparkline = per-run "
+                 f"median, last {width} runs):")
+    lines.append(f"  {'benchmark':52s} {'runs':>4s} {'latest':>10s} "
+                 f"{'vs base':>8s}  trend")
+    for bid, ratio, series, drifts in entries:
+        label = bid if len(bid) <= 52 else "..." + bid[-49:]
+        vs = f"{ratio - 1.0:+7.1%}" if ratio is not None else "      -"
+        spark = sparkline(series, width=width)
+        drift = ""
+        if drifts:
+            worst = max(drifts, key=lambda d: abs(d.rel_change))
+            drift = (f"  ! shift {worst.rel_change:+.0%} at run "
+                     f"{worst.run_id}")
+        lines.append(f"  {label:52s} {len(series):4d} {series[-1]:10.3e} "
+                     f"{vs:>8s}  {spark}{drift}")
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(runs[-1].created))
+    lines.append(f"latest run recorded {stamp}; '!' marks a change point in "
+                 "the median history (drift scan)")
+    return "\n".join(lines)

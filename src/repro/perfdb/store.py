@@ -1,0 +1,164 @@
+"""Append-only JSONL store for benchmark run records.
+
+One :class:`~repro.perfdb.record.RunRecord` per line in ``runs.jsonl``
+under the store directory (default ``.perfdb/``, gitignored).  The format
+is deliberately boring — append-only newline-delimited JSON — because the
+paper's measurement discipline demands artifacts that survive crashes,
+concurrent writers, and future readers:
+
+* appends are a single ``O_APPEND`` ``write()`` of one complete line, so
+  two processes recording at once never interleave bytes of a record;
+* loading tolerates a corrupt or truncated line (a crash mid-append, a
+  botched merge) by warning and skipping it, never by refusing the rest
+  of the history;
+* records from an unknown schema version are rejected cleanly — warned
+  about and skipped — instead of being misread.
+
+The baseline pin (``baseline.json``) names the run every ``compare``
+defaults to; promoting a new baseline is an atomic rename.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+
+from .record import RunRecord, SchemaMismatch
+
+__all__ = ["PerfStoreWarning", "PerfStore", "DEFAULT_STORE_DIR"]
+
+#: Where the store lives unless the caller (or ``REPRO_PERFDB``) says else.
+DEFAULT_STORE_DIR = ".perfdb"
+
+
+class PerfStoreWarning(UserWarning):
+    """A store file contained something unreadable that was skipped."""
+
+
+class PerfStore:
+    """A directory holding the benchmark history of one repository."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        if root is None:
+            root = os.environ.get("REPRO_PERFDB", DEFAULT_STORE_DIR)
+        self.root = Path(root)
+
+    @property
+    def runs_path(self) -> Path:
+        return self.root / "runs.jsonl"
+
+    @property
+    def baseline_path(self) -> Path:
+        return self.root / "baseline.json"
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, record: RunRecord) -> None:
+        """Durably append one record (atomic line write, fsync'd)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_dict(), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        fd = os.open(self.runs_path,
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- reading -------------------------------------------------------------
+
+    def runs(self) -> list[RunRecord]:
+        """Every readable record, ordered by creation time.
+
+        Unparseable lines (truncated append, editor damage) and records
+        from a different schema version produce a :class:`PerfStoreWarning`
+        and are skipped; the rest of the history still loads.
+        """
+        if not self.runs_path.exists():
+            return []
+        records: list[RunRecord] = []
+        with open(self.runs_path, "r", encoding="utf-8", errors="replace") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    warnings.warn(
+                        f"{self.runs_path}:{lineno}: corrupt record skipped "
+                        "(truncated append?)", PerfStoreWarning, stacklevel=2)
+                    continue
+                try:
+                    records.append(RunRecord.from_dict(doc))
+                except SchemaMismatch as exc:
+                    warnings.warn(f"{self.runs_path}:{lineno}: {exc}",
+                                  PerfStoreWarning, stacklevel=2)
+                except (KeyError, TypeError, ValueError) as exc:
+                    warnings.warn(
+                        f"{self.runs_path}:{lineno}: malformed record "
+                        f"skipped ({exc})", PerfStoreWarning, stacklevel=2)
+        records.sort(key=lambda r: (r.created, r.run_id))
+        return records
+
+    def latest(self) -> RunRecord | None:
+        runs = self.runs()
+        return runs[-1] if runs else None
+
+    def get(self, run_id: str) -> RunRecord:
+        """Resolve a full run id, a unique prefix, or the word ``latest``."""
+        runs = self.runs()
+        if not runs:
+            raise LookupError(f"store {self.root} holds no runs")
+        if run_id == "latest":
+            return runs[-1]
+        exact = [r for r in runs if r.run_id == run_id]
+        if exact:
+            return exact[-1]
+        matches = [r for r in runs if r.run_id.startswith(run_id)]
+        if not matches:
+            raise LookupError(f"no run matches {run_id!r}")
+        if len({r.run_id for r in matches}) > 1:
+            raise LookupError(
+                f"run id prefix {run_id!r} is ambiguous: "
+                + ", ".join(sorted({r.run_id for r in matches})))
+        return matches[-1]
+
+    def history(self, benchmark_id: str) -> list[RunRecord]:
+        """The runs (oldest first) that contain ``benchmark_id``."""
+        return [r for r in self.runs() if benchmark_id in r.benchmarks]
+
+    def benchmark_ids(self) -> list[str]:
+        """Every benchmark id seen in any run, sorted."""
+        ids: set[str] = set()
+        for run in self.runs():
+            ids.update(run.benchmarks)
+        return sorted(ids)
+
+    # -- baseline pin --------------------------------------------------------
+
+    def set_baseline(self, run_id: str) -> RunRecord:
+        """Pin (promote) a run as the comparison baseline; returns it."""
+        record = self.get(run_id)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.baseline_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps({"run_id": record.run_id}, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, self.baseline_path)
+        return record
+
+    def baseline(self) -> RunRecord | None:
+        """The pinned baseline run, or ``None`` when nothing is pinned."""
+        if not self.baseline_path.exists():
+            return None
+        try:
+            run_id = json.loads(
+                self.baseline_path.read_text(encoding="utf-8"))["run_id"]
+            return self.get(run_id)
+        except (json.JSONDecodeError, KeyError, LookupError) as exc:
+            warnings.warn(f"{self.baseline_path}: unusable baseline pin "
+                          f"({exc})", PerfStoreWarning, stacklevel=2)
+            return None

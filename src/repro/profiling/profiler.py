@@ -20,12 +20,18 @@ __all__ = ["FunctionCost", "Profile", "profile_callable", "amdahl_gate"]
 
 @dataclass(frozen=True)
 class FunctionCost:
-    """One function's share of a profile."""
+    """One function's share of a profile.
+
+    ``callers`` holds ``(caller name, exclusive seconds attributed to calls
+    from that caller)`` edges, which the collapsed-stack export folds into
+    flamegraph frames.
+    """
 
     name: str
     calls: int
     total_seconds: float      # inclusive (cumulative) time
     self_seconds: float       # exclusive time
+    callers: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.calls < 0 or self.total_seconds < 0 or self.self_seconds < 0:
@@ -66,6 +72,30 @@ class Profile:
         hottest = max(f.self_seconds for f in self.functions)
         return 1.0 - hottest / self.total_seconds
 
+    def collapsed_stacks(self) -> str:
+        """The profile in Brendan Gregg's collapsed-stack format.
+
+        One ``caller;function weight`` line per caller edge (weight =
+        exclusive microseconds attributed to calls from that caller), plus
+        a bare ``function weight`` line for root/uncredited time — feed the
+        result to ``flamegraph.pl`` or any collapsed-stack viewer.
+        cProfile keeps caller *edges* rather than full stacks, so frames
+        are at most two deep; the widths are still the real self-time
+        distribution.
+        """
+        lines = []
+        for f in sorted(self.functions, key=lambda f: f.name):
+            credited = 0.0
+            for caller, seconds in sorted(f.callers):
+                us = round(seconds * 1e6)
+                if us > 0:
+                    lines.append(f"{caller};{f.name} {us}")
+                credited += seconds
+            rest = round((f.self_seconds - credited) * 1e6)
+            if rest > 0:
+                lines.append(f"{f.name} {rest}")
+        return "\n".join(lines)
+
     def report(self, top: int = 10) -> str:
         lines = [f"profile: {self.total_seconds:.4f}s total",
                  f"  {'function':48s} {'calls':>8s} {'self':>9s} {'total':>9s} {'self%':>7s}"]
@@ -93,16 +123,23 @@ def profile_callable(fn: Callable[[], object], min_self_seconds: float = 0.0
         profiler.disable()
     stats = pstats.Stats(profiler)
     total = stats.total_tt
+
+    def shortname(key):
+        filename, lineno, funcname = key
+        return f"{filename.rsplit('/', 1)[-1]}:{lineno}({funcname})"
+
     functions = []
-    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in stats.stats.items():
+    for key, (cc, nc, tt, ct, callers) in stats.stats.items():
         if tt < min_self_seconds:
             continue
-        short = filename.rsplit("/", 1)[-1]
         functions.append(FunctionCost(
-            name=f"{short}:{lineno}({funcname})",
+            name=shortname(key),
             calls=int(nc),
             total_seconds=float(ct),
             self_seconds=float(tt),
+            callers=tuple(sorted(
+                (shortname(ck), float(c_tt))
+                for ck, (_cc, _nc, c_tt, _ct) in callers.items())),
         ))
     return Profile(total_seconds=float(total), functions=tuple(functions))
 

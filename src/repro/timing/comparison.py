@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+from ..observe import Tracer, get_tracer
 from .stats import Summary, significantly_faster, summarize
 from .timers import measure
 
@@ -62,28 +63,49 @@ class ComparisonTable:
 
 def compare_variants(variants: Mapping[str, Callable[[], object]],
                      baseline: str, repetitions: int = 7, warmup: int = 2,
-                     alpha: float = 0.05) -> ComparisonTable:
+                     alpha: float = 0.05,
+                     tracer: Tracer | None = None) -> ComparisonTable:
     """Measure every variant and compare against the named baseline.
 
     ``variants`` maps name -> zero-argument callable (close over the
     operands; regenerate state inside if the kernel mutates it).
+
+    Observability: one ``timing.compare_variants`` span wraps the whole
+    table, with one ``timing.variant`` span per variant (its ``measure``
+    repetitions nest inside), and the significance verdicts feed the
+    ``timing.variants_significant`` / ``timing.variants_not_significant``
+    counters.  ``tracer=None`` uses the active tracer — a no-op unless
+    tracing is enabled (see :mod:`repro.observe`).
     """
     if baseline not in variants:
         raise ValueError(f"baseline {baseline!r} not among the variants")
     if len(variants) < 2:
         raise ValueError("need at least two variants to compare")
-    measured: dict[str, tuple[float, ...]] = {}
-    for name, fn in variants.items():
-        measured[name] = measure(fn, repetitions=repetitions, warmup=warmup).times
-    base_times = measured[baseline]
-    base_median = summarize(base_times).median
-    results = []
-    for name, times in measured.items():
-        summary = summarize(times)
-        if name == baseline:
-            speedup, significant = 1.0, False
-        else:
-            speedup = base_median / summary.median
-            significant = significantly_faster(times, base_times, alpha)
-        results.append(VariantResult(name, summary, times, speedup, significant))
-    return ComparisonTable(baseline=baseline, results=tuple(results))
+    tracer = get_tracer() if tracer is None else tracer
+    with tracer.span("timing.compare_variants", category="timing",
+                     baseline=baseline, variants=len(variants)) as cspan:
+        measured: dict[str, tuple[float, ...]] = {}
+        for name, fn in variants.items():
+            with tracer.span("timing.variant", category="timing",
+                             variant=name) as vspan:
+                result = measure(fn, repetitions=repetitions, warmup=warmup,
+                                 tracer=tracer)
+                vspan.set("median_seconds", result.summary.median)
+            measured[name] = result.times
+        base_times = measured[baseline]
+        base_median = summarize(base_times).median
+        results = []
+        for name, times in measured.items():
+            summary = summarize(times)
+            if name == baseline:
+                speedup, significant = 1.0, False
+            else:
+                speedup = base_median / summary.median
+                significant = significantly_faster(times, base_times, alpha)
+                tracer.count("timing.variants_significant" if significant
+                             else "timing.variants_not_significant")
+            results.append(VariantResult(name, summary, times, speedup,
+                                         significant))
+        table = ComparisonTable(baseline=baseline, results=tuple(results))
+        cspan.set("best", table.best().name)
+    return table

@@ -18,6 +18,7 @@ that methodology:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -39,6 +40,8 @@ __all__ = [
     "speedup",
     "relative_error",
     "percent_of_peak",
+    "median_ratio_ci",
+    "change_points",
 ]
 
 
@@ -221,6 +224,94 @@ class Summary:
             f"n={self.n} mean={self.mean:.3e} median={self.median:.3e} "
             f"ci95=[{self.ci_low:.3e}, {self.ci_high:.3e}] cv={self.cv:.2%}"
         )
+
+
+def median_ratio_ci(
+    candidate_times: Sequence[float],
+    baseline_times: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap CI for the ratio median(candidate) / median(baseline).
+
+    The effect size the regression gate reports: a ratio above 1 means the
+    candidate is slower.  Both samples are resampled independently, so the
+    interval reflects noise on either side of the comparison.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 1:
+        raise ValueError("need at least one resample")
+    a = _as_array(candidate_times)
+    b = _as_array(baseline_times)
+    if np.any(a <= 0) or np.any(b <= 0):
+        raise ValueError("times must be strictly positive")
+    rng = np.random.default_rng(seed)
+    med_a = np.median(a[rng.integers(0, a.size, size=(n_resamples, a.size))], axis=1)
+    med_b = np.median(b[rng.integers(0, b.size, size=(n_resamples, b.size))], axis=1)
+    ratios = med_a / med_b
+    lo, hi = np.percentile(ratios, [100 * (0.5 - confidence / 2),
+                                    100 * (0.5 + confidence / 2)])
+    return (float(lo), float(hi))
+
+
+def _step_pvalue(left: np.ndarray, right: np.ndarray) -> float:
+    """Welch-t p-value for a mean shift, tolerant of zero-variance segments."""
+    var_l = float(np.var(left, ddof=1)) if left.size > 1 else 0.0
+    var_r = float(np.var(right, ddof=1)) if right.size > 1 else 0.0
+    if var_l == 0.0 and var_r == 0.0:
+        # two flat segments: a step is either exact or absent
+        return 0.0 if not np.isclose(np.mean(left), np.mean(right)) else 1.0
+    with warnings.catch_warnings():
+        # near-identical segments make scipy warn about precision loss in
+        # the moment calculation; for this scan that just means "no step"
+        warnings.simplefilter("ignore", RuntimeWarning)
+        stat = _sps.ttest_ind(left, right, equal_var=False)
+    p = float(stat.pvalue)
+    return 1.0 if math.isnan(p) else p
+
+
+def change_points(values: Sequence[float], min_segment: int = 3,
+                  alpha: float = 0.01, min_rel_change: float = 0.05) -> list[int]:
+    """Indices where a series of per-run statistics shifts level.
+
+    Binary segmentation with a Welch-t test at every admissible split: the
+    strongest significant split (``p < alpha`` *and* relative mean change of
+    at least ``min_rel_change``) is accepted, then each side is scanned
+    recursively.  Returned indices are the first position of the *new*
+    regime, sorted ascending.  Designed for a benchmark's history of per-run
+    medians, where a slow drift or a step introduced many runs ago would
+    never show up in a pairwise latest-vs-baseline comparison.
+    """
+    if min_segment < 2:
+        raise ValueError("min_segment must be at least 2")
+    if not 0 < alpha < 1:
+        raise ValueError("alpha must be in (0, 1)")
+    if min_rel_change < 0:
+        raise ValueError("min_rel_change cannot be negative")
+    arr = _as_array(values)
+    found: list[int] = []
+
+    def _scan(lo: int, hi: int) -> None:
+        best_split, best_p = -1, 1.0
+        for split in range(lo + min_segment, hi - min_segment + 1):
+            left, right = arr[lo:split], arr[split:hi]
+            mean_l = float(np.mean(left))
+            rel = (abs(float(np.mean(right)) - mean_l) / abs(mean_l)
+                   if mean_l != 0 else math.inf)
+            if rel < min_rel_change:
+                continue
+            p = _step_pvalue(left, right)
+            if p < alpha and p < best_p:
+                best_split, best_p = split, p
+        if best_split >= 0:
+            found.append(best_split)
+            _scan(lo, best_split)
+            _scan(best_split, hi)
+
+    _scan(0, arr.size)
+    return sorted(found)
 
 
 def summarize(samples: Sequence[float], confidence: float = 0.95,

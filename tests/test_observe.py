@@ -225,3 +225,52 @@ class TestMetrics:
 
     def test_process_wide_default_exists(self):
         assert isinstance(METRICS, MetricsRegistry)
+
+
+class TestSnapshotDelta:
+    def test_counters_subtract_and_drop_zero(self):
+        from repro.observe import snapshot_delta
+
+        reg = MetricsRegistry()
+        reg.counter("moved").inc(2)
+        reg.counter("static").inc(5)
+        before = reg.snapshot()
+        reg.counter("moved").inc(3)
+        reg.counter("fresh").inc(1)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta["counters"] == {"moved": 3, "fresh": 1}
+
+    def test_gauges_keep_after_value(self):
+        from repro.observe import snapshot_delta
+
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(4.0)
+        before = reg.snapshot()
+        reg.gauge("depth").set(9.0)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta["gauges"]["depth"] == 9.0
+
+    def test_histograms_window_count_and_total(self):
+        from repro.observe import snapshot_delta
+
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(1.0)
+        before = reg.snapshot()
+        h.observe(3.0)
+        h.observe(5.0)
+        delta = snapshot_delta(before, reg.snapshot())
+        got = delta["histograms"]["lat"]
+        assert got["count"] == 2
+        assert got["total"] == pytest.approx(8.0)
+        assert sum(got["counts"]) == 2
+
+    def test_json_plain_for_the_perfdb_record(self):
+        import json
+
+        from repro.observe import snapshot_delta
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        delta = snapshot_delta(MetricsRegistry().snapshot(), reg.snapshot())
+        assert json.loads(json.dumps(delta)) == delta

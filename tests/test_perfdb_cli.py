@@ -1,0 +1,154 @@
+"""End-to-end tests for ``python -m repro.perfdb`` (record/compare/report).
+
+These drive the real CLI against a tiny self-contained benchmark suite in
+a temp directory.  The suite's kernel is a busy-wait of a fixed duration,
+multiplied by the ``DEMO_SLOW`` environment variable — the same injected-
+slowdown pattern the CI perf-gate job uses, but milliseconds cheap.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.perfdb import PerfStore
+from repro.perfdb.cli import main
+
+SUITE_CONFTEST = """\
+from repro.perfdb.capture import install_capture
+
+
+def pytest_configure(config):
+    install_capture(config)
+"""
+
+SUITE_TEST = """\
+import os
+import time
+
+import pytest
+
+from repro.timing import measure
+
+SLOW = float(os.environ.get("DEMO_SLOW", "1") or "1")
+
+
+def busy_wait():
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < 0.002 * SLOW:
+        pass
+
+
+def test_bench_demo():
+    res = measure(busy_wait, repetitions=7, warmup=1)
+    assert res.best > 0
+
+
+@pytest.mark.perfdb_skip
+def test_meta_not_captured():
+    res = measure(busy_wait, repetitions=3, warmup=0)
+    assert res.best > 0
+"""
+
+
+@pytest.fixture
+def suite(tmp_path):
+    bench = tmp_path / "suite"
+    bench.mkdir()
+    (bench / "conftest.py").write_text(SUITE_CONFTEST)
+    (bench / "test_bench_demo.py").write_text(SUITE_TEST)
+    return bench
+
+
+def cli(db, *args):
+    return main(["--store", str(db), *args])
+
+
+class TestRecord:
+    def test_record_stores_only_unmarked_benchmarks(self, suite, tmp_path):
+        db = tmp_path / "db"
+        assert cli(db, "record", str(suite), "--passes", "1",
+                   "--label", "first") == 0
+        (run,) = PerfStore(db).runs()
+        assert run.label == "first"
+        assert run.machine["calibration"]["best_seconds"] > 0
+        ids = list(run.benchmarks)
+        assert len(ids) == 1 and ids[0].endswith("test_bench_demo::measure0")
+        assert len(run.benchmarks[ids[0]].times) == 7
+
+    def test_passes_pool_samples(self, suite, tmp_path):
+        db = tmp_path / "db"
+        assert cli(db, "record", str(suite), "--passes", "2") == 0
+        (run,) = PerfStore(db).runs()
+        (bench,) = run.benchmarks.values()
+        assert len(bench.times) == 14  # 7 repetitions x 2 pooled passes
+
+    def test_failing_suite_stores_nothing(self, suite, tmp_path):
+        (suite / "test_bench_demo.py").write_text(
+            "def test_bench_broken():\n    assert False\n")
+        db = tmp_path / "db"
+        assert cli(db, "record", str(suite), "--passes", "1") == 2
+        assert PerfStore(db).runs() == []
+
+    def test_suite_without_capture_conftest_errors(self, suite, tmp_path):
+        (suite / "conftest.py").unlink()
+        db = tmp_path / "db"
+        assert cli(db, "record", str(suite), "--passes", "1") == 2
+        assert PerfStore(db).runs() == []
+
+
+class TestGateCycle:
+    def test_no_change_passes_and_injected_slowdown_fails(
+            self, suite, tmp_path, monkeypatch, capsys):
+        db = tmp_path / "db"
+        assert cli(db, "record", str(suite), "--passes", "1",
+                   "--label", "base") == 0
+        assert cli(db, "baseline", "latest") == 0
+        assert cli(db, "record", str(suite), "--passes", "1",
+                   "--label", "same") == 0
+        assert cli(db, "compare") == 0
+
+        monkeypatch.setenv("DEMO_SLOW", "3")
+        assert cli(db, "record", str(suite), "--passes", "1",
+                   "--label", "slow") == 0
+        assert cli(db, "compare") == 1
+        out = capsys.readouterr().out
+        assert "regressed" in out and "gate FAIL" in out
+
+    def test_compare_needs_two_runs(self, suite, tmp_path, capsys):
+        db = tmp_path / "db"
+        assert cli(db, "compare") == 2
+        assert cli(db, "record", str(suite), "--passes", "1") == 0
+        assert cli(db, "compare") == 2
+
+    def test_explicit_candidate_and_baseline(self, suite, tmp_path, capsys):
+        db = tmp_path / "db"
+        for label in ("one", "two"):
+            assert cli(db, "record", str(suite), "--passes", "1",
+                       "--label", label) == 0
+        runs = PerfStore(db).runs()
+        assert cli(db, "compare", "--candidate", runs[0].run_id,
+                   "--baseline", runs[1].run_id) == 0
+        assert cli(db, "compare", "--baseline", "bogus-run-id") == 2
+
+
+class TestReportAndBaseline:
+    def test_report_shows_history_sparkline(self, suite, tmp_path, capsys):
+        db = tmp_path / "db"
+        for label in ("one", "two"):
+            assert cli(db, "record", str(suite), "--passes", "1",
+                       "--label", label) == 0
+        assert cli(db, "report") == 0
+        out = capsys.readouterr().out
+        assert "test_bench_demo::measure0" in out
+        assert any(c in out for c in "▁▂▃▄▅▆▇█")
+
+    def test_baseline_show_and_pin(self, suite, tmp_path, capsys):
+        db = tmp_path / "db"
+        assert cli(db, "baseline") == 0
+        assert "(none pinned)" in capsys.readouterr().out
+        assert cli(db, "record", str(suite), "--passes", "1",
+                   "--label", "base") == 0
+        assert cli(db, "baseline", "latest") == 0
+        assert cli(db, "baseline") == 0
+        assert "base" in capsys.readouterr().out
+        assert cli(db, "baseline", "no-such-run") == 2

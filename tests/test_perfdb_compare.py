@@ -1,0 +1,181 @@
+"""Tests for the perfdb regression gate and history drift scan."""
+
+import numpy as np
+import pytest
+
+from repro.perfdb import (
+    IMPROVED,
+    MISSING,
+    NEW,
+    REGRESSED,
+    UNCHANGED,
+    RunRecord,
+    compare_runs,
+    history_drift,
+)
+
+
+def times(median, n=20, noise=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    return list(np.abs(rng.normal(median, median * noise, n)))
+
+
+def run_of(samples, created=1.0, label="", machine=None, run_id=None):
+    rec = RunRecord.new(samples, label=label, machine=machine or {},
+                        git_sha=None, created=created)
+    if run_id is not None:
+        rec = RunRecord(run_id=run_id, created=rec.created,
+                        benchmarks=rec.benchmarks, machine=rec.machine,
+                        label=rec.label)
+    return rec
+
+
+class TestVerdicts:
+    def test_clear_regression_flagged(self):
+        base = run_of({"b": times(1.0)}, run_id="base")
+        cand = run_of({"b": times(1.5, seed=1)}, run_id="cand")
+        comp = compare_runs(cand, base)
+        (r,) = comp.results
+        assert r.verdict == REGRESSED and not comp.ok
+        assert r.ratio == pytest.approx(1.5, rel=0.1)
+        assert r.ratio_ci[0] > 1.0
+        assert r.best_ratio > 1.1
+
+    def test_clear_improvement_flagged(self):
+        base = run_of({"b": times(1.5)}, run_id="base")
+        cand = run_of({"b": times(1.0, seed=1)}, run_id="cand")
+        comp = compare_runs(cand, base)
+        assert comp.results[0].verdict == IMPROVED and comp.ok
+
+    def test_identical_distributions_unchanged(self):
+        base = run_of({"b": times(1.0, seed=0)}, run_id="base")
+        cand = run_of({"b": times(1.0, seed=1)}, run_id="cand")
+        comp = compare_runs(cand, base)
+        assert comp.results[0].verdict == UNCHANGED and comp.ok
+
+    def test_small_shift_below_floor_unchanged(self):
+        # statistically detectable 3% shift must not fail the 10% gate
+        base = run_of({"b": times(1.0, n=40, noise=0.005)}, run_id="base")
+        cand = run_of({"b": times(1.03, n=40, noise=0.005, seed=1)},
+                      run_id="cand")
+        comp = compare_runs(cand, base)
+        assert comp.results[0].verdict == UNCHANGED and comp.ok
+
+    def test_contaminated_median_with_clean_min_unchanged(self):
+        """A load burst inflates the median but never the min: not a
+        regression."""
+        clean = times(1.0, n=30, noise=0.01)
+        # candidate: more than half the samples hit by 1.6x contention,
+        # but the quiet-machine (min) level is unchanged
+        contaminated = [t * 1.6 for t in clean[:16]] + clean[16:]
+        base = run_of({"b": clean}, run_id="base")
+        cand = run_of({"b": contaminated}, run_id="cand")
+        comp = compare_runs(cand, base)
+        assert comp.results[0].verdict == UNCHANGED and comp.ok
+
+    def test_new_and_missing_benchmarks(self):
+        base = run_of({"old": times(1.0), "both": times(1.0)}, run_id="base")
+        cand = run_of({"new": times(1.0), "both": times(1.0)}, run_id="cand")
+        comp = compare_runs(cand, base)
+        verdicts = {r.benchmark_id: r.verdict for r in comp.results}
+        assert verdicts == {"new": NEW, "old": MISSING, "both": UNCHANGED}
+        assert comp.ok  # appearing/disappearing is not a perf regression
+
+    def test_self_compare_rejected(self):
+        run = run_of({"b": times(1.0)}, run_id="same")
+        with pytest.raises(ValueError):
+            compare_runs(run, run)
+
+    def test_regressions_sorted_first(self):
+        base = run_of({"bad": times(1.0), "fine": times(1.0),
+                       "nice": times(1.5)}, run_id="base")
+        cand = run_of({"bad": times(2.0, seed=1), "fine": times(1.0, seed=2),
+                       "nice": times(1.0, seed=3)}, run_id="cand")
+        comp = compare_runs(cand, base)
+        assert [r.verdict for r in comp.results] == [REGRESSED, UNCHANGED,
+                                                     IMPROVED]
+
+
+class TestCalibrationNormalization:
+    def cal(self, seconds):
+        return {"calibration": {"kernel": "numpy-matmul-256",
+                                "best_seconds": seconds}}
+
+    def test_slower_machine_excused(self):
+        # the whole candidate run (and its probe) ran 1.5x slower: machine
+        # drift, not a regression
+        base = run_of({"b": times(1.0)}, machine=self.cal(1e-3),
+                      run_id="base")
+        cand = run_of({"b": times(1.5, seed=1)}, machine=self.cal(1.5e-3),
+                      run_id="cand")
+        comp = compare_runs(cand, base)
+        assert comp.machine_scale == pytest.approx(1.5)
+        assert comp.results[0].verdict == UNCHANGED and comp.ok
+        assert "normalised" in comp.report()
+
+    def test_real_regression_survives_normalization(self):
+        # machine 1.5x slower AND the kernel 3x slower on top
+        base = run_of({"b": times(1.0)}, machine=self.cal(1e-3),
+                      run_id="base")
+        cand = run_of({"b": times(4.5, seed=1)}, machine=self.cal(1.5e-3),
+                      run_id="cand")
+        comp = compare_runs(cand, base)
+        assert not comp.ok
+        assert comp.results[0].ratio == pytest.approx(3.0, rel=0.1)
+
+    def test_faster_machine_not_scaled(self):
+        # one-sided: a faster candidate machine must not inflate times
+        base = run_of({"b": times(1.0)}, machine=self.cal(1.5e-3),
+                      run_id="base")
+        cand = run_of({"b": times(1.0, seed=1)}, machine=self.cal(1e-3),
+                      run_id="cand")
+        comp = compare_runs(cand, base)
+        assert comp.machine_scale == 1.0
+        assert comp.ok
+
+    def test_normalize_off_or_absent_probe(self):
+        base = run_of({"b": times(1.0)}, machine=self.cal(1e-3),
+                      run_id="base")
+        cand = run_of({"b": times(1.5, seed=1)}, run_id="cand")  # no probe
+        assert compare_runs(cand, base).machine_scale == 1.0
+        cand2 = run_of({"b": times(1.5, seed=1)}, machine=self.cal(1.5e-3),
+                       run_id="cand2")
+        assert compare_runs(cand2, base, normalize=False).machine_scale == 1.0
+
+
+class TestReport:
+    def test_report_table_contents(self):
+        base = run_of({"bench/x": times(1.0)}, label="base", run_id="base")
+        cand = run_of({"bench/x": times(2.0, seed=1)}, label="cand",
+                      run_id="cand")
+        text = compare_runs(cand, base).report()
+        assert "bench/x" in text
+        assert "regressed" in text
+        assert "gate FAIL" in text
+        assert "Mann-Whitney" in text
+
+    def test_gate_pass_line(self):
+        base = run_of({"b": times(1.0)}, run_id="base")
+        cand = run_of({"b": times(1.0, seed=1)}, run_id="cand")
+        assert "gate PASS" in compare_runs(cand, base).report()
+
+
+class TestHistoryDrift:
+    def test_step_change_located(self):
+        runs = [run_of({"b": times(1.0 if i < 5 else 2.0, n=5, seed=i)},
+                       created=float(i), run_id=f"r{i}")
+                for i in range(10)]
+        (cp,) = history_drift(runs, "b")
+        assert cp.index == 5
+        assert cp.run_id == "r5"
+        assert cp.rel_change == pytest.approx(1.0, abs=0.15)
+
+    def test_flat_history_clean(self):
+        runs = [run_of({"b": times(1.0, n=5, seed=i)}, created=float(i),
+                       run_id=f"r{i}") for i in range(10)]
+        assert history_drift(runs, "b") == []
+
+    def test_short_history_clean(self):
+        runs = [run_of({"b": times(1.0, n=5, seed=i)}, created=float(i),
+                       run_id=f"r{i}") for i in range(4)]
+        assert history_drift(runs, "b") == []

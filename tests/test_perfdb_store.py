@@ -1,0 +1,188 @@
+"""Tests for repro.perfdb records and the append-only store's durability."""
+
+import json
+import os
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.perfdb import (
+    SCHEMA_VERSION,
+    BenchmarkResult,
+    PerfStore,
+    PerfStoreWarning,
+    RunRecord,
+    SchemaMismatch,
+    machine_fingerprint,
+)
+
+
+def make_run(label, created, samples=None, run_id=None):
+    """A record with no probe/git work, for fast deterministic tests."""
+    samples = samples or {"bench/a": [1.0, 1.1, 0.9]}
+    rec = RunRecord.new(samples, label=label, machine={}, git_sha="deadbeef",
+                        created=created)
+    if run_id is not None:
+        rec = RunRecord(run_id=run_id, created=rec.created,
+                        benchmarks=rec.benchmarks, machine=rec.machine,
+                        git_sha=rec.git_sha, label=rec.label,
+                        metrics=rec.metrics)
+    return rec
+
+
+class TestRunRecord:
+    def test_roundtrip_through_dict(self):
+        rec = make_run("x", created=100.0,
+                       samples={"b/one": [1.0, 2.0], "b/two": [3.0, 4.0]})
+        back = RunRecord.from_dict(rec.to_dict())
+        assert back == rec
+
+    def test_schema_mismatch_rejected(self):
+        doc = make_run("x", created=1.0).to_dict()
+        doc["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaMismatch):
+            RunRecord.from_dict(doc)
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            RunRecord.new({}, machine={}, git_sha=None)
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkResult.from_times("b", [1.0, 0.0])
+
+    def test_describe_mentions_label_and_sha(self):
+        text = make_run("tuned", created=1.0).describe()
+        assert "tuned" in text and "deadbeef" in text
+
+    def test_fingerprint_has_provenance_fields(self):
+        fp = machine_fingerprint(calibrate=False)
+        assert fp["python"] and fp["numpy"] and fp["cpu_count"] >= 1
+        assert "calibration" not in fp
+
+    def test_fingerprint_calibration_probe(self):
+        fp = machine_fingerprint(calibrate=True)
+        assert fp["calibration"]["best_seconds"] > 0
+
+
+class TestStoreBasics:
+    def test_append_and_load(self, tmp_path):
+        store = PerfStore(tmp_path / "db")
+        for i in range(3):
+            store.append(make_run(f"run{i}", created=float(i)))
+        runs = store.runs()
+        assert [r.label for r in runs] == ["run0", "run1", "run2"]
+        assert store.latest().label == "run2"
+
+    def test_env_var_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PERFDB", str(tmp_path / "envdb"))
+        assert PerfStore().root == tmp_path / "envdb"
+
+    def test_get_by_prefix_and_latest(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.append(make_run("a", 1.0, run_id="20240101-aaaa"))
+        store.append(make_run("b", 2.0, run_id="20240102-bbbb"))
+        assert store.get("latest").label == "b"
+        assert store.get("20240101").label == "a"
+        with pytest.raises(LookupError):
+            store.get("2024")  # ambiguous prefix
+        with pytest.raises(LookupError):
+            store.get("nope")
+
+    def test_empty_store(self, tmp_path):
+        store = PerfStore(tmp_path / "nothing")
+        assert store.runs() == []
+        assert store.latest() is None
+        assert store.baseline() is None
+
+    def test_history_and_benchmark_ids(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.append(make_run("a", 1.0, samples={"b/x": [1.0]}))
+        store.append(make_run("b", 2.0, samples={"b/x": [1.0], "b/y": [2.0]}))
+        assert store.benchmark_ids() == ["b/x", "b/y"]
+        assert [r.label for r in store.history("b/y")] == ["b"]
+
+
+class TestStoreDurability:
+    def test_corrupt_line_skipped_with_warning(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.append(make_run("good1", 1.0))
+        with open(store.runs_path, "a") as fh:
+            fh.write('{"schema": 1, "run_id": "trunc')  # crash mid-append
+            fh.write("\n")
+        store.append(make_run("good2", 2.0))
+        with pytest.warns(PerfStoreWarning, match="corrupt"):
+            runs = store.runs()
+        assert [r.label for r in runs] == ["good1", "good2"]
+
+    def test_future_schema_skipped_with_warning(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.append(make_run("old", 1.0))
+        doc = make_run("future", 2.0).to_dict()
+        doc["schema"] = SCHEMA_VERSION + 7
+        with open(store.runs_path, "a") as fh:
+            fh.write(json.dumps(doc) + "\n")
+        with pytest.warns(PerfStoreWarning, match="schema"):
+            runs = store.runs()
+        assert [r.label for r in runs] == ["old"]
+
+    def test_malformed_record_skipped_with_warning(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.append(make_run("ok", 1.0))
+        with open(store.runs_path, "a") as fh:
+            fh.write(json.dumps({"schema": SCHEMA_VERSION, "run_id": "r",
+                                 "created": 1.0, "benchmarks": {}}) + "\n")
+        with pytest.warns(PerfStoreWarning, match="malformed"):
+            runs = store.runs()
+        assert [r.label for r in runs] == ["ok"]
+
+    def test_concurrent_appends_do_not_interleave(self, tmp_path):
+        """Two processes appending at once: every record loads intact."""
+        script = (
+            "import sys\n"
+            "from repro.perfdb import PerfStore, RunRecord\n"
+            "store = PerfStore(sys.argv[1])\n"
+            "who = sys.argv[2]\n"
+            "for i in range(20):\n"
+            "    store.append(RunRecord.new(\n"
+            "        {'bench/' + who: [1.0 + i, 1.1 + i]},\n"
+            "        label=f'{who}{i}', machine={}, git_sha=None,\n"
+            "        created=float(i)))\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath(src), env.get("PYTHONPATH", "")])
+        procs = [subprocess.Popen([sys.executable, "-c", script,
+                                   str(tmp_path), who], env=env)
+                 for who in ("a", "b")]
+        for p in procs:
+            assert p.wait(timeout=120) == 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any skip-warning fails the test
+            runs = PerfStore(tmp_path).runs()
+        assert len(runs) == 40
+        assert sum(1 for r in runs if "bench/a" in r.benchmarks) == 20
+
+
+class TestBaselinePin:
+    def test_pin_and_read_back(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.append(make_run("a", 1.0))
+        store.append(make_run("b", 2.0))
+        pinned = store.set_baseline(store.runs()[0].run_id)
+        assert pinned.label == "a"
+        assert store.baseline().label == "a"
+        store.set_baseline("latest")
+        assert store.baseline().label == "b"
+
+    def test_dangling_pin_warns_and_returns_none(self, tmp_path):
+        store = PerfStore(tmp_path)
+        store.append(make_run("a", 1.0))
+        store.set_baseline("latest")
+        store.runs_path.unlink()
+        store.append(make_run("other", 2.0))
+        with pytest.warns(PerfStoreWarning, match="baseline"):
+            assert store.baseline() is None

@@ -94,3 +94,33 @@ class TestOnRealKernel:
         assert profile.fraction("matmul_loop") > 0.5
         speedup, worth = amdahl_gate(profile, "matmul_loop")
         assert worth
+
+
+class TestCollapsedStacks:
+    def test_real_profile_exports_caller_edges(self):
+        profile = profile_callable(_workload, min_self_seconds=0.001)
+        out = profile.collapsed_stacks()
+        lines = out.splitlines()
+        assert lines, "expected at least one collapsed-stack line"
+        for line in lines:
+            frames, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0  # integer microseconds
+        # the sleeps dominate and are credited to their caller frames
+        assert any("sleep" in line and ";" in line for line in lines)
+
+    def test_weights_preserve_self_time(self):
+        profile = profile_callable(_workload, min_self_seconds=0.001)
+        total_us = sum(int(line.rsplit(" ", 1)[1])
+                       for line in profile.collapsed_stacks().splitlines())
+        # collapsed weights are rounded self-times of the kept functions
+        kept_us = sum(round(f.self_seconds * 1e6) for f in profile.functions)
+        assert total_us == pytest.approx(kept_us, rel=0.01)
+
+    def test_synthetic_caller_edges(self):
+        f = FunctionCost(name="callee", calls=2, total_seconds=1.0,
+                         self_seconds=0.3,
+                         callers=(("caller_a", 0.2), ("caller_b", 0.1)))
+        profile = Profile(total_seconds=1.0, functions=(f,))
+        out = profile.collapsed_stacks()
+        assert "caller_a;callee 200000" in out
+        assert "caller_b;callee 100000" in out

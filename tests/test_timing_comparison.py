@@ -96,3 +96,47 @@ class TestCompareVariants:
         }, baseline="scalar", repetitions=5, warmup=1)
         assert table.best().name == "numpy"
         assert table.winners()[0].name == "numpy"
+
+
+class TestComparisonObservability:
+    def run_table(self):
+        from repro.observe import MetricsRegistry, Tracer
+
+        tracer = Tracer(metrics=MetricsRegistry())
+        table = compare_variants({
+            "fast": lambda: None,
+            "slow": lambda: time.sleep(0.002),
+        }, baseline="fast", repetitions=5, warmup=1, tracer=tracer)
+        return table, tracer
+
+    def test_emits_table_and_variant_spans(self):
+        table, tracer = self.run_table()
+        names = [s.name for s in tracer.spans]
+        assert names.count("timing.compare_variants") == 1
+        assert names.count("timing.variant") == 2
+        assert names.count("timing.measure") == 2
+
+    def test_span_attributes_carry_verdict(self):
+        table, tracer = self.run_table()
+        (cspan,) = [s for s in tracer.spans
+                    if s.name == "timing.compare_variants"]
+        assert cspan.attrs["baseline"] == "fast"
+        assert cspan.attrs["variants"] == 2
+        assert cspan.attrs["best"] == table.best().name
+        variant_spans = [s for s in tracer.spans if s.name == "timing.variant"]
+        assert {s.attrs["variant"] for s in variant_spans} == {"fast", "slow"}
+        assert all(s.attrs["median_seconds"] > 0 for s in variant_spans)
+
+    def test_significance_counters(self):
+        _, tracer = self.run_table()
+        snap = tracer.metrics.snapshot()["counters"]
+        total = (snap.get("timing.variants_significant", 0)
+                 + snap.get("timing.variants_not_significant", 0))
+        assert total == 1  # one non-baseline variant got a verdict
+
+    def test_measure_spans_nest_inside_variant(self):
+        _, tracer = self.run_table()
+        variant_ids = {s.span_id for s in tracer.spans
+                       if s.name == "timing.variant"}
+        measure_spans = [s for s in tracer.spans if s.name == "timing.measure"]
+        assert all(s.parent_id in variant_ids for s in measure_spans)

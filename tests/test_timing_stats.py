@@ -143,3 +143,78 @@ class TestSummarize:
         s = summarize(data, drop_outliers=False)
         assert s.n_outliers == 0
         assert s.mean > 5.0
+
+
+class TestMedianRatioCI:
+    def test_brackets_the_true_ratio(self):
+        from repro.timing import median_ratio_ci
+
+        rng = np.random.default_rng(0)
+        base = np.abs(rng.normal(1.0, 0.02, 30))
+        cand = np.abs(rng.normal(2.0, 0.04, 30))
+        lo, hi = median_ratio_ci(cand, base)
+        assert lo < 2.0 < hi
+        assert hi - lo < 0.3
+
+    def test_equal_samples_ci_straddles_one(self):
+        from repro.timing import median_ratio_ci
+
+        rng = np.random.default_rng(1)
+        a = np.abs(rng.normal(1.0, 0.05, 25))
+        b = np.abs(rng.normal(1.0, 0.05, 25))
+        lo, hi = median_ratio_ci(a, b)
+        assert lo < 1.0 < hi
+
+    def test_deterministic_for_fixed_seed(self):
+        from repro.timing import median_ratio_ci
+
+        a, b = [1.0, 1.1, 0.9, 1.05], [2.0, 2.2, 1.8, 2.1]
+        assert median_ratio_ci(a, b) == median_ratio_ci(a, b)
+
+    def test_validates_inputs(self):
+        from repro.timing import median_ratio_ci
+
+        with pytest.raises(ValueError):
+            median_ratio_ci([], [1.0])
+        with pytest.raises(ValueError):
+            median_ratio_ci([1.0], [1.0], confidence=1.5)
+
+
+class TestChangePoints:
+    def test_clean_step_located(self):
+        from repro.timing import change_points
+
+        rng = np.random.default_rng(0)
+        series = list(rng.normal(1.0, 0.01, 10)) + list(
+            rng.normal(1.5, 0.01, 10))
+        assert change_points(series) == [10]
+
+    def test_flat_series_has_no_points(self):
+        from repro.timing import change_points
+
+        rng = np.random.default_rng(1)
+        assert change_points(list(rng.normal(1.0, 0.01, 20))) == []
+
+    def test_two_steps_both_found(self):
+        from repro.timing import change_points
+
+        rng = np.random.default_rng(2)
+        series = (list(rng.normal(1.0, 0.005, 8))
+                  + list(rng.normal(2.0, 0.01, 8))
+                  + list(rng.normal(1.2, 0.006, 8)))
+        assert change_points(series) == [8, 16]
+
+    def test_small_shift_below_floor_ignored(self):
+        from repro.timing import change_points
+
+        series = [1.0] * 10 + [1.02] * 10
+        assert change_points(series, min_rel_change=0.05) == []
+
+    def test_short_series_and_validation(self):
+        from repro.timing import change_points
+
+        assert change_points([1.0, 2.0, 3.0]) == []
+        with pytest.raises(ValueError):
+            change_points([1.0] * 10, min_segment=0)
+        with pytest.raises(ValueError):
+            change_points([1.0] * 10, alpha=2.0)
