@@ -1,0 +1,41 @@
+"""Static-analysis gate cost: full-registry sweep time and determinism.
+
+The analyze gate runs in CI on every change, so a full ``analyze all``
+sweep — linting, shadow-interpreting, and hazard-scanning every
+registered variant — must stay cheap (seconds, not minutes) and its
+findings must be bit-identical across runs; a flaky gate is worse than
+no gate.  ``REPRO_BENCH_SMOKE=1`` keeps the bound but is already tiny.
+"""
+
+import os
+import time
+
+from conftest import emit
+
+from repro.analyze import analyze_all
+from repro.kernels import REGISTRY
+
+#: wall-clock bound for one full sweep (generous: observed ~2s)
+BOUND_S = 60.0 if not os.environ.get("REPRO_BENCH_SMOKE") else 120.0
+
+
+def _variant_count() -> int:
+    return sum(len(REGISTRY.variants_of(k)) for k in REGISTRY.kernels())
+
+
+def test_bench_analyze_all_under_wall_clock_bound():
+    start = time.perf_counter()
+    report = analyze_all()
+    elapsed = time.perf_counter() - start
+    emit("analyze / full-registry sweep",
+         f"variants analyzed  {_variant_count()}\n"
+         f"findings           {len(report)} ({report.counts()})\n"
+         f"wall clock         {elapsed:.2f}s (bound: {BOUND_S:.0f}s)")
+    assert report.ok, report.render_text()
+    assert elapsed < BOUND_S, f"analyze all took {elapsed:.1f}s"
+
+
+def test_bench_analyze_findings_deterministic_across_runs():
+    first = analyze_all().to_json()
+    second = analyze_all().to_json()
+    assert first == second, "analysis findings differ between identical runs"

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Static performance analysis: lint, verify work models, place on roofline.
+
+Nothing in this script *runs* a kernel.  Every number comes from reading
+the registered variants' source — the three `repro.analyze` passes:
+
+    1. `lint_registry`     — anti-pattern linter (scalar loops, in-loop
+       allocation, invariant lookups, missing `out=` reuse, ...)
+    2. `verify_workcounts` — a shadow interpreter walks each kernel's AST
+       over a tiny probe, tallies flops and unique-cell memory traffic,
+       and cross-checks the variant's *declared* WorkCount model
+    3. `hazards_registry`  — scans chunked-parallel workers for writes
+       that escape their `[lo, hi)` partition or accumulate into shared
+       arrays without privatization
+
+The same sweep gates CI (`python -m repro.analyze all` exits 1 on any
+unsuppressed error), and the static work estimates drop straight onto
+the roofline as model-only points — a plottable prediction you can later
+compare against measured ones.
+
+Run:  python examples/static_analysis.py
+"""
+
+from repro.analyze import analyze_all, static_app_points
+from repro.machine import generic_server_cpu
+from repro.roofline import cpu_roofline
+
+# -- 1-3. all three passes over the shipped registry ------------------------
+
+report = analyze_all()
+print(report.render_text(show_expected=True))
+print()
+
+# A clean gate means: zero *error*-severity findings.  Info findings
+# (uncountable variants, annotated divergences) and expected findings
+# (suppressed via `lint_expect` / `workcount_expect` metadata) remain
+# visible so suppressions never rot silently.
+assert report.ok, "shipped registry must gate clean"
+
+# -- static roofline placement, no execution --------------------------------
+
+model = cpu_roofline(generic_server_cpu())
+print(f"static arithmetic-intensity estimates vs {model.name}:")
+print(f"  {'variant':34s} {'AI (F/B)':>9s} {'attainable':>12s}  bound")
+for point in static_app_points():
+    ceiling = model.attainable(point.intensity)
+    bound = "memory" if point.intensity < model.ridge_point() else "compute"
+    print(f"  {point.name:34s} {point.intensity:9.3f} "
+          f"{ceiling / 1e9:10.1f} GF/s  {bound}")

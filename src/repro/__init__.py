@@ -22,6 +22,7 @@ Sub-packages map to the course topics (Table 1 of the paper):
 ``repro.queueing``      queueing theory + discrete-event validation
 ``repro.polyhedral``    iteration domains, dependences, legal transforms
 ``repro.tuning``        search-based kernel auto-tuning (stage 5, automated)
+``repro.analyze``       static source analysis: lint, work-count, hazards
 ``repro.observe``       structured tracing + metrics; Chrome-trace export
 ``repro.perfdb``        longitudinal benchmark store + regression gate
 ``repro.course``        the paper's own artifacts: data, grading, figures
@@ -34,6 +35,18 @@ Quickstart::
     print(tb.summary())
 """
 
+from .analyze import (
+    AnalysisReport,
+    Finding,
+    WorkEstimate,
+    analyze_all,
+    analyze_worker,
+    estimate_registry,
+    hazards_registry,
+    lint_registry,
+    static_app_points,
+    verify_workcounts,
+)
 from .core import (
     EngineeringProcess,
     Feasibility,
@@ -43,6 +56,7 @@ from .core import (
     Stage,
     Toolbox,
 )
+from .kernels import REGISTRY, KernelRegistry, KernelVariant, TunableParam, register
 from .observe import (
     METRICS,
     MetricsRegistry,
@@ -53,7 +67,17 @@ from .observe import (
     set_tracer,
     tracing,
 )
+from .parallel import (
+    BACKENDS,
+    ExecutionBackend,
+    compare_backends,
+    make_backend,
+    open_backend,
+    parallel_map,
+)
 from .perfdb import PerfStore, RunRecord, compare_runs
+from .profiling import FunctionCost, Profile, amdahl_gate, profile_callable
+from .roofline import AppPoint, RooflineModel, cpu_roofline, gpu_roofline
 from .tuning import (
     Budget,
     CoordinateDescent,
@@ -66,7 +90,7 @@ from .tuning import (
     tune_variant,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Toolbox",
@@ -76,6 +100,40 @@ __all__ = [
     "Metric",
     "Feasibility",
     "ProcessError",
+    # kernel registry
+    "REGISTRY",
+    "KernelRegistry",
+    "KernelVariant",
+    "TunableParam",
+    "register",
+    # execution backends & parallel helpers
+    "BACKENDS",
+    "ExecutionBackend",
+    "make_backend",
+    "open_backend",
+    "parallel_map",
+    "compare_backends",
+    # roofline
+    "RooflineModel",
+    "AppPoint",
+    "cpu_roofline",
+    "gpu_roofline",
+    # profiling
+    "FunctionCost",
+    "Profile",
+    "profile_callable",
+    "amdahl_gate",
+    # static analysis
+    "AnalysisReport",
+    "Finding",
+    "WorkEstimate",
+    "analyze_all",
+    "analyze_worker",
+    "lint_registry",
+    "verify_workcounts",
+    "hazards_registry",
+    "estimate_registry",
+    "static_app_points",
     # auto-tuning (stage 5)
     "SearchSpace",
     "Budget",

@@ -1,0 +1,42 @@
+"""Source-level static performance analysis for registered kernels.
+
+Three cooperating passes sweep every :class:`~repro.kernels.base.KernelVariant`
+in the registry, entirely from source — no kernel is ever executed:
+
+* :mod:`repro.analyze.lint` — performance anti-pattern linter (``L*`` rules),
+* :mod:`repro.analyze.workcount` — AST work-count verifier cross-checking
+  declared :class:`~repro.timing.metrics.WorkCount` models (``W*`` rules),
+* :mod:`repro.analyze.hazards` — shared-memory hazard detector for chunked
+  parallel workers (``H*`` rules).
+
+``python -m repro.analyze all`` runs everything and exits 1 on any
+error-severity finding — the CI analysis gate.
+"""
+
+from .hazards import (HAZARD_RULES, analyze_worker, find_workers,
+                      hazards_registry, hazards_variant)
+from .lint import LINT_RULES, function_ast, lint_registry, lint_variant
+from .report import SEVERITIES, AnalysisReport, Finding
+from .workcount import (WORKCOUNT_RULES, NotCountable, ProbeSpec, WorkEstimate,
+                        default_probes, estimate_registry, estimate_variant,
+                        static_app_points, verify_workcounts)
+
+__all__ = [
+    "SEVERITIES", "Finding", "AnalysisReport",
+    "LINT_RULES", "lint_variant", "lint_registry", "function_ast",
+    "WORKCOUNT_RULES", "NotCountable", "WorkEstimate", "ProbeSpec",
+    "default_probes", "estimate_variant", "estimate_registry",
+    "verify_workcounts", "static_app_points",
+    "HAZARD_RULES", "analyze_worker", "find_workers", "hazards_variant",
+    "hazards_registry",
+    "analyze_all",
+]
+
+
+def analyze_all(registry=None, kernel: str | None = None) -> AnalysisReport:
+    """Run all three passes and merge their findings into one report."""
+    report = AnalysisReport()
+    report.extend(lint_registry(registry, kernel=kernel).findings)
+    report.extend(verify_workcounts(registry, kernel=kernel).findings)
+    report.extend(hazards_registry(registry, kernel=kernel).findings)
+    return report

@@ -1,0 +1,59 @@
+"""CLI for the static-analysis passes: ``python -m repro.analyze``.
+
+Subcommands
+-----------
+``lint``       performance anti-pattern linter only
+``workcount``  work-count verifier only
+``hazards``    shared-memory hazard detector only
+``all``        every pass (the CI analysis gate)
+
+Exit status is 1 when any **error**-severity finding is present —
+warnings, info, and declared-expected findings never fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (analyze_all, hazards_registry, lint_registry,
+               verify_workcounts)
+
+_PASSES = {
+    "lint": lambda kernel: lint_registry(kernel=kernel),
+    "workcount": lambda kernel: verify_workcounts(kernel=kernel),
+    "hazards": lambda kernel: hazards_registry(kernel=kernel),
+    "all": lambda kernel: analyze_all(kernel=kernel),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="static performance analysis over the kernel registry")
+    parser.add_argument("pass_name", choices=sorted(_PASSES),
+                        metavar="pass", help="analysis pass to run "
+                        f"({', '.join(sorted(_PASSES))})")
+    parser.add_argument("--kernel", default=None,
+                        help="restrict to one kernel family (e.g. matmul)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    parser.add_argument("--show-expected", action="store_true",
+                        help="also list findings declared via lint_expect")
+    args = parser.parse_args(argv)
+
+    try:
+        report = _PASSES[args.pass_name](args.kernel)
+    except KeyError as exc:
+        parser.error(str(exc))
+        return 2  # unreachable; parser.error raises SystemExit
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text(show_expected=args.show_expected))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

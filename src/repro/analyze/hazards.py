@@ -1,0 +1,437 @@
+"""Shared-memory hazard detector for chunked parallel workers.
+
+The chunked kernel variants decompose work into ``(lo, hi)`` row/element
+ranges and run a module-level *worker* per range through
+:mod:`repro.parallel.backends`; operands travel as shared-memory views.
+That contract is easy to break silently: a worker whose write range
+escapes ``[lo, hi)`` races with its neighbours, a worker accumulating
+into a shared array at data-dependent indices loses updates (the
+histogram-without-privatization bug class), and a worker defined as a
+closure over mutable state sees a *copy* of that state in each process
+and diverges without any error.
+
+This pass analyzes worker source statically.  It tracks which local
+names are **shared views** (bound from a handle's ``.array``), which are
+**private** (locally allocated, or views sliced by the chunk bounds),
+and evaluates every write's leading index as a symbolic interval over
+``lo``/``hi``.  A write is *safe* when provably inside ``[lo, hi)``,
+a *hazard* when provably escaping or when fully independent of the
+chunk bounds, and left alone when anchored to the bounds but not
+statically resolvable (e.g. ``y[lo + nonempty]``).
+
+Rules
+-----
+``H001`` overlapping-chunk-write (error)
+    A plain store to a shared view whose index range provably escapes
+    ``[lo, hi)`` — or ignores the bounds entirely, so every chunk writes
+    the same cells.
+``H002`` unprivatized-accumulation (error)
+    A read-modify-write (``+=`` and friends) on a shared view at indices
+    not derived from the chunk bounds: concurrent chunks lose updates.
+``H003`` closure-capture (error)
+    The worker closes over a mutable object (ndarray, list, dict, set);
+    process workers mutate private copies that silently diverge.
+``H004`` unpicklable-worker (warning)
+    The worker is a lambda or nested function — the process backend
+    cannot pickle it, so the variant is quietly thread/serial-only.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from typing import Callable
+
+from ..observe import get_tracer
+from .lint import _select, function_ast
+from .report import AnalysisReport, Finding
+
+__all__ = ["HAZARD_RULES", "analyze_worker", "find_workers", "hazards_registry",
+           "hazards_variant"]
+
+#: rule id -> (slug, default severity, summary)
+HAZARD_RULES = {
+    "H001": ("overlapping-chunk-write", "error",
+             "write to a shared view escapes or ignores the chunk bounds"),
+    "H002": ("unprivatized-accumulation", "error",
+             "read-modify-write on a shared view at chunk-independent indices"),
+    "H003": ("closure-capture", "error",
+             "worker closes over mutable state that diverges across processes"),
+    "H004": ("unpicklable-worker", "warning",
+             "worker cannot be pickled for the process backend"),
+}
+
+_MUTABLE = (list, dict, set, bytearray)
+
+
+# ---------------------------------------------------------------------------
+# symbolic bounds: values as intervals over the lo/hi chunk symbols
+# ---------------------------------------------------------------------------
+
+#: one interval endpoint: ("lo"|"hi"|"const", offset) or None = unknown
+_Bound = tuple[str, int] | None
+
+
+class _Interval:
+    """Closed interval [low, high] over {lo, hi, const} + integer offset."""
+
+    __slots__ = ("low", "high", "anchored")
+
+    def __init__(self, low: _Bound, high: _Bound, anchored: bool):
+        self.low = low
+        self.high = high
+        #: True when the value derives from lo/hi at all (even unresolvably)
+        self.anchored = anchored
+
+    @classmethod
+    def unknown(cls, anchored: bool = False) -> "_Interval":
+        return cls(None, None, anchored)
+
+    def shift(self, delta: int) -> "_Interval":
+        low = (self.low[0], self.low[1] + delta) if self.low else None
+        high = (self.high[0], self.high[1] + delta) if self.high else None
+        return _Interval(low, high, self.anchored)
+
+
+def _const(value: int) -> _Interval:
+    return _Interval(("const", value), ("const", value), anchored=False)
+
+
+class _WriteCheck:
+    """Classify one write's leading index against the chunk contract.
+
+    Outcomes: ``"safe"`` (provably inside ``[lo, hi)``), ``"overlap"``
+    (provably escapes, or fully chunk-independent), ``"anchored"``
+    (references the bounds but not resolvable — assumed partitioned).
+    """
+
+    @staticmethod
+    def classify(interval: _Interval) -> str:
+        low, high = interval.low, interval.high
+        if low is not None and high is not None:
+            lo_ok = low[0] == "lo" and low[1] >= 0
+            hi_ok = high[0] == "hi" and high[1] <= -1
+            if lo_ok and hi_ok:
+                return "safe"
+            # a fully-constant index hits the same cell in every chunk
+            if low[0] == "const" and high[0] == "const":
+                return "overlap"
+            if (low[0] == "lo" and low[1] < 0) or \
+                    (high[0] == "hi" and high[1] >= 0):
+                return "overlap"
+            return "anchored"
+        return "anchored" if interval.anchored else "overlap"
+
+
+class _WorkerScanner(ast.NodeVisitor):
+    """Single forward pass over a worker body tracking view provenance."""
+
+    def __init__(self, node: ast.FunctionDef, bounds_param: str):
+        self.node = node
+        self.bounds_param = bounds_param
+        self.lo_name: str | None = None
+        self.hi_name: str | None = None
+        self.shared: set[str] = set()       # whole shared views
+        self.private: set[str] = set()      # local allocations / chunk slices
+        self.handles: set[str] = {a.arg for a in node.args.posonlyargs + node.args.args}
+        self.loop_vars: dict[str, _Interval] = {}
+        self.findings: list[tuple[str, int, str]] = []  # (rule, lineno, msg)
+
+    # -- value provenance ---------------------------------------------------
+
+    def _is_handle_array(self, node) -> bool:
+        """True for ``<param>.array`` — the shared-view access idiom."""
+        return (isinstance(node, ast.Attribute) and node.attr == "array"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in self.handles)
+
+    def _eval(self, node) -> _Interval:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return _const(node.value)
+        if isinstance(node, ast.Name):
+            if node.id == self.lo_name:
+                return _Interval(("lo", 0), ("lo", 0), anchored=True)
+            if node.id == self.hi_name:
+                return _Interval(("hi", 0), ("hi", 0), anchored=True)
+            if node.id in self.loop_vars:
+                return self.loop_vars[node.id]
+            return _Interval.unknown()
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            left, right = self._eval(node.left), self._eval(node.right)
+            sign = 1 if isinstance(node.op, ast.Add) else -1
+            if right.low is not None and right.low == right.high \
+                    and right.low[0] == "const":
+                return left.shift(sign * right.low[1])
+            if isinstance(node.op, ast.Add) and left.low is not None \
+                    and left.low == left.high and left.low[0] == "const":
+                return right.shift(left.low[1])
+            return _Interval.unknown(anchored=left.anchored or right.anchored)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = self._eval(node.operand)
+            return _Interval.unknown(anchored=inner.anchored)
+        if isinstance(node, ast.Subscript):
+            # a loaded *value* is data-dependent no matter where it was
+            # loaded from — counts[keys[p]] is the histogram race even
+            # though p itself is partition-safe
+            return _Interval.unknown(anchored=False)
+        anchored = any(isinstance(sub, ast.Name)
+                       and (sub.id in (self.lo_name, self.hi_name)
+                            or (sub.id in self.loop_vars
+                                and self.loop_vars[sub.id].anchored))
+                       for sub in ast.walk(node))
+        return _Interval.unknown(anchored=anchored)
+
+    def _leading_index(self, slice_node) -> _Interval:
+        """Interval covered by the *first axis* of a subscript index."""
+        node = slice_node.elts[0] if isinstance(slice_node, ast.Tuple) \
+            and slice_node.elts else slice_node
+        if isinstance(node, ast.Slice):
+            if node.lower is None and node.upper is None:
+                # x[:] — the whole axis, in every chunk
+                return _Interval(("const", 0), None, anchored=False)
+            lower = self._eval(node.lower) if node.lower else _const(0)
+            if node.upper is None:
+                return _Interval(lower.low, None,
+                                 anchored=lower.anchored)
+            upper = self._eval(node.upper)
+            # slice covers [lower, upper - 1]
+            return _Interval(lower.low,
+                             upper.shift(-1).high,
+                             anchored=lower.anchored or upper.anchored)
+        return self._eval(node)
+
+    # -- statement handling -------------------------------------------------
+
+    def _note_binding(self, target, value) -> None:
+        """Track what a plain ``name = value`` binding makes of ``name``."""
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        if self._is_handle_array(value):
+            self.shared.add(name)
+            self.private.discard(name)
+            return
+        if isinstance(value, ast.Subscript) and self._is_handle_array(value.value):
+            # a slice of a shared view: private iff provably inside the chunk
+            outcome = _WriteCheck.classify(self._leading_index(value.slice))
+            (self.private if outcome == "safe" else self.shared).add(name)
+            return
+        if isinstance(value, ast.Call):
+            self.private.add(name)  # locally built object (np.zeros, ...)
+            self.shared.discard(name)
+            return
+        if isinstance(value, ast.Name) and value.id in self.shared:
+            self.shared.add(name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # `lo, hi = bounds` — learn the chunk-bound names
+        for target in node.targets:
+            if isinstance(target, (ast.Tuple, ast.List)) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == self.bounds_param \
+                    and len(target.elts) == 2 \
+                    and all(isinstance(e, ast.Name) for e in target.elts):
+                self.lo_name = target.elts[0].id
+                self.hi_name = target.elts[1].id
+            elif isinstance(target, (ast.Tuple, ast.List)) \
+                    and isinstance(node.value, (ast.Tuple, ast.List)) \
+                    and len(target.elts) == len(node.value.elts):
+                for sub, val in zip(target.elts, node.value.elts):
+                    self._note_binding(sub, val)
+            else:
+                self._note_binding(target, node.value)
+        for target in node.targets:
+            self._check_write(target, augmented=False)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_write(node.target, augmented=True)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if isinstance(node.target, ast.Name):
+            self.loop_vars[node.target.id] = self._loop_interval(node.iter)
+        self.generic_visit(node)
+
+    def _loop_interval(self, iter_node) -> _Interval:
+        if isinstance(iter_node, ast.Call) \
+                and isinstance(iter_node.func, ast.Name) \
+                and iter_node.func.id == "range" and not iter_node.keywords:
+            args = iter_node.args
+            if len(args) == 1:
+                start, stop = _const(0), self._eval(args[0])
+            elif len(args) >= 2:
+                start, stop = self._eval(args[0]), self._eval(args[1])
+            else:
+                return _Interval.unknown()
+            # i in range(a, b)  =>  i in [a, b - 1]
+            return _Interval(start.low, stop.shift(-1).high,
+                             anchored=start.anchored or stop.anchored)
+        return _Interval.unknown()
+
+    # -- write classification -----------------------------------------------
+
+    def _write_target_shared(self, target, augmented: bool) -> tuple[bool, object]:
+        """(is-shared, subscript-index-or-None) for a write target."""
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in self.shared:
+                return True, target.slice
+            if self._is_handle_array(base):
+                return True, target.slice
+            return False, None
+        # a bare name is a *rebinding* under plain assignment; only an
+        # augmented assignment (`view += part`) writes through the view
+        if augmented and isinstance(target, ast.Name) and target.id in self.shared:
+            return True, None
+        return False, None
+
+    def _check_write(self, target, augmented: bool) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for sub in target.elts:
+                self._check_write(sub, augmented)
+            return
+        is_shared, index = self._write_target_shared(target, augmented)
+        if not is_shared:
+            return
+        if index is None:
+            interval = _Interval(("const", 0), None, anchored=False)
+        else:
+            interval = self._leading_index(index)
+        outcome = _WriteCheck.classify(interval)
+        if outcome in ("safe", "anchored"):
+            return
+        lineno = getattr(target, "lineno", self.node.lineno)
+        if augmented:
+            self.findings.append((
+                "H002", lineno,
+                "read-modify-write on a shared view at indices not derived "
+                "from the chunk bounds; privatize and merge instead"))
+        else:
+            self.findings.append((
+                "H001", lineno,
+                "store to a shared view escapes or ignores the chunk "
+                "bounds [lo, hi) — concurrent chunks write the same cells"))
+
+
+def _bounds_param_of(node: ast.FunctionDef, bounds_param: str | None) -> str:
+    params = [a.arg for a in node.args.posonlyargs + node.args.args]
+    if bounds_param is not None:
+        return bounds_param
+    for name in params:
+        if name == "bounds":
+            return name
+    return params[-1] if params else ""
+
+
+def analyze_worker(fn: Callable, label: str | None = None,
+                   bounds_param: str | None = None) -> list[Finding]:
+    """Hazard findings for one chunked worker function.
+
+    ``bounds_param`` names the parameter receiving the ``(lo, hi)`` chunk
+    tuple; defaults to a parameter named ``bounds``, else the last one
+    (the ``partial(worker, ...presets..., bounds)`` mapping convention).
+    """
+    label = label or getattr(fn, "__qualname__", repr(fn))
+    findings: list[Finding] = []
+
+    qualname = getattr(fn, "__qualname__", "")
+    if "<locals>" in qualname or getattr(fn, "__name__", "") == "<lambda>":
+        slug, severity, _ = HAZARD_RULES["H004"]
+        findings.append(Finding(
+            "H004", slug, severity, label,
+            "worker is a lambda or nested function; the process backend "
+            "cannot pickle it — define it at module level",
+            source="hazards"))
+
+    closure = getattr(fn, "__closure__", None) or ()
+    freevars = getattr(getattr(fn, "__code__", None), "co_freevars", ())
+    for name, cell in zip(freevars, closure):
+        try:
+            value = cell.cell_contents
+        except ValueError:  # empty cell
+            continue
+        if isinstance(value, _MUTABLE) or type(value).__name__ == "ndarray":
+            slug, severity, _ = HAZARD_RULES["H003"]
+            findings.append(Finding(
+                "H003", slug, severity, label,
+                f"worker captures mutable {type(value).__name__} {name!r} by "
+                "closure; each process mutates a private copy that silently "
+                "diverges — pass it through a shared handle instead",
+                source="hazards"))
+
+    node = function_ast(fn)
+    if node is None:
+        return findings
+    scanner = _WorkerScanner(node, _bounds_param_of(node, bounds_param))
+    scanner.visit(node)
+    for rule, lineno, message in scanner.findings:
+        slug, severity, _ = HAZARD_RULES[rule]
+        findings.append(Finding(rule, slug, severity, label, message,
+                                source="hazards", lineno=lineno))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# worker discovery: variants that fan out via ex.map(partial(worker, ...))
+# ---------------------------------------------------------------------------
+
+
+def find_workers(variant) -> list[Callable]:
+    """Worker functions a variant ships to its execution backend.
+
+    Detects the repo's fan-out idiom — ``ex.map(partial(<worker>, ...),
+    bounds)`` or ``ex.map(<worker>, bounds)`` — and resolves the worker
+    name in the variant's module globals.
+    """
+    node = function_ast(variant.fn)
+    if node is None:
+        return []
+    names: list[str] = []
+    for call in ast.walk(node):
+        if not (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "map" and call.args):
+            continue
+        first = call.args[0]
+        if isinstance(first, ast.Call) and isinstance(first.func, ast.Name) \
+                and first.func.id == "partial" and first.args \
+                and isinstance(first.args[0], ast.Name):
+            names.append(first.args[0].id)
+        elif isinstance(first, ast.Name):
+            names.append(first.id)
+    module_globals = getattr(variant.fn, "__globals__", {})
+    workers = []
+    for name in names:
+        fn = module_globals.get(name)
+        if callable(fn) and fn not in workers:
+            workers.append(fn)
+    return workers
+
+
+def hazards_variant(variant) -> list[Finding]:
+    """Hazard findings for every worker one variant fans out to."""
+    findings: list[Finding] = []
+    for worker in find_workers(variant):
+        findings.extend(
+            analyze_worker(worker,
+                           label=f"{variant.qualified_name} "
+                                 f"[{getattr(worker, '__name__', 'worker')}]"))
+    return findings
+
+
+def hazards_registry(registry=None, kernel: str | None = None) -> AnalysisReport:
+    """Sweep every registered variant's chunked workers for hazards."""
+    if registry is None:
+        from ..kernels import REGISTRY as registry  # populates the registry
+    tracer = get_tracer()
+    report = AnalysisReport()
+    variants = _select(registry, kernel)
+    with tracer.span("analyze.hazards", category="analyze",
+                     variants=len(variants)):
+        for variant in variants:
+            for finding in hazards_variant(variant):
+                report.add(finding)
+        tracer.count("analyze.hazards_findings", len(report))
+    return report

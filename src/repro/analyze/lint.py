@@ -1,0 +1,348 @@
+"""Performance anti-pattern linter over kernel-variant source.
+
+The dynamic half of the toolbox measures what a kernel *did*; this pass
+reads what the kernel *says* — the level where student code review happens.
+Each rule encodes one Python/NumPy performance anti-pattern the course
+teaches students to remove:
+
+=======  ==================  ==================================================
+L001     scalar-loop         element-at-a-time loops over ndarray data —
+                             an *error* when the variant's declared
+                             ``technique`` claims a vectorized/library bound,
+                             a warning otherwise
+L002     loop-alloc          array allocation (``np.zeros``/``np.empty``/
+                             ``np.concatenate``/...) inside a loop body
+L003     range-len           ``range(len(x))`` where direct iteration or
+                             ``enumerate`` applies
+L004     invariant-lookup    attribute chains (``a.data``, ``np.exp``) read
+                             repeatedly inside inner loops without hoisting
+L005     dot-matmul          ``np.dot`` where the ``@`` operator is idiomatic
+L006     missing-out         whole-array slice assignment from a chained
+                             expression that allocates temporaries — an
+                             ``out=`` / in-place opportunity
+=======  ==================  ==================================================
+
+Variants that are *intentionally* scalar (the "basic code" each assignment
+hands out) declare ``lint_expect=("scalar-loop", ...)`` in their registry
+metadata: matching findings are downgraded to severity ``expected`` and a
+``stale-expect`` note (L000) flags declared expectations that no longer
+fire, so suppressions cannot outlive the code they excuse.
+
+Analysis is source-level via :func:`inspect.getsource` + :mod:`ast`, and
+follows direct calls to same-module helpers one level deep (``matmul.ijk``
+is a thin wrapper over ``matmul_loop``; its findings belong to the
+variant).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Iterable
+
+from ..observe import get_tracer
+from .report import AnalysisReport, Finding
+
+__all__ = ["LINT_RULES", "lint_variant", "lint_registry", "function_ast"]
+
+#: rule id -> (slug, default severity, summary)
+LINT_RULES = {
+    "L000": ("stale-expect", "info",
+             "declared lint_expect rule no longer fires"),
+    "L001": ("scalar-loop", "warning",
+             "element-at-a-time loop over ndarray data"),
+    "L002": ("loop-alloc", "warning",
+             "array allocation inside a loop body"),
+    "L003": ("range-len", "info",
+             "range(len(x)) indexing where direct iteration applies"),
+    "L004": ("invariant-lookup", "warning",
+             "loop-invariant attribute lookup inside an inner loop"),
+    "L005": ("dot-matmul", "info",
+             "np.dot on 2-D operands where the @ operator is idiomatic"),
+    "L006": ("missing-out", "info",
+             "chained whole-array expression allocates temporaries"),
+}
+
+#: techniques whose claim a scalar loop contradicts (upgrades L001 to error)
+_VECTORIZED_TECHNIQUES = frozenset({"vectorization", "library"})
+
+#: np.* callables that allocate a fresh array per call
+_ALLOCATORS = frozenset({
+    "zeros", "empty", "ones", "full", "zeros_like", "empty_like",
+    "ones_like", "full_like", "array", "arange", "concatenate", "copy",
+    "tile", "repeat", "stack", "vstack", "hstack",
+})
+
+
+def function_ast(fn: Callable) -> ast.FunctionDef | None:
+    """Parse ``fn``'s source into its FunctionDef, or None when unavailable."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        return None
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+def _attr_chain(node: ast.expr) -> str | None:
+    """Dotted name of an attribute chain rooted at a Name, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _is_scalar_index(node: ast.expr) -> bool:
+    """Index expression selecting one element (no slices)."""
+    if isinstance(node, ast.Tuple):
+        return all(_is_scalar_index(e) for e in node.elts)
+    return not isinstance(node, ast.Slice)
+
+
+class _LoopVisitor(ast.NodeVisitor):
+    """One pass over a function body collecting rule evidence."""
+
+    def __init__(self) -> None:
+        self.loop_stack: list[ast.AST] = []
+        self.loop_vars: list[set[str]] = []
+        self.findings: list[tuple[str, int, str]] = []  # (rule, lineno, msg)
+        # per-loop tally of attribute-chain loads for L004
+        self._attr_loads: list[dict[str, list[int]]] = []
+
+    # -- loops --------------------------------------------------------------
+
+    def _enter_loop(self, node, targets: set[str]) -> None:
+        self.loop_stack.append(node)
+        self.loop_vars.append(targets)
+        self._attr_loads.append({})
+
+    def _exit_loop(self) -> None:
+        loads = self._attr_loads.pop()
+        depth = len(self.loop_stack)
+        for chain, lines in loads.items():
+            # repeated in one loop, or any occurrence in a nest ≥2 deep
+            if len(lines) >= 2 or depth >= 2:
+                self.findings.append((
+                    "L004", lines[0],
+                    f"hoist loop-invariant lookup {chain!r} "
+                    f"({len(lines)} read(s) in a depth-{depth} loop)"))
+        self.loop_stack.pop()
+        self.loop_vars.pop()
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_range_len(node)
+        targets = _names_in(node.target)
+        self.visit(node.iter)
+        self._enter_loop(node, targets)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+        self._exit_loop()
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)
+        self._enter_loop(node, set())
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+        self._exit_loop()
+
+    def _check_range_len(self, node: ast.For) -> None:
+        it = node.iter
+        if (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "range" and len(it.args) == 1
+                and isinstance(it.args[0], ast.Call)
+                and isinstance(it.args[0].func, ast.Name)
+                and it.args[0].func.id == "len" and it.args[0].args):
+            seq = _attr_chain(it.args[0].args[0]) or "<expr>"
+            self.findings.append((
+                "L003", node.lineno,
+                f"for-range(len({seq})): iterate {seq} directly or use enumerate"))
+
+    # -- rule evidence ------------------------------------------------------
+
+    def _in_loop(self) -> bool:
+        return bool(self.loop_stack)
+
+    def _loop_var_names(self) -> set[str]:
+        out: set[str] = set()
+        for s in self.loop_vars:
+            out |= s
+        return out
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain and "." in chain:
+            root, leaf = chain.split(".", 1)
+            if self._in_loop() and leaf.split(".")[-1] in _ALLOCATORS \
+                    and root in ("np", "numpy"):
+                self.findings.append((
+                    "L002", node.lineno,
+                    f"{chain}() allocates a fresh array every iteration; "
+                    f"hoist the buffer or use out="))
+            if leaf == "dot" and root in ("np", "numpy") and len(node.args) == 2:
+                self.findings.append((
+                    "L005", node.lineno,
+                    "np.dot(a, b): prefer the @ operator for 2-D operands"))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._in_loop() and isinstance(node.ctx, ast.Load):
+            chain = _attr_chain(node)
+            if chain:
+                root = chain.split(".", 1)[0]
+                if root not in self._loop_var_names():
+                    self._attr_loads[-1].setdefault(chain, []).append(node.lineno)
+                    return  # don't double-count nested sub-chains
+        self.generic_visit(node)
+
+    def _scalar_element_access(self, node: ast.AST) -> ast.Subscript | None:
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Subscript)
+                    and _is_scalar_index(sub.slice)
+                    and (_names_in(sub.slice) & self._loop_var_names())):
+                return sub
+        return None
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._in_loop():
+            sub = (self._scalar_element_access(node.target)
+                   or self._scalar_element_access(node.value))
+            if sub is not None:
+                name = _attr_chain(sub.value) or "<array>"
+                self.findings.append((
+                    "L001", node.lineno,
+                    f"scalar element update of {name!r} inside a loop"))
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._in_loop() and isinstance(node.value, (ast.BinOp, ast.IfExp)):
+            sub = self._scalar_element_access(node)
+            if sub is not None:
+                name = _attr_chain(sub.value) or "<array>"
+                self.findings.append((
+                    "L001", node.lineno,
+                    f"scalar element arithmetic on {name!r} inside a loop"))
+        self._check_missing_out(node)
+        self.generic_visit(node)
+
+    def _check_missing_out(self, node: ast.Assign) -> None:
+        targets = node.targets[0].elts if (
+            len(node.targets) == 1 and isinstance(node.targets[0], ast.Tuple)
+        ) else node.targets
+        values = node.value.elts if isinstance(node.value, ast.Tuple) else [node.value]
+        if len(targets) != len(values):
+            return
+        for target, value in zip(targets, values):
+            if not (isinstance(target, ast.Subscript)
+                    and not _is_scalar_index(target.slice)):
+                continue
+            ops = [n for n in ast.walk(value) if isinstance(n, ast.BinOp)]
+            if len(ops) >= 2:
+                self.findings.append((
+                    "L006", node.lineno,
+                    f"slice assignment from a {len(ops)}-op expression "
+                    f"allocates temporaries; consider np.<op>(..., out=)"))
+
+
+def _callees(fn_node: ast.FunctionDef, fn: Callable) -> list[Callable]:
+    """Module-level functions of ``fn``'s own module called directly."""
+    module = getattr(fn, "__module__", None)
+    out, seen = [], set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in seen:
+                continue
+            seen.add(name)
+            target = getattr(fn, "__globals__", {}).get(name)
+            if (callable(target) and inspect.isfunction(target)
+                    and getattr(target, "__module__", None) == module):
+                out.append(target)
+    return out
+
+
+def _lint_function(fn: Callable, depth: int = 1) -> list[tuple[str, int, str]]:
+    node = function_ast(fn)
+    if node is None:
+        return []
+    visitor = _LoopVisitor()
+    for stmt in node.body:
+        visitor.visit(stmt)
+    findings = list(visitor.findings)
+    if depth > 0:
+        for callee in _callees(node, fn):
+            for rule, lineno, msg in _lint_function(callee, depth - 1):
+                findings.append((rule, lineno,
+                                 f"(via {callee.__name__}) {msg}"))
+    return findings
+
+
+def lint_variant(variant) -> list[Finding]:
+    """Lint one :class:`~repro.kernels.base.KernelVariant`.
+
+    Findings matching the variant's ``lint_expect`` metadata come back with
+    severity ``expected``; declared expectations that did not fire yield a
+    ``stale-expect`` note.
+    """
+    raw = _lint_function(variant.fn)
+    expected = set(variant.lint_expect)
+    unknown = expected - {slug for slug, _, _ in LINT_RULES.values()}
+    findings: list[Finding] = []
+    fired: set[str] = set()
+    for rule, lineno, msg in raw:
+        slug, severity, _ = LINT_RULES[rule]
+        fired.add(slug)
+        if slug in expected:
+            severity = "expected"
+        elif rule == "L001" and variant.technique in _VECTORIZED_TECHNIQUES:
+            severity = "error"
+            msg += (f" — but technique={variant.technique!r} claims a "
+                    f"vectorized bound")
+        findings.append(Finding(rule=rule, slug=slug, severity=severity,
+                                variant=variant.qualified_name, message=msg,
+                                source="lint", lineno=lineno))
+    for slug in sorted((expected - fired) | unknown):
+        findings.append(Finding(
+            rule="L000", slug="stale-expect", severity="info",
+            variant=variant.qualified_name,
+            message=(f"lint_expect declares {slug!r} but "
+                     + ("no such rule exists" if slug in unknown
+                        else "the rule no longer fires")
+                     + "; drop the stale expectation"),
+            source="lint"))
+    return findings
+
+
+def lint_registry(registry=None,
+                  kernel: str | None = None) -> AnalysisReport:
+    """Lint every registered variant (optionally one kernel family)."""
+    if registry is None:
+        from ..kernels import REGISTRY as registry  # populates the registry
+    tracer = get_tracer()
+    report = AnalysisReport()
+    variants = _select(registry, kernel)
+    with tracer.span("analyze.lint", category="analyze",
+                     variants=len(variants)):
+        for variant in variants:
+            found = lint_variant(variant)
+            report.extend(found)
+            tracer.count("analyze.lint_findings", len(found))
+    return report
+
+
+def _select(registry, kernel: str | None) -> list:
+    """Variants to sweep, in deterministic qualified-name order."""
+    kernels = [kernel] if kernel is not None else registry.kernels()
+    out = [v for k in kernels for v in registry.variants_of(k)]
+    return sorted(out, key=lambda v: v.qualified_name)

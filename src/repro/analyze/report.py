@@ -1,0 +1,157 @@
+"""Unified finding/report model shared by every static-analysis pass.
+
+A :class:`Finding` is one located diagnostic — rule id, slug, severity,
+the variant (or worker) it concerns, and the source line it anchors to.
+An :class:`AnalysisReport` aggregates findings across passes and renders
+them as text (CLI) or JSON (CI artifacts); its :meth:`AnalysisReport.ok`
+drives the exit-1 gate: only unsuppressed **error** findings fail it.
+
+Severities
+----------
+``error``
+    Contradiction between code and declared metadata (scalar loops in a
+    variant claiming a vectorized bound, a work model off by ≥2x, a racy
+    chunk write).  Fails the gate.
+``warning``
+    Likely performance defect worth a look; does not fail the gate.
+``info``
+    Advisory (idiom suggestions, uncountable-source notes).
+``expected``
+    A finding the variant *declared* via ``lint_expect`` metadata — the
+    intentional "basic code" anti-patterns the course hands students.
+    Kept in the report (so suppression is auditable) but never gating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["SEVERITIES", "Finding", "AnalysisReport"]
+
+#: Recognized severities, most severe first.
+SEVERITIES = ("error", "warning", "info", "expected")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a static-analysis pass.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule id, e.g. ``"L001"``.
+    slug:
+        Human-memorable rule name, e.g. ``"scalar-loop"`` — the token
+        ``lint_expect`` metadata matches against.
+    severity:
+        One of :data:`SEVERITIES`.
+    variant:
+        Qualified variant name (``"matmul.tiled"``) or worker label the
+        finding is attributed to.
+    message:
+        One-line description with the concrete evidence.
+    source:
+        Pass that produced it: ``"lint"``, ``"workcount"``, ``"hazards"``.
+    lineno:
+        1-based line in the *function source* (0 when not anchored).
+    """
+
+    rule: str
+    slug: str
+    severity: str
+    variant: str
+    message: str
+    source: str = "lint"
+    lineno: int = 0
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def gating(self) -> bool:
+        """True when this finding should fail the analysis gate."""
+        return self.severity == "error"
+
+    def __str__(self) -> str:
+        loc = f":{self.lineno}" if self.lineno else ""
+        return (f"{self.severity.upper():>8s} {self.rule} [{self.slug}] "
+                f"{self.variant}{loc}: {self.message}")
+
+
+class AnalysisReport:
+    """Ordered, deduplicated collection of findings from one analysis run."""
+
+    def __init__(self, findings: list[Finding] | None = None):
+        self._findings: list[Finding] = []
+        self._seen: set[tuple] = set()
+        for f in findings or []:
+            self.add(f)
+
+    def add(self, finding: Finding) -> None:
+        key = (finding.rule, finding.variant, finding.lineno, finding.message)
+        if key not in self._seen:
+            self._seen.add(key)
+            self._findings.append(finding)
+
+    def extend(self, findings: list[Finding]) -> None:
+        for f in findings:
+            self.add(f)
+
+    @property
+    def findings(self) -> list[Finding]:
+        """Findings in deterministic order: severity rank, variant, line."""
+        rank = {s: i for i, s in enumerate(SEVERITIES)}
+        return sorted(self._findings,
+                      key=lambda f: (rank[f.severity], f.variant, f.rule,
+                                     f.lineno, f.message))
+
+    def by_severity(self, severity: str) -> list[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.by_severity("error")
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing gates (no unsuppressed error findings)."""
+        return not self.errors
+
+    def counts(self) -> dict[str, int]:
+        out = {s: 0 for s in SEVERITIES}
+        for f in self._findings:
+            out[f.severity] += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._findings)
+
+    # -- renderers ----------------------------------------------------------
+
+    def render_text(self, show_expected: bool = False) -> str:
+        """Human-readable report; expected findings hidden by default."""
+        lines = []
+        for f in self.findings:
+            if f.severity == "expected" and not show_expected:
+                continue
+            lines.append(str(f))
+        c = self.counts()
+        shown = len(lines)
+        lines.append(f"analysis: {c['error']} error(s), {c['warning']} warning(s), "
+                     f"{c['info']} info, {c['expected']} expected"
+                     + ("" if show_expected or not c["expected"]
+                        else " (hidden; --show-expected lists them)"))
+        if not shown:
+            lines.insert(0, "no findings")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Stable JSON document (findings in deterministic order)."""
+        payload = {
+            "ok": self.ok,
+            "counts": self.counts(),
+            "findings": [asdict(f) for f in self.findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,1529 @@
+"""AST work-count verifier: static FLOP/byte estimates vs declared models.
+
+Every kernel variant ships a hand-declared :class:`~repro.timing.metrics.WorkCount`
+model.  Nothing so far checks that the model and the *source* agree — a
+mistyped constant (``flops=n*n`` instead of ``2*n*n``) silently corrupts
+every roofline plot and analytical prediction built on it.  This pass
+closes the loop: it interprets the variant's AST over a small concrete
+*probe* input, tallying floating-point operations, integer/address
+operations and **unique-cell** memory traffic as it goes, then
+cross-checks the resulting :class:`WorkEstimate` against the declared
+model.
+
+The interpreter is a shadow executor, not a sandbox: array reads and
+writes land on real (tiny) NumPy buffers so that loop bounds, gathered
+indices and data-dependent iteration counts resolve exactly, while a
+parallel *cell-id* array sliced alongside the data attributes every
+access to the cell of the array it touches.  Traffic is the compulsory
+kind the declared models charge — a cell counts once no matter how often
+it is re-read, and compiler-temporary arrays (binary-op results, gather
+copies, sorted scratch) are *ephemeral*: their cells never tally, only
+the named buffers' do.  The variant's returned array is charged as
+stores (it is the output) even when it was built out of temporaries.
+
+What cannot be counted (``with`` executors, imports inside the body,
+opaque library calls like ``np.fft.fft``) is reported as an
+informational ``not-countable`` finding rather than a guess.
+
+Rules
+-----
+``W000`` not-countable (info)
+    The source uses constructs the interpreter does not model.
+``W001`` work-mismatch (error)
+    Estimated FLOPs or total bytes diverge from the declared model by
+    the tolerance factor (default 2x) or more.  Variants whose
+    divergence is *understood* (e.g. twiddle-factor recomputation the
+    algorithmic model deliberately ignores) declare ``workcount_expect``
+    metadata with the reason, downgrading this to info.
+``W002`` no-probe (info)
+    No probe spec exists for the variant's kernel family.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import math
+import operator
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..observe import get_tracer
+from ..timing.metrics import WorkCount
+from .lint import _select
+from .report import AnalysisReport, Finding
+
+__all__ = [
+    "NotCountable",
+    "WorkEstimate",
+    "ProbeSpec",
+    "WORKCOUNT_RULES",
+    "default_probes",
+    "estimate_variant",
+    "estimate_registry",
+    "verify_workcounts",
+    "static_app_points",
+]
+
+#: rule id -> (slug, default severity, summary)
+WORKCOUNT_RULES = {
+    "W000": ("not-countable", "info",
+             "variant source could not be statically interpreted"),
+    "W001": ("work-mismatch", "error",
+             "static estimate diverges from the declared WorkCount model"),
+    "W002": ("no-probe", "info",
+             "no probe spec for this kernel family; variant skipped"),
+}
+
+
+class NotCountable(Exception):
+    """The variant's source uses constructs the interpreter cannot count."""
+
+
+@dataclass(frozen=True)
+class WorkEstimate:
+    """Statically derived operation/traffic counts for one probe input.
+
+    Mirrors :class:`~repro.timing.metrics.WorkCount`; ``countable=False``
+    records *why* no estimate exists instead of fabricating zeros that a
+    comparison would misread.
+    """
+
+    variant: str
+    countable: bool
+    flops: float = 0.0
+    loads_bytes: float = 0.0
+    stores_bytes: float = 0.0
+    int_ops: float = 0.0
+    reason: str = ""
+
+    @property
+    def bytes_total(self) -> float:
+        return self.loads_bytes + self.stores_bytes
+
+    @property
+    def intensity(self) -> float:
+        """Static arithmetic-intensity estimate in FLOP/byte."""
+        if self.bytes_total <= 0:
+            return float("inf")
+        return self.flops / self.bytes_total
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """Deterministic probe inputs for one kernel family.
+
+    ``build(variant_name)`` returns ``(fn_args, work_args)``: the
+    positional arguments the variant is interpreted with, and the
+    arguments its declared work model is *called* with (signatures
+    differ — ``matmul_work(n)`` vs ``_work_from_matrix(matrix)``).
+    """
+
+    kernel: str
+    build: Callable[[str], tuple[tuple, tuple]]
+    note: str = ""
+
+
+# ---------------------------------------------------------------------------
+# shadow values
+# ---------------------------------------------------------------------------
+
+_STRIDE = 10**9  # cell id = base * _STRIDE + flat index
+
+
+class _BaseMeta:
+    """Identity of one allocated buffer, shared by all views of it."""
+
+    __slots__ = ("base", "itemsize", "ephemeral")
+
+    def __init__(self, base: int, itemsize: int, ephemeral: bool):
+        self.base = base
+        self.itemsize = itemsize
+        self.ephemeral = ephemeral
+
+
+class TrackedArray:
+    """A real ndarray shadowed by a parallel array of unique cell ids.
+
+    Slicing produces views whose ``ids`` are sliced identically, so any
+    element access — direct, through a view, or gathered — maps back to
+    the cells of the underlying buffer.
+    """
+
+    __slots__ = ("data", "ids", "meta")
+
+    def __init__(self, data: np.ndarray, ids: np.ndarray, meta: _BaseMeta):
+        self.data = data
+        self.ids = ids
+        self.meta = meta
+
+    @property
+    def shape(self):
+        return tuple(self.data.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def ndim(self) -> int:
+        return int(self.data.ndim)
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _UserFn:
+    """A function interpreted from its AST (module-level or nested def)."""
+
+    __slots__ = ("name", "node", "closure", "globals")
+
+    def __init__(self, name, node, closure, globals_):
+        self.name = name
+        self.node = node
+        self.closure = closure  # _Env or None
+        self.globals = globals_
+
+
+class _TrackedMethod:
+    __slots__ = ("arr", "name")
+
+    def __init__(self, arr, name):
+        self.arr = arr
+        self.name = name
+
+
+class _UfuncMethod:
+    __slots__ = ("ufunc", "name")
+
+    def __init__(self, ufunc, name):
+        self.ufunc = ufunc
+        self.name = name
+
+
+class _Env:
+    """Lexical scope: local vars, enclosing-scope chain, module globals."""
+
+    __slots__ = ("vars", "parent", "globals")
+
+    def __init__(self, vars_: dict, parent: "_Env | None" = None,
+                 globals_: dict | None = None):
+        self.vars = vars_
+        self.parent = parent
+        self.globals = globals_ if globals_ is not None else (
+            parent.globals if parent is not None else {})
+
+
+_BUILTINS = {
+    "range": range, "len": len, "min": min, "max": max, "abs": abs,
+    "int": int, "float": float, "complex": complex, "bool": bool,
+    "str": str, "sorted": sorted, "list": list, "tuple": tuple,
+    "zip": zip, "enumerate": enumerate, "round": round, "isinstance": isinstance,
+    "ValueError": ValueError, "TypeError": TypeError, "KeyError": KeyError,
+    "IndexError": IndexError, "RuntimeError": RuntimeError,
+    "True": True, "False": False, "None": None,
+}
+
+#: ast op -> (flop kind, concrete operator)
+_BIN_OPS = {
+    ast.Add: ("add", operator.add), ast.Sub: ("add", operator.sub),
+    ast.Mult: ("mul", operator.mul), ast.Div: ("mul", operator.truediv),
+    ast.FloorDiv: ("int", operator.floordiv), ast.Mod: ("int", operator.mod),
+    ast.Pow: ("mul", operator.pow),
+    ast.LShift: ("int", operator.lshift), ast.RShift: ("int", operator.rshift),
+    ast.BitAnd: ("int", operator.and_), ast.BitOr: ("int", operator.or_),
+    ast.BitXor: ("int", operator.xor), ast.MatMult: ("matmul", operator.matmul),
+}
+
+_CMP_OPS = {
+    ast.Eq: operator.eq, ast.NotEq: operator.ne, ast.Lt: operator.lt,
+    ast.LtE: operator.le, ast.Gt: operator.gt, ast.GtE: operator.ge,
+}
+
+#: ufunc name -> flop kind of one element-op
+_UFUNC_KIND = {
+    "add": "add", "subtract": "add", "negative": "add", "absolute": "add",
+    "conjugate": "add", "multiply": "mul", "true_divide": "mul",
+    "divide": "mul", "exp": "mul", "sqrt": "mul", "sin": "mul", "cos": "mul",
+    "power": "mul", "log": "mul", "log2": "mul",
+}
+
+_TRACKED_METHODS = frozenset({
+    "copy", "reshape", "astype", "ravel", "min", "max", "sum", "mean", "item",
+})
+
+
+def _flop_weight(kind: str, is_complex: bool) -> float:
+    """Real FLOPs of one element-op: complex mult ~6, complex add 2."""
+    if kind == "add":
+        return 2.0 if is_complex else 1.0
+    return 6.0 if is_complex else 1.0
+
+
+def _is_float_like(value) -> bool:
+    return isinstance(value, (float, complex, np.floating, np.complexfloating))
+
+
+class _Interp:
+    """Concrete shadow interpreter over kernel source with work tallies."""
+
+    def __init__(self, fuel: int = 3_000_000):
+        self.fuel = fuel
+        self.flops = 0.0
+        self.int_ops = 0.0
+        self.loaded: set[int] = set()
+        self.stored: set[int] = set()
+        self.itemsize: dict[int, int] = {}
+        self._next_base = 1
+        self._wrapcache: dict[int, TrackedArray] = {}
+        self._ast_cache: dict[int, tuple] = {}
+        self._depth = 0
+
+    # -- tallies ------------------------------------------------------------
+
+    def _tick(self, n: int = 1) -> None:
+        self.fuel -= n
+        if self.fuel <= 0:
+            raise NotCountable("interpretation budget exhausted")
+
+    def _fresh(self, data: np.ndarray, ephemeral: bool) -> TrackedArray:
+        data = np.asarray(data)
+        base = self._next_base
+        self._next_base += 1
+        self.itemsize[base] = int(data.dtype.itemsize)
+        ids = (np.arange(data.size, dtype=np.int64)
+               + base * _STRIDE).reshape(data.shape)
+        return TrackedArray(data, ids, _BaseMeta(base, data.dtype.itemsize, ephemeral))
+
+    def wrap(self, obj: np.ndarray) -> TrackedArray:
+        """Persistent (non-ephemeral) wrap, memoized so views share cells."""
+        cached = self._wrapcache.get(id(obj))
+        if cached is None or cached.data is not obj:
+            cached = self._fresh(obj, ephemeral=False)
+            cached.data = obj  # shadow the caller's buffer, not a copy
+            self._wrapcache[id(obj)] = cached
+        return cached
+
+    def _load_ids(self, ids, ephemeral: bool) -> None:
+        if ephemeral:
+            return
+        flat = np.asarray(ids).ravel()
+        self._tick(flat.size)
+        self.loaded.update(flat.tolist())
+
+    def _store_ids(self, ids, ephemeral: bool) -> None:
+        if ephemeral:
+            return
+        flat = np.asarray(ids).ravel()
+        self._tick(flat.size)
+        self.stored.update(flat.tolist())
+
+    def _load_array(self, arr: TrackedArray) -> None:
+        self._load_ids(arr.ids, arr.meta.ephemeral)
+
+    def _charge_elems(self, dtype, kind: str, count: int) -> None:
+        if kind != "int" and dtype.kind in "fc":
+            self.flops += count * _flop_weight(kind, dtype.kind == "c")
+        else:
+            self.int_ops += count
+
+    def _bytes(self, cells: set[int]) -> float:
+        return float(sum(self.itemsize[c // _STRIDE] for c in cells))
+
+    # -- realization (shadow value -> plain python/numpy) -------------------
+
+    def _realize(self, value, charge: bool = True):
+        if isinstance(value, TrackedArray):
+            if charge:
+                self._load_array(value)
+            return value.data
+        if isinstance(value, (list, tuple)):
+            return type(value)(self._realize(v, charge) for v in value)
+        if isinstance(value, dict):
+            return {k: self._realize(v, charge) for k, v in value.items()}
+        if isinstance(value, (_UserFn, _TrackedMethod, _UfuncMethod)):
+            raise NotCountable("cannot pass an interpreted function to a native call")
+        return value
+
+    @staticmethod
+    def _data_of(value):
+        return value.data if isinstance(value, TrackedArray) else value
+
+    # -- entry point --------------------------------------------------------
+
+    def run(self, fn: Callable, args: tuple) -> object:
+        """Interpret ``fn(*args)``; returns the shadow return value."""
+        wrapped = tuple(self.wrap(a) if isinstance(a, np.ndarray) else a
+                        for a in args)
+        return self._call_user(self._user_fn_for(fn), wrapped, {})
+
+    def _user_fn_for(self, fn: Callable) -> _UserFn:
+        cached = self._ast_cache.get(id(fn))
+        if cached is not None and cached[0] is fn:
+            return cached[1]
+        try:
+            source = textwrap.dedent(inspect.getsource(fn))
+            tree = ast.parse(source)
+        except (OSError, TypeError, SyntaxError, IndentationError) as exc:
+            raise NotCountable(f"source unavailable for {fn!r}: {exc}") from None
+        node = next((n for n in tree.body if isinstance(n, ast.FunctionDef)), None)
+        if node is None:
+            raise NotCountable(f"no function definition found for {fn!r}")
+        closure = None
+        freevars = fn.__code__.co_freevars
+        if freevars:
+            cells = {}
+            for name, cell in zip(freevars, fn.__closure__ or ()):
+                value = cell.cell_contents
+                cells[name] = (self.wrap(value)
+                               if isinstance(value, np.ndarray) else value)
+            closure = _Env(cells, globals_=fn.__globals__)
+        user = _UserFn(fn.__name__, node, closure, fn.__globals__)
+        self._ast_cache[id(fn)] = (fn, user)
+        return user
+
+    # -- names --------------------------------------------------------------
+
+    def _lookup(self, name: str, env: _Env):
+        scope = env
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        if name in env.globals:
+            value = env.globals[name]
+            if isinstance(value, np.ndarray):
+                return self.wrap(value)
+            return value
+        if name in _BUILTINS:
+            return _BUILTINS[name]
+        raise NotCountable(f"unresolvable name {name!r}")
+
+    # -- function calls -----------------------------------------------------
+
+    def _call_user(self, user: _UserFn, args: tuple, kwargs: dict):
+        self._depth += 1
+        if self._depth > 64:
+            raise NotCountable(f"recursion too deep interpreting {user.name}")
+        try:
+            env = _Env(self._bind(user, args, kwargs), parent=user.closure,
+                       globals_=user.globals)
+            try:
+                self._exec_block(user.node.body, env)
+            except _Return as ret:
+                return ret.value
+            return None
+        finally:
+            self._depth -= 1
+
+    def _bind(self, user: _UserFn, args: tuple, kwargs: dict) -> dict:
+        a = user.node.args
+        params = [p.arg for p in a.posonlyargs + a.args]
+        if a.kwonlyargs and any(d is None for d in a.kw_defaults):
+            raise NotCountable(f"{user.name}: required keyword-only args unsupported")
+        bound: dict = {}
+        positional = list(args)
+        if len(positional) > len(params):
+            if a.vararg is None:
+                raise NotCountable(f"{user.name}: too many positional arguments")
+            bound[a.vararg.arg] = tuple(positional[len(params):])
+            positional = positional[:len(params)]
+        elif a.vararg is not None:
+            bound[a.vararg.arg] = ()
+        for name, value in zip(params, positional):
+            bound[name] = value
+        for name, value in kwargs.items():
+            if name not in params and name not in [p.arg for p in a.kwonlyargs]:
+                raise NotCountable(f"{user.name}: unexpected keyword {name!r}")
+            bound[name] = value
+        default_env = _Env({}, globals_=user.globals)
+        defaults = a.defaults
+        for name, node in zip(params[len(params) - len(defaults):], defaults):
+            if name not in bound:
+                bound[name] = self._eval(node, default_env)
+        for p, node in zip(a.kwonlyargs, a.kw_defaults):
+            if p.arg not in bound:
+                bound[p.arg] = self._eval(node, default_env)
+        for name in params:
+            if name not in bound:
+                raise NotCountable(f"{user.name}: missing argument {name!r}")
+        return bound
+
+    # -- statements ---------------------------------------------------------
+
+    def _exec_block(self, stmts, env: _Env) -> None:
+        for stmt in stmts:
+            self._exec(stmt, env)
+
+    def _exec(self, node, env: _Env) -> None:
+        self._tick()
+        method = getattr(self, f"_exec_{type(node).__name__}", None)
+        if method is None:
+            raise NotCountable(f"unsupported statement {type(node).__name__}")
+        method(node, env)
+
+    def _exec_Expr(self, node, env):
+        self._eval(node.value, env)
+
+    def _exec_Pass(self, node, env):
+        pass
+
+    def _exec_Assign(self, node, env):
+        value = self._eval(node.value, env)
+        for target in node.targets:
+            self._assign_target(target, value, env)
+
+    def _exec_AnnAssign(self, node, env):
+        if node.value is not None:
+            self._assign_target(node.target, self._eval(node.value, env), env)
+
+    def _exec_AugAssign(self, node, env):
+        kind, op = _BIN_OPS[type(node.op)]
+        rhs = self._eval(node.value, env)
+        target = node.target
+        if isinstance(target, ast.Name):
+            current = self._lookup(target.id, env)
+            if isinstance(current, TrackedArray):
+                self._inplace(current, slice(None), kind, op, rhs)
+            else:
+                env.vars[target.id] = self._binop(kind, op, current, rhs)
+            return
+        if isinstance(target, ast.Subscript):
+            obj = self._eval(target.value, env)
+            key = self._eval_index(target.slice, env)
+            if isinstance(obj, TrackedArray):
+                self._inplace(obj, key, kind, op, rhs)
+            elif isinstance(obj, dict):
+                obj[key] = self._binop(kind, op, obj[key], rhs)
+            else:
+                raise NotCountable("augmented assignment to unsupported target")
+            return
+        raise NotCountable("unsupported augmented-assignment target")
+
+    def _inplace(self, arr: TrackedArray, key, kind, op, rhs) -> None:
+        """``arr[key] op= rhs`` — load-modify-store on the selected cells."""
+        rkey = self._realize_key(key)
+        sel_ids = arr.ids[rkey]
+        self._load_ids(sel_ids, arr.meta.ephemeral)
+        self._store_ids(sel_ids, arr.meta.ephemeral)
+        if isinstance(rhs, TrackedArray):
+            self._load_array(rhs)
+        rdata = self._data_of(rhs)
+        try:
+            arr.data[rkey] = op(arr.data[rkey], rdata)
+        except Exception as exc:
+            raise NotCountable(f"in-place update failed: {exc}") from None
+        self._charge_elems(arr.data.dtype, kind, int(np.size(sel_ids)))
+
+    def _exec_For(self, node, env):
+        iterable = self._eval(node.iter, env)
+        broke = False
+        for item in self._iterate(iterable):
+            self._tick(2)
+            self._assign_target(node.target, item, env)
+            try:
+                self._exec_block(node.body, env)
+            except _Break:
+                broke = True
+                break
+            except _Continue:
+                continue
+        if not broke and node.orelse:
+            self._exec_block(node.orelse, env)
+
+    def _exec_While(self, node, env):
+        broke = False
+        while True:
+            self._tick(2)
+            if not self._truth(self._eval(node.test, env)):
+                break
+            try:
+                self._exec_block(node.body, env)
+            except _Break:
+                broke = True
+                break
+            except _Continue:
+                continue
+        if not broke and node.orelse:
+            self._exec_block(node.orelse, env)
+
+    def _exec_If(self, node, env):
+        if self._truth(self._eval(node.test, env)):
+            self._exec_block(node.body, env)
+        elif node.orelse:
+            self._exec_block(node.orelse, env)
+
+    def _exec_Return(self, node, env):
+        value = self._eval(node.value, env) if node.value is not None else None
+        raise _Return(value)
+
+    def _exec_Break(self, node, env):
+        raise _Break()
+
+    def _exec_Continue(self, node, env):
+        raise _Continue()
+
+    def _exec_FunctionDef(self, node, env):
+        env.vars[node.name] = _UserFn(node.name, node, env, env.globals)
+
+    def _exec_Assert(self, node, env):
+        if not self._truth(self._eval(node.test, env)):
+            raise NotCountable("assertion failed during interpretation")
+
+    def _exec_Raise(self, node, env):
+        raise NotCountable("probe input reaches a raise statement")
+
+    def _exec_With(self, node, env):
+        raise NotCountable("with-statement (runtime resource) not statically countable")
+
+    _exec_AsyncWith = _exec_With
+
+    def _exec_Import(self, node, env):
+        raise NotCountable("import inside kernel body not statically countable")
+
+    _exec_ImportFrom = _exec_Import
+
+    def _exec_Try(self, node, env):
+        raise NotCountable("try/except not statically countable")
+
+    def _exec_Global(self, node, env):
+        raise NotCountable("global statement not supported")
+
+    _exec_Nonlocal = _exec_Global
+    _exec_Delete = _exec_Global
+
+    # -- assignment targets -------------------------------------------------
+
+    def _assign_target(self, target, value, env: _Env) -> None:
+        if isinstance(target, ast.Name):
+            env.vars[target.id] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            items = self._unpack(value, len(target.elts))
+            for sub, item in zip(target.elts, items):
+                self._assign_target(sub, item, env)
+            return
+        if isinstance(target, ast.Subscript):
+            obj = self._eval(target.value, env)
+            key = self._eval_index(target.slice, env)
+            if isinstance(obj, TrackedArray):
+                self._setitem(obj, key, value)
+            elif isinstance(obj, (dict, list)):
+                obj[self._realize_key(key)] = value
+            else:
+                raise NotCountable("assignment to unsupported subscript target")
+            return
+        if isinstance(target, ast.Starred):
+            raise NotCountable("starred assignment not supported")
+        raise NotCountable(f"unsupported assignment target {type(target).__name__}")
+
+    def _unpack(self, value, n: int) -> list:
+        if isinstance(value, (tuple, list)):
+            items = list(value)
+        elif isinstance(value, str):
+            items = list(value)
+        elif isinstance(value, TrackedArray):
+            items = list(self._iterate(value))
+        elif isinstance(value, np.ndarray):
+            items = list(value)
+        else:
+            raise NotCountable(f"cannot unpack {type(value).__name__}")
+        if len(items) != n:
+            raise NotCountable("unpack arity mismatch")
+        return items
+
+    def _setitem(self, arr: TrackedArray, key, value) -> None:
+        rkey = self._realize_key(key)
+        sel_ids = arr.ids[rkey]
+        self._store_ids(sel_ids, arr.meta.ephemeral)
+        if isinstance(value, TrackedArray):
+            self._load_array(value)
+        try:
+            arr.data[rkey] = self._data_of(value)
+        except Exception as exc:
+            raise NotCountable(f"array store failed: {exc}") from None
+
+    def _realize_key(self, key):
+        if isinstance(key, tuple):
+            return tuple(self._realize_key(k) for k in key)
+        if isinstance(key, TrackedArray):
+            self._load_array(key)  # index vector is itself traffic
+            return key.data
+        if isinstance(key, list):
+            return [self._realize_key(k) for k in key]
+        if isinstance(key, (np.integer, np.bool_)):
+            return key
+        if isinstance(key, (int, bool, slice, str)) or key is None:
+            return key
+        if isinstance(key, np.ndarray):
+            return key
+        raise NotCountable(f"unsupported subscript key {type(key).__name__}")
+
+    # -- expressions --------------------------------------------------------
+
+    def _eval(self, node, env: _Env):
+        self._tick()
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            raise NotCountable(f"unsupported expression {type(node).__name__}")
+        return method(node, env)
+
+    def _eval_Constant(self, node, env):
+        return node.value
+
+    def _eval_Name(self, node, env):
+        return self._lookup(node.id, env)
+
+    def _eval_Tuple(self, node, env):
+        return tuple(self._eval(e, env) for e in node.elts)
+
+    def _eval_List(self, node, env):
+        return [self._eval(e, env) for e in node.elts]
+
+    def _eval_Dict(self, node, env):
+        out = {}
+        for k, v in zip(node.keys, node.values):
+            if k is None:
+                raise NotCountable("dict unpacking not supported")
+            out[self._realize_key(self._eval(k, env))] = self._eval(v, env)
+        return out
+
+    def _eval_Slice(self, node, env):
+        def part(sub):
+            if sub is None:
+                return None
+            value = self._eval(sub, env)
+            if isinstance(value, (np.integer,)):
+                value = int(value)
+            if not isinstance(value, int):
+                raise NotCountable("non-integer slice bound")
+            return value
+        return slice(part(node.lower), part(node.upper), part(node.step))
+
+    def _eval_index(self, node, env):
+        """Evaluate a subscript index (may be a Tuple of slices/exprs)."""
+        if isinstance(node, ast.Tuple):
+            return tuple(self._eval(e, env) if not isinstance(e, ast.Slice)
+                         else self._eval_Slice(e, env) for e in node.elts)
+        if isinstance(node, ast.Slice):
+            return self._eval_Slice(node, env)
+        return self._eval(node, env)
+
+    def _eval_Subscript(self, node, env):
+        obj = self._eval(node.value, env)
+        key = self._eval_index(node.slice, env)
+        if isinstance(obj, TrackedArray):
+            return self._getitem(obj, key)
+        rkey = self._realize_key(key)
+        try:
+            return obj[rkey]
+        except NotCountable:
+            raise
+        except Exception as exc:
+            raise NotCountable(f"subscript failed: {exc}") from None
+
+    def _getitem(self, arr: TrackedArray, key):
+        rkey = self._realize_key(key)
+        fancy = isinstance(rkey, (np.ndarray, list)) or (
+            isinstance(rkey, tuple)
+            and any(isinstance(k, (np.ndarray, list)) for k in rkey))
+        try:
+            sub_data = arr.data[rkey]
+            sub_ids = arr.ids[rkey]
+        except NotCountable:
+            raise
+        except Exception as exc:
+            raise NotCountable(f"array read failed: {exc}") from None
+        if not isinstance(sub_data, np.ndarray) or sub_data.ndim == 0:
+            self._load_ids(sub_ids, arr.meta.ephemeral)
+            return np.asarray(sub_data)[()].item()
+        if fancy:
+            self._load_ids(sub_ids, arr.meta.ephemeral)
+            return self._fresh(np.array(sub_data), ephemeral=True)
+        return TrackedArray(sub_data, sub_ids, arr.meta)  # basic slice: a view
+
+    def _eval_Attribute(self, node, env):
+        obj = self._eval(node.value, env)
+        name = node.attr
+        if isinstance(obj, TrackedArray):
+            if name == "shape":
+                return obj.shape
+            if name == "ndim":
+                return obj.ndim
+            if name == "size":
+                return obj.size
+            if name == "dtype":
+                return obj.dtype
+            if name == "T":
+                return TrackedArray(obj.data.T, obj.ids.T, obj.meta)
+            if name in ("real", "imag"):
+                return TrackedArray(getattr(obj.data, name),
+                                    obj.ids, obj.meta)
+            if name in _TRACKED_METHODS:
+                return _TrackedMethod(obj, name)
+            raise NotCountable(f"unsupported ndarray attribute .{name}")
+        if isinstance(obj, np.ufunc) and name in ("at", "reduceat", "reduce", "outer"):
+            if name in ("at", "reduceat"):
+                return _UfuncMethod(obj, name)
+            raise NotCountable(f"ufunc method .{name} not modeled")
+        try:
+            value = getattr(obj, name)
+        except NotCountable:
+            raise
+        except Exception as exc:
+            raise NotCountable(f"attribute access .{name} failed: {exc}") from None
+        if isinstance(value, np.ndarray):
+            return self.wrap(value)
+        return value
+
+    def _eval_UnaryOp(self, node, env):
+        value = self._eval(node.operand, env)
+        if isinstance(node.op, ast.Not):
+            return not self._truth(value)
+        op = {ast.USub: operator.neg, ast.UAdd: operator.pos,
+              ast.Invert: operator.invert}[type(node.op)]
+        if isinstance(value, TrackedArray):
+            self._load_array(value)
+            data = op(value.data)
+            kind = "int" if isinstance(node.op, ast.Invert) else "add"
+            self._charge_elems(data.dtype, kind, data.size)
+            return self._fresh(data, ephemeral=True)
+        try:
+            return op(value)
+        except Exception as exc:
+            raise NotCountable(f"unary op failed: {exc}") from None
+
+    def _eval_BinOp(self, node, env):
+        entry = _BIN_OPS.get(type(node.op))
+        if entry is None:
+            raise NotCountable(f"unsupported operator {type(node.op).__name__}")
+        kind, op = entry
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        return self._binop(kind, op, left, right)
+
+    def _binop(self, kind, op, left, right):
+        if isinstance(left, TrackedArray) or isinstance(right, TrackedArray):
+            return self._array_binop(kind, op, left, right)
+        try:
+            result = op(left, right)
+        except Exception as exc:
+            raise NotCountable(f"operation failed: {exc}") from None
+        if kind != "int" and _is_float_like(result):
+            self.flops += _flop_weight(
+                kind, isinstance(result, (complex, np.complexfloating)))
+        elif isinstance(result, (int, np.integer)) and not isinstance(result, bool):
+            self.int_ops += 1
+        return result
+
+    def _array_binop(self, kind, op, left, right):
+        for operand in (left, right):
+            if isinstance(operand, TrackedArray):
+                self._load_array(operand)
+        ldata, rdata = self._data_of(left), self._data_of(right)
+        try:
+            data = op(ldata, rdata)
+        except Exception as exc:
+            raise NotCountable(f"array operation failed: {exc}") from None
+        data = np.asarray(data)
+        if kind == "matmul":
+            # 2·n·m·k FMA flops from the operand shapes, not the result size
+            n, k = np.asarray(ldata).shape
+            m = np.asarray(rdata).shape[1]
+            self.flops += 2.0 * n * m * k
+        else:
+            self._charge_elems(data.dtype, kind, data.size)
+        return self._fresh(data, ephemeral=True)
+
+    def _eval_Compare(self, node, env):
+        left = self._eval(node.left, env)
+        result = True
+        for op_node, comp in zip(node.ops, node.comparators):
+            right = self._eval(comp, env)
+            value = self._compare(op_node, left, right)
+            if isinstance(value, TrackedArray):
+                if len(node.ops) > 1:
+                    raise NotCountable("chained array comparison")
+                return value
+            result = result and bool(value)
+            if not result:
+                return False
+            left = right
+        return result
+
+    def _compare(self, op_node, left, right):
+        if isinstance(op_node, (ast.Is, ast.IsNot)):
+            lid = left.data if isinstance(left, TrackedArray) else left
+            rid = right.data if isinstance(right, TrackedArray) else right
+            same = lid is rid
+            return same if isinstance(op_node, ast.Is) else not same
+        if isinstance(op_node, (ast.In, ast.NotIn)):
+            container = self._realize(right)
+            member = self._realize(left)
+            try:
+                inside = member in container
+            except Exception as exc:
+                raise NotCountable(f"membership test failed: {exc}") from None
+            return inside if isinstance(op_node, ast.In) else not inside
+        op = _CMP_OPS.get(type(op_node))
+        if op is None:
+            raise NotCountable(f"unsupported comparison {type(op_node).__name__}")
+        if isinstance(left, TrackedArray) or isinstance(right, TrackedArray):
+            for operand in (left, right):
+                if isinstance(operand, TrackedArray):
+                    self._load_array(operand)
+            try:
+                data = np.asarray(op(self._data_of(left), self._data_of(right)))
+            except Exception as exc:
+                raise NotCountable(f"array comparison failed: {exc}") from None
+            self.int_ops += data.size
+            return self._fresh(data, ephemeral=True)
+        try:
+            return op(left, right)
+        except Exception as exc:
+            raise NotCountable(f"comparison failed: {exc}") from None
+
+    def _eval_BoolOp(self, node, env):
+        is_and = isinstance(node.op, ast.And)
+        value = is_and
+        for sub in node.values:
+            value = self._truth(self._eval(sub, env))
+            if value != is_and:  # short-circuit
+                return value
+        return value
+
+    def _eval_IfExp(self, node, env):
+        if self._truth(self._eval(node.test, env)):
+            return self._eval(node.body, env)
+        return self._eval(node.orelse, env)
+
+    def _eval_JoinedStr(self, node, env):
+        parts = []
+        for sub in node.values:
+            if isinstance(sub, ast.Constant):
+                parts.append(str(sub.value))
+            else:
+                parts.append(str(self._realize(self._eval(sub.value, env),
+                                               charge=False)))
+        return "".join(parts)
+
+    def _eval_ListComp(self, node, env):
+        out: list = []
+        self._run_comp(node.generators, 0, env,
+                       lambda e: out.append(self._eval(node.elt, e)))
+        return out
+
+    def _eval_GeneratorExp(self, node, env):
+        return self._eval_ListComp(node, env)
+
+    def _run_comp(self, generators, i, env, emit) -> None:
+        if i == len(generators):
+            emit(env)
+            return
+        gen = generators[i]
+        if gen.is_async:
+            raise NotCountable("async comprehension not supported")
+        for item in self._iterate(self._eval(gen.iter, env)):
+            self._tick(2)
+            scope = _Env(dict(env.vars), parent=env.parent, globals_=env.globals)
+            self._assign_target(gen.target, item, scope)
+            if all(self._truth(self._eval(cond, scope)) for cond in gen.ifs):
+                self._run_comp(generators, i + 1, scope, emit)
+
+    def _truth(self, value) -> bool:
+        if isinstance(value, TrackedArray):
+            raise NotCountable("truth value of a whole array")
+        try:
+            return bool(value)
+        except Exception as exc:
+            raise NotCountable(f"truthiness failed: {exc}") from None
+
+    def _iterate(self, value):
+        if isinstance(value, (range, list, tuple, str)):
+            return iter(value)
+        if isinstance(value, TrackedArray):
+            if value.ndim == 1:
+                self._load_array(value)
+                return iter(value.data.tolist())
+            return iter(TrackedArray(value.data[i], value.ids[i], value.meta)
+                        for i in range(value.data.shape[0]))
+        if isinstance(value, dict):
+            return iter(list(value))
+        if isinstance(value, np.ndarray):
+            return iter(value)
+        raise NotCountable(f"cannot iterate {type(value).__name__}")
+
+    # -- calls --------------------------------------------------------------
+
+    def _eval_Call(self, node, env):
+        callee = self._eval(node.func, env)
+        args = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                args.extend(self._unpack_star(self._eval(arg.value, env)))
+            else:
+                args.append(self._eval(arg, env))
+        kwargs = {}
+        for kw in node.keywords:
+            if kw.arg is None:
+                raise NotCountable("** call unpacking not supported")
+            kwargs[kw.arg] = self._eval(kw.value, env)
+        return self._call(callee, tuple(args), kwargs)
+
+    @staticmethod
+    def _unpack_star(value):
+        if isinstance(value, (list, tuple)):
+            return list(value)
+        raise NotCountable("starred call argument must be a list/tuple")
+
+    def _call(self, callee, args: tuple, kwargs: dict):
+        if isinstance(callee, _UserFn):
+            return self._call_user(callee, args, kwargs)
+        if isinstance(callee, _TrackedMethod):
+            return self._call_tracked_method(callee, args, kwargs)
+        if isinstance(callee, _UfuncMethod):
+            return self._call_ufunc_method(callee, args, kwargs)
+        if callee in _OPAQUE_CALLS:
+            raise NotCountable(_OPAQUE_CALLS[callee])
+        handler = _NP_HANDLERS.get(callee)
+        if handler is not None:
+            return handler(self, args, kwargs)
+        if isinstance(callee, np.ufunc):
+            return self._call_ufunc(callee, args, kwargs)
+        if inspect.isfunction(callee):
+            return self._call_user(self._user_fn_for(callee), args, kwargs)
+        builtin = _BUILTIN_HANDLERS.get(callee)
+        if builtin is not None:
+            return builtin(self, args, kwargs)
+        return self._native_call(callee, args, kwargs)
+
+    def _call_tracked_method(self, method: _TrackedMethod, args, kwargs):
+        arr, name = method.arr, method.name
+        if name == "reshape":
+            shape = args[0] if len(args) == 1 and isinstance(args[0], tuple) \
+                else tuple(int(a) for a in args)
+            try:
+                return TrackedArray(arr.data.reshape(shape),
+                                    arr.ids.reshape(shape), arr.meta)
+            except Exception as exc:
+                raise NotCountable(f"reshape failed: {exc}") from None
+        if name == "ravel":
+            return TrackedArray(arr.data.reshape(-1), arr.ids.reshape(-1),
+                                arr.meta)
+        if name == "copy":
+            self._load_array(arr)
+            return self._fresh(arr.data.copy(), ephemeral=True)
+        if name == "astype":
+            self._load_array(arr)
+            rargs = self._realize(args, charge=False)
+            return self._fresh(arr.data.astype(*rargs), ephemeral=True)
+        if name == "item":
+            self._load_array(arr)
+            return arr.data.item(*self._realize(args, charge=False))
+        if name in ("min", "max", "sum", "mean"):
+            self._load_array(arr)
+            kind = "add"
+            rkwargs = {k: self._realize(v, charge=False)
+                       for k, v in kwargs.items()}
+            try:
+                result = getattr(arr.data, name)(
+                    *self._realize(args, charge=False), **rkwargs)
+            except Exception as exc:
+                raise NotCountable(f".{name}() failed: {exc}") from None
+            self._charge_elems(arr.data.dtype, kind, max(arr.size - 1, 0))
+            if isinstance(result, np.ndarray):
+                return self._fresh(result, ephemeral=True)
+            return result.item() if hasattr(result, "item") else result
+        raise NotCountable(f"unsupported ndarray method .{name}")
+
+    def _call_ufunc(self, uf: np.ufunc, args: tuple, kwargs: dict):
+        out = kwargs.pop("out", None)
+        if kwargs:
+            raise NotCountable(f"ufunc keyword {sorted(kwargs)} not modeled")
+        for operand in args:
+            if isinstance(operand, TrackedArray):
+                self._load_array(operand)
+        data_args = [self._data_of(a) for a in args]
+        kind = _UFUNC_KIND.get(uf.__name__, "mul")
+        if out is not None:
+            if not isinstance(out, TrackedArray):
+                raise NotCountable("out= target must be an array")
+            try:
+                uf(*data_args, out=out.data)
+            except Exception as exc:
+                raise NotCountable(f"ufunc {uf.__name__} failed: {exc}") from None
+            self._store_ids(out.ids, out.meta.ephemeral)
+            self._charge_elems(out.data.dtype, kind, out.size)
+            return out
+        try:
+            data = np.asarray(uf(*data_args))
+        except Exception as exc:
+            raise NotCountable(f"ufunc {uf.__name__} failed: {exc}") from None
+        self._charge_elems(data.dtype, kind, data.size)
+        return self._fresh(data, ephemeral=True)
+
+    def _call_ufunc_method(self, method: _UfuncMethod, args, kwargs):
+        uf, name = method.ufunc, method.name
+        if kwargs:
+            raise NotCountable(f"ufunc.{name} keywords not modeled")
+        if name == "at":
+            target, index = args[0], args[1]
+            values = args[2] if len(args) > 2 else None
+            if not isinstance(target, TrackedArray):
+                raise NotCountable("ufunc.at target must be an array")
+            rindex = self._realize_key(index)
+            if isinstance(values, TrackedArray):
+                self._load_array(values)
+            sel_ids = target.ids[rindex]
+            self._load_ids(sel_ids, target.meta.ephemeral)
+            self._store_ids(sel_ids, target.meta.ephemeral)
+            try:
+                if values is None:
+                    uf.at(target.data, rindex)
+                else:
+                    uf.at(target.data, rindex, self._data_of(values))
+            except Exception as exc:
+                raise NotCountable(f"ufunc.at failed: {exc}") from None
+            self._charge_elems(target.data.dtype,
+                               _UFUNC_KIND.get(uf.__name__, "mul"),
+                               int(np.size(sel_ids)))
+            return None
+        # reduceat
+        source, starts = args[0], args[1]
+        for operand in (source, starts):
+            if isinstance(operand, TrackedArray):
+                self._load_array(operand)
+        try:
+            data = uf.reduceat(self._data_of(source),
+                               np.asarray(self._data_of(starts), dtype=np.intp))
+        except Exception as exc:
+            raise NotCountable(f"ufunc.reduceat failed: {exc}") from None
+        size = int(np.size(self._data_of(source)))
+        self._charge_elems(np.asarray(data).dtype,
+                           _UFUNC_KIND.get(uf.__name__, "mul"), size)
+        return self._fresh(data, ephemeral=True)
+
+    def _native_call(self, callee, args: tuple, kwargs: dict):
+        """Execute an opaque native callable for real; charge operand loads."""
+        if not callable(callee):
+            raise NotCountable(f"{callee!r} is not callable")
+        rargs = self._realize(list(args))
+        rkwargs = {k: self._realize(v) for k, v in kwargs.items()}
+        try:
+            result = callee(*rargs, **rkwargs)
+        except NotCountable:
+            raise
+        except Exception as exc:
+            name = getattr(callee, "__name__", repr(callee))
+            raise NotCountable(f"native call {name} failed: {exc}") from None
+        return self._wrap_result(result)
+
+    def _wrap_result(self, result):
+        if isinstance(result, np.ndarray):
+            return self._fresh(result, ephemeral=True)
+        if isinstance(result, (list, tuple)):
+            return type(result)(self._wrap_result(r) for r in result)
+        return result
+
+    # -- final accounting ---------------------------------------------------
+
+    def charge_output(self, value) -> None:
+        """The variant's return value is its output: charge its stores."""
+        if isinstance(value, TrackedArray):
+            flat = value.ids.ravel()
+            self.stored.update(flat.tolist())
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self.charge_output(item)
+
+    def estimate(self, variant_name: str) -> WorkEstimate:
+        return WorkEstimate(
+            variant=variant_name, countable=True,
+            flops=self.flops,
+            loads_bytes=self._bytes(self.loaded),
+            stores_bytes=self._bytes(self.stored),
+            int_ops=self.int_ops,
+        )
+
+
+# ---------------------------------------------------------------------------
+# numpy call handlers (beyond the generic native fallback)
+# ---------------------------------------------------------------------------
+
+
+def _template_shape_dtype(interp, value, dtype_kw):
+    data = interp._data_of(value)
+    shape = np.asarray(data).shape
+    dtype = dtype_kw if dtype_kw is not None else np.asarray(data).dtype
+    return shape, dtype
+
+
+def _h_alloc(ephemeral: bool, fill: Callable):
+    def handler(interp: _Interp, args, kwargs):
+        rargs = interp._realize(list(args), charge=False)
+        rkwargs = {k: interp._realize(v, charge=False)
+                   for k, v in kwargs.items()}
+        try:
+            data = fill(*rargs, **rkwargs)
+        except Exception as exc:
+            raise NotCountable(f"allocation failed: {exc}") from None
+        return interp._fresh(data, ephemeral=ephemeral)
+    return handler
+
+
+def _h_alloc_like(fill: Callable):
+    def handler(interp: _Interp, args, kwargs):
+        dtype = kwargs.get("dtype")
+        shape, dt = _template_shape_dtype(interp, args[0], dtype)
+        return interp._fresh(fill(shape, dtype=dt), ephemeral=False)
+    return handler
+
+
+def _h_asarray(interp: _Interp, args, kwargs):
+    value = args[0]
+    dtype = kwargs.get("dtype", args[1] if len(args) > 1 else None)
+    if isinstance(value, TrackedArray):
+        if dtype is None or np.dtype(dtype) == value.dtype:
+            return value  # no copy, no traffic
+        interp._load_array(value)
+        return interp._fresh(value.data.astype(dtype), ephemeral=True)
+    data = np.asarray(interp._realize(value), dtype=dtype)
+    return interp._fresh(data, ephemeral=True)
+
+
+def _h_copyto(interp: _Interp, args, kwargs):
+    dst, src = args[0], args[1]
+    if not isinstance(dst, TrackedArray):
+        raise NotCountable("np.copyto destination must be an array")
+    if isinstance(src, TrackedArray):
+        interp._load_array(src)
+    interp._store_ids(dst.ids, dst.meta.ephemeral)
+    np.copyto(dst.data, interp._data_of(src))
+    return None
+
+
+def _h_sum(interp: _Interp, args, kwargs):
+    value = args[0]
+    axis = kwargs.get("axis", args[1] if len(args) > 1 else None)
+    if not isinstance(value, TrackedArray):
+        return interp._native_call(np.sum, args, kwargs)
+    interp._load_array(value)
+    kind = "add"
+    if axis is None:
+        result = np.sum(value.data)
+        interp._charge_elems(value.data.dtype, kind, max(value.size - 1, 0))
+        return result.item() if hasattr(result, "item") else result
+    data = np.sum(value.data, axis=interp._realize(axis, charge=False))
+    interp._charge_elems(value.data.dtype, kind, value.size)
+    return interp._fresh(data, ephemeral=True)
+
+
+def _build_np_handlers() -> dict:
+    handlers = {
+        np.zeros: _h_alloc(False, np.zeros),
+        np.ones: _h_alloc(False, np.ones),
+        np.full: _h_alloc(False, np.full),
+        # np.empty contents are unspecified; zeros keep the shadow run
+        # deterministic without changing the traffic accounting
+        np.empty: _h_alloc(False, lambda *a, **k: np.zeros(*a, **k)),
+        np.arange: _h_alloc(True, np.arange),  # an index temp, not a buffer
+        np.zeros_like: _h_alloc_like(np.zeros),
+        np.empty_like: _h_alloc_like(np.zeros),
+        np.ones_like: _h_alloc_like(np.ones),
+        np.asarray: _h_asarray,
+        np.array: _h_asarray,
+        np.ascontiguousarray: _h_asarray,
+        np.copyto: _h_copyto,
+        np.sum: _h_sum,
+    }
+    return handlers
+
+
+_NP_HANDLERS = _build_np_handlers()
+
+#: callables whose cost we refuse to guess at (no source, nontrivial model)
+_OPAQUE_CALLS = {
+    np.fft.fft: "np.fft.fft is an opaque library call with no countable source",
+    np.fft.ifft: "np.fft.ifft is an opaque library call with no countable source",
+}
+
+
+def _b_minmax(fn):
+    def handler(interp: _Interp, args, kwargs):
+        if len(args) == 1 and isinstance(args[0], TrackedArray):
+            arr = args[0]
+            interp._load_array(arr)
+            result = getattr(np, fn.__name__)(arr.data)
+            interp._charge_elems(arr.data.dtype, "add", max(arr.size - 1, 0))
+            return result.item() if hasattr(result, "item") else result
+        # the scalar builtin, e.g. min(i0 + tile, n) in tiled loop bounds
+        return interp._native_call(fn, args, kwargs)
+    return handler
+
+
+def _b_isinstance(interp: _Interp, args, kwargs):
+    value, classinfo = args[0], args[1]
+    if isinstance(value, TrackedArray):
+        value = value.data
+    try:
+        return isinstance(value, classinfo)
+    except Exception as exc:
+        raise NotCountable(f"isinstance failed: {exc}") from None
+
+
+def _b_zip(interp: _Interp, args, kwargs):
+    iterators = [list(interp._iterate(a)) for a in args]
+    return [tuple(items) for items in zip(*iterators)]
+
+
+def _b_enumerate(interp: _Interp, args, kwargs):
+    start = int(interp._realize(args[1])) if len(args) > 1 else \
+        int(interp._realize(kwargs.get("start", 0)))
+    return list(enumerate(interp._iterate(args[0]), start))
+
+
+def _b_list(interp: _Interp, args, kwargs):
+    if not args:
+        return []
+    return list(interp._iterate(args[0]))
+
+
+def _b_tuple(interp: _Interp, args, kwargs):
+    if not args:
+        return ()
+    return tuple(interp._iterate(args[0]))
+
+
+_BUILTIN_HANDLERS = {
+    min: _b_minmax(min), max: _b_minmax(max), isinstance: _b_isinstance,
+    zip: _b_zip, enumerate: _b_enumerate, list: _b_list, tuple: _b_tuple,
+}
+
+
+# ---------------------------------------------------------------------------
+# probes
+# ---------------------------------------------------------------------------
+
+
+def default_probes() -> dict[str, ProbeSpec]:
+    """Probe specs for every shipped kernel family (fixed seeds, tiny sizes)."""
+    from ..kernels.fft import random_signal
+    from ..kernels.gameoflife import random_board
+    from ..kernels.histogram import random_keys
+    from ..kernels.matmul import random_matrices
+    from ..kernels.spmv import random_sparse
+    from ..kernels.stencil import init_grid
+    from ..kernels.stream import stream_arrays
+
+    def matmul(name):
+        a, b, c = random_matrices(8, seed=0)
+        return (a, b, c), (8,)
+
+    def spmv(name):
+        coo = random_sparse(12, density=0.25, seed=1)
+        if name.startswith("csr"):
+            mat = coo.to_csr()
+        elif name.startswith("csc"):
+            mat = coo.to_csc()
+        else:
+            mat = coo
+        x = np.random.default_rng(3).standard_normal(12)
+        return (mat, x), (mat,)
+
+    def stencil(name):
+        src = init_grid(10)
+        dst = np.zeros_like(src)
+        return (src, dst), (10,)
+
+    def histogram(name):
+        keys = random_keys(96, 8, seed=0)
+        return (keys, 8), (96, 8)
+
+    def stream(name):
+        a, b, c = stream_arrays(64, seed=0)
+        by_name = {"copy": (a, c), "scale": (c, b),
+                   "add": (a, b, c), "triad": (a, b, c)}
+        try:
+            args = by_name[name]
+        except KeyError:
+            raise NotCountable(f"no stream probe for variant {name!r}") from None
+        return args, args
+
+    def gameoflife(name):
+        board = random_board(10, seed=2)
+        return (board,), (10,)
+
+    def fft(name):
+        x = random_signal(16, seed=0)
+        return (x,), (16,)
+
+    return {
+        "matmul": ProbeSpec("matmul", matmul, "8x8 dense operands"),
+        "spmv": ProbeSpec("spmv", spmv, "12x12, density 0.25"),
+        "stencil": ProbeSpec("stencil", stencil, "10x10 heat plate"),
+        "histogram": ProbeSpec("histogram", histogram, "96 keys, 8 bins"),
+        "stream": ProbeSpec("stream", stream, "length-64 arrays"),
+        "gameoflife": ProbeSpec("gameoflife", gameoflife, "10x10 board"),
+        "fft": ProbeSpec("fft", fft, "length-16 signal"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def estimate_variant(variant, fn_args: tuple) -> WorkEstimate:
+    """Statically interpret one variant over probe args; never executes it."""
+    interp = _Interp()
+    try:
+        result = interp.run(variant.fn, tuple(fn_args))
+        interp.charge_output(result)
+    except NotCountable as exc:
+        return WorkEstimate(variant=variant.qualified_name, countable=False,
+                            reason=str(exc))
+    except RecursionError:
+        return WorkEstimate(variant=variant.qualified_name, countable=False,
+                            reason="interpreter recursion limit")
+    return interp.estimate(variant.qualified_name)
+
+
+def estimate_registry(registry=None, probes: Mapping[str, ProbeSpec] | None = None,
+                      kernel: str | None = None) -> dict[str, WorkEstimate]:
+    """Static work estimates for every (probed) registered variant."""
+    if registry is None:
+        from ..kernels import REGISTRY as registry  # populates the registry
+    if probes is None:
+        probes = default_probes()
+    out: dict[str, WorkEstimate] = {}
+    for variant in _select(registry, kernel):
+        spec = probes.get(variant.kernel)
+        if spec is None:
+            continue
+        try:
+            fn_args, _ = spec.build(variant.name)
+        except NotCountable as exc:
+            out[variant.qualified_name] = WorkEstimate(
+                variant=variant.qualified_name, countable=False, reason=str(exc))
+            continue
+        out[variant.qualified_name] = estimate_variant(variant, fn_args)
+    return out
+
+
+def _ratio(estimated: float, declared: float) -> float:
+    """Symmetric divergence factor (>= 1); inf when only one side is zero."""
+    if estimated <= 0 and declared <= 0:
+        return 1.0
+    if estimated <= 0 or declared <= 0:
+        return float("inf")
+    return max(estimated / declared, declared / estimated)
+
+
+def verify_workcounts(registry=None,
+                      probes: Mapping[str, ProbeSpec] | None = None,
+                      kernel: str | None = None,
+                      tolerance: float = 2.0) -> AnalysisReport:
+    """Cross-check every variant's declared WorkCount against its source.
+
+    A variant whose estimated FLOPs or total bytes diverge from the
+    declared model by ``tolerance``x or more yields a ``W001`` error —
+    downgraded to info when the variant declares ``workcount_expect``
+    metadata explaining the divergence.
+    """
+    if tolerance <= 1.0:
+        raise ValueError("tolerance must exceed 1")
+    if registry is None:
+        from ..kernels import REGISTRY as registry  # populates the registry
+    if probes is None:
+        probes = default_probes()
+    tracer = get_tracer()
+    report = AnalysisReport()
+    variants = _select(registry, kernel)
+    with tracer.span("analyze.workcount", category="analyze",
+                     variants=len(variants)):
+        for variant in variants:
+            for finding in _verify_one(variant, probes, tolerance):
+                report.add(finding)
+        tracer.count("analyze.workcount_findings", len(report))
+    return report
+
+
+def _verify_one(variant, probes, tolerance: float) -> list[Finding]:
+    qname = variant.qualified_name
+    spec = probes.get(variant.kernel)
+    if spec is None:
+        slug, severity, _ = WORKCOUNT_RULES["W002"]
+        return [Finding("W002", slug, severity, qname,
+                        f"no probe spec for kernel family {variant.kernel!r}",
+                        source="workcount")]
+    try:
+        fn_args, work_args = spec.build(variant.name)
+    except NotCountable as exc:
+        slug, severity, _ = WORKCOUNT_RULES["W002"]
+        return [Finding("W002", slug, severity, qname, str(exc),
+                        source="workcount")]
+    try:
+        declared: WorkCount = variant.work(*work_args)
+    except Exception as exc:
+        slug = WORKCOUNT_RULES["W001"][0]
+        return [Finding("W001", slug, "error", qname,
+                        f"declared work model rejected the probe: {exc}",
+                        source="workcount")]
+    est = estimate_variant(variant, fn_args)
+    if not est.countable:
+        slug, severity, _ = WORKCOUNT_RULES["W000"]
+        return [Finding("W000", slug, severity, qname, est.reason,
+                        source="workcount")]
+    expect = variant.metadata.get("workcount_expect")
+    findings = []
+    checks = []
+    if declared.flops > 0 or est.flops > 0:
+        checks.append(("flops", est.flops, declared.flops))
+    checks.append(("bytes", est.bytes_total, declared.bytes_total))
+    for quantity, estimated, stated in checks:
+        factor = _ratio(estimated, stated)
+        if factor < tolerance:
+            continue
+        slug = WORKCOUNT_RULES["W001"][0]
+        severity = "info" if expect else "error"
+        message = (f"static {quantity} estimate {estimated:.4g} vs declared "
+                   f"{stated:.4g} ({factor:.2f}x, tolerance {tolerance:g}x)")
+        if expect:
+            message += f" — expected: {expect}"
+        findings.append(Finding("W001", slug, severity, qname, message,
+                                source="workcount"))
+    return findings
+
+
+def static_app_points(registry=None,
+                      probes: Mapping[str, ProbeSpec] | None = None,
+                      kernel: str | None = None) -> list:
+    """Roofline points from static estimates — no kernel is ever executed.
+
+    Returns :class:`~repro.roofline.model.AppPoint` objects (model-only,
+    no achieved performance) for every countable variant with nonzero
+    FLOPs and traffic, ready for ``RooflineModel``/``ascii_roofline``.
+    """
+    from ..roofline.model import AppPoint
+    points = []
+    for qname, est in sorted(estimate_registry(registry, probes, kernel).items()):
+        if est.countable and est.flops > 0 and est.bytes_total > 0:
+            points.append(AppPoint.from_estimate(f"{qname} (static)", est))
+    return points

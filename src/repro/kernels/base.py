@@ -16,7 +16,8 @@ kernel/variant name.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from types import MappingProxyType
+from typing import Callable, Mapping
 
 from ..timing.metrics import WorkCount
 
@@ -87,6 +88,19 @@ class KernelVariant:
     tunables:
         Declared tunable keyword parameters of ``fn`` (empty for variants
         with nothing to tune); consumed by :mod:`repro.tuning`.
+    metadata:
+        Free-form analysis metadata.  Recognized keys:
+
+        * ``lint_expect`` — tuple of :mod:`repro.analyze` rule slugs this
+          variant *intentionally* exhibits (the scalar "basic code" students
+          start from declares ``"scalar-loop"`` here instead of being a
+          false positive).  Expected findings are reported but never fail
+          the analysis gate; expectations that stop matching are flagged as
+          stale so the metadata cannot rot.
+        * ``workcount_expect`` — reason string acknowledging that the
+          static work-count estimate legitimately diverges from the
+          declared :class:`WorkCount` model (downgrades the divergence
+          finding to informational).
     """
 
     kernel: str
@@ -96,10 +110,20 @@ class KernelVariant:
     description: str = ""
     technique: str = "baseline"
     tunables: tuple[TunableParam, ...] = ()
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # freeze the mapping so a frozen dataclass stays actually immutable
+        object.__setattr__(self, "metadata", MappingProxyType(dict(self.metadata)))
 
     @property
     def qualified_name(self) -> str:
         return f"{self.kernel}.{self.name}"
+
+    @property
+    def lint_expect(self) -> tuple[str, ...]:
+        """Rule slugs this variant intentionally exhibits (see ``metadata``)."""
+        return tuple(self.metadata.get("lint_expect", ()))
 
     @property
     def is_tunable(self) -> bool:
@@ -168,6 +192,7 @@ def register(
     description: str = "",
     technique: str = "baseline",
     tunables: tuple[TunableParam, ...] = (),
+    metadata: Mapping[str, object] | None = None,
 ):
     """Decorator registering a function as a kernel variant."""
 
@@ -181,6 +206,7 @@ def register(
                 description=description,
                 technique=technique,
                 tunables=tuple(tunables),
+                metadata=dict(metadata or {}),
             )
         )
         return fn

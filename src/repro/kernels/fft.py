@@ -69,7 +69,10 @@ def random_signal(n: int, seed: int = 0) -> np.ndarray:
     return rng.standard_normal(n) + 1j * rng.standard_normal(n)
 
 
-@register("fft", "dft", dft_work, "direct O(n^2) DFT — the naive reference")
+@register("fft", "dft", dft_work, "direct O(n^2) DFT — the naive reference",
+          metadata={"workcount_expect":
+                    "rebuilds the complex twiddle row per output bin; the "
+                    "declared 8n^2 model counts only the multiply-accumulate"})
 def dft_direct(x: np.ndarray) -> np.ndarray:
     """Direct DFT by summation (vectorized inner product per output)."""
     x = np.asarray(x, dtype=complex)
@@ -84,7 +87,10 @@ def dft_direct(x: np.ndarray) -> np.ndarray:
 
 
 @register("fft", "recursive", fft_work, "textbook recursive Cooley-Tukey",
-          technique="algorithmic")
+          technique="algorithmic",
+          metadata={"workcount_expect":
+                    "recomputes np.exp twiddle factors at every recursion "
+                    "level; the declared 5n·log2(n) model assumes them free"})
 def fft_recursive(x: np.ndarray) -> np.ndarray:
     """Recursive radix-2 Cooley-Tukey FFT."""
     x = np.asarray(x, dtype=complex)
@@ -114,7 +120,8 @@ def bit_reverse_permutation(n: int) -> np.ndarray:
 
 
 @register("fft", "iterative", fft_work,
-          "bit-reversal + iterative butterflies (scalar)", technique="loop-restructuring")
+          "bit-reversal + iterative butterflies (scalar)", technique="loop-restructuring",
+          metadata={"lint_expect": ("scalar-loop",)})
 def fft_iterative(x: np.ndarray) -> np.ndarray:
     """Iterative in-place radix-2 FFT with scalar butterflies."""
     x = np.asarray(x, dtype=complex)
@@ -139,7 +146,8 @@ def fft_iterative(x: np.ndarray) -> np.ndarray:
 
 @register("fft", "vectorized", fft_work,
           "iterative schedule with whole-stage numpy butterflies",
-          technique="vectorization")
+          technique="vectorization",
+          metadata={"lint_expect": ("loop-alloc",)})
 def fft_vectorized(x: np.ndarray) -> np.ndarray:
     """Iterative FFT performing each stage as array-wide operations."""
     x = np.asarray(x, dtype=complex)

@@ -87,7 +87,8 @@ def _apply_rules(board: np.ndarray, neighbours: np.ndarray) -> np.ndarray:
             | ((board == 0) & (neighbours == 3))).astype(np.uint8)
 
 
-@register("gameoflife", "scalar", life_work, "nested-loop Life generation")
+@register("gameoflife", "scalar", life_work, "nested-loop Life generation",
+          metadata={"lint_expect": ("scalar-loop",)})
 def life_step_scalar(board: np.ndarray) -> np.ndarray:
     """One generation with explicit loops; dead cells beyond the edge."""
     _check_board(board)

@@ -161,7 +161,8 @@ matmul_kji = register("matmul", "kji", matmul_work,
 @register("matmul", "tiled", matmul_work,
           "scalar loop blocked into cache-sized tiles", technique="tiling",
           tunables=(TunableParam("tile", "pow2", 32, low=4, high=256,
-                                 description="square tile edge (elements)"),))
+                                 description="square tile edge (elements)"),),
+          metadata={"lint_expect": ("scalar-loop",)})
 def matmul_tiled(a: np.ndarray, b: np.ndarray, c: np.ndarray, tile: int = 32) -> np.ndarray:
     """Cache-blocked scalar matmul with square tiles of edge ``tile``.
 

@@ -253,15 +253,17 @@ def _work_from_matrix(matrix, _x=None) -> WorkCount:
     return spmv_work(matrix.shape[0], matrix.shape[1], matrix.nnz)
 
 
-@register("spmv", "csr_scalar", _work_from_matrix, "row-wise scalar CSR SpMV")
+@register("spmv", "csr_scalar", _work_from_matrix, "row-wise scalar CSR SpMV",
+          metadata={"lint_expect": ("scalar-loop",)})
 def spmv_csr_scalar(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
     """Scalar CSR SpMV: sequential row scan, gathered x accesses."""
     _check_x(a, x)
+    indptr, indices, data = a.indptr, a.indices, a.data  # hoisted lookups
     y = np.zeros(a.shape[0])
     for i in range(a.shape[0]):
         acc = 0.0
-        for p in range(a.indptr[i], a.indptr[i + 1]):
-            acc += a.data[p] * x[a.indices[p]]
+        for p in range(indptr[i], indptr[i + 1]):
+            acc += data[p] * x[indices[p]]
         y[i] = acc
     return y
 
@@ -352,7 +354,8 @@ def spmv_csr_chunked(a: CSRMatrix, x: np.ndarray, workers: int = 2,
 
 
 @register("spmv", "csc_scalar", _work_from_matrix,
-          "column-wise scalar CSC SpMV (scattered y updates)")
+          "column-wise scalar CSC SpMV (scattered y updates)",
+          metadata={"lint_expect": ("scalar-loop",)})
 def spmv_csc_scalar(a: CSCMatrix, x: np.ndarray) -> np.ndarray:
     """Scalar CSC SpMV: streams columns, scatters into y.
 
@@ -361,11 +364,12 @@ def spmv_csc_scalar(a: CSCMatrix, x: np.ndarray) -> np.ndarray:
     atomics.
     """
     _check_x(a, x)
+    indptr, indices, data = a.indptr, a.indices, a.data  # hoisted lookups
     y = np.zeros(a.shape[0])
     for j in range(a.shape[1]):
         xj = x[j]
-        for p in range(a.indptr[j], a.indptr[j + 1]):
-            y[a.indices[p]] += a.data[p] * xj
+        for p in range(indptr[j], indptr[j + 1]):
+            y[indices[p]] += data[p] * xj
     return y
 
 
@@ -383,7 +387,8 @@ def spmv_csc_numpy(a: CSCMatrix, x: np.ndarray) -> np.ndarray:
     return y
 
 
-@register("spmv", "coo_scalar", _work_from_matrix, "triplet-stream scalar COO SpMV")
+@register("spmv", "coo_scalar", _work_from_matrix, "triplet-stream scalar COO SpMV",
+          metadata={"lint_expect": ("scalar-loop",)})
 def spmv_coo_scalar(a: COOMatrix, x: np.ndarray) -> np.ndarray:
     """Scalar COO SpMV: one scattered update per triplet."""
     _check_x(a, x)

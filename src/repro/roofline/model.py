@@ -103,6 +103,18 @@ class AppPoint:
         achieved = flops / seconds if seconds else None
         return cls(name, flops / traffic_bytes, achieved)
 
+    @classmethod
+    def from_estimate(cls, name: str, estimate,
+                      seconds: float | None = None) -> "AppPoint":
+        """Point from a static :class:`~repro.analyze.WorkEstimate`.
+
+        Places a kernel variant on the roofline *without executing it* —
+        the estimate comes from the work-count verifier's shadow
+        interpretation of the variant's source.
+        """
+        return cls.from_traffic(name, estimate.flops, estimate.bytes_total,
+                                seconds)
+
 
 class RooflineModel:
     """A machine roofline: one or more compute and bandwidth ceilings.

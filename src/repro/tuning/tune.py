@@ -37,6 +37,23 @@ from .strategies import SearchStrategy
 __all__ = ["space_for", "tune", "tune_variant"]
 
 
+def _warn_on_hazards(variant: KernelVariant) -> None:
+    """Warn (never fail) when the static hazard pass flags the variant."""
+    import warnings
+
+    from ..analyze.hazards import hazards_variant
+    from ..observe import get_tracer
+
+    hazards = [f for f in hazards_variant(variant) if f.gating]
+    if hazards:
+        get_tracer().count("tuning.hazard_warnings", len(hazards))
+        details = "; ".join(str(f) for f in hazards)
+        warnings.warn(
+            f"tuning {variant.qualified_name} with {len(hazards)} open "
+            f"shared-memory hazard finding(s): {details}",
+            RuntimeWarning, stacklevel=3)
+
+
 def _as_parameter(t: TunableParam) -> Parameter:
     if t.kind == "int":
         return IntegerParam(t.name, low=t.low, high=t.high, step=t.step,
@@ -139,7 +156,13 @@ def tune_variant(variant: KernelVariant,
     (operands, grids, ...); the searched configuration is passed as keyword
     arguments — exactly the registry convention where tunables are keyword
     parameters of ``variant.fn``.
+
+    Before searching, the variant's chunked workers are screened by the
+    static hazard detector (:mod:`repro.analyze.hazards`); open
+    error-severity findings raise a :class:`RuntimeWarning` — tuning a racy
+    worker optimizes a kernel whose results are not trustworthy.
     """
+    _warn_on_hazards(variant)
     space = space_for(variant, constraints=constraints, overrides=overrides)
     objective = timed_objective(variant.fn, setup,
                                 warmup=warmup, repetitions=repetitions)

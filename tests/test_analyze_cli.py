@@ -1,0 +1,74 @@
+"""CLI: ``python -m repro.analyze`` subcommands, output modes, exit codes."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.kernels
+from repro.analyze.__main__ import main
+from repro.kernels.base import KernelRegistry, KernelVariant
+from repro.timing.metrics import WorkCount
+from tests.test_analyze_hazards import racy_variant_fn
+
+
+def _work(n):
+    return WorkCount(flops=float(n), loads_bytes=8.0 * n, stores_bytes=8.0 * n)
+
+
+@pytest.fixture
+def racy_registry(monkeypatch):
+    """Swap the global registry for one containing an injected racy worker."""
+    reg = KernelRegistry()
+    reg.add(KernelVariant(kernel="fixture", name="racy",
+                          fn=racy_variant_fn, work=_work))
+    monkeypatch.setattr(repro.kernels, "REGISTRY", reg)
+    return reg
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("pass_name", ["lint", "workcount", "hazards", "all"])
+    def test_shipped_registry_gates_clean(self, pass_name, capsys):
+        assert main([pass_name]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_injected_racy_worker_fails_gate(self, racy_registry, capsys):
+        assert main(["hazards"]) == 1
+        out = capsys.readouterr().out
+        assert "H002" in out and "unprivatized-accumulation" in out
+
+    def test_all_includes_hazard_errors(self, racy_registry):
+        assert main(["all"]) == 1
+
+
+class TestOptions:
+    def test_kernel_filter(self, capsys):
+        assert main(["lint", "--kernel", "stencil", "--show-expected"]) == 0
+        out = capsys.readouterr().out
+        assert "stencil." in out
+        assert "matmul." not in out
+
+    def test_json_output_is_parseable(self, capsys):
+        main(["all", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert set(payload["counts"]) == {"error", "warning", "info", "expected"}
+
+    def test_expected_hidden_by_default(self, capsys):
+        main(["lint"])
+        out = capsys.readouterr().out
+        assert "EXPECTED" not in out
+        assert "--show-expected" in out  # the hint that some are hidden
+
+    def test_show_expected_lists_them(self, capsys):
+        main(["lint", "--show-expected"])
+        assert "EXPECTED" in capsys.readouterr().out
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_unknown_kernel_errors(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--kernel", "nope"])
+        assert exc.value.code == 2

@@ -1,0 +1,173 @@
+"""Performance linter: rules, suppression, and the shipped-registry gate."""
+
+import numpy as np
+import pytest
+
+from repro.analyze import LINT_RULES, AnalysisReport, lint_registry, lint_variant
+from repro.analyze.lint import function_ast
+from repro.kernels import REGISTRY
+from repro.kernels.base import KernelVariant
+from repro.timing.metrics import WorkCount
+
+
+def _work(n):
+    return WorkCount(flops=float(n), loads_bytes=8.0 * n, stores_bytes=8.0 * n)
+
+
+def _variant(fn, technique="baseline", metadata=None, name="fix"):
+    return KernelVariant(kernel="fixture", name=name, fn=fn, work=_work,
+                        technique=technique, metadata=metadata or {})
+
+
+# -- fixture kernels (module-level so inspect.getsource works) --------------
+
+def scalar_loop_kernel(a, out):
+    for i in range(a.shape[0]):
+        out[i] = a[i] * 2.0
+    return out
+
+
+def loop_alloc_kernel(a):
+    total = np.zeros_like(a)
+    for _ in range(4):
+        tmp = np.zeros(a.shape[0])
+        total += tmp
+    return total
+
+
+def range_len_kernel(items):
+    acc = 0.0
+    for i in range(len(items)):
+        acc += items[i]
+    return acc
+
+
+def invariant_lookup_kernel(mat, x):
+    y = np.zeros(mat.shape[0])
+    for i in range(mat.shape[0]):
+        for j in range(mat.shape[1]):
+            y[i] += mat.data[i, j] * x[j]
+    return y
+
+
+def dot_kernel(a, b):
+    return np.dot(a, b)
+
+
+def missing_out_kernel(a, b, c):
+    c[:] = 0.25 * (a + b) + a * b
+    return c
+
+
+def clean_kernel(a, b, c):
+    np.multiply(a, b, out=c)
+    return c
+
+
+# -- rule firing ------------------------------------------------------------
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestRules:
+    def test_scalar_loop_warns_on_baseline(self):
+        findings = lint_variant(_variant(scalar_loop_kernel))
+        hits = [f for f in findings if f.rule == "L001"]
+        assert hits and all(f.severity == "warning" for f in hits)
+
+    def test_scalar_loop_errors_when_technique_claims_vectorized(self):
+        findings = lint_variant(_variant(scalar_loop_kernel,
+                                        technique="vectorization"))
+        hits = [f for f in findings if f.rule == "L001"]
+        assert hits and all(f.severity == "error" for f in hits)
+        assert any("vectorized" in f.message for f in hits)
+
+    def test_loop_alloc(self):
+        assert "L002" in _rules(lint_variant(_variant(loop_alloc_kernel)))
+
+    def test_range_len(self):
+        assert "L003" in _rules(lint_variant(_variant(range_len_kernel)))
+
+    def test_invariant_lookup(self):
+        findings = lint_variant(_variant(invariant_lookup_kernel))
+        hits = [f for f in findings if f.rule == "L004"]
+        assert any("mat.data" in f.message for f in hits)
+
+    def test_dot_matmul(self):
+        assert "L005" in _rules(lint_variant(_variant(dot_kernel)))
+
+    def test_missing_out(self):
+        assert "L006" in _rules(lint_variant(_variant(missing_out_kernel)))
+
+    def test_clean_kernel_has_no_findings(self):
+        assert lint_variant(_variant(clean_kernel)) == []
+
+    def test_findings_carry_line_numbers(self):
+        findings = lint_variant(_variant(scalar_loop_kernel))
+        assert all(f.lineno > 0 for f in findings)
+
+
+# -- suppression ------------------------------------------------------------
+
+class TestLintExpect:
+    def test_expected_downgrades_matching_findings(self):
+        v = _variant(scalar_loop_kernel,
+                     metadata={"lint_expect": ("scalar-loop",)})
+        findings = lint_variant(v)
+        assert all(f.severity == "expected"
+                   for f in findings if f.rule == "L001")
+
+    def test_expected_never_gates(self):
+        v = _variant(scalar_loop_kernel, technique="vectorization",
+                     metadata={"lint_expect": ("scalar-loop",)})
+        report = AnalysisReport(lint_variant(v))
+        assert report.ok
+
+    def test_stale_expectation_is_flagged(self):
+        v = _variant(clean_kernel, metadata={"lint_expect": ("scalar-loop",)})
+        findings = lint_variant(v)
+        assert [f.rule for f in findings] == ["L000"]
+        assert "no longer fires" in findings[0].message
+
+    def test_unknown_expectation_is_flagged(self):
+        v = _variant(clean_kernel, metadata={"lint_expect": ("no-such-rule",)})
+        findings = lint_variant(v)
+        assert [f.rule for f in findings] == ["L000"]
+        assert "no such rule" in findings[0].message
+
+
+# -- registry sweep ---------------------------------------------------------
+
+class TestRegistrySweep:
+    def test_shipped_registry_is_clean(self):
+        report = lint_registry(REGISTRY)
+        assert report.ok, report.render_text()
+        # intentional anti-patterns are declared, not silently absent
+        assert report.by_severity("expected")
+
+    def test_no_stale_expectations_in_shipped_registry(self):
+        report = lint_registry(REGISTRY)
+        assert not [f for f in report.findings if f.rule == "L000"]
+
+    def test_kernel_filter(self):
+        report = lint_registry(REGISTRY, kernel="stencil")
+        assert all(f.variant.startswith("stencil.") for f in report.findings)
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            lint_registry(REGISTRY, kernel="nope")
+
+    def test_deterministic(self):
+        a = lint_registry(REGISTRY).to_json()
+        b = lint_registry(REGISTRY).to_json()
+        assert a == b
+
+    def test_every_registered_variant_has_parsable_source(self):
+        for v in REGISTRY.variants_of("matmul"):
+            assert function_ast(v.fn) is not None
+
+
+def test_rule_table_slugs_are_unique():
+    slugs = [slug for slug, _, _ in LINT_RULES.values()]
+    assert len(slugs) == len(set(slugs))

@@ -1,0 +1,196 @@
+"""Work-count verifier: shadow-interpreted estimates vs declared models."""
+
+import numpy as np
+import pytest
+
+from repro.analyze import (
+    WorkEstimate,
+    estimate_registry,
+    estimate_variant,
+    static_app_points,
+    verify_workcounts,
+)
+from repro.analyze.workcount import ProbeSpec, default_probes
+from repro.kernels import REGISTRY
+from repro.kernels.base import KernelRegistry, KernelVariant
+from repro.roofline import AppPoint
+from repro.timing.metrics import WorkCount
+
+N = 8
+
+
+# -- fixture kernels --------------------------------------------------------
+
+def triad_kernel(a, b, c):
+    c[:] = a + 2.0 * b
+    return c
+
+
+def triad_work(n):
+    return WorkCount(flops=2.0 * n, loads_bytes=16.0 * n, stores_bytes=8.0 * n)
+
+
+def triad_work_wrong(n):
+    # flops off by 4x — must trip the 2x tolerance
+    return WorkCount(flops=8.0 * n, loads_bytes=16.0 * n, stores_bytes=8.0 * n)
+
+
+def _probes():
+    def build(name):
+        a = np.arange(float(N))
+        b = np.ones(N)
+        c = np.zeros(N)
+        return (a, b, c), (N,)
+    return {"fixture": ProbeSpec("fixture", build)}
+
+
+def _variant(fn, work, metadata=None, name="triad"):
+    return KernelVariant(kernel="fixture", name=name, fn=fn, work=work,
+                        metadata=metadata or {})
+
+
+def _registry(*variants):
+    reg = KernelRegistry()
+    for v in variants:
+        reg.add(v)
+    return reg
+
+
+# -- the interpreter itself -------------------------------------------------
+
+class TestEstimate:
+    def test_exact_counts_for_streaming_kernel(self):
+        est = estimate_variant(_variant(triad_kernel, triad_work),
+                               _probes()["fixture"].build("triad")[0])
+        assert est.countable
+        assert est.flops == 2.0 * N          # one mul + one add per element
+        assert est.loads_bytes == 16.0 * N   # a and b, once each
+        assert est.stores_bytes == 8.0 * N   # c, once
+
+    def test_unique_cell_traffic_not_double_counted(self):
+        def reread(a, c):
+            c[:] = a + a + a  # a read three times, but compulsory once
+            return c
+        est = estimate_variant(_variant(reread, triad_work, name="reread"),
+                               (np.ones(N), np.zeros(N)))
+        assert est.loads_bytes == 8.0 * N
+
+    def test_uncountable_source_reports_reason(self):
+        def with_stmt(a, c):
+            with open("/dev/null"):
+                c[:] = a
+            return c
+        est = estimate_variant(_variant(with_stmt, triad_work, name="ws"),
+                               (np.ones(N), np.zeros(N)))
+        assert not est.countable
+        assert "with-statement" in est.reason
+
+    def test_intensity_property(self):
+        est = WorkEstimate(variant="x", countable=True, flops=10.0,
+                           loads_bytes=4.0, stores_bytes=1.0)
+        assert est.bytes_total == 5.0
+        assert est.intensity == 2.0
+
+
+# -- verification -----------------------------------------------------------
+
+class TestVerify:
+    def test_accurate_model_passes(self):
+        report = verify_workcounts(_registry(_variant(triad_kernel, triad_work)),
+                                   probes=_probes())
+        assert report.ok and len(report) == 0
+
+    def test_model_off_by_2x_flagged_with_rule_id(self):
+        report = verify_workcounts(
+            _registry(_variant(triad_kernel, triad_work_wrong)),
+            probes=_probes())
+        assert not report.ok
+        assert [f.rule for f in report.errors] == ["W001"]
+        assert "flops" in report.errors[0].message
+
+    def test_workcount_expect_downgrades_to_info(self):
+        report = verify_workcounts(
+            _registry(_variant(triad_kernel, triad_work_wrong,
+                               metadata={"workcount_expect": "fixture reason"})),
+            probes=_probes())
+        assert report.ok
+        infos = report.by_severity("info")
+        assert infos and "fixture reason" in infos[0].message
+
+    def test_missing_probe_is_info_not_error(self):
+        report = verify_workcounts(_registry(_variant(triad_kernel, triad_work)),
+                                   probes={})
+        assert report.ok
+        assert [f.rule for f in report.findings] == ["W002"]
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            verify_workcounts(_registry(), probes={}, tolerance=1.0)
+
+
+# -- acceptance: shipped registry -------------------------------------------
+
+class TestShippedRegistry:
+    def test_no_unsuppressed_divergence(self):
+        report = verify_workcounts(REGISTRY)
+        assert report.ok, report.render_text()
+
+    @pytest.mark.parametrize("kernel", ["matmul", "spmv", "stencil"])
+    def test_static_intensity_agrees_with_declared(self, kernel):
+        """Acceptance: static AI within tolerance of the declared model."""
+        probes = default_probes()
+        spec = probes[kernel]
+        for variant in REGISTRY.variants_of(kernel):
+            est = estimate_registry(REGISTRY, probes,
+                                    kernel=kernel).get(variant.qualified_name)
+            if est is None or not est.countable:
+                continue
+            _, work_args = spec.build(variant.name)
+            declared = variant.work(*work_args)
+            # the verifier's tolerance applies per quantity; intensity is
+            # their quotient, so its window is the product of the two
+            if declared.flops > 0:
+                f = max(est.flops / declared.flops, declared.flops / est.flops)
+                assert f < 2.0, f"{variant.qualified_name}: flops {f:.2f}x off"
+            b = max(est.bytes_total / declared.bytes_total,
+                    declared.bytes_total / est.bytes_total)
+            assert b < 2.0, f"{variant.qualified_name}: bytes {b:.2f}x off"
+            ratio = est.intensity / declared.intensity
+            assert 0.25 <= ratio <= 4.0, \
+                f"{variant.qualified_name}: static {est.intensity:.3f} " \
+                f"vs declared {declared.intensity:.3f}"
+
+    def test_csr_scalar_estimate_is_countable(self):
+        probes = default_probes()
+        ests = estimate_registry(REGISTRY, probes, kernel="spmv")
+        assert ests["spmv.csr_scalar"].countable
+
+    def test_deterministic(self):
+        a = verify_workcounts(REGISTRY).to_json()
+        b = verify_workcounts(REGISTRY).to_json()
+        assert a == b
+
+
+# -- roofline placement without execution -----------------------------------
+
+class TestStaticRoofline:
+    def test_points_plot_without_running_kernels(self):
+        points = static_app_points(REGISTRY, kernel="matmul")
+        assert points
+        for p in points:
+            assert isinstance(p, AppPoint)
+            assert p.intensity > 0
+            assert p.achieved_flops_per_s is None  # model-only: never ran
+
+    def test_from_estimate_matches_from_traffic(self):
+        est = WorkEstimate(variant="x", countable=True, flops=100.0,
+                           loads_bytes=40.0, stores_bytes=10.0)
+        p = AppPoint.from_estimate("x", est)
+        assert p.intensity == pytest.approx(2.0)
+
+    def test_points_land_on_a_roofline_model(self):
+        from repro.machine import generic_server_cpu
+        from repro.roofline import cpu_roofline
+        model = cpu_roofline(generic_server_cpu())
+        for p in static_app_points(REGISTRY, kernel="stencil"):
+            assert model.attainable(p.intensity) > 0

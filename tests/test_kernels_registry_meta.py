@@ -1,0 +1,78 @@
+"""Registry metadata consistency: the contracts the analyzer relies on.
+
+Every registered variant must (1) have retrievable, parsable source —
+the static passes are useless otherwise; (2) declare tunables that are
+real keyword parameters of its callable with matching defaults; (3) ship
+a WorkCount model that accepts the probe shapes the analysis fixtures
+use; (4) carry only recognized analysis metadata.
+"""
+
+import inspect
+
+import pytest
+
+from repro.analyze.hazards import HAZARD_RULES
+from repro.analyze.lint import LINT_RULES, function_ast
+from repro.analyze.workcount import default_probes
+from repro.kernels import REGISTRY
+from repro.timing.metrics import WorkCount
+
+ALL_VARIANTS = sorted(
+    (v for k in REGISTRY.kernels() for v in REGISTRY.variants_of(k)),
+    key=lambda v: v.qualified_name)
+IDS = [v.qualified_name for v in ALL_VARIANTS]
+
+_KNOWN_SLUGS = {slug for slug, _, _ in LINT_RULES.values()} \
+    | {slug for slug, _, _ in HAZARD_RULES.values()}
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS, ids=IDS)
+class TestPerVariant:
+    def test_source_retrievable_and_parsable(self, variant):
+        source = inspect.getsource(variant.fn)
+        assert source.strip()
+        assert function_ast(variant.fn) is not None
+
+    def test_tunables_are_keyword_params_with_matching_defaults(self, variant):
+        params = inspect.signature(variant.fn).parameters
+        for tunable in variant.tunables:
+            assert tunable.name in params, \
+                f"{variant.qualified_name}: tunable {tunable.name!r} is not " \
+                f"a parameter of {variant.fn.__name__}"
+            param = params[tunable.name]
+            assert param.default is not inspect.Parameter.empty, \
+                f"{variant.qualified_name}: tunable {tunable.name!r} has no " \
+                f"keyword default"
+            assert param.default == tunable.default, \
+                f"{variant.qualified_name}: tunable default " \
+                f"{tunable.default!r} != signature default {param.default!r}"
+
+    def test_work_model_accepts_probe_shapes(self, variant):
+        spec = default_probes().get(variant.kernel)
+        assert spec is not None, \
+            f"no probe spec for kernel family {variant.kernel!r}"
+        _, work_args = spec.build(variant.name)
+        work = variant.work(*work_args)
+        assert isinstance(work, WorkCount)
+        assert work.flops >= 0
+        assert work.bytes_total > 0
+
+    def test_lint_expect_slugs_are_recognized(self, variant):
+        for slug in variant.lint_expect:
+            assert slug in _KNOWN_SLUGS, \
+                f"{variant.qualified_name}: unknown lint_expect slug {slug!r}"
+
+    def test_workcount_expect_is_a_reason_string(self, variant):
+        expect = variant.metadata.get("workcount_expect")
+        if expect is not None:
+            assert isinstance(expect, str) and len(expect) > 10
+
+
+def test_metadata_is_immutable():
+    variant = ALL_VARIANTS[0]
+    with pytest.raises(TypeError):
+        variant.metadata["x"] = 1  # MappingProxyType
+
+
+def test_registry_covers_every_probe_family():
+    assert set(default_probes()) == set(REGISTRY.kernels())
