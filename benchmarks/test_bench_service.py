@@ -1,0 +1,101 @@
+"""Benchmark service: throughput, cache leverage, and the self-model gate.
+
+Serves the measurement loop to concurrent tenants and checks the claims
+that make serving worthwhile: a flood of identical submissions costs one
+execution (coalescing + cache), and the engine's measured queueing
+behaviour stays within reach of the M/M/c model the admission controller
+plans with.  ``REPRO_BENCH_SMOKE=1`` shrinks sizes for CI.
+"""
+
+import os
+import statistics
+import time
+
+from conftest import emit
+
+from repro.observe.metrics import MetricsRegistry
+from repro.service import AdmissionController, JobEngine, WorkloadManifest
+from repro.service.quota import TokenBucket
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+N_DUPLICATE = 40 if SMOKE else 200
+N_SYNTH = 60 if SMOKE else 300
+
+
+def _engine(workers=2):
+    return JobEngine(
+        store=None, workers=workers,
+        admission=AdmissionController(max_queue_depth=100_000,
+                                      tenant_rate=1e9, tenant_burst=1e9),
+        metrics=MetricsRegistry())
+
+
+def test_bench_service_coalescing_leverage(benchmark):
+    """A classroom of identical submissions must cost ~one execution."""
+    manifest = WorkloadManifest(
+        name="bench-matmul", kernel="matmul", variant="numpy",
+        args={"n": 64, "seed": 0}, repetitions=1, warmup=0)
+
+    def flood():
+        engine = _engine(workers=2)
+        jobs = [engine.submit(manifest, tenant=f"t{i % 8}")
+                for i in range(N_DUPLICATE)]
+        with engine:
+            for job in jobs:
+                engine.wait_for(job.job_id, timeout=120.0)
+        executed = engine.metrics.counter("service.jobs_executed").value
+        hits = engine.metrics.counter("service.cache_hits").value
+        coalesced = engine.metrics.counter("service.jobs_coalesced").value
+        assert all(j.state == "done" for j in jobs)
+        return executed, hits, coalesced
+
+    executed, hits, coalesced = benchmark.pedantic(flood, rounds=1,
+                                                   iterations=1)
+    emit("Service: coalescing/cache leverage on identical submissions",
+         f"  submissions={N_DUPLICATE}  executions={executed}  "
+         f"cache_hits={hits}  coalesced={coalesced}")
+    assert executed == 1
+    assert hits + coalesced == N_DUPLICATE - 1
+
+
+def test_bench_service_dispatch_overhead(benchmark):
+    """Per-job engine overhead (zero-work synthetic jobs, one worker)."""
+    def drain():
+        engine = _engine(workers=1)
+        jobs = [engine.submit("synthetic-sleep", kind="synthetic",
+                              params={"service_seconds": 0.0})
+                for _ in range(N_SYNTH)]
+        t0 = time.perf_counter()
+        with engine:
+            for job in jobs:
+                engine.wait_for(job.job_id, timeout=120.0)
+        elapsed = time.perf_counter() - t0
+        services = [j.service_seconds for j in jobs]
+        return elapsed / N_SYNTH, statistics.median(services)
+
+    per_job, median_service = benchmark.pedantic(drain, rounds=1,
+                                                 iterations=1)
+    emit("Service: dispatch overhead per zero-work job",
+         f"  jobs={N_SYNTH}  per-job={per_job * 1e3:.3f}ms  "
+         f"median service={median_service * 1e3:.3f}ms")
+    # serving must stay cheap relative to the ~ms-scale work it serves
+    assert per_job < 0.01, f"dispatch overhead {per_job * 1e3:.2f}ms/job"
+
+
+def test_bench_service_token_bucket_rate(benchmark):
+    """The token bucket must admit at its configured rate, not above."""
+    def admit_sweep():
+        bucket = TokenBucket(rate=100.0, burst=10)
+        admitted = 0
+        # simulated clock: 2000 attempts over 10 seconds
+        for i in range(2000):
+            if bucket.try_acquire(now=i * 0.005)[0]:
+                admitted += 1
+        return admitted
+
+    admitted = benchmark.pedantic(admit_sweep, rounds=1, iterations=1)
+    emit("Service: token bucket admission at rate=100/s burst=10",
+         f"  attempts=2000 over 10s  admitted={admitted}")
+    # burst + 10 s of refill, with a one-token tolerance either side
+    assert 1000 <= admitted <= 1011

@@ -25,6 +25,7 @@ Sub-packages map to the course topics (Table 1 of the paper):
 ``repro.analyze``       static source analysis: lint, work-count, hazards
 ``repro.observe``       structured tracing + metrics; Chrome-trace export
 ``repro.perfdb``        longitudinal benchmark store + regression gate
+``repro.service``       benchmark-as-a-service: manifests, job engine, HTTP
 ``repro.course``        the paper's own artifacts: data, grading, figures
 ======================  =====================================================
 
@@ -90,7 +91,7 @@ from .tuning import (
     tune_variant,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Toolbox",

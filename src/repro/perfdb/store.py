@@ -1,18 +1,33 @@
-"""Append-only JSONL store for benchmark run records.
+"""Sharded append-only JSONL store for benchmark run records.
 
-One :class:`~repro.perfdb.record.RunRecord` per line in ``runs.jsonl``
-under the store directory (default ``.perfdb/``, gitignored).  The format
-is deliberately boring — append-only newline-delimited JSON — because the
-paper's measurement discipline demands artifacts that survive crashes,
-concurrent writers, and future readers:
+One :class:`~repro.perfdb.record.RunRecord` per line, spread over shard
+files under the store directory (default ``.perfdb/``, gitignored).  The
+format is deliberately boring — append-only newline-delimited JSON —
+because the paper's measurement discipline demands artifacts that survive
+crashes, concurrent writers, and future readers:
 
 * appends are a single ``O_APPEND`` ``write()`` of one complete line, so
   two processes recording at once never interleave bytes of a record;
 * loading tolerates a corrupt or truncated line (a crash mid-append, a
   botched merge) by warning and skipping it, never by refusing the rest
-  of the history;
+  of the history; every skip is tallied on :attr:`PerfStore.corrupt_lines`
+  and the process-wide ``perfdb.corrupt_lines`` observe counter, so a
+  serving layer can surface store health instead of losing it to a
+  warning stream;
 * records from an unknown schema version are rejected cleanly — warned
   about and skipped — instead of being misread.
+
+Sharding: the original flat ``runs.jsonl`` is still read and is still
+where tenant-less appends land, so existing tooling keeps working — but
+``append(record, tenant=...)`` routes to ``shards/<tenant>/<group>.jsonl``
+(group derived from the record's benchmark ids), one file per
+tenant × benchmark family.  Many concurrent tenants then append to
+*different* files instead of serializing on one inode, per-tenant history
+reads touch only that tenant's shards, and :meth:`compact` can rewrite a
+shard (dropping corrupt lines and duplicate run ids) plus refresh
+``index.json`` — a per-file benchmark inventory that lets
+:meth:`history` skip shards that cannot contain the queried benchmark.
+:meth:`migrate` moves a legacy flat store into shards wholesale.
 
 The baseline pin (``baseline.json``) names the run every ``compare``
 defaults to; promoting a new baseline is an atomic rename.
@@ -22,19 +37,51 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import warnings
 from pathlib import Path
 
+from ..observe.metrics import METRICS
 from .record import RunRecord, SchemaMismatch
 
-__all__ = ["PerfStoreWarning", "PerfStore", "DEFAULT_STORE_DIR"]
+__all__ = ["PerfStoreWarning", "PerfStore", "DEFAULT_STORE_DIR",
+           "DEFAULT_TENANT"]
 
 #: Where the store lives unless the caller (or ``REPRO_PERFDB``) says else.
 DEFAULT_STORE_DIR = ".perfdb"
 
+#: Tenant that legacy flat-store records are migrated under.
+DEFAULT_TENANT = "default"
+
+_SAFE_COMPONENT = re.compile(r"[^A-Za-z0-9._-]+")
+
 
 class PerfStoreWarning(UserWarning):
     """A store file contained something unreadable that was skipped."""
+
+
+def _safe(component: str) -> str:
+    """Filesystem-safe shard path component (never empty, never dotfiles)."""
+    cleaned = _SAFE_COMPONENT.sub("_", component).strip("._")
+    return cleaned or "x"
+
+
+def _record_group(record: RunRecord) -> str:
+    """Shard group of a record: the leading benchmark of its ids.
+
+    ``service/matmul-small`` shards as ``service_matmul-small`` and a
+    pytest node id ``benchmarks/test_bench_x.py::t`` as
+    ``benchmarks_test_bench_x.py`` — per-benchmark files, so one tenant's
+    workloads append to different inodes.  Records mixing several
+    benchmarks land in ``mixed`` so a group name never lies about its
+    contents.
+    """
+    groups = {"_".join(_safe(c) for c in
+                       bid.replace("::", "/").split("/")[:2])
+              for bid in record.benchmarks}
+    if len(groups) == 1:
+        return groups.pop()
+    return "mixed"
 
 
 class PerfStore:
@@ -44,43 +91,84 @@ class PerfStore:
         if root is None:
             root = os.environ.get("REPRO_PERFDB", DEFAULT_STORE_DIR)
         self.root = Path(root)
+        #: Unreadable lines skipped by this store instance's reads so far.
+        self.corrupt_lines = 0
 
     @property
     def runs_path(self) -> Path:
+        """The legacy flat shard: tenant-less appends land here."""
         return self.root / "runs.jsonl"
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.root / "shards"
 
     @property
     def baseline_path(self) -> Path:
         return self.root / "baseline.json"
 
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def shard_path(self, tenant: str, group: str) -> Path:
+        return self.shards_dir / _safe(tenant) / f"{_safe(group)}.jsonl"
+
+    def shard_files(self, tenant: str | None = None) -> list[Path]:
+        """Every shard file, or one tenant's, sorted for stable reads."""
+        if not self.shards_dir.is_dir():
+            return []
+        if tenant is not None:
+            tdir = self.shards_dir / _safe(tenant)
+            return sorted(tdir.glob("*.jsonl")) if tdir.is_dir() else []
+        return sorted(self.shards_dir.glob("*/*.jsonl"))
+
+    def tenants(self) -> list[str]:
+        """Every tenant with at least one shard file, sorted."""
+        return sorted({p.parent.name for p in self.shard_files()})
+
+    def _paths(self, tenant: str | None = None) -> list[Path]:
+        paths = [] if tenant is not None else [self.runs_path]
+        paths += self.shard_files(tenant)
+        return [p for p in paths if p.exists()]
+
     # -- writing -------------------------------------------------------------
 
-    def append(self, record: RunRecord) -> None:
-        """Durably append one record (atomic line write, fsync'd)."""
-        self.root.mkdir(parents=True, exist_ok=True)
+    @staticmethod
+    def _encode(record: RunRecord) -> bytes:
         line = json.dumps(record.to_dict(), sort_keys=True,
                           separators=(",", ":")) + "\n"
-        fd = os.open(self.runs_path,
-                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        return line.encode("utf-8")
+
+    @staticmethod
+    def _append_line(path: Path, data: bytes) -> None:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
-            os.write(fd, line.encode("utf-8"))
+            os.write(fd, data)
             os.fsync(fd)
         finally:
             os.close(fd)
 
+    def append(self, record: RunRecord, tenant: str | None = None) -> Path:
+        """Durably append one record (atomic line write, fsync'd).
+
+        Without ``tenant`` the record lands in the legacy flat file;
+        with one it goes to that tenant's per-benchmark-family shard.
+        Returns the file written.
+        """
+        if tenant is None:
+            path = self.runs_path
+        else:
+            path = self.shard_path(tenant, _record_group(record))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._append_line(path, self._encode(record))
+        return path
+
     # -- reading -------------------------------------------------------------
 
-    def runs(self) -> list[RunRecord]:
-        """Every readable record, ordered by creation time.
-
-        Unparseable lines (truncated append, editor damage) and records
-        from a different schema version produce a :class:`PerfStoreWarning`
-        and are skipped; the rest of the history still loads.
-        """
-        if not self.runs_path.exists():
-            return []
+    def _read_file(self, path: Path) -> list[RunRecord]:
         records: list[RunRecord] = []
-        with open(self.runs_path, "r", encoding="utf-8", errors="replace") as fh:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
             for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
                 if not line:
@@ -88,19 +176,41 @@ class PerfStore:
                 try:
                     doc = json.loads(line)
                 except json.JSONDecodeError:
+                    self._tally_corrupt()
                     warnings.warn(
-                        f"{self.runs_path}:{lineno}: corrupt record skipped "
-                        "(truncated append?)", PerfStoreWarning, stacklevel=2)
+                        f"{path}:{lineno}: corrupt record skipped "
+                        "(truncated append?)", PerfStoreWarning, stacklevel=3)
                     continue
                 try:
                     records.append(RunRecord.from_dict(doc))
                 except SchemaMismatch as exc:
-                    warnings.warn(f"{self.runs_path}:{lineno}: {exc}",
-                                  PerfStoreWarning, stacklevel=2)
+                    self._tally_corrupt()
+                    warnings.warn(f"{path}:{lineno}: {exc}",
+                                  PerfStoreWarning, stacklevel=3)
                 except (KeyError, TypeError, ValueError) as exc:
+                    self._tally_corrupt()
                     warnings.warn(
-                        f"{self.runs_path}:{lineno}: malformed record "
-                        f"skipped ({exc})", PerfStoreWarning, stacklevel=2)
+                        f"{path}:{lineno}: malformed record "
+                        f"skipped ({exc})", PerfStoreWarning, stacklevel=3)
+        return records
+
+    def _tally_corrupt(self) -> None:
+        self.corrupt_lines += 1
+        METRICS.counter("perfdb.corrupt_lines").inc()
+
+    def runs(self, tenant: str | None = None) -> list[RunRecord]:
+        """Every readable record, ordered by creation time.
+
+        ``tenant`` restricts the read to that tenant's shards (the flat
+        legacy file is tenant-less and excluded).  Unparseable lines
+        (truncated append, editor damage) and records from a different
+        schema version produce a :class:`PerfStoreWarning`, bump
+        :attr:`corrupt_lines`, and are skipped; the rest of the history
+        still loads.
+        """
+        records: list[RunRecord] = []
+        for path in self._paths(tenant):
+            records.extend(self._read_file(path))
         records.sort(key=lambda r: (r.created, r.run_id))
         return records
 
@@ -128,8 +238,24 @@ class PerfStore:
         return matches[-1]
 
     def history(self, benchmark_id: str) -> list[RunRecord]:
-        """The runs (oldest first) that contain ``benchmark_id``."""
-        return [r for r in self.runs() if benchmark_id in r.benchmarks]
+        """The runs (oldest first) that contain ``benchmark_id``.
+
+        When a fresh ``index.json`` exists (written by :meth:`compact`),
+        shards whose inventory cannot contain the benchmark are skipped
+        without being read; stale or missing index entries fall back to
+        reading the file — the index is an accelerator, never an oracle.
+        """
+        index = self._load_index()
+        records: list[RunRecord] = []
+        for path in self._paths():
+            entry = index.get(self._index_key(path))
+            if entry is not None and self._entry_fresh(entry, path) \
+                    and benchmark_id not in entry["benchmarks"]:
+                continue
+            records.extend(r for r in self._read_file(path)
+                           if benchmark_id in r.benchmarks)
+        records.sort(key=lambda r: (r.created, r.run_id))
+        return records
 
     def benchmark_ids(self) -> list[str]:
         """Every benchmark id seen in any run, sorted."""
@@ -137,6 +263,123 @@ class PerfStore:
         for run in self.runs():
             ids.update(run.benchmarks)
         return sorted(ids)
+
+    # -- health --------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Store vitals for a serving layer: shard inventory and skip count.
+
+        Reads everything once (bumping :attr:`corrupt_lines` as usual) and
+        reports totals; ``corrupt_lines`` here is the count *from this
+        scan*, not the instance's lifetime tally.
+        """
+        before = self.corrupt_lines
+        legacy = self._read_file(self.runs_path) \
+            if self.runs_path.exists() else []
+        shard_count = 0
+        for path in self.shard_files():
+            shard_count += len(self._read_file(path))
+        return {
+            "records": len(legacy) + shard_count,
+            "tenants": self.tenants(),
+            "shard_files": len(self.shard_files()),
+            "legacy_records": len(legacy),
+            "corrupt_lines": self.corrupt_lines - before,
+            "indexed": self.index_path.exists(),
+        }
+
+    # -- compaction + index --------------------------------------------------
+
+    @staticmethod
+    def _index_key(path: Path) -> str:
+        return path.name if path.name == "runs.jsonl" \
+            else f"shards/{path.parent.name}/{path.name}"
+
+    @staticmethod
+    def _entry_fresh(entry: dict, path: Path) -> bool:
+        try:
+            stat = path.stat()
+        except OSError:
+            return False
+        return (entry.get("size") == stat.st_size
+                and entry.get("mtime") == stat.st_mtime)
+
+    def _load_index(self) -> dict:
+        if not self.index_path.exists():
+            return {}
+        try:
+            doc = json.loads(self.index_path.read_text(encoding="utf-8"))
+            return doc if isinstance(doc, dict) else {}
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def compact(self, tenant: str | None = None) -> dict:
+        """Rewrite shards dropping dead weight; refresh ``index.json``.
+
+        Per file: corrupt/alien-schema lines are dropped for good (their
+        count was already surfaced while reading), duplicate run ids keep
+        only the newest occurrence, and surviving records are rewritten
+        ordered by creation time via an atomic replace.  Afterwards the
+        index records each file's benchmark inventory and stat stamp so
+        :meth:`history` can prune its reads.  Returns compaction stats.
+        """
+        stats = {"files": 0, "kept": 0, "dropped_lines": 0, "dropped_dupes": 0}
+        index: dict[str, dict] = {}
+        for path in self._paths(tenant) if tenant is not None else self._paths():
+            raw_lines = sum(1 for line in path.read_text(
+                encoding="utf-8", errors="replace").splitlines() if line.strip())
+            records = self._read_file(path)
+            by_id: dict[str, RunRecord] = {}
+            for rec in records:  # later lines win: newest occurrence kept
+                by_id[rec.run_id] = rec
+            kept = sorted(by_id.values(), key=lambda r: (r.created, r.run_id))
+            tmp = path.with_suffix(".jsonl.tmp")
+            with open(tmp, "wb") as fh:
+                for rec in kept:
+                    fh.write(self._encode(rec))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            stats["files"] += 1
+            stats["kept"] += len(kept)
+            stats["dropped_lines"] += raw_lines - len(records)
+            stats["dropped_dupes"] += len(records) - len(kept)
+            stat = path.stat()
+            benchmarks: set[str] = set()
+            for rec in kept:
+                benchmarks.update(rec.benchmarks)
+            index[self._index_key(path)] = {
+                "size": stat.st_size,
+                "mtime": stat.st_mtime,
+                "records": len(kept),
+                "benchmarks": sorted(benchmarks),
+            }
+        if tenant is not None:  # partial compaction: merge into prior index
+            merged = self._load_index()
+            merged.update(index)
+            index = merged
+        tmp = self.index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(index, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, self.index_path)
+        return stats
+
+    def migrate(self, tenant: str = DEFAULT_TENANT) -> int:
+        """Move flat ``runs.jsonl`` records into per-tenant shards.
+
+        The migration path for pre-shard stores: every readable legacy
+        record is re-appended under ``tenant`` (grouped per benchmark
+        family as usual), the flat file is removed, and the index is
+        refreshed.  Idempotent — a store with no flat file migrates zero
+        records.  Returns how many records moved.
+        """
+        if not self.runs_path.exists():
+            return 0
+        records = self._read_file(self.runs_path)
+        for rec in records:
+            self.append(rec, tenant=tenant)
+        self.runs_path.unlink()
+        self.compact()
+        return len(records)
 
     # -- baseline pin --------------------------------------------------------
 

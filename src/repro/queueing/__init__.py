@@ -14,7 +14,15 @@ from .des import (
     hyperexponential,
     simulate_queue,
 )
-from .models import QueueMetrics, erlang_c, littles_law_check, mg1, mm1, mmc
+from .models import (
+    QueueMetrics,
+    capacity_for,
+    erlang_c,
+    littles_law_check,
+    mg1,
+    mm1,
+    mmc,
+)
 
 __all__ = [
     "QueueMetrics",
@@ -22,6 +30,7 @@ __all__ = [
     "mmc",
     "mg1",
     "erlang_c",
+    "capacity_for",
     "littles_law_check",
     "QueueSimResult",
     "simulate_queue",

@@ -15,12 +15,20 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["QueueMetrics", "mm1", "mmc", "mg1", "erlang_c", "littles_law_check"]
+__all__ = ["QueueMetrics", "mm1", "mmc", "mg1", "erlang_c", "littles_law_check",
+           "capacity_for"]
 
 
 @dataclass(frozen=True)
 class QueueMetrics:
-    """Steady-state metrics of a queueing system."""
+    """Steady-state metrics of a queueing system.
+
+    ``stable`` is ``False`` for an overloaded system (ρ ≥ 1) evaluated
+    with ``allow_unstable=True``: there is no steady state, so every
+    queue length and waiting time is infinite — exactly the answer an
+    admission controller needs ("without shedding, the queue diverges"),
+    reported as data instead of an exception.
+    """
 
     utilization: float
     mean_in_system: float      # L
@@ -28,27 +36,37 @@ class QueueMetrics:
     mean_time_in_system: float  # W
     mean_wait: float           # Wq
     prob_wait: float           # P(arrival must queue)
+    stable: bool = True
 
     def report(self) -> str:
+        tag = "" if self.stable else " UNSTABLE"
         return (f"rho={self.utilization:.3f} L={self.mean_in_system:.3f} "
                 f"Lq={self.mean_in_queue:.3f} W={self.mean_time_in_system:.4g}s "
-                f"Wq={self.mean_wait:.4g}s P(wait)={self.prob_wait:.3f}")
+                f"Wq={self.mean_wait:.4g}s P(wait)={self.prob_wait:.3f}{tag}")
 
 
-def _check_rates(lambda_: float, mu: float, servers: int = 1) -> float:
+def _overloaded(rho: float) -> QueueMetrics:
+    inf = math.inf
+    return QueueMetrics(rho, inf, inf, inf, inf, prob_wait=1.0, stable=False)
+
+
+def _check_rates(lambda_: float, mu: float, servers: int = 1,
+                 allow_unstable: bool = False) -> float:
     if lambda_ <= 0 or mu <= 0:
         raise ValueError("rates must be positive")
     if servers < 1:
         raise ValueError("need at least one server")
     rho = lambda_ / (servers * mu)
-    if rho >= 1:
+    if rho >= 1 and not allow_unstable:
         raise ValueError(f"unstable queue: utilization {rho:.3f} >= 1")
     return rho
 
 
-def mm1(lambda_: float, mu: float) -> QueueMetrics:
+def mm1(lambda_: float, mu: float, allow_unstable: bool = False) -> QueueMetrics:
     """M/M/1: Poisson arrivals, exponential service, one server."""
-    rho = _check_rates(lambda_, mu)
+    rho = _check_rates(lambda_, mu, allow_unstable=allow_unstable)
+    if rho >= 1:
+        return _overloaded(rho)
     L = rho / (1 - rho)
     Lq = rho * rho / (1 - rho)
     W = 1.0 / (mu - lambda_)
@@ -56,9 +74,12 @@ def mm1(lambda_: float, mu: float) -> QueueMetrics:
     return QueueMetrics(rho, L, Lq, W, Wq, prob_wait=rho)
 
 
-def erlang_c(lambda_: float, mu: float, servers: int) -> float:
+def erlang_c(lambda_: float, mu: float, servers: int,
+             allow_unstable: bool = False) -> float:
     """Erlang-C: probability an arrival waits in an M/M/c queue."""
-    rho = _check_rates(lambda_, mu, servers)
+    rho = _check_rates(lambda_, mu, servers, allow_unstable=allow_unstable)
+    if rho >= 1:
+        return 1.0  # every arrival of a diverging queue waits
     a = lambda_ / mu  # offered load
     # numerically stable iterative Erlang-B, then convert to C
     b = 1.0
@@ -67,15 +88,45 @@ def erlang_c(lambda_: float, mu: float, servers: int) -> float:
     return b / (1 - rho * (1 - b))
 
 
-def mmc(lambda_: float, mu: float, servers: int) -> QueueMetrics:
+def mmc(lambda_: float, mu: float, servers: int,
+        allow_unstable: bool = False) -> QueueMetrics:
     """M/M/c: Poisson arrivals, exponential service, c servers."""
-    rho = _check_rates(lambda_, mu, servers)
+    rho = _check_rates(lambda_, mu, servers, allow_unstable=allow_unstable)
+    if rho >= 1:
+        return _overloaded(rho)
     pw = erlang_c(lambda_, mu, servers)
     Lq = pw * rho / (1 - rho)
     Wq = Lq / lambda_
     W = Wq + 1.0 / mu
     L = lambda_ * W
     return QueueMetrics(rho, L, Lq, W, Wq, prob_wait=pw)
+
+
+def capacity_for(lambda_: float, mu: float, target_wait: float | None = None,
+                 max_utilization: float = 0.95, max_servers: int = 4096) -> int:
+    """Fewest M/M/c servers keeping the queue stable and responsive.
+
+    The planning question an admission controller actually asks: given
+    offered load λ and per-server rate μ, how many workers until the
+    system is stable (ρ ≤ ``max_utilization`` < 1) *and* the mean queueing
+    delay Wq is at most ``target_wait`` (when given)?  Capacity planning
+    as a function call instead of catching ``ValueError`` from :func:`mmc`
+    in a loop.
+    """
+    if target_wait is not None and target_wait <= 0:
+        raise ValueError("target_wait must be positive")
+    if not 0 < max_utilization < 1:
+        raise ValueError("max_utilization must be in (0, 1)")
+    _check_rates(lambda_, mu, allow_unstable=True)  # validate rates only
+    for servers in range(1, max_servers + 1):
+        rho = lambda_ / (servers * mu)
+        if rho > max_utilization:
+            continue
+        if target_wait is None or mmc(lambda_, mu, servers).mean_wait <= target_wait:
+            return servers
+    raise ValueError(
+        f"no server count up to {max_servers} meets the target "
+        f"(lambda={lambda_}, mu={mu}, target_wait={target_wait})")
 
 
 def mg1(lambda_: float, mu: float, service_cv2: float) -> QueueMetrics:

@@ -1,0 +1,73 @@
+"""Benchmark-as-a-service: the toolbox's measure→model→tune loop, served.
+
+The paper's methodology is a loop students run by hand; this package
+runs it for many concurrent tenants over an HTTP + JSON API (stdlib
+only — no new dependencies):
+
+==============================  ==========================================
+:mod:`repro.service.manifest`   declarative per-workload manifests
+                                validated against the kernel registry —
+                                registering a workload is writing data
+:mod:`repro.service.jobs`       the job model and its state machine
+                                (queued/running/done/failed/cancelled)
+:mod:`repro.service.quota`      per-tenant token buckets + queue
+                                backpressure with honest ``Retry-After``
+:mod:`repro.service.engine`     worker pool over a priority queue, with
+                                result caching keyed on (manifest hash,
+                                machine fingerprint) and coalescing of
+                                identical queued jobs
+:mod:`repro.service.runner`     manifest → execution: benchmark/tune/
+                                analyze jobs over the existing stacks,
+                                recorded to per-tenant perfdb shards
+:mod:`repro.service.httpd`      stdlib ThreadingHTTPServer front end,
+                                job-state streaming as NDJSON
+:mod:`repro.service.client`     HTTP client + seeded open-loop Poisson
+                                load generator
+:mod:`repro.service.selfmodel`  the service validated against its own
+                                M/M/c model (repro.queueing serves *and*
+                                models)
+==============================  ==========================================
+
+Quickstart::
+
+    python -m repro.service serve --port 8642 --workers 4
+
+    curl -s localhost:8642/manifests | python -m json.tool
+    curl -s -X POST localhost:8642/jobs \
+         -d '{"manifest": "matmul-small", "kind": "benchmark"}'
+"""
+
+from .client import DriveResult, PoissonClient, ServiceClient, ServiceUnavailable
+from .engine import JobEngine, machine_cache_key
+from .httpd import ServiceServer, start_server
+from .jobs import AdmissionError, Job, JobState
+from .manifest import (
+    ManifestError,
+    ManifestRegistry,
+    WorkloadManifest,
+    builtin_manifests,
+)
+from .quota import AdmissionController, TokenBucket
+from .selfmodel import SelfModelReport, self_model_check
+
+__all__ = [
+    "WorkloadManifest",
+    "ManifestRegistry",
+    "ManifestError",
+    "builtin_manifests",
+    "Job",
+    "JobState",
+    "AdmissionError",
+    "TokenBucket",
+    "AdmissionController",
+    "JobEngine",
+    "machine_cache_key",
+    "ServiceServer",
+    "start_server",
+    "ServiceClient",
+    "ServiceUnavailable",
+    "PoissonClient",
+    "DriveResult",
+    "SelfModelReport",
+    "self_model_check",
+]

@@ -1,0 +1,167 @@
+"""``python -m repro.service`` — serve, submit, plan, selfcheck.
+
+``serve``      boot the job engine + HTTP server (Ctrl-C to stop)
+``submit``     submit one job to a running service and wait for it
+``plan``       M/M/c capacity planning: workers needed for a target wait
+``selfcheck``  boot an ephemeral service, drive it with the seeded
+               Poisson client, and gate measured mean wait against the
+               M/M/c prediction (exit 1 outside tolerance) — the CI
+               smoke entry point
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from ..perfdb.store import PerfStore
+from ..queueing.models import capacity_for, mmc
+from .client import ServiceClient
+from .engine import JobEngine
+from .httpd import start_server
+from .manifest import ManifestRegistry
+from .quota import AdmissionController
+from .selfmodel import self_model_check
+
+__all__ = ["main"]
+
+
+def _build_engine(args) -> JobEngine:
+    manifests = ManifestRegistry()
+    if args.manifest_dir:
+        manifests.load_dir(args.manifest_dir)
+    admission = AdmissionController(
+        max_queue_depth=args.max_queue,
+        tenant_rate=args.quota_rate, tenant_burst=args.quota_burst)
+    store = None if args.no_store else PerfStore(args.store)
+    return JobEngine(store=store, manifests=manifests, workers=args.workers,
+                     admission=admission)
+
+
+def _cmd_serve(args) -> int:
+    engine = _build_engine(args)
+    server, _ = start_server(engine, host=args.host, port=args.port,
+                             quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro.service: listening on http://{host}:{port} "
+          f"({args.workers} worker(s), "
+          f"{len(engine.manifests)} manifest(s), "
+          f"store={'off' if args.no_store else args.store})")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("repro.service: shutting down")
+        server.shutdown()
+        engine.shutdown()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    client = ServiceClient(args.host, args.port)
+    doc = client.submit(args.manifest, kind=args.kind, tenant=args.tenant,
+                        priority=args.priority)
+    print(f"submitted {doc['job_id']} ({doc['state']})")
+    final = client.wait(doc["job_id"], timeout=args.timeout)
+    print(json.dumps(final, indent=2, sort_keys=True))
+    return 0 if final["state"] == "done" else 1
+
+
+def _cmd_plan(args) -> int:
+    servers = capacity_for(args.rate, args.mu, target_wait=args.target_wait)
+    metrics = mmc(args.rate, args.mu, servers)
+    print(f"capacity_for(lambda={args.rate}/s, mu={args.mu}/s, "
+          f"target_wait={args.target_wait}s) -> {servers} worker(s)")
+    print(f"  at that size: {metrics.report()}")
+    return 0
+
+
+def _cmd_selfcheck(args) -> int:
+    engine = JobEngine(store=None, workers=args.workers,
+                       admission=AdmissionController(
+                           max_queue_depth=args.max_queue,
+                           tenant_rate=10 * args.rate,
+                           tenant_burst=10 * args.rate))
+    server, _ = start_server(engine, port=0)
+    host, port = server.server_address[:2]
+    print(f"selfcheck: ephemeral service on port {port}, "
+          f"lambda={args.rate}/s mu={args.mu}/s c={args.workers} "
+          f"jobs={args.jobs} seed={args.seed}")
+    try:
+        report = self_model_check(
+            ServiceClient(host, port), rate=args.rate,
+            service_rate=args.mu, jobs=args.jobs, workers=args.workers,
+            seed=args.seed)
+    finally:
+        server.shutdown()
+        engine.shutdown()
+    print(report.report())
+    if not report.within(args.tolerance):
+        print(f"selfcheck: FAIL — |error| exceeds {args.tolerance:.0%}")
+        return 1
+    print(f"selfcheck: OK (within {args.tolerance:.0%})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Benchmark-as-a-service over the repro toolbox")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the HTTP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--store", default=None,
+                       help="perfdb directory (default: .perfdb / REPRO_PERFDB)")
+    serve.add_argument("--no-store", action="store_true",
+                       help="do not record runs to a perfdb")
+    serve.add_argument("--manifest-dir", default=None,
+                       help="directory of *.json manifests to preload")
+    serve.add_argument("--max-queue", type=int, default=64)
+    serve.add_argument("--quota-rate", type=float, default=50.0,
+                       help="per-tenant admitted jobs/second")
+    serve.add_argument("--quota-burst", type=float, default=100.0)
+    serve.add_argument("--verbose", action="store_true")
+    serve.set_defaults(fn=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit one job and wait")
+    submit.add_argument("manifest")
+    submit.add_argument("--kind", default="benchmark",
+                        choices=("benchmark", "tune", "analyze"))
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8642)
+    submit.add_argument("--tenant", default="cli")
+    submit.add_argument("--priority", type=int, default=5)
+    submit.add_argument("--timeout", type=float, default=120.0)
+    submit.set_defaults(fn=_cmd_submit)
+
+    plan = sub.add_parser("plan", help="M/M/c worker-count planning")
+    plan.add_argument("--rate", type=float, required=True,
+                      help="offered arrival rate lambda (jobs/s)")
+    plan.add_argument("--mu", type=float, required=True,
+                      help="per-worker service rate (jobs/s)")
+    plan.add_argument("--target-wait", type=float, default=None,
+                      help="mean queueing delay target (seconds)")
+    plan.set_defaults(fn=_cmd_plan)
+
+    selfcheck = sub.add_parser(
+        "selfcheck", help="validate the service against its M/M/c model")
+    selfcheck.add_argument("--rate", type=float, default=60.0)
+    selfcheck.add_argument("--mu", type=float, default=50.0)
+    selfcheck.add_argument("--workers", type=int, default=2)
+    selfcheck.add_argument("--jobs", type=int, default=400)
+    selfcheck.add_argument("--seed", type=int, default=0)
+    selfcheck.add_argument("--max-queue", type=int, default=512)
+    selfcheck.add_argument("--tolerance", type=float, default=0.3)
+    selfcheck.set_defaults(fn=_cmd_selfcheck)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Stdlib HTTP client and the seeded open-loop load generator.
+
+:class:`ServiceClient` is a thin ``http.client`` wrapper (one connection
+per call — boring and thread-safe).  :class:`PoissonClient` is the
+synthetic tenant the self-model check drives the service with: an
+**open-loop** arrival process (submissions at seeded exponential
+inter-arrival times, never waiting for completions — the arrival law the
+M/M/c formulas assume) whose jobs carry seeded exponential service
+demands.  Shed submissions (HTTP 429) are recorded, honouring nothing:
+an open-loop source does not slow down because the server is full —
+that is exactly the regime admission control exists for.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceClient", "ServiceUnavailable", "PoissonClient",
+           "DriveResult"]
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service shed the request (HTTP 429)."""
+
+    def __init__(self, reason: str, retry_after: float):
+        super().__init__(reason)
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """JSON-over-HTTP client for one service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> tuple[int, dict, dict]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            doc = json.loads(raw) if raw else {}
+            return resp.status, doc, dict(resp.getheaders())
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        status, doc, headers = self._request(method, path, body)
+        if status == 429:
+            raise ServiceUnavailable(
+                doc.get("error", "shed"),
+                float(headers.get("Retry-After", 1.0)))
+        if status >= 400:
+            raise RuntimeError(
+                f"{method} {path} -> {status}: {doc.get('error', doc)}")
+        return doc
+
+    # -- API surface ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/stats")
+
+    def manifests(self) -> dict:
+        return self._checked("GET", "/manifests")["manifests"]
+
+    def register_manifest(self, doc: dict, replace: bool = False) -> dict:
+        path = "/manifests" + ("?replace=1" if replace else "")
+        return self._checked("POST", path, doc)
+
+    def submit(self, manifest, kind: str = "benchmark",
+               tenant: str = "default", priority: int = 5,
+               params: dict | None = None) -> dict:
+        return self._checked("POST", "/jobs", {
+            "manifest": manifest, "kind": kind, "tenant": tenant,
+            "priority": priority, "params": params or {}})
+
+    def job(self, job_id: str, wait: float | None = None) -> dict:
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait}"
+        return self._checked("GET", path)
+
+    def jobs(self, tenant: str | None = None) -> list[dict]:
+        path = "/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._checked("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._checked("DELETE", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll: float = 5.0) -> dict:
+        """Long-poll until the job is terminal; returns the final doc."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id, wait=min(poll, timeout))
+            if doc["state"] in ("done", "failed", "cancelled") \
+                    or time.monotonic() >= deadline:
+                return doc
+
+
+@dataclass
+class DriveResult:
+    """What one open-loop drive produced."""
+
+    submitted: list[str] = field(default_factory=list)  # admitted job ids
+    shed: int = 0
+    arrivals: list[float] = field(default_factory=list)  # admit wall times
+    demands: list[float] = field(default_factory=list)   # drawn service secs
+
+    @property
+    def measured_arrival_rate(self) -> float:
+        """λ̂ of *admitted* jobs, from first to last admission stamp."""
+        if len(self.arrivals) < 2:
+            return 0.0
+        span = self.arrivals[-1] - self.arrivals[0]
+        return (len(self.arrivals) - 1) / span if span > 0 else 0.0
+
+
+class PoissonClient:
+    """Seeded open-loop Poisson tenant submitting synthetic sleep jobs."""
+
+    def __init__(self, client: ServiceClient, *, rate: float,
+                 service_rate: float, jobs: int, seed: int = 0,
+                 tenant: str = "poisson",
+                 manifest: str = "synthetic-sleep",
+                 max_demand: float = 0.5):
+        if rate <= 0 or service_rate <= 0 or jobs < 1:
+            raise ValueError("need positive rate, service_rate, and jobs")
+        self.client = client
+        self.rate = float(rate)
+        self.service_rate = float(service_rate)
+        self.jobs = int(jobs)
+        self.seed = int(seed)
+        self.tenant = tenant
+        self.manifest = manifest
+        #: Exponential draws are clipped here so one tail sample cannot
+        #: stall a CI smoke run; the clip is far out enough (many means)
+        #: not to disturb the measured-vs-modeled comparison.
+        self.max_demand = float(max_demand)
+
+    def _fire(self, demand: float, result: DriveResult,
+              lock: threading.Lock) -> None:
+        try:
+            doc = self.client.submit(
+                self.manifest, kind="synthetic", tenant=self.tenant,
+                params={"service_seconds": demand})
+        except ServiceUnavailable:
+            with lock:
+                result.shed += 1
+            return
+        with lock:
+            result.submitted.append(doc["job_id"])
+            result.arrivals.append(doc["submitted"])
+            result.demands.append(demand)
+
+    def run(self) -> DriveResult:
+        rng = random.Random(self.seed)
+        result = DriveResult()
+        lock = threading.Lock()
+        threads: list[threading.Thread] = []
+        # Absolute schedule: arrival k fires at t0 + sum of k exponential
+        # gaps, each submission in its own short-lived thread.  A serial
+        # submit loop cannot realize gaps shorter than one HTTP round
+        # trip, which imposes a minimum inter-arrival spacing and
+        # regularizes the process away from Poisson — exactly the bias
+        # the self-model check exists to avoid.
+        due = time.monotonic()
+        for _ in range(self.jobs):
+            due += rng.expovariate(self.rate)
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            demand = min(rng.expovariate(self.service_rate), self.max_demand)
+            thread = threading.Thread(target=self._fire,
+                                      args=(demand, result, lock))
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+        # admission stamps, not dispatch order, define the arrival process
+        with lock:
+            order = sorted(range(len(result.arrivals)),
+                           key=result.arrivals.__getitem__)
+            result.submitted = [result.submitted[i] for i in order]
+            result.demands = [result.demands[i] for i in order]
+            result.arrivals = sorted(result.arrivals)
+        return result

@@ -1,0 +1,372 @@
+"""The async job engine: worker pool, priority queue, cache, coalescing.
+
+The serving core.  Submissions pass admission control (token buckets +
+queue backpressure, :mod:`repro.service.quota`), then resolve against the
+result cache and the in-flight table before they ever cost a worker:
+
+* **cache hit** — a completed result exists for the job's cache key
+  ``(manifest hash ⊕ kind ⊕ params, machine fingerprint)``: the job is
+  marked done immediately, zero queueing;
+* **coalesce** — an identical job is already queued or running: the new
+  job joins its *group* and the single execution fans its result out to
+  every member (one execution per distinct manifest, however many
+  tenants ask);
+* **cold** — the job starts a new group and enters the priority queue
+  (min-heap on ``(priority, seq)``, so FIFO within a priority class).
+
+Worker threads pop groups, execute via :mod:`repro.service.runner` under
+a ``service.job`` span, and publish results under the engine condition
+variable that the HTTP event stream waits on.  Everything observable
+about the engine — submissions, sheds, cache hits, coalesced jobs, wait
+and service time distributions, queue depth — goes through
+:mod:`repro.observe` counters/histograms/gauges, which is also how the
+acceptance check verifies cache behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import threading
+import time
+from typing import Mapping
+
+from ..observe import get_tracer
+from ..observe.metrics import METRICS, MetricsRegistry
+from ..perfdb.store import PerfStore
+from . import runner
+from .jobs import AdmissionError, Job, JobState
+from .manifest import ManifestRegistry, WorkloadManifest, builtin_manifests
+from .quota import AdmissionController
+
+__all__ = ["JobEngine", "machine_cache_key"]
+
+
+def machine_cache_key() -> str:
+    """Stable fingerprint of *this* machine for result-cache keying.
+
+    Hashes the runtime facts of the perfdb fingerprint (host, platform,
+    interpreter, library versions, core count) but not the calibration
+    probe — the cache must not miss because the machine was warm.
+    """
+    from ..perfdb.record import machine_fingerprint
+
+    fp = machine_fingerprint(calibrate=False)
+    doc = json.dumps(fp, sort_keys=True, default=str)
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+
+class _Group:
+    """Jobs coalesced onto one execution (first member is the leader)."""
+
+    __slots__ = ("key", "jobs")
+
+    def __init__(self, key: str, leader: Job):
+        self.key = key
+        self.jobs = [leader]
+
+
+class JobEngine:
+    """Schedules, executes, caches, and reports benchmark service jobs."""
+
+    def __init__(self,
+                 store: PerfStore | None = None,
+                 manifests: ManifestRegistry | None = None,
+                 workers: int = 2,
+                 admission: AdmissionController | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 with_builtins: bool = True):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.store = store
+        self.manifests = manifests or ManifestRegistry()
+        if with_builtins:
+            for m in builtin_manifests():
+                if m.name not in self.manifests:
+                    self.manifests.register(m)
+        self.workers = workers
+        self.admission = admission or AdmissionController()
+        self.metrics = metrics if metrics is not None else METRICS
+        self.machine_key = machine_cache_key()
+        from ..perfdb.record import current_git_sha, machine_fingerprint
+        self._run_ctx = {"machine": machine_fingerprint(calibrate=False),
+                         "git_sha": current_git_sha()}
+
+        self._lock = threading.Lock()
+        #: State changes notify here; HTTP event streams wait on it.
+        self.changed = threading.Condition(self._lock)
+        self._queue: list[tuple[int, int, str]] = []  # (priority, seq, key)
+        self._groups: dict[str, _Group] = {}          # queued or running
+        self._jobs: dict[str, Job] = {}
+        self._cache: dict[str, dict] = {}
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._stopping = False
+        self._busy_seconds = 0.0
+        self._started_at: float | None = None
+        self._service_ewma: float | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "JobEngine":
+        """Spin up the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            self._stopping = False
+            self._started_at = time.monotonic()
+        for i in range(self.workers):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"repro-service-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def shutdown(self, wait: bool = True, timeout: float = 10.0) -> None:
+        with self.changed:
+            self._stopping = True
+            self.changed.notify_all()
+        if wait:
+            for t in self._threads:
+                t.join(timeout=timeout)
+        self._threads.clear()
+        with self._lock:
+            self._started = False
+
+    def __enter__(self) -> "JobEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- submission ----------------------------------------------------------
+
+    def _resolve_manifest(self, manifest) -> WorkloadManifest:
+        if isinstance(manifest, WorkloadManifest):
+            return manifest.validate()
+        if isinstance(manifest, str):
+            return self.manifests.get(manifest)
+        if isinstance(manifest, Mapping):
+            return WorkloadManifest.from_dict(manifest).validate()
+        raise TypeError(f"cannot resolve manifest from {type(manifest)}")
+
+    def _cache_key(self, job: Job) -> str:
+        doc = json.dumps({"manifest": job.manifest.to_dict(),
+                          "kind": job.kind, "params": job.params},
+                         sort_keys=True, separators=(",", ":"))
+        content = hashlib.sha256(doc.encode("utf-8")).hexdigest()[:32]
+        return f"{content}@{self.machine_key}"
+
+    @property
+    def _drain_rate(self) -> float | None:
+        if self._service_ewma is None or self._service_ewma <= 0:
+            return None
+        return self.workers / self._service_ewma
+
+    def submit(self, manifest, kind: str = "benchmark", *,
+               tenant: str = "default", priority: int = 5,
+               params: Mapping[str, object] | None = None,
+               now: float | None = None) -> Job:
+        """Admit one job; may be shed (:class:`AdmissionError`), served
+        from cache, coalesced onto an identical in-flight job, or queued.
+        """
+        m = self._resolve_manifest(manifest)
+        job = Job(m, kind, tenant=tenant, priority=priority, params=params)
+        tracer = get_tracer()
+        with self.changed:
+            admitted, reason, retry_after = self.admission.admit(
+                tenant, len(self._queue), self._drain_rate, now)
+            if not admitted:
+                self.metrics.counter("service.jobs_shed").inc()
+                tracer.count("service.jobs_shed_traced")
+                raise AdmissionError(reason, retry_after)
+            self.metrics.counter("service.jobs_submitted").inc()
+            self._jobs[job.job_id] = job
+            if m.cacheable:
+                key = self._cache_key(job)
+                job.cache_key = key
+                hit = self._cache.get(key)
+                if hit is not None:
+                    now_t = time.time()
+                    job.started = job.finished = now_t
+                    job.result = dict(hit)
+                    job.cached = True
+                    job.transition(JobState.DONE)
+                    self.metrics.counter("service.cache_hits").inc()
+                    self.changed.notify_all()
+                    return job
+                group = self._groups.get(key)
+                if group is not None:
+                    group.jobs.append(job)
+                    job.coalesced_with = group.jobs[0].job_id
+                    self.metrics.counter("service.jobs_coalesced").inc()
+                    self.changed.notify_all()
+                    return job
+            else:
+                key = f"job:{job.job_id}"  # unique: never cached or coalesced
+                job.cache_key = key
+            self._groups[key] = _Group(key, job)
+            heapq.heappush(self._queue, (job.priority, job.seq, key))
+            self.metrics.gauge("service.queue_depth").set(len(self._queue))
+            self.changed.notify_all()
+        return job
+
+    # -- queries -------------------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"no job {job_id!r}") from None
+
+    def jobs(self, tenant: str | None = None) -> list[Job]:
+        with self._lock:
+            out = [j for j in self._jobs.values()
+                   if tenant is None or j.tenant == tenant]
+        return sorted(out, key=lambda j: j.seq)
+
+    def wait_for(self, job_id: str, timeout: float = 30.0) -> Job:
+        """Block until the job is terminal (or timeout); returns it."""
+        deadline = time.monotonic() + timeout
+        with self.changed:
+            job = self._jobs[job_id]
+            while not job.terminal:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self.changed.wait(timeout=remaining):
+                    break
+        return job
+
+    def wait_version(self, job_id: str, version: int,
+                     timeout: float = 30.0) -> Job:
+        """Block until the job's version exceeds ``version`` (event stream)."""
+        deadline = time.monotonic() + timeout
+        with self.changed:
+            job = self._jobs[job_id]
+            while job.version <= version and not job.terminal:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self.changed.wait(timeout=remaining):
+                    break
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job (running jobs run to completion)."""
+        with self.changed:
+            job = self._jobs[job_id]
+            if job.terminal:
+                return job
+            if job.state == JobState.RUNNING:
+                raise ValueError(f"job {job_id} is running; cannot cancel")
+            job.transition(JobState.CANCELLED)
+            job.finished = time.time()
+            # drop it from its group; an empty group is skipped at pop time
+            group = self._groups.get(job.cache_key or "")
+            if group is not None and job in group.jobs:
+                group.jobs.remove(job)
+            self.metrics.counter("service.jobs_cancelled").inc()
+            self.changed.notify_all()
+        return job
+
+    def stats(self) -> dict:
+        with self._lock:
+            states: dict[str, int] = {s: 0 for s in JobState.ALL}
+            for j in self._jobs.values():
+                states[j.state] += 1
+            elapsed = (time.monotonic() - self._started_at) \
+                if self._started_at else 0.0
+            utilization = (self._busy_seconds / (self.workers * elapsed)) \
+                if elapsed > 0 else 0.0
+            doc = {
+                "workers": self.workers,
+                "started": self._started,
+                "queue_depth": len(self._queue),
+                "states": states,
+                "cache_entries": len(self._cache),
+                "utilization": utilization,
+                "service_seconds_ewma": self._service_ewma,
+                "manifests": self.manifests.names(),
+            }
+        doc["metrics"] = self.metrics.snapshot()
+        if self.store is not None:
+            doc["store"] = {"root": str(self.store.root),
+                            "tenants": self.store.tenants(),
+                            "shard_files": len(self.store.shard_files()),
+                            "corrupt_lines": self.store.corrupt_lines}
+        return doc
+
+    # -- execution -----------------------------------------------------------
+
+    def _pop_group(self) -> _Group | None:
+        """Next non-empty group, or None when stopping (holds the lock)."""
+        with self.changed:
+            while True:
+                while self._queue:
+                    _, _, key = heapq.heappop(self._queue)
+                    self.metrics.gauge("service.queue_depth").set(
+                        len(self._queue))
+                    group = self._groups.get(key)
+                    if group is None or not group.jobs:
+                        self._groups.pop(key, None)  # fully cancelled
+                        continue
+                    now = time.time()
+                    for job in group.jobs:
+                        job.started = now
+                        job.transition(JobState.RUNNING)
+                        wait = job.wait_seconds
+                        if wait is not None:
+                            self.metrics.histogram(
+                                "service.wait_seconds").observe(wait)
+                    self.changed.notify_all()
+                    return group
+                if self._stopping:
+                    return None
+                self.changed.wait(timeout=0.5)
+
+    def _worker_loop(self) -> None:
+        while True:
+            group = self._pop_group()
+            if group is None:
+                return
+            leader = group.jobs[0]
+            tracer = get_tracer()
+            t0 = time.monotonic()
+            try:
+                with tracer.span("service.job", category="service",
+                                 kind=leader.kind,
+                                 manifest=leader.manifest.name,
+                                 tenant=leader.tenant):
+                    result = runner.execute(leader, self.store, self._run_ctx)
+                error = None
+            except Exception as exc:  # noqa: BLE001 - jobs report, not crash
+                result, error = None, f"{type(exc).__name__}: {exc}"
+            seconds = time.monotonic() - t0
+            with self.changed:
+                self._busy_seconds += seconds
+                self._service_ewma = seconds if self._service_ewma is None \
+                    else 0.8 * self._service_ewma + 0.2 * seconds
+                self.metrics.histogram("service.service_seconds").observe(
+                    seconds)
+                now = time.time()
+                # late joiners may have coalesced while we were running
+                members = [j for j in self._groups.pop(group.key, group).jobs
+                           if not j.terminal]
+                for job in members:
+                    job.finished = now
+                    if error is None:
+                        job.result = dict(result)
+                        job.transition(JobState.DONE)
+                    else:
+                        job.error = error
+                        job.transition(JobState.FAILED)
+                if error is None:
+                    self.metrics.counter("service.jobs_executed").inc()
+                    self.metrics.counter("service.jobs_completed").inc(
+                        len(members))
+                    if leader.manifest.cacheable and leader.cache_key:
+                        self._cache[leader.cache_key] = dict(result)
+                else:
+                    self.metrics.counter("service.jobs_failed").inc(
+                        len(members))
+                self.changed.notify_all()

@@ -1,0 +1,255 @@
+"""HTTP + JSON front end over :class:`~repro.service.engine.JobEngine`.
+
+Pure stdlib (``http.server.ThreadingHTTPServer``) — the service adds no
+dependencies.  Routes:
+
+====== ============================ ==========================================
+GET    ``/healthz``                 liveness + queue depth
+GET    ``/stats``                   engine stats, metrics snapshot, store health
+GET    ``/manifests``               registered manifest names + documents
+POST   ``/manifests``               register a manifest (``?replace=1`` to update)
+GET    ``/manifests/<name>``        one manifest document
+POST   ``/jobs``                    submit ``{"manifest", "kind", "tenant",
+                                    "priority", "params"}`` → job doc (202;
+                                    200 when served from cache; 429 +
+                                    ``Retry-After`` when shed)
+GET    ``/jobs``                    job summaries (``?tenant=`` filter)
+GET    ``/jobs/<id>``               job doc (``?wait=<seconds>`` long-polls
+                                    until terminal)
+GET    ``/jobs/<id>/events``        NDJSON stream: one job doc per state
+                                    change, closing at the terminal state
+DELETE ``/jobs/<id>``               cancel a queued job
+====== ============================ ==========================================
+
+Every response body is JSON (one JSON document per line for the event
+stream).  Errors are ``{"error": ...}`` with an appropriate status.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from .engine import JobEngine
+from .jobs import AdmissionError
+from .manifest import ManifestError, WorkloadManifest
+
+__all__ = ["ServiceServer", "ServiceHandler", "start_server"]
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is plenty for a manifest
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the engine for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, engine: JobEngine, quiet: bool = True):
+        self.engine = engine
+        self.quiet = quiet
+        super().__init__(address, ServiceHandler)
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServiceServer
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: A003 - stdlib hook name
+        if not self.server.quiet:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, doc: dict,
+                   headers: dict | None = None) -> None:
+        body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str,
+               headers: dict | None = None) -> None:
+        self._send_json(status, {"error": message}, headers)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        if length > _MAX_BODY:
+            raise ValueError(f"body too large ({length} bytes)")
+        doc = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("body must be a JSON object")
+        return doc
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib hook name
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        engine = self.server.engine
+        try:
+            if parts == ["healthz"]:
+                stats = engine.stats()
+                self._send_json(200, {"ok": True,
+                                      "workers": stats["workers"],
+                                      "queue_depth": stats["queue_depth"]})
+            elif parts == ["stats"]:
+                self._send_json(200, engine.stats())
+            elif parts == ["manifests"]:
+                docs = {name: engine.manifests.get(name).to_dict()
+                        for name in engine.manifests.names()}
+                self._send_json(200, {"manifests": docs})
+            elif len(parts) == 2 and parts[0] == "manifests":
+                try:
+                    self._send_json(
+                        200, engine.manifests.get(parts[1]).to_dict())
+                except KeyError:
+                    self._error(404, f"no manifest {parts[1]!r}")
+            elif parts == ["jobs"]:
+                tenant = query.get("tenant", [None])[0]
+                self._send_json(200, {"jobs": [
+                    j.to_dict() for j in engine.jobs(tenant)]})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._get_job(parts[1], query)
+            elif len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "events":
+                self._stream_events(parts[1])
+            else:
+                self._error(404, f"no route GET {url.path}")
+        except BrokenPipeError:  # client went away mid-stream
+            pass
+
+    def _get_job(self, job_id: str, query: dict) -> None:
+        engine = self.server.engine
+        try:
+            engine.job(job_id)
+        except KeyError:
+            self._error(404, f"no job {job_id!r}")
+            return
+        wait = query.get("wait", [None])[0]
+        if wait is not None:
+            job = engine.wait_for(job_id, timeout=min(float(wait), 120.0))
+        else:
+            job = engine.job(job_id)
+        self._send_json(200, job.to_dict())
+
+    def _stream_events(self, job_id: str) -> None:
+        """One JSON line per state change until the job is terminal."""
+        engine = self.server.engine
+        try:
+            job = engine.job(job_id)
+        except KeyError:
+            self._error(404, f"no job {job_id!r}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+        def write_chunk(doc: dict) -> None:
+            data = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+            self.wfile.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+            self.wfile.flush()
+
+        version = -1
+        while True:
+            job = engine.wait_version(job_id, version, timeout=30.0)
+            with engine.changed:
+                doc, version, terminal = job.to_dict(), job.version, job.terminal
+            write_chunk(doc)
+            if terminal:
+                break
+        self.wfile.write(b"0\r\n\r\n")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib hook name
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        try:
+            body = self._read_body()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._error(400, f"bad request body: {exc}")
+            return
+        if parts == ["jobs"]:
+            self._submit_job(body)
+        elif parts == ["manifests"]:
+            self._register_manifest(body,
+                                    replace="1" in query.get("replace", []))
+        else:
+            self._error(404, f"no route POST {url.path}")
+
+    def _register_manifest(self, body: dict, replace: bool) -> None:
+        engine = self.server.engine
+        try:
+            manifest = WorkloadManifest.from_dict(body)
+            engine.manifests.register(manifest, replace=replace)
+        except ManifestError as exc:
+            status = 409 if "already registered" in str(exc) else 400
+            self._error(status, str(exc))
+            return
+        self._send_json(201, manifest.to_dict())
+
+    def _submit_job(self, body: dict) -> None:
+        engine = self.server.engine
+        ref = body.get("manifest")
+        if ref is None:
+            self._error(400, "submission needs a 'manifest' (name or document)")
+            return
+        try:
+            job = engine.submit(
+                ref,
+                kind=str(body.get("kind", "benchmark")),
+                tenant=str(body.get("tenant", "default")),
+                priority=int(body.get("priority", 5)),
+                params=body.get("params") or {})
+        except AdmissionError as exc:
+            self._error(429, exc.reason,
+                        headers={"Retry-After": f"{exc.retry_after:.3f}"})
+            return
+        except KeyError as exc:
+            self._error(404, str(exc))
+            return
+        except (ManifestError, ValueError, TypeError) as exc:
+            self._error(400, str(exc))
+            return
+        self._send_json(200 if job.cached else 202, job.to_dict())
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib hook name
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if len(parts) != 2 or parts[0] != "jobs":
+            self._error(404, f"no route DELETE {self.path}")
+            return
+        engine = self.server.engine
+        try:
+            job = engine.cancel(parts[1])
+        except KeyError:
+            self._error(404, f"no job {parts[1]!r}")
+            return
+        except ValueError as exc:
+            self._error(409, str(exc))
+            return
+        self._send_json(200, job.to_dict())
+
+
+def start_server(engine: JobEngine, host: str = "127.0.0.1", port: int = 0,
+                 quiet: bool = True) -> tuple[ServiceServer, threading.Thread]:
+    """Start the engine and serve it on a daemon thread.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``) — what the tests and the CI smoke job use.
+    """
+    engine.start()
+    server = ServiceServer((host, port), engine, quiet=quiet)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-service-http", daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,150 @@
+"""Job model: the unit of work the service queues, runs, and reports.
+
+A :class:`Job` is deliberately a *mutable* record guarded by the engine's
+lock — its state walks the machine below and every transition bumps a
+version the HTTP event stream waits on, so "job states streamed as JSON"
+is a condition-variable wait, not a poll loop inside the server.
+
+::
+
+    queued ──> running ──> done
+       │          │
+       │          └──────> failed
+       └────────────────> cancelled
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+import uuid
+from typing import Mapping
+
+from .manifest import WorkloadManifest
+
+__all__ = ["JobState", "Job", "AdmissionError"]
+
+
+class JobState:
+    """String states; class-level constants double as the JSON vocabulary."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+_TRANSITIONS = {
+    JobState.QUEUED: {JobState.RUNNING, JobState.CANCELLED, JobState.DONE,
+                      JobState.FAILED},
+    JobState.RUNNING: {JobState.DONE, JobState.FAILED, JobState.CANCELLED},
+    JobState.DONE: set(),
+    JobState.FAILED: set(),
+    JobState.CANCELLED: set(),
+}
+
+#: Job kinds the runner knows how to execute.
+KINDS = ("benchmark", "tune", "analyze", "synthetic")
+
+_seq = itertools.count(1)
+
+
+class AdmissionError(RuntimeError):
+    """The admission controller refused a submission (HTTP 429).
+
+    ``retry_after`` is the seconds a well-behaved client should back off —
+    the value the HTTP layer puts in the ``Retry-After`` header.
+    """
+
+    def __init__(self, reason: str, retry_after: float):
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class Job:
+    """One submitted unit of work and its full lifecycle."""
+
+    __slots__ = ("job_id", "tenant", "kind", "manifest", "priority", "params",
+                 "cache_key", "state", "submitted", "started", "finished",
+                 "result", "error", "cached", "coalesced_with", "version",
+                 "seq")
+
+    def __init__(self, manifest: WorkloadManifest, kind: str,
+                 tenant: str = "default", priority: int = 5,
+                 params: Mapping[str, object] | None = None,
+                 now: float | None = None):
+        if kind not in KINDS:
+            raise ValueError(f"unknown job kind {kind!r}; known: {KINDS}")
+        if manifest.is_synthetic != (kind == "synthetic"):
+            raise ValueError(
+                f"kind {kind!r} does not fit manifest {manifest.name!r}")
+        self.job_id = uuid.uuid4().hex[:12]
+        self.tenant = str(tenant)
+        self.kind = kind
+        self.manifest = manifest
+        self.priority = int(priority)
+        self.params = dict(params or {})
+        self.cache_key: str | None = None
+        self.state = JobState.QUEUED
+        self.submitted = time.time() if now is None else float(now)
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.cached = False
+        self.coalesced_with: str | None = None  # leader's job_id
+        self.version = 0
+        self.seq = next(_seq)  # FIFO tiebreak within a priority class
+
+    def transition(self, state: str) -> None:
+        """Move to ``state``, enforcing the machine; caller holds the lock."""
+        if state not in _TRANSITIONS[self.state]:
+            raise ValueError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state} -> {state}")
+        self.state = state
+        self.version += 1
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    @property
+    def wait_seconds(self) -> float | None:
+        """Queueing delay: admission to execution start."""
+        if self.started is None:
+            return None
+        return self.started - self.submitted
+
+    @property
+    def service_seconds(self) -> float | None:
+        """Execution time: start to finish (None until finished)."""
+        if self.started is None or self.finished is None:
+            return None
+        return self.finished - self.started
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "manifest": self.manifest.name,
+            "manifest_hash": self.manifest.manifest_hash(),
+            "priority": self.priority,
+            "state": self.state,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "wait_seconds": self.wait_seconds,
+            "service_seconds": self.service_seconds,
+            "cached": self.cached,
+            "coalesced_with": self.coalesced_with,
+            "result": self.result,
+            "error": self.error,
+            "version": self.version,
+        }

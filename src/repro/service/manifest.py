@@ -1,0 +1,309 @@
+"""Declarative workload manifests — registering a workload is writing data.
+
+SHARP's launcher discovers its workloads from per-function manifest files;
+this module is that idea over our kernel registry.  A
+:class:`WorkloadManifest` names a registered kernel variant, the
+problem-size arguments its operands are built from, the execution
+configuration, measurement discipline, and which backends/metrics a
+tenant may ask for — all plain JSON, all validated against
+:data:`repro.kernels.REGISTRY` *before* a job is admitted, so a typo'd
+manifest is a 400 at registration time, never a worker crash at run time.
+
+The manifest's canonical hash (:meth:`WorkloadManifest.manifest_hash`)
+is the service's unit of identity: result caching and queued-job
+coalescing both key on it (plus the machine fingerprint), so two tenants
+submitting byte-equivalent work share one execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping
+
+from ..kernels.base import REGISTRY, KernelRegistry
+
+__all__ = [
+    "ManifestError",
+    "WorkloadManifest",
+    "ManifestRegistry",
+    "builtin_manifests",
+    "KNOWN_METRICS",
+    "KNOWN_BACKENDS",
+    "SYNTHETIC_KERNEL",
+]
+
+#: Metric names a manifest may request from a benchmark job.
+KNOWN_METRICS = ("best_seconds", "median_seconds", "mean_seconds",
+                 "stddev_seconds", "gflops")
+
+#: Execution backends a manifest may allow (mirrors repro.parallel.backends).
+KNOWN_BACKENDS = ("serial", "thread", "process")
+
+#: Pseudo kernel family for service self-modeling: a seeded sleep whose
+#: duration is the job's declared service demand.  Not in the kernel
+#: registry — it exercises the *service*, not the hardware.
+SYNTHETIC_KERNEL = "synthetic"
+
+#: Problem-size argument names each kernel family's operand builder accepts
+#: (see repro.service.runner); the manifest validator rejects the rest.
+_FAMILY_ARGS = {
+    "matmul": {"n", "seed"},
+    "stencil": {"n", "m"},
+    "histogram": {"n", "bins", "seed", "distribution"},
+    "spmv": {"n", "density", "seed"},
+    SYNTHETIC_KERNEL: {"seconds"},
+}
+
+
+class ManifestError(ValueError):
+    """A manifest failed validation against the kernel registry."""
+
+
+@dataclass(frozen=True)
+class WorkloadManifest:
+    """One declaratively-registered workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key tenants submit jobs against.
+    kernel / variant:
+        Registered kernel slug, e.g. ``matmul`` / ``numpy`` — or the
+        :data:`SYNTHETIC_KERNEL` family with variant ``sleep``.
+    args:
+        Problem-size arguments for the family's operand builder
+        (``{"n": 128, "seed": 0}``); the timed call never includes them.
+    config:
+        Keyword arguments for the kernel callable; every key must be a
+        tunable the variant declares, so a manifest can only steer knobs
+        the kernel advertises.
+    repetitions / warmup:
+        Measurement discipline for benchmark jobs.
+    metrics:
+        Which derived metrics the result payload reports.
+    backends:
+        Backends the workload may execute on; a ``config["backend"]``
+        outside this set is rejected.
+    tune:
+        Tune-job settings: ``max_evaluations`` (budget) and ``seed``
+        (search determinism).
+    cacheable:
+        ``False`` opts out of result caching *and* queued-job coalescing
+        — required for workloads whose cost is drawn per job (the
+        synthetic self-model client), wrong for everything else.
+    """
+
+    name: str
+    kernel: str
+    variant: str
+    args: Mapping[str, object] = field(default_factory=dict)
+    config: Mapping[str, object] = field(default_factory=dict)
+    repetitions: int = 3
+    warmup: int = 1
+    metrics: tuple[str, ...] = ("best_seconds", "median_seconds")
+    backends: tuple[str, ...] = ("serial",)
+    tune: Mapping[str, object] = field(default_factory=dict)
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", dict(self.args))
+        object.__setattr__(self, "config", dict(self.config))
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        object.__setattr__(self, "backends", tuple(self.backends))
+        object.__setattr__(self, "tune", dict(self.tune))
+
+    @property
+    def slug(self) -> str:
+        return f"{self.kernel}.{self.variant}"
+
+    @property
+    def is_synthetic(self) -> bool:
+        return self.kernel == SYNTHETIC_KERNEL
+
+    def validate(self, registry: KernelRegistry = REGISTRY) -> "WorkloadManifest":
+        """Check every field against the kernel registry; returns self."""
+        if not self.name or "/" in self.name:
+            raise ManifestError(f"bad manifest name {self.name!r}")
+        if self.repetitions < 1 or self.warmup < 0:
+            raise ManifestError(
+                f"{self.name}: need repetitions >= 1 and warmup >= 0")
+        unknown = set(self.metrics) - set(KNOWN_METRICS)
+        if unknown:
+            raise ManifestError(
+                f"{self.name}: unknown metrics {sorted(unknown)}; "
+                f"known: {list(KNOWN_METRICS)}")
+        bad_backends = set(self.backends) - set(KNOWN_BACKENDS)
+        if bad_backends or not self.backends:
+            raise ManifestError(
+                f"{self.name}: backends must be a non-empty subset of "
+                f"{list(KNOWN_BACKENDS)}, got {list(self.backends)}")
+        allowed_args = _FAMILY_ARGS.get(self.kernel)
+        if allowed_args is None:
+            raise ManifestError(
+                f"{self.name}: no operand builder for kernel family "
+                f"{self.kernel!r}; known: {sorted(_FAMILY_ARGS)}")
+        extra = set(self.args) - allowed_args
+        if extra:
+            raise ManifestError(
+                f"{self.name}: {self.kernel} args do not accept "
+                f"{sorted(extra)}; allowed: {sorted(allowed_args)}")
+        if self.is_synthetic:
+            if self.variant != "sleep":
+                raise ManifestError(
+                    f"{self.name}: synthetic kernel only has variant 'sleep'")
+            if self.config:
+                raise ManifestError(f"{self.name}: synthetic takes no config")
+            return self
+        try:
+            kv = registry.get(self.kernel, self.variant)
+        except KeyError as exc:
+            raise ManifestError(f"{self.name}: {exc}") from None
+        declared = {t.name for t in kv.tunables}
+        undeclared = set(self.config) - declared
+        if undeclared:
+            raise ManifestError(
+                f"{self.name}: config keys {sorted(undeclared)} are not "
+                f"declared tunables of {self.slug} (declared: "
+                f"{sorted(declared)})")
+        backend = self.config.get("backend")
+        if backend is not None and backend not in self.backends:
+            raise ManifestError(
+                f"{self.name}: config backend {backend!r} not in allowed "
+                f"backends {list(self.backends)}")
+        max_evals = self.tune.get("max_evaluations", 8)
+        if not isinstance(max_evals, int) or max_evals < 1:
+            raise ManifestError(
+                f"{self.name}: tune.max_evaluations must be a positive int")
+        return self
+
+    def manifest_hash(self) -> str:
+        """Canonical content hash — the caching/coalescing identity."""
+        doc = json.dumps(self.to_dict(), sort_keys=True,
+                         separators=(",", ":"))
+        return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "args": dict(sorted(self.args.items())),
+            "config": dict(sorted(self.config.items())),
+            "repetitions": self.repetitions,
+            "warmup": self.warmup,
+            "metrics": list(self.metrics),
+            "backends": list(self.backends),
+            "tune": dict(sorted(self.tune.items())),
+            "cacheable": self.cacheable,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "WorkloadManifest":
+        try:
+            return cls(
+                name=str(doc["name"]),
+                kernel=str(doc["kernel"]),
+                variant=str(doc["variant"]),
+                args=dict(doc.get("args", {})),
+                config=dict(doc.get("config", {})),
+                repetitions=int(doc.get("repetitions", 3)),
+                warmup=int(doc.get("warmup", 1)),
+                metrics=tuple(doc.get("metrics",
+                                      ("best_seconds", "median_seconds"))),
+                backends=tuple(doc.get("backends", ("serial",))),
+                tune=dict(doc.get("tune", {})),
+                cacheable=bool(doc.get("cacheable", True)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(f"unreadable manifest document: {exc}") from None
+
+    def with_params(self, **params) -> "WorkloadManifest":
+        """Derived manifest with overridden args (used by sized submissions)."""
+        return replace(self, args={**dict(self.args), **params})
+
+
+class ManifestRegistry:
+    """Name-indexed store of validated manifests."""
+
+    def __init__(self, registry: KernelRegistry = REGISTRY):
+        self._kernel_registry = registry
+        self._manifests: dict[str, WorkloadManifest] = {}
+
+    def register(self, manifest: WorkloadManifest,
+                 replace: bool = False) -> WorkloadManifest:
+        manifest.validate(self._kernel_registry)
+        if manifest.name in self._manifests and not replace:
+            raise ManifestError(
+                f"manifest {manifest.name!r} already registered")
+        self._manifests[manifest.name] = manifest
+        return manifest
+
+    def get(self, name: str) -> WorkloadManifest:
+        try:
+            return self._manifests[name]
+        except KeyError:
+            raise KeyError(f"no manifest {name!r}; known: "
+                           f"{sorted(self._manifests)}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._manifests)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._manifests
+
+    def __len__(self) -> int:
+        return len(self._manifests)
+
+    def load_dir(self, path: str | Path, replace: bool = False) -> int:
+        """Register every ``*.json`` manifest under ``path``; returns count."""
+        loaded = 0
+        for file in sorted(Path(path).glob("*.json")):
+            doc = json.loads(file.read_text(encoding="utf-8"))
+            self.register(WorkloadManifest.from_dict(doc), replace=replace)
+            loaded += 1
+        return loaded
+
+    def dump(self, path: str | Path) -> int:
+        """Write every manifest as ``<name>.json`` under ``path``."""
+        out = Path(path)
+        out.mkdir(parents=True, exist_ok=True)
+        for name in self.names():
+            doc = json.dumps(self._manifests[name].to_dict(), indent=2,
+                             sort_keys=True)
+            (out / f"{name}.json").write_text(doc + "\n", encoding="utf-8")
+        return len(self._manifests)
+
+
+def builtin_manifests() -> list[WorkloadManifest]:
+    """The served counterparts of the course's four core workloads.
+
+    Sizes are service-friendly (tens of milliseconds, not seconds): the
+    point of a served benchmark is the loop, the perfdb shard, and the
+    cache — a tenant wanting bigger problems registers a bigger manifest.
+    """
+    return [
+        WorkloadManifest(
+            name="matmul-small", kernel="matmul", variant="numpy",
+            args={"n": 96, "seed": 0},
+            metrics=("best_seconds", "median_seconds", "gflops")),
+        WorkloadManifest(
+            name="matmul-tiled-tune", kernel="matmul", variant="tiled",
+            args={"n": 48, "seed": 0},
+            tune={"max_evaluations": 4, "seed": 0}),
+        WorkloadManifest(
+            name="stencil-small", kernel="stencil", variant="numpy",
+            args={"n": 128}),
+        WorkloadManifest(
+            name="histogram-small", kernel="histogram", variant="numpy",
+            args={"n": 20000, "bins": 256, "seed": 0}),
+        WorkloadManifest(
+            name="spmv-small", kernel="spmv", variant="csr_numpy",
+            args={"n": 400, "density": 0.02, "seed": 0}),
+        WorkloadManifest(
+            name="synthetic-sleep", kernel=SYNTHETIC_KERNEL, variant="sleep",
+            args={"seconds": 0.005}, cacheable=False,
+            metrics=("best_seconds",)),
+    ]

@@ -1,0 +1,96 @@
+"""Admission control: per-tenant token buckets plus queue backpressure.
+
+Two independent reasons to shed a submission, each with an honest
+``Retry-After``:
+
+* **tenant quota** — a token bucket per tenant (rate r jobs/s, burst b).
+  A tenant that exhausts its burst is told exactly when the next token
+  arrives; other tenants are unaffected.
+* **queue backpressure** — the global queue has a depth bound sized so
+  queued work drains in bounded time.  When it is full the retry hint is
+  the modeled drain time of one slot, ``1 / (workers · μ̂)``, with μ̂ the
+  engine's moving estimate of the service rate — the same quantity
+  :func:`repro.queueing.models.capacity_for` plans worker counts from.
+
+Buckets take an explicit clock so tests (and the seeded overload burst in
+CI) are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0 or burst < 1:
+            raise ValueError("need rate > 0 and burst >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp: float | None = None
+        self._lock = threading.Lock()
+
+    def try_acquire(self, now: float | None = None) -> tuple[bool, float]:
+        """Take one token; ``(ok, retry_after)`` where retry_after is the
+        wait until a token would be available (0 when ok)."""
+        now = time.monotonic() if now is None else float(now)
+        with self._lock:
+            if self._stamp is not None:
+                elapsed = max(0.0, now - self._stamp)
+                self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            return False, (1.0 - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Decides, per submission, between admit and shed-with-retry-hint."""
+
+    def __init__(self, max_queue_depth: int = 64,
+                 tenant_rate: float = 50.0, tenant_burst: float = 100.0):
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive")
+        self.max_queue_depth = int(max_queue_depth)
+        self.tenant_rate = float(tenant_rate)
+        self.tenant_burst = float(tenant_burst)
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.tenant_rate, self.tenant_burst)
+            return bucket
+
+    def set_quota(self, tenant: str, rate: float, burst: float) -> None:
+        """Override one tenant's quota (takes effect for new tokens)."""
+        with self._lock:
+            self._buckets[tenant] = TokenBucket(rate, burst)
+
+    def admit(self, tenant: str, queue_depth: int,
+              drain_rate: float | None = None,
+              now: float | None = None) -> tuple[bool, str, float]:
+        """``(admitted, reason, retry_after)`` for one submission attempt.
+
+        ``drain_rate`` is the engine's estimate of total job completions
+        per second (workers · μ̂); it converts a full queue into a
+        concrete back-off instead of a blind one.
+        """
+        if queue_depth >= self.max_queue_depth:
+            retry = 1.0 if not drain_rate else max(0.05, 1.0 / drain_rate)
+            return False, (f"queue full ({queue_depth}/"
+                           f"{self.max_queue_depth})"), retry
+        ok, retry = self.bucket(tenant).try_acquire(now)
+        if not ok:
+            return False, f"tenant {tenant!r} over quota", retry
+        return True, "", 0.0

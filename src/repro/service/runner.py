@@ -1,0 +1,237 @@
+"""Job execution: from validated manifest to result payload.
+
+One function per job kind, dispatched by :func:`execute`:
+
+* ``benchmark`` — build operands from the manifest's problem-size args,
+  run :func:`repro.timing.timers.measure` with the manifest's
+  repetitions/warmup, derive the requested metrics (including GFLOP/s
+  from the variant's declared work model), and append a
+  :class:`~repro.perfdb.record.RunRecord` to the submitting tenant's
+  perfdb shard;
+* ``tune`` — seeded random search over the variant's declared tunables
+  under the manifest's evaluation budget, via the existing
+  :func:`repro.tuning.tune_variant` harness;
+* ``analyze`` — the static-analysis verdict for the variant (lint +
+  hazards findings as JSON);
+* ``synthetic`` — sleep for the declared service demand; the self-model
+  workload that turns the service into its own queueing experiment.
+
+Operand construction is the one place kernel families differ, so it is a
+table (`_SETUP`), exactly like the registry's own convention: adding a
+family to the service is adding a row, not a subclass.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Mapping
+
+from ..kernels.base import REGISTRY, KernelVariant
+from ..perfdb.record import RunRecord
+from ..perfdb.store import PerfStore
+from ..timing.timers import measure
+from .jobs import Job
+from .manifest import WorkloadManifest
+
+__all__ = ["execute", "build_operands", "RunnerError"]
+
+
+class RunnerError(RuntimeError):
+    """A job failed inside the runner (reported as state ``failed``)."""
+
+
+# -- operand builders ---------------------------------------------------------
+
+def _setup_matmul(args: Mapping) -> tuple:
+    from ..kernels.matmul import random_matrices
+    return random_matrices(int(args.get("n", 96)),
+                           seed=int(args.get("seed", 0)))
+
+
+def _setup_stencil(args: Mapping) -> tuple:
+    from ..kernels.stencil import init_grid
+    n = int(args.get("n", 128))
+    m = args.get("m")
+    src = init_grid(n, None if m is None else int(m))
+    return src, src.copy()
+
+
+def _setup_histogram(args: Mapping) -> tuple:
+    from ..kernels.histogram import random_keys
+    bins = int(args.get("bins", 256))
+    keys = random_keys(int(args.get("n", 20000)), bins,
+                       seed=int(args.get("seed", 0)),
+                       distribution=str(args.get("distribution", "uniform")))
+    return keys, bins
+
+
+def _setup_spmv(args: Mapping) -> tuple:
+    import numpy as np
+
+    from ..kernels.spmv import random_sparse
+    n = int(args.get("n", 400))
+    coo = random_sparse(n, density=float(args.get("density", 0.02)),
+                        seed=int(args.get("seed", 0)))
+    x = np.random.default_rng(int(args.get("seed", 0)) + 1).standard_normal(n)
+    return coo.to_csr(), x
+
+
+_SETUP: dict[str, Callable[[Mapping], tuple]] = {
+    "matmul": _setup_matmul,
+    "stencil": _setup_stencil,
+    "histogram": _setup_histogram,
+    "spmv": _setup_spmv,
+}
+
+
+def build_operands(manifest: WorkloadManifest) -> tuple:
+    """Positional arguments for one timed call of the manifest's kernel."""
+    try:
+        builder = _SETUP[manifest.kernel]
+    except KeyError:
+        raise RunnerError(f"no operand builder for kernel family "
+                          f"{manifest.kernel!r}") from None
+    return builder(manifest.args)
+
+
+def _work_flops(manifest: WorkloadManifest, variant: KernelVariant,
+                operands: tuple) -> float | None:
+    """FLOPs of one call, from the variant's declared work model.
+
+    Work-model signatures differ by family (sizes for dense kernels, the
+    built matrix for spmv), mirroring the registry convention.
+    """
+    try:
+        if manifest.kernel == "matmul":
+            return variant.work(int(manifest.args.get("n", 96))).flops
+        if manifest.kernel == "stencil":
+            n = int(manifest.args.get("n", 128))
+            m = manifest.args.get("m")
+            return variant.work(n, None if m is None else int(m)).flops
+        if manifest.kernel == "histogram":
+            return variant.work(int(manifest.args.get("n", 20000)),
+                                int(manifest.args.get("bins", 256))).flops
+        if manifest.kernel == "spmv":
+            return variant.work(operands[0]).flops
+    except (TypeError, ValueError):
+        return None
+    return None
+
+
+# -- per-kind executors -------------------------------------------------------
+
+def _run_benchmark(job: Job, manifest: WorkloadManifest,
+                   store: PerfStore | None, ctx: Mapping) -> dict:
+    variant = REGISTRY.get(manifest.kernel, manifest.variant)
+    operands = build_operands(manifest)
+    config = dict(manifest.config)
+    res = measure(lambda: variant.fn(*operands, **config),
+                  repetitions=manifest.repetitions, warmup=manifest.warmup)
+    flops = _work_flops(manifest, variant, operands)
+    derived = {
+        "best_seconds": res.best,
+        "median_seconds": res.summary.median,
+        "mean_seconds": res.summary.mean,
+        "stddev_seconds": res.summary.std,
+        "gflops": (flops / res.best / 1e9) if flops else None,
+    }
+    payload = {
+        "kernel": manifest.slug,
+        "times": list(res.times),
+        "stable": res.stable,
+        "metrics": {name: derived[name] for name in manifest.metrics},
+    }
+    if store is not None:
+        record = RunRecord.new(
+            {f"service/{manifest.name}": res.times},
+            label=f"service:{job.tenant}:{job.kind}",
+            machine=dict(ctx.get("machine") or {}),
+            git_sha=ctx.get("git_sha", ""))
+        store.append(record, tenant=job.tenant)
+        payload["run_id"] = record.run_id
+    return payload
+
+
+def _run_tune(job: Job, manifest: WorkloadManifest,
+              store: PerfStore | None, ctx: Mapping) -> dict:
+    from ..tuning import Budget, RandomSearch, tune_variant
+
+    variant = REGISTRY.get(manifest.kernel, manifest.variant)
+    if not variant.is_tunable:
+        raise RunnerError(f"{manifest.slug} declares no tunables; "
+                          "nothing to tune")
+    max_evals = int(manifest.tune.get("max_evaluations", 8))
+    seed = int(manifest.tune.get("seed", 0))
+    result = tune_variant(
+        variant, lambda config: build_operands(manifest),
+        RandomSearch(seed=seed, max_samples=max_evals),
+        budget=Budget(max_evaluations=max_evals),
+        warmup=manifest.warmup, repetitions=manifest.repetitions)
+    best = result.best
+    payload = {
+        "kernel": manifest.slug,
+        "best_config": dict(sorted(best.config.items())),
+        "best_seconds": best.seconds,
+        "measurements": result.measurements,
+        "evaluations": len(result.history),
+    }
+    if store is not None:
+        record = RunRecord.new(
+            {f"service/{manifest.name}/tuned": [best.seconds]},
+            label=f"service:{job.tenant}:{job.kind}",
+            machine=dict(ctx.get("machine") or {}),
+            git_sha=ctx.get("git_sha", ""))
+        store.append(record, tenant=job.tenant)
+        payload["run_id"] = record.run_id
+    return payload
+
+
+def _run_analyze(job: Job, manifest: WorkloadManifest,
+                 store: PerfStore | None, ctx: Mapping) -> dict:
+    from ..analyze.hazards import hazards_variant
+    from ..analyze.lint import lint_variant
+
+    variant = REGISTRY.get(manifest.kernel, manifest.variant)
+    findings = lint_variant(variant) + hazards_variant(variant)
+    return {
+        "kernel": manifest.slug,
+        "findings": [
+            {"rule": f.rule, "slug": f.slug, "severity": f.severity,
+             "message": f.message, "lineno": f.lineno, "source": f.source}
+            for f in findings],
+        "gating": sum(1 for f in findings if f.gating),
+    }
+
+
+def _run_synthetic(job: Job, manifest: WorkloadManifest,
+                   store: PerfStore | None, ctx: Mapping) -> dict:
+    seconds = float(job.params.get("service_seconds",
+                                   manifest.args.get("seconds", 0.005)))
+    if seconds < 0 or seconds > 60:
+        raise RunnerError(f"synthetic service demand {seconds}s out of range")
+    # sleep releases the GIL, so c workers really are c parallel servers —
+    # the property the M/M/c self-model check depends on
+    time.sleep(seconds)
+    return {"kernel": manifest.slug, "slept_seconds": seconds}
+
+
+_EXECUTORS = {
+    "benchmark": _run_benchmark,
+    "tune": _run_tune,
+    "analyze": _run_analyze,
+    "synthetic": _run_synthetic,
+}
+
+
+def execute(job: Job, store: PerfStore | None = None,
+            ctx: Mapping | None = None) -> dict:
+    """Run one job to completion; returns its result payload.
+
+    ``ctx`` carries run provenance the engine computed once at startup
+    (``machine`` fingerprint, ``git_sha``) so per-job execution never
+    pays for a calibration probe or a git subprocess.  Raises
+    :class:`RunnerError` (or lets kernel/validation errors propagate) —
+    the engine converts any exception into state ``failed`` with the
+    message as the job's ``error``.
+    """
+    return _EXECUTORS[job.kind](job, job.manifest, store, ctx or {})

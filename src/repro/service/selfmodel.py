@@ -1,0 +1,101 @@
+"""The self-model check: the queueing module models the service it guards.
+
+ROADMAP item 1's closing move — ``repro.queueing`` both *serves* (the
+admission controller's capacity math) and *models* the service.  The
+check drives a live engine with the seeded open-loop Poisson client
+(:class:`~repro.service.client.PoissonClient`), then compares what the
+service *measured* — per-job queueing delay, worker utilization — against
+what :func:`repro.queueing.models.mmc` *predicts* from the measured
+arrival and service rates.
+
+Model inputs are the **measured** rates λ̂ (from admission timestamps)
+and μ̂ (from executed service durations), not the nominal ones: sleep
+overshoot and per-job engine overhead shift the realized rates, and an
+honest self-model must predict from what actually happened.  A warmup
+prefix is dropped so the transient empty-queue start does not dilute the
+steady-state mean the formulas describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..queueing.models import mmc
+from .client import PoissonClient, ServiceClient
+
+__all__ = ["SelfModelReport", "self_model_check"]
+
+
+@dataclass(frozen=True)
+class SelfModelReport:
+    """Measured-vs-predicted verdict of one self-model run."""
+
+    jobs: int
+    shed: int
+    workers: int
+    arrival_rate: float          # λ̂ (admitted jobs)
+    service_rate: float          # μ̂ (from executed durations)
+    utilization_measured: float  # ρ̂ = λ̂ / (c·μ̂)
+    mean_wait_measured: float
+    mean_wait_predicted: float   # M/M/c Wq at (λ̂, μ̂, c)
+    prob_wait_predicted: float
+
+    @property
+    def wait_error(self) -> float:
+        """Relative error of the model: (measured − predicted)/predicted."""
+        if self.mean_wait_predicted == 0:
+            return float("inf")
+        return (self.mean_wait_measured - self.mean_wait_predicted) \
+            / self.mean_wait_predicted
+
+    def within(self, tolerance: float) -> bool:
+        return abs(self.wait_error) <= tolerance
+
+    def report(self) -> str:
+        return (
+            f"self-model: {self.jobs} jobs ({self.shed} shed), "
+            f"c={self.workers}, lambda={self.arrival_rate:.1f}/s, "
+            f"mu={self.service_rate:.1f}/s, rho={self.utilization_measured:.3f}\n"
+            f"  mean wait measured  {self.mean_wait_measured * 1e3:8.2f} ms\n"
+            f"  mean wait M/M/c     {self.mean_wait_predicted * 1e3:8.2f} ms"
+            f"  (P(wait)={self.prob_wait_predicted:.3f})\n"
+            f"  relative error      {self.wait_error:+8.1%}")
+
+
+def self_model_check(client: ServiceClient, *, rate: float = 60.0,
+                     service_rate: float = 50.0, jobs: int = 400,
+                     workers: int = 2, seed: int = 0,
+                     tenant: str = "selfmodel",
+                     warmup_fraction: float = 0.15,
+                     timeout: float = 120.0) -> SelfModelReport:
+    """Drive the service open-loop and validate its waits against M/M/c.
+
+    ``workers`` must match the target engine's pool size — the ``c`` of
+    the model.  Raises ``RuntimeError`` when too few jobs complete to
+    estimate rates.
+    """
+    drive = PoissonClient(client, rate=rate, service_rate=service_rate,
+                          jobs=jobs, seed=seed, tenant=tenant).run()
+    docs = [client.wait(job_id, timeout=timeout)
+            for job_id in drive.submitted]
+    done = [d for d in docs if d["state"] == "done"]
+    if len(done) < max(10, jobs // 4):
+        raise RuntimeError(
+            f"only {len(done)}/{jobs} jobs completed; cannot self-model")
+    skip = int(len(done) * warmup_fraction)
+    steady = done[skip:]
+    waits = [d["wait_seconds"] for d in steady]
+    services = [d["service_seconds"] for d in done]
+    mean_service = sum(services) / len(services)
+    lam = drive.measured_arrival_rate
+    mu = 1.0 / mean_service
+    if lam <= 0 or mu <= 0:
+        raise RuntimeError("degenerate measured rates")
+    predicted = mmc(lam, mu, workers, allow_unstable=True)
+    return SelfModelReport(
+        jobs=len(done), shed=drive.shed, workers=workers,
+        arrival_rate=lam, service_rate=mu,
+        utilization_measured=lam / (workers * mu),
+        mean_wait_measured=sum(waits) / len(waits),
+        mean_wait_predicted=predicted.mean_wait,
+        prob_wait_predicted=predicted.prob_wait)

@@ -1,0 +1,170 @@
+"""Tests for the sharded perfdb: tenants, corrupt-line tally, compaction,
+index-accelerated history, and flat-store migration."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.observe.metrics import METRICS
+from repro.perfdb.record import RunRecord
+from repro.perfdb.store import DEFAULT_TENANT, PerfStore, PerfStoreWarning
+
+
+def _record(bench="service/matmul-small", times=(0.01, 0.011), **kw):
+    kw.setdefault("machine", {})
+    kw.setdefault("git_sha", "deadbeef")
+    return RunRecord.new({bench: list(times)}, **kw)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return PerfStore(tmp_path / "perfdb")
+
+
+class TestShardedAppend:
+    def test_tenantless_append_stays_flat(self, store):
+        store.append(_record())
+        assert store.runs_path.exists()
+        assert store.shard_files() == []
+        assert len(store.runs()) == 1
+
+    def test_tenant_append_routes_to_shard(self, store):
+        path = store.append(_record(), tenant="alice")
+        assert path.parent.name == "alice"
+        assert path.name == "service_matmul-small.jsonl"
+        assert store.tenants() == ["alice"]
+        assert not store.runs_path.exists()
+
+    def test_groups_split_per_benchmark_family(self, store):
+        store.append(_record("service/matmul-small"), tenant="a")
+        store.append(_record("service/stencil-small"), tenant="a")
+        names = sorted(p.name for p in store.shard_files("a"))
+        assert names == ["service_matmul-small.jsonl",
+                         "service_stencil-small.jsonl"]
+
+    def test_hostile_tenant_name_is_sanitized(self, store):
+        path = store.append(_record(), tenant="../../etc")
+        assert store.root in path.parents
+        assert ".." not in path.parts
+
+    def test_runs_filter_by_tenant(self, store):
+        store.append(_record(), tenant="a")
+        store.append(_record(), tenant="b")
+        store.append(_record())  # flat, tenant-less
+        assert len(store.runs()) == 3
+        assert len(store.runs(tenant="a")) == 1
+        assert len(store.runs(tenant="nobody")) == 0
+
+
+class TestCorruptLines:
+    def test_counter_and_metric_track_skips(self, store):
+        store.append(_record(), tenant="a")
+        path = store.shard_files("a")[0]
+        with open(path, "a") as fh:
+            fh.write("this is not json\n")
+        metric = METRICS.counter("perfdb.corrupt_lines")
+        before = metric.value
+        assert store.corrupt_lines == 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PerfStoreWarning)
+            runs = store.runs()
+        assert len(runs) == 1
+        assert store.corrupt_lines == 1
+        assert metric.value == before + 1
+
+    def test_health_reports_scan_local_corruption(self, store):
+        store.append(_record())
+        with open(store.runs_path, "a") as fh:
+            fh.write("{broken\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PerfStoreWarning)
+            health = store.health()
+        assert health["records"] == 1
+        assert health["corrupt_lines"] == 1
+        assert health["legacy_records"] == 1
+
+
+class TestCompaction:
+    def test_compact_drops_corrupt_and_duplicate_lines(self, store):
+        rec = _record()
+        store.append(rec, tenant="a")
+        path = store.shard_files("a")[0]
+        with open(path, "a") as fh:
+            fh.write("garbage line\n")
+            fh.write(json.dumps(rec.to_dict()) + "\n")  # duplicate run id
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PerfStoreWarning)
+            stats = store.compact()
+        assert stats["kept"] == 1
+        assert stats["dropped_lines"] == 1
+        assert stats["dropped_dupes"] == 1
+        # the rewritten shard now reads back clean
+        fresh = PerfStore(store.root)
+        assert len(fresh.runs()) == 1
+        assert fresh.corrupt_lines == 0
+
+    def test_compact_writes_index_inventory(self, store):
+        store.append(_record("service/matmul-small"), tenant="a")
+        store.compact()
+        index = json.loads(store.index_path.read_text())
+        entry = index["shards/a/service_matmul-small.jsonl"]
+        assert entry["records"] == 1
+        assert entry["benchmarks"] == ["service/matmul-small"]
+
+    def test_partial_compaction_merges_index(self, store):
+        store.append(_record(), tenant="a")
+        store.append(_record("service/stencil-small"), tenant="b")
+        store.compact()
+        store.append(_record(), tenant="a")
+        store.compact(tenant="a")
+        index = json.loads(store.index_path.read_text())
+        # tenant b's entry survived the partial pass
+        assert any(key.startswith("shards/b/") for key in index)
+
+
+class TestHistoryIndex:
+    def test_history_skips_shards_via_fresh_index(self, store, monkeypatch):
+        store.append(_record("service/matmul-small"), tenant="a")
+        store.append(_record("service/stencil-small"), tenant="b")
+        store.compact()
+        reads = []
+        orig = PerfStore._read_file
+
+        def spying_read(self, path):
+            reads.append(path.name)
+            return orig(self, path)
+
+        monkeypatch.setattr(PerfStore, "_read_file", spying_read)
+        hist = store.history("service/matmul-small")
+        assert len(hist) == 1
+        assert reads == ["service_matmul-small.jsonl"]
+
+    def test_stale_index_entry_falls_back_to_reading(self, store):
+        store.append(_record("service/matmul-small"), tenant="a")
+        store.compact()
+        # append after compaction: the index entry is now stale
+        store.append(_record("service/matmul-small"), tenant="a")
+        assert len(store.history("service/matmul-small")) == 2
+
+
+class TestMigration:
+    def test_migrate_moves_flat_records_into_shards(self, store):
+        store.append(_record("service/matmul-small"))
+        store.append(_record("service/stencil-small"))
+        moved = store.migrate()
+        assert moved == 2
+        assert not store.runs_path.exists()
+        assert store.tenants() == [DEFAULT_TENANT]
+        assert len(store.runs(tenant=DEFAULT_TENANT)) == 2
+        assert store.index_path.exists()
+
+    def test_migrate_is_idempotent(self, store):
+        store.append(_record())
+        assert store.migrate() == 1
+        assert store.migrate() == 0
+
+    def test_history_spans_flat_and_sharded_records(self, store):
+        store.append(_record("service/matmul-small"))
+        store.append(_record("service/matmul-small"), tenant="a")
+        assert len(store.history("service/matmul-small")) == 2

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.queueing import (
+    capacity_for,
     deterministic,
     erlang_c,
     exponential,
@@ -111,3 +112,61 @@ class TestDESValidation:
         with pytest.raises(ValueError):
             simulate_queue(exponential(1.0), exponential(2.0), customers=10,
                            warmup=10)
+
+
+class TestOverloadAsData:
+    def test_stable_flag_true_below_saturation(self):
+        m = mm1(8.0, 10.0)
+        assert m.stable is True
+        assert "UNSTABLE" not in m.report()
+
+    def test_mm1_overload_returns_infinite_metrics(self):
+        m = mm1(12.0, 10.0, allow_unstable=True)
+        assert m.stable is False
+        assert m.utilization == pytest.approx(1.2)
+        assert m.mean_wait == float("inf")
+        assert m.prob_wait == 1.0
+        assert "UNSTABLE" in m.report()
+
+    def test_mmc_overload_returns_infinite_metrics(self):
+        m = mmc(25.0, 10.0, 2, allow_unstable=True)
+        assert m.stable is False
+        assert m.mean_in_queue == float("inf")
+
+    def test_overload_still_raises_by_default(self):
+        with pytest.raises(ValueError):
+            mmc(25.0, 10.0, 2)
+
+    def test_erlang_c_saturated_is_certain_waiting(self):
+        assert erlang_c(5.0, 2.5, 2, allow_unstable=True) == 1.0
+
+
+class TestCapacityFor:
+    def test_minimum_servers_for_stability(self):
+        # rho <= 0.95 needs c >= lambda/(0.95 mu) = 100/28.5 -> 4 workers
+        assert capacity_for(100.0, 30.0) == 4
+
+    def test_wait_target_adds_servers(self):
+        loose = capacity_for(100.0, 30.0)
+        tight = capacity_for(100.0, 30.0, target_wait=0.001)
+        assert tight > loose
+        assert mmc(100.0, 30.0, tight).mean_wait <= 0.001
+
+    def test_returned_size_meets_the_target(self):
+        c = capacity_for(40.0, 10.0, target_wait=0.05)
+        assert mmc(40.0, 10.0, c).mean_wait <= 0.05
+        if c > 1:
+            # minimality: one fewer server misses target or stability
+            smaller = mmc(40.0, 10.0, c - 1, allow_unstable=True)
+            assert (not smaller.stable or smaller.mean_wait > 0.05
+                    or smaller.utilization > 0.95)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            capacity_for(1e9, 1.0, max_servers=4)
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            capacity_for(0.0, 10.0)
+        with pytest.raises(ValueError):
+            capacity_for(10.0, 0.0)

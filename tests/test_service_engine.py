@@ -1,0 +1,257 @@
+"""Tests for repro.service.engine — queueing, caching, coalescing, quotas."""
+
+import threading
+
+import pytest
+
+from repro.observe.metrics import MetricsRegistry
+from repro.perfdb.store import PerfStore
+from repro.service.engine import JobEngine, machine_cache_key
+from repro.service.jobs import AdmissionError, JobState
+from repro.service.manifest import WorkloadManifest
+from repro.service.quota import AdmissionController, TokenBucket
+
+
+def _engine(tmp_path=None, **over):
+    kw = dict(
+        store=None if tmp_path is None else PerfStore(tmp_path / "perfdb"),
+        workers=2,
+        admission=AdmissionController(max_queue_depth=256,
+                                      tenant_rate=10_000, tenant_burst=10_000),
+        metrics=MetricsRegistry(),
+        with_builtins=True,
+    )
+    kw.update(over)
+    return JobEngine(**kw)
+
+
+def _tiny_matmul(name="tiny-matmul", **over):
+    base = dict(name=name, kernel="matmul", variant="ijk",
+                args={"n": 4, "seed": 0}, repetitions=1, warmup=0)
+    base.update(over)
+    return WorkloadManifest(**base)
+
+
+def _submit_sleep(engine, seconds=0.0, **kw):
+    return engine.submit("synthetic-sleep", kind="synthetic",
+                         params={"service_seconds": seconds}, **kw)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        assert bucket.try_acquire(now=0.0) == (True, 0.0)
+        assert bucket.try_acquire(now=0.0) == (True, 0.0)
+        ok, retry = bucket.try_acquire(now=0.0)
+        assert not ok and retry == pytest.approx(1.0)
+        ok, retry = bucket.try_acquire(now=0.5)
+        assert not ok and retry == pytest.approx(0.5)
+        assert bucket.try_acquire(now=1.0)[0]
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.try_acquire(now=0.0)
+        # a long idle period must not bank more than `burst` tokens
+        assert bucket.try_acquire(now=100.0)[0]
+        assert bucket.try_acquire(now=100.0)[0]
+        assert not bucket.try_acquire(now=100.0)[0]
+
+
+class TestAdmission:
+    def test_queue_backpressure_sheds_with_modeled_retry(self):
+        ctl = AdmissionController(max_queue_depth=4)
+        admitted, reason, retry = ctl.admit("t", queue_depth=4, drain_rate=10.0)
+        assert not admitted
+        assert "queue full" in reason
+        assert retry == pytest.approx(0.1)
+
+    def test_tenant_quota_is_per_tenant(self):
+        ctl = AdmissionController(max_queue_depth=64,
+                                  tenant_rate=1.0, tenant_burst=1.0)
+        assert ctl.admit("a", 0, now=0.0)[0]
+        assert not ctl.admit("a", 0, now=0.0)[0]
+        # tenant b has its own bucket
+        assert ctl.admit("b", 0, now=0.0)[0]
+
+
+class TestEngineLifecycle:
+    def test_benchmark_job_end_to_end(self, tmp_path):
+        with _engine(tmp_path) as engine:
+            job = engine.submit(_tiny_matmul(), tenant="alice")
+            engine.wait_for(job.job_id, timeout=60.0)
+        assert job.state == JobState.DONE, job.error
+        assert job.result["metrics"]["best_seconds"] > 0
+        assert job.wait_seconds is not None and job.wait_seconds >= 0
+        assert job.service_seconds > 0
+        # the run landed in the submitting tenant's shard
+        shards = engine.store.shard_files("alice")
+        assert len(shards) == 1
+        runs = engine.store.runs(tenant="alice")
+        assert len(runs) == 1
+        assert any(b.startswith("service/tiny-matmul")
+                   for b in runs[0].benchmarks)
+
+    def test_failed_job_reports_error(self):
+        bad = WorkloadManifest(name="bad-tune", kernel="matmul",
+                               variant="numpy", args={"n": 4},
+                               repetitions=1, warmup=0)
+        with _engine() as engine:
+            # numpy matmul declares no tunables: tune jobs must fail cleanly
+            job = engine.submit(bad, kind="tune")
+            engine.wait_for(job.job_id, timeout=60.0)
+        assert job.state == JobState.FAILED
+        assert "no tunables" in job.error
+        assert engine.metrics.counter("service.jobs_failed").value == 1
+
+    def test_submit_unknown_manifest_name(self):
+        engine = _engine()
+        with pytest.raises(KeyError, match="no manifest"):
+            engine.submit("never-registered")
+
+
+class TestCache:
+    def test_identical_resubmission_is_served_from_cache(self, tmp_path):
+        with _engine(tmp_path) as engine:
+            first = engine.submit(_tiny_matmul(), tenant="a")
+            engine.wait_for(first.job_id, timeout=60.0)
+            assert first.state == JobState.DONE
+            second = engine.submit(_tiny_matmul(), tenant="b")
+        assert second.state == JobState.DONE
+        assert second.cached is True
+        assert second.result["metrics"] == first.result["metrics"]
+        assert engine.metrics.counter("service.cache_hits").value == 1
+        assert engine.metrics.counter("service.jobs_executed").value == 1
+        # the cached job cost the perfdb nothing new
+        assert len(engine.store.runs(tenant="b")) == 0
+
+    def test_different_params_miss_the_cache(self):
+        with _engine() as engine:
+            a = engine.submit(_tiny_matmul())
+            engine.wait_for(a.job_id, timeout=60.0)
+            b = engine.submit(_tiny_matmul().with_params(n=6))
+            engine.wait_for(b.job_id, timeout=60.0)
+        assert not b.cached
+        assert engine.metrics.counter("service.jobs_executed").value == 2
+
+    def test_non_cacheable_manifest_never_hits(self):
+        with _engine() as engine:
+            a = _submit_sleep(engine)
+            engine.wait_for(a.job_id, timeout=30.0)
+            b = _submit_sleep(engine)
+            engine.wait_for(b.job_id, timeout=30.0)
+        assert not b.cached
+        assert engine.metrics.counter("service.cache_hits").value == 0
+
+    def test_machine_cache_key_is_stable(self):
+        assert machine_cache_key() == machine_cache_key()
+
+
+class TestCoalescing:
+    def test_identical_queued_jobs_share_one_execution(self):
+        engine = _engine()  # not started: both submissions stay queued
+        first = engine.submit(_tiny_matmul(), tenant="a")
+        second = engine.submit(_tiny_matmul(), tenant="b")
+        assert second.coalesced_with == first.job_id
+        with engine:
+            engine.wait_for(first.job_id, timeout=60.0)
+            engine.wait_for(second.job_id, timeout=60.0)
+        assert first.state == second.state == JobState.DONE
+        assert first.result["metrics"] == second.result["metrics"]
+        assert engine.metrics.counter("service.jobs_executed").value == 1
+        assert engine.metrics.counter("service.jobs_coalesced").value == 1
+        assert engine.metrics.counter("service.jobs_completed").value == 2
+
+    def test_concurrent_submissions_execute_once_per_distinct_manifest(self):
+        """Satellite: N threads, exactly one execution per distinct job."""
+        engine = _engine(workers=4)
+        distinct = [_tiny_matmul(f"cc-{i}", args={"n": 4 + i, "seed": 0})
+                    for i in range(3)]
+        jobs, errors = [], []
+        barrier = threading.Barrier(12)
+
+        def submit(manifest, tenant):
+            barrier.wait()
+            try:
+                jobs.append(engine.submit(manifest, tenant=tenant))
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit,
+                                    args=(distinct[i % 3], f"t{i}"))
+                   for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(jobs) == 12
+        with engine:
+            for job in jobs:
+                engine.wait_for(job.job_id, timeout=60.0)
+        assert all(j.state == JobState.DONE for j in jobs)
+        assert engine.metrics.counter("service.jobs_executed").value == 3
+        assert engine.metrics.counter("service.jobs_completed").value == 12
+        # every member of a coalition saw the leader's result
+        by_hash = {}
+        for job in jobs:
+            by_hash.setdefault(job.manifest.manifest_hash(),
+                               set()).add(str(job.result["metrics"]))
+        assert all(len(results) == 1 for results in by_hash.values())
+
+
+class TestPriorityAndOrder:
+    def test_fifo_within_priority_class(self):
+        """Satellite: stable FIFO-within-priority execution order."""
+        engine = _engine(workers=1)
+        priorities = [5, 1, 5, 9, 1, 5]
+        jobs = [_submit_sleep(engine, 0.002, priority=p)
+                for p in priorities]
+        with engine:
+            for job in jobs:
+                engine.wait_for(job.job_id, timeout=30.0)
+        assert all(j.state == JobState.DONE for j in jobs)
+        executed = sorted(jobs, key=lambda j: j.started)
+        # min-heap on (priority, seq): priority classes ascend, FIFO inside
+        assert [j.seq for j in executed] \
+            == [j.seq for j in sorted(jobs, key=lambda j: (j.priority, j.seq))]
+
+
+class TestShedAndCancel:
+    def test_queue_full_sheds_with_admission_error(self):
+        engine = _engine(admission=AdmissionController(
+            max_queue_depth=2, tenant_rate=10_000, tenant_burst=10_000))
+        _submit_sleep(engine)
+        engine.submit(_tiny_matmul())
+        with pytest.raises(AdmissionError) as err:
+            engine.submit(_tiny_matmul("other", args={"n": 5}))
+        assert err.value.retry_after > 0
+        assert engine.metrics.counter("service.jobs_shed").value == 1
+
+    def test_tenant_over_quota_sheds(self):
+        engine = _engine(admission=AdmissionController(
+            max_queue_depth=256, tenant_rate=1.0, tenant_burst=1.0))
+        _submit_sleep(engine, tenant="hog", now=0.0)
+        with pytest.raises(AdmissionError, match="over quota"):
+            _submit_sleep(engine, tenant="hog", now=0.0)
+
+    def test_cancel_queued_job(self):
+        engine = _engine()
+        job = engine.submit(_tiny_matmul())
+        cancelled = engine.cancel(job.job_id)
+        assert cancelled.state == JobState.CANCELLED
+        with engine:
+            pass  # drain: the cancelled group must be skipped, not run
+        assert engine.metrics.counter("service.jobs_executed").value == 0
+        assert engine.metrics.counter("service.jobs_cancelled").value == 1
+
+    def test_stats_shape(self):
+        with _engine() as engine:
+            job = engine.submit(_tiny_matmul())
+            engine.wait_for(job.job_id, timeout=60.0)
+            stats = engine.stats()
+        assert stats["states"][JobState.DONE] == 1
+        assert stats["queue_depth"] == 0
+        assert 0 <= stats["utilization"] <= 1.0
+        assert stats["service_seconds_ewma"] > 0
+        assert "tiny-matmul" not in stats["manifests"]  # inline, unregistered
+        assert "matmul-small" in stats["manifests"]

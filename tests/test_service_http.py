@@ -1,0 +1,189 @@
+"""Tests for the HTTP front end: routes, streaming, shedding, cancel."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.observe.metrics import MetricsRegistry
+from repro.perfdb.store import PerfStore
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.engine import JobEngine
+from repro.service.httpd import start_server
+from repro.service.quota import AdmissionController
+
+
+@pytest.fixture()
+def service(tmp_path):
+    engine = JobEngine(
+        store=PerfStore(tmp_path / "perfdb"), workers=2,
+        admission=AdmissionController(max_queue_depth=256,
+                                      tenant_rate=10_000, tenant_burst=10_000),
+        metrics=MetricsRegistry())
+    server, _ = start_server(engine, port=0)
+    host, port = server.server_address[:2]
+    yield ServiceClient(host, port), engine
+    server.shutdown()
+    engine.shutdown()
+
+
+TINY = {"name": "tiny", "kernel": "matmul", "variant": "ijk",
+        "args": {"n": 4, "seed": 0}, "repetitions": 1, "warmup": 0}
+
+
+class TestRoutes:
+    def test_healthz(self, service):
+        client, _ = service
+        doc = client.health()
+        assert doc["ok"] is True
+        assert doc["workers"] == 2
+
+    def test_manifest_registration_and_listing(self, service):
+        client, _ = service
+        created = client.register_manifest(TINY)
+        assert created["name"] == "tiny"
+        assert "tiny" in client.manifests()
+        # duplicate registration is a conflict unless ?replace=1
+        with pytest.raises(RuntimeError, match="409"):
+            client.register_manifest(TINY)
+        client.register_manifest(dict(TINY, repetitions=2), replace=True)
+
+    def test_invalid_manifest_is_400(self, service):
+        client, _ = service
+        with pytest.raises(RuntimeError, match="400"):
+            client.register_manifest(dict(TINY, kernel="fft"))
+
+    def test_submit_executes_and_records(self, service):
+        client, engine = service
+        client.register_manifest(TINY)
+        doc = client.submit("tiny", tenant="alice")
+        assert doc["state"] in ("queued", "running", "done")
+        final = client.wait(doc["job_id"], timeout=60.0)
+        assert final["state"] == "done", final["error"]
+        assert final["result"]["metrics"]["best_seconds"] > 0
+        assert engine.store.runs(tenant="alice")
+
+    def test_cached_resubmission_returns_200_with_cached_flag(self, service):
+        client, engine = service
+        client.register_manifest(TINY)
+        first = client.submit("tiny")
+        client.wait(first["job_id"], timeout=60.0)
+        second = client.submit("tiny")
+        assert second["cached"] is True
+        assert second["state"] == "done"
+        assert engine.metrics.counter("service.cache_hits").value == 1
+
+    def test_unknown_manifest_is_404(self, service):
+        client, _ = service
+        with pytest.raises(RuntimeError, match="404"):
+            client.submit("no-such-manifest")
+
+    def test_bad_kind_is_400(self, service):
+        client, _ = service
+        with pytest.raises(RuntimeError, match="400"):
+            client.submit("matmul-small", kind="daydream")
+
+    def test_jobs_listing_filters_by_tenant(self, service):
+        client, _ = service
+        client.register_manifest(TINY)
+        a = client.submit("tiny", tenant="a")
+        client.wait(a["job_id"], timeout=60.0)
+        assert {j["tenant"] for j in client.jobs("a")} == {"a"}
+        assert client.jobs("nobody") == []
+
+    def test_stats_exposes_store_health(self, service):
+        client, _ = service
+        stats = client.stats()
+        assert stats["workers"] == 2
+        assert "corrupt_lines" in stats["store"]
+
+    def test_unknown_route_is_404(self, service):
+        client, _ = service
+        status, doc, _ = client._request("GET", "/no/such/route")
+        assert status == 404 and "error" in doc
+
+
+class TestShedding:
+    def test_seeded_burst_sheds_429_with_retry_after(self, tmp_path):
+        engine = JobEngine(
+            store=None, workers=1,
+            admission=AdmissionController(max_queue_depth=256,
+                                          tenant_rate=1.0, tenant_burst=2.0),
+            metrics=MetricsRegistry())
+        server, _ = start_server(engine, port=0)
+        host, port = server.server_address[:2]
+        client = ServiceClient(host, port)
+        try:
+            outcomes = []
+            for _ in range(6):
+                try:
+                    outcomes.append(client.submit(
+                        "synthetic-sleep", kind="synthetic", tenant="burst",
+                        params={"service_seconds": 0.0}))
+                except ServiceUnavailable as exc:
+                    outcomes.append(exc)
+            shed = [o for o in outcomes if isinstance(o, ServiceUnavailable)]
+            # burst of 2 tokens at 1/s: most of a fast 6-burst must shed
+            assert len(shed) >= 3
+            assert all(exc.retry_after > 0 for exc in shed)
+            assert engine.metrics.counter("service.jobs_shed").value \
+                == len(shed)
+        finally:
+            server.shutdown()
+            engine.shutdown()
+
+
+class TestEvents:
+    def test_event_stream_is_ndjson_until_terminal(self, service):
+        client, _ = service
+        doc = client.submit("synthetic-sleep", kind="synthetic",
+                            params={"service_seconds": 0.05})
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=30.0)
+        try:
+            conn.request("GET", f"/jobs/{doc['job_id']}/events")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert resp.getheader("Content-Type") == "application/x-ndjson"
+            lines = [json.loads(line)
+                     for line in resp.read().decode().splitlines() if line]
+        finally:
+            conn.close()
+        assert lines, "stream produced no events"
+        assert lines[-1]["state"] == "done"
+        versions = [line["version"] for line in lines]
+        assert versions == sorted(versions)
+
+    def test_event_stream_unknown_job_is_404(self, service):
+        client, _ = service
+        status, doc, _ = client._request("GET", "/jobs/bogus/events")
+        assert status == 404
+
+
+class TestCancel:
+    def test_delete_cancels_queued_job(self, tmp_path):
+        # engine deliberately NOT started: the job can never leave `queued`
+        engine = JobEngine(store=None, workers=1, metrics=MetricsRegistry())
+        server = None
+        try:
+            from repro.service.httpd import ServiceServer
+            server = ServiceServer(("127.0.0.1", 0), engine)
+            import threading
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            host, port = server.server_address[:2]
+            client = ServiceClient(host, port)
+            doc = client.submit("matmul-small")
+            cancelled = client.cancel(doc["job_id"])
+            assert cancelled["state"] == "cancelled"
+            # cancelling a terminal job is a no-op, not an error
+            again = client.cancel(doc["job_id"])
+            assert again["state"] == "cancelled"
+        finally:
+            if server is not None:
+                server.shutdown()
+            engine.shutdown()
+
+    def test_delete_unknown_job_is_404(self, service):
+        client, _ = service
+        status, doc, _ = client._request("DELETE", "/jobs/bogus")
+        assert status == 404

@@ -1,0 +1,151 @@
+"""Tests for repro.service.manifest — declarative workload manifests."""
+
+import json
+
+import pytest
+
+from repro.service.manifest import (
+    KNOWN_BACKENDS,
+    KNOWN_METRICS,
+    ManifestError,
+    ManifestRegistry,
+    WorkloadManifest,
+    builtin_manifests,
+)
+
+
+def _matmul(**over):
+    base = dict(name="m", kernel="matmul", variant="numpy",
+                args={"n": 16, "seed": 0})
+    base.update(over)
+    return WorkloadManifest(**base)
+
+
+class TestValidation:
+    def test_valid_manifest_roundtrips(self):
+        m = _matmul().validate()
+        assert m.slug == "matmul.numpy"
+        again = WorkloadManifest.from_dict(m.to_dict()).validate()
+        assert again == m
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ManifestError, match="bad manifest name"):
+            _matmul(name="a/b").validate()
+        with pytest.raises(ManifestError, match="bad manifest name"):
+            _matmul(name="").validate()
+
+    def test_unknown_kernel_family_rejected(self):
+        with pytest.raises(ManifestError, match="no operand builder"):
+            _matmul(kernel="fft").validate()
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ManifestError):
+            _matmul(variant="no-such-variant").validate()
+
+    def test_unknown_args_rejected(self):
+        with pytest.raises(ManifestError, match="do not accept"):
+            _matmul(args={"n": 16, "bogus": 1}).validate()
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ManifestError, match="unknown metrics"):
+            _matmul(metrics=("best_seconds", "flops_per_fortnight")).validate()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ManifestError, match="backends"):
+            _matmul(backends=("quantum",)).validate()
+
+    def test_config_must_be_declared_tunable(self):
+        with pytest.raises(ManifestError, match="declared tunables"):
+            _matmul(config={"not_a_knob": 3}).validate()
+
+    def test_tiled_tile_config_accepted(self):
+        m = _matmul(variant="tiled", config={"tile": 8}).validate()
+        assert m.config["tile"] == 8
+
+    def test_bad_measurement_discipline_rejected(self):
+        with pytest.raises(ManifestError, match="repetitions"):
+            _matmul(repetitions=0).validate()
+
+    def test_bad_tune_budget_rejected(self):
+        with pytest.raises(ManifestError, match="max_evaluations"):
+            _matmul(tune={"max_evaluations": 0}).validate()
+
+    def test_synthetic_only_sleep_variant(self):
+        WorkloadManifest(name="s", kernel="synthetic", variant="sleep",
+                         args={"seconds": 0.001}).validate()
+        with pytest.raises(ManifestError, match="sleep"):
+            WorkloadManifest(name="s", kernel="synthetic",
+                             variant="spin").validate()
+
+
+class TestHash:
+    def test_hash_is_stable_and_order_independent(self):
+        a = _matmul(args={"n": 16, "seed": 0})
+        b = _matmul(args={"seed": 0, "n": 16})
+        assert a.manifest_hash() == b.manifest_hash()
+
+    def test_hash_changes_with_content(self):
+        assert _matmul(args={"n": 16}).manifest_hash() \
+            != _matmul(args={"n": 32}).manifest_hash()
+
+    def test_with_params_derives_new_identity(self):
+        m = _matmul()
+        bigger = m.with_params(n=64)
+        assert bigger.args["n"] == 64
+        assert bigger.manifest_hash() != m.manifest_hash()
+
+
+class TestRegistry:
+    def test_register_get_names(self):
+        reg = ManifestRegistry()
+        reg.register(_matmul())
+        assert "m" in reg
+        assert reg.names() == ["m"]
+        assert reg.get("m").kernel == "matmul"
+
+    def test_duplicate_needs_replace(self):
+        reg = ManifestRegistry()
+        reg.register(_matmul())
+        with pytest.raises(ManifestError, match="already registered"):
+            reg.register(_matmul())
+        reg.register(_matmul(args={"n": 32}), replace=True)
+        assert reg.get("m").args["n"] == 32
+
+    def test_get_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError, match="no manifest"):
+            ManifestRegistry().get("nope")
+
+    def test_invalid_manifest_never_lands(self):
+        reg = ManifestRegistry()
+        with pytest.raises(ManifestError):
+            reg.register(_matmul(kernel="fft"))
+        assert len(reg) == 0
+
+    def test_dump_and_load_dir_roundtrip(self, tmp_path):
+        reg = ManifestRegistry()
+        reg.register(_matmul())
+        reg.register(_matmul(name="m2", args={"n": 32}))
+        assert reg.dump(tmp_path) == 2
+        doc = json.loads((tmp_path / "m.json").read_text())
+        assert doc["kernel"] == "matmul"
+        loaded = ManifestRegistry()
+        assert loaded.load_dir(tmp_path) == 2
+        assert loaded.names() == reg.names()
+        assert loaded.get("m2").manifest_hash() == reg.get("m2").manifest_hash()
+
+
+class TestBuiltins:
+    def test_builtins_all_validate(self):
+        manifests = builtin_manifests()
+        assert len(manifests) >= 5
+        for m in manifests:
+            m.validate()
+
+    def test_builtin_metrics_and_backends_known(self):
+        for m in builtin_manifests():
+            assert set(m.metrics) <= set(KNOWN_METRICS)
+            assert set(m.backends) <= set(KNOWN_BACKENDS)
+
+    def test_synthetic_builtin_is_not_cacheable(self):
+        by_name = {m.name: m for m in builtin_manifests()}
+        assert by_name["synthetic-sleep"].cacheable is False
