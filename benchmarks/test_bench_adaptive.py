@@ -1,0 +1,195 @@
+"""Meta-benchmarks: the adaptive engine's wall-clock and power claims.
+
+The tentpole acceptance experiment, seeded end to end.  The workload is a
+busy-wait "kernel" with deterministic seeded jitter, so per-repetition
+cost is controlled and wall-clock ratios track repetition-count ratios:
+
+* the perfdb record+gate cycle (multi-pass capture pooled into a
+  :class:`~repro.perfdb.record.RunRecord`, then ``compare_runs``) must be
+  >= 3x faster under adaptive sampling, at equal-or-better detection
+  power — an injected 3x slowdown is still caught and a clean repeat
+  still passes the gate;
+* a representative tuning search under the adaptive objective must pick
+  the same winner as the fixed-repetition baseline under the same seed,
+  with strictly fewer timed calls and >= 3x less wall-clock.
+
+All tests are ``perfdb_skip``: they measure the measurement stack itself,
+not a kernel.  ``REPRO_BENCH_SMOKE=1`` shrinks the busy-wait base.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.perfdb.compare import compare_runs
+from repro.perfdb.record import RunRecord
+from repro.timing import measure, measure_adaptive, rel_ci_half_width
+from repro.tuning import RandomSearch, adaptive_objective, timed_objective, tune
+from repro.tuning.space import ChoiceParam, SearchSpace
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: Busy-wait base cost per timed call.  Big enough that the engine's own
+#: bootstrap arithmetic is negligible next to the "kernel" being timed.
+BASE = 2e-3 if SMOKE else 3e-3
+
+#: The pre-adaptive convention this PR replaces: 3 pooled passes of
+#: REPS fixed repetitions (+1 warmup) per benchmark per pass.
+PASSES, REPS, WARMUP = 3, 15 if SMOKE else 19, 1
+MIN_REPS, MIN_PASSES, REL_CI = 5, 2, 0.05
+
+#: Tuning repetition cap, shared by both search baselines.  A fixed-rep
+#: sweep has to budget every evaluation for the *noisiest* one (a single
+#: scheduler spike inflates a small sample), so its per-config cost is
+#: the cap; the adaptive objective escalates past ``min_repetitions``
+#: only when a spike actually lands.
+TUNE_REPS = 23 if SMOKE else 29
+
+#: Gate-cycle benchmarks: name -> cost factor over BASE.
+BENCHES = {"alpha": 1.0, "beta": 1.4, "gamma": 0.7}
+
+
+def make_kernel(factor, seed, calls):
+    """Busy-wait kernel: seeded ~1% jitter, counts its own invocations."""
+    rng = np.random.default_rng(seed)
+
+    def kernel():
+        calls[0] += 1
+        target = BASE * factor * (1.0 + 0.01 * rng.random())
+        end = time.perf_counter() + target
+        while time.perf_counter() < end:
+            pass
+
+    return kernel
+
+
+def fixed_cycle(inject=1.0, seed=0):
+    """The old record discipline: PASSES passes x REPS fixed repetitions."""
+    calls = [0]
+    samples = {}
+    for p in range(PASSES):
+        for name, factor in BENCHES.items():
+            k = make_kernel(factor * (inject if name == "alpha" else 1.0),
+                            seed + hash(name) % 1000 + p, calls)
+            res = measure(k, repetitions=REPS, warmup=WARMUP)
+            samples.setdefault(name, []).extend(res.times)
+    return samples, calls[0]
+
+
+def adaptive_cycle(inject=1.0, seed=0):
+    """The new discipline: adaptive per-benchmark sampling inside each
+    pass, plus the pass-level sequential stop (min MIN_PASSES passes,
+    stop once every pooled benchmark's median is pinned to REL_CI)."""
+    calls = [0]
+    samples = {}
+    for p in range(PASSES):
+        for name, factor in BENCHES.items():
+            k = make_kernel(factor * (inject if name == "alpha" else 1.0),
+                            seed + hash(name) % 1000 + p, calls)
+            res = measure_adaptive(k, rel_ci=REL_CI,
+                                   min_repetitions=MIN_REPS,
+                                   max_repetitions=REPS, warmup=WARMUP)
+            samples.setdefault(name, []).extend(res.times)
+        if p + 1 >= MIN_PASSES:
+            worst = max(rel_ci_half_width(ts) for ts in samples.values())
+            if worst <= REL_CI:
+                break
+    return samples, calls[0]
+
+
+def record_of(samples, label):
+    # machine={} skips the fingerprint + calibration probe: this
+    # experiment compares identical synthetic kernels on one machine
+    return RunRecord.new(samples, label=label, machine={})
+
+
+@pytest.mark.perfdb_skip  # meta-benchmark: measures the measurement stack
+def test_bench_adaptive_record_gate_cycle():
+    """Acceptance: >=3x wall-clock cut on record+gate, equal power."""
+    t0 = time.perf_counter()
+    fixed_base, fixed_calls = fixed_cycle(seed=0)
+    fixed_cand, _ = fixed_cycle(seed=100)
+    fixed_wall = time.perf_counter() - t0
+    fixed_gate = compare_runs(record_of(fixed_cand, "fixed-cand"),
+                              record_of(fixed_base, "fixed-base"))
+
+    t0 = time.perf_counter()
+    adapt_base, adapt_calls = adaptive_cycle(seed=0)
+    adapt_cand, _ = adaptive_cycle(seed=100)
+    adapt_wall = time.perf_counter() - t0
+    adapt_gate = compare_runs(record_of(adapt_cand, "adapt-cand"),
+                              record_of(adapt_base, "adapt-base"))
+
+    speedup = fixed_wall / adapt_wall
+    emit("adaptive / record+gate cycle",
+         f"fixed:    {fixed_calls} timed calls, {fixed_wall:.3f}s, "
+         f"clean gate {'PASS' if fixed_gate.ok else 'FAIL'}\n"
+         f"adaptive: {adapt_calls} timed calls, {adapt_wall:.3f}s, "
+         f"clean gate {'PASS' if adapt_gate.ok else 'FAIL'}\n"
+         f"wall-clock reduction {speedup:.2f}x (target >= 3x)")
+    # equal-or-better power, clean side: adaptive repeat passes the gate
+    assert adapt_gate.ok, adapt_gate.report()
+    assert adapt_calls < fixed_calls
+    assert speedup >= 3.0, f"only {speedup:.2f}x"
+
+
+@pytest.mark.perfdb_skip  # meta-benchmark: measures the measurement stack
+def test_bench_adaptive_gate_detection_power():
+    """Acceptance: the injected 3x slowdown is still caught adaptively."""
+    base_samples, _ = adaptive_cycle(seed=0)
+    slow_samples, _ = adaptive_cycle(inject=3.0, seed=100)
+    gate = compare_runs(record_of(slow_samples, "injected"),
+                        record_of(base_samples, "baseline"))
+    flagged = {r.benchmark_id for r in gate.regressions}
+    alpha = next(r for r in gate.results if r.benchmark_id == "alpha")
+    emit("adaptive / injected-regression detection",
+         f"injected 3x on 'alpha': gate "
+         f"{'FAIL (regression caught)' if not gate.ok else 'PASS (missed!)'}\n"
+         f"alpha ratio {alpha.ratio:.2f} "
+         f"ci {alpha.ratio_ci} achieved rel ci "
+         f"{alpha.achieved_rel_ci:.1%}\n"
+         f"flagged: {sorted(flagged)}")
+    assert not gate.ok
+    assert flagged == {"alpha"}
+    assert alpha.ratio == pytest.approx(3.0, rel=0.25)
+    # the gate's new annotation: the verdict's effect size is pinned tight
+    assert alpha.achieved_rel_ci is not None and alpha.achieved_rel_ci < 0.10
+
+
+@pytest.mark.perfdb_skip  # meta-benchmark: measures the measurement stack
+def test_bench_adaptive_tuning_search():
+    """Acceptance: same winner, strictly fewer repetitions, >=3x faster."""
+    factors = {"fast": 1.0, "mid": 1.4, "slow": 1.9, "worst": 2.6}
+    space = SearchSpace([ChoiceParam("variant", choices=sorted(factors))])
+
+    def run_search(objective_builder):
+        calls = [0]
+        kernels = {name: make_kernel(f, seed=42, calls=calls)
+                   for name, f in factors.items()}
+        fn = lambda variant: kernels[variant]()  # noqa: E731
+        objective = objective_builder(fn)
+        t0 = time.perf_counter()
+        result = tune(objective, space, RandomSearch(seed=0, max_samples=8))
+        return result, calls[0], time.perf_counter() - t0
+
+    fixed_res, fixed_calls, fixed_wall = run_search(
+        lambda fn: timed_objective(fn, setup=lambda cfg: (),
+                                   warmup=WARMUP, repetitions=TUNE_REPS))
+    adapt_res, adapt_calls, adapt_wall = run_search(
+        lambda fn: adaptive_objective(fn, setup=lambda cfg: (),
+                                      rel_ci=REL_CI, min_repetitions=3,
+                                      max_repetitions=TUNE_REPS,
+                                      warmup=WARMUP))
+    speedup = fixed_wall / adapt_wall
+    emit("adaptive / tuning search",
+         f"fixed:    winner {fixed_res.best_config} after {fixed_calls} "
+         f"timed calls, {fixed_wall:.3f}s\n"
+         f"adaptive: winner {adapt_res.best_config} after {adapt_calls} "
+         f"timed calls, {adapt_wall:.3f}s\n"
+         f"wall-clock reduction {speedup:.2f}x (target >= 3x)")
+    assert adapt_res.best_config == fixed_res.best_config
+    assert adapt_calls < fixed_calls
+    assert speedup >= 3.0, f"only {speedup:.2f}x"

@@ -23,7 +23,7 @@ from conftest import emit
 
 from repro.observe import MetricsRegistry, Tracer, tracing
 from repro.perfdb.capture import harvest_measure_times
-from repro.timing import measure
+from repro.timing import measure, measure_adaptive
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 #: The CI gate's artificial-slowdown hook: repeat the matmul this many times.
@@ -34,6 +34,10 @@ INJECT = max(1, int(os.environ.get("REPRO_PERFDB_INJECT", "1") or "1"))
 # back-to-back determinism contract (compare exits 0) flaky.
 N = 256 if SMOKE else 384
 REPS = 11 if SMOKE else 15
+# Adaptive sampling: REPS becomes the per-benchmark cap; a quiet machine
+# stops at MIN_REPS.  The floor is 5 so each pooled pass alone satisfies
+# the Mann-Whitney >= 4-samples-per-side requirement of the compare gate.
+MIN_REPS = 5
 ROUNDS = 3
 
 
@@ -47,19 +51,22 @@ def test_bench_gate_matmul():
             out = a @ a
         return out
 
-    res = measure(kernel, repetitions=REPS, warmup=2)
+    res = measure_adaptive(kernel, min_repetitions=MIN_REPS,
+                           max_repetitions=REPS, warmup=2)
     emit("perfdb gate / matmul",
          f"{N}x{N} matmul x{INJECT}: median {res.summary.median:.4e}s "
-         f"cv {res.summary.cv:.2%}")
+         f"cv {res.summary.cv:.2%}, {len(res.times)} reps ({res.stop_reason})")
     assert res.best > 0
 
 
 def test_bench_gate_histogram():
     values = np.random.default_rng(1).integers(0, 256, size=N * N * 8)
-    res = measure(lambda: np.bincount(values, minlength=256),
-                  repetitions=REPS, warmup=2)
+    res = measure_adaptive(lambda: np.bincount(values, minlength=256),
+                           min_repetitions=MIN_REPS, max_repetitions=REPS,
+                           warmup=2)
     emit("perfdb gate / histogram",
-         f"{values.size} values: median {res.summary.median:.4e}s")
+         f"{values.size} values: median {res.summary.median:.4e}s, "
+         f"{len(res.times)} reps ({res.stop_reason})")
     assert res.best > 0
 
 
@@ -70,9 +77,11 @@ def test_bench_gate_stencil():
         return (grid[1:-1, 1:-1] + grid[:-2, 1:-1] + grid[2:, 1:-1]
                 + grid[1:-1, :-2] + grid[1:-1, 2:]) * 0.2
 
-    res = measure(kernel, repetitions=REPS, warmup=2)
+    res = measure_adaptive(kernel, min_repetitions=MIN_REPS,
+                           max_repetitions=REPS, warmup=2)
     emit("perfdb gate / stencil",
-         f"{grid.shape} 5-point stencil: median {res.summary.median:.4e}s")
+         f"{grid.shape} 5-point stencil: median {res.summary.median:.4e}s, "
+         f"{len(res.times)} reps ({res.stop_reason})")
     assert res.best > 0
 
 

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Adaptive measurement: sequential stopping, modes, and budgets, demoed.
+
+Three synthetic timers with very different noise profiles — a quiet
+kernel, a heavy-tailed one, and a bimodal one (the classic two-state
+frequency-scaling signature) — are measured two ways:
+
+    1. the fixed-repetition convention (every kernel pays the same cap)
+    2. ``measure_adaptive`` (stop when the bootstrap CI of the median is
+       inside the target, or at the cap — whichever comes first)
+
+then the distribution-aware summary flags the bimodal sample, and a
+``MeasurementBudget`` splits one global wall-clock budget across all
+three, spending batches where the confidence interval is widest.
+
+The timers are *simulated* with an injectable clock: each "repetition"
+advances a fake clock by a seeded draw, so the demo is deterministic,
+instant, and shows pure engine behaviour.  Swap in a real function and
+drop the ``clock`` argument to measure for real.
+
+Run:  python examples/adaptive_measurement.py
+"""
+
+import numpy as np
+
+from repro.timing import MeasurementBudget, measure_adaptive, sample_summary
+
+CAP = 60  # the fixed convention's repetition count, and the adaptive cap
+
+
+class FakeClock:
+    """A perf_counter stand-in advanced by each simulated repetition."""
+
+    def __init__(self, draws):
+        self.draws = iter(draws)
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self):
+        self.now += float(next(self.draws))
+
+
+def make_timer(draws):
+    clock = FakeClock(draws)
+    return clock.tick, clock
+
+
+def quiet_draws(rng, n=10_000):
+    return np.abs(rng.normal(1.0e-3, 5e-6, n))
+
+
+def heavy_tailed_draws(rng, n=10_000):
+    return rng.lognormal(mean=np.log(1.0e-3), sigma=0.6, size=n)
+
+
+def bimodal_draws(rng, n=10_000):
+    fast = rng.normal(1.0e-3, 1e-5, n)
+    slow = rng.normal(2.0e-3, 2e-5, n)
+    return np.abs(np.where(rng.random(n) < 0.5, fast, slow))
+
+
+def main():
+    rng = np.random.default_rng(7)
+    timers = {
+        "quiet": quiet_draws(rng),
+        "heavy-tailed": heavy_tailed_draws(rng),
+        "bimodal": bimodal_draws(rng),
+    }
+
+    print(f"fixed convention: every kernel pays {CAP} repetitions\n")
+    print(f"{'kernel':>14s}  {'reps':>4s}  {'stop':>15s}  "
+          f"{'achieved ci':>11s}  modes")
+    total_adaptive = 0
+    for name, draws in timers.items():
+        fn, clock = make_timer(draws)
+        res = measure_adaptive(fn, rel_ci=0.05, min_repetitions=5,
+                               max_repetitions=CAP, warmup=2, clock=clock)
+        total_adaptive += len(res.times)
+        modes = ", ".join(f"{m.center:.2e}s x{m.n}" for m in res.sample.modes)
+        print(f"{name:>14s}  {len(res.times):4d}  {res.stop_reason:>15s}  "
+              f"{res.achieved_rel_ci:>10.1%}  {modes}")
+    print(f"\nadaptive total: {total_adaptive} repetitions vs "
+          f"{CAP * len(timers)} fixed "
+          f"({CAP * len(timers) / total_adaptive:.1f}x fewer)")
+
+    # the bimodal sample is flagged even though its global median is tight
+    summary = sample_summary(list(bimodal_draws(rng, 60)))
+    print(f"\nbimodal sample: multimodal={summary.multimodal} "
+          f"n_modes={summary.n_modes} stable={summary.stable}")
+    assert summary.multimodal and not summary.stable
+
+    # one wall-clock budget across the suite: the quiet kernel gets its
+    # minimum, the noisy ones get the rest, widest-CI first
+    fns, clocks = {}, {}
+    for name, draws in timers.items():
+        fns[name], clocks[name] = make_timer(draws)
+
+    class SuiteClock:  # the budget's notion of elapsed time: sum of all
+        def __call__(self):
+            return sum(c.now for c in clocks.values())
+
+    budget = MeasurementBudget(max_seconds=0.12, rel_ci=0.05,
+                               min_repetitions=5, max_repetitions=200,
+                               clock=SuiteClock())
+    results = budget.run(fns, warmup=1)
+    print("\nbudgeted suite (120 ms wall-clock to split):")
+    for name, res in results.items():
+        print(f"{name:>14s}  {len(res.times):4d} reps  {res.stop_reason:>15s}"
+              f"  ±{res.achieved_rel_ci:.1%}")
+    quiet_reps = len(results["quiet"].times)
+    assert quiet_reps <= min(len(r.times) for r in results.values())
+
+
+if __name__ == "__main__":
+    main()

@@ -79,6 +79,15 @@ from .parallel import (
 from .perfdb import PerfStore, RunRecord, compare_runs
 from .profiling import FunctionCost, Profile, amdahl_gate, profile_callable
 from .roofline import AppPoint, RooflineModel, cpu_roofline, gpu_roofline
+from .timing import (
+    MeasurementBudget,
+    MeasurementResult,
+    SampleSummary,
+    measure,
+    measure_adaptive,
+    measure_until_stable,
+    sample_summary,
+)
 from .tuning import (
     Budget,
     CoordinateDescent,
@@ -91,7 +100,7 @@ from .tuning import (
     tune_variant,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Toolbox",
@@ -154,6 +163,14 @@ __all__ = [
     "tracing",
     "MetricsRegistry",
     "METRICS",
+    # adaptive measurement
+    "MeasurementResult",
+    "MeasurementBudget",
+    "SampleSummary",
+    "measure",
+    "measure_adaptive",
+    "measure_until_stable",
+    "sample_summary",
     # longitudinal performance tracking
     "PerfStore",
     "RunRecord",

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..observe import Tracer, get_tracer
+from ..timing.adaptive import MeasurementBudget, measure_adaptive
 from ..timing.metrics import WorkCount
 from ..timing.stats import Summary
 from ..timing.timers import MeasurementResult, measure
@@ -79,8 +80,15 @@ class MicrobenchResult:
 
 def run_microbenchmark(bench: Microbenchmark, repetitions: int = 7,
                        warmup: int = 2,
-                       tracer: Tracer | None = None) -> MicrobenchResult:
+                       tracer: Tracer | None = None,
+                       adaptive: bool = False,
+                       rel_ci: float = 0.05) -> MicrobenchResult:
     """Set up and measure one microbenchmark.
+
+    With ``adaptive`` set, sampling goes through the sequential stopping
+    rule (:func:`~repro.timing.adaptive.measure_adaptive`): ``repetitions``
+    becomes the per-benchmark *cap* and a stable kernel stops as soon as
+    its median is pinned to within ``rel_ci``.
 
     With tracing enabled the run emits a ``microbench.run`` span tagged
     with the kernel's work accounting — FLOPs, bytes, and operational
@@ -96,8 +104,16 @@ def run_microbenchmark(bench: Microbenchmark, repetitions: int = 7,
     with tracer.span("microbench.run", category="microbench",
                      benchmark=bench.name, flops=work.flops,
                      bytes=work.bytes_total, intensity=intensity) as span:
-        result = measure(lambda: bench.fn(*operands), repetitions=repetitions,
-                         warmup=warmup, tracer=tracer)
+        if adaptive:
+            lo = min(3, repetitions)
+            result = measure_adaptive(
+                lambda: bench.fn(*operands), rel_ci=rel_ci,
+                min_repetitions=lo, batch=lo, max_repetitions=repetitions,
+                warmup=warmup, tracer=tracer)
+        else:
+            result = measure(lambda: bench.fn(*operands),
+                             repetitions=repetitions,
+                             warmup=warmup, tracer=tracer)
         span.set("median_seconds", result.summary.median)
     return MicrobenchResult(bench.name, work, result)
 
@@ -122,16 +138,55 @@ class MicrobenchSuite:
     def __len__(self) -> int:
         return len(self._benches)
 
-    def run(self, repetitions: int = 7, warmup: int = 2) -> dict[str, MicrobenchResult]:
-        return {b.name: run_microbenchmark(b, repetitions, warmup)
+    def run(self, repetitions: int = 7, warmup: int = 2,
+            adaptive: bool = False,
+            rel_ci: float = 0.05) -> dict[str, MicrobenchResult]:
+        return {b.name: run_microbenchmark(b, repetitions, warmup,
+                                           adaptive=adaptive, rel_ci=rel_ci)
                 for b in self._benches}
+
+    def run_budgeted(self, max_seconds: float, *, rel_ci: float = 0.05,
+                     min_repetitions: int = 5, max_repetitions: int = 200,
+                     warmup: int = 1) -> dict[str, MicrobenchResult]:
+        """Run the whole suite under one shared wall-clock budget.
+
+        Uses :class:`~repro.timing.adaptive.MeasurementBudget`: after a
+        seeding pass, the remaining budget flows batch by batch to
+        whichever benchmark's median currently has the widest confidence
+        interval, so noisy kernels get the samples and stable ones stop
+        at ``min_repetitions``.  Each result's ``stop_reason`` tells
+        whether it converged, capped out, or ran out of shared budget.
+        """
+        if not self._benches:
+            raise ValueError(f"suite {self.name!r} is empty")
+        fns: dict[str, Callable[[], object]] = {}
+        works: dict[str, WorkCount] = {}
+        for b in self._benches:
+            operands = b.setup()
+            if not isinstance(operands, tuple):
+                raise TypeError(
+                    f"{b.name}: setup must return a tuple of operands")
+            works[b.name] = b.work(*operands)
+            fns[b.name] = (lambda fn=b.fn, ops=operands: fn(*ops))
+        budget = MeasurementBudget(
+            max_seconds, rel_ci=rel_ci, min_repetitions=min_repetitions,
+            max_repetitions=max_repetitions)
+        measured = budget.run(fns, warmup=warmup)
+        return {name: MicrobenchResult(name, works[name], measured[name])
+                for name in fns}
 
     @staticmethod
     def report(results: dict[str, MicrobenchResult]) -> str:
-        lines = [f"{'benchmark':28s} {'median':>12s} {'GB/s':>9s} {'GFLOP/s':>9s} {'cv':>7s}"]
+        lines = [f"{'benchmark':28s} {'median':>12s} {'GB/s':>9s} "
+                 f"{'GFLOP/s':>9s} {'cv':>7s} {'n':>4s}  shape"]
         for name, r in results.items():
             gb = f"{r.bytes_per_s / 1e9:9.2f}" if r.work.bytes_total else "      n/a"
             gf = f"{r.flops_per_s / 1e9:9.2f}" if r.work.flops else "      n/a"
+            sample = r.measurement.sample
+            shape = ("-" if sample is None
+                     else f"{sample.n_modes}-modal" if sample.multimodal
+                     else "unimodal")
             lines.append(f"{name:28s} {r.seconds:12.3e} {gb:>9s} {gf:>9s} "
-                         f"{r.summary.cv:7.2%}")
+                         f"{r.summary.cv:7.2%} {len(r.measurement.times):4d}"
+                         f"  {shape}")
         return "\n".join(lines)

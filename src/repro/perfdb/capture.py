@@ -33,7 +33,8 @@ __all__ = ["CAPTURE_ENV", "harvest_measure_times", "PerfCapturePlugin",
 #: Environment variable naming the JSON file a capture session writes.
 CAPTURE_ENV = "REPRO_PERFDB_CAPTURE"
 
-_MEASURE_SPANS = ("timing.measure", "timing.measure_until_stable")
+_MEASURE_SPANS = ("timing.measure", "timing.measure_until_stable",
+                  "timing.measure_adaptive")
 
 
 def harvest_measure_times(spans: Iterable[Span]) -> list[list[float]]:

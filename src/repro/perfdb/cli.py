@@ -24,6 +24,7 @@ import subprocess
 import sys
 from pathlib import Path
 
+from ..timing.adaptive import rel_ci_half_width
 from .capture import CAPTURE_ENV, load_capture
 from .compare import compare_runs
 from .record import RunRecord, calibration_probe, machine_fingerprint
@@ -47,10 +48,20 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="pytest targets/args (default: benchmarks/)")
     rec.add_argument("--label", default="", help="free-form run label")
     rec.add_argument("--passes", type=int, default=3,
-                     help="independent pytest passes whose raw samples are "
-                          "pooled into the run (default 3); >1 spreads the "
-                          "measurement over time so a transient machine-"
-                          "load burst cannot contaminate a whole benchmark")
+                     help="maximum independent pytest passes whose raw "
+                          "samples are pooled into the run (default 3); >1 "
+                          "spreads the measurement over time so a transient "
+                          "machine-load burst cannot contaminate a whole "
+                          "benchmark")
+    rec.add_argument("--min-passes", type=int, default=2,
+                     help="passes always run before the sequential stopping "
+                          "rule may end the record early (default 2)")
+    rec.add_argument("--rel-ci", type=float, default=0.05,
+                     help="record stops adding passes once every pooled "
+                          "benchmark's bootstrap CI half-width on the median "
+                          "is within this fraction of the median (default "
+                          "0.05); 0 disables early stopping and always runs "
+                          "--passes passes")
 
     cmp_ = sub.add_parser("compare", help="gate a run against a baseline")
     cmp_.add_argument("--candidate", default=None, metavar="RUN",
@@ -77,6 +88,8 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_record(store: PerfStore, args) -> int:
     targets = list(args.targets) if args.targets else ["benchmarks/"]
     passes = max(1, int(args.passes))
+    min_passes = max(1, min(int(args.min_passes), passes))
+    rel_ci = max(0.0, float(args.rel_ci))
     store.root.mkdir(parents=True, exist_ok=True)
     capture_path = store.root / f"capture-{os.getpid()}.json"
     env = dict(os.environ)
@@ -103,6 +116,7 @@ def _cmd_record(store: PerfStore, args) -> int:
         cal_before = None
     samples: dict[str, list[float]] = {}
     metrics: dict = {}
+    passes_run, worst_ci, stopped_early = 0, None, False
     for n in range(passes):
         try:
             proc = subprocess.run(cmd, env=env)
@@ -122,6 +136,19 @@ def _cmd_record(store: PerfStore, args) -> int:
             capture_path.unlink(missing_ok=True)
         for bid, times in pass_samples.items():
             samples.setdefault(bid, []).extend(times)
+        passes_run = n + 1
+        # Sequential stopping across passes: once every pooled benchmark's
+        # median is pinned to within --rel-ci, more passes only cost time.
+        if rel_ci > 0 and samples:
+            worst_ci = max(rel_ci_half_width(times)
+                           for times in samples.values())
+            if (passes_run >= min_passes and passes_run < passes
+                    and worst_ci <= rel_ci):
+                stopped_early = True
+                print(f"perfdb record: converged after {passes_run}/"
+                      f"{passes} passes (worst pooled rel CI "
+                      f"{worst_ci:.1%} <= {rel_ci:.1%})")
+                break
     if not samples:
         print("perfdb record: no benchmark produced measurable samples",
               file=sys.stderr)
@@ -131,6 +158,12 @@ def _cmd_record(store: PerfStore, args) -> int:
     if cal_before and cal_after:
         machine["calibration"] = min(
             (cal_before, cal_after), key=lambda c: c["best_seconds"])
+    metrics = dict(metrics)
+    metrics["perfdb.record.passes"] = passes_run
+    metrics["perfdb.record.max_passes"] = passes
+    metrics["perfdb.record.stopped_early"] = stopped_early
+    if worst_ci is not None:
+        metrics["perfdb.record.worst_rel_ci"] = worst_ci
     record = RunRecord.new(samples, label=args.label, metrics=metrics,
                            machine=machine)
     store.append(record)

@@ -80,6 +80,10 @@ class BenchmarkComparison:
     significant: bool
     #: min(candidate)/min(baseline) — the quiet-machine effect size.
     best_ratio: float | None = None
+    #: Half-width of ``ratio_ci`` relative to ``ratio`` — how tightly the
+    #: effect size was pinned down by the samples the (possibly adaptive)
+    #: capture collected.  The gate's verdict is only as sharp as this.
+    achieved_rel_ci: float | None = None
 
     @property
     def regressed(self) -> bool:
@@ -114,11 +118,13 @@ def _compare_times(benchmark_id: str, candidate: Sequence[float],
         verdict, significant = IMPROVED, True
     else:
         verdict, significant = UNCHANGED, slower or faster
+    achieved = (ci[1] - ci[0]) / 2.0 / ratio if ratio > 0 else None
     return BenchmarkComparison(
         benchmark_id=benchmark_id, verdict=verdict,
         candidate_median=cand_med, baseline_median=base_med,
         ratio=ratio, ratio_ci=ci, rel_change=rel_change,
-        significant=significant, best_ratio=best_ratio)
+        significant=significant, best_ratio=best_ratio,
+        achieved_rel_ci=achieved)
 
 
 @dataclass(frozen=True)
@@ -173,7 +179,10 @@ class RunComparison:
                 continue
             ci = f"[{r.ratio_ci[0]:6.3f},{r.ratio_ci[1]:6.3f}]"
             flag = "" if r.verdict == UNCHANGED else (
-                f"  ({r.rel_change:+.1%})")
+                f"  ({r.rel_change:+.1%}, effect pinned to "
+                f"±{r.achieved_rel_ci:.1%})"
+                if r.achieved_rel_ci is not None
+                else f"  ({r.rel_change:+.1%})")
             lines.append(
                 f"  {bid:52s} {r.baseline_median:10.3e} "
                 f"{r.candidate_median:10.3e} {r.ratio:7.3f} "

@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from ..timing.adaptive import detect_modes
 from .compare import history_drift
 from .record import RunRecord
 from .store import PerfStore
@@ -65,30 +66,39 @@ def report_text(store: PerfStore, width: int = 24,
         history = [r for r in runs if bid in r.benchmarks]
         series = [r.benchmarks[bid].summary.median for r in history]
         ratio = None
-        if bid in latest.benchmarks and bid in baseline.benchmarks \
-                and latest.run_id != baseline.run_id:
-            ratio = (latest.benchmarks[bid].summary.median
-                     / baseline.benchmarks[bid].summary.median)
+        n_latest, n_modes = None, None
+        if bid in latest.benchmarks:
+            latest_times = latest.benchmarks[bid].times
+            n_latest = len(latest_times)
+            n_modes = len(detect_modes(latest_times))
+            if bid in baseline.benchmarks \
+                    and latest.run_id != baseline.run_id:
+                ratio = (latest.benchmarks[bid].summary.median
+                         / baseline.benchmarks[bid].summary.median)
         drifts = history_drift(history, bid, alpha=drift_alpha)
-        entries.append((bid, ratio, series, drifts))
+        entries.append((bid, ratio, series, drifts, n_latest, n_modes))
     entries.sort(key=_ratio_key)
 
     lines.append(f"benchmarks (worst vs baseline first, sparkline = per-run "
-                 f"median, last {width} runs):")
-    lines.append(f"  {'benchmark':52s} {'runs':>4s} {'latest':>10s} "
-                 f"{'vs base':>8s}  trend")
-    for bid, ratio, series, drifts in entries:
+                 f"median, last {width} runs, n = latest-run samples):")
+    lines.append(f"  {'benchmark':52s} {'runs':>4s} {'n':>4s} "
+                 f"{'latest':>10s} {'vs base':>8s}  trend")
+    for bid, ratio, series, drifts, n_latest, n_modes in entries:
         label = bid if len(bid) <= 52 else "..." + bid[-49:]
         vs = f"{ratio - 1.0:+7.1%}" if ratio is not None else "      -"
+        nsamp = f"{n_latest:4d}" if n_latest is not None else "   -"
         spark = sparkline(series, width=width)
         drift = ""
         if drifts:
             worst = max(drifts, key=lambda d: abs(d.rel_change))
             drift = (f"  ! shift {worst.rel_change:+.0%} at run "
                      f"{worst.run_id}")
-        lines.append(f"  {label:52s} {len(series):4d} {series[-1]:10.3e} "
-                     f"{vs:>8s}  {spark}{drift}")
+        multi = (f"  ~ multimodal ({n_modes} modes in latest run)"
+                 if n_modes is not None and n_modes >= 2 else "")
+        lines.append(f"  {label:52s} {len(series):4d} {nsamp} "
+                     f"{series[-1]:10.3e} {vs:>8s}  {spark}{drift}{multi}")
     stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(runs[-1].created))
     lines.append(f"latest run recorded {stamp}; '!' marks a change point in "
-                 "the median history (drift scan)")
+                 "the median history (drift scan); '~' flags a latest-run "
+                 "sample whose timing distribution is multimodal")
     return "\n".join(lines)

@@ -81,7 +81,13 @@ class WorkloadManifest:
         tunable the variant declares, so a manifest can only steer knobs
         the kernel advertises.
     repetitions / warmup:
-        Measurement discipline for benchmark jobs.
+        Measurement discipline for benchmark jobs.  With ``adaptive``
+        set, ``repetitions`` is the per-job *cap* and sampling stops as
+        soon as the median's bootstrap CI is within ``rel_ci``.
+    adaptive / rel_ci:
+        Opt into the sequential stopping rule
+        (:func:`repro.timing.adaptive.measure_adaptive`) for benchmark
+        jobs; ``rel_ci`` is the relative CI half-width target.
     metrics:
         Which derived metrics the result payload reports.
     backends:
@@ -103,6 +109,8 @@ class WorkloadManifest:
     config: Mapping[str, object] = field(default_factory=dict)
     repetitions: int = 3
     warmup: int = 1
+    adaptive: bool = False
+    rel_ci: float = 0.05
     metrics: tuple[str, ...] = ("best_seconds", "median_seconds")
     backends: tuple[str, ...] = ("serial",)
     tune: Mapping[str, object] = field(default_factory=dict)
@@ -130,6 +138,9 @@ class WorkloadManifest:
         if self.repetitions < 1 or self.warmup < 0:
             raise ManifestError(
                 f"{self.name}: need repetitions >= 1 and warmup >= 0")
+        if not 0 < self.rel_ci < 1:
+            raise ManifestError(
+                f"{self.name}: rel_ci must be in (0, 1), got {self.rel_ci}")
         unknown = set(self.metrics) - set(KNOWN_METRICS)
         if unknown:
             raise ManifestError(
@@ -194,6 +205,8 @@ class WorkloadManifest:
             "config": dict(sorted(self.config.items())),
             "repetitions": self.repetitions,
             "warmup": self.warmup,
+            "adaptive": self.adaptive,
+            "rel_ci": self.rel_ci,
             "metrics": list(self.metrics),
             "backends": list(self.backends),
             "tune": dict(sorted(self.tune.items())),
@@ -211,6 +224,8 @@ class WorkloadManifest:
                 config=dict(doc.get("config", {})),
                 repetitions=int(doc.get("repetitions", 3)),
                 warmup=int(doc.get("warmup", 1)),
+                adaptive=bool(doc.get("adaptive", False)),
+                rel_ci=float(doc.get("rel_ci", 0.05)),
                 metrics=tuple(doc.get("metrics",
                                       ("best_seconds", "median_seconds"))),
                 backends=tuple(doc.get("backends", ("serial",))),

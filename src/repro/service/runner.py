@@ -29,6 +29,7 @@ from typing import Callable, Mapping
 from ..kernels.base import REGISTRY, KernelVariant
 from ..perfdb.record import RunRecord
 from ..perfdb.store import PerfStore
+from ..timing.adaptive import measure_adaptive
 from ..timing.timers import measure
 from .jobs import Job
 from .manifest import WorkloadManifest
@@ -125,8 +126,16 @@ def _run_benchmark(job: Job, manifest: WorkloadManifest,
     variant = REGISTRY.get(manifest.kernel, manifest.variant)
     operands = build_operands(manifest)
     config = dict(manifest.config)
-    res = measure(lambda: variant.fn(*operands, **config),
-                  repetitions=manifest.repetitions, warmup=manifest.warmup)
+    if manifest.adaptive:
+        lo = min(3, manifest.repetitions)
+        res = measure_adaptive(
+            lambda: variant.fn(*operands, **config),
+            rel_ci=manifest.rel_ci, min_repetitions=lo, batch=lo,
+            max_repetitions=manifest.repetitions, warmup=manifest.warmup)
+    else:
+        res = measure(lambda: variant.fn(*operands, **config),
+                      repetitions=manifest.repetitions,
+                      warmup=manifest.warmup)
     flops = _work_flops(manifest, variant, operands)
     derived = {
         "best_seconds": res.best,
@@ -139,6 +148,9 @@ def _run_benchmark(job: Job, manifest: WorkloadManifest,
         "kernel": manifest.slug,
         "times": list(res.times),
         "stable": res.stable,
+        "repetitions": len(res.times),
+        "stop_reason": res.stop_reason,
+        "achieved_rel_ci": res.achieved_rel_ci,
         "metrics": {name: derived[name] for name in manifest.metrics},
     }
     if store is not None:
@@ -166,7 +178,8 @@ def _run_tune(job: Job, manifest: WorkloadManifest,
         variant, lambda config: build_operands(manifest),
         RandomSearch(seed=seed, max_samples=max_evals),
         budget=Budget(max_evaluations=max_evals),
-        warmup=manifest.warmup, repetitions=manifest.repetitions)
+        warmup=manifest.warmup, repetitions=manifest.repetitions,
+        adaptive=manifest.adaptive, rel_ci=manifest.rel_ci)
     best = result.best
     payload = {
         "kernel": manifest.slug,

@@ -1,0 +1,589 @@
+"""Adaptive measurement: sequential stopping, distribution-aware summaries.
+
+Every timed path in the toolbox used to burn a fixed repetition count
+regardless of how noisy the benchmark actually was.  This module replaces
+that with the methodology of the two SHARP companion papers — "Adaptive
+stopping rule for performance measurements" (Mittal et al., SC-W'23) and
+"Revisiting Performance Evaluation in the Age of Uncertainty" (Bruel et
+al., EduHiPC'23):
+
+* :func:`measure_adaptive` batches repetitions and stops as soon as the
+  bootstrap confidence interval on the median is tight enough
+  (``rel_ci``), instead of running a fixed count.  Stable benchmarks stop
+  at ``min_repetitions``; noisy ones keep sampling up to hard
+  ``max_repetitions`` / ``max_seconds`` caps.  The classic CV-only rule
+  (:func:`~repro.timing.timers.measure_until_stable`) is a thin wrapper
+  over the same loop.
+* :func:`sample_summary` / :func:`detect_modes` produce a
+  :class:`SampleSummary` with Silverman-style kernel-density multimodality
+  detection and per-mode medians, so a bimodal benchmark (page placement,
+  frequency steps, contended lock) is *reported* as bimodal instead of
+  being averaged into a time nobody ever observed.
+* :class:`MeasurementBudget` spreads a wall-clock budget across many
+  benchmarks, always spending the next batch where the confidence
+  interval is widest — the largest expected information gain — instead of
+  uniformly.
+
+Every stop decision is explained: results carry ``stop_reason`` and
+``achieved_rel_ci``, and the emitted spans carry ``stopped_early`` /
+``achieved_rel_ci`` attributes so a trace shows why sampling ended.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..observe import Tracer, get_tracer
+from .stats import coefficient_of_variation, summarize
+from .timers import MeasurementResult
+
+__all__ = [
+    "STOP_CONVERGED",
+    "STOP_MAX_REPETITIONS",
+    "STOP_MAX_SECONDS",
+    "STOP_BUDGET",
+    "STOP_FIXED",
+    "Mode",
+    "SampleSummary",
+    "median_ci",
+    "rel_ci_half_width",
+    "detect_modes",
+    "sample_summary",
+    "measure_adaptive",
+    "MeasurementBudget",
+]
+
+#: The stopping rule reached its confidence target.
+STOP_CONVERGED = "converged"
+#: The hard repetition cap was reached before convergence.
+STOP_MAX_REPETITIONS = "max_repetitions"
+#: The wall-clock cap was reached before convergence.
+STOP_MAX_SECONDS = "max_seconds"
+#: A cross-benchmark :class:`MeasurementBudget` ran out of wall-clock.
+STOP_BUDGET = "budget"
+#: A fixed-repetition measurement (no stopping rule ran).
+STOP_FIXED = "fixed"
+
+
+def _as_array(samples: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("need a non-empty 1-D sequence of samples")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("samples contain NaN or infinity")
+    return arr
+
+
+def median_ci(samples: Sequence[float], confidence: float = 0.95,
+              n_resamples: int = 400, seed: int = 0) -> tuple[float, float]:
+    """Percentile-bootstrap CI for the median, vectorized for the hot loop.
+
+    Functionally :func:`repro.timing.stats.bootstrap_ci` with
+    ``statistic=np.median``, but the resampled medians are computed with
+    one vectorized ``np.median(..., axis=1)`` instead of
+    ``apply_along_axis`` — the stopping rule re-evaluates this after every
+    batch, so it must cost microseconds, not milliseconds.  Degenerate
+    samples (n=1, zero variance) return the exact interval ``(x, x)``.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 1:
+        raise ValueError("need at least one resample")
+    arr = _as_array(samples)
+    if arr.size == 1 or np.ptp(arr) == 0:
+        x = float(arr[0])
+        return (x, x)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    meds = np.median(arr[idx], axis=1)
+    lo, hi = np.percentile(meds, [100 * (0.5 - confidence / 2),
+                                  100 * (0.5 + confidence / 2)])
+    return (float(lo), float(hi))
+
+
+def rel_ci_half_width(samples: Sequence[float], confidence: float = 0.95,
+                      n_resamples: int = 400, seed: int = 0) -> float:
+    """CI half-width on the median, relative to the median — the stop metric.
+
+    Zero for degenerate (constant or single-sample) inputs; infinity when
+    the median is zero but the interval is not (no relative statement can
+    be made about a zero center).
+    """
+    lo, hi = median_ci(samples, confidence=confidence,
+                       n_resamples=n_resamples, seed=seed)
+    med = float(np.median(_as_array(samples)))
+    half = (hi - lo) / 2.0
+    if half == 0.0:
+        return 0.0
+    if med == 0.0:
+        return math.inf
+    return half / abs(med)
+
+
+# ---------------------------------------------------------------------------
+# distribution-aware summaries
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Mode:
+    """One mode of a (possibly multimodal) timing distribution."""
+
+    center: float   #: median of the samples assigned to this mode
+    n: int          #: samples assigned
+    weight: float   #: fraction of all samples
+    low: float      #: smallest assigned sample
+    high: float     #: largest assigned sample
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Distribution-aware verdict on one measurement sample.
+
+    ``stable`` is the honest headline: the median's bootstrap CI is tight
+    (``rel_ci <= target``) *and* the sample is unimodal.  A bimodal
+    benchmark never reads "stable" no matter how tight the pooled CI is —
+    its per-mode medians (``modes``) are the numbers to report, not a
+    blend nobody measured.
+    """
+
+    n: int
+    median: float
+    ci_low: float
+    ci_high: float
+    rel_ci: float
+    cv: float
+    modes: tuple[Mode, ...]
+    multimodal: bool
+    stable: bool
+
+    @property
+    def n_modes(self) -> int:
+        return len(self.modes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        shape = (f"{self.n_modes} modes at "
+                 + "/".join(f"{m.center:.3e}" for m in self.modes)
+                 if self.multimodal else "unimodal")
+        return (f"n={self.n} median={self.median:.3e} "
+                f"ci95=[{self.ci_low:.3e}, {self.ci_high:.3e}] "
+                f"rel_ci={self.rel_ci:.2%} {shape} "
+                f"{'stable' if self.stable else 'UNSTABLE'}")
+
+
+def detect_modes(samples: Sequence[float], *, min_weight: float = 0.08,
+                 valley_ratio: float = 0.8, min_separation: float = 0.05,
+                 grid_points: int = 256) -> tuple[Mode, ...]:
+    """Silverman-style kernel-density mode detection over a timing sample.
+
+    A Gaussian KDE at Silverman's rule-of-thumb bandwidth is evaluated on
+    a fixed grid; local density maxima become candidate modes, then three
+    pruning rules keep the verdict honest:
+
+    * two peaks whose valley is shallower than ``valley_ratio`` of the
+      lower peak are one mode (a dip-test-style depth requirement);
+    * peaks closer than ``min_separation`` (relative to the overall
+      median) are one mode — micro-ripples of a spiky KDE never count;
+    * a mode holding less than ``min_weight`` of the samples (or fewer
+      than two) is an outlier cluster and is merged into its nearest
+      neighbour.
+
+    Fewer than 8 samples, or a constant sample, is always one mode: no
+    sample that small can support a multimodality claim.  Deterministic
+    for a given input — no randomness is involved.
+    """
+    if not 0 < valley_ratio <= 1:
+        raise ValueError("valley_ratio must be in (0, 1]")
+    if not 0 <= min_weight < 0.5:
+        raise ValueError("min_weight must be in [0, 0.5)")
+    arr = np.sort(_as_array(samples))
+    n = arr.size
+
+    def _single() -> tuple[Mode, ...]:
+        return (Mode(center=float(np.median(arr)), n=n, weight=1.0,
+                     low=float(arr[0]), high=float(arr[-1])),)
+
+    if n < 8 or np.ptp(arr) == 0:
+        return _single()
+    std = float(np.std(arr, ddof=1))
+    iqr = float(np.subtract(*np.percentile(arr, [75, 25])))
+    sigma = min(std, iqr / 1.34) if iqr > 0 else std
+    h = 0.9 * sigma * n ** (-0.2)
+    if h <= 0:  # pragma: no cover - ptp > 0 implies std > 0
+        return _single()
+    grid = np.linspace(arr[0] - 3 * h, arr[-1] + 3 * h, grid_points)
+    z = (grid[:, None] - arr[None, :]) / h
+    dens = np.exp(-0.5 * z * z).sum(axis=1)
+    floor = 0.05 * float(dens.max())
+    peaks = [i for i in range(1, grid_points - 1)
+             if dens[i] >= dens[i - 1] and dens[i] > dens[i + 1]
+             and dens[i] >= floor]
+    if not peaks:  # pragma: no cover - a max always exists on the grid
+        return _single()
+    med = float(np.median(arr))
+    scale = abs(med) if med != 0 else float(np.ptp(arr))
+    kept = [peaks[0]]
+    for p in peaks[1:]:
+        q = kept[-1]
+        valley = float(dens[q:p + 1].min())
+        too_shallow = valley > valley_ratio * min(dens[p], dens[q])
+        too_close = (grid[p] - grid[q]) < min_separation * scale
+        if too_shallow or too_close:
+            kept[-1] = p if dens[p] > dens[q] else q
+        else:
+            kept.append(p)
+    # segment boundaries at the deepest valley between adjacent kept peaks
+    bounds = [-math.inf]
+    for q, p in zip(kept, kept[1:]):
+        bounds.append(float(grid[q + int(np.argmin(dens[q:p + 1]))]))
+    bounds.append(math.inf)
+    counts = [int(((arr > lo) & (arr <= hi)).sum()) if math.isfinite(hi)
+              or math.isfinite(lo) else n
+              for lo, hi in zip(bounds, bounds[1:])]
+    # merge outlier clusters into their nearest neighbour until every
+    # surviving mode carries real weight
+    min_n = max(2, int(math.ceil(min_weight * n)))
+    while len(counts) > 1 and min(counts) < min_n:
+        i = int(np.argmin(counts))
+        j = i - 1 if i > 0 else i + 1
+        lo_i, hi_j = min(i, j), max(i, j)
+        counts[lo_i] = counts[i] + counts[j]
+        del counts[hi_j], bounds[hi_j], kept[hi_j]
+    modes: list[Mode] = []
+    start = 0
+    for c in counts:
+        seg = arr[start:start + c]
+        modes.append(Mode(center=float(np.median(seg)), n=int(c),
+                          weight=c / n, low=float(seg[0]),
+                          high=float(seg[-1])))
+        start += c
+    return tuple(modes)
+
+
+def sample_summary(samples: Sequence[float], rel_ci: float = 0.05,
+                   confidence: float = 0.95, n_resamples: int = 400,
+                   seed: int = 0) -> SampleSummary:
+    """The distribution-aware summary the adaptive engine attaches to results."""
+    if rel_ci <= 0:
+        raise ValueError("rel_ci must be positive")
+    arr = _as_array(samples)
+    lo, hi = median_ci(arr, confidence=confidence,
+                       n_resamples=n_resamples, seed=seed)
+    med = float(np.median(arr))
+    half = (hi - lo) / 2.0
+    achieved = (0.0 if half == 0.0
+                else math.inf if med == 0.0 else half / abs(med))
+    modes = detect_modes(arr)
+    multimodal = len(modes) >= 2
+    return SampleSummary(
+        n=int(arr.size), median=med, ci_low=lo, ci_high=hi,
+        rel_ci=achieved, cv=coefficient_of_variation(arr),
+        modes=modes, multimodal=multimodal,
+        stable=achieved <= rel_ci and not multimodal)
+
+
+# ---------------------------------------------------------------------------
+# the sequential stopping engine
+# ---------------------------------------------------------------------------
+
+def measure_adaptive(
+    fn: Callable[[], object],
+    *,
+    rel_ci: float = 0.05,
+    confidence: float = 0.95,
+    min_repetitions: int = 5,
+    max_repetitions: int = 100,
+    max_seconds: float | None = None,
+    batch: int = 5,
+    warmup: int = 2,
+    criterion: str = "median_ci",
+    n_resamples: int = 400,
+    seed: int = 0,
+    tracer: Tracer | None = None,
+    clock: Callable[[], float] = time.perf_counter,
+    span_name: str = "timing.measure_adaptive",
+) -> MeasurementResult:
+    """Measure ``fn`` until the estimate is tight, then stop.
+
+    The sequential stopping rule: after ``min_repetitions`` (and then
+    after every further ``batch``), the bootstrap CI half-width on the
+    median — relative to the median — is compared against ``rel_ci``;
+    sampling stops at the first batch boundary where it fits.  A stable
+    benchmark therefore costs ``min_repetitions`` timed calls, while a
+    noisy one keeps sampling until it converges or hits a hard cap:
+
+    * ``max_repetitions`` is never exceeded (the final batch is clamped);
+    * once ``clock() - start >= max_seconds`` no new repetition *starts*
+      (one timed repetition is always taken, so a result always exists).
+
+    ``criterion`` selects the stop metric: ``"median_ci"`` (the default,
+    the SHARP rule) or ``"cv"`` (coefficient of variation against the
+    same ``rel_ci`` threshold — the legacy
+    :func:`~repro.timing.timers.measure_until_stable` rule, which is now
+    a wrapper over this loop).
+
+    The result's ``stop_reason`` is one of :data:`STOP_CONVERGED`,
+    :data:`STOP_MAX_REPETITIONS`, :data:`STOP_MAX_SECONDS`;
+    ``achieved_rel_ci`` / ``achieved_cv`` report the final tightness, and
+    ``sample`` carries the :class:`SampleSummary` (per-mode medians,
+    multimodality flag).  ``stable`` means *converged and unimodal* under
+    the median-CI criterion, and CV-below-threshold under ``"cv"``.  The
+    emitted span mirrors all of it (``stopped_early``,
+    ``achieved_rel_ci``, ``stop_reason``, ``multimodal``), so traces
+    explain every stop decision.
+
+    ``clock`` is injectable (tests drive the engine with a deterministic
+    virtual clock); it must be monotonic and is used both to time
+    repetitions and to enforce ``max_seconds``.
+    """
+    if rel_ci <= 0:
+        raise ValueError("rel_ci must be positive")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if min_repetitions < 1:
+        raise ValueError("need at least one timed repetition")
+    if max_repetitions < min_repetitions:
+        raise ValueError("max_repetitions must cover min_repetitions")
+    if max_seconds is not None and max_seconds <= 0:
+        raise ValueError("max_seconds must be positive")
+    if batch < 1:
+        raise ValueError("batch must be at least 1")
+    if warmup < 0:
+        raise ValueError("warmup cannot be negative")
+    if criterion not in ("median_ci", "cv"):
+        raise ValueError(f"unknown criterion {criterion!r}")
+    tracer = get_tracer() if tracer is None else tracer
+    start = clock()
+
+    def _achieved(times: list[float]) -> float:
+        if criterion == "cv":
+            return coefficient_of_variation(times)
+        return rel_ci_half_width(times, confidence=confidence,
+                                 n_resamples=n_resamples, seed=seed)
+
+    with tracer.span(span_name, category="timing", rel_ci=rel_ci,
+                     criterion=criterion, min_repetitions=min_repetitions,
+                     max_repetitions=max_repetitions,
+                     max_seconds=max_seconds, batch=batch) as mspan:
+        warm: list[float] = []
+        for _ in range(warmup):
+            with tracer.span("timing.warmup", category="timing") as span:
+                t0 = clock()
+                fn()
+                elapsed = clock() - t0
+                span.set("seconds", elapsed)
+            warm.append(elapsed)
+        times: list[float] = []
+        stop_reason: str | None = None
+        while stop_reason is None:
+            chunk = (min_repetitions if not times
+                     else min(batch, max_repetitions - len(times)))
+            for _ in range(chunk):
+                if (times and max_seconds is not None
+                        and clock() - start >= max_seconds):
+                    stop_reason = STOP_MAX_SECONDS
+                    break
+                with tracer.span("timing.repetition",
+                                 category="timing") as span:
+                    t0 = clock()
+                    fn()
+                    elapsed = clock() - t0
+                    span.set("seconds", elapsed)
+                times.append(elapsed)
+            if stop_reason is not None:
+                break
+            # a convergence claim needs at least two samples: one sample's
+            # bootstrap CI is degenerately zero-width, not actually tight
+            if (len(times) >= max(2, min_repetitions)
+                    and _achieved(times) <= rel_ci):
+                stop_reason = STOP_CONVERGED
+            elif len(times) >= max_repetitions:
+                stop_reason = STOP_MAX_REPETITIONS
+            elif (max_seconds is not None
+                    and clock() - start >= max_seconds):
+                stop_reason = STOP_MAX_SECONDS
+        achieved_rel = rel_ci_half_width(times, confidence=confidence,
+                                         n_resamples=n_resamples, seed=seed)
+        achieved_cv = coefficient_of_variation(times)
+        sample = sample_summary(times, rel_ci=rel_ci, confidence=confidence,
+                                n_resamples=n_resamples, seed=seed)
+        if criterion == "cv":
+            stable = achieved_cv <= rel_ci
+        else:
+            stable = stop_reason == STOP_CONVERGED and not sample.multimodal
+        stopped_early = (stop_reason == STOP_CONVERGED
+                         and len(times) < max_repetitions)
+        mspan.set("repetitions", len(times))
+        mspan.set("stop_reason", stop_reason)
+        mspan.set("stopped_early", stopped_early)
+        mspan.set("achieved_rel_ci", achieved_rel)
+        mspan.set("achieved_cv", achieved_cv)
+        mspan.set("stable", stable)
+        mspan.set("multimodal", sample.multimodal)
+        mspan.set("n_modes", sample.n_modes)
+        tracer.count("timing.adaptive.measurements")
+        tracer.count("timing.adaptive.repetitions", len(times))
+        if stopped_early:
+            tracer.count("timing.adaptive.stopped_early")
+    return MeasurementResult(
+        times=tuple(times), warmup_times=tuple(warm),
+        summary=summarize(times), stable=stable, stop_reason=stop_reason,
+        achieved_rel_ci=achieved_rel, achieved_cv=achieved_cv, sample=sample)
+
+
+# ---------------------------------------------------------------------------
+# cross-benchmark budget reallocation
+# ---------------------------------------------------------------------------
+
+class MeasurementBudget:
+    """Spend one wall-clock budget across many benchmarks, greedily.
+
+    Uniform allocation wastes samples on benchmarks that converged long
+    ago.  This allocator seeds every benchmark with ``min_repetitions``,
+    then repeatedly gives the next ``batch`` to whichever unconverged
+    benchmark currently has the *widest* relative CI on its median — the
+    largest expected information gain per second spent — until every
+    benchmark converges, hits ``max_repetitions``, or the budget runs
+    out.
+
+    >>> mb = MeasurementBudget(max_seconds=1.0, rel_ci=0.05)
+    >>> results = mb.run({"a": fn_a, "b": fn_b})   # doctest: +SKIP
+
+    Results are plain :class:`~repro.timing.timers.MeasurementResult`
+    objects whose ``stop_reason`` explains each benchmark's fate
+    (:data:`STOP_CONVERGED`, :data:`STOP_MAX_REPETITIONS`, or
+    :data:`STOP_BUDGET` when the shared clock ran dry first).  Every
+    benchmark always receives at least one timed repetition, even under
+    an already-exhausted budget, so a result always exists.
+    """
+
+    def __init__(self, max_seconds: float, *, rel_ci: float = 0.05,
+                 confidence: float = 0.95, min_repetitions: int = 5,
+                 max_repetitions: int = 200, batch: int = 5,
+                 n_resamples: int = 400, seed: int = 0,
+                 clock: Callable[[], float] = time.perf_counter,
+                 tracer: Tracer | None = None):
+        if max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+        if rel_ci <= 0:
+            raise ValueError("rel_ci must be positive")
+        if min_repetitions < 1:
+            raise ValueError("need at least one repetition per benchmark")
+        if max_repetitions < min_repetitions:
+            raise ValueError("max_repetitions must cover min_repetitions")
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        self.max_seconds = float(max_seconds)
+        self.rel_ci = rel_ci
+        self.confidence = confidence
+        self.min_repetitions = min_repetitions
+        self.max_repetitions = max_repetitions
+        self.batch = batch
+        self.n_resamples = n_resamples
+        self.seed = seed
+        self._clock = clock
+        self._tracer = tracer
+
+    def run(self, benchmarks: Mapping[str, Callable[[], object]],
+            warmup: int = 1) -> dict[str, MeasurementResult]:
+        """Measure every benchmark under the shared budget; see class docs."""
+        if not benchmarks:
+            raise ValueError("need at least one benchmark")
+        if warmup < 0:
+            raise ValueError("warmup cannot be negative")
+        tracer = get_tracer() if self._tracer is None else self._tracer
+        clock = self._clock
+        start = clock()
+
+        def _spent() -> float:
+            return clock() - start
+
+        names = list(benchmarks)
+        times: dict[str, list[float]] = {name: [] for name in names}
+        warms: dict[str, list[float]] = {name: [] for name in names}
+        achieved: dict[str, float] = {name: math.inf for name in names}
+        budget_hit: set[str] = set()
+
+        def _rep(name: str) -> None:
+            with tracer.span("timing.repetition", category="timing") as span:
+                t0 = clock()
+                benchmarks[name]()
+                elapsed = clock() - t0
+                span.set("seconds", elapsed)
+            times[name].append(elapsed)
+
+        def _update(name: str) -> None:
+            achieved[name] = rel_ci_half_width(
+                times[name], confidence=self.confidence,
+                n_resamples=self.n_resamples, seed=self.seed)
+
+        with tracer.span("timing.budget", category="timing",
+                         benchmarks=len(names),
+                         max_seconds=self.max_seconds,
+                         rel_ci=self.rel_ci) as bspan:
+            # seeding pass: min_repetitions each, one guaranteed even when
+            # the budget is already gone (a result must exist)
+            for name in names:
+                for _ in range(warmup):
+                    if _spent() >= self.max_seconds:
+                        break
+                    t0 = clock()
+                    benchmarks[name]()
+                    warms[name].append(clock() - t0)
+                _rep(name)
+                for _ in range(self.min_repetitions - 1):
+                    if _spent() >= self.max_seconds:
+                        budget_hit.add(name)
+                        break
+                    _rep(name)
+                _update(name)
+            # greedy refinement: widest CI first
+            while _spent() < self.max_seconds:
+                open_names = [n for n in names
+                              if achieved[n] > self.rel_ci
+                              and len(times[n]) < self.max_repetitions]
+                if not open_names:
+                    break
+                name = max(open_names, key=lambda n: achieved[n])
+                chunk = min(self.batch,
+                            self.max_repetitions - len(times[name]))
+                with tracer.span("timing.budget.batch", category="timing",
+                                 benchmark=name, batch=chunk,
+                                 rel_ci_before=achieved[name]) as span:
+                    ran = 0
+                    for _ in range(chunk):
+                        if _spent() >= self.max_seconds:
+                            budget_hit.add(name)
+                            break
+                        _rep(name)
+                        ran += 1
+                    _update(name)
+                    span.set("repetitions", ran)
+                    span.set("rel_ci_after", achieved[name])
+            bspan.set("spent_seconds", _spent())
+            bspan.set("converged",
+                      sum(1 for n in names if achieved[n] <= self.rel_ci))
+
+        out: dict[str, MeasurementResult] = {}
+        for name in names:
+            sample = sample_summary(
+                times[name], rel_ci=self.rel_ci, confidence=self.confidence,
+                n_resamples=self.n_resamples, seed=self.seed)
+            if achieved[name] <= self.rel_ci:
+                reason = STOP_CONVERGED
+            elif len(times[name]) >= self.max_repetitions:
+                reason = STOP_MAX_REPETITIONS
+            else:
+                reason = STOP_BUDGET
+            out[name] = MeasurementResult(
+                times=tuple(times[name]), warmup_times=tuple(warms[name]),
+                summary=summarize(times[name]),
+                stable=reason == STOP_CONVERGED and not sample.multimodal,
+                stop_reason=reason, achieved_rel_ci=achieved[name],
+                achieved_cv=coefficient_of_variation(times[name]),
+                sample=sample)
+        return out

@@ -116,6 +116,11 @@ def bootstrap_ci(
     if n_resamples < 1:
         raise ValueError("need at least one resample")
     arr = _as_array(samples)
+    if arr.size == 1 or np.ptp(arr) == 0:
+        # degenerate sample: every resample is identical, so the interval
+        # is exactly the statistic — skip the resampling work entirely
+        val = float(statistic(arr))
+        return (val, val)
     rng = np.random.default_rng(seed)
     idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
     reps = np.apply_along_axis(statistic, 1, arr[idx])
@@ -148,13 +153,22 @@ def reject_outliers(samples: Sequence[float], threshold: float = 3.5) -> np.ndar
 
 
 def coefficient_of_variation(samples: Sequence[float]) -> float:
-    """Std/mean; the course's rule of thumb for "is this run stable?"."""
+    """Std/mean; the course's rule of thumb for "is this run stable?".
+
+    Degenerate inputs get well-defined answers instead of exceptions — the
+    sequential stopping rule evaluates this after every batch and must not
+    blow up on a constant or single-sample window: a zero-variance sample
+    has CV 0 even at zero mean (perfectly stable), while a zero-mean
+    sample *with* spread has infinite CV (no relative statement can be
+    made about a zero center).
+    """
     arr = _as_array(samples)
     mean = float(np.mean(arr))
-    if mean == 0:
-        raise ValueError("CV undefined for zero mean")
     ddof = 1 if arr.size > 1 else 0
-    return float(np.std(arr, ddof=ddof) / abs(mean))
+    std = float(np.std(arr, ddof=ddof))
+    if mean == 0:
+        return 0.0 if std == 0.0 else math.inf
+    return float(std / abs(mean))
 
 
 def speedup(baseline_time: float, optimized_time: float) -> float:
@@ -247,6 +261,10 @@ def median_ratio_ci(
     b = _as_array(baseline_times)
     if np.any(a <= 0) or np.any(b <= 0):
         raise ValueError("times must be strictly positive")
+    if (a.size == 1 or np.ptp(a) == 0) and (b.size == 1 or np.ptp(b) == 0):
+        # both samples constant: the ratio is exact, no resampling needed
+        ratio = float(np.median(a) / np.median(b))
+        return (ratio, ratio)
     rng = np.random.default_rng(seed)
     med_a = np.median(a[rng.integers(0, a.size, size=(n_resamples, a.size))], axis=1)
     med_b = np.median(b[rng.integers(0, b.size, size=(n_resamples, b.size))], axis=1)

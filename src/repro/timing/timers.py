@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from ..observe import Tracer, get_tracer
 from .stats import Summary, coefficient_of_variation, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .adaptive import SampleSummary
 
 __all__ = [
     "Timer",
@@ -54,17 +57,37 @@ class Timer:
 
 @dataclass(frozen=True)
 class MeasurementResult:
-    """Raw repetitions plus their statistical summary."""
+    """Raw repetitions plus their statistical summary.
+
+    ``stop_reason`` explains why sampling ended (see the ``STOP_*``
+    constants in :mod:`repro.timing.adaptive`): ``"fixed"`` for plain
+    fixed-repetition :func:`measure`, ``"converged"`` when a stopping
+    rule reached its target, ``"max_repetitions"`` / ``"max_seconds"`` /
+    ``"budget"`` when a cap fired first.  ``achieved_rel_ci`` and
+    ``achieved_cv`` report how tight the estimate actually got, and
+    ``sample`` (when present) carries the distribution-aware
+    :class:`~repro.timing.adaptive.SampleSummary` with per-mode medians
+    and the multimodality flag.
+    """
 
     times: tuple[float, ...]
     warmup_times: tuple[float, ...]
     summary: Summary
     stable: bool
+    stop_reason: str = "fixed"
+    achieved_rel_ci: float | None = None
+    achieved_cv: float | None = None
+    sample: "SampleSummary | None" = None
 
     @property
     def best(self) -> float:
         """Fastest repetition — closest to noise-free hardware time."""
         return min(self.times)
+
+    @property
+    def stopped_early(self) -> bool:
+        """True when a sequential stopping rule converged before its caps."""
+        return self.stop_reason == "converged"
 
     def rate(self, work: float) -> float:
         """Turn a fixed amount of ``work`` into a rate using *total* time.
@@ -129,11 +152,13 @@ def measure(
                 span.set("seconds", t.elapsed)
             times.append(t.elapsed)
         summary = summarize(times)
-        stable = (len(times) == 1
-                  or coefficient_of_variation(times) <= cv_threshold)
+        achieved_cv = (coefficient_of_variation(times)
+                       if len(times) > 1 else 0.0)
+        stable = achieved_cv <= cv_threshold
         mspan.set("stable", stable)
         mspan.set("best_seconds", min(times))
-    return MeasurementResult(tuple(times), tuple(warm), summary, stable)
+    return MeasurementResult(tuple(times), tuple(warm), summary, stable,
+                             achieved_cv=achieved_cv)
 
 
 def measure_until_stable(
@@ -150,6 +175,13 @@ def measure_until_stable(
     the sample grows until the estimate is tight or a budget is exhausted.
     ``max_repetitions`` is a hard cap: the final batch is clamped so no
     more than ``max_repetitions`` timed repetitions ever run.
+
+    This is now a thin wrapper over
+    :func:`repro.timing.adaptive.measure_adaptive` with the legacy
+    CV criterion — same signature and batching behaviour, but the result
+    additionally reports ``stop_reason`` (``"converged"`` vs
+    ``"max_repetitions"``), ``achieved_cv``, and a distribution-aware
+    ``sample`` summary, and the emitted span carries the same attributes.
     """
     if batch < 2:
         raise ValueError("batch must be at least 2 to estimate variance")
@@ -157,32 +189,12 @@ def measure_until_stable(
         raise ValueError("max_repetitions must cover at least one batch")
     if warmup < 0:
         raise ValueError("warmup cannot be negative")
-    tracer = get_tracer() if tracer is None else tracer
-    with tracer.span("timing.measure_until_stable", category="timing",
-                     batch=batch, max_repetitions=max_repetitions) as mspan:
-        warm: list[float] = []
-        for _ in range(warmup):
-            with tracer.span("timing.warmup", category="timing") as span:
-                with Timer() as t:
-                    fn()
-                span.set("seconds", t.elapsed)
-            warm.append(t.elapsed)
-        times: list[float] = []
-        while len(times) < max_repetitions:
-            # the budget is a hard cap: clamp the last batch to what's left
-            for _ in range(min(batch, max_repetitions - len(times))):
-                with tracer.span("timing.repetition", category="timing") as span:
-                    with Timer() as t:
-                        fn()
-                    span.set("seconds", t.elapsed)
-                times.append(t.elapsed)
-            if coefficient_of_variation(times) <= cv_threshold:
-                break
-        summary = summarize(times)
-        stable = coefficient_of_variation(times) <= cv_threshold
-        mspan.set("repetitions", len(times))
-        mspan.set("stable", stable)
-    return MeasurementResult(tuple(times), tuple(warm), summary, stable)
+    from .adaptive import measure_adaptive  # deferred: adaptive imports us
+
+    return measure_adaptive(
+        fn, rel_ci=cv_threshold, criterion="cv", min_repetitions=batch,
+        batch=batch, max_repetitions=max_repetitions, warmup=warmup,
+        tracer=tracer, span_name="timing.measure_until_stable")
 
 
 def steady_state_index(times: Sequence[float], window: int = 3,

@@ -59,6 +59,7 @@ from .harness import (
     Evaluation,
     EvaluationHarness,
     TuningResult,
+    adaptive_objective,
     timed_objective,
 )
 from .space import (
@@ -97,6 +98,7 @@ __all__ = [
     "EvaluationHarness",
     "TuningResult",
     "timed_objective",
+    "adaptive_objective",
     # strategies
     "SearchStrategy",
     "GridSearch",

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, MutableMapping
 
 from ..observe import Tracer, get_tracer
+from ..timing.adaptive import measure_adaptive
 from ..timing.timers import measure
 from .space import config_key
 
@@ -40,6 +41,7 @@ __all__ = [
     "TuningResult",
     "EvaluationHarness",
     "timed_objective",
+    "adaptive_objective",
 ]
 
 
@@ -420,6 +422,35 @@ def timed_objective(fn: Callable, setup: Callable[[Mapping[str, object]], tuple]
         args = setup(config)
         res = measure(lambda: fn(*args, **config),
                       repetitions=repetitions, warmup=warmup)
+        return res.best
+
+    return objective
+
+
+def adaptive_objective(fn: Callable,
+                       setup: Callable[[Mapping[str, object]], tuple],
+                       *, rel_ci: float = 0.05, min_repetitions: int = 3,
+                       max_repetitions: int = 15,
+                       max_seconds: float | None = None,
+                       warmup: int = 1) -> Callable:
+    """Like :func:`timed_objective`, but each evaluation stops when tight.
+
+    Uses :func:`repro.timing.adaptive.measure_adaptive`: a stable
+    configuration costs only ``min_repetitions`` timed calls while a noisy
+    one keeps sampling up to ``max_repetitions`` (or ``max_seconds``), so
+    over a whole search the repetition budget flows to the configurations
+    that actually need it.  The objective still returns the best
+    repetition, so a search over a deterministic-enough kernel selects the
+    same winner as the fixed-repetition objective — just cheaper.
+    """
+
+    def objective(config: Mapping[str, object]) -> float:
+        args = setup(config)
+        res = measure_adaptive(
+            lambda: fn(*args, **config), rel_ci=rel_ci,
+            min_repetitions=min_repetitions,
+            max_repetitions=max_repetitions, max_seconds=max_seconds,
+            batch=min_repetitions, warmup=warmup)
         return res.best
 
     return objective

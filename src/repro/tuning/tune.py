@@ -23,7 +23,13 @@ from typing import Callable, Mapping, MutableMapping, Sequence
 from ..core.process import EngineeringProcess, ProcessError
 from ..kernels.base import KernelVariant, TunableParam
 from .guidance import ModelGuide
-from .harness import Budget, EvaluationHarness, TuningResult, timed_objective
+from .harness import (
+    Budget,
+    EvaluationHarness,
+    TuningResult,
+    adaptive_objective,
+    timed_objective,
+)
 from .space import (
     ChoiceParam,
     Constraint,
@@ -149,13 +155,21 @@ def tune_variant(variant: KernelVariant,
                  backend=None,
                  process: EngineeringProcess | None = None,
                  warmup: int = 1,
-                 repetitions: int = 3) -> TuningResult:
+                 repetitions: int = 3,
+                 adaptive: bool = False,
+                 rel_ci: float = 0.05) -> TuningResult:
     """Auto-tune a registered kernel variant end to end.
 
     ``setup(config)`` builds the positional arguments for one timed call
     (operands, grids, ...); the searched configuration is passed as keyword
     arguments — exactly the registry convention where tunables are keyword
     parameters of ``variant.fn``.
+
+    With ``adaptive`` set, each evaluation samples through the sequential
+    stopping rule (:func:`~repro.tuning.harness.adaptive_objective`):
+    ``repetitions`` becomes the per-evaluation *cap* and stable
+    configurations stop early once their median is pinned to within
+    ``rel_ci`` — the repetition budget flows to the noisy contenders.
 
     Before searching, the variant's chunked workers are screened by the
     static hazard detector (:mod:`repro.analyze.hazards`); open
@@ -164,8 +178,14 @@ def tune_variant(variant: KernelVariant,
     """
     _warn_on_hazards(variant)
     space = space_for(variant, constraints=constraints, overrides=overrides)
-    objective = timed_objective(variant.fn, setup,
-                                warmup=warmup, repetitions=repetitions)
+    if adaptive:
+        objective = adaptive_objective(
+            variant.fn, setup, rel_ci=rel_ci,
+            min_repetitions=min(3, repetitions), max_repetitions=repetitions,
+            warmup=warmup)
+    else:
+        objective = timed_objective(variant.fn, setup,
+                                    warmup=warmup, repetitions=repetitions)
     return tune(objective, space, strategy,
                 kernel=variant.qualified_name, problem=problem,
                 budget=budget, guide=guide, cache=cache, backend=backend,

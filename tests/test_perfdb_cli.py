@@ -82,6 +82,29 @@ class TestRecord:
         (bench,) = run.benchmarks.values()
         assert len(bench.times) == 14  # 7 repetitions x 2 pooled passes
 
+    def test_rel_ci_stops_passes_early(self, suite, tmp_path):
+        # the busy-wait demo is quiet, so two pooled passes already pin
+        # the median well inside 25% — the third pass must be skipped
+        db = tmp_path / "db"
+        assert cli(db, "record", str(suite), "--passes", "3",
+                   "--min-passes", "2", "--rel-ci", "0.25") == 0
+        (run,) = PerfStore(db).runs()
+        (bench,) = run.benchmarks.values()
+        assert len(bench.times) == 14  # stopped after 2 of 3 passes
+        assert run.metrics["perfdb.record.stopped_early"] is True
+        assert run.metrics["perfdb.record.passes"] == 2
+        assert run.metrics["perfdb.record.max_passes"] == 3
+        assert 0 <= run.metrics["perfdb.record.worst_rel_ci"] <= 0.25
+
+    def test_rel_ci_zero_disables_early_stop(self, suite, tmp_path):
+        db = tmp_path / "db"
+        assert cli(db, "record", str(suite), "--passes", "3",
+                   "--min-passes", "2", "--rel-ci", "0") == 0
+        (run,) = PerfStore(db).runs()
+        (bench,) = run.benchmarks.values()
+        assert len(bench.times) == 21  # all 3 passes ran
+        assert run.metrics["perfdb.record.stopped_early"] is False
+
     def test_failing_suite_stores_nothing(self, suite, tmp_path):
         (suite / "test_bench_demo.py").write_text(
             "def test_bench_broken():\n    assert False\n")

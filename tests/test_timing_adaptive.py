@@ -1,0 +1,358 @@
+"""Tests for the adaptive measurement engine (`repro.timing.adaptive`).
+
+All timing here is synthetic: a FakeClock advances by seeded distribution
+draws, so stop-time ordering, multimodality flags, determinism, and cap
+enforcement are tested exactly — no wall-clock flakiness.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.observe import MetricsRegistry, Tracer
+from repro.timing import (
+    STOP_BUDGET,
+    STOP_CONVERGED,
+    STOP_MAX_REPETITIONS,
+    STOP_MAX_SECONDS,
+    MeasurementBudget,
+    detect_modes,
+    measure,
+    measure_adaptive,
+    measure_until_stable,
+    median_ci,
+    rel_ci_half_width,
+    sample_summary,
+)
+
+
+class FakeClock:
+    """Monotonic virtual clock; the timed fn advances it by seeded draws."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def synthetic_timer(draws):
+    """(clock, fn): each fn() call advances the clock by the next draw."""
+    clock = FakeClock()
+    it = iter(draws)
+
+    def fn():
+        clock.t += next(it)
+
+    return clock, fn
+
+
+def unimodal(seed=0, n=2000, center=1e-3, rel_spread=0.01):
+    rng = np.random.default_rng(seed)
+    return np.abs(rng.normal(center, center * rel_spread, n)).tolist()
+
+
+def heavy_tailed(seed=0, n=2000, center=1e-3, sigma=0.6):
+    rng = np.random.default_rng(seed)
+    return rng.lognormal(np.log(center), sigma, n).tolist()
+
+
+def bimodal(seed=0, n=2000, lo=1e-3, hi=2e-3):
+    rng = np.random.default_rng(seed)
+    draws = np.concatenate([
+        np.abs(rng.normal(lo, lo * 0.01, n // 2)),
+        np.abs(rng.normal(hi, hi * 0.01, n - n // 2))])
+    rng.shuffle(draws)
+    return draws.tolist()
+
+
+class TestStoppingRule:
+    def test_stable_timer_stops_at_min_repetitions(self):
+        clock, fn = synthetic_timer(unimodal())
+        res = measure_adaptive(fn, min_repetitions=5, max_repetitions=60,
+                               warmup=2, clock=clock)
+        assert len(res.times) == 5
+        assert res.stop_reason == STOP_CONVERGED
+        assert res.stopped_early
+        assert res.stable
+        assert res.achieved_rel_ci is not None
+        assert res.achieved_rel_ci <= 0.05
+
+    def test_stop_time_ordering_stable_before_heavy_tailed(self):
+        clock_s, fn_s = synthetic_timer(unimodal())
+        clock_h, fn_h = synthetic_timer(heavy_tailed())
+        res_s = measure_adaptive(fn_s, min_repetitions=5, max_repetitions=60,
+                                 warmup=2, clock=clock_s)
+        res_h = measure_adaptive(fn_h, min_repetitions=5, max_repetitions=60,
+                                 warmup=2, clock=clock_h)
+        assert len(res_s.times) < len(res_h.times)
+        assert res_s.achieved_rel_ci < res_h.achieved_rel_ci
+
+    def test_unconverged_noisy_timer_reports_cap(self):
+        clock, fn = synthetic_timer(heavy_tailed(sigma=1.2))
+        res = measure_adaptive(fn, rel_ci=0.01, min_repetitions=5,
+                               max_repetitions=30, warmup=0, clock=clock)
+        assert len(res.times) == 30
+        assert res.stop_reason == STOP_MAX_REPETITIONS
+        assert not res.stopped_early
+        assert not res.stable
+
+    @pytest.mark.parametrize("min_reps,cap", [(1, 1), (2, 7), (5, 13), (3, 4)])
+    def test_max_repetitions_never_exceeded(self, min_reps, cap):
+        clock, fn = synthetic_timer(heavy_tailed(sigma=1.5))
+        res = measure_adaptive(fn, rel_ci=1e-12, min_repetitions=min_reps,
+                               max_repetitions=cap, warmup=0, clock=clock)
+        assert len(res.times) == cap
+        assert res.stop_reason == STOP_MAX_REPETITIONS
+
+    def test_max_seconds_cap(self):
+        clock, fn = synthetic_timer(unimodal(rel_spread=0.2))
+        res = measure_adaptive(fn, rel_ci=1e-12, min_repetitions=5,
+                               max_repetitions=10**6, max_seconds=0.05,
+                               warmup=0, clock=clock)
+        assert res.stop_reason == STOP_MAX_SECONDS
+        # no repetition *starts* after the deadline: with ~1ms draws the
+        # engine can overshoot by at most the final call
+        assert sum(res.times) <= 0.05 + max(res.times)
+
+    def test_max_seconds_still_yields_one_repetition(self):
+        clock, fn = synthetic_timer(itertools.repeat(10.0))
+        res = measure_adaptive(fn, rel_ci=1e-12, min_repetitions=5,
+                               max_repetitions=50, max_seconds=1.0,
+                               warmup=0, clock=clock)
+        assert len(res.times) >= 1
+        assert res.stop_reason == STOP_MAX_SECONDS
+
+    def test_determinism_under_fixed_seed(self):
+        runs = []
+        for _ in range(2):
+            clock, fn = synthetic_timer(heavy_tailed(seed=7))
+            runs.append(measure_adaptive(fn, min_repetitions=5,
+                                         max_repetitions=60, warmup=1,
+                                         clock=clock))
+        a, b = runs
+        assert a.times == b.times
+        assert a.stop_reason == b.stop_reason
+        assert a.achieved_rel_ci == b.achieved_rel_ci
+        assert a.sample == b.sample
+
+    def test_validation_errors(self):
+        fn = lambda: None  # noqa: E731
+        with pytest.raises(ValueError):
+            measure_adaptive(fn, rel_ci=0.0)
+        with pytest.raises(ValueError):
+            measure_adaptive(fn, min_repetitions=0)
+        with pytest.raises(ValueError):
+            measure_adaptive(fn, min_repetitions=5, max_repetitions=4)
+        with pytest.raises(ValueError):
+            measure_adaptive(fn, max_seconds=0.0)
+        with pytest.raises(ValueError):
+            measure_adaptive(fn, warmup=-1)
+        with pytest.raises(ValueError):
+            measure_adaptive(fn, criterion="mean")
+        with pytest.raises(ValueError):
+            measure_adaptive(fn, confidence=1.0)
+        with pytest.raises(ValueError):
+            measure_adaptive(fn, batch=0)
+
+    def test_span_carries_stop_attrs(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        clock, fn = synthetic_timer(unimodal())
+        measure_adaptive(fn, min_repetitions=5, max_repetitions=60,
+                         warmup=1, tracer=tracer, clock=clock)
+        top = [s for s in tracer.spans if s.name == "timing.measure_adaptive"]
+        assert len(top) == 1
+        attrs = top[0].attrs
+        assert attrs["stop_reason"] == STOP_CONVERGED
+        assert attrs["stopped_early"] is True
+        assert attrs["repetitions"] == 5
+        assert 0 <= attrs["achieved_rel_ci"] <= 0.05
+        assert attrs["multimodal"] is False
+        reps = [s for s in tracer.spans if s.name == "timing.repetition"]
+        assert len(reps) == 5
+        assert all("seconds" in s.attrs for s in reps)
+
+    def test_capture_harvests_adaptive_spans(self):
+        from repro.perfdb.capture import harvest_measure_times
+
+        tracer = Tracer(metrics=MetricsRegistry())
+        clock, fn = synthetic_timer(unimodal())
+        res = measure_adaptive(fn, min_repetitions=5, max_repetitions=60,
+                               warmup=1, tracer=tracer, clock=clock)
+        harvested = harvest_measure_times(tracer.spans)
+        assert harvested == [list(res.times)]
+
+
+class TestDistributionAwareSummaries:
+    def test_unimodal_sample(self):
+        s = sample_summary(unimodal(n=60))
+        assert not s.multimodal
+        assert s.n_modes == 1
+        assert s.stable
+        assert s.modes[0].n == 60
+        assert s.modes[0].weight == 1.0
+
+    def test_bimodal_sample_flags_and_per_mode_medians(self):
+        s = sample_summary(bimodal(n=60))
+        assert s.multimodal
+        assert s.n_modes == 2
+        assert not s.stable  # tight CI or not, bimodal is never "stable"
+        centers = sorted(m.center for m in s.modes)
+        assert centers[0] == pytest.approx(1e-3, rel=0.05)
+        assert centers[1] == pytest.approx(2e-3, rel=0.05)
+        assert sum(m.n for m in s.modes) == 60
+        assert sum(m.weight for m in s.modes) == pytest.approx(1.0)
+
+    def test_adaptive_result_carries_bimodal_sample(self):
+        clock, fn = synthetic_timer(bimodal())
+        res = measure_adaptive(fn, min_repetitions=40, max_repetitions=60,
+                               warmup=0, clock=clock)
+        assert res.sample is not None
+        assert res.sample.multimodal
+        assert not res.stable
+
+    def test_small_samples_never_claim_multimodality(self):
+        assert len(detect_modes(bimodal(n=7))) == 1
+
+    def test_constant_sample_is_one_mode(self):
+        modes = detect_modes([1e-3] * 20)
+        assert len(modes) == 1
+        assert modes[0].center == 1e-3
+
+    def test_single_outlier_is_not_a_mode(self):
+        times = unimodal(n=29) + [5e-3]
+        modes = detect_modes(times)
+        assert len(modes) == 1
+
+    def test_detect_modes_deterministic(self):
+        times = bimodal(n=50, seed=3)
+        assert detect_modes(times) == detect_modes(times)
+
+    def test_heavy_tail_stays_unimodal(self):
+        assert len(detect_modes(heavy_tailed(n=60))) == 1
+
+
+class TestMedianCi:
+    def test_degenerate_samples_exact(self):
+        assert median_ci([3.0]) == (3.0, 3.0)
+        assert median_ci([2.0] * 10) == (2.0, 2.0)
+        assert rel_ci_half_width([2.0] * 10) == 0.0
+
+    def test_interval_brackets_median_and_tightens(self):
+        small = unimodal(n=10)
+        large = unimodal(n=200)
+        for sample in (small, large):
+            lo, hi = median_ci(sample)
+            assert lo <= float(np.median(sample)) <= hi
+        assert rel_ci_half_width(large) < rel_ci_half_width(small)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            median_ci([])
+        with pytest.raises(ValueError):
+            median_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            median_ci([1.0], n_resamples=0)
+
+
+class TestMeasurementBudget:
+    def test_budget_flows_to_noisy_benchmark(self):
+        clock = FakeClock()
+        draws = {"stable": iter(unimodal(n=10**4)),
+                 "noisy": iter(heavy_tailed(n=10**4, sigma=0.8))}
+
+        def mk(name):
+            def fn():
+                clock.t += next(draws[name])
+            return fn
+
+        mb = MeasurementBudget(max_seconds=0.5, rel_ci=0.05,
+                               min_repetitions=5, max_repetitions=200,
+                               clock=clock)
+        res = mb.run({"stable": mk("stable"), "noisy": mk("noisy")},
+                     warmup=1)
+        assert len(res["stable"].times) == 5
+        assert res["stable"].stop_reason == STOP_CONVERGED
+        assert len(res["noisy"].times) > len(res["stable"].times)
+
+    def test_exhausted_budget_reports_stop_budget(self):
+        clock = FakeClock()
+        it = iter(heavy_tailed(n=10**4, sigma=1.0, center=1e-2))
+
+        def fn():
+            clock.t += next(it)
+
+        mb = MeasurementBudget(max_seconds=0.08, rel_ci=1e-6,
+                               min_repetitions=3, max_repetitions=10**4,
+                               clock=clock)
+        res = mb.run({"only": fn}, warmup=0)
+        assert res["only"].stop_reason == STOP_BUDGET
+        assert len(res["only"].times) >= 1
+
+    def test_every_benchmark_gets_a_result_even_when_budget_tiny(self):
+        clock = FakeClock()
+        its = {n: iter(itertools.repeat(1.0)) for n in "abc"}
+
+        def mk(name):
+            def fn():
+                clock.t += next(its[name])
+            return fn
+
+        mb = MeasurementBudget(max_seconds=0.001, min_repetitions=5,
+                               clock=clock)
+        res = mb.run({n: mk(n) for n in "abc"}, warmup=0)
+        assert set(res) == set("abc")
+        assert all(len(r.times) >= 1 for r in res.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementBudget(max_seconds=0.0)
+        with pytest.raises(ValueError):
+            MeasurementBudget(max_seconds=1.0, rel_ci=0.0)
+        with pytest.raises(ValueError):
+            MeasurementBudget(max_seconds=1.0, min_repetitions=0)
+        with pytest.raises(ValueError):
+            MeasurementBudget(max_seconds=1.0, min_repetitions=5,
+                              max_repetitions=4)
+        mb = MeasurementBudget(max_seconds=1.0)
+        with pytest.raises(ValueError):
+            mb.run({})
+        with pytest.raises(ValueError):
+            mb.run({"a": lambda: None}, warmup=-1)
+
+
+class TestLegacyWrappers:
+    def test_measure_reports_fixed_stop_reason_and_cv(self):
+        res = measure(lambda: sum(range(100)), repetitions=5, warmup=1)
+        assert res.stop_reason == "fixed"
+        assert not res.stopped_early
+        assert res.achieved_cv is not None
+        assert res.achieved_cv >= 0
+
+    def test_measure_until_stable_exposes_stop_reason(self):
+        res = measure_until_stable(lambda: sum(range(100)),
+                                   cv_threshold=1e-12, batch=5,
+                                   max_repetitions=6, warmup=0)
+        assert len(res.times) == 6
+        assert res.stop_reason == STOP_MAX_REPETITIONS
+        assert res.achieved_cv is not None
+        assert res.sample is not None
+        converged = measure_until_stable(lambda: sum(range(100)),
+                                         cv_threshold=10.0, batch=5,
+                                         max_repetitions=60, warmup=0)
+        assert converged.stop_reason == STOP_CONVERGED
+        assert len(converged.times) == 5
+        assert converged.stable
+
+    def test_measure_until_stable_span_attrs(self):
+        tracer = Tracer(metrics=MetricsRegistry())
+        measure_until_stable(lambda: sum(range(100)), cv_threshold=10.0,
+                             batch=5, max_repetitions=60, warmup=1,
+                             tracer=tracer)
+        top = [s for s in tracer.spans
+               if s.name == "timing.measure_until_stable"]
+        assert len(top) == 1
+        assert top[0].attrs["stop_reason"] == STOP_CONVERGED
+        assert "achieved_cv" in top[0].attrs
+        assert "achieved_rel_ci" in top[0].attrs

@@ -218,3 +218,45 @@ class TestChangePoints:
             change_points([1.0] * 10, min_segment=0)
         with pytest.raises(ValueError):
             change_points([1.0] * 10, alpha=2.0)
+
+
+class TestDegenerateInputs:
+    """The stopping rule evaluates these after every batch: no NaN, no raise."""
+
+    def test_cv_single_sample_is_zero(self):
+        assert coefficient_of_variation([5.0]) == 0.0
+
+    def test_cv_zero_variance_zero_mean_is_zero(self):
+        assert coefficient_of_variation([0.0, 0.0, 0.0]) == 0.0
+
+    def test_cv_zero_mean_with_spread_is_inf(self):
+        assert coefficient_of_variation([-1.0, 1.0]) == float("inf")
+
+    def test_cv_zero_variance_is_zero(self):
+        assert coefficient_of_variation([2.0] * 7) == 0.0
+
+    def test_bootstrap_ci_single_sample_exact(self):
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+    def test_bootstrap_ci_zero_variance_exact(self):
+        assert bootstrap_ci([2.0] * 9) == (2.0, 2.0)
+
+    def test_bootstrap_ci_zero_variance_respects_statistic(self):
+        assert bootstrap_ci([4.0] * 5, statistic=np.mean) == (4.0, 4.0)
+
+    def test_median_ratio_ci_both_constant_exact(self):
+        from repro.timing import median_ratio_ci
+
+        assert median_ratio_ci([2.0], [1.0, 1.0]) == (2.0, 2.0)
+        assert median_ratio_ci([3.0] * 4, [1.5] * 6) == (2.0, 2.0)
+
+    def test_median_ratio_ci_one_degenerate_side_is_finite(self):
+        from repro.timing import median_ratio_ci
+
+        lo, hi = median_ratio_ci([1.0] * 5, [0.9, 1.0, 1.1, 1.0, 0.95])
+        assert np.isfinite(lo) and np.isfinite(hi) and lo <= hi
+
+    def test_summarize_single_sample_no_nan(self):
+        s = summarize([1.5])
+        assert s.n == 1 and s.cv == 0.0 and s.std == 0.0
+        assert s.ci_low == s.ci_high == 1.5
