@@ -88,6 +88,12 @@ from .timing import (
     measure_until_stable,
     sample_summary,
 )
+from .transform import (
+    TransformReport,
+    apply_rule,
+    run_flywheel,
+    transform_candidates,
+)
 from .tuning import (
     Budget,
     CoordinateDescent,
@@ -100,7 +106,7 @@ from .tuning import (
     tune_variant,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Toolbox",
@@ -171,6 +177,11 @@ __all__ = [
     "measure_adaptive",
     "measure_until_stable",
     "sample_summary",
+    # source transformation
+    "TransformReport",
+    "apply_rule",
+    "run_flywheel",
+    "transform_candidates",
     # longitudinal performance tracking
     "PerfStore",
     "RunRecord",

@@ -19,14 +19,14 @@ from .lint import LINT_RULES, function_ast, lint_registry, lint_variant
 from .report import SEVERITIES, AnalysisReport, Finding
 from .workcount import (WORKCOUNT_RULES, NotCountable, ProbeSpec, WorkEstimate,
                         default_probes, estimate_registry, estimate_variant,
-                        static_app_points, verify_workcounts)
+                        static_app_points, verify_variant, verify_workcounts)
 
 __all__ = [
     "SEVERITIES", "Finding", "AnalysisReport",
     "LINT_RULES", "lint_variant", "lint_registry", "function_ast",
     "WORKCOUNT_RULES", "NotCountable", "WorkEstimate", "ProbeSpec",
     "default_probes", "estimate_variant", "estimate_registry",
-    "verify_workcounts", "static_app_points",
+    "verify_workcounts", "verify_variant", "static_app_points",
     "HAZARD_RULES", "analyze_worker", "find_workers", "hazards_variant",
     "hazards_registry",
     "analyze_all",

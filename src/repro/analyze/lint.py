@@ -104,6 +104,12 @@ def _names_in(node: ast.AST) -> set[str]:
     return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
 
 
+def _span(node: ast.AST) -> tuple[int, int]:
+    """(col, end_lineno) of a node — the machine-usable half of a finding."""
+    return (getattr(node, "col_offset", 0) or 0,
+            getattr(node, "end_lineno", None) or getattr(node, "lineno", 0))
+
+
 def _is_scalar_index(node: ast.expr) -> bool:
     """Index expression selecting one element (no slices)."""
     if isinstance(node, ast.Tuple):
@@ -117,9 +123,10 @@ class _LoopVisitor(ast.NodeVisitor):
     def __init__(self) -> None:
         self.loop_stack: list[ast.AST] = []
         self.loop_vars: list[set[str]] = []
-        self.findings: list[tuple[str, int, str]] = []  # (rule, lineno, msg)
+        # (rule, lineno, col, end_lineno, msg)
+        self.findings: list[tuple[str, int, int, int, str]] = []
         # per-loop tally of attribute-chain loads for L004
-        self._attr_loads: list[dict[str, list[int]]] = []
+        self._attr_loads: list[dict[str, list[tuple[int, int, int]]]] = []
 
     # -- loops --------------------------------------------------------------
 
@@ -131,13 +138,14 @@ class _LoopVisitor(ast.NodeVisitor):
     def _exit_loop(self) -> None:
         loads = self._attr_loads.pop()
         depth = len(self.loop_stack)
-        for chain, lines in loads.items():
+        for chain, sites in loads.items():
             # repeated in one loop, or any occurrence in a nest ≥2 deep
-            if len(lines) >= 2 or depth >= 2:
+            if len(sites) >= 2 or depth >= 2:
+                lineno, col, end = sites[0]
                 self.findings.append((
-                    "L004", lines[0],
+                    "L004", lineno, col, end,
                     f"hoist loop-invariant lookup {chain!r} "
-                    f"({len(lines)} read(s) in a depth-{depth} loop)"))
+                    f"({len(sites)} read(s) in a depth-{depth} loop)"))
         self.loop_stack.pop()
         self.loop_vars.pop()
 
@@ -166,7 +174,7 @@ class _LoopVisitor(ast.NodeVisitor):
                 and it.args[0].func.id == "len" and it.args[0].args):
             seq = _attr_chain(it.args[0].args[0]) or "<expr>"
             self.findings.append((
-                "L003", node.lineno,
+                "L003", node.lineno, *_span(node),
                 f"for-range(len({seq})): iterate {seq} directly or use enumerate"))
 
     # -- rule evidence ------------------------------------------------------
@@ -187,12 +195,12 @@ class _LoopVisitor(ast.NodeVisitor):
             if self._in_loop() and leaf.split(".")[-1] in _ALLOCATORS \
                     and root in ("np", "numpy"):
                 self.findings.append((
-                    "L002", node.lineno,
+                    "L002", node.lineno, *_span(node),
                     f"{chain}() allocates a fresh array every iteration; "
                     f"hoist the buffer or use out="))
             if leaf == "dot" and root in ("np", "numpy") and len(node.args) == 2:
                 self.findings.append((
-                    "L005", node.lineno,
+                    "L005", node.lineno, *_span(node),
                     "np.dot(a, b): prefer the @ operator for 2-D operands"))
         self.generic_visit(node)
 
@@ -202,7 +210,8 @@ class _LoopVisitor(ast.NodeVisitor):
             if chain:
                 root = chain.split(".", 1)[0]
                 if root not in self._loop_var_names():
-                    self._attr_loads[-1].setdefault(chain, []).append(node.lineno)
+                    self._attr_loads[-1].setdefault(chain, []).append(
+                        (node.lineno, *_span(node)))
                     return  # don't double-count nested sub-chains
         self.generic_visit(node)
 
@@ -221,7 +230,7 @@ class _LoopVisitor(ast.NodeVisitor):
             if sub is not None:
                 name = _attr_chain(sub.value) or "<array>"
                 self.findings.append((
-                    "L001", node.lineno,
+                    "L001", node.lineno, *_span(node),
                     f"scalar element update of {name!r} inside a loop"))
         self.generic_visit(node)
 
@@ -231,7 +240,7 @@ class _LoopVisitor(ast.NodeVisitor):
             if sub is not None:
                 name = _attr_chain(sub.value) or "<array>"
                 self.findings.append((
-                    "L001", node.lineno,
+                    "L001", node.lineno, *_span(node),
                     f"scalar element arithmetic on {name!r} inside a loop"))
         self._check_missing_out(node)
         self.generic_visit(node)
@@ -250,7 +259,7 @@ class _LoopVisitor(ast.NodeVisitor):
             ops = [n for n in ast.walk(value) if isinstance(n, ast.BinOp)]
             if len(ops) >= 2:
                 self.findings.append((
-                    "L006", node.lineno,
+                    "L006", node.lineno, *_span(node),
                     f"slice assignment from a {len(ops)}-op expression "
                     f"allocates temporaries; consider np.<op>(..., out=)"))
 
@@ -272,7 +281,8 @@ def _callees(fn_node: ast.FunctionDef, fn: Callable) -> list[Callable]:
     return out
 
 
-def _lint_function(fn: Callable, depth: int = 1) -> list[tuple[str, int, str]]:
+def _lint_function(fn: Callable,
+                   depth: int = 1) -> list[tuple[str, int, int, int, str]]:
     node = function_ast(fn)
     if node is None:
         return []
@@ -282,8 +292,8 @@ def _lint_function(fn: Callable, depth: int = 1) -> list[tuple[str, int, str]]:
     findings = list(visitor.findings)
     if depth > 0:
         for callee in _callees(node, fn):
-            for rule, lineno, msg in _lint_function(callee, depth - 1):
-                findings.append((rule, lineno,
+            for rule, lineno, col, end, msg in _lint_function(callee, depth - 1):
+                findings.append((rule, lineno, col, end,
                                  f"(via {callee.__name__}) {msg}"))
     return findings
 
@@ -300,7 +310,7 @@ def lint_variant(variant) -> list[Finding]:
     unknown = expected - {slug for slug, _, _ in LINT_RULES.values()}
     findings: list[Finding] = []
     fired: set[str] = set()
-    for rule, lineno, msg in raw:
+    for rule, lineno, col, end, msg in raw:
         slug, severity, _ = LINT_RULES[rule]
         fired.add(slug)
         if slug in expected:
@@ -311,7 +321,8 @@ def lint_variant(variant) -> list[Finding]:
                     f"vectorized bound")
         findings.append(Finding(rule=rule, slug=slug, severity=severity,
                                 variant=variant.qualified_name, message=msg,
-                                source="lint", lineno=lineno))
+                                source="lint", lineno=lineno, col=col,
+                                end_lineno=end))
     for slug in sorted((expected - fired) | unknown):
         findings.append(Finding(
             rule="L000", slug="stale-expect", severity="info",

@@ -55,6 +55,12 @@ class Finding:
         Pass that produced it: ``"lint"``, ``"workcount"``, ``"hazards"``.
     lineno:
         1-based line in the *function source* (0 when not anchored).
+    col:
+        0-based column of the anchoring node (0 when not anchored).
+    end_lineno:
+        1-based last line of the anchoring node (0 when not anchored) —
+        together with ``lineno``/``col`` this gives rewrite tools like
+        :mod:`repro.transform` a machine-usable source span.
     """
 
     rule: str
@@ -64,6 +70,8 @@ class Finding:
     message: str
     source: str = "lint"
     lineno: int = 0
+    col: int = 0
+    end_lineno: int = 0
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:

@@ -65,6 +65,7 @@ __all__ = [
     "estimate_variant",
     "estimate_registry",
     "verify_workcounts",
+    "verify_variant",
     "static_app_points",
 ]
 
@@ -1358,10 +1359,12 @@ def default_probes() -> dict[str, ProbeSpec]:
 
     def stream(name):
         a, b, c = stream_arrays(64, seed=0)
-        by_name = {"copy": (a, c), "scale": (c, b),
-                   "add": (a, b, c), "triad": (a, b, c)}
+        by_op = {"copy": (a, c), "scale": (c, b),
+                 "add": (a, b, c), "triad": (a, b, c)}
+        # match on the leading operation so derived variants
+        # ("triad_scalar", "triad_scalar.auto_l001") share their op's probe
         try:
-            args = by_name[name]
+            args = by_op[name.split("_")[0].split(".")[0]]
         except KeyError:
             raise NotCountable(f"no stream probe for variant {name!r}") from None
         return args, args
@@ -1463,6 +1466,20 @@ def verify_workcounts(registry=None,
                 report.add(finding)
         tracer.count("analyze.workcount_findings", len(report))
     return report
+
+
+def verify_variant(variant, probes: Mapping[str, ProbeSpec] | None = None,
+                   tolerance: float = 2.0) -> list[Finding]:
+    """Work-count findings for one variant (the per-variant gate).
+
+    The single-variant entry point :mod:`repro.transform` uses to re-derive
+    and check a synthesized variant's WorkCount model: empty list means the
+    declared model survives the shadow interpreter at ``tolerance``.
+    """
+    if tolerance <= 1.0:
+        raise ValueError("tolerance must exceed 1")
+    return _verify_one(variant, probes if probes is not None
+                       else default_probes(), tolerance)
 
 
 def _verify_one(variant, probes, tolerance: float) -> list[Finding]:

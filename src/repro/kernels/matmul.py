@@ -38,6 +38,7 @@ __all__ = [
     "matmul_kji",
     "matmul_tiled",
     "matmul_numpy",
+    "matmul_dot",
     "matmul_parallel",
     "matmul_chunked",
     "matmul_blocked_numpy",
@@ -194,6 +195,22 @@ def matmul_numpy(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
     """``C += A @ B`` through NumPy's BLAS; the optimized reference point."""
     _check_operands(a, b, c)
     c += a @ b
+    return c
+
+
+@register("matmul", "dot", matmul_work,
+          "np.dot library call — the pre-PEP-465 spelling of matmul.numpy",
+          technique="library",
+          metadata={"lint_expect": ("dot-matmul",),
+                    "workcount_expect": ("np.dot is opaque to the shadow "
+                                         "interpreter; BLAS flops uncounted")})
+def matmul_dot(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """``C += np.dot(A, B)`` — same BLAS as matmul.numpy, dated idiom.
+
+    Kept as the L005 exemplar the transform tier rewrites to ``@``.
+    """
+    _check_operands(a, b, c)
+    c += np.dot(a, b)
     return c
 
 

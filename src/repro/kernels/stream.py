@@ -21,6 +21,7 @@ __all__ = [
     "stream_arrays",
     "copy_work", "scale_work", "add_work", "triad_work",
     "stream_copy", "stream_scale", "stream_add", "stream_triad",
+    "stream_triad_scalar",
     "STREAM_KERNELS",
 ]
 
@@ -104,6 +105,22 @@ def stream_triad(a: np.ndarray, b: np.ndarray, c: np.ndarray, s: float = 3.0) ->
     _check_same(a, b, c)
     np.multiply(c, s, out=a)
     np.add(a, b, out=a)
+    return a
+
+
+@register("stream", "triad_scalar", lambda a, b, c, s=3.0: triad_work(a.size),
+          "STREAM Triad, element at a time — the 'basic code' handout",
+          metadata={"lint_expect": ("scalar-loop",)})
+def stream_triad_scalar(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                        s: float = 3.0) -> np.ndarray:
+    """a[i] = b[i] + s*c[i], one element per iteration.
+
+    Deliberately scalar (``lint_expect`` declares the L001): the starting
+    point the transform flywheel rewrites into the vectorized Triad.
+    """
+    n = _check_same(a, b, c)
+    for i in range(n):
+        a[i] = b[i] + s * c[i]
     return a
 
 

@@ -91,7 +91,8 @@ class JobEngine:
         self.machine_key = machine_cache_key()
         from ..perfdb.record import current_git_sha, machine_fingerprint
         self._run_ctx = {"machine": machine_fingerprint(calibrate=False),
-                         "git_sha": current_git_sha()}
+                         "git_sha": current_git_sha(),
+                         "metrics": self.metrics}
 
         self._lock = threading.Lock()
         #: State changes notify here; HTTP event streams wait on it.

@@ -117,6 +117,12 @@ class WorkloadManifest:
     cacheable: bool = True
 
     def __post_init__(self) -> None:
+        for fname in ("metrics", "backends"):
+            if isinstance(getattr(self, fname), (str, bytes)):
+                raise ManifestError(
+                    f"{fname} must be a sequence of names, not a bare "
+                    f"string ({getattr(self, fname)!r}); tuple() would "
+                    f"split it into characters")
         object.__setattr__(self, "args", dict(self.args))
         object.__setattr__(self, "config", dict(self.config))
         object.__setattr__(self, "metrics", tuple(self.metrics))
@@ -215,6 +221,18 @@ class WorkloadManifest:
 
     @classmethod
     def from_dict(cls, doc: Mapping) -> "WorkloadManifest":
+        # A bare string survives tuple() coercion by splitting into
+        # characters — "thread" would become ('t','h','r','e','a','d') and
+        # fail validation six confusing errors later.  Reject it here, and
+        # before the try below: ManifestError is a ValueError, so raising
+        # inside the try would rewrap the pointed message into the generic
+        # "unreadable manifest document" one.
+        for key in ("metrics", "backends"):
+            value = doc.get(key)
+            if isinstance(value, (str, bytes)):
+                raise ManifestError(
+                    f"manifest field {key!r} must be a list of names, not "
+                    f"the bare string {value!r} — write [{value!r}] instead")
         try:
             return cls(
                 name=str(doc["name"]),

@@ -24,6 +24,7 @@ family to the service is adding a row, not a subclass.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from typing import Callable, Mapping
 
 from ..kernels.base import REGISTRY, KernelVariant
@@ -39,6 +40,49 @@ __all__ = ["execute", "build_operands", "RunnerError"]
 
 class RunnerError(RuntimeError):
     """A job failed inside the runner (reported as state ``failed``)."""
+
+
+@contextmanager
+def _live_backend(variant: KernelVariant, manifest: WorkloadManifest,
+                  config: dict, ctx: Mapping):
+    """Resolve and construct the manifest's execution backend, if any.
+
+    For variants that declare a ``backend`` tunable, the requested name
+    (``config["backend"]``, else the manifest's first allowed backend) is
+    built into a **live** :class:`~repro.parallel.backends.ExecutionBackend`
+    *here*, outside the timed region — the kernel borrows the instance via
+    ``open_backend``, so pool spawn/teardown never pollutes the
+    measurement, and the job really executes on the backend the tenant
+    asked for instead of whatever the kernel's default happens to be.
+
+    Yields ``{"name", "workers"}`` (or ``None`` for backend-less
+    variants) and mutates ``config`` in place.  An unavailable backend
+    raises :class:`RunnerError` — the engine reports the job as
+    ``failed``, it must not crash a worker.
+    """
+    if "backend" not in {t.name for t in variant.tunables}:
+        yield None
+        return
+    name = config.get("backend", manifest.backends[0])
+    if not isinstance(name, str):  # already a live backend (direct callers)
+        yield {"name": getattr(name, "name", str(name)),
+               "workers": getattr(name, "workers", None)}
+        return
+    workers = int(config.get("workers",
+                             variant.default_config().get("workers", 2)))
+    from ..parallel.backends import make_backend
+    try:
+        backend = make_backend(name, workers)
+    except Exception as exc:
+        raise RunnerError(f"backend {name!r} unavailable: {exc}") from exc
+    try:
+        config["backend"] = backend
+        metrics = ctx.get("metrics")
+        if metrics is not None:
+            metrics.counter(f"service.backend_runs.{name}").inc()
+        yield {"name": name, "workers": backend.workers}
+    finally:
+        backend.close()
 
 
 # -- operand builders ---------------------------------------------------------
@@ -126,16 +170,17 @@ def _run_benchmark(job: Job, manifest: WorkloadManifest,
     variant = REGISTRY.get(manifest.kernel, manifest.variant)
     operands = build_operands(manifest)
     config = dict(manifest.config)
-    if manifest.adaptive:
-        lo = min(3, manifest.repetitions)
-        res = measure_adaptive(
-            lambda: variant.fn(*operands, **config),
-            rel_ci=manifest.rel_ci, min_repetitions=lo, batch=lo,
-            max_repetitions=manifest.repetitions, warmup=manifest.warmup)
-    else:
-        res = measure(lambda: variant.fn(*operands, **config),
-                      repetitions=manifest.repetitions,
-                      warmup=manifest.warmup)
+    with _live_backend(variant, manifest, config, ctx) as backend_info:
+        if manifest.adaptive:
+            lo = min(3, manifest.repetitions)
+            res = measure_adaptive(
+                lambda: variant.fn(*operands, **config),
+                rel_ci=manifest.rel_ci, min_repetitions=lo, batch=lo,
+                max_repetitions=manifest.repetitions, warmup=manifest.warmup)
+        else:
+            res = measure(lambda: variant.fn(*operands, **config),
+                          repetitions=manifest.repetitions,
+                          warmup=manifest.warmup)
     flops = _work_flops(manifest, variant, operands)
     derived = {
         "best_seconds": res.best,
@@ -153,6 +198,9 @@ def _run_benchmark(job: Job, manifest: WorkloadManifest,
         "achieved_rel_ci": res.achieved_rel_ci,
         "metrics": {name: derived[name] for name in manifest.metrics},
     }
+    if backend_info is not None:
+        payload["backend"] = backend_info["name"]
+        payload["backend_workers"] = backend_info["workers"]
     if store is not None:
         record = RunRecord.new(
             {f"service/{manifest.name}": res.times},
@@ -210,7 +258,8 @@ def _run_analyze(job: Job, manifest: WorkloadManifest,
         "kernel": manifest.slug,
         "findings": [
             {"rule": f.rule, "slug": f.slug, "severity": f.severity,
-             "message": f.message, "lineno": f.lineno, "source": f.source}
+             "message": f.message, "lineno": f.lineno, "col": f.col,
+             "end_lineno": f.end_lineno, "source": f.source}
             for f in findings],
         "gating": sum(1 for f in findings if f.gating),
     }
@@ -242,7 +291,9 @@ def execute(job: Job, store: PerfStore | None = None,
 
     ``ctx`` carries run provenance the engine computed once at startup
     (``machine`` fingerprint, ``git_sha``) so per-job execution never
-    pays for a calibration probe or a git subprocess.  Raises
+    pays for a calibration probe or a git subprocess, plus the engine's
+    ``metrics`` registry (``service.backend_runs.<name>`` counters prove
+    which execution backend a job ran on).  Raises
     :class:`RunnerError` (or lets kernel/validation errors propagate) —
     the engine converts any exception into state ``failed`` with the
     message as the job's ``error``.

@@ -1,0 +1,66 @@
+"""Registry-driven source-to-source rewrites for lint findings.
+
+``repro.analyze.lint`` *names* anti-patterns; this package *fixes* the
+mechanical ones.  Each rewrite pass takes a registered variant's source,
+transforms the AST, and registers the result as a new
+``<variant>.auto_<rule>`` variant — but only after the full verification
+stack signs off: the shadow interpreter re-derives the work-count model,
+the hazard detector re-checks parallel safety, and fixed-seed probes
+bit-compare original against rewrite across shapes and dtypes.
+
+=====  =========================================  ======================
+rule   rewrite                                    refused when
+=====  =========================================  ======================
+L001   scalar loop → slice assignment             reductions, gather/
+                                                  scatter, loop-carried
+                                                  dependences
+L002   loop-invariant ``np.zeros``/``np.empty``   allocation arguments
+       hoisted above the loop                     vary per iteration
+L003   ``range(len(x))`` → direct iteration /     index used beyond
+       ``enumerate``                              ``x[i]`` loads
+L004   invariant attribute chains hoisted to a    chain root rebound in
+       local before the loop                      the loop
+L005   ``np.dot(a, b)`` → ``a @ b``               ``out=`` or >2 args
+=====  =========================================  ======================
+
+The ``flywheel`` entry point (also ``python -m repro.transform``) closes
+the loop end to end: lint → rewrite → verify → tune → record, with
+speedups gated by the Mann-Whitney test and a bootstrap ratio CI before
+anything is claimed.
+"""
+
+from .flywheel import FlywheelEntry, FlywheelReport, run_flywheel
+from .passes import (
+    REWRITE_PASSES,
+    PassResult,
+    Refusal,
+    Rewrite,
+    run_pass,
+)
+from .synth import (
+    AUTO_TECHNIQUE,
+    TransformReport,
+    apply_rule,
+    synthesize_variant,
+    transform_candidates,
+)
+from .verify import bit_equal, check_equivalence, equivalence_probes
+
+__all__ = [
+    "AUTO_TECHNIQUE",
+    "FlywheelEntry",
+    "FlywheelReport",
+    "PassResult",
+    "REWRITE_PASSES",
+    "Refusal",
+    "Rewrite",
+    "TransformReport",
+    "apply_rule",
+    "bit_equal",
+    "check_equivalence",
+    "equivalence_probes",
+    "run_flywheel",
+    "run_pass",
+    "synthesize_variant",
+    "transform_candidates",
+]

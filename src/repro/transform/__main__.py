@@ -1,0 +1,156 @@
+"""CLI for the source-transformation tier: ``python -m repro.transform``.
+
+Subcommands
+-----------
+``list``      rewrite candidates from a lint sweep (variant, rule, span)
+``apply``     run one rewrite pass on one variant, verify, register
+``flywheel``  the full loop over every candidate: lint → rewrite →
+              verify → tune → record
+
+``flywheel --check`` is the CI gate: exit 1 unless every landed rewrite
+passed verification, at least one auto-variant was verified, and (when
+measuring) at least one shows a statistically gated speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .flywheel import run_flywheel
+from .passes import REWRITE_PASSES
+from .synth import apply_rule, transform_candidates
+
+
+def _cmd_list(args) -> int:
+    from ..analyze.lint import lint_registry
+    from ..kernels import REGISTRY
+
+    candidates = transform_candidates(REGISTRY, kernel=args.kernel)
+    if not candidates:
+        print("no rewrite candidates")
+        return 0
+    spans = {}
+    for f in lint_registry(REGISTRY, kernel=args.kernel).findings:
+        spans.setdefault((f.variant, f.rule), []).append(
+            f"L{f.lineno}:{f.col}-L{f.end_lineno}")
+    if args.json:
+        print(json.dumps([
+            {"variant": v.qualified_name, "rule": rule,
+             "spans": spans.get((v.qualified_name, rule), [])}
+            for v, rule in candidates], indent=2))
+        return 0
+    for v, rule in candidates:
+        where = ", ".join(spans.get((v.qualified_name, rule), []))
+        print(f"{v.qualified_name:40s} {rule}  {where}")
+    return 0
+
+
+def _cmd_apply(args) -> int:
+    from ..kernels import REGISTRY
+
+    kernel, _, name = args.variant.partition(".")
+    if not name:
+        print(f"error: expected kernel.variant, got {args.variant!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        variant = REGISTRY.get(kernel, name)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = apply_rule(variant, args.rule, registry=REGISTRY,
+                        verify=not args.no_verify)
+    if args.json:
+        print(json.dumps({
+            "variant": report.variant, "rule": report.rule,
+            "auto_variant": report.auto_variant,
+            "registered": report.registered,
+            "rewrites": [str(r) for r in report.rewrites],
+            "refusals": [str(r) for r in report.refusals],
+            "kept_expects": list(report.kept_expects),
+            "dropped_expects": list(report.dropped_expects),
+            "equivalence": report.equivalence,
+            "error": report.error,
+        }, indent=2))
+    else:
+        print(report.summary())
+        for refusal in report.refusals:
+            print(f"    {refusal}")
+        if report.source and args.show_source:
+            print(report.source)
+    return 0 if report.error is None else 1
+
+
+def _cmd_flywheel(args) -> int:
+    store = None
+    if args.record:
+        from ..perfdb.store import PerfStore
+        store = PerfStore(os.environ.get("REPRO_PERFDB", ".perfdb"))
+    report = run_flywheel(
+        args.kernel or None,
+        measure=not args.no_measure,
+        tune=not args.no_tune,
+        store=store,
+        rel_ci=args.rel_ci,
+        max_repetitions=args.max_repetitions)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    if args.check:
+        return 0 if report.ok(require_speedup=not args.no_measure) else 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.transform",
+        description="registry-driven source-to-source rewrites for "
+                    "lint findings")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show rewrite candidates")
+    p_list.add_argument("--kernel", default=None,
+                        help="restrict to one kernel family")
+    p_list.add_argument("--json", action="store_true")
+
+    p_apply = sub.add_parser("apply", help="apply one rewrite pass")
+    p_apply.add_argument("variant", help="qualified name, e.g. matmul.tiled")
+    p_apply.add_argument("rule", choices=sorted(REWRITE_PASSES),
+                         type=str.upper, help="rewrite rule to run")
+    p_apply.add_argument("--no-verify", action="store_true",
+                         help="skip verification (and registration gating)")
+    p_apply.add_argument("--show-source", action="store_true",
+                         help="print the rewritten source")
+    p_apply.add_argument("--json", action="store_true")
+
+    p_fly = sub.add_parser("flywheel",
+                           help="lint → rewrite → verify → tune → record")
+    p_fly.add_argument("--kernel", action="append", default=[],
+                       help="kernel family to sweep (repeatable; "
+                            "default: all)")
+    p_fly.add_argument("--check", action="store_true",
+                       help="exit 1 unless the gate passes (CI mode)")
+    p_fly.add_argument("--no-measure", action="store_true",
+                       help="verify and register only; skip timing")
+    p_fly.add_argument("--no-tune", action="store_true",
+                       help="measure at default configs; skip auto-tuning")
+    p_fly.add_argument("--record", action="store_true",
+                       help="append raw times to the perfdb store "
+                            "($REPRO_PERFDB or .perfdb)")
+    p_fly.add_argument("--rel-ci", type=float, default=0.08,
+                       help="target relative CI half-width (default 0.08)")
+    p_fly.add_argument("--max-repetitions", type=int, default=30,
+                       help="per-side repetition cap (default 30)")
+    p_fly.add_argument("--json", action="store_true")
+
+    args = parser.parse_args(argv)
+    return {"list": _cmd_list, "apply": _cmd_apply,
+            "flywheel": _cmd_flywheel}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

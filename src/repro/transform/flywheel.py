@@ -1,0 +1,258 @@
+"""The transform flywheel: lint → rewrite → verify → tune → record.
+
+One call (or ``python -m repro.transform flywheel``) closes the loop the
+static analyzer only opens: every fixable lint finding becomes a
+synthesized ``auto_<rule>`` variant, every synthesized variant is
+verified (work-count, hazards, bit-exact equivalence), every verified
+variant is auto-tuned and measured against its source variant with the
+adaptive engine, and the outcome is gated through the same statistics the
+perfdb regression gate uses — Mann-Whitney significance *and* a bootstrap
+CI on the median ratio clear of 1.0.  Raw times land in the perfdb store
+under ``transform/<qualified-name>``, so speedup claims are auditable
+history, not console output.
+
+Measurement sizes follow the benchmark convention: honest sizes by
+default, small ones under ``REPRO_BENCH_SMOKE=1`` (CI).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Mapping
+
+import numpy as np
+
+from ..kernels.base import KernelRegistry, KernelVariant
+from ..observe import get_tracer
+from ..timing.adaptive import measure_adaptive
+from ..timing.stats import median_ratio_ci, significantly_faster
+from .synth import TransformReport, apply_rule, transform_candidates
+
+__all__ = ["FlywheelEntry", "FlywheelReport", "run_flywheel"]
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def _bench_operands(variant: KernelVariant) -> tuple:
+    """Honest-size timing operands per family (smaller under smoke)."""
+    smoke = _smoke()
+    kernel, name = variant.kernel, variant.name
+    if kernel == "matmul":
+        from ..kernels.matmul import random_matrices
+        return random_matrices(32 if smoke else 64, seed=0)
+    if kernel == "stencil":
+        from ..kernels.stencil import init_grid
+        src = init_grid(48 if smoke else 96)
+        return src, np.zeros_like(src)
+    if kernel == "stream":
+        from ..kernels.stream import stream_arrays
+        return stream_arrays(20_000 if smoke else 120_000, seed=0)
+    if kernel == "spmv":
+        from ..kernels.spmv import random_sparse
+        n = 120 if smoke else 240
+        coo = random_sparse(n, density=0.02, seed=0)
+        mat = (coo.to_csr() if name.startswith("csr")
+               else coo.to_csc() if name.startswith("csc") else coo)
+        x = np.random.default_rng(1).standard_normal(n)
+        return mat, x
+    if kernel == "histogram":
+        from ..kernels.histogram import random_keys
+        return random_keys(4_000 if smoke else 20_000, 256, seed=0), 256
+    if kernel == "gameoflife":
+        from ..kernels.gameoflife import random_board
+        return (random_board(32 if smoke else 64, seed=2),)
+    if kernel == "fft":
+        from ..kernels.fft import random_signal
+        return (random_signal(256 if smoke else 1024, seed=0),)
+    raise ValueError(f"no benchmark operands for kernel family {kernel!r}")
+
+
+@dataclass
+class FlywheelEntry:
+    """One (variant, rule) attempt plus its measurement verdict."""
+
+    report: TransformReport
+    tuned_config: dict | None = None
+    times: dict = field(default_factory=dict)  # {"original": [...], "auto": [...]}
+    speedup: float | None = None               # median(orig) / median(auto)
+    significant: bool | None = None
+    ratio_ci: tuple[float, float] | None = None
+
+    @property
+    def gated(self) -> bool:
+        """Statistically significant speedup, CI clear of 1.0."""
+        return bool(self.significant and self.ratio_ci
+                    and self.ratio_ci[1] < 1.0)
+
+    def verdict(self) -> str:
+        base = self.report.summary()
+        if self.speedup is None:
+            return base
+        lo, hi = self.ratio_ci
+        gate = "PASS" if self.gated else "not significant"
+        cfg = f", tuned {self.tuned_config}" if self.tuned_config else ""
+        return (f"{base}; {self.speedup:.2f}x vs original "
+                f"(ratio CI [{lo:.3f}, {hi:.3f}], gate {gate}{cfg})")
+
+
+@dataclass
+class FlywheelReport:
+    """Everything one flywheel run attempted, verified, and measured."""
+
+    entries: list[FlywheelEntry] = field(default_factory=list)
+    run_ids: list[str] = field(default_factory=list)
+
+    @property
+    def attempted(self) -> list[FlywheelEntry]:
+        return list(self.entries)
+
+    @property
+    def verified(self) -> list[FlywheelEntry]:
+        return [e for e in self.entries if e.report.verified]
+
+    @property
+    def failures(self) -> list[FlywheelEntry]:
+        """Rewrites that landed but failed a verification layer."""
+        return [e for e in self.entries
+                if e.report.changed and e.report.error is not None]
+
+    @property
+    def gated_speedups(self) -> list[FlywheelEntry]:
+        return [e for e in self.entries if e.gated]
+
+    @property
+    def measured(self) -> bool:
+        return any(e.times for e in self.entries)
+
+    def ok(self, require_speedup: bool = True) -> bool:
+        """The ``--check`` gate: no failed rewrites, ≥1 verified rewrite,
+        and (when measured) ≥1 statistically gated speedup."""
+        if self.failures:
+            return False
+        if not self.verified:
+            return False
+        if require_speedup and self.measured and not self.gated_speedups:
+            return False
+        return True
+
+    def render_text(self) -> str:
+        lines = []
+        for e in self.entries:
+            lines.append(e.verdict())
+            for refusal in e.report.refusals:
+                lines.append(f"    {refusal}")
+        lines.append(
+            f"flywheel: {len(self.entries)} candidate(s), "
+            f"{len(self.verified)} verified rewrite(s), "
+            f"{len(self.failures)} failure(s), "
+            f"{len(self.gated_speedups)} gated speedup(s)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "candidates": len(self.entries),
+            "verified": [e.report.auto_variant for e in self.verified],
+            "failures": [e.report.summary() for e in self.failures],
+            "gated_speedups": [
+                {"auto": e.report.auto_variant, "speedup": e.speedup,
+                 "ratio_ci": list(e.ratio_ci), "config": e.tuned_config}
+                for e in self.gated_speedups],
+            "refusals": [str(r) for e in self.entries
+                         for r in e.report.refusals],
+            "run_ids": list(self.run_ids),
+            "ok": self.ok(),
+        }
+
+
+def _tune_auto(auto: KernelVariant, seed: int, max_evals: int) -> dict | None:
+    """Best config of the synthesized variant (None when not tunable)."""
+    if not auto.is_tunable:
+        return None
+    from ..tuning import Budget, RandomSearch, tune_variant
+
+    result = tune_variant(
+        auto, lambda config: _bench_operands(auto),
+        RandomSearch(seed=seed, max_samples=max_evals),
+        budget=Budget(max_evaluations=max_evals),
+        warmup=1, repetitions=6, adaptive=True, rel_ci=0.1)
+    return result.best_config
+
+
+def _measure(variant: KernelVariant, config: Mapping, *, rel_ci: float,
+             max_repetitions: int) -> list[float]:
+    operands = _bench_operands(variant)
+    cfg = dict(config)
+    res = measure_adaptive(
+        lambda: variant.fn(*operands, **cfg),
+        rel_ci=rel_ci, min_repetitions=5, batch=5,
+        max_repetitions=max_repetitions, warmup=1)
+    return list(res.times)
+
+
+def run_flywheel(kernels: list[str] | None = None, *,
+                 registry: KernelRegistry | None = None,
+                 verify: bool = True,
+                 measure: bool = True,
+                 tune: bool = True,
+                 store=None,
+                 rel_ci: float = 0.08,
+                 max_repetitions: int = 30,
+                 tune_evaluations: int = 4,
+                 seed: int = 0) -> FlywheelReport:
+    """Run the full loop over every rewrite candidate the linter surfaces.
+
+    ``store`` is a :class:`~repro.perfdb.store.PerfStore` (or None to skip
+    recording).  ``kernels=None`` sweeps every family; at least 4-5
+    samples per side are always taken so the Mann-Whitney gate is live.
+    """
+    if registry is None:
+        from ..kernels import REGISTRY as registry  # populates the registry
+    tracer = get_tracer()
+    report = FlywheelReport()
+    candidates = []
+    for kernel in (kernels or [None]):
+        candidates.extend(transform_candidates(registry, kernel=kernel))
+
+    with tracer.span("transform.flywheel", category="transform",
+                     candidates=len(candidates)):
+        for variant, rule in candidates:
+            tr = apply_rule(variant, rule, registry=registry, verify=verify)
+            entry = FlywheelEntry(report=tr)
+            report.entries.append(entry)
+            tracer.count("transform.attempted")
+            if tr.error is not None:
+                tracer.count("transform.failed")
+                continue
+            if not tr.registered:
+                continue
+            tracer.count("transform.registered")
+            if not measure:
+                continue
+            auto = registry.get(variant.kernel, tr.auto_variant.split(".", 1)[1])
+            if tune:
+                entry.tuned_config = _tune_auto(auto, seed, tune_evaluations)
+            auto_cfg = entry.tuned_config or auto.default_config()
+            orig_times = _measure(variant, variant.default_config(),
+                                  rel_ci=rel_ci,
+                                  max_repetitions=max_repetitions)
+            auto_times = _measure(auto, auto_cfg, rel_ci=rel_ci,
+                                  max_repetitions=max_repetitions)
+            entry.times = {"original": orig_times, "auto": auto_times}
+            entry.speedup = median(orig_times) / median(auto_times)
+            entry.significant = significantly_faster(auto_times, orig_times)
+            entry.ratio_ci = median_ratio_ci(auto_times, orig_times)
+            if entry.gated:
+                tracer.count("transform.gated_speedups")
+            if store is not None:
+                from ..perfdb.record import RunRecord
+                record = RunRecord.new(
+                    {f"transform/{tr.auto_variant}": auto_times,
+                     f"transform/{tr.auto_variant}/original": orig_times},
+                    label=f"transform-flywheel:{rule}")
+                store.append(record)
+                report.run_ids.append(record.run_id)
+    return report

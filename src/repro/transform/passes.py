@@ -1,0 +1,754 @@
+"""AST rewrite passes that mechanically fix linter findings.
+
+One pass per fixable lint rule, each a pure function from a parsed
+``FunctionDef`` to a :class:`PassResult` holding a rewritten *copy* plus
+an audit trail: every landed :class:`Rewrite` and — just as important —
+every :class:`Refusal` with the concrete reason the pass left a site
+untouched.  A transformation tier is only trustworthy when its refusals
+are as explicit as its rewrites (the gather/scatter and reduction loops
+it must *not* vectorize are exactly where silent "fixes" corrupt
+results), so refusal reasons are first-class output, not log noise.
+
+=======  ==================  =================================================
+L001     scalar-loop         vectorize innermost single-statement *map* loops
+                             whose subscripts are affine in the loop variable
+                             (``a[i+c]`` → ``a[start+c:stop+c]``); refuses
+                             reductions (reassociation changes float results),
+                             gather/scatter indexing, loop-carried dependences
+L002     loop-alloc          hoist ``np.zeros``/``np.empty`` with
+                             loop-invariant arguments above the loop (zeros
+                             keeps an in-place ``buf[...] = 0`` refill at the
+                             original site, so semantics are bit-identical)
+L003     range-len           ``for i in range(len(x))`` → direct iteration or
+                             ``enumerate`` when every indexed read is ``x[i]``
+L004     invariant-lookup    bind repeated loop-invariant attribute chains
+                             (``np.exp``, ``m.data``) to a local before the
+                             loop
+L005     dot-matmul          ``np.dot(a, b)`` → ``a @ b``
+=======  ==================  =================================================
+
+Every rewrite here preserves the *exact* floating-point result: the same
+per-element operations in the same order, only expressed on whole slices.
+That is the property :mod:`repro.transform.verify` re-checks dynamically
+(bit-compare on fixed-seed probes) — the pass refuses anything it cannot
+guarantee statically, and the verifier catches anything the pass got
+wrong anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from dataclasses import dataclass, field
+
+from ..analyze.lint import _attr_chain
+
+__all__ = ["Rewrite", "Refusal", "PassResult", "REWRITE_PASSES", "run_pass"]
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One landed transformation, anchored to the original source line."""
+
+    rule: str
+    lineno: int
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}:{self.lineno}: {self.description}"
+
+
+@dataclass(frozen=True)
+class Refusal:
+    """One site the pass deliberately left untouched, with the reason."""
+
+    rule: str
+    lineno: int
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}:{self.lineno}: refused — {self.reason}"
+
+
+@dataclass
+class PassResult:
+    """Outcome of one pass over one function (a rewritten copy + audit)."""
+
+    rule: str
+    node: ast.FunctionDef
+    rewrites: list[Rewrite] = field(default_factory=list)
+    refusals: list[Refusal] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.rewrites)
+
+
+class _Cannot(Exception):
+    """Internal: a candidate site fails a provability check (reason inside)."""
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _uses(node: ast.AST, var: str) -> bool:
+    return any(isinstance(n, ast.Name) and n.id == var for n in ast.walk(node))
+
+
+def _range_bounds(node: ast.For) -> tuple[ast.expr, ast.expr] | None:
+    """(start, stop) of a unit-stride ``range()`` loop over a Name, else None."""
+    it = node.iter
+    if not (isinstance(node.target, ast.Name) and isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name) and it.func.id == "range"
+            and not it.keywords and 1 <= len(it.args) <= 3):
+        return None
+    if len(it.args) == 3:
+        step = it.args[2]
+        if not (isinstance(step, ast.Constant) and step.value == 1):
+            return None
+    if len(it.args) == 1:
+        return ast.Constant(value=0), it.args[0]
+    return it.args[0], it.args[1]
+
+
+def _affine_offset(expr: ast.expr, var: str) -> int | None:
+    """``c`` such that ``expr == var + c``, else None."""
+    if isinstance(expr, ast.Name) and expr.id == var:
+        return 0
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, (ast.Add, ast.Sub)):
+        left, right = expr.left, expr.right
+        if (isinstance(left, ast.Name) and left.id == var
+                and isinstance(right, ast.Constant)
+                and isinstance(right.value, int)):
+            return right.value if isinstance(expr.op, ast.Add) else -right.value
+        if (isinstance(expr.op, ast.Add) and isinstance(right, ast.Name)
+                and right.id == var and isinstance(left, ast.Constant)
+                and isinstance(left.value, int)):
+            return left.value
+    return None
+
+
+def _shift(expr: ast.expr, c: int) -> ast.expr:
+    """AST for ``expr + c`` with constant folding (`n - 1 + 1` → `n`)."""
+    e = copy.deepcopy(expr)
+    if c == 0:
+        return e
+    if isinstance(e, ast.Constant) and isinstance(e.value, int):
+        return ast.Constant(value=e.value + c)
+    if (isinstance(e, ast.BinOp) and isinstance(e.op, (ast.Add, ast.Sub))
+            and isinstance(e.right, ast.Constant)
+            and isinstance(e.right.value, int)):
+        k = e.right.value if isinstance(e.op, ast.Add) else -e.right.value
+        k += c
+        if k == 0:
+            return e.left
+        return ast.BinOp(left=e.left, op=ast.Add() if k > 0 else ast.Sub(),
+                         right=ast.Constant(value=abs(k)))
+    return ast.BinOp(left=e, op=ast.Add() if c > 0 else ast.Sub(),
+                     right=ast.Constant(value=abs(c)))
+
+
+def _fresh_name(base: str, taken: set[str]) -> str:
+    name = base
+    while name in taken:
+        name += "_"
+    taken.add(name)
+    return name
+
+
+def _all_names(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+# ---------------------------------------------------------------------------
+# L001 — vectorize provably map-like scalar loops
+# ---------------------------------------------------------------------------
+
+
+def _sub_components(sub: ast.Subscript) -> list[ast.expr]:
+    s = sub.slice
+    return list(s.elts) if isinstance(s, ast.Tuple) else [s]
+
+
+def _vector_subscript(sub: ast.Subscript, var: str,
+                      bounds: tuple[ast.expr, ast.expr]):
+    """Slice-ified copy of ``sub`` plus its per-component offset signature.
+
+    The signature is a tuple with the affine offset for var-dependent
+    components and the dumped AST for var-free ones — two accesses to the
+    same array touch the same cells per iteration iff signatures match.
+    """
+    start, stop = bounds
+    comps: list[ast.expr] = []
+    sig: list[object] = []
+    for comp in _sub_components(sub):
+        if _uses(comp, var):
+            off = _affine_offset(comp, var)
+            if off is None:
+                raise _Cannot(
+                    f"index {ast.unparse(comp)!r} is not affine in {var!r} "
+                    f"(gather/scatter access)")
+            comps.append(ast.Slice(lower=_shift(start, off),
+                                   upper=_shift(stop, off)))
+            sig.append(off)
+        else:
+            comps.append(copy.deepcopy(comp))
+            sig.append(ast.dump(comp))
+    new = copy.deepcopy(sub)
+    new.slice = (ast.Tuple(elts=comps, ctx=ast.Load())
+                 if len(comps) > 1 else comps[0])
+    return new, tuple(sig)
+
+
+_ELEMENTWISE_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow)
+
+
+def _vector_expr(expr: ast.expr, var: str, bounds, reads: list) -> ast.expr:
+    """Rewrite one RHS expression; records var-dependent array reads."""
+    if not _uses(expr, var):
+        # loop-invariant subexpression: a scalar at runtime (the original
+        # stored it into a single element), broadcasts unchanged
+        return copy.deepcopy(expr)
+    if isinstance(expr, ast.Subscript):
+        if _uses(expr.value, var):
+            raise _Cannot(f"array expression {ast.unparse(expr.value)!r} "
+                          f"depends on {var!r}")
+        new, sig = _vector_subscript(expr, var, bounds)
+        reads.append((ast.dump(expr.value), sig))
+        return new
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, _ELEMENTWISE_OPS):
+        return ast.BinOp(left=_vector_expr(expr.left, var, bounds, reads),
+                         op=copy.deepcopy(expr.op),
+                         right=_vector_expr(expr.right, var, bounds, reads))
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op,
+                                                    (ast.USub, ast.UAdd)):
+        return ast.UnaryOp(op=copy.deepcopy(expr.op),
+                           operand=_vector_expr(expr.operand, var, bounds,
+                                                reads))
+    if isinstance(expr, ast.Name) and expr.id == var:
+        raise _Cannot(f"loop variable {var!r} is used as a value, "
+                      f"not an index")
+    raise _Cannot(f"{type(expr).__name__} expression "
+                  f"{ast.unparse(expr)!r} depends on {var!r}; only +,-,*,/,** "
+                  f"element-wise arithmetic is provably equivalent")
+
+
+def _leaky_loop_ids(fn: ast.FunctionDef) -> set[int]:
+    """ids of For nodes whose loop variable is read outside the loop."""
+    leaks: set[int] = set()
+    fors = [n for n in ast.walk(fn)
+            if isinstance(n, ast.For) and isinstance(n.target, ast.Name)]
+    for f in fors:
+        var = f.target.id
+        inside = {id(n) for n in ast.walk(f)}
+        for n in ast.walk(fn):
+            if (isinstance(n, ast.Name) and n.id == var
+                    and id(n) not in inside and isinstance(n.ctx, ast.Load)):
+                leaks.add(id(f))
+                break
+    return leaks
+
+
+class _VectorizeL001(ast.NodeTransformer):
+    """Innermost-first vectorizer; non-candidates become Refusals."""
+
+    def __init__(self, leaky: set[int]) -> None:
+        self.rewrites: list[Rewrite] = []
+        self.refusals: list[Refusal] = []
+        self._leaky = leaky
+
+    def visit_For(self, node: ast.For):
+        self.generic_visit(node)  # innermost loops first (enables cascades)
+        if any(isinstance(n, (ast.For, ast.While))
+               for n in ast.walk(node) if n is not node):
+            return node  # still contains a loop: not (yet) a candidate
+        try:
+            stmt = self._vectorize(node)
+        except _Cannot as exc:
+            self.refusals.append(Refusal("L001", node.lineno, str(exc)))
+            return node
+        stmt = ast.fix_missing_locations(ast.copy_location(stmt, node))
+        self.rewrites.append(Rewrite(
+            "L001", node.lineno,
+            f"for {node.target.id} in {ast.unparse(node.iter)}: ... → "
+            f"{ast.unparse(stmt)}"))
+        return stmt
+
+    def _vectorize(self, node: ast.For) -> ast.stmt:
+        if node.orelse:
+            raise _Cannot("loop has an else clause")
+        bounds = _range_bounds(node)
+        if bounds is None:
+            raise _Cannot("not a unit-stride range(...) loop over a "
+                          "simple name")
+        var = node.target.id
+        if id(node) in self._leaky:
+            raise _Cannot(f"loop variable {var!r} is read after the loop")
+        if len(node.body) != 1:
+            raise _Cannot(f"loop body has {len(node.body)} statements; only "
+                          f"single-statement bodies are provably map-like")
+        stmt = node.body[0]
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1:
+                raise _Cannot("multiple assignment targets")
+            target = stmt.targets[0]
+        elif isinstance(stmt, ast.AugAssign):
+            if not isinstance(stmt.op, _ELEMENTWISE_OPS):
+                raise _Cannot(f"augmented {type(stmt.op).__name__} is not "
+                              f"element-wise arithmetic")
+            target = stmt.target
+        else:
+            raise _Cannot(f"loop body is a {type(stmt).__name__}, not an "
+                          f"array assignment")
+        if isinstance(target, ast.Name):
+            raise _Cannot(
+                f"reduction into scalar {target.id!r}: vectorizing would "
+                f"reassociate the floating-point accumulation order")
+        if not isinstance(target, ast.Subscript):
+            raise _Cannot("assignment target is not an array subscript")
+        new_target, target_sig = _vector_subscript(target, var, bounds)
+        if all(isinstance(s, str) for s in target_sig):
+            raise _Cannot(
+                "reduction: the store target does not vary with the loop "
+                "variable, so iterations accumulate into the same cells")
+        reads: list[tuple[str, tuple]] = []
+        new_value = _vector_expr(stmt.value, var, bounds, reads)
+        base = ast.dump(target.value)
+        for read_base, read_sig in reads:
+            if read_base == base and read_sig != target_sig:
+                raise _Cannot(
+                    f"loop-carried dependence: {ast.unparse(target.value)!r} "
+                    f"is read at a different offset than it is written")
+        if isinstance(stmt, ast.AugAssign):
+            return ast.AugAssign(target=new_target,
+                                 op=copy.deepcopy(stmt.op), value=new_value)
+        new_target.ctx = ast.Store()
+        return ast.Assign(targets=[new_target], value=new_value)
+
+
+def vectorize_scalar_loops(fn_node: ast.FunctionDef) -> PassResult:
+    """L001: rewrite provably map-like scalar loops into slice expressions."""
+    fn = copy.deepcopy(fn_node)
+    transformer = _VectorizeL001(_leaky_loop_ids(fn))
+    transformer.visit(fn)
+    ast.fix_missing_locations(fn)
+    return PassResult("L001", fn, transformer.rewrites, transformer.refusals)
+
+
+# ---------------------------------------------------------------------------
+# L002 — hoist loop-invariant allocations
+# ---------------------------------------------------------------------------
+
+_HOISTABLE_ALLOCATORS = frozenset({"zeros", "empty"})
+
+
+def _alloc_call(stmt: ast.stmt):
+    """(target name, call, allocator leaf) for ``t = np.zeros(...)``-shaped
+    statements, else None."""
+    if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)):
+        return None
+    chain = _attr_chain(stmt.value.func)
+    if chain is None or "." not in chain:
+        return None
+    root, leaf = chain.split(".", 1)
+    if root not in ("np", "numpy"):
+        return None
+    return stmt.targets[0].id, stmt.value, leaf.split(".")[-1]
+
+
+def _loop_bound_names(loop: ast.AST) -> set[str]:
+    """Every name bound anywhere inside the loop (targets + assignments)."""
+    bound: set[str] = set()
+    for n in ast.walk(loop):
+        if isinstance(n, (ast.For, ast.comprehension)):
+            bound |= _all_names(n.target)
+        elif isinstance(n, ast.Assign):
+            for t in n.targets:
+                bound |= _all_names(t)
+        elif isinstance(n, (ast.AugAssign, ast.AnnAssign)):
+            bound |= _all_names(n.target)
+        elif isinstance(n, ast.withitem) and n.optional_vars is not None:
+            bound |= _all_names(n.optional_vars)
+    return bound
+
+
+def _only_subscript_base(loop: ast.AST, name: str, skip: ast.AST) -> bool:
+    """True when every use of ``name`` in ``loop`` (outside ``skip``) is as a
+    subscript base — the reference never escapes an iteration."""
+    skipped = {id(n) for n in ast.walk(skip)}
+    sub_bases = {id(n.value) for n in ast.walk(loop)
+                 if isinstance(n, ast.Subscript)}
+    for n in ast.walk(loop):
+        if (isinstance(n, ast.Name) and n.id == name
+                and id(n) not in skipped and id(n) not in sub_bases):
+            return False
+    return True
+
+
+class _HoistAllocs:
+    def __init__(self) -> None:
+        self.rewrites: list[Rewrite] = []
+        self.refusals: list[Refusal] = []
+
+    def rewrite_body(self, body: list[ast.stmt],
+                     outer_vars: set[str]) -> list[ast.stmt]:
+        out: list[ast.stmt] = []
+        for stmt in body:
+            if isinstance(stmt, (ast.For, ast.While)):
+                loop_vars = set(outer_vars)
+                if isinstance(stmt, ast.For):
+                    loop_vars |= _all_names(stmt.target)
+                hoisted = self._hoist_from(stmt, loop_vars)
+                # recurse into the loop body for deeper nests
+                stmt.body = self.rewrite_body(stmt.body, loop_vars)
+                out.extend(hoisted)
+                out.append(stmt)
+            elif isinstance(stmt, (ast.If, ast.With)):
+                stmt.body = self.rewrite_body(stmt.body, outer_vars)
+                if isinstance(stmt, ast.If):
+                    stmt.orelse = self.rewrite_body(stmt.orelse, outer_vars)
+                out.append(stmt)
+            else:
+                out.append(stmt)
+        return out
+
+    def _hoist_from(self, loop, loop_vars: set[str]) -> list[ast.stmt]:
+        bound = _loop_bound_names(loop) | loop_vars
+        hoisted: list[ast.stmt] = []
+        new_body: list[ast.stmt] = []
+        for stmt in loop.body:
+            alloc = _alloc_call(stmt)
+            if alloc is None:
+                new_body.append(stmt)
+                continue
+            name, call, leaf = alloc
+            varying = sorted(_all_names(call) & bound)
+            if varying:
+                self.refusals.append(Refusal(
+                    "L002", stmt.lineno,
+                    f"allocation argument(s) {varying} vary across loop "
+                    f"iterations"))
+                new_body.append(stmt)
+                continue
+            if leaf not in _HOISTABLE_ALLOCATORS:
+                self.refusals.append(Refusal(
+                    "L002", stmt.lineno,
+                    f"np.{leaf} is not a provably hoistable allocator "
+                    f"(only zeros/empty buffers can be reused)"))
+                new_body.append(stmt)
+                continue
+            if not _only_subscript_base(loop, name, stmt):
+                self.refusals.append(Refusal(
+                    "L002", stmt.lineno,
+                    f"{name!r} escapes the loop body (used other than as a "
+                    f"subscript base); reusing one buffer could alias"))
+                new_body.append(stmt)
+                continue
+            hoisted.append(stmt)
+            self.rewrites.append(Rewrite(
+                "L002", stmt.lineno,
+                f"hoisted {name} = {ast.unparse(call)} above the loop"
+                + (" (refill kept in place)" if leaf == "zeros" else "")))
+            if leaf == "zeros":
+                # keep the per-iteration clearing so results stay identical
+                fill = ast.parse(f"{name}[...] = 0").body[0]
+                new_body.append(ast.copy_location(fill, stmt))
+        loop.body = new_body or [ast.Pass()]
+        return hoisted
+
+
+def hoist_loop_allocations(fn_node: ast.FunctionDef) -> PassResult:
+    """L002: lift invariant np.zeros/np.empty allocations above loops."""
+    fn = copy.deepcopy(fn_node)
+    hoister = _HoistAllocs()
+    fn.body = hoister.rewrite_body(fn.body, set())
+    ast.fix_missing_locations(fn)
+    return PassResult("L002", fn, hoister.rewrites, hoister.refusals)
+
+
+# ---------------------------------------------------------------------------
+# L003 — range(len(x)) → direct / enumerate iteration
+# ---------------------------------------------------------------------------
+
+
+def _range_len_seq(node: ast.For) -> str | None:
+    """``x`` of a ``for i in range(len(x))`` loop over simple names."""
+    it = node.iter
+    if (isinstance(node.target, ast.Name) and isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name) and it.func.id == "range"
+            and len(it.args) == 1 and not it.keywords
+            and isinstance(it.args[0], ast.Call)
+            and isinstance(it.args[0].func, ast.Name)
+            and it.args[0].func.id == "len" and len(it.args[0].args) == 1
+            and isinstance(it.args[0].args[0], ast.Name)):
+        return it.args[0].args[0].id
+    return None
+
+
+class _ReplaceIndexedLoads(ast.NodeTransformer):
+    def __init__(self, seq: str, idx: str, item: str) -> None:
+        self.seq, self.idx, self.item = seq, idx, item
+
+    def visit_Subscript(self, node: ast.Subscript):
+        self.generic_visit(node)
+        if (isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name) and node.value.id == self.seq
+                and isinstance(node.slice, ast.Name)
+                and node.slice.id == self.idx):
+            return ast.copy_location(ast.Name(id=self.item, ctx=ast.Load()),
+                                     node)
+        return node
+
+
+class _RangeLenL003(ast.NodeTransformer):
+    def __init__(self, taken: set[str]) -> None:
+        self.rewrites: list[Rewrite] = []
+        self.refusals: list[Refusal] = []
+        self._taken = taken
+
+    def visit_For(self, node: ast.For):
+        self.generic_visit(node)
+        seq = _range_len_seq(node)
+        if seq is None:
+            return node
+        try:
+            return self._rewrite(node, seq)
+        except _Cannot as exc:
+            self.refusals.append(Refusal("L003", node.lineno, str(exc)))
+            return node
+
+    def _rewrite(self, node: ast.For, seq: str) -> ast.For:
+        idx = node.target.id
+        body = ast.Module(body=list(node.body), type_ignores=[])
+        for n in ast.walk(body):
+            if isinstance(n, ast.Name) and n.id == seq \
+                    and not isinstance(n.ctx, ast.Load):
+                raise _Cannot(f"{seq!r} is rebound inside the loop")
+        # classify every use of the index
+        load_subs = [n for n in ast.walk(body)
+                     if isinstance(n, ast.Subscript)
+                     and isinstance(n.ctx, ast.Load)
+                     and isinstance(n.value, ast.Name) and n.value.id == seq
+                     and isinstance(n.slice, ast.Name) and n.slice.id == idx]
+        if not load_subs:
+            raise _Cannot(f"index {idx!r} never reads {seq}[{idx}]; nothing "
+                          f"to gain from direct iteration")
+        covered = {id(s.slice) for s in load_subs}
+        other_uses = [n for n in ast.walk(body)
+                      if isinstance(n, ast.Name) and n.id == idx
+                      and id(n) not in covered]
+        item = _fresh_name(f"{seq}_item", self._taken)
+        replacer = _ReplaceIndexedLoads(seq, idx, item)
+        new_body = [replacer.visit(stmt) for stmt in node.body]
+        if other_uses:
+            # index still needed (stores, other arrays): keep it via enumerate
+            new = ast.For(
+                target=ast.Tuple(
+                    elts=[ast.Name(id=idx, ctx=ast.Store()),
+                          ast.Name(id=item, ctx=ast.Store())],
+                    ctx=ast.Store()),
+                iter=ast.Call(func=ast.Name(id="enumerate", ctx=ast.Load()),
+                              args=[ast.Name(id=seq, ctx=ast.Load())],
+                              keywords=[]),
+                body=new_body, orelse=list(node.orelse))
+            how = f"for {idx}, {item} in enumerate({seq})"
+        else:
+            new = ast.For(target=ast.Name(id=item, ctx=ast.Store()),
+                          iter=ast.Name(id=seq, ctx=ast.Load()),
+                          body=new_body, orelse=list(node.orelse))
+            how = f"for {item} in {seq}"
+        self.rewrites.append(Rewrite(
+            "L003", node.lineno,
+            f"for {idx} in range(len({seq})) → {how}"))
+        return ast.copy_location(new, node)
+
+
+def replace_range_len(fn_node: ast.FunctionDef) -> PassResult:
+    """L003: iterate sequences directly instead of ``range(len(x))``."""
+    fn = copy.deepcopy(fn_node)
+    transformer = _RangeLenL003(_all_names(fn))
+    transformer.visit(fn)
+    ast.fix_missing_locations(fn)
+    return PassResult("L003", fn, transformer.rewrites, transformer.refusals)
+
+
+# ---------------------------------------------------------------------------
+# L004 — hoist loop-invariant attribute chains
+# ---------------------------------------------------------------------------
+
+
+class _ChainSites(ast.NodeVisitor):
+    """Attribute-chain load sites inside one loop, with nesting depth."""
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.sites: dict[str, list[tuple[ast.Attribute, int]]] = {}
+
+    def _loop(self, node) -> None:
+        self.depth += 1
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self.depth -= 1
+
+    visit_For = visit_While = _loop
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        chain = _attr_chain(node)
+        if chain is not None and isinstance(node.ctx, ast.Load):
+            self.sites.setdefault(chain, []).append((node, self.depth))
+            return  # longest chain only; don't double-count sub-chains
+        self.generic_visit(node)
+
+
+class _ReplaceChain(ast.NodeTransformer):
+    def __init__(self, chain: str, local: str) -> None:
+        self.chain, self.local = chain, local
+
+    def visit_Attribute(self, node: ast.Attribute):
+        if _attr_chain(node) == self.chain and isinstance(node.ctx, ast.Load):
+            return ast.copy_location(
+                ast.Name(id=self.local, ctx=ast.Load()), node)
+        self.generic_visit(node)
+        return node
+
+
+class _HoistChains:
+    def __init__(self, fn: ast.FunctionDef) -> None:
+        self.rewrites: list[Rewrite] = []
+        self.refusals: list[Refusal] = []
+        self._taken = _all_names(fn)
+        # names rebound anywhere in the function: their chains aren't
+        # provably invariant
+        self._rebound = {
+            n.id for n in ast.walk(fn)
+            if isinstance(n, ast.Name) and not isinstance(n.ctx, ast.Load)}
+        self._attr_stores = {
+            _attr_chain(n) for n in ast.walk(fn)
+            if isinstance(n, ast.Attribute) and not isinstance(n.ctx, ast.Load)}
+
+    def rewrite_body(self, body: list[ast.stmt]) -> list[ast.stmt]:
+        out: list[ast.stmt] = []
+        for stmt in body:
+            if isinstance(stmt, (ast.For, ast.While)):
+                out.extend(self._hoist_from(stmt))
+                out.append(stmt)
+            elif isinstance(stmt, (ast.If, ast.With)):
+                stmt.body = self.rewrite_body(stmt.body)
+                if isinstance(stmt, ast.If):
+                    stmt.orelse = self.rewrite_body(stmt.orelse)
+                out.append(stmt)
+            else:
+                out.append(stmt)
+        return out
+
+    def _hoist_from(self, loop) -> list[ast.stmt]:
+        finder = _ChainSites()
+        finder._loop(loop)
+        loop_vars = _loop_bound_names(loop)
+        assigns: list[ast.stmt] = []
+        for chain, sites in sorted(finder.sites.items()):
+            if len(sites) < 2 and max(d for _, d in sites) < 2:
+                continue  # same threshold the linter uses
+            lineno = sites[0][0].lineno
+            root = chain.split(".", 1)[0]
+            if root in loop_vars:
+                self.refusals.append(Refusal(
+                    "L004", lineno,
+                    f"{chain!r} is rooted at loop-bound name {root!r}"))
+                continue
+            if root in self._rebound:
+                self.refusals.append(Refusal(
+                    "L004", lineno,
+                    f"{chain!r} is not provably invariant: {root!r} is "
+                    f"rebound in the function"))
+                continue
+            if any(stored and chain.startswith(stored)
+                   for stored in self._attr_stores if stored):
+                self.refusals.append(Refusal(
+                    "L004", lineno,
+                    f"{chain!r} (or a prefix) is written in the function"))
+                continue
+            local = _fresh_name(chain.replace(".", "_"), self._taken)
+            assign = ast.parse(f"{local} = {chain}").body[0]
+            assigns.append(ast.copy_location(assign, loop))
+            replacer = _ReplaceChain(chain, local)
+            loop.body = [replacer.visit(s) for s in loop.body]
+            self.rewrites.append(Rewrite(
+                "L004", lineno,
+                f"hoisted {len(sites)} read(s) of {chain!r} into local "
+                f"{local!r}"))
+        return assigns
+
+
+def hoist_invariant_lookups(fn_node: ast.FunctionDef) -> PassResult:
+    """L004: bind repeated loop-invariant attribute chains before the loop."""
+    fn = copy.deepcopy(fn_node)
+    hoister = _HoistChains(fn)
+    fn.body = hoister.rewrite_body(fn.body)
+    ast.fix_missing_locations(fn)
+    return PassResult("L004", fn, hoister.rewrites, hoister.refusals)
+
+
+# ---------------------------------------------------------------------------
+# L005 — np.dot → @
+# ---------------------------------------------------------------------------
+
+
+class _DotToMatmul(ast.NodeTransformer):
+    def __init__(self) -> None:
+        self.rewrites: list[Rewrite] = []
+        self.refusals: list[Refusal] = []
+
+    def visit_Call(self, node: ast.Call):
+        self.generic_visit(node)
+        chain = _attr_chain(node.func)
+        if chain not in ("np.dot", "numpy.dot"):
+            return node
+        if len(node.args) != 2 or node.keywords:
+            self.refusals.append(Refusal(
+                "L005", node.lineno,
+                "np.dot with out=/extra arguments has no @ equivalent"))
+            return node
+        new = ast.BinOp(left=node.args[0], op=ast.MatMult(),
+                        right=node.args[1])
+        self.rewrites.append(Rewrite(
+            "L005", node.lineno,
+            f"{ast.unparse(node)} → {ast.unparse(new)}"))
+        return ast.copy_location(new, node)
+
+
+def dot_to_matmul(fn_node: ast.FunctionDef) -> PassResult:
+    """L005: rewrite 2-argument ``np.dot`` calls to the ``@`` operator."""
+    fn = copy.deepcopy(fn_node)
+    transformer = _DotToMatmul()
+    transformer.visit(fn)
+    ast.fix_missing_locations(fn)
+    return PassResult("L005", fn, transformer.rewrites, transformer.refusals)
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+#: rule id -> pass callable (FunctionDef -> PassResult on a copy)
+REWRITE_PASSES = {
+    "L001": vectorize_scalar_loops,
+    "L002": hoist_loop_allocations,
+    "L003": replace_range_len,
+    "L004": hoist_invariant_lookups,
+    "L005": dot_to_matmul,
+}
+
+
+def run_pass(fn_node: ast.FunctionDef, rule: str) -> PassResult:
+    """Run one rewrite pass by rule id (never mutates ``fn_node``)."""
+    try:
+        impl = REWRITE_PASSES[rule.upper()]
+    except KeyError:
+        raise ValueError(f"no rewrite pass for rule {rule!r}; "
+                         f"known: {sorted(REWRITE_PASSES)}") from None
+    return impl(fn_node)

@@ -1,0 +1,280 @@
+"""Synthesize and register auto-variants from rewritten source.
+
+The bridge between a :class:`~repro.transform.passes.PassResult` and the
+kernel registry: take a registered variant's source (``inspect.getsource``),
+run one rewrite pass, ``ast.unparse`` + ``exec`` the result under a
+synthetic filename seeded into :mod:`linecache` (so every downstream
+source-level tool — the linter, the shadow interpreter, the hazard
+detector — can re-read the synthesized function exactly like a normal
+one), and package it as a new ``<variant>.auto_<rule>`` KernelVariant.
+
+Three pieces of metadata hygiene happen here rather than in the caller:
+
+* **lint_expect recomputation** — a rewrite that removes the anti-pattern
+  a variant *declared* would otherwise flip that declaration into L000
+  stale-expect noise.  The synthesized variant re-lints itself and keeps
+  only the expectations that still fire; what was dropped is reported on
+  the :class:`TransformReport` so the analyze gate stays clean.
+* **workcount_expect demotion** — the auto variant first tries to verify
+  *without* any inherited ``workcount_expect`` (a rewrite like
+  ``np.dot → @`` often makes the source countable again); the annotation
+  is re-attached only if the shadow interpreter still cannot match the
+  declared model.
+* **provenance** — ``auto_from`` / ``auto_rule`` metadata records the
+  lineage, and the variant's ``technique`` is ``"source-transform"`` so
+  the linter treats residual scalar loops as warnings, not contract
+  violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import linecache
+from dataclasses import dataclass, field
+
+from ..analyze.hazards import hazards_variant
+from ..analyze.lint import function_ast, lint_variant
+from ..analyze.report import Finding
+from ..analyze.workcount import verify_variant
+from ..kernels.base import REGISTRY, KernelRegistry, KernelVariant
+from .passes import PassResult, Refusal, Rewrite, run_pass
+
+__all__ = ["TransformReport", "apply_rule", "synthesize_variant",
+           "transform_candidates"]
+
+#: technique string stamped on every synthesized variant
+AUTO_TECHNIQUE = "source-transform"
+
+
+@dataclass
+class TransformReport:
+    """Everything one ``apply`` attempt did (or refused to do)."""
+
+    variant: str                       # source qualified name
+    rule: str
+    auto_variant: str | None = None    # qualified name of the synthesized one
+    registered: bool = False
+    already_registered: bool = False
+    source: str | None = None          # rewritten source text
+    rewrites: tuple[Rewrite, ...] = ()
+    refusals: tuple[Refusal, ...] = ()
+    kept_expects: tuple[str, ...] = ()
+    dropped_expects: tuple[str, ...] = ()
+    dropped_workcount_expect: bool = False
+    findings: tuple[Finding, ...] = ()  # gating analyze findings, if any
+    equivalence: dict = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.rewrites)
+
+    @property
+    def verified(self) -> bool:
+        """Rewrite landed and every verification layer passed."""
+        return self.changed and self.error is None and (
+            self.equivalence.get("equivalent", False))
+
+    def summary(self) -> str:
+        if self.already_registered:
+            return (f"{self.variant} [{self.rule}]: {self.auto_variant} "
+                    f"already registered")
+        if not self.changed:
+            reasons = "; ".join(r.reason for r in self.refusals) or \
+                "no matching site"
+            return f"{self.variant} [{self.rule}]: no rewrite ({reasons})"
+        if self.error:
+            return f"{self.variant} [{self.rule}]: FAILED — {self.error}"
+        state = "registered" if self.registered else "verified"
+        out = f"{self.variant} [{self.rule}]: {self.auto_variant} {state}"
+        if self.dropped_expects:
+            out += (f"; dropped stale lint_expect "
+                    f"{sorted(self.dropped_expects)}")
+        return out
+
+
+def _auto_names(variant: KernelVariant, rule: str) -> tuple[str, str, str]:
+    """(function name, variant name, qualified name) of the auto variant."""
+    suffix = f"auto_{rule.lower()}"
+    fn_name = f"{variant.fn.__name__}_{suffix}"
+    variant_name = f"{variant.name}.{suffix}"
+    return fn_name, variant_name, f"{variant.kernel}.{variant_name}"
+
+
+def _exec_rewritten(variant: KernelVariant, node: ast.FunctionDef,
+                    fn_name: str, qualified: str) -> tuple:
+    """Compile the rewritten FunctionDef; returns (callable, source text)."""
+    node.name = fn_name
+    node.decorator_list = []  # the original @register must not re-fire
+    module = ast.Module(body=[node], type_ignores=[])
+    ast.fix_missing_locations(module)
+    source = ast.unparse(module) + "\n"
+    filename = f"<repro.transform:{qualified}>"
+    # seed linecache so inspect.getsource works on the synthesized function:
+    # the linter, work-count verifier and hazard pass all re-read source
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(keepends=True), filename)
+    namespace = dict(variant.fn.__globals__)
+    exec(compile(source, filename, "exec"), namespace)
+    fn = namespace[fn_name]
+    fn.__module__ = variant.fn.__module__  # same-module helper follow-through
+    return fn, source
+
+
+def _recompute_lint_expect(variant: KernelVariant, auto: KernelVariant
+                           ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """(kept, dropped) lint_expect slugs after the rewrite.
+
+    Keeps an inherited expectation only when the rule still fires on the
+    rewritten source — the fix for transform-induced L000 stale-expect
+    noise.
+    """
+    inherited = variant.lint_expect
+    if not inherited:
+        return (), ()
+    fired = {f.slug for f in lint_variant(auto) if f.rule != "L000"}
+    kept = tuple(s for s in inherited if s in fired)
+    dropped = tuple(s for s in inherited if s not in fired)
+    return kept, dropped
+
+
+def synthesize_variant(variant: KernelVariant,
+                       result: PassResult) -> tuple[KernelVariant, str, dict]:
+    """Build the (unregistered) auto KernelVariant from a changed pass result.
+
+    Returns ``(auto_variant, source_text, expect_info)`` where
+    ``expect_info`` records the lint_expect/workcount_expect adjustments.
+    The work model, tunables, and signature are inherited unchanged — the
+    passes never alter the function's interface.
+    """
+    rule = result.rule
+    fn_name, variant_name, qualified = _auto_names(variant, rule)
+    fn, source = _exec_rewritten(variant, result.node, fn_name, qualified)
+
+    metadata = {k: v for k, v in variant.metadata.items()
+                if k not in ("lint_expect", "workcount_expect")}
+    metadata["auto_from"] = variant.qualified_name
+    metadata["auto_rule"] = rule
+
+    def build(extra: dict) -> KernelVariant:
+        return KernelVariant(
+            kernel=variant.kernel, name=variant_name, fn=fn,
+            work=variant.work,
+            description=(f"auto-rewrite of {variant.qualified_name} "
+                         f"({rule}: {'; '.join(r.description for r in result.rewrites)})"),
+            technique=AUTO_TECHNIQUE, tunables=variant.tunables,
+            metadata={**metadata, **extra})
+
+    kept, dropped = _recompute_lint_expect(
+        variant, build({"lint_expect": variant.lint_expect}))
+    expect_meta: dict = {"lint_expect": kept} if kept else {}
+
+    # try the rewritten source without any inherited workcount_expect first:
+    # a rewrite often makes the source countable again (np.dot → @)
+    dropped_wc = False
+    inherited_wc = variant.metadata.get("workcount_expect")
+    auto = build(expect_meta)
+    wc_errors = [f for f in verify_variant(auto) if f.gating]
+    if wc_errors and inherited_wc:
+        auto = build({**expect_meta, "workcount_expect": inherited_wc})
+    elif inherited_wc:
+        dropped_wc = True
+
+    return auto, source, {"kept": kept, "dropped": dropped,
+                          "dropped_workcount_expect": dropped_wc}
+
+
+def apply_rule(variant: KernelVariant, rule: str, *,
+               registry: KernelRegistry | None = REGISTRY,
+               verify: bool = True) -> TransformReport:
+    """Run one rewrite pass on one variant, verify, and register the result.
+
+    The full per-variant pipeline: parse → rewrite → synthesize →
+    re-derive/check the WorkCount model → hazard-check → bit-compare on
+    fixed-seed probes → register into ``registry`` (skip registration with
+    ``registry=None``).  Verification failure means the synthesized
+    variant is *not* registered; the report carries the evidence.
+    """
+    rule = rule.upper()
+    report = TransformReport(variant=variant.qualified_name, rule=rule)
+
+    if getattr(variant.fn, "__closure__", None):
+        report.error = ("function captures a closure; rebuilding it from "
+                        "source would lose the captured state")
+        return report
+    fn_node = function_ast(variant.fn)
+    if fn_node is None:
+        report.error = "source unavailable or unparsable"
+        return report
+
+    result = run_pass(fn_node, rule)
+    report.rewrites = tuple(result.rewrites)
+    report.refusals = tuple(result.refusals)
+    if not result.changed:
+        return report
+
+    _, _, qualified = _auto_names(variant, rule)
+    report.auto_variant = qualified
+    if registry is not None and qualified in registry:
+        report.already_registered = True
+        return report
+
+    auto, source, expect_info = synthesize_variant(variant, result)
+    report.source = source
+    report.kept_expects = expect_info["kept"]
+    report.dropped_expects = expect_info["dropped"]
+    report.dropped_workcount_expect = expect_info["dropped_workcount_expect"]
+
+    if verify:
+        gating = [f for f in verify_variant(auto) if f.gating]
+        gating += [f for f in hazards_variant(auto) if f.gating]
+        gating += [f for f in lint_variant(auto) if f.gating]
+        report.findings = tuple(gating)
+        if gating:
+            report.error = ("static verification failed: "
+                            + "; ".join(str(f) for f in gating))
+            return report
+        from .verify import check_equivalence
+        report.equivalence = check_equivalence(variant, auto)
+        if not report.equivalence.get("equivalent"):
+            report.error = ("numerical equivalence failed: "
+                            + str(report.equivalence.get("failures")))
+            return report
+
+    if registry is not None:
+        registry.add(auto)
+        report.registered = True
+    return report
+
+
+def transform_candidates(registry: KernelRegistry | None = None,
+                         kernel: str | None = None) -> list[tuple[KernelVariant, str]]:
+    """(variant, rule) pairs worth attempting, from a lint sweep.
+
+    Auto-variants themselves are skipped (their lineage is already the
+    product of a rewrite), as are rules without a rewrite pass.
+    """
+    from ..analyze.lint import lint_registry
+    from .passes import REWRITE_PASSES
+
+    if registry is None:
+        from ..kernels import REGISTRY as registry  # populates the registry
+    report = lint_registry(registry, kernel=kernel)
+    by_variant = {
+        v.qualified_name: v
+        for k in ([kernel] if kernel else registry.kernels())
+        for v in registry.variants_of(k)}
+    out, seen = [], set()
+    for f in report.findings:
+        variant = by_variant.get(f.variant)
+        if variant is None or f.rule not in REWRITE_PASSES:
+            continue
+        if variant.metadata.get("auto_rule"):
+            continue
+        key = (f.variant, f.rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((variant, f.rule))
+    return sorted(out, key=lambda p: (p[0].qualified_name, p[1]))

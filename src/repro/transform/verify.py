@@ -1,0 +1,208 @@
+"""Numerical equivalence verification for synthesized variants.
+
+Every rewrite pass claims bit-exactness: the same per-element IEEE
+operations in the same order, only expressed on slices.  This module
+checks that claim *dynamically* — original and auto variant run on
+independently built, fixed-seed operands across several shapes, seeds and
+dtypes (float32 included, where a reassociated or wrongly-promoted
+rewrite shows up fastest), and results are compared **bit for bit**
+(``tobytes()``), not with ``allclose``.  A transformation tier graded on
+tolerance would quietly accept reassociations; one graded on bits cannot.
+
+Both the returned value and every mutated ndarray operand are compared,
+because most kernels write their result into a caller-provided array.
+Tunable variants are exercised under their default configuration *and*
+with each integer/pow2 tunable at its lower bound — small tiles on odd
+shapes hit the remainder-handling paths where slice arithmetic goes
+wrong first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..kernels.base import KernelVariant
+
+__all__ = ["check_equivalence", "equivalence_probes", "bit_equal"]
+
+
+def bit_equal(x: object, y: object) -> bool:
+    """Exact equality: dtype, shape and bytes for arrays; ``==`` otherwise."""
+    if isinstance(x, np.ndarray) or isinstance(y, np.ndarray):
+        return (isinstance(x, np.ndarray) and isinstance(y, np.ndarray)
+                and x.dtype == y.dtype and x.shape == y.shape
+                and x.tobytes() == y.tobytes())
+    if isinstance(x, (tuple, list)):
+        return (type(x) is type(y) and len(x) == len(y)
+                and all(bit_equal(a, b) for a, b in zip(x, y)))
+    return bool(x == y)
+
+
+# -- per-family probe builders ------------------------------------------------
+#
+# Each probe is (label, zero-argument builder); the builder is called once
+# per measured function so both sides start from identical, independent
+# operands (kernels mutate their inputs).
+
+def _probes_matmul(name: str) -> list[tuple[str, Callable[[], tuple]]]:
+    from ..kernels.matmul import random_matrices
+
+    def mk(n, seed, dtype):
+        def build():
+            a, b, c = random_matrices(n, seed=seed)
+            return tuple(x.astype(dtype) for x in (a, b, c))
+        return build
+
+    # odd sizes exercise tile/block remainder paths
+    cases = [(5, 0, np.float64), (8, 1, np.float64), (7, 2, np.float32)]
+    return [(f"n{n}-seed{s}-{np.dtype(d).name}", mk(n, s, d))
+            for n, s, d in cases]
+
+
+def _probes_stencil(name: str) -> list[tuple[str, Callable[[], tuple]]]:
+    from ..kernels.stencil import init_grid
+
+    def mk(n, m, dtype):
+        def build():
+            src = init_grid(n, m).astype(dtype)
+            return src, np.zeros_like(src)
+        return build
+
+    cases = [(8, None, np.float64), (7, 9, np.float64), (6, 6, np.float32)]
+    return [(f"n{n}x{m or n}-{np.dtype(d).name}", mk(n, m, d))
+            for n, m, d in cases]
+
+
+def _probes_stream(name: str) -> list[tuple[str, Callable[[], tuple]]]:
+    from ..kernels.stream import stream_arrays
+
+    def mk(n, seed, dtype):
+        def build():
+            a, b, c = stream_arrays(n, seed=seed)
+            return tuple(x.astype(dtype) for x in (a, b, c))
+        return build
+
+    cases = [(17, 0, np.float64), (64, 1, np.float64), (33, 2, np.float32)]
+    return [(f"n{n}-seed{s}-{np.dtype(d).name}", mk(n, s, d))
+            for n, s, d in cases]
+
+
+def _probes_spmv(name: str) -> list[tuple[str, Callable[[], tuple]]]:
+    from ..kernels.spmv import random_sparse
+
+    def mk(n, density, seed):
+        def build():
+            coo = random_sparse(n, density=density, seed=seed)
+            if name.startswith("csr"):
+                mat = coo.to_csr()
+            elif name.startswith("csc"):
+                mat = coo.to_csc()
+            else:
+                mat = coo
+            x = np.random.default_rng(seed + 1).standard_normal(n)
+            return mat, x
+        return build
+
+    cases = [(12, 0.25, 1), (23, 0.15, 4)]
+    return [(f"n{n}-d{d}-seed{s}", mk(n, d, s)) for n, d, s in cases]
+
+
+def _probes_histogram(name: str) -> list[tuple[str, Callable[[], tuple]]]:
+    from ..kernels.histogram import random_keys
+
+    def mk(n, bins, seed):
+        def build():
+            return random_keys(n, bins, seed=seed), bins
+        return build
+
+    cases = [(96, 8, 0), (257, 16, 3)]
+    return [(f"n{n}-b{b}-seed{s}", mk(n, b, s)) for n, b, s in cases]
+
+
+def _probes_gameoflife(name: str) -> list[tuple[str, Callable[[], tuple]]]:
+    from ..kernels.gameoflife import random_board
+
+    def mk(n, seed):
+        return lambda: (random_board(n, seed=seed),)
+
+    return [(f"n{n}-seed{s}", mk(n, s)) for n, s in [(10, 2), (13, 5)]]
+
+
+def _probes_fft(name: str) -> list[tuple[str, Callable[[], tuple]]]:
+    from ..kernels.fft import random_signal
+
+    def mk(n, seed):
+        return lambda: (random_signal(n, seed=seed),)
+
+    return [(f"n{n}-seed{s}", mk(n, s)) for n, s in [(16, 0), (32, 7)]]
+
+
+_PROBE_BUILDERS = {
+    "matmul": _probes_matmul,
+    "stencil": _probes_stencil,
+    "stream": _probes_stream,
+    "spmv": _probes_spmv,
+    "histogram": _probes_histogram,
+    "gameoflife": _probes_gameoflife,
+    "fft": _probes_fft,
+}
+
+
+def equivalence_probes(variant: KernelVariant
+                       ) -> list[tuple[str, Callable[[], tuple]]]:
+    """Fixed-seed probe builders for a variant's kernel family."""
+    builder = _PROBE_BUILDERS.get(variant.kernel)
+    if builder is None:
+        return []
+    return builder(variant.name)
+
+
+def _configs_for(variant: KernelVariant) -> list[dict]:
+    """Default config, plus each int/pow2 tunable pinned at its low bound."""
+    configs = [variant.default_config()]
+    for t in variant.tunables:
+        if t.kind in ("int", "pow2") and t.low is not None \
+                and t.low != t.default:
+            configs.append({**variant.default_config(), t.name: t.low})
+    return configs
+
+
+def check_equivalence(original: KernelVariant, auto: KernelVariant,
+                      probes: list[tuple[str, Callable[[], tuple]]] | None = None
+                      ) -> dict:
+    """Bit-compare ``auto`` against ``original`` on fixed-seed probes.
+
+    Returns ``{"equivalent": bool, "cases": n, "failures": [labels]}``.
+    No probes for the family counts as *not* verified — a rewrite that
+    cannot be checked must not be trusted.
+    """
+    if probes is None:
+        probes = equivalence_probes(original)
+    if not probes:
+        return {"equivalent": False, "cases": 0,
+                "failures": [f"no equivalence probes for kernel family "
+                             f"{original.kernel!r}"]}
+    failures: list[str] = []
+    cases = 0
+    for label, build in probes:
+        for config in _configs_for(original):
+            cases += 1
+            tag = label + (f"-{config}" if config else "")
+            ops_ref = build()
+            ops_new = build()
+            try:
+                ret_ref = original.fn(*ops_ref, **config)
+                ret_new = auto.fn(*ops_new, **config)
+            except Exception as exc:
+                failures.append(f"{tag}: raised {type(exc).__name__}: {exc}")
+                continue
+            if not bit_equal(ret_ref, ret_new):
+                failures.append(f"{tag}: returned values differ bitwise")
+                continue
+            for i, (a, b) in enumerate(zip(ops_ref, ops_new)):
+                if isinstance(a, np.ndarray) and not bit_equal(a, b):
+                    failures.append(f"{tag}: operand {i} mutated differently")
+                    break
+    return {"equivalent": not failures, "cases": cases, "failures": failures}

@@ -171,3 +171,22 @@ class TestRegistrySweep:
 def test_rule_table_slugs_are_unique():
     slugs = [slug for slug, _, _ in LINT_RULES.values()]
     assert len(slugs) == len(set(slugs))
+
+
+class TestSourceSpans:
+    """Findings carry machine-usable spans (col, end_lineno) — the hook
+    the transform tier's candidate listing is built on."""
+
+    def test_findings_carry_spans(self):
+        for kernel in (scalar_loop_kernel, loop_alloc_kernel,
+                       range_len_kernel, dot_kernel):
+            for f in lint_variant(_variant(kernel)):
+                assert f.end_lineno >= f.lineno > 0, f
+                assert f.col >= 0, f
+
+    def test_span_covers_the_flagged_loop(self):
+        findings = [f for f in lint_variant(_variant(scalar_loop_kernel))
+                    if f.rule == "L001"]
+        assert findings
+        # the loop body sits on the line after the `for`; col is indented
+        assert all(f.col > 0 for f in findings)

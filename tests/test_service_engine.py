@@ -255,3 +255,70 @@ class TestShedAndCancel:
         assert stats["service_seconds_ewma"] > 0
         assert "tiny-matmul" not in stats["manifests"]  # inline, unregistered
         assert "matmul-small" in stats["manifests"]
+
+
+class TestBackendPlumbing:
+    """Satellite: config["backend"] must reach repro.parallel.backends."""
+
+    def _chunked(self, backend="thread", **over):
+        base = dict(name="mm-chunked", kernel="matmul", variant="chunked",
+                    args={"n": 32, "seed": 0},
+                    config={"backend": backend, "workers": 2},
+                    backends=("serial", "thread", "process"),
+                    repetitions=1, warmup=0)
+        base.update(over)
+        return WorkloadManifest(**base)
+
+    def test_thread_backend_executes_and_counter_proves_it(self):
+        with _engine() as engine:
+            job = engine.submit(self._chunked("thread"))
+            job = engine.wait_for(job.job_id, timeout=60.0)
+        assert job.state == JobState.DONE
+        assert job.result["backend"] == "thread"
+        assert job.result["backend_workers"] == 2
+        assert engine.metrics.counter(
+            "service.backend_runs.thread").value == 1
+
+    def test_serial_backend_counter(self):
+        with _engine() as engine:
+            job = engine.submit(self._chunked("serial"))
+            job = engine.wait_for(job.job_id, timeout=60.0)
+        assert job.state == JobState.DONE
+        assert job.result["backend"] == "serial"
+        assert engine.metrics.counter(
+            "service.backend_runs.serial").value == 1
+
+    def test_default_backend_comes_from_manifest(self):
+        # no config["backend"]: the manifest's first allowed backend wins
+        manifest = self._chunked(config={"workers": 2},
+                                 backends=("serial", "thread"))
+        with _engine() as engine:
+            job = engine.submit(manifest)
+            job = engine.wait_for(job.job_id, timeout=60.0)
+        assert job.state == JobState.DONE
+        assert job.result["backend"] == "serial"
+
+    def test_unavailable_backend_fails_cleanly(self, monkeypatch):
+        import repro.parallel.backends as backends_mod
+
+        def broken(name, workers=2):
+            raise RuntimeError("no sem_open on this platform")
+
+        monkeypatch.setattr(backends_mod, "make_backend", broken)
+        with _engine() as engine:
+            job = engine.submit(self._chunked("process"))
+            job = engine.wait_for(job.job_id, timeout=60.0)
+        assert job.state == JobState.FAILED
+        assert "unavailable" in job.error
+        # the worker survived the failure and still serves jobs
+        with _engine() as engine:
+            ok = engine.wait_for(engine.submit(_tiny_matmul()).job_id,
+                                 timeout=60.0)
+        assert ok.state == JobState.DONE
+
+    def test_backendless_variant_payload_unchanged(self):
+        with _engine() as engine:
+            job = engine.wait_for(engine.submit(_tiny_matmul()).job_id,
+                                  timeout=60.0)
+        assert job.state == JobState.DONE
+        assert "backend" not in job.result

@@ -149,3 +149,37 @@ class TestBuiltins:
     def test_synthetic_builtin_is_not_cacheable(self):
         by_name = {m.name: m for m in builtin_manifests()}
         assert by_name["synthetic-sleep"].cacheable is False
+
+
+class TestScalarStringFields:
+    """Regression: `tuple("thread")` silently splits into characters."""
+
+    def test_from_dict_rejects_string_backends(self):
+        doc = _matmul().to_dict()
+        doc["backends"] = "thread"
+        with pytest.raises(ManifestError, match="bare string"):
+            WorkloadManifest.from_dict(doc)
+
+    def test_from_dict_rejects_string_metrics(self):
+        doc = _matmul().to_dict()
+        doc["metrics"] = "gflops"
+        with pytest.raises(ManifestError, match="bare string"):
+            WorkloadManifest.from_dict(doc)
+
+    def test_from_dict_message_names_the_field(self):
+        doc = _matmul().to_dict()
+        doc["backends"] = "thread"
+        with pytest.raises(ManifestError, match="'backends'.*'thread'"):
+            WorkloadManifest.from_dict(doc)
+
+    def test_constructor_rejects_string_backends(self):
+        with pytest.raises(ManifestError, match="sequence of names"):
+            _matmul(backends="thread")
+
+    def test_constructor_rejects_string_metrics(self):
+        with pytest.raises(ManifestError, match="sequence of names"):
+            _matmul(metrics="gflops")
+
+    def test_single_backend_list_still_works(self):
+        m = _matmul(backends=["thread"]).validate()
+        assert m.backends == ("thread",)

@@ -1,0 +1,131 @@
+"""Tests for repro.transform.flywheel and the CLI.
+
+The measured tests run under REPRO_BENCH_SMOKE sizing against a fresh
+registry holding only the variants under test, so they stay fast and
+never pollute the global registry.  CLI tests call ``main(argv)``
+in-process and check exit codes — the same contract the CI
+transform-gate job relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import REGISTRY
+from repro.kernels.base import KernelRegistry
+from repro.perfdb.store import PerfStore
+from repro.transform import FlywheelEntry, FlywheelReport, run_flywheel
+from repro.transform.__main__ import main
+from repro.transform.synth import TransformReport
+
+
+def _registry(*qualified) -> KernelRegistry:
+    fresh = KernelRegistry()
+    for q in qualified:
+        kernel, _, name = q.partition(".")
+        fresh.add(REGISTRY.get(kernel, name))
+    return fresh
+
+
+class TestRunFlywheel:
+    def test_verify_only_sweep(self):
+        registry = _registry("stream.triad_scalar", "spmv.csr_scalar")
+        report = run_flywheel(registry=registry, measure=False)
+        assert len(report.verified) == 1
+        assert not report.failures
+        assert report.ok(require_speedup=False)
+        assert not report.measured
+        # the refused CSR reduction is reported, not silently skipped
+        assert any("reassociate" in str(r)
+                   for e in report.entries for r in e.report.refusals)
+        assert "stream.triad_scalar.auto_l001" in registry
+
+    def test_measured_speedup_is_gated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+        registry = _registry("stream.triad_scalar")
+        store = PerfStore(tmp_path / "perfdb")
+        report = run_flywheel(registry=registry, store=store,
+                              max_repetitions=10, rel_ci=0.2)
+        assert report.ok()
+        [entry] = report.gated_speedups
+        assert entry.speedup > 1.0
+        assert entry.ratio_ci[1] < 1.0
+        assert len(entry.times["original"]) >= 5
+        assert len(entry.times["auto"]) >= 5
+        # raw times landed in the perfdb store under transform/<name>
+        assert len(report.run_ids) == 1
+        records = store.runs()
+        names = {n for r in records for n in r.benchmarks}
+        assert "transform/stream.triad_scalar.auto_l001" in names
+        assert "transform/stream.triad_scalar.auto_l001/original" in names
+
+    def test_kernel_filter(self):
+        registry = _registry("stream.triad_scalar", "spmv.csr_scalar")
+        report = run_flywheel(["spmv"], registry=registry, measure=False)
+        assert all(e.report.variant.startswith("spmv.")
+                   for e in report.entries)
+        assert not report.verified
+
+
+class TestReportGate:
+    def _entry(self, **over):
+        tr = TransformReport(variant="k.v", rule="L001", **over)
+        return FlywheelEntry(report=tr)
+
+    def test_failure_fails_gate(self):
+        report = FlywheelReport(entries=[self._entry(
+            rewrites=("r",), error="equivalence failed")])
+        assert report.failures and not report.ok()
+
+    def test_no_verified_fails_gate(self):
+        report = FlywheelReport(entries=[self._entry()])  # refusal only
+        assert not report.ok()
+
+    def test_unmeasured_verified_passes_without_speedup(self):
+        report = FlywheelReport(entries=[self._entry(
+            rewrites=("r",), equivalence={"equivalent": True})])
+        assert report.ok()
+
+    def test_measured_without_gated_speedup_fails(self):
+        entry = self._entry(rewrites=("r",),
+                            equivalence={"equivalent": True})
+        entry.times = {"original": [1.0], "auto": [1.0]}
+        entry.significant = False
+        report = FlywheelReport(entries=[entry])
+        assert not report.ok()
+        assert report.ok(require_speedup=False)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list", "--kernel", "stream"]) == 0
+        out = capsys.readouterr().out
+        assert "stream.triad_scalar" in out and "L001" in out
+
+    def test_apply_registers_into_global_registry(self, capsys):
+        assert main(["apply", "stencil.scalar", "l001"]) == 0
+        out = capsys.readouterr().out
+        assert "stencil.scalar.auto_l001" in out
+        assert "stencil.scalar.auto_l001" in REGISTRY
+
+    def test_apply_unknown_variant_exits_2(self, capsys):
+        assert main(["apply", "stencil.nope", "L001"]) == 2
+
+    def test_flywheel_check_passes_on_stream(self, capsys):
+        code = main(["flywheel", "--kernel", "stream", "--no-measure",
+                     "--check"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "verified rewrite" in out
+
+    def test_flywheel_check_fails_without_rewrites(self, capsys):
+        # every spmv scalar loop is refused: no verified rewrite -> exit 1
+        assert main(["flywheel", "--kernel", "spmv", "--no-measure",
+                     "--check"]) == 1
+
+    def test_flywheel_json(self, capsys):
+        import json
+        assert main(["flywheel", "--kernel", "spmv", "--no-measure",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["candidates"] >= 3 and doc["verified"] == []
+        assert any("reassociate" in r for r in doc["refusals"])

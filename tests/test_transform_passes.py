@@ -1,0 +1,363 @@
+"""Tests for repro.transform.passes — the AST rewrite passes.
+
+Each pass is exercised on synthetic sources (success, refusal, and
+idempotence) plus the registered kernels it was designed around:
+matmul.tiled's inner j-loop, stencil.scalar's full 2D cascade.
+"""
+
+import ast
+import inspect
+import textwrap
+
+import pytest
+
+from repro.kernels import REGISTRY
+from repro.transform import REWRITE_PASSES, run_pass
+
+
+def _fn(src: str) -> ast.FunctionDef:
+    return ast.parse(textwrap.dedent(src)).body[0]
+
+
+def _registered_fn(kernel: str, name: str) -> ast.FunctionDef:
+    fn = REGISTRY.get(kernel, name).fn
+    return _fn(inspect.getsource(fn))
+
+
+def _unparsed(result) -> str:
+    return ast.unparse(result.node)
+
+
+class TestVectorizeL001:
+    def test_map_loop_becomes_slice(self):
+        res = run_pass(_fn("""
+            def triad(a, b, c, s):
+                n = len(a)
+                for i in range(n):
+                    a[i] = b[i] + s * c[i]
+                return a
+        """), "L001")
+        assert res.changed and len(res.rewrites) == 1
+        out = _unparsed(res)
+        assert "for i" not in out
+        assert "a[0:n] = b[0:n] + s * c[0:n]" in out
+
+    def test_offset_shifts_fold_constants(self):
+        res = run_pass(_fn("""
+            def shift(dst, src, n):
+                for i in range(1, n - 1):
+                    dst[i] = src[i - 1] + src[i + 1]
+                return dst
+        """), "L001")
+        out = _unparsed(res)
+        assert res.changed
+        # i-1 over [1, n-1) -> [0, n-2); i+1 -> [2, n)
+        assert "src[0:n - 2]" in out and "src[2:n]" in out
+
+    def test_2d_cascade_fully_vectorizes(self):
+        res = run_pass(_registered_fn("stencil", "scalar"), "L001")
+        assert len(res.rewrites) == 2  # inner j-loop first, then the i-loop
+        assert not res.refusals
+        out = _unparsed(res)
+        assert "for " not in out
+
+    def test_matmul_tiled_inner_loop_only(self):
+        res = run_pass(_registered_fn("matmul", "tiled"), "L001")
+        assert len(res.rewrites) == 1
+        out = _unparsed(res)
+        assert "c[i, tj:tj_end] += aik * b[kk, tj:tj_end]" in out
+        # the kk loop now has a 2-statement body: refused, not rewritten
+        assert any("2 statements" in r.reason for r in res.refusals)
+
+    def test_refuses_scalar_reduction(self):
+        res = run_pass(_fn("""
+            def dot(a, b, n):
+                acc = 0.0
+                for i in range(n):
+                    acc += a[i] * b[i]
+                return acc
+        """), "L001")
+        assert not res.changed
+        assert any("reassociate" in r.reason for r in res.refusals)
+
+    def test_refuses_accumulation_into_fixed_cell(self):
+        res = run_pass(_fn("""
+            def cell(a, b, n):
+                for i in range(n):
+                    a[0] += b[i]
+                return a
+        """), "L001")
+        assert not res.changed
+        assert any("does not vary" in r.reason for r in res.refusals)
+
+    def test_refuses_gather(self):
+        res = run_pass(_fn("""
+            def gather(a, b, idx, n):
+                for i in range(n):
+                    a[i] = b[idx[i]]
+                return a
+        """), "L001")
+        assert not res.changed
+        assert any("gather/scatter" in r.reason for r in res.refusals)
+
+    def test_refuses_loop_carried_dependence(self):
+        res = run_pass(_fn("""
+            def prefix(a, n):
+                for i in range(1, n):
+                    a[i] = a[i - 1] + a[i]
+                return a
+        """), "L001")
+        assert not res.changed
+        assert any("loop-carried" in r.reason for r in res.refusals)
+
+    def test_refuses_leaky_loop_variable(self):
+        res = run_pass(_fn("""
+            def leaky(a, b, n):
+                for i in range(n):
+                    a[i] = b[i]
+                return i
+        """), "L001")
+        assert not res.changed
+        assert any("read after the loop" in r.reason for r in res.refusals)
+
+    def test_refuses_multi_statement_body(self):
+        res = run_pass(_fn("""
+            def two(a, b, n):
+                for i in range(n):
+                    t = b[i] * 2
+                    a[i] = t
+                return a
+        """), "L001")
+        assert not res.changed
+        assert any("2 statements" in r.reason for r in res.refusals)
+
+    def test_idempotent(self):
+        first = run_pass(_registered_fn("stencil", "scalar"), "L001")
+        again = run_pass(first.node, "L001")
+        assert not again.changed
+        assert ast.unparse(first.node) == ast.unparse(again.node)
+
+
+class TestHoistAllocsL002:
+    def test_zeros_hoisted_with_refill(self):
+        res = run_pass(_fn("""
+            def f(out, n, m):
+                for i in range(n):
+                    buf = np.zeros(m)
+                    out[i] = buf.sum()
+                return out
+        """), "L002")
+        # buf is used beyond subscripting (method call) -> refusal instead
+        assert not res.changed
+        assert any("escapes" in r.reason for r in res.refusals)
+
+    def test_zeros_hoist_subscript_only(self):
+        res = run_pass(_fn("""
+            def f(out, n, m):
+                for i in range(n):
+                    buf = np.zeros(m)
+                    buf[0] = i
+                    out[i] = buf[0]
+                return out
+        """), "L002")
+        assert res.changed
+        out = _unparsed(res)
+        before, inside = out.split("for i", 1)
+        assert "buf = np.zeros(m)" in before
+        assert "buf[...] = 0" in inside  # refill keeps results identical
+
+    def test_empty_hoist_has_no_refill(self):
+        res = run_pass(_fn("""
+            def f(out, n, m):
+                for i in range(n):
+                    buf = np.empty(m)
+                    buf[0] = i
+                    out[i] = buf[0]
+                return out
+        """), "L002")
+        assert res.changed
+        assert "buf[...]" not in _unparsed(res)
+
+    def test_refuses_varying_size(self):
+        res = run_pass(_fn("""
+            def f(out, n):
+                for i in range(n):
+                    buf = np.zeros(i + 1)
+                    buf[0] = 1
+                    out[i] = buf[0]
+                return out
+        """), "L002")
+        assert not res.changed
+        assert any("vary across loop iterations" in r.reason
+                   for r in res.refusals)
+
+    def test_refuses_non_reusable_allocator(self):
+        res = run_pass(_fn("""
+            def f(out, x, n):
+                for i in range(n):
+                    buf = np.arange(n)
+                    buf[0] = i
+                    out[i] = buf[0]
+                return out
+        """), "L002")
+        assert not res.changed
+        assert any("not a provably hoistable allocator" in r.reason
+                   for r in res.refusals)
+
+    def test_idempotent(self):
+        src = _fn("""
+            def f(out, n, m):
+                for i in range(n):
+                    buf = np.empty(m)
+                    buf[0] = i
+                    out[i] = buf[0]
+                return out
+        """)
+        first = run_pass(src, "L002")
+        again = run_pass(first.node, "L002")
+        assert not again.changed
+
+
+class TestRangeLenL003:
+    def test_direct_iteration_when_index_unneeded(self):
+        res = run_pass(_fn("""
+            def f(xs):
+                total = 0.0
+                for i in range(len(xs)):
+                    total += xs[i]
+                return total
+        """), "L003")
+        assert res.changed
+        out = _unparsed(res)
+        assert "for xs_item in xs:" in out
+        assert "range(len" not in out
+
+    def test_enumerate_when_index_still_used(self):
+        res = run_pass(_fn("""
+            def f(xs, out):
+                for i in range(len(xs)):
+                    out[i] = xs[i] * 2
+                return out
+        """), "L003")
+        assert res.changed
+        out = _unparsed(res)
+        assert "enumerate(xs)" in out
+        assert "out[i]" in out  # store still indexed
+
+    def test_refuses_when_sequence_never_loaded(self):
+        res = run_pass(_fn("""
+            def f(xs, out):
+                for i in range(len(xs)):
+                    out[i] = i
+                return out
+        """), "L003")
+        assert not res.changed
+        assert any("never reads" in r.reason for r in res.refusals)
+
+    def test_refuses_rebound_sequence(self):
+        res = run_pass(_fn("""
+            def f(xs):
+                for i in range(len(xs)):
+                    xs = xs + [xs[i]]
+                return xs
+        """), "L003")
+        assert not res.changed
+        assert any("rebound" in r.reason for r in res.refusals)
+
+    def test_idempotent(self):
+        first = run_pass(_fn("""
+            def f(xs, out):
+                for i in range(len(xs)):
+                    out[i] = xs[i] * 2
+                return out
+        """), "L003")
+        again = run_pass(first.node, "L003")
+        assert not again.changed
+
+
+class TestHoistChainsL004:
+    def test_repeated_chain_hoisted(self):
+        res = run_pass(_fn("""
+            def f(xs, out):
+                for i, x in enumerate(xs):
+                    out[i] = cfg.model.scale * x + cfg.model.scale
+                return out
+        """), "L004")
+        assert res.changed
+        out = _unparsed(res)
+        assert "cfg_model_scale = cfg.model.scale" in out
+        assert out.count("cfg.model.scale") == 1  # only the hoisted bind
+
+    def test_single_shallow_chain_skipped_silently(self):
+        res = run_pass(_fn("""
+            def f(xs, out):
+                for i, x in enumerate(xs):
+                    out[i] = cfg.scale * x
+                return out
+        """), "L004")
+        assert not res.changed and not res.refusals
+
+    def test_refuses_rebound_root(self):
+        res = run_pass(_fn("""
+            def f(xs, out, cfg):
+                cfg = load()
+                for i, x in enumerate(xs):
+                    out[i] = cfg.model.scale * x + cfg.model.scale
+                return out
+        """), "L004")
+        assert not res.changed
+        assert any("rebound" in r.reason for r in res.refusals)
+
+    def test_idempotent(self):
+        first = run_pass(_fn("""
+            def f(xs, out):
+                for i, x in enumerate(xs):
+                    out[i] = cfg.model.scale * x + cfg.model.scale
+                return out
+        """), "L004")
+        again = run_pass(first.node, "L004")
+        assert not again.changed
+
+
+class TestDotToMatmulL005:
+    def test_rewrites_two_arg_dot(self):
+        res = run_pass(_fn("""
+            def f(a, b, c):
+                c += np.dot(a, b)
+                return c
+        """), "L005")
+        assert res.changed
+        assert "c += a @ b" in _unparsed(res)
+
+    def test_refuses_out_kwarg(self):
+        res = run_pass(_fn("""
+            def f(a, b, c):
+                np.dot(a, b, out=c)
+                return c
+        """), "L005")
+        assert not res.changed
+        assert any("no @ equivalent" in r.reason for r in res.refusals)
+
+    def test_idempotent(self):
+        first = run_pass(_fn("""
+            def f(a, b, c):
+                c += np.dot(a, b)
+                return c
+        """), "L005")
+        again = run_pass(first.node, "L005")
+        assert not again.changed
+
+
+class TestDispatch:
+    def test_all_rules_have_passes(self):
+        assert set(REWRITE_PASSES) == {"L001", "L002", "L003", "L004", "L005"}
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="no rewrite pass"):
+            run_pass(_fn("def f():\n    pass"), "L999")
+
+    def test_never_mutates_input(self):
+        node = _registered_fn("stencil", "scalar")
+        before = ast.unparse(node)
+        run_pass(node, "L001")
+        assert ast.unparse(node) == before

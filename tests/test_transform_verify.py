@@ -1,0 +1,171 @@
+"""Tests for repro.transform synthesis and equivalence verification.
+
+The semantics-preservation property: original and auto variant must agree
+**bit for bit** on fixed-seed probes across shapes and dtypes (float32
+included), for the returned value and every mutated operand.  Plus the
+metadata hygiene: stale lint_expect dropped (no L000 noise), inherited
+workcount_expect demoted when the rewrite makes the source countable.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.analyze.lint import lint_variant
+from repro.analyze.workcount import verify_variant
+from repro.kernels import REGISTRY
+from repro.kernels.base import KernelRegistry, KernelVariant
+from repro.transform import (
+    AUTO_TECHNIQUE,
+    apply_rule,
+    bit_equal,
+    check_equivalence,
+    equivalence_probes,
+)
+
+
+def _apply(qualified: str, rule: str, registry=None):
+    kernel, _, name = qualified.partition(".")
+    return apply_rule(REGISTRY.get(kernel, name), rule,
+                      registry=registry if registry is not None
+                      else KernelRegistry())
+
+
+class TestBitEqual:
+    def test_dtype_mismatch_is_unequal(self):
+        a = np.ones(4, dtype=np.float64)
+        assert not bit_equal(a, a.astype(np.float32))
+
+    def test_exact_bytes_required(self):
+        a = np.array([0.1 + 0.2])
+        b = np.array([0.3])
+        assert not bit_equal(a, b)  # allclose would accept this
+        assert bit_equal(a, a.copy())
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("qualified,rule", [
+        ("stream.triad_scalar", "L001"),
+        ("stencil.scalar", "L001"),
+        ("matmul.tiled", "L001"),
+        ("matmul.dot", "L005"),
+    ])
+    def test_rewrites_are_bit_exact(self, qualified, rule):
+        report = _apply(qualified, rule)
+        assert report.registered, report.summary()
+        assert report.equivalence["equivalent"]
+        assert report.equivalence["cases"] >= 3  # dtypes x shapes (x configs)
+
+    def test_probes_cover_float32(self):
+        probes = equivalence_probes(REGISTRY.get("stream", "triad_scalar"))
+        dtypes = {x.dtype for _, build in probes for x in build()
+                  if isinstance(x, np.ndarray)}
+        assert np.dtype(np.float32) in dtypes
+
+    def test_detects_injected_bad_rewrite(self):
+        orig = REGISTRY.get("stream", "triad_scalar")
+
+        def wrong(a, b, c, s=3.0):
+            a[:] = b + (s + 1e-9) * c  # off by one ulp-ish scale
+            return a
+
+        bad = KernelVariant(kernel="stream", name="triad_scalar.bad",
+                            fn=wrong, work=orig.work,
+                            technique=AUTO_TECHNIQUE)
+        verdict = check_equivalence(orig, bad)
+        assert not verdict["equivalent"]
+        assert verdict["failures"]
+
+    def test_no_probes_means_not_equivalent(self):
+        orig = REGISTRY.get("stream", "triad_scalar")
+        verdict = check_equivalence(orig, orig, probes=[])
+        assert not verdict["equivalent"]
+
+    def test_tunable_low_bound_exercised(self):
+        # matmul.tiled: default tile plus the low bound (remainder paths)
+        report = _apply("matmul.tiled", "L001")
+        n_probes = len(equivalence_probes(REGISTRY.get("matmul", "tiled")))
+        assert report.equivalence["cases"] > n_probes
+
+
+class TestMetadataHygiene:
+    def test_stale_lint_expect_dropped(self):
+        report = _apply("stream.triad_scalar", "L001")
+        assert "scalar-loop" in report.dropped_expects
+        registry = KernelRegistry()
+        report = _apply("stream.triad_scalar", "L001", registry=registry)
+        auto = registry.get("stream", "triad_scalar.auto_l001")
+        assert "lint_expect" not in auto.metadata
+        # the satellite-3 property: no L000 stale-expect noise on the auto
+        assert not [f for f in lint_variant(auto) if f.rule == "L000"]
+
+    def test_workcount_expect_demoted_for_dot(self):
+        registry = KernelRegistry()
+        report = _apply("matmul.dot", "L005", registry=registry)
+        assert report.dropped_workcount_expect
+        auto = registry.get("matmul", "dot.auto_l005")
+        assert "workcount_expect" not in auto.metadata
+        # the @ operator is countable: the shadow interpreter now agrees
+        assert not [f for f in verify_variant(auto) if f.gating]
+
+    def test_provenance_metadata(self):
+        registry = KernelRegistry()
+        _apply("stencil.scalar", "L001", registry=registry)
+        auto = registry.get("stencil", "scalar.auto_l001")
+        assert auto.metadata["auto_from"] == "stencil.scalar"
+        assert auto.metadata["auto_rule"] == "L001"
+        assert auto.technique == AUTO_TECHNIQUE
+
+    def test_synthesized_source_is_reinspectable(self):
+        registry = KernelRegistry()
+        _apply("stream.triad_scalar", "L001", registry=registry)
+        auto = registry.get("stream", "triad_scalar.auto_l001")
+        src = inspect.getsource(auto.fn)  # linecache-seeded synthetic file
+        assert "a[0:n] = b[0:n] + s * c[0:n]" in src
+
+
+class TestApplyRule:
+    def test_unprovable_loop_left_untouched(self):
+        # satellite-4 refusal property: the CSR reduction is NOT rewritten
+        # and the report says why
+        report = _apply("spmv.csr_scalar", "L001")
+        assert not report.changed and not report.registered
+        assert any("reassociate" in r.reason for r in report.refusals)
+
+    def test_no_rewrite_registers_nothing(self):
+        registry = KernelRegistry()
+        _apply("spmv.csr_scalar", "L001", registry=registry)
+        assert len(registry.kernels()) == 0
+
+    def test_already_registered_is_reported(self):
+        registry = KernelRegistry()
+        first = _apply("matmul.dot", "L005", registry=registry)
+        assert first.registered
+        second = _apply("matmul.dot", "L005", registry=registry)
+        assert second.already_registered and not second.registered
+
+    def test_closure_refused(self):
+        orig = REGISTRY.get("stream", "triad_scalar")
+
+        def make(scale):
+            def closed(a, b, c, s=3.0):
+                for i in range(len(a)):
+                    a[i] = b[i] + scale * c[i]
+                return a
+            return closed
+
+        closed = KernelVariant(kernel="stream", name="closed",
+                               fn=make(2.0), work=orig.work)
+        report = apply_rule(closed, "L001", registry=KernelRegistry())
+        assert report.error is not None and "closure" in report.error
+
+    def test_auto_variant_runs_standalone(self):
+        registry = KernelRegistry()
+        _apply("stream.triad_scalar", "L001", registry=registry)
+        auto = registry.get("stream", "triad_scalar.auto_l001")
+        a = np.zeros(8)
+        b = np.arange(8.0)
+        c = np.ones(8)
+        out = auto.fn(a, b, c, s=2.0)
+        np.testing.assert_array_equal(out, b + 2.0)
