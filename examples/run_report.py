@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""End-to-end run reports: record → tune → trace → build → compare.
+
+SHARP renders every run into a report its users can actually read, and
+graders in the source paper's course work from artifacts, not terminals.
+This example exercises the whole ``repro.report`` surface on a throwaway
+perfdb store:
+
+1. **record** two benchmark runs (the second with an injected slowdown on
+   one kernel, so the comparison has something to find);
+2. **tune** a variant and persist the ``TuningResult`` JSON;
+3. **trace** a measured run into a Chrome-trace file;
+4. **build** one self-contained HTML report fusing perfdb history
+   (sparklines + change points + mode splits), the span gantt, roofline
+   placements with static app points, the tuning trajectory, and the
+   static-analysis findings;
+5. **compare** the two runs into a second HTML diff whose verdicts reuse
+   the exact statistics of the CI regression gate.
+
+Run:  PYTHONPATH=src python examples/run_report.py
+      then open run_report.html and run_compare.html in a browser.
+
+Everything is seeded and ``--now``-pinned, so two invocations of this
+script produce byte-identical artifacts (modulo machine timings recorded
+into the store itself).
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.kernels import REGISTRY, random_matrices
+from repro.observe import tracing
+from repro.observe.export import write_chrome_trace
+from repro.perfdb.record import RunRecord
+from repro.perfdb.store import PerfStore
+from repro.report import build_report, compare_report, load_trace
+from repro.timing import measure
+from repro.tuning import Budget, RandomSearch, timed_objective, space_for, tune
+
+N = 24
+REPS = 5
+NOW = 1_700_000_000.0  # pinned stamp: deterministic artifacts
+
+workdir = Path(tempfile.mkdtemp(prefix="repro-report-demo-"))
+store = PerfStore(workdir / "perfdb")
+variant = REGISTRY.get("matmul", "numpy")
+a, b, c = random_matrices(N, seed=0)
+
+# 1. record two runs; the second injects a 3x slowdown on one benchmark
+for label, inject in (("baseline", 1.0), ("candidate", 3.0)):
+    samples = {}
+    for bid, scale in ((f"matmul.numpy[n={N}]", 1.0),
+                       (f"matmul.numpy.slowed[n={N}]", inject)):
+        res = measure(lambda: variant.fn(a, b, c), repetitions=REPS, warmup=1)
+        samples[bid] = [t * scale for t in res.times]
+    store.append(RunRecord.new(samples, label=label))
+    print(f"recorded {label}: {sorted(samples)}")
+
+# 2. tune a tiled variant and persist the search history
+tiled = REGISTRY.get("matmul", "tiled")
+objective = timed_objective(tiled.fn, lambda config: (a, b, c),
+                            repetitions=2, warmup=1)
+result = tune(objective, space_for(tiled), RandomSearch(seed=0, max_samples=6),
+              budget=Budget(max_evaluations=6),
+              kernel="matmul", problem=f"n={N}")
+tuning_path = workdir / "tuning.json"
+tuning_path.write_text(result.to_json(), encoding="utf-8")
+print(f"tuned: best {result.best_seconds:.3e}s with {result.best_config}")
+
+# 3. trace one measured run into a Chrome-trace file
+trace_path = workdir / "run.trace.json"
+with tracing() as tracer:
+    with tracer.span("demo.measure", category="measure", n=N):
+        measure(lambda: variant.fn(a, b, c), repetitions=REPS, warmup=1)
+    write_chrome_trace(trace_path, tracer.spans)
+print(f"traced -> {trace_path}")
+
+# 4. build the unified report
+html = build_report(store, traces=[load_trace(trace_path)],
+                    tuning=[result], analyze_kernel="matmul",
+                    title="repro demo run report", now=NOW)
+Path("run_report.html").write_text(html, encoding="utf-8")
+print(f"report: wrote {len(html)} bytes -> run_report.html")
+assert "Benchmark history" in html and "Roofline placements" in html
+
+# 5. compare the two runs — the injected slowdown must be called out
+runs = store.runs()
+diff_html, regressed = compare_report(runs[-1], runs[0],
+                                      title="repro demo compare", now=NOW)
+Path("run_compare.html").write_text(diff_html, encoding="utf-8")
+print(f"compare: wrote {len(diff_html)} bytes -> run_compare.html; "
+      f"regressed={regressed}")
+assert regressed, "the injected 3x slowdown must produce a regression verdict"
+print("open run_report.html and run_compare.html in a browser")

@@ -26,6 +26,7 @@ Sub-packages map to the course topics (Table 1 of the paper):
 ``repro.observe``       structured tracing + metrics; Chrome-trace export
 ``repro.perfdb``        longitudinal benchmark store + regression gate
 ``repro.service``       benchmark-as-a-service: manifests, job engine, HTTP
+``repro.report``        unified run reports: one self-contained HTML file
 ``repro.course``        the paper's own artifacts: data, grading, figures
 ======================  =====================================================
 
@@ -78,6 +79,7 @@ from .parallel import (
 )
 from .perfdb import PerfStore, RunRecord, compare_runs
 from .profiling import FunctionCost, Profile, amdahl_gate, profile_callable
+from .report import build_report, compare_report
 from .roofline import AppPoint, RooflineModel, cpu_roofline, gpu_roofline
 from .timing import (
     MeasurementBudget,
@@ -106,7 +108,7 @@ from .tuning import (
     tune_variant,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Toolbox",
@@ -186,5 +188,8 @@ __all__ = [
     "PerfStore",
     "RunRecord",
     "compare_runs",
+    # unified run reports
+    "build_report",
+    "compare_report",
     "__version__",
 ]

@@ -18,7 +18,7 @@ from .compare import history_drift
 from .record import RunRecord
 from .store import PerfStore
 
-__all__ = ["sparkline", "report_text"]
+__all__ = ["sparkline", "mode_split", "report_text"]
 
 _BLOCKS = "▁▂▃▄▅▆▇█"  # ▁▂▃▄▅▆▇█
 
@@ -41,6 +41,17 @@ def sparkline(values: Sequence[float], width: int | None = None) -> str:
         return _BLOCKS[3] * len(vals)
     span = hi - lo
     return "".join(_BLOCKS[min(7, int(8 * (v - lo) / span))] for v in vals)
+
+
+def mode_split(modes) -> str:
+    """Per-mode medians as ``median×weight`` pairs.
+
+    ``Mode.center`` is the median of the samples assigned to that mode —
+    for a multimodal benchmark these are the honest numbers to report,
+    not the pooled median nobody measured.  Shared by this table and the
+    HTML report (:mod:`repro.report.sections`).
+    """
+    return " / ".join(f"{m.center:.3e}s×{m.weight:.0%}" for m in modes)
 
 
 def _ratio_key(entry: tuple) -> tuple:
@@ -66,24 +77,24 @@ def report_text(store: PerfStore, width: int = 24,
         history = [r for r in runs if bid in r.benchmarks]
         series = [r.benchmarks[bid].summary.median for r in history]
         ratio = None
-        n_latest, n_modes = None, None
+        n_latest, modes = None, ()
         if bid in latest.benchmarks:
             latest_times = latest.benchmarks[bid].times
             n_latest = len(latest_times)
-            n_modes = len(detect_modes(latest_times))
+            modes = detect_modes(latest_times)
             if bid in baseline.benchmarks \
                     and latest.run_id != baseline.run_id:
                 ratio = (latest.benchmarks[bid].summary.median
                          / baseline.benchmarks[bid].summary.median)
         drifts = history_drift(history, bid, alpha=drift_alpha)
-        entries.append((bid, ratio, series, drifts, n_latest, n_modes))
+        entries.append((bid, ratio, series, drifts, n_latest, modes))
     entries.sort(key=_ratio_key)
 
     lines.append(f"benchmarks (worst vs baseline first, sparkline = per-run "
                  f"median, last {width} runs, n = latest-run samples):")
     lines.append(f"  {'benchmark':52s} {'runs':>4s} {'n':>4s} "
                  f"{'latest':>10s} {'vs base':>8s}  trend")
-    for bid, ratio, series, drifts, n_latest, n_modes in entries:
+    for bid, ratio, series, drifts, n_latest, modes in entries:
         label = bid if len(bid) <= 52 else "..." + bid[-49:]
         vs = f"{ratio - 1.0:+7.1%}" if ratio is not None else "      -"
         nsamp = f"{n_latest:4d}" if n_latest is not None else "   -"
@@ -93,12 +104,13 @@ def report_text(store: PerfStore, width: int = 24,
             worst = max(drifts, key=lambda d: abs(d.rel_change))
             drift = (f"  ! shift {worst.rel_change:+.0%} at run "
                      f"{worst.run_id}")
-        multi = (f"  ~ multimodal ({n_modes} modes in latest run)"
-                 if n_modes is not None and n_modes >= 2 else "")
+        multi = (f"  ~ multimodal ({len(modes)} modes in latest run: "
+                 f"{mode_split(modes)})" if len(modes) >= 2 else "")
         lines.append(f"  {label:52s} {len(series):4d} {nsamp} "
                      f"{series[-1]:10.3e} {vs:>8s}  {spark}{drift}{multi}")
     stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(runs[-1].created))
     lines.append(f"latest run recorded {stamp}; '!' marks a change point in "
                  "the median history (drift scan); '~' flags a latest-run "
-                 "sample whose timing distribution is multimodal")
+                 "sample whose timing distribution is multimodal, with its "
+                 "per-mode medians (median×weight)")
     return "\n".join(lines)

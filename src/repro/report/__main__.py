@@ -1,0 +1,152 @@
+"""``python -m repro.report`` — build and compare run reports.
+
+The grading workflow, start to finish::
+
+    python -m repro.perfdb record benchmarks/test_bench_perfdb.py
+    python -m repro.report build -o report.html          # one artifact
+    ... hack on a kernel, record again ...
+    python -m repro.report compare -o diff.html          # exit 1 on regression
+
+``build`` always exits 0 with a complete document (missing sources render
+as "no data" notes); ``compare`` is gate-shaped like ``perfdb compare``:
+exit 0 when no benchmark significantly regressed, 1 on a regression, 2 on
+operational errors.  ``--now EPOCH`` pins the generated-at stamp, making
+the output byte-identical across invocations on identical inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..perfdb.store import PerfStore
+from . import build_report, compare_report, load_trace, load_tuning_result
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="unified run reports: one self-contained HTML file")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="perfdb store directory (default: $REPRO_PERFDB "
+                             "or .perfdb)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="render the full run report")
+    build.add_argument("-o", "--out", default="report.html", metavar="FILE",
+                       help="output path (default report.html; '-' for "
+                            "stdout)")
+    build.add_argument("--tenant", default=None,
+                       help="restrict the perfdb section to one tenant's "
+                            "shard")
+    build.add_argument("--trace", action="append", default=[],
+                       metavar="TRACE_JSON",
+                       help="Chrome-trace file to render as a gantt "
+                            "(repeatable)")
+    build.add_argument("--tuning", action="append", default=[],
+                       metavar="RESULT_JSON",
+                       help="persisted TuningResult JSON to render as a "
+                            "trajectory (repeatable)")
+    build.add_argument("--no-roofline", action="store_true",
+                       help="skip the roofline section")
+    build.add_argument("--no-analyze", action="store_true",
+                       help="skip the static-analysis section")
+    build.add_argument("--kernel", default=None,
+                       help="restrict the analysis section to one kernel")
+    build.add_argument("--title", default="repro run report")
+    build.add_argument("--width", type=int, default=24,
+                       help="sparkline length in runs (default 24)")
+    build.add_argument("--now", type=float, default=None, metavar="EPOCH",
+                       help="pin the generated-at timestamp (for "
+                            "deterministic output)")
+
+    cmp_ = sub.add_parser("compare", help="render a two-run diff report")
+    cmp_.add_argument("-o", "--out", default="compare.html", metavar="FILE",
+                      help="output path (default compare.html; '-' for "
+                           "stdout)")
+    cmp_.add_argument("--candidate", default=None, metavar="RUN",
+                      help="run id/prefix or 'latest' (default: latest)")
+    cmp_.add_argument("--baseline", default=None, metavar="RUN",
+                      help="run id/prefix (default: pinned baseline, else "
+                           "the run before the candidate)")
+    cmp_.add_argument("--alpha", type=float, default=0.05,
+                      help="Mann-Whitney significance level (default 0.05)")
+    cmp_.add_argument("--min-change", type=float, default=0.10,
+                      help="practical-significance floor on the median "
+                           "ratio (default 0.10 = 10%%)")
+    cmp_.add_argument("--title", default="repro compare report")
+    cmp_.add_argument("--now", type=float, default=None, metavar="EPOCH",
+                      help="pin the generated-at timestamp")
+    return parser
+
+
+def _emit(html: str, out: str) -> None:
+    if out == "-":
+        sys.stdout.write(html)
+    else:
+        Path(out).write_text(html, encoding="utf-8")
+        print(f"report: wrote {len(html)} bytes -> {out}")
+
+
+def _cmd_build(store: PerfStore, args) -> int:
+    try:
+        traces = [load_trace(p) for p in args.trace]
+        tuning = [load_tuning_result(p) for p in args.tuning]
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"report build: {exc}", file=sys.stderr)
+        return 2
+    html = build_report(
+        store, tenant=args.tenant, traces=traces, tuning=tuning,
+        include_roofline=not args.no_roofline,
+        include_analyze=not args.no_analyze, analyze_kernel=args.kernel,
+        title=args.title, width=args.width, now=args.now)
+    _emit(html, args.out)
+    return 0
+
+
+def _cmd_compare(store: PerfStore, args) -> int:
+    runs = store.runs()
+    if len(runs) < 2:
+        print(f"report compare: need at least two runs in {store.root}, "
+              f"have {len(runs)}", file=sys.stderr)
+        return 2
+    try:
+        candidate = store.get(args.candidate) if args.candidate else runs[-1]
+        if args.baseline:
+            baseline = store.get(args.baseline)
+        else:
+            baseline = store.baseline()
+            if baseline is None or baseline.run_id == candidate.run_id:
+                earlier = [r for r in runs if r.created < candidate.created
+                           or (r.created == candidate.created
+                               and r.run_id != candidate.run_id)]
+                if not earlier:
+                    print("report compare: no earlier run to compare "
+                          "against", file=sys.stderr)
+                    return 2
+                baseline = earlier[-1]
+        html, regressed = compare_report(
+            candidate, baseline, alpha=args.alpha,
+            min_rel_change=args.min_change, title=args.title, now=args.now)
+    except (LookupError, ValueError) as exc:
+        print(f"report compare: {exc}", file=sys.stderr)
+        return 2
+    _emit(html, args.out)
+    if regressed:
+        print("report compare: REGRESSED (see verdicts section)",
+              file=sys.stderr)
+    return 1 if regressed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    store = PerfStore(args.store)
+    handler = {"build": _cmd_build, "compare": _cmd_compare}[args.command]
+    return handler(store, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Two-run and two-machine comparison reports.
+
+The HTML diff is a rendering of the exact same verdicts the CI gate
+enforces: :func:`repro.perfdb.compare.compare_runs` (Mann-Whitney +
+bootstrap median-ratio CI + practical floor, via ``timing.stats``) decides
+REGRESSED/IMPROVED/UNCHANGED, and this module only draws it.  A report
+that disagreed with the gate would be worse than no report.
+
+Machine-vs-machine diffing is a fingerprint side-by-side: the keys two
+:func:`repro.perfdb.record.machine_fingerprint` dicts disagree on are the
+first suspects when the same code times differently on two hosts, and the
+calibration probe ratio quantifies how much of the gap is just "slower
+machine".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..perfdb.compare import compare_runs
+from .html import escape, render_page, table
+
+__all__ = ["diff_sections", "compare_report", "machine_diff_rows"]
+
+_VERDICT_CLS = {"regressed": "bad", "improved": "ok", "unchanged": "muted",
+                "new": "warn", "missing": "warn"}
+
+
+def _flatten(prefix: str, doc, out: dict[str, object]) -> None:
+    if isinstance(doc, Mapping):
+        for k, v in sorted(doc.items()):
+            _flatten(f"{prefix}.{k}" if prefix else str(k), v, out)
+    else:
+        out[prefix] = doc
+
+
+def machine_diff_rows(a: Mapping, b: Mapping) -> list[tuple[str, str, bool]]:
+    """Flattened fingerprint keys as ``(key, a=..., b=..., differs)`` rows."""
+    fa: dict[str, object] = {}
+    fb: dict[str, object] = {}
+    _flatten("", dict(a or {}), fa)
+    _flatten("", dict(b or {}), fb)
+    rows = []
+    for key in sorted(set(fa) | set(fb)):
+        va, vb = fa.get(key, "-"), fb.get(key, "-")
+        rows.append((key, str(va), str(vb), va != vb))
+    return rows
+
+
+def _machine_section(candidate, baseline, machine_scale: float) -> str:
+    rows = []
+    differs = 0
+    for key, va, vb, diff in machine_diff_rows(candidate.machine,
+                                               baseline.machine):
+        cls = "bad" if diff else "muted"
+        differs += diff
+        rows.append((f"<code>{escape(key)}</code>",
+                     f'<span class="{cls}">{escape(vb)}</span>',
+                     f'<span class="{cls}">{escape(va)}</span>'))
+    head = (f'<p class="section-note">{differs} fingerprint key(s) differ '
+            "between the two machines." if differs else
+            '<p class="section-note">identical machine fingerprints.')
+    if machine_scale != 1.0:
+        head += (f" Calibration probes put the candidate machine at "
+                 f"{machine_scale:.2f}x the baseline's probe speed; "
+                 f"candidate times were normalised by /{machine_scale:.3f} "
+                 "before the verdicts below.")
+    head += "</p>"
+    return head + table(("fingerprint key", "baseline", "candidate"), rows)
+
+
+def _verdict_section(cmp) -> str:
+    rows = []
+    order = {"regressed": 0, "new": 1, "missing": 1, "improved": 2,
+             "unchanged": 3}
+    for r in sorted(cmp.results,
+                    key=lambda r: (order.get(r.verdict, 4),
+                                   -(r.ratio or 0.0), r.benchmark_id)):
+        cls = _VERDICT_CLS.get(r.verdict, "muted")
+        ratio = f"{r.ratio:.3f}" if r.ratio is not None else "-"
+        best = f"{r.best_ratio:.3f}" if r.best_ratio is not None else "-"
+        ci = (f"[{r.ratio_ci[0]:.3f}, {r.ratio_ci[1]:.3f}]"
+              if r.ratio_ci else "-")
+        cand = (f"{r.candidate_median:.3e}"
+                if r.candidate_median is not None else "-")
+        base = (f"{r.baseline_median:.3e}"
+                if r.baseline_median is not None else "-")
+        rows.append((f"<code>{escape(r.benchmark_id)}</code>", base, cand,
+                     ratio, best, ci,
+                     f'<span class="badge {cls}">'
+                     f"{escape(r.verdict.upper())}</span>"))
+    n_reg, n_imp = len(cmp.regressions), len(cmp.improvements)
+    badge = ("ok" if cmp.ok else "bad")
+    head = (f'<p><span class="badge {badge}">'
+            f'{"PASS" if cmp.ok else "FAIL"}</span> '
+            f'<span class="section-note">{len(cmp.results)} benchmark(s): '
+            f"{n_reg} regressed, {n_imp} improved. Verdicts combine "
+            "Mann-Whitney significance, a bootstrap CI on the median "
+            "ratio, a practical floor, and a best-time sanity check "
+            "(repro.perfdb.compare).</span></p>")
+    return head + table(
+        ("benchmark", "baseline median (s)", "candidate median (s)",
+         "ratio", "best", "ci95(ratio)", "verdict"), rows)
+
+
+def diff_sections(candidate, baseline, *, alpha: float = 0.05,
+                  min_rel_change: float = 0.10,
+                  normalize: bool = True) -> tuple[list[tuple[str, str]],
+                                                   bool]:
+    """``(sections, regressed)`` for a candidate/baseline run pair."""
+    cmp = compare_runs(candidate, baseline, alpha=alpha,
+                       min_rel_change=min_rel_change, normalize=normalize)
+    overview = table(
+        ("", "baseline", "candidate"),
+        [("run", f"<code>{escape(baseline.run_id)}</code>",
+          f"<code>{escape(candidate.run_id)}</code>"),
+         ("label", escape(baseline.label or "-"),
+          escape(candidate.label or "-")),
+         ("git", f"<code>{escape(baseline.git_sha or '-')}</code>",
+          f"<code>{escape(candidate.git_sha or '-')}</code>"),
+         ("benchmarks", str(len(baseline.benchmarks)),
+          str(len(candidate.benchmarks)))])
+    sections = [
+        ("Runs under comparison", overview),
+        ("Benchmark verdicts", _verdict_section(cmp)),
+        ("Machine fingerprints",
+         _machine_section(candidate, baseline, cmp.machine_scale)),
+    ]
+    return sections, not cmp.ok
+
+
+def compare_report(candidate, baseline, *, alpha: float = 0.05,
+                   min_rel_change: float = 0.10, normalize: bool = True,
+                   title: str = "repro compare report",
+                   now: float | None = None) -> tuple[str, bool]:
+    """Self-contained diff document; returns ``(html, regressed)``."""
+    sections, regressed = diff_sections(
+        candidate, baseline, alpha=alpha, min_rel_change=min_rel_change,
+        normalize=normalize)
+    subtitle = (f"candidate {candidate.run_id[:12]} vs baseline "
+                f"{baseline.run_id[:12]}")
+    return render_page(title, sections, now=now, subtitle=subtitle), regressed

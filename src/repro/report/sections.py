@@ -1,0 +1,347 @@
+"""One renderer per data source, each returning trusted HTML.
+
+Every renderer degrades gracefully: a missing store, an empty trace, or
+an absent registry yields a visible "no data" note rather than an error,
+so ``python -m repro.report build`` always produces a complete document
+from whatever subset of artifacts a run actually left behind.
+
+The sections mirror the text surfaces they fuse — the perfdb table is
+:func:`repro.perfdb.report.report_text` with SVG sparklines, the gantt is
+:func:`repro.observe.export.gantt_text` over reconciled Chrome-trace
+tracks, the roofline is :meth:`RooflineModel.report` as a log-log plot —
+so a number visible in a terminal is the same number in the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from ..timing.adaptive import detect_modes
+from .html import (escape, svg_gantt, svg_roofline, svg_sparkline,
+                   svg_trajectory, table, tag)
+
+__all__ = [
+    "perfdb_section",
+    "spans_from_chrome_trace",
+    "trace_section",
+    "roofline_section",
+    "tuning_section",
+    "analyze_section",
+    "metrics_section",
+]
+
+
+def _note(text: str) -> str:
+    return f'<p class="section-note">{escape(text)}</p>'
+
+
+# ---------------------------------------------------------------------------
+# perfdb history
+# ---------------------------------------------------------------------------
+
+def perfdb_section(store, tenant: str | None = None, width: int = 24,
+                   drift_alpha: float = 0.01) -> str:
+    """Benchmark history: sparklines, change points, mode splits.
+
+    Same ordering contract as ``repro.perfdb report``: worst
+    latest-vs-baseline ratio first, ties by benchmark id; the per-mode
+    medians come from the same :func:`repro.perfdb.report.mode_split`
+    the text dashboard prints.
+    """
+    from ..perfdb.compare import history_drift
+    from ..perfdb.report import mode_split
+
+    if store is None:
+        return _note("no perfdb store supplied; run "
+                     "`python -m repro.perfdb record` first.")
+    runs = store.runs(tenant=tenant) if tenant is not None else store.runs()
+    if not runs:
+        return _note(f"no runs recorded in {store.root}")
+    baseline = store.baseline() or runs[0]
+    latest = runs[-1]
+
+    run_rows = []
+    for run in runs[-width:]:
+        pin = ('<span class="badge ok">baseline</span>'
+               if run.run_id == baseline.run_id else "")
+        run_rows.append((f"<code>{escape(run.run_id[:12])}</code>",
+                         escape(run.label or "-"),
+                         str(len(run.benchmarks)), pin))
+    runs_tbl = table(("run", "label", "benchmarks", ""), run_rows)
+
+    bids = sorted({bid for r in runs for bid in r.benchmarks})
+    entries = []
+    for bid in bids:
+        history = [r for r in runs if bid in r.benchmarks]
+        series = [r.benchmarks[bid].summary.median for r in history]
+        ratio = None
+        modes = ()
+        n_latest = None
+        if bid in latest.benchmarks:
+            latest_times = latest.benchmarks[bid].times
+            n_latest = len(latest_times)
+            modes = detect_modes(latest_times)
+            if bid in baseline.benchmarks \
+                    and latest.run_id != baseline.run_id:
+                ratio = (latest.benchmarks[bid].summary.median
+                         / baseline.benchmarks[bid].summary.median)
+        drifts = history_drift(history, bid, alpha=drift_alpha)
+        entries.append((bid, ratio, series, drifts, n_latest, modes))
+    entries.sort(key=lambda e: (-(e[1] if e[1] is not None
+                                  else float("-inf")), e[0]))
+
+    rows = []
+    for bid, ratio, series, drifts, n_latest, modes in entries:
+        tail = series[-width:]
+        offset = len(series) - len(tail)
+        cps = [d.index - offset for d in drifts
+               if 0 <= d.index - offset < len(tail)]
+        spark = svg_sparkline(
+            tail, change_points=cps,
+            title=f"{bid}: {len(series)} runs, latest {series[-1]:.3e}s")
+        if ratio is None:
+            vs = '<span class="muted">-</span>'
+        else:
+            cls = ("bad" if ratio > 1.05
+                   else "ok" if ratio < 0.95 else "muted")
+            vs = f'<span class="{cls}">{ratio - 1.0:+.1%}</span>'
+        notes = []
+        if drifts:
+            worst = max(drifts, key=lambda d: abs(d.rel_change))
+            notes.append(f'<span class="warn">! shift '
+                         f"{worst.rel_change:+.0%} at run "
+                         f"<code>{escape(worst.run_id[:12])}</code></span>")
+        if len(modes) >= 2:
+            notes.append(f'<span class="warn">~ multimodal: '
+                         f"{escape(mode_split(modes))}</span>")
+        rows.append((
+            f"<code>{escape(bid)}</code>",
+            str(len(series)),
+            str(n_latest) if n_latest is not None else "-",
+            f"{series[-1]:.3e}",
+            vs, spark, "<br/>".join(notes)))
+    bench_tbl = table(
+        ("benchmark", "runs", "n", "latest (s)", "vs base", "trend", "notes"),
+        rows)
+    where = f"{store.root}" + (f" (tenant {tenant})" if tenant else "")
+    return (_note(f"{len(runs)} run(s) in {where}; sparkline = per-run "
+                  f"median over the last {width} runs; dashed markers are "
+                  "drift-scan change points; '~' flags a multimodal "
+                  "latest-run sample with its per-mode medians.")
+            + runs_tbl + "<br/>" + bench_tbl)
+
+
+# ---------------------------------------------------------------------------
+# observe traces
+# ---------------------------------------------------------------------------
+
+def spans_from_chrome_trace(doc: Mapping) -> tuple[
+        list[tuple[str, list[tuple[float, float, str]]]], list[str],
+        float, float]:
+    """Reconcile a Chrome trace-event document back into gantt tracks.
+
+    Returns ``(tracks, kinds, t0, t1)`` with times in seconds.  Honors the
+    ``thread_name`` metadata events that
+    :func:`repro.observe.export.chrome_trace` emits for reconciled worker
+    ranks, so tracks read ``rank 0..n-1`` instead of raw pid/tid pairs.
+    """
+    events = doc.get("traceEvents", [])
+    names: dict[tuple[int, int], str] = {}
+    spans: dict[tuple[int, int], list[tuple[float, float, str]]] = {}
+    for ev in events:
+        key = (int(ev.get("pid", 0)), int(ev.get("tid", 0)))
+        if ev.get("ph") == "M":
+            if ev.get("name") == "thread_name":
+                names[key] = str(ev.get("args", {}).get("name", ""))
+            continue
+        if ev.get("ph") != "X":
+            continue
+        start = float(ev.get("ts", 0.0)) / 1e6
+        dur = float(ev.get("dur", 0.0)) / 1e6
+        kind = str(ev.get("cat", "") or ev.get("name", ""))
+        spans.setdefault(key, []).append((start, start + dur, kind))
+    if not spans:
+        return [], [], 0.0, 0.0
+    t0 = min(s for track in spans.values() for s, _, _ in track)
+    t1 = max(e for track in spans.values() for _, e, _ in track)
+    kinds = sorted({k for track in spans.values() for _, _, k in track})
+    tracks = []
+    for key in sorted(spans):
+        label = names.get(key, f"pid {key[0]} tid {key[1]}")
+        tracks.append((label, sorted(spans[key])))
+    return tracks, kinds, t0, t1
+
+
+def trace_section(docs: Sequence[tuple[str, Mapping]]) -> str:
+    """Span gantts, one per trace document: ``docs = [(label, doc)]``."""
+    if not docs:
+        return _note("no traces supplied; export one with "
+                     "`repro.observe.export.write_chrome_trace` and pass "
+                     "--trace.")
+    parts = []
+    for label, doc in docs:
+        tracks, kinds, t0, t1 = spans_from_chrome_trace(doc)
+        n_spans = sum(len(s) for _, s in tracks)
+        parts.append(f"<h3>{escape(label)}</h3>")
+        if not tracks:
+            parts.append(_note("(no complete spans in this trace)"))
+            continue
+        parts.append(_note(
+            f"{n_spans} span(s) on {len(tracks)} track(s), "
+            f"{(t1 - t0) * 1e3:.3f} ms total"))
+        parts.append(svg_gantt(tracks, kinds, t0, t1))
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# roofline
+# ---------------------------------------------------------------------------
+
+def roofline_section(points=None, model=None,
+                     n_samples: int = 96) -> str:
+    """Ceilings + application points on a log-log roofline.
+
+    Defaults to the generic server CPU preset and the shadow-interpreter
+    ``static_app_points`` estimates, so the section renders even for a
+    store that never measured achieved FLOP/s.
+    """
+    from ..machine.presets import generic_server_cpu
+    from ..roofline.model import cpu_roofline
+
+    if model is None:
+        model = cpu_roofline(generic_server_cpu())
+    if points is None:
+        from ..analyze import static_app_points
+        points = static_app_points()
+    lo, hi = 2.0 ** -6, 2.0 ** 8
+    n = max(int(n_samples), 2)
+    intensities = [lo * (hi / lo) ** (i / (n - 1)) for i in range(n)]
+    series = {label: list(zip(intensities, vals))
+              for label, vals in model.series(intensities).items()}
+    pts = sorted((p.name, p.intensity, p.achieved_flops_per_s)
+                 for p in points)
+    svg = svg_roofline(series, pts)
+    rows = []
+    for name, intensity, achieved in pts:
+        att = model.attainable(intensity)
+        eff = (f"{achieved / att:.1%}" if achieved and att > 0
+               else '<span class="muted">static</span>')
+        rows.append((escape(name), f"{intensity:.3f}",
+                     escape(model.classify(intensity)),
+                     f"{att / 1e9:.2f}",
+                     f"{achieved / 1e9:.2f}" if achieved else "-", eff))
+    tbl = table(("application point", "intensity (F/B)", "bound",
+                 "attainable (GFLOP/s)", "achieved (GFLOP/s)",
+                 "efficiency"), rows)
+    head = _note(f"model: {model.name} — peak "
+                 f"{model.peak_flops / 1e9:.1f} GFLOP/s, "
+                 f"{model.peak_bandwidth / 1e9:.1f} GB/s, ridge at "
+                 f"{model.ridge_point():.2f} FLOP/byte. Hollow markers are "
+                 "static (shadow-interpreter) estimates pinned to their "
+                 "attainable roof.")
+    return head + svg + tbl
+
+
+# ---------------------------------------------------------------------------
+# tuning trajectories
+# ---------------------------------------------------------------------------
+
+def tuning_section(results: Sequence) -> str:
+    """Search trajectories from persisted :class:`TuningResult` JSON."""
+    if not results:
+        return _note("no tuning results supplied; persist one with "
+                     "TuningResult.to_json() and pass --tuning.")
+    parts = []
+    for res in results:
+        title = f"{res.kernel} / {res.problem} — {res.strategy}"
+        parts.append(f"<h3>{escape(title)}</h3>")
+        if not res.history:
+            parts.append(_note("(empty search history)"))
+            continue
+        evals = [(e.index, e.seconds, e.cached) for e in res.history]
+        best = res.best
+        cfg = ", ".join(f"{k}={v}" for k, v in sorted(best.config.items()))
+        parts.append(_note(
+            f"{res.measurements} measurement(s), {res.cache_hits} cache "
+            f"hit(s); best {res.best_seconds:.4e}s at eval {best.index} "
+            f"({cfg})"))
+        parts.append(svg_trajectory(evals))
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# analyze findings
+# ---------------------------------------------------------------------------
+
+_SEV_CLS = {"error": "bad", "warning": "warn", "info": "muted",
+            "expected": "muted"}
+
+
+def analyze_section(report=None, kernel: str | None = None) -> str:
+    """Static-analysis findings with their source spans."""
+    if report is None:
+        from ..analyze import analyze_all
+        try:
+            report = analyze_all(kernel=kernel)
+        except Exception as exc:  # registry import failures shouldn't kill
+            return _note(f"analysis unavailable: {exc}")
+    counts = report.counts()
+    badge_cls = "ok" if report.ok else "bad"
+    summary = ", ".join(f"{n} {sev}" for sev, n in sorted(counts.items())
+                        if n) or "no findings"
+    head = (f'<p><span class="badge {badge_cls}">'
+            f'{"clean" if report.ok else "errors"}</span> '
+            f'<span class="section-note">{escape(summary)}</span></p>')
+    if not report.findings:
+        return head
+    rows = []
+    for f in report.findings:
+        span = (f"{f.lineno}:{f.col}-{f.end_lineno}"
+                if f.lineno else '<span class="muted">-</span>')
+        cls = _SEV_CLS.get(f.severity, "muted")
+        rows.append((
+            f"<code>{escape(f.rule)}</code> {escape(f.slug)}",
+            f'<span class="{cls}">{escape(f.severity)}</span>',
+            f"<code>{escape(f.variant)}</code>",
+            escape(f.source), span, escape(f.message)))
+    return head + table(("rule", "severity", "variant", "pass",
+                         "span", "message"), rows)
+
+
+# ---------------------------------------------------------------------------
+# metrics snapshot (service /metrics, or a trace's embedded snapshot)
+# ---------------------------------------------------------------------------
+
+def metrics_section(snapshot: Mapping | None) -> str:
+    """A MetricsRegistry snapshot as counter/gauge/histogram tables."""
+    if not snapshot:
+        return _note("no metrics snapshot supplied.")
+    parts = []
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    if counters or gauges:
+        rows = [(f"<code>{escape(k)}</code>", "counter", str(v))
+                for k, v in sorted(counters.items())]
+        rows += [(f"<code>{escape(k)}</code>", "gauge",
+                  "-" if v is None else f"{v:g}")
+                 for k, v in sorted(gauges.items())]
+        parts.append(table(("metric", "type", "value"), rows))
+    hists = snapshot.get("histograms") or {}
+    if hists:
+        rows = []
+        for name, h in sorted(hists.items()):
+            mean = (h["total"] / h["count"]) if h.get("count") else None
+            rows.append((f"<code>{escape(name)}</code>",
+                         str(h.get("count", 0)),
+                         "-" if mean is None else f"{mean:.4g}",
+                         "-" if h.get("min") is None else f"{h['min']:.4g}",
+                         "-" if h.get("max") is None else f"{h['max']:.4g}"))
+        parts.append(table(("histogram", "count", "mean", "min", "max"),
+                           rows))
+    return "".join(parts) or _note("empty metrics snapshot.")
+
+
+def _pretty_json(doc) -> str:
+    return tag("pre", escape(json.dumps(doc, indent=2, sort_keys=True)),
+               cls="mono")

@@ -76,6 +76,10 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._checked("GET", "/stats")
 
+    def metrics(self) -> dict:
+        """The live MetricsRegistry snapshot (``GET /metrics``)."""
+        return self._checked("GET", "/metrics")
+
     def manifests(self) -> dict:
         return self._checked("GET", "/manifests")["manifests"]
 

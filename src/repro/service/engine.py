@@ -88,6 +88,12 @@ class JobEngine:
         self.workers = workers
         self.admission = admission or AdmissionController()
         self.metrics = metrics if metrics is not None else METRICS
+        # Pre-register the live-surface instruments so `/metrics` exposes
+        # them (at zero) from the first request, before any submission —
+        # and so `/stats` and `/metrics` agree on queue depth from boot.
+        self.metrics.gauge("service.queue_depth").set(0)
+        self.metrics.counter("service.cache_hits")
+        self.metrics.counter("service.shed_total")
         self.machine_key = machine_cache_key()
         from ..perfdb.record import current_git_sha, machine_fingerprint
         self._run_ctx = {"machine": machine_fingerprint(calibrate=False),
@@ -181,6 +187,9 @@ class JobEngine:
                 tenant, len(self._queue), self._drain_rate, now)
             if not admitted:
                 self.metrics.counter("service.jobs_shed").inc()
+                # same event under the stable dashboard name the /metrics
+                # surface documents (jobs_shed predates it; both stay)
+                self.metrics.counter("service.shed_total").inc()
                 tracer.count("service.jobs_shed_traced")
                 raise AdmissionError(reason, retry_after)
             self.metrics.counter("service.jobs_submitted").inc()

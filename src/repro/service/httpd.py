@@ -6,6 +6,8 @@ dependencies.  Routes:
 ====== ============================ ==========================================
 GET    ``/healthz``                 liveness + queue depth
 GET    ``/stats``                   engine stats, metrics snapshot, store health
+GET    ``/metrics``                 MetricsRegistry snapshot alone (live
+                                    queue-depth/cache-hit/shed instruments)
 GET    ``/manifests``               registered manifest names + documents
 POST   ``/manifests``               register a manifest (``?replace=1`` to update)
 GET    ``/manifests/<name>``        one manifest document
@@ -104,6 +106,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                                       "queue_depth": stats["queue_depth"]})
             elif parts == ["stats"]:
                 self._send_json(200, engine.stats())
+            elif parts == ["metrics"]:
+                self._send_json(200, engine.metrics.snapshot())
             elif parts == ["manifests"]:
                 docs = {name: engine.manifests.get(name).to_dict()
                         for name in engine.manifests.names()}

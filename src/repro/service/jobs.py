@@ -48,7 +48,7 @@ _TRANSITIONS = {
 }
 
 #: Job kinds the runner knows how to execute.
-KINDS = ("benchmark", "tune", "analyze", "synthetic")
+KINDS = ("benchmark", "tune", "analyze", "synthetic", "report")
 
 _seq = itertools.count(1)
 

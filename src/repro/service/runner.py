@@ -14,7 +14,11 @@ One function per job kind, dispatched by :func:`execute`:
 * ``analyze`` — the static-analysis verdict for the variant (lint +
   hazards findings as JSON);
 * ``synthetic`` — sleep for the declared service demand; the self-model
-  workload that turns the service into its own queueing experiment.
+  workload that turns the service into its own queueing experiment;
+* ``report`` — render the submitting tenant's perfdb shard into the
+  self-contained HTML artifact of :func:`repro.report.build_report`; the
+  engine's quota/cache/coalescing machinery applies unchanged, so a
+  tenant hammering "rebuild my dashboard" costs one render.
 
 Operand construction is the one place kernel families differ, so it is a
 table (`_SETUP`), exactly like the registry's own convention: adding a
@@ -277,11 +281,36 @@ def _run_synthetic(job: Job, manifest: WorkloadManifest,
     return {"kernel": manifest.slug, "slept_seconds": seconds}
 
 
+def _run_report(job: Job, manifest: WorkloadManifest,
+                store: PerfStore | None, ctx: Mapping) -> dict:
+    from ..report import build_report
+
+    if store is None:
+        raise RunnerError("report jobs need a perfdb store; the engine "
+                          "was started without one")
+    now = job.params.get("now")
+    html = build_report(
+        store, tenant=job.tenant,
+        include_roofline=bool(job.params.get("roofline", True)),
+        include_analyze=bool(job.params.get("analyze", True)),
+        width=int(job.params.get("width", 24)),
+        title=f"repro run report — tenant {job.tenant}",
+        now=None if now is None else float(now))
+    return {
+        "kernel": manifest.slug,
+        "tenant": job.tenant,
+        "shard_runs": len(store.runs(tenant=job.tenant)),
+        "bytes": len(html),
+        "report_html": html,
+    }
+
+
 _EXECUTORS = {
     "benchmark": _run_benchmark,
     "tune": _run_tune,
     "analyze": _run_analyze,
     "synthetic": _run_synthetic,
+    "report": _run_report,
 }
 
 

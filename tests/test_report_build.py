@@ -1,0 +1,239 @@
+"""Tests for `python -m repro.report build` — fusion, determinism, safety."""
+
+import json
+
+import pytest
+
+from repro.observe.export import chrome_trace
+from repro.observe.spans import Span
+from repro.perfdb.record import RunRecord
+from repro.perfdb.report import mode_split, report_text
+from repro.perfdb.store import PerfStore
+from repro.report import build_report
+from repro.report.__main__ import main as report_main
+from repro.report.sections import spans_from_chrome_trace
+from repro.tuning.harness import Evaluation, TuningResult
+
+NASTY = 'evil.<script>&"x"[n=4]'
+
+
+def _store(tmp_path, n_runs=3, slowdown_at=None, bimodal=False):
+    store = PerfStore(tmp_path / "perfdb")
+    for i in range(n_runs):
+        scale = 3.0 if (slowdown_at is not None and i >= slowdown_at) else 1.0
+        times = [1e-3 * scale * (1 + 0.001 * k) for k in range(10)]
+        if bimodal:
+            times = times[:5] + [2.5e-3 * (1 + 0.001 * k) for k in range(5)]
+        samples = {"matmul.ijk[n=16]": times,
+                   NASTY: [5e-4 * (1 + 0.001 * k) for k in range(10)]}
+        store.append(RunRecord.new(samples, label=f"run{i}",
+                                   created=1000.0 + i))
+    return store
+
+
+def _trace_doc():
+    spans = [Span(name="tune", start=0.0, end=0.01, category="tune",
+                  pid=1, tid=1, span_id=1, parent_id=None),
+             Span(name="measure", start=0.002, end=0.006, category="measure",
+                  pid=1, tid=2, span_id=2, parent_id=1, attrs={"rank": 0})]
+    return chrome_trace(spans)
+
+
+def _tuning_result():
+    return TuningResult(
+        kernel="matmul", problem="n=16", strategy="random",
+        history=[Evaluation(0, {"block": 8}, 2e-3),
+                 Evaluation(1, {"block": 16}, 1e-3),
+                 Evaluation(2, {"block": 8}, 2e-3, cached=True)])
+
+
+class TestBuildFusion:
+    def test_all_sections_present(self, tmp_path):
+        html = build_report(_store(tmp_path), traces=[("t", _trace_doc())],
+                            tuning=[_tuning_result()],
+                            analyze_kernel="matmul", now=1.7e9)
+        assert "Benchmark history (perfdb)" in html
+        assert "Execution traces (observe)" in html
+        assert "Roofline placements" in html
+        assert "Tuning search trajectories" in html
+        assert "Static analysis findings" in html
+        # content, not just headings
+        assert 'class="spark"' in html            # sparklines
+        assert 'class="gantt"' in html            # span gantt
+        assert "rank 0" in html                   # reconciled track name
+        assert 'class="roofline"' in html
+        assert "(static)" in html                 # static_app_points placed
+        assert 'class="traj"' in html
+        assert "block=16" in html                 # best tuning config
+
+    def test_missing_sources_render_notes_not_errors(self):
+        html = build_report(None, include_roofline=False,
+                            include_analyze=False, now=0.0)
+        assert "no perfdb store" in html
+        assert "no traces supplied" in html
+        assert "no tuning results supplied" in html
+
+    def test_change_point_markers_in_sparkline(self, tmp_path):
+        store = _store(tmp_path, n_runs=8, slowdown_at=4)
+        html = build_report(store, include_roofline=False,
+                            include_analyze=False, now=0.0)
+        assert "stroke-dasharray" in html  # drift marker drawn
+        assert "! shift" in html
+
+    def test_tenant_filter_restricts_history(self, tmp_path):
+        store = PerfStore(tmp_path / "perfdb")
+        store.append(RunRecord.new({"a.x": [1e-3] * 8}, created=1.0),
+                     tenant="alice")
+        store.append(RunRecord.new({"b.y": [1e-3] * 8}, created=2.0),
+                     tenant="bob")
+        html = build_report(store, tenant="alice", include_roofline=False,
+                            include_analyze=False, now=0.0)
+        assert "a.x" in html and "b.y" not in html
+
+
+class TestDeterminismAndSafety:
+    def test_byte_identical_on_identical_inputs(self, tmp_path):
+        store = _store(tmp_path)
+        kw = dict(traces=[("t", _trace_doc())], tuning=[_tuning_result()],
+                  analyze_kernel="matmul", now=1.7e9)
+        assert build_report(store, **kw) == build_report(store, **kw)
+
+    def test_cli_byte_identical_with_explicit_now(self, tmp_path, monkeypatch):
+        _store(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        for out in ("a.html", "b.html"):
+            rc = report_main(["--store", str(tmp_path / "perfdb"), "build",
+                              "-o", out, "--now", "1700000000",
+                              "--no-roofline", "--no-analyze"])
+            assert rc == 0
+        assert (tmp_path / "a.html").read_bytes() \
+            == (tmp_path / "b.html").read_bytes()
+
+    def test_nasty_names_escaped_everywhere(self, tmp_path):
+        html = build_report(_store(tmp_path), include_roofline=False,
+                            include_analyze=False, now=0.0)
+        assert NASTY not in html                       # raw form never leaks
+        assert "&lt;script&gt;" in html
+        assert "&quot;x&quot;" in html
+        assert "<script" not in html.lower()
+
+    def test_nasty_tenant_name_escaped(self, tmp_path):
+        store = PerfStore(tmp_path / "perfdb")
+        store.append(RunRecord.new({"k.v": [1e-3] * 8}, created=1.0),
+                     tenant="t&<x>")
+        html = build_report(store, tenant="t&<x>", include_roofline=False,
+                            include_analyze=False, now=0.0)
+        assert "t&amp;&lt;x&gt;" in html
+        assert "<x>" not in html
+
+    def test_self_contained(self, tmp_path):
+        html = build_report(_store(tmp_path), analyze_kernel="matmul",
+                            now=0.0)
+        assert "<script" not in html.lower()
+        assert "src=" not in html.replace("src=&", "")  # no external assets
+        assert 'href="#' in html  # only fragment links
+
+
+class TestModeSplits:
+    """Satellite: per-mode medians surface in HTML and the perfdb table."""
+
+    def test_bimodal_run_flagged_in_html_with_per_mode_medians(
+            self, tmp_path):
+        store = _store(tmp_path, bimodal=True)
+        html = build_report(store, include_roofline=False,
+                            include_analyze=False, now=0.0)
+        assert "~ multimodal" in html
+        # both mode medians with their weights, not one pooled number
+        assert "1.002e-03s×50%" in html
+        assert "2.505e-03s×50%" in html
+
+    def test_bimodal_run_flagged_in_perfdb_report_table(self, tmp_path):
+        store = _store(tmp_path, bimodal=True)
+        text = report_text(store)
+        assert "~ multimodal (2 modes in latest run:" in text
+        assert "1.002e-03s×50%" in text and "2.505e-03s×50%" in text
+        assert "per-mode medians" in text  # legend explains the split
+
+    def test_unimodal_run_not_flagged(self, tmp_path):
+        store = _store(tmp_path, bimodal=False)
+        assert "~ multimodal" not in report_text(store)
+        html = build_report(store, include_roofline=False,
+                            include_analyze=False, now=0.0)
+        assert "~ multimodal" not in html
+
+    def test_mode_split_formats_median_by_weight(self):
+        from repro.timing.adaptive import detect_modes
+        samples = tuple([1e-3] * 6 + [2e-3] * 6)
+        modes = detect_modes(samples)
+        assert len(modes) == 2
+        out = mode_split(modes)
+        assert "1.000e-03s×50%" in out and "2.000e-03s×50%" in out
+
+
+class TestTraceReconciliation:
+    def test_thread_name_metadata_names_tracks(self):
+        tracks, kinds, t0, t1 = spans_from_chrome_trace(_trace_doc())
+        labels = [label for label, _ in tracks]
+        assert "rank 0" in labels
+        assert any(label.startswith("pid ") for label in labels)
+        assert kinds == ["measure", "tune"]
+        assert t1 > t0
+
+    def test_empty_document(self):
+        assert spans_from_chrome_trace({"traceEvents": []}) \
+            == ([], [], 0.0, 0.0)
+
+
+class TestCli:
+    def test_build_exit_zero_and_writes_file(self, tmp_path):
+        _store(tmp_path)
+        out = tmp_path / "report.html"
+        rc = report_main(["--store", str(tmp_path / "perfdb"), "build",
+                          "-o", str(out), "--now", "0", "--kernel", "matmul"])
+        assert rc == 0
+        html = out.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Roofline placements" in html
+
+    def test_build_with_trace_and_tuning_files(self, tmp_path):
+        _store(tmp_path)
+        trace = tmp_path / "t.trace.json"
+        trace.write_text(json.dumps(_trace_doc()), encoding="utf-8")
+        tune = tmp_path / "tune.json"
+        tune.write_text(_tuning_result().to_json(), encoding="utf-8")
+        out = tmp_path / "report.html"
+        rc = report_main(["--store", str(tmp_path / "perfdb"), "build",
+                          "-o", str(out), "--now", "0", "--no-roofline",
+                          "--no-analyze", "--trace", str(trace),
+                          "--tuning", str(tune)])
+        assert rc == 0
+        html = out.read_text(encoding="utf-8")
+        assert "rank 0" in html and "block=16" in html
+
+    def test_build_missing_trace_file_exits_2(self, tmp_path, capsys):
+        rc = report_main(["--store", str(tmp_path / "perfdb"), "build",
+                          "--trace", str(tmp_path / "absent.json")])
+        assert rc == 2
+        assert "report build:" in capsys.readouterr().err
+
+    def test_build_to_stdout(self, tmp_path, capsys):
+        _store(tmp_path)
+        rc = report_main(["--store", str(tmp_path / "perfdb"), "build",
+                          "-o", "-", "--now", "0", "--no-roofline",
+                          "--no-analyze"])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("<!DOCTYPE html>")
+
+
+@pytest.mark.parametrize("flag,heading", [
+    ("--no-roofline", "Roofline placements"),
+    ("--no-analyze", "Static analysis findings"),
+])
+def test_section_opt_outs(tmp_path, flag, heading):
+    _store(tmp_path)
+    out = tmp_path / "r.html"
+    rc = report_main(["--store", str(tmp_path / "perfdb"), "build",
+                      "-o", str(out), "--now", "0", "--no-roofline",
+                      "--no-analyze"])
+    assert rc == 0
+    assert heading not in out.read_text(encoding="utf-8")

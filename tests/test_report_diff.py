@@ -1,0 +1,132 @@
+"""Tests for repro.report.diff — run-vs-run and machine-vs-machine."""
+
+from repro.perfdb.record import RunRecord
+from repro.perfdb.store import PerfStore
+from repro.report import compare_report
+from repro.report.__main__ import main as report_main
+from repro.report.diff import machine_diff_rows
+
+
+def _run(scale=1.0, created=1.0, label="", machine=None, n=12):
+    samples = {"k.v[n=8]": [1e-3 * scale * (1 + 0.002 * i) for i in range(n)],
+               "k.w[n=8]": [2e-3 * (1 + 0.002 * i) for i in range(n)]}
+    return RunRecord.new(samples, label=label, created=created,
+                         machine=machine or {})
+
+
+class TestCompareReport:
+    def test_clean_pair_passes(self):
+        base, cand = _run(created=1.0), _run(created=2.0)
+        html, regressed = compare_report(cand, base, now=0.0)
+        assert not regressed
+        assert "PASS" in html
+        assert html.count("UNCHANGED") >= 2
+
+    def test_injected_slowdown_regresses(self):
+        base, cand = _run(created=1.0), _run(scale=3.0, created=2.0)
+        html, regressed = compare_report(cand, base, now=0.0)
+        assert regressed
+        assert "FAIL" in html and "REGRESSED" in html
+        # the untouched benchmark stays unchanged
+        assert "UNCHANGED" in html
+
+    def test_verdicts_match_the_gate(self):
+        from repro.perfdb.compare import compare_runs
+        base, cand = _run(created=1.0), _run(scale=3.0, created=2.0)
+        cmp = compare_runs(cand, base)
+        html, regressed = compare_report(cand, base, now=0.0)
+        assert regressed == (not cmp.ok)
+        for r in cmp.results:
+            assert r.benchmark_id in html
+
+    def test_deterministic_with_pinned_now(self):
+        base, cand = _run(created=1.0), _run(created=2.0)
+        assert compare_report(cand, base, now=5.0) \
+            == compare_report(cand, base, now=5.0)
+
+    def test_nasty_benchmark_names_escaped(self):
+        nasty = 'b<&"quote">'
+        base = RunRecord.new({nasty: [1e-3] * 10}, created=1.0)
+        cand = RunRecord.new({nasty: [1e-3] * 10}, created=2.0)
+        html, _ = compare_report(cand, base, now=0.0)
+        assert nasty not in html
+        assert "b&lt;&amp;&quot;quote&quot;&gt;" in html
+
+
+class TestMachineDiff:
+    def test_differing_keys_flagged(self):
+        a = {"hostname": "a", "python": "3.11", "cpu": {"cores": 8}}
+        b = {"hostname": "b", "python": "3.11", "cpu": {"cores": 16}}
+        rows = {key: differs for key, _, _, differs in machine_diff_rows(a, b)}
+        assert rows["hostname"] and rows["cpu.cores"]
+        assert not rows["python"]
+
+    def test_one_sided_keys_differ(self):
+        rows = dict((k, d) for k, _, _, d in
+                    machine_diff_rows({"only_a": 1}, {}))
+        assert rows["only_a"]
+
+    def test_fingerprints_render_in_report(self):
+        base = _run(created=1.0, machine={"hostname": "alpha", "os": "linux"})
+        cand = _run(created=2.0, machine={"hostname": "beta", "os": "linux"})
+        html, _ = compare_report(cand, base, now=0.0)
+        assert "Machine fingerprints" in html
+        assert "alpha" in html and "beta" in html
+        assert "1 fingerprint key(s) differ" in html
+
+    def test_identical_machines_say_so(self):
+        m = {"hostname": "same"}
+        html, _ = compare_report(_run(created=2.0, machine=m),
+                                 _run(created=1.0, machine=m), now=0.0)
+        assert "identical machine fingerprints" in html
+
+
+class TestCli:
+    def _record_two(self, tmp_path, scale=1.0):
+        store = PerfStore(tmp_path / "perfdb")
+        store.append(_run(created=1.0, label="base"))
+        store.append(_run(scale=scale, created=2.0, label="cand"))
+        return store
+
+    def test_exit_0_on_clean_pair(self, tmp_path):
+        self._record_two(tmp_path)
+        out = tmp_path / "cmp.html"
+        rc = report_main(["--store", str(tmp_path / "perfdb"), "compare",
+                          "-o", str(out), "--now", "0"])
+        assert rc == 0
+        assert "PASS" in out.read_text(encoding="utf-8")
+
+    def test_exit_1_on_regression(self, tmp_path, capsys):
+        self._record_two(tmp_path, scale=3.0)
+        out = tmp_path / "cmp.html"
+        rc = report_main(["--store", str(tmp_path / "perfdb"), "compare",
+                          "-o", str(out), "--now", "0"])
+        assert rc == 1
+        assert "REGRESSED" in out.read_text(encoding="utf-8")
+        assert "REGRESSED" in capsys.readouterr().err
+
+    def test_exit_2_without_enough_runs(self, tmp_path, capsys):
+        store = PerfStore(tmp_path / "perfdb")
+        store.append(_run(created=1.0))
+        rc = report_main(["--store", str(tmp_path / "perfdb"), "compare"])
+        assert rc == 2
+        assert "at least two runs" in capsys.readouterr().err
+
+    def test_explicit_candidate_and_baseline_prefixes(self, tmp_path):
+        store = self._record_two(tmp_path)
+        runs = store.runs()
+        out = tmp_path / "cmp.html"
+        rc = report_main(["--store", str(tmp_path / "perfdb"), "compare",
+                          "-o", str(out), "--now", "0",
+                          "--candidate", runs[1].run_id,
+                          "--baseline", runs[0].run_id])
+        assert rc == 0
+        html = out.read_text(encoding="utf-8")
+        assert runs[0].run_id in html and runs[1].run_id in html
+
+    def test_unknown_run_exits_2(self, tmp_path, capsys):
+        self._record_two(tmp_path)
+        rc = report_main(["--store", str(tmp_path / "perfdb"), "compare",
+                          "--candidate", "deadbeef"])
+        assert rc == 2
+        assert "report compare:" in capsys.readouterr().err

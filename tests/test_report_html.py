@@ -1,0 +1,142 @@
+"""Tests for repro.report.html — escaping, SVG primitives, page shell."""
+
+import pytest
+
+from repro.report.html import (attr, escape, render_page, svg_gantt,
+                               svg_roofline, svg_sparkline, svg_trajectory,
+                               table, tag)
+
+
+class TestEscape:
+    def test_escapes_every_html_metacharacter(self):
+        nasty = '<script>&"dangerous"&\'x\'</script>'
+        out = escape(nasty)
+        assert "<" not in out and ">" not in out
+        assert '"' not in out and "'" not in out
+        assert "&lt;script&gt;" in out
+        assert "&quot;dangerous&quot;" in out
+        assert "&#x27;x&#x27;" in out
+
+    def test_ampersand_escaped_first_not_double_escaped(self):
+        assert escape("&lt;") == "&amp;lt;"
+
+    def test_non_string_input_is_stringified(self):
+        assert escape(42) == "42"
+        assert escape(None) == "None"
+
+    def test_attr_sorted_and_escaped(self):
+        out = attr({"b": 'x"y', "a": 1})
+        assert out == ' a="1" b="x&quot;y"'
+
+    def test_tag_self_closes_without_content(self):
+        assert tag("br") == "<br/>"
+        assert tag("p", "hi", cls="note") == '<p class="note">hi</p>'
+        assert 'stroke-width="2"' in tag("line", stroke_width=2)
+
+
+class TestTable:
+    def test_rows_and_headers_render(self):
+        out = table(("a", "b"), [("1", "2"), ("3", "4")])
+        assert out.count("<tr>") == 3  # header row + two body rows
+        assert "<th>a</th>" in out and "<td>4</td>" in out
+
+
+class TestSparkline:
+    def test_empty_series_renders_empty_svg(self):
+        assert svg_sparkline([]).startswith("<svg")
+
+    def test_polyline_and_last_point_marker(self):
+        out = svg_sparkline([1.0, 2.0, 1.5])
+        assert "<polyline" in out and "<circle" in out
+
+    def test_change_points_draw_dashed_markers(self):
+        clean = svg_sparkline([1.0, 1.0, 2.0, 2.0])
+        marked = svg_sparkline([1.0, 1.0, 2.0, 2.0], change_points=[2])
+        assert "stroke-dasharray" not in clean
+        assert marked.count("stroke-dasharray") == 1
+
+    def test_out_of_range_change_points_ignored(self):
+        out = svg_sparkline([1.0, 2.0], change_points=[-1, 99])
+        assert "stroke-dasharray" not in out
+
+    def test_flat_series_renders_midline(self):
+        out = svg_sparkline([3.0, 3.0, 3.0])
+        assert "<polyline" in out  # no division by zero
+
+
+class TestGantt:
+    def test_tracks_and_legend(self):
+        tracks = [("rank 0", [(0.0, 0.5, "compute"), (0.5, 0.6, "comm")]),
+                  ("rank 1", [(0.1, 0.4, "compute")])]
+        out = svg_gantt(tracks, ["comm", "compute"], 0.0, 1.0)
+        assert out.count("<rect") == 3
+        assert "rank 0" in out and "rank 1" in out
+        assert "compute" in out  # legend
+
+    def test_empty_extent_degrades(self):
+        assert "empty" in svg_gantt([], [], 0.0, 0.0)
+
+    def test_track_labels_escaped(self):
+        out = svg_gantt([("<evil>", [(0.0, 1.0, "k")])], ["k"], 0.0, 1.0)
+        assert "<evil>" not in out and "&lt;evil&gt;" in out
+
+
+class TestRoofline:
+    def test_ceilings_and_points(self):
+        series = {"peak|dram": [(0.1, 1e9), (1.0, 1e10), (10.0, 1e10)]}
+        out = svg_roofline(series, [("app", 0.5, 2e9), ("static", 2.0, None)])
+        assert out.count("<polyline") == 1
+        assert out.count("<circle") == 2
+        assert 'fill="none"' in out  # hollow static marker
+
+    def test_no_data_degrades(self):
+        assert "no roofline" in svg_roofline({}, [])
+
+
+class TestTrajectory:
+    def test_best_so_far_step_and_markers(self):
+        out = svg_trajectory([(0, 2e-3, False), (1, 1e-3, False),
+                              (2, 2e-3, True)])
+        assert out.count("<circle") == 3
+        assert "cache hit" in out
+        assert "<polyline" in out
+
+    def test_empty_history_degrades(self):
+        assert "empty search" in svg_trajectory([])
+
+
+class TestRenderPage:
+    def test_deterministic_with_pinned_now(self):
+        sections = [("One", "<p>x</p>"), ("Two", "<p>y</p>")]
+        a = render_page("t", sections, now=1.7e9)
+        b = render_page("t", sections, now=1.7e9)
+        assert a == b
+
+    def test_now_changes_only_the_stamp(self):
+        a = render_page("t", [("S", "c")], now=0.0)
+        b = render_page("t", [("S", "c")], now=86400.0)
+        assert a != b
+        assert "1970-01-01" in a and "1970-01-02" in b
+
+    def test_self_contained_no_external_assets_no_scripts(self):
+        out = render_page("t", [("S", "<p>c</p>")], now=0.0)
+        assert "<script" not in out.lower()
+        assert "http://" not in out and "https://" not in out
+        assert "<style>" in out
+
+    def test_title_escaped(self):
+        out = render_page('<img src="x">', [], now=0.0)
+        assert "<img" not in out
+
+
+@pytest.mark.parametrize("renderer,args", [
+    (svg_sparkline, ([1.0, 2.0, 3.0],)),
+    (svg_trajectory, ([(0, 1e-3, False)],)),
+])
+def test_svg_coordinates_use_fixed_notation(renderer, args):
+    # scientific notation in coordinates breaks some SVG consumers
+    out = renderer(*args)
+    for chunk in out.split('"'):
+        if chunk.replace(".", "").replace(",", "").replace(" ", "") \
+                .replace("-", "").isdigit():
+            assert "e" not in chunk

@@ -1,0 +1,162 @@
+"""Tests for the live observability surface: /metrics, engine gauges,
+and the `report` job kind."""
+
+import pytest
+
+from repro.observe.metrics import MetricsRegistry
+from repro.perfdb.store import PerfStore
+from repro.service.client import ServiceClient
+from repro.service.engine import JobEngine
+from repro.service.httpd import start_server
+from repro.service.jobs import AdmissionError, JobState
+from repro.service.manifest import WorkloadManifest
+from repro.service.quota import AdmissionController
+
+
+def _engine(tmp_path=None, **over):
+    kw = dict(
+        store=None if tmp_path is None else PerfStore(tmp_path / "perfdb"),
+        workers=2,
+        admission=AdmissionController(max_queue_depth=256,
+                                      tenant_rate=10_000, tenant_burst=10_000),
+        metrics=MetricsRegistry(),
+        with_builtins=True,
+    )
+    kw.update(over)
+    return JobEngine(**kw)
+
+
+def _tiny_matmul(name="tiny-matmul", **over):
+    base = dict(name=name, kernel="matmul", variant="ijk",
+                args={"n": 4, "seed": 0}, repetitions=1, warmup=0)
+    base.update(over)
+    return WorkloadManifest(**base)
+
+
+@pytest.fixture
+def served(tmp_path):
+    engine = _engine(tmp_path)
+    server, _ = start_server(engine, port=0)
+    host, port = server.server_address[:2]
+    yield engine, ServiceClient(host, port)
+    server.shutdown()
+    engine.shutdown()
+
+
+class TestMetricsEndpoint:
+    def test_instruments_present_at_boot(self, served):
+        engine, client = served
+        snap = client.metrics()
+        # all three live instruments exist before any submission
+        assert snap["gauges"]["service.queue_depth"] == 0
+        assert snap["counters"]["service.cache_hits"] == 0
+        assert snap["counters"]["service.shed_total"] == 0
+
+    def test_metrics_and_stats_agree(self, served):
+        engine, client = served
+        job = client.submit(_tiny_matmul().to_dict(), tenant="t")
+        client.wait(job["job_id"], timeout=60.0)
+        snap, stats = client.metrics(), client.stats()
+        assert snap == stats["metrics"]
+        assert snap["gauges"]["service.queue_depth"] == stats["queue_depth"]
+
+    def test_snapshot_shape(self, served):
+        _, client = served
+        snap = client.metrics()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+
+
+class TestEngineGauges:
+    def test_coalesced_resubmission_bumps_cache_hit_exactly_once(self):
+        """Satellite regression test: coalescing must not count as a cache
+        hit, and the post-completion resubmission must count exactly one."""
+        engine = _engine()  # not started: both submissions stay queued
+        first = engine.submit(_tiny_matmul(), tenant="a")
+        second = engine.submit(_tiny_matmul(), tenant="b")
+        assert second.coalesced_with == first.job_id
+        assert engine.metrics.counter("service.cache_hits").value == 0
+        with engine:
+            engine.wait_for(first.job_id, timeout=60.0)
+            engine.wait_for(second.job_id, timeout=60.0)
+            assert first.state == second.state == JobState.DONE
+            third = engine.submit(_tiny_matmul(), tenant="c")
+        assert third.cached is True
+        assert engine.metrics.counter("service.cache_hits").value == 1
+        assert engine.metrics.counter("service.jobs_executed").value == 1
+
+    def test_shed_total_tracks_jobs_shed(self):
+        engine = _engine(admission=AdmissionController(max_queue_depth=1))
+        engine.submit(_tiny_matmul("s-0"))  # fills the queue (not started)
+        with pytest.raises(AdmissionError):
+            engine.submit(_tiny_matmul("s-1"))
+        assert engine.metrics.counter("service.shed_total").value == 1
+        assert engine.metrics.counter("service.jobs_shed").value \
+            == engine.metrics.counter("service.shed_total").value
+
+    def test_queue_depth_gauge_follows_queue(self):
+        engine = _engine()  # not started: submissions accumulate
+        for i in range(3):
+            engine.submit(_tiny_matmul(f"qd-{i}", args={"n": 4 + i,
+                                                        "seed": 0}))
+        assert engine.metrics.gauge("service.queue_depth").value == 3
+        assert engine.stats()["queue_depth"] == 3
+        with engine:
+            for job in list(engine.jobs()):
+                engine.wait_for(job.job_id, timeout=60.0)
+        assert engine.metrics.gauge("service.queue_depth").value == 0
+
+
+class TestReportJobKind:
+    def test_report_job_renders_the_tenants_shard(self, tmp_path):
+        with _engine(tmp_path) as engine:
+            bench = engine.submit(_tiny_matmul(), tenant="alice")
+            engine.wait_for(bench.job_id, timeout=60.0)
+            assert bench.state == JobState.DONE, bench.error
+            job = engine.submit(_tiny_matmul(), kind="report", tenant="alice",
+                                params={"now": 0, "roofline": False,
+                                        "analyze": False})
+            engine.wait_for(job.job_id, timeout=60.0)
+        assert job.state == JobState.DONE, job.error
+        html = job.result["report_html"]
+        assert job.result["shard_runs"] == 1
+        assert job.result["bytes"] == len(html)
+        assert "tenant alice" in html
+        assert "service/tiny-matmul" in html
+        assert "<script" not in html.lower()
+
+    def test_report_jobs_are_cached_and_coalesced(self, tmp_path):
+        with _engine(tmp_path) as engine:
+            a = engine.submit(_tiny_matmul(), kind="report", tenant="t",
+                              params={"now": 0})
+            engine.wait_for(a.job_id, timeout=60.0)
+            assert a.state == JobState.DONE, a.error
+            b = engine.submit(_tiny_matmul(), kind="report", tenant="t",
+                              params={"now": 0})
+        assert b.cached is True
+        assert b.result["report_html"] == a.result["report_html"]
+        assert engine.metrics.counter("service.cache_hits").value == 1
+
+    def test_report_job_without_store_fails_cleanly(self):
+        with _engine() as engine:  # no store
+            job = engine.submit(_tiny_matmul(), kind="report")
+            engine.wait_for(job.job_id, timeout=60.0)
+        assert job.state == JobState.FAILED
+        assert "perfdb store" in job.error
+
+    def test_report_job_over_http(self, served):
+        engine, client = served
+        bench = client.submit(_tiny_matmul().to_dict(), tenant="web")
+        client.wait(bench["job_id"], timeout=60.0)
+        job = client.submit(_tiny_matmul().to_dict(), kind="report",
+                            tenant="web",
+                            params={"now": 0, "roofline": False,
+                                    "analyze": False})
+        done = client.wait(job["job_id"], timeout=60.0)
+        assert done["state"] == "done", done
+        assert done["result"]["report_html"].startswith("<!DOCTYPE html>")
+
+    def test_report_is_a_known_kind(self):
+        from repro.service.jobs import KINDS
+        from repro.service.runner import _EXECUTORS
+        assert "report" in KINDS
+        assert set(KINDS) == set(_EXECUTORS)
