@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""The dataflow tier, end to end: report -> fix -> better static placement.
+
+Nothing here runs a kernel at full size.  The abstract interpreter
+(`repro.analyze.dataflow`) walks each variant's AST over a tiny
+fixed-seed probe, propagating shapes/dtypes/contiguity and charging
+*moved* traffic — every temporary and re-read, not just the compulsory
+footprint — to the statement that caused it.  This script replays two
+real fixes that landed in `repro.kernels`, keeping the pre-fix bodies
+alive locally as the "before" variants:
+
+    1. spmv.csr_numpy — L009 (copy-index): the gather `x[a.indices]`
+       already produces a fresh array, so multiplying it into *another*
+       fresh array allocates a second nnz-sized buffer for nothing.
+       Fix: scale the gather in place.
+    2. fft.vectorized — L007 (hidden-temp-chain) in the bit-reversal
+       helper (three dying temporaries per bit) plus an L009 `.copy()`
+       of a gather that is already a copy.  Fix: one reused scratch
+       buffer and no redundant copy.
+
+For each, the script prints the findings and the per-statement traffic
+table for the "before" body, then compares both versions' static
+estimates.  The two fixes improve *different* columns, and the tier
+separates them honestly: the spmv fix eliminates a full-size temporary
+allocation (same bytes moved — in-place writes the same cells, but one
+malloc-and-page-touch disappears), while the fft fix removes genuinely
+moved bytes, so its arithmetic intensity — and static roofline
+placement — improves.
+
+Run:  python examples/static_dataflow.py
+"""
+
+import inspect
+
+import numpy as np
+
+from repro.analyze.dataflow import dataflow_estimate, dataflow_variant
+from repro.analyze.workcount import default_probes
+from repro.kernels import REGISTRY
+from repro.kernels.base import KernelVariant
+from repro.machine import generic_server_cpu
+from repro.roofline import AppPoint, cpu_roofline
+
+
+# -- the pre-fix bodies, preserved verbatim ---------------------------------
+
+def spmv_csr_before(a, x):
+    """CSR SpMV as first written: gather feeding a second fresh array."""
+    if a.nnz == 0:
+        return np.zeros(a.shape[0])
+    products = x[a.indices] * a.data
+    y = np.zeros(a.shape[0])
+    lengths = a.row_lengths()
+    nonempty = np.nonzero(lengths)[0]
+    if nonempty.size:
+        starts = a.indptr[nonempty]
+        y[nonempty] = np.add.reduceat(products, starts)
+    return y
+
+
+def bit_reverse_before(n):
+    """Bit-reversal permutation: three dying temporaries per bit."""
+    bits = int(np.log2(n))
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    return rev
+
+
+def fft_vectorized_before(x):
+    """Stage-vectorized FFT copying a gather that is already fresh."""
+    x = np.asarray(x, dtype=complex)
+    n = x.size
+    out = x[bit_reverse_before(n)].copy()
+    size = 2
+    while size <= n:
+        half = size // 2
+        tw = np.exp(-2j * np.pi * np.arange(half) / size)
+        blocks = out.reshape(n // size, size)
+        lo = blocks[:, :half]
+        hi = blocks[:, half:] * tw
+        blocks[:, :half], blocks[:, half:] = lo + hi, lo - hi
+        size *= 2
+    return out
+
+
+def _variant(kernel, name, fn):
+    shipped_work = REGISTRY.variants_of(kernel)[0].work
+    return KernelVariant(kernel=kernel, name=name, fn=fn, work=shipped_work)
+
+
+def _probe_args(kernel, name):
+    # probe builders dispatch on the variant name (csr/csc/coo formats, ...)
+    return default_probes()[kernel].build(name)[0]
+
+
+def _statement_table(fn, est):
+    lines = inspect.getsource(fn).splitlines()
+    print(f"  {'line':>4s}  {'flops':>7s} {'moved ld':>9s} {'moved st':>9s} "
+          f"{'temps':>5s}  source")
+    for s in est.statements:
+        if not (s.flops or s.loads_bytes or s.stores_bytes or s.temp_allocs):
+            continue
+        src = lines[s.lineno - 1].strip() if s.lineno <= len(lines) else "?"
+        print(f"  {s.lineno:4d}  {s.flops:7.0f} {s.loads_bytes:9.0f} "
+              f"{s.stores_bytes:9.0f} {s.temp_allocs:5d}  {src[:48]}")
+
+
+def walk(kernel, before_fn, after_variant):
+    before = _variant(kernel, f"{after_variant.name}_before", before_fn)
+    args_before = _probe_args(kernel, before.name)
+    args_after = _probe_args(kernel, after_variant.name)
+
+    print(f"== {kernel}.{after_variant.name}: before the fix " + "=" * 20)
+    for f in dataflow_variant(before):
+        if f.rule in ("L007", "L008", "L009", "L010"):
+            print(f"  {f}")
+    est_before, _ = dataflow_estimate(before, args_before)
+    _statement_table(before_fn, est_before)
+
+    est_after, _ = dataflow_estimate(after_variant, args_after)
+    print(f"\n  {'':8s} {'flops':>8s} {'moved bytes':>12s} {'footprint':>10s} "
+          f"{'temps':>6s} {'temp bytes':>10s} {'AI (F/B)':>9s}")
+    for label, est in (("before", est_before), ("after", est_after)):
+        print(f"  {label:8s} {est.flops:8.0f} {est.bytes_total:12.0f} "
+              f"{est.footprint_bytes:10.0f} {est.temp_allocs:6d} "
+              f"{est.temp_bytes:10.0f} {est.intensity:9.3f}")
+
+    # whatever the fix bought, it must not change the work itself
+    assert est_after.flops == est_before.flops
+
+    model = cpu_roofline(generic_server_cpu())
+    pts = [AppPoint.from_estimate(f"{kernel} {l} (static)", e)
+           for l, e in (("before", est_before), ("after", est_after))]
+    print(f"\n  static placement on {model.name}:")
+    for p in pts:
+        print(f"    {p.name:28s} AI {p.intensity:7.3f} F/B -> "
+              f"{model.attainable(p.intensity) / 1e9:7.1f} GF/s attainable")
+    print()
+    return est_before, est_after
+
+
+# -- 1. the L009 gather fix in spmv.csr_numpy -------------------------------
+
+spmv_after = REGISTRY.get("spmv", "csr_numpy")
+b, a = walk("spmv", spmv_csr_before, spmv_after)
+
+# an allocation win: in-place scaling writes the same cells (moved bytes
+# unchanged) but one full-size temporary disappears
+assert a.temp_allocs < b.temp_allocs
+assert a.temp_bytes < b.temp_bytes
+assert a.bytes_total == b.bytes_total
+
+# and the shipped (fixed) variant no longer fires any traffic rule
+assert not [f for f in dataflow_variant(spmv_after)
+            if f.rule in ("L007", "L008", "L009", "L010")
+            and f.severity == "warning"]
+
+# -- 2. the L007 temp-chain + L009 copy fix in fft.vectorized ---------------
+
+fft_after = REGISTRY.get("fft", "vectorized")
+b, a = walk("fft", fft_vectorized_before, fft_after)
+
+# a traffic win: the .copy() of an already-fresh gather moved real bytes,
+# so removing it raises the static intensity — the roofline point climbs
+assert a.bytes_total < b.bytes_total
+assert a.intensity > b.intensity
+assert a.temp_allocs < b.temp_allocs  # the scratch-buffer L007 fix, too
+
+# the redundant copy is gone; the butterfly's remaining temp chain is a
+# *declared* expectation (lint_expect), not an open warning
+after_findings = dataflow_variant(fft_after)
+assert not [f for f in after_findings if f.rule == "L009"]
+assert all(f.severity != "warning" for f in after_findings)
+
+print("both fixes verified: same flops, fewer temporaries, "
+      "and the fft point climbs the roofline")

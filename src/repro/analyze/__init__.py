@@ -1,11 +1,14 @@
 """Source-level static performance analysis for registered kernels.
 
-Three cooperating passes sweep every :class:`~repro.kernels.base.KernelVariant`
+Four cooperating passes sweep every :class:`~repro.kernels.base.KernelVariant`
 in the registry, entirely from source — no kernel is ever executed:
 
 * :mod:`repro.analyze.lint` — performance anti-pattern linter (``L*`` rules),
 * :mod:`repro.analyze.workcount` — AST work-count verifier cross-checking
   declared :class:`~repro.timing.metrics.WorkCount` models (``W*`` rules),
+* :mod:`repro.analyze.dataflow` — abstract-interpretation dataflow tier:
+  shapes, dtypes, moved traffic, temp lifetimes (``L007``–``L010``,
+  ``D*`` rules) plus the static-vs-dynamic cross-check,
 * :mod:`repro.analyze.hazards` — shared-memory hazard detector for chunked
   parallel workers (``H*`` rules).
 
@@ -13,6 +16,12 @@ in the registry, entirely from source — no kernel is ever executed:
 error-severity finding — the CI analysis gate.
 """
 
+from .dataflow import (DATAFLOW_LINT_RULES, DATAFLOW_RULES, DATAFLOW_SLUGS,
+                       DataflowEstimate, NotAnalyzable, StatementCost,
+                       check_transform_facts, crosscheck_registry,
+                       crosscheck_variant, dataflow_app_points,
+                       dataflow_estimate, dataflow_registry, dataflow_variant,
+                       estimate_dataflow_registry)
 from .hazards import (HAZARD_RULES, analyze_worker, find_workers,
                       hazards_registry, hazards_variant)
 from .lint import LINT_RULES, function_ast, lint_registry, lint_variant
@@ -27,6 +36,11 @@ __all__ = [
     "WORKCOUNT_RULES", "NotCountable", "WorkEstimate", "ProbeSpec",
     "default_probes", "estimate_variant", "estimate_registry",
     "verify_workcounts", "verify_variant", "static_app_points",
+    "DATAFLOW_RULES", "DATAFLOW_LINT_RULES", "DATAFLOW_SLUGS",
+    "NotAnalyzable", "DataflowEstimate", "StatementCost",
+    "dataflow_estimate", "dataflow_variant", "dataflow_registry",
+    "estimate_dataflow_registry", "crosscheck_variant", "crosscheck_registry",
+    "check_transform_facts", "dataflow_app_points",
     "HAZARD_RULES", "analyze_worker", "find_workers", "hazards_variant",
     "hazards_registry",
     "analyze_all",
@@ -34,9 +48,10 @@ __all__ = [
 
 
 def analyze_all(registry=None, kernel: str | None = None) -> AnalysisReport:
-    """Run all three passes and merge their findings into one report."""
+    """Run all four passes and merge their findings into one report."""
     report = AnalysisReport()
     report.extend(lint_registry(registry, kernel=kernel).findings)
     report.extend(verify_workcounts(registry, kernel=kernel).findings)
+    report.extend(dataflow_registry(registry, kernel=kernel).findings)
     report.extend(hazards_registry(registry, kernel=kernel).findings)
     return report

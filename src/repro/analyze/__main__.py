@@ -2,13 +2,18 @@
 
 Subcommands
 -----------
-``lint``       performance anti-pattern linter only
-``workcount``  work-count verifier only
-``hazards``    shared-memory hazard detector only
-``all``        every pass (the CI analysis gate)
+``lint``        performance anti-pattern linter only
+``workcount``   work-count verifier only
+``dataflow``    abstract-interpretation dataflow tier (L007–L010, D000/D002)
+``crosscheck``  static-vs-dynamic divergence check (D001)
+``hazards``     shared-memory hazard detector only
+``all``         every pass (the CI analysis gate)
 
 Exit status is 1 when any **error**-severity finding is present —
 warnings, info, and declared-expected findings never fail the gate.
+With ``--check``, unsuppressed **warnings** also fail (the strict CI
+``dataflow-gate`` mode: a new temp chain or silent upcast must either be
+fixed or declared via ``lint_expect``).
 """
 
 from __future__ import annotations
@@ -16,12 +21,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import (analyze_all, hazards_registry, lint_registry,
-               verify_workcounts)
+from . import (analyze_all, crosscheck_registry, dataflow_registry,
+               hazards_registry, lint_registry, verify_workcounts)
 
 _PASSES = {
     "lint": lambda kernel: lint_registry(kernel=kernel),
     "workcount": lambda kernel: verify_workcounts(kernel=kernel),
+    "dataflow": lambda kernel: dataflow_registry(kernel=kernel),
+    "crosscheck": lambda kernel: crosscheck_registry(kernel=kernel),
     "hazards": lambda kernel: hazards_registry(kernel=kernel),
     "all": lambda kernel: analyze_all(kernel=kernel),
 }
@@ -40,6 +47,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="emit the report as JSON instead of text")
     parser.add_argument("--show-expected", action="store_true",
                         help="also list findings declared via lint_expect")
+    parser.add_argument("--check", action="store_true",
+                        help="strict mode: unsuppressed warnings also fail")
     args = parser.parse_args(argv)
 
     try:
@@ -52,7 +61,8 @@ def main(argv: list[str] | None = None) -> int:
         print(report.to_json())
     else:
         print(report.render_text(show_expected=args.show_expected))
-    return 0 if report.ok else 1
+    ok = report.ok and not (args.check and report.by_severity("warning"))
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,910 @@
+"""Abstract-interpretation dataflow tier: shapes, dtypes, traffic — statically.
+
+The shadow interpreter (:mod:`repro.analyze.workcount`) answers *"does the
+declared model match the source?"* by replaying a variant on a concrete
+probe and counting compulsory (unique-cell) traffic.  This tier asks the
+deeper static questions the course's modeling assignments pose *before*
+anything is measured:
+
+* what **shape and dtype** does every intermediate have (NumPy promotion
+  rules included), given only the probe metadata?
+* how many **bytes actually move** — every load, every store, every hidden
+  temporary — not just the compulsory footprint?
+* which statements **allocate-and-drop temporaries**, silently widen a
+  float operand, force a copy through fancy indexing, or blow a broadcast
+  up far past its operands?
+
+The interpreter is a *hybrid* abstract domain over the same cell-id
+machinery as the shadow pass: integer/boolean payloads stay concrete (loop
+bounds, index structure and shapes resolve exactly from probe metadata),
+while float/complex payloads are treated as **abstract** — their values may
+flow through arithmetic, but any attempt to let them steer the analysis
+(branching on a float comparison, indexing with data-derived values,
+``int()``-laundering a float into a loop bound) refuses with a ``D000``
+rather than guessing.  Because every footprint charge is inherited
+unchanged from the shadow interpreter, the static-vs-dynamic cross-check
+(``D001``) holds *by construction* wherever both tiers cover a variant —
+exactly the property the stale-model detector needs.
+
+Two traffic models come out of one pass:
+
+``footprint``
+    Unique cells touched — the shadow interpreter's compulsory-traffic
+    number, used for the W001/D001 cross-checks.
+``moved``
+    Every element read or written, temporaries and re-reads included — the
+    pessimistic no-cache-reuse bound.  This is what
+    :func:`dataflow_app_points` feeds the roofline: a chain of hidden
+    temporaries now *lowers* a variant's static arithmetic intensity the
+    same way it lowers its measured one.
+
+Rules
+-----
+``L007`` hidden-temp-chain (warning)
+    A single statement allocates ≥2 temporary arrays that die inside it —
+    the ``out=`` / in-place opportunity, measured rather than pattern-matched.
+``L008`` silent-upcast (warning)
+    An operation widens a float/complex operand (e.g. float32 ⊕ float64 →
+    float64), doubling traffic for every downstream consumer.
+``L009`` copy-index (warning)
+    A fancy-index gather / ``.copy()`` / non-contiguous reshape /
+    ``np.ascontiguousarray`` pattern forces an avoidable full copy.
+``L010`` broadcast-blowup (warning)
+    An elementwise result is ≥4x larger than every array operand —
+    broadcasting materialized something no operand holds.
+``D000`` not-analyzable (info)
+    The source escapes the abstract domain (opaque calls, ``with``,
+    control flow on abstract float data).
+``D001`` static-divergence (error)
+    Dataflow and shadow-interpreter estimates disagree by ≥2x — one of the
+    two static tiers is stale.  ``dataflow_expect`` metadata downgrades to
+    info with the recorded reason.
+``D002`` no-probe (info)
+    No probe spec for the variant's kernel family.
+
+Precision boundary: integer results of opaque native calls over float data
+(``np.argmax`` and friends) are trusted as structure.  This is a deliberate
+precision/soundness trade — the cross-check against the shadow interpreter
+still holds exactly, but such a variant's estimate is probe-dependent.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..observe import get_tracer
+from .lint import _select
+from .report import AnalysisReport, Finding
+from .workcount import (_BUILTIN_HANDLERS, _STRIDE, _UFUNC_KIND, _Interp,
+                        _Return, _ratio, NotCountable, ProbeSpec, TrackedArray,
+                        default_probes, estimate_variant)
+
+__all__ = [
+    "NotAnalyzable",
+    "DATAFLOW_RULES",
+    "DATAFLOW_LINT_RULES",
+    "DATAFLOW_SLUGS",
+    "StatementCost",
+    "DataflowEstimate",
+    "dataflow_estimate",
+    "dataflow_variant",
+    "dataflow_registry",
+    "estimate_dataflow_registry",
+    "crosscheck_variant",
+    "crosscheck_registry",
+    "check_transform_facts",
+    "dataflow_app_points",
+]
+
+#: rule id -> (slug, default severity, summary)
+DATAFLOW_RULES = {
+    "L007": ("hidden-temp-chain", "warning",
+             "statement allocates and drops multiple temporary arrays"),
+    "L008": ("silent-upcast", "warning",
+             "operation silently widens a float/complex operand"),
+    "L009": ("copy-index", "warning",
+             "fancy-index/transpose pattern forces an avoidable copy"),
+    "L010": ("broadcast-blowup", "warning",
+             "broadcast result dwarfs every array operand"),
+    "D000": ("not-analyzable", "info",
+             "variant source escapes the abstract interpreter"),
+    "D001": ("static-divergence", "error",
+             "dataflow and shadow-interpreter estimates disagree"),
+    "D002": ("no-probe", "info",
+             "no probe spec for this kernel family; variant skipped"),
+}
+
+#: the lint-style rule ids this tier owns (registered in LINT_RULES too so
+#: lint_expect metadata recognizes their slugs, but fired only from here)
+DATAFLOW_LINT_RULES = frozenset({"L007", "L008", "L009", "L010"})
+
+#: slugs of the dataflow-owned lint rules, for lint_expect bookkeeping
+DATAFLOW_SLUGS = frozenset(
+    DATAFLOW_RULES[r][0] for r in DATAFLOW_LINT_RULES)
+
+
+class NotAnalyzable(NotCountable):
+    """The variant's behaviour depends on concrete float data values."""
+
+
+#: statement types that open a temp-lifetime window (leaf statements — the
+#: only ones per-statement costs are attributed to)
+_SIMPLE_STMTS = (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Return)
+
+
+@dataclass
+class _TempRec:
+    """Lifetime record of one ephemeral (compiler-temporary) allocation."""
+
+    base: int
+    size: int
+    nbytes: float
+    copy_kind: str | None = None   # "gather" / "copy" when a forced copy
+    named: bool = False            # bound to a name / escaped via return
+    consumed: bool = False         # ever loaded by a later operation
+
+
+@dataclass(frozen=True)
+class StatementCost:
+    """Per-statement cost attribution (source span of the variant body)."""
+
+    lineno: int
+    col: int
+    end_lineno: int
+    flops: float = 0.0
+    int_ops: float = 0.0
+    loads_bytes: float = 0.0
+    stores_bytes: float = 0.0
+    temp_allocs: int = 0
+    temp_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class DataflowEstimate:
+    """Statically derived facts for one variant on one probe input.
+
+    ``bytes_total`` is the **moved** traffic (every element read/written,
+    temporaries included) so the estimate duck-types as a work model for
+    :meth:`repro.roofline.model.AppPoint.from_estimate`; the compulsory
+    footprint the W001/D001 cross-checks compare against is kept separately.
+    """
+
+    variant: str
+    analyzable: bool
+    flops: float = 0.0
+    int_ops: float = 0.0
+    footprint_loads_bytes: float = 0.0
+    footprint_stores_bytes: float = 0.0
+    moved_loads_bytes: float = 0.0
+    moved_stores_bytes: float = 0.0
+    temp_allocs: int = 0
+    temp_bytes: float = 0.0
+    result_dtype: str = ""
+    result_shape: tuple = ()
+    dim_bindings: tuple = ()
+    statements: tuple = ()
+    reason: str = ""
+
+    @property
+    def footprint_bytes(self) -> float:
+        return self.footprint_loads_bytes + self.footprint_stores_bytes
+
+    @property
+    def bytes_total(self) -> float:
+        """Moved bytes — the roofline-facing traffic number."""
+        return self.moved_loads_bytes + self.moved_stores_bytes
+
+    @property
+    def intensity(self) -> float:
+        """FLOP per *moved* byte — the pessimistic no-reuse intensity."""
+        if self.bytes_total <= 0:
+            return float("inf")
+        return self.flops / self.bytes_total
+
+    @property
+    def footprint_intensity(self) -> float:
+        """FLOP per compulsory byte — the optimistic perfect-cache bound."""
+        if self.footprint_bytes <= 0:
+            return float("inf")
+        return self.flops / self.footprint_bytes
+
+
+def _is_abstract_scalar(value) -> bool:
+    return isinstance(value, (float, complex, np.floating, np.complexfloating))
+
+
+def _component_bytes(dtype) -> int:
+    """Itemsize per real component (complex128 -> 8, float32 -> 4)."""
+    return dtype.itemsize // (2 if dtype.kind == "c" else 1)
+
+
+class _DataflowInterp(_Interp):
+    """Hybrid abstract interpreter layered over the concrete shadow pass.
+
+    Inherits every footprint charge unchanged (the D001 cross-check holds
+    by construction) and adds: moved-traffic accounting, temp lifetimes,
+    per-statement attribution, float-data taint with refusal on abstract
+    control flow, and the L007–L010 rule evidence.
+    """
+
+    def __init__(self, fuel: int = 3_000_000):
+        super().__init__(fuel)
+        self.moved_loads = 0.0
+        self.moved_stores = 0.0
+        self.temp_allocs = 0
+        self.temp_bytes = 0.0
+        self._temps: list[_TempRec] = []
+        self._temp_recs: dict[int, _TempRec] = {}
+        self._tainted: set[int] = set()     # bases holding abstract data
+        self._evidence: list[tuple[str, int, int, int, str]] = []
+        self._evi_seen: set[tuple[str, int]] = set()
+        self._fn_stack: list[str] = []
+        self._via: str | None = None
+        self._anchor = (0, 0, 0)
+        self._stmt: dict[tuple, list] = {}
+        self._charge_fresh = True
+
+    # -- evidence -----------------------------------------------------------
+
+    def _evi(self, rule: str, message: str, anchor: tuple | None = None) -> None:
+        lineno, col, end = anchor if anchor is not None else self._anchor
+        key = (rule, lineno)
+        if key in self._evi_seen:
+            return
+        self._evi_seen.add(key)
+        if self._via:
+            message = f"(via {self._via}) {message}"
+        self._evidence.append((rule, lineno, col, end, message))
+
+    # -- taint --------------------------------------------------------------
+
+    def _taint_from(self, result, operands) -> None:
+        if isinstance(result, TrackedArray) and any(
+                isinstance(o, TrackedArray) and o.meta.base in self._tainted
+                for o in operands):
+            self._tainted.add(result.meta.base)
+
+    def _taint_result(self, value) -> None:
+        if isinstance(value, TrackedArray):
+            self._tainted.add(value.meta.base)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._taint_result(item)
+
+    def _any_tainted(self, values) -> bool:
+        for value in values:
+            if isinstance(value, TrackedArray):
+                if value.meta.base in self._tainted:
+                    return True
+            elif isinstance(value, (list, tuple)):
+                if self._any_tainted(value):
+                    return True
+        return False
+
+    # -- allocation / traffic ----------------------------------------------
+
+    def wrap(self, obj: np.ndarray) -> TrackedArray:
+        prev = self._charge_fresh
+        self._charge_fresh = False  # inputs are not materialized by the kernel
+        try:
+            arr = super().wrap(obj)
+        finally:
+            self._charge_fresh = prev
+        if arr.dtype.kind in "fc":
+            self._tainted.add(arr.meta.base)  # input float data is abstract
+        return arr
+
+    def _fresh(self, data, ephemeral: bool) -> TrackedArray:
+        arr = super()._fresh(data, ephemeral)
+        if self._charge_fresh:
+            nbytes = float(arr.size * arr.meta.itemsize)
+            self.moved_stores += nbytes  # materializing the buffer is traffic
+            self._stmt_charge(3, nbytes)
+            if ephemeral and arr.size > 1:
+                rec = _TempRec(base=arr.meta.base, size=arr.size, nbytes=nbytes)
+                self._temp_recs[arr.meta.base] = rec
+                self._temps.append(rec)
+                self.temp_allocs += 1
+                self.temp_bytes += nbytes
+        return arr
+
+    def _load_ids(self, ids, ephemeral: bool) -> None:
+        flat = np.asarray(ids).ravel()
+        if flat.size:
+            base = int(flat[0]) // _STRIDE
+            nbytes = float(flat.size * self.itemsize[base])
+            self.moved_loads += nbytes
+            self._stmt_charge(2, nbytes)
+            rec = self._temp_recs.get(base)
+            if rec is not None:
+                rec.consumed = True
+        super()._load_ids(ids, ephemeral)
+
+    def _store_ids(self, ids, ephemeral: bool) -> None:
+        flat = np.asarray(ids).ravel()
+        if flat.size:
+            base = int(flat[0]) // _STRIDE
+            self.moved_stores += float(flat.size * self.itemsize[base])
+            self._stmt_charge(3, float(flat.size * self.itemsize[base]))
+        super()._store_ids(ids, ephemeral)
+
+    # -- statement attribution ----------------------------------------------
+
+    def _row(self, anchor) -> list:
+        # [flops, int_ops, loads_bytes, stores_bytes, temp_allocs, temp_bytes]
+        return self._stmt.setdefault(anchor, [0.0, 0.0, 0.0, 0.0, 0, 0.0])
+
+    def _stmt_charge(self, index: int, amount: float) -> None:
+        if self._anchor != (0, 0, 0):
+            self._row(self._anchor)[index] += amount
+
+    def _exec(self, node, env) -> None:
+        if len(self._fn_stack) != 1 or not hasattr(node, "lineno"):
+            super()._exec(node, env)  # helper frame: keep the caller's anchor
+            return
+        anchor = (node.lineno, node.col_offset,
+                  getattr(node, "end_lineno", None) or node.lineno)
+        prev = self._anchor
+        self._anchor = anchor
+        simple = isinstance(node, _SIMPLE_STMTS)
+        if simple:
+            snap = (self.flops, self.int_ops)
+            mark = len(self._temps)
+        try:
+            super()._exec(node, env)
+        finally:
+            self._anchor = prev
+            if simple:
+                row = self._row(anchor)
+                row[0] += self.flops - snap[0]
+                row[1] += self.int_ops - snap[1]
+                self._close_window(anchor, mark)
+
+    def _close_window(self, anchor, mark: int) -> None:
+        """L007: ≥2 temporaries born and dropped inside one statement."""
+        dying = [r for r in self._temps[mark:]
+                 if r.size > 1 and r.consumed and not r.named]
+        row = self._row(anchor)
+        row[4] += len(self._temps) - mark
+        if len(dying) >= 2:
+            nbytes = int(sum(r.nbytes for r in dying))
+            self._evi(
+                "L007",
+                f"{len(dying)} temporary arrays ({nbytes} bytes) are "
+                f"allocated and dropped inside one statement; chain the "
+                f"operations through out=/in-place updates instead",
+                anchor=anchor)
+        row[5] += sum(r.nbytes for r in self._temps[mark:])
+
+    def _call_user(self, user, args: tuple, kwargs: dict):
+        self._fn_stack.append(user.name)
+        prev_via = self._via
+        if len(self._fn_stack) == 2:  # first frame below the variant itself
+            self._via = user.name
+        try:
+            return super()._call_user(user, args, kwargs)
+        finally:
+            self._fn_stack.pop()
+            self._via = prev_via
+
+    def _exec_Return(self, node, env) -> None:
+        try:
+            super()._exec_Return(node, env)
+        except _Return as ret:
+            self._mark_named(ret.value)  # the result escapes: not a dying temp
+            raise
+
+    # -- naming -------------------------------------------------------------
+
+    def _mark_named(self, value) -> None:
+        if isinstance(value, TrackedArray):
+            rec = self._temp_recs.get(value.meta.base)
+            if rec is not None:
+                rec.named = True
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._mark_named(item)
+
+    def _assign_target(self, target, value, env) -> None:
+        if isinstance(target, ast.Name):
+            self._mark_named(value)
+        super()._assign_target(target, value, env)
+
+    # -- abstract-data refusals ---------------------------------------------
+
+    def _truth(self, value) -> bool:
+        if _is_abstract_scalar(value):
+            raise NotAnalyzable(
+                "branch on abstract float data — the outcome depends on "
+                "concrete values the abstract domain does not carry")
+        return super()._truth(value)
+
+    def _compare(self, op_node, left, right):
+        if (not isinstance(op_node, (ast.Is, ast.IsNot, ast.In, ast.NotIn))
+                and not isinstance(left, TrackedArray)
+                and not isinstance(right, TrackedArray)
+                and (_is_abstract_scalar(left) or _is_abstract_scalar(right))):
+            raise NotAnalyzable(
+                "scalar comparison on abstract float data — the result "
+                "could steer control flow")
+        arrays = [o for o in (left, right) if isinstance(o, TrackedArray)]
+        result = super()._compare(op_node, left, right)
+        if isinstance(result, TrackedArray):
+            self._taint_from(result, arrays)
+            self._rule_checks(result, arrays, "int")
+        return result
+
+    def _iterate(self, value):
+        if (isinstance(value, TrackedArray) and value.ndim == 1
+                and value.meta.base in self._tainted
+                and value.dtype.kind not in "fc"):
+            raise NotAnalyzable(
+                "iteration over integer data derived from float values")
+        return super()._iterate(value)
+
+    def _realize_key(self, key):
+        self._check_key_taint(key)
+        return super()._realize_key(key)
+
+    def _check_key_taint(self, key) -> None:
+        if isinstance(key, (tuple, list)):
+            for sub in key:
+                self._check_key_taint(sub)
+        elif isinstance(key, TrackedArray) and key.meta.base in self._tainted:
+            raise NotAnalyzable(
+                "data-dependent indexing: the index derives from abstract "
+                "float data, so the access pattern is not static")
+
+    # -- operation hooks (taint propagation + rule evidence) -----------------
+
+    def _rule_checks(self, result: TrackedArray, arrays: list, kind: str) -> None:
+        for operand in arrays:
+            rec = self._temp_recs.get(operand.meta.base)
+            if rec is not None and rec.copy_kind == "gather" and not rec.named:
+                self._evi(
+                    "L009",
+                    "a fancy-index gather is consumed unnamed by a fresh "
+                    "allocation; bind the gather once and update it in "
+                    "place (*=, +=) or index into a preallocated buffer")
+        if result.dtype.kind in "fc":
+            res_comp = _component_bytes(result.dtype)
+            for operand in arrays:
+                if operand.dtype.kind in "fc" and \
+                        _component_bytes(operand.dtype) < res_comp:
+                    self._evi(
+                        "L008",
+                        f"{operand.dtype} operand is silently upcast to a "
+                        f"{result.dtype} result — every downstream consumer "
+                        f"pays the widened traffic; cast inputs once or use "
+                        f"dtype-preserving ops")
+                    break
+        if kind != "matmul" and arrays:
+            biggest = max(a.size for a in arrays)
+            if result.size >= 32 and result.size >= 4 * biggest:
+                self._evi(
+                    "L010",
+                    f"broadcast materializes a {result.size}-element result "
+                    f"from operands of at most {biggest} elements; restructure "
+                    f"to reduce before (or while) broadcasting")
+
+    def _array_binop(self, kind, op, left, right):
+        arrays = [o for o in (left, right) if isinstance(o, TrackedArray)]
+        result = super()._array_binop(kind, op, left, right)
+        self._taint_from(result, arrays)
+        self._rule_checks(result, arrays, kind)
+        return result
+
+    def _getitem(self, arr: TrackedArray, key):
+        result = super()._getitem(arr, key)
+        if isinstance(result, TrackedArray):
+            if result.meta is not arr.meta:  # fancy gather: a forced copy
+                rec = self._temp_recs.get(result.meta.base)
+                if rec is not None:
+                    rec.copy_kind = "gather"
+                self._taint_from(result, [arr])
+            return result
+        if arr.meta.base in self._tainted and arr.dtype.kind not in "fc":
+            raise NotAnalyzable(
+                "scalar read of integer data derived from float values")
+        return result
+
+    def _setitem(self, arr: TrackedArray, key, value) -> None:
+        super()._setitem(arr, key, value)
+        if isinstance(value, TrackedArray):
+            self._taint_from(arr, [value])
+
+    def _inplace(self, arr: TrackedArray, key, kind, op, rhs) -> None:
+        super()._inplace(arr, key, kind, op, rhs)
+        if isinstance(rhs, TrackedArray):
+            self._taint_from(arr, [rhs])
+
+    def _call_ufunc(self, uf: np.ufunc, args: tuple, kwargs: dict):
+        out = kwargs.get("out")
+        arrays = [a for a in args if isinstance(a, TrackedArray)]
+        result = super()._call_ufunc(uf, args, kwargs)
+        if isinstance(result, TrackedArray):
+            self._taint_from(result, arrays)
+            if result is not out:
+                self._rule_checks(result, arrays,
+                                  _UFUNC_KIND.get(uf.__name__, "mul"))
+        return result
+
+    def _call_ufunc_method(self, method, args, kwargs):
+        result = super()._call_ufunc_method(method, args, kwargs)
+        if method.name == "at" and args and isinstance(args[0], TrackedArray):
+            self._taint_from(args[0], list(args[1:]))
+        elif isinstance(result, TrackedArray):
+            self._taint_from(result, list(args))
+        return result
+
+    def _call_tracked_method(self, method, args, kwargs):
+        arr, name = method.arr, method.name
+        src_rec = self._temp_recs.get(arr.meta.base)
+        if name == "copy" and src_rec is not None and not src_rec.named \
+                and src_rec.copy_kind == "gather":
+            self._evi(
+                "L009",
+                "fancy indexing already materializes a fresh array; the "
+                "extra .copy() doubles the traffic — drop it")
+        if name in ("reshape", "ravel"):
+            try:
+                if not np.shares_memory(arr.data, arr.data.reshape(-1)):
+                    self._evi(
+                        "L009",
+                        f".{name}() on a non-contiguous (e.g. transposed) "
+                        f"array silently copies the whole buffer; make the "
+                        f"operand contiguous once, outside the hot path")
+            except Exception:
+                pass
+        result = super()._call_tracked_method(method, args, kwargs)
+        if isinstance(result, TrackedArray):
+            self._taint_from(result, [arr])
+            if name == "copy":
+                rec = self._temp_recs.get(result.meta.base)
+                if rec is not None:
+                    rec.copy_kind = "copy"
+        elif name in ("item", "min", "max", "sum", "mean") \
+                and arr.meta.base in self._tainted \
+                and arr.dtype.kind not in "fc":
+            raise NotAnalyzable(
+                "scalar reduction of integer data derived from float values")
+        return result
+
+    def _call(self, callee, args: tuple, kwargs: dict):
+        if callee in (int, round, bool) and args:
+            if _is_abstract_scalar(args[0]):
+                raise NotAnalyzable(
+                    f"{callee.__name__}() on abstract float data would "
+                    f"launder values into control flow or shapes")
+            if isinstance(args[0], TrackedArray) \
+                    and args[0].meta.base in self._tainted:
+                raise NotAnalyzable(
+                    f"{callee.__name__}() on data derived from float values")
+        if callee is np.ascontiguousarray and args \
+                and isinstance(args[0], TrackedArray) \
+                and not args[0].data.flags["C_CONTIGUOUS"]:
+            self._evi(
+                "L009",
+                "np.ascontiguousarray on a non-contiguous view copies the "
+                "whole buffer; keep the hot operand contiguous instead")
+        result = super()._call(callee, args, kwargs)
+        if callee not in _BUILTIN_HANDLERS and (
+                self._any_tainted(args)
+                or self._any_tainted(tuple(kwargs.values()))):
+            self._taint_result(result)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def _describe_args(fn, fn_args) -> tuple:
+    """Human-readable symbolic-dimension bindings from probe metadata."""
+    try:
+        params = list(inspect.signature(fn).parameters)
+    except (TypeError, ValueError):
+        params = [f"arg{i}" for i in range(len(fn_args))]
+    out = []
+    for name, value in zip(params, fn_args):
+        if isinstance(value, np.ndarray):
+            dims = "x".join(str(d) for d in value.shape)
+            out.append(f"{name}: {value.dtype}[{dims}]")
+        elif isinstance(value, (bool, int, float, str)):
+            out.append(f"{name} = {value!r}")
+        else:
+            out.append(f"{name}: {type(value).__name__}")
+    return tuple(out)
+
+
+def dataflow_estimate(variant, fn_args: tuple):
+    """Abstractly interpret one variant over probe args; never executes it.
+
+    Returns ``(DataflowEstimate, evidence)`` where ``evidence`` is a list
+    of ``(rule, lineno, col, end_lineno, message)`` tuples for the
+    L007–L010 rules.  A refusal (``D000`` material) yields an estimate
+    with ``analyzable=False`` and the reason, plus empty evidence.
+    """
+    interp = _DataflowInterp()
+    qname = variant.qualified_name
+    bindings = _describe_args(variant.fn, fn_args)
+    try:
+        ret = interp.run(variant.fn, tuple(fn_args))
+        interp._mark_named(ret)
+        interp.charge_output(ret)
+    except NotCountable as exc:
+        return (DataflowEstimate(variant=qname, analyzable=False,
+                                 reason=str(exc), dim_bindings=bindings), [])
+    except RecursionError:
+        return (DataflowEstimate(variant=qname, analyzable=False,
+                                 reason="interpreter recursion limit",
+                                 dim_bindings=bindings), [])
+    dtype, shape = "", ()
+    if isinstance(ret, TrackedArray):
+        dtype, shape = str(ret.dtype), tuple(ret.shape)
+    statements = tuple(
+        StatementCost(lineno=a[0], col=a[1], end_lineno=a[2],
+                      flops=row[0], int_ops=row[1],
+                      loads_bytes=row[2], stores_bytes=row[3],
+                      temp_allocs=row[4], temp_bytes=row[5])
+        for a, row in sorted(interp._stmt.items()))
+    est = DataflowEstimate(
+        variant=qname, analyzable=True,
+        flops=interp.flops, int_ops=interp.int_ops,
+        footprint_loads_bytes=interp._bytes(interp.loaded),
+        footprint_stores_bytes=interp._bytes(interp.stored),
+        moved_loads_bytes=interp.moved_loads,
+        moved_stores_bytes=interp.moved_stores,
+        temp_allocs=interp.temp_allocs, temp_bytes=interp.temp_bytes,
+        result_dtype=dtype, result_shape=shape,
+        dim_bindings=bindings, statements=statements)
+    return est, list(interp._evidence)
+
+
+def _probe_args(variant, probes):
+    """Build fresh probe args for ``variant`` or a D002/skip marker."""
+    spec = probes.get(variant.kernel)
+    if spec is None:
+        return None, Finding(
+            rule="D002", slug="no-probe", severity="info",
+            variant=variant.qualified_name, source="dataflow",
+            message=f"no probe spec for kernel {variant.kernel!r}; skipped")
+    try:
+        fn_args, _ = spec.build(variant.name)
+    except NotCountable as exc:
+        return None, Finding(
+            rule="D002", slug="no-probe", severity="info",
+            variant=variant.qualified_name, source="dataflow",
+            message=str(exc))
+    return fn_args, None
+
+
+def dataflow_variant(variant,
+                     probes: Mapping[str, ProbeSpec] | None = None) -> list[Finding]:
+    """Dataflow findings (L007–L010, D000/D002) for one variant."""
+    if probes is None:
+        probes = default_probes()
+    qname = variant.qualified_name
+    fn_args, skip = _probe_args(variant, probes)
+    if skip is not None:
+        return [skip]
+    est, evidence = dataflow_estimate(variant, fn_args)
+    if not est.analyzable:
+        return [Finding(
+            rule="D000", slug="not-analyzable", severity="info",
+            variant=qname, source="dataflow",
+            message=f"not statically analyzable: {est.reason}")]
+    expected = set(getattr(variant, "lint_expect", ()) or ()) & DATAFLOW_SLUGS
+    findings, fired = [], set()
+    for rule, lineno, col, end_lineno, message in evidence:
+        slug, severity, _ = DATAFLOW_RULES[rule]
+        fired.add(slug)
+        if slug in expected:
+            severity = "expected"
+        findings.append(Finding(
+            rule=rule, slug=slug, severity=severity, variant=qname,
+            message=message, source="dataflow",
+            lineno=lineno, col=col, end_lineno=end_lineno))
+    for slug in sorted(expected - fired):
+        findings.append(Finding(
+            rule="L000", slug="stale-expect", severity="info",
+            variant=qname, source="dataflow",
+            message=(f"lint_expect declares {slug!r} but the dataflow rule "
+                     f"no longer fires; drop the stale expectation")))
+    return findings
+
+
+def dataflow_registry(registry=None,
+                      kernel: str | None = None,
+                      probes: Mapping[str, ProbeSpec] | None = None) -> AnalysisReport:
+    """Run the dataflow pass over every registered variant."""
+    if registry is None:
+        from ..kernels import REGISTRY as registry  # populates the registry
+    if probes is None:
+        probes = default_probes()
+    tracer = get_tracer()
+    report = AnalysisReport()
+    variants = _select(registry, kernel)
+    with tracer.span("analyze.dataflow", category="analyze",
+                     variants=len(variants)):
+        for variant in variants:
+            found = dataflow_variant(variant, probes)
+            report.extend(found)
+            tracer.count("analyze.dataflow_findings", len(found))
+    return report
+
+
+def estimate_dataflow_registry(registry=None,
+                               probes: Mapping[str, ProbeSpec] | None = None,
+                               kernel: str | None = None) -> dict[str, DataflowEstimate]:
+    """Dataflow estimates for every (probed) registered variant."""
+    if registry is None:
+        from ..kernels import REGISTRY as registry  # populates the registry
+    if probes is None:
+        probes = default_probes()
+    out: dict[str, DataflowEstimate] = {}
+    for variant in _select(registry, kernel):
+        fn_args, skip = _probe_args(variant, probes)
+        if fn_args is None:
+            if skip is not None and skip.rule == "D002" \
+                    and "no probe spec" in skip.message:
+                continue
+            out[variant.qualified_name] = DataflowEstimate(
+                variant=variant.qualified_name, analyzable=False,
+                reason=skip.message if skip is not None else "probe build failed")
+            continue
+        out[variant.qualified_name], _ = dataflow_estimate(variant, fn_args)
+    return out
+
+
+def crosscheck_variant(variant,
+                       probes: Mapping[str, ProbeSpec] | None = None,
+                       tolerance: float = 2.0) -> list[Finding]:
+    """D001: compare the dataflow estimate against the shadow interpreter.
+
+    Both tiers replay the same fixed-seed probe (built twice, so neither
+    run sees the other's mutations).  FLOPs and *compulsory footprint*
+    bytes must agree within ``tolerance``; a coverage mismatch (one tier
+    refuses where the other counts) is advisory, not gating.
+    ``dataflow_expect`` metadata downgrades a divergence to info.
+    """
+    if probes is None:
+        probes = default_probes()
+    qname = variant.qualified_name
+    args_shadow, skip = _probe_args(variant, probes)
+    if skip is not None:
+        return [skip]
+    args_dataflow, _ = _probe_args(variant, probes)
+    shadow = estimate_variant(variant, args_shadow)
+    est, _ = dataflow_estimate(variant, args_dataflow)
+    if not shadow.countable and not est.analyzable:
+        return []  # agreement on refusal; both passes already report it
+    if shadow.countable != est.analyzable:
+        wide, narrow = (("shadow", "dataflow") if shadow.countable
+                        else ("dataflow", "shadow"))
+        reason = est.reason if not est.analyzable else shadow.reason
+        return [Finding(
+            rule="D001", slug="static-divergence", severity="info",
+            variant=qname, source="dataflow",
+            message=(f"coverage mismatch: the {wide} tier counts this "
+                     f"variant but the {narrow} tier refuses ({reason})"))]
+    problems = []
+    if est.flops > 0 or shadow.flops > 0:
+        factor = _ratio(est.flops, shadow.flops)
+        if factor >= tolerance:
+            problems.append(
+                f"flops diverge {factor:.1f}x (dataflow {est.flops:.0f} "
+                f"vs shadow {shadow.flops:.0f})")
+    factor = _ratio(est.footprint_bytes, shadow.bytes_total)
+    if factor >= tolerance:
+        problems.append(
+            f"footprint bytes diverge {factor:.1f}x (dataflow "
+            f"{est.footprint_bytes:.0f} vs shadow {shadow.bytes_total:.0f})")
+    if not problems:
+        return []
+    expect = (variant.metadata or {}).get("dataflow_expect")
+    severity = "info" if expect else "error"
+    suffix = f" — declared expected: {expect}" if expect else ""
+    return [Finding(
+        rule="D001", slug="static-divergence", severity=severity,
+        variant=qname, source="dataflow",
+        message="; ".join(problems) + suffix)]
+
+
+def crosscheck_registry(registry=None,
+                        kernel: str | None = None,
+                        probes: Mapping[str, ProbeSpec] | None = None,
+                        tolerance: float = 2.0) -> AnalysisReport:
+    """Static-vs-dynamic cross-check over every registered variant."""
+    if registry is None:
+        from ..kernels import REGISTRY as registry  # populates the registry
+    if probes is None:
+        probes = default_probes()
+    tracer = get_tracer()
+    report = AnalysisReport()
+    variants = _select(registry, kernel)
+    with tracer.span("analyze.crosscheck", category="analyze",
+                     variants=len(variants)):
+        for variant in variants:
+            found = crosscheck_variant(variant, probes, tolerance)
+            report.extend(found)
+            tracer.count("analyze.crosscheck_findings", len(found))
+    return report
+
+
+def check_transform_facts(variant, auto,
+                          probes: Mapping[str, ProbeSpec] | None = None) -> list[Finding]:
+    """D001 findings when a rewrite changes statically derived result facts.
+
+    Used by :mod:`repro.transform` as an extra refusal check: a synthesized
+    ``auto_<rule>`` variant must preserve the original's result dtype and
+    shape as seen by the abstract domain (a dtype drift would silently
+    change traffic even when values still compare equal on the probe).
+    """
+    if probes is None:
+        probes = default_probes()
+    base_args, skip = _probe_args(variant, probes)
+    if skip is not None:
+        return []
+    auto_args, _ = _probe_args(auto, probes)
+    if auto_args is None:
+        return []
+    base_est, _ = dataflow_estimate(variant, base_args)
+    auto_est, _ = dataflow_estimate(auto, auto_args)
+    if not (base_est.analyzable and auto_est.analyzable):
+        return []
+    findings = []
+    if base_est.result_dtype != auto_est.result_dtype:
+        findings.append(Finding(
+            rule="D001", slug="static-divergence", severity="error",
+            variant=auto.qualified_name, source="dataflow",
+            message=(f"rewrite changed the result dtype: "
+                     f"{base_est.result_dtype or '<none>'} -> "
+                     f"{auto_est.result_dtype or '<none>'}")))
+    if base_est.result_shape != auto_est.result_shape:
+        findings.append(Finding(
+            rule="D001", slug="static-divergence", severity="error",
+            variant=auto.qualified_name, source="dataflow",
+            message=(f"rewrite changed the result shape: "
+                     f"{base_est.result_shape} -> {auto_est.result_shape}")))
+    return findings
+
+
+def dataflow_app_points(registry=None,
+                        probes: Mapping[str, ProbeSpec] | None = None,
+                        kernel: str | None = None) -> list:
+    """Roofline points from dataflow-derived *moved* traffic.
+
+    Prefers the dataflow estimate (moved bytes: temporaries and re-reads
+    included, so a temp-chained variant lands at a lower static intensity
+    than its ``out=`` twin); falls back to the shadow interpreter's
+    footprint estimate for variants the abstract domain refuses.
+    """
+    from ..roofline.model import AppPoint
+    if registry is None:
+        from ..kernels import REGISTRY as registry  # populates the registry
+    if probes is None:
+        probes = default_probes()
+    points = []
+    for variant in _select(registry, kernel):
+        fn_args, skip = _probe_args(variant, probes)
+        if fn_args is None:
+            continue
+        est, _ = dataflow_estimate(variant, fn_args)
+        qname = variant.qualified_name
+        if est.analyzable and est.flops > 0 and est.bytes_total > 0:
+            points.append(AppPoint.from_estimate(f"{qname} (static)", est))
+            continue
+        fn_args, _ = _probe_args(variant, probes)
+        if fn_args is None:
+            continue
+        shadow = estimate_variant(variant, fn_args)
+        if shadow.countable and shadow.flops > 0 and shadow.bytes_total > 0:
+            points.append(AppPoint.from_estimate(f"{qname} (static)", shadow))
+    return points

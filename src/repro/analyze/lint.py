@@ -62,7 +62,24 @@ LINT_RULES = {
              "np.dot on 2-D operands where the @ operator is idiomatic"),
     "L006": ("missing-out", "info",
              "chained whole-array expression allocates temporaries"),
+    # L007–L010 are owned by the dataflow tier (repro.analyze.dataflow),
+    # which fires them from interpreted traffic rather than AST patterns.
+    # They are registered here so lint_expect metadata recognizes the slugs.
+    "L007": ("hidden-temp-chain", "warning",
+             "statement allocates and drops multiple temporary arrays"),
+    "L008": ("silent-upcast", "warning",
+             "operation silently widens a float/complex operand"),
+    "L009": ("copy-index", "warning",
+             "fancy-index/transpose pattern forces an avoidable copy"),
+    "L010": ("broadcast-blowup", "warning",
+             "broadcast result dwarfs every array operand"),
 }
+
+#: slugs fired by the dataflow tier, not by the AST linter below — excluded
+#: from this pass's stale-expect sweep (the dataflow pass runs its own)
+_DATAFLOW_SLUGS = frozenset({
+    "hidden-temp-chain", "silent-upcast", "copy-index", "broadcast-blowup",
+})
 
 #: techniques whose claim a scalar loop contradicts (upgrades L001 to error)
 _VECTORIZED_TECHNIQUES = frozenset({"vectorization", "library"})
@@ -323,7 +340,7 @@ def lint_variant(variant) -> list[Finding]:
                                 variant=variant.qualified_name, message=msg,
                                 source="lint", lineno=lineno, col=col,
                                 end_lineno=end))
-    for slug in sorted((expected - fired) | unknown):
+    for slug in sorted((expected - fired - _DATAFLOW_SLUGS) | unknown):
         findings.append(Finding(
             rule="L000", slug="stale-expect", severity="info",
             variant=variant.qualified_name,

@@ -155,9 +155,14 @@ class AnalysisReport:
             lines.insert(0, "no findings")
         return "\n".join(lines)
 
+    #: JSON document version; bump on any breaking payload-shape change so
+    #: downstream report/service consumers can evolve safely.
+    SCHEMA_VERSION = 1
+
     def to_json(self) -> str:
         """Stable JSON document (findings in deterministic order)."""
         payload = {
+            "schema_version": self.SCHEMA_VERSION,
             "ok": self.ok,
             "counts": self.counts(),
             "findings": [asdict(f) for f in self.findings],

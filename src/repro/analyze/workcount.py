@@ -1535,12 +1535,16 @@ def static_app_points(registry=None,
     """Roofline points from static estimates — no kernel is ever executed.
 
     Returns :class:`~repro.roofline.model.AppPoint` objects (model-only,
-    no achieved performance) for every countable variant with nonzero
+    no achieved performance) for every analyzable variant with nonzero
     FLOPs and traffic, ready for ``RooflineModel``/``ascii_roofline``.
+
+    Since the dataflow tier landed, placement prefers its *moved*-traffic
+    estimate (temporaries and re-reads included) over this module's
+    compulsory-footprint number — a hidden temp chain now lowers a
+    variant's static intensity the way it lowers the measured one.  The
+    shadow-interpreter estimate remains the fallback for variants the
+    abstract domain refuses.  See
+    :func:`repro.analyze.dataflow.dataflow_app_points`.
     """
-    from ..roofline.model import AppPoint
-    points = []
-    for qname, est in sorted(estimate_registry(registry, probes, kernel).items()):
-        if est.countable and est.flops > 0 and est.bytes_total > 0:
-            points.append(AppPoint.from_estimate(f"{qname} (static)", est))
-    return points
+    from .dataflow import dataflow_app_points
+    return dataflow_app_points(registry, probes, kernel)

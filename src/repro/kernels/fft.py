@@ -70,7 +70,8 @@ def random_signal(n: int, seed: int = 0) -> np.ndarray:
 
 
 @register("fft", "dft", dft_work, "direct O(n^2) DFT — the naive reference",
-          metadata={"workcount_expect":
+          metadata={"lint_expect": ("hidden-temp-chain",),
+                    "workcount_expect":
                     "rebuilds the complex twiddle row per output bin; the "
                     "declared 8n^2 model counts only the multiply-accumulate"})
 def dft_direct(x: np.ndarray) -> np.ndarray:
@@ -88,7 +89,8 @@ def dft_direct(x: np.ndarray) -> np.ndarray:
 
 @register("fft", "recursive", fft_work, "textbook recursive Cooley-Tukey",
           technique="algorithmic",
-          metadata={"workcount_expect":
+          metadata={"lint_expect": ("hidden-temp-chain",),
+                    "workcount_expect":
                     "recomputes np.exp twiddle factors at every recursion "
                     "level; the declared 5n·log2(n) model assumes them free"})
 def fft_recursive(x: np.ndarray) -> np.ndarray:
@@ -109,25 +111,36 @@ def fft_recursive(x: np.ndarray) -> np.ndarray:
 
 
 def bit_reverse_permutation(n: int) -> np.ndarray:
-    """Index permutation reversing log2(n)-bit indices."""
+    """Index permutation reversing log2(n)-bit indices.
+
+    The per-bit update runs through one reused scratch buffer instead of
+    allocating three temporaries per iteration.
+    """
     _check_pow2(n)
     bits = int(np.log2(n))
     idx = np.arange(n)
     rev = np.zeros(n, dtype=np.int64)
+    scratch = np.zeros(n, dtype=np.int64)
     for b in range(bits):
-        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+        np.right_shift(idx, b, out=scratch)
+        scratch &= 1
+        scratch <<= bits - 1 - b
+        rev |= scratch
     return rev
 
 
 @register("fft", "iterative", fft_work,
           "bit-reversal + iterative butterflies (scalar)", technique="loop-restructuring",
-          metadata={"lint_expect": ("scalar-loop",)})
+          metadata={"lint_expect": ("scalar-loop",),
+                    "workcount_expect":
+                    "bit-reversal permutation scratch buffers; the declared "
+                    "5n·log2(n) model counts only signal traffic"})
 def fft_iterative(x: np.ndarray) -> np.ndarray:
     """Iterative in-place radix-2 FFT with scalar butterflies."""
     x = np.asarray(x, dtype=complex)
     n = x.size
     _check_pow2(n)
-    out = x[bit_reverse_permutation(n)].copy()
+    out = x[bit_reverse_permutation(n)]  # the gather is already a fresh copy
     size = 2
     while size <= n:
         half = size // 2
@@ -147,13 +160,16 @@ def fft_iterative(x: np.ndarray) -> np.ndarray:
 @register("fft", "vectorized", fft_work,
           "iterative schedule with whole-stage numpy butterflies",
           technique="vectorization",
-          metadata={"lint_expect": ("loop-alloc",)})
+          metadata={"lint_expect": ("loop-alloc", "hidden-temp-chain"),
+                    "workcount_expect":
+                    "bit-reversal permutation scratch buffers; the declared "
+                    "5n·log2(n) model counts only signal traffic"})
 def fft_vectorized(x: np.ndarray) -> np.ndarray:
     """Iterative FFT performing each stage as array-wide operations."""
     x = np.asarray(x, dtype=complex)
     n = x.size
     _check_pow2(n)
-    out = x[bit_reverse_permutation(n)].copy()
+    out = x[bit_reverse_permutation(n)]  # the gather is already a fresh copy
     size = 2
     while size <= n:
         half = size // 2

@@ -276,7 +276,8 @@ def spmv_csr_numpy(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
     _check_x(a, x)
     if a.nnz == 0:
         return np.zeros(a.shape[0])
-    products = a.data * x[a.indices]
+    products = x[a.indices]  # the gather is already a fresh array:
+    products *= a.data       # scale it in place instead of allocating again
     y = np.zeros(a.shape[0])
     lengths = a.row_lengths()
     nonempty = np.nonzero(lengths)[0]
@@ -380,8 +381,10 @@ def spmv_csc_numpy(a: CSCMatrix, x: np.ndarray) -> np.ndarray:
     _check_x(a, x)
     if a.nnz == 0:
         return np.zeros(a.shape[0])
-    cols = np.repeat(np.arange(a.shape[1], dtype=np.int64), a.col_lengths())
-    products = a.data * x[cols]
+    col_ids = np.arange(a.shape[1], dtype=np.int64)
+    cols = np.repeat(col_ids, a.col_lengths())
+    products = x[cols]  # reuse the gather buffer:
+    products *= a.data  # in-place scale, no second temporary
     y = np.zeros(a.shape[0])
     np.add.at(y, a.indices, products)
     return y
@@ -405,7 +408,9 @@ def spmv_coo_numpy(a: COOMatrix, x: np.ndarray) -> np.ndarray:
     _check_x(a, x)
     y = np.zeros(a.shape[0])
     if a.nnz:
-        np.add.at(y, a.rows, a.vals * x[a.cols])
+        products = x[a.cols]  # reuse the gather buffer:
+        products *= a.vals    # in-place scale, no second temporary
+        np.add.at(y, a.rows, products)
     return y
 
 

@@ -202,9 +202,10 @@ def roofline_section(points=None, model=None,
                      n_samples: int = 96) -> str:
     """Ceilings + application points on a log-log roofline.
 
-    Defaults to the generic server CPU preset and the shadow-interpreter
-    ``static_app_points`` estimates, so the section renders even for a
-    store that never measured achieved FLOP/s.
+    Defaults to the generic server CPU preset and the ``static_app_points``
+    estimates (dataflow-derived moved traffic, with the shadow-interpreter
+    footprint as fallback), so the section renders even for a store that
+    never measured achieved FLOP/s.
     """
     from ..machine.presets import generic_server_cpu
     from ..roofline.model import cpu_roofline
@@ -238,7 +239,7 @@ def roofline_section(points=None, model=None,
                  f"{model.peak_flops / 1e9:.1f} GFLOP/s, "
                  f"{model.peak_bandwidth / 1e9:.1f} GB/s, ridge at "
                  f"{model.ridge_point():.2f} FLOP/byte. Hollow markers are "
-                 "static (shadow-interpreter) estimates pinned to their "
+                 "static (dataflow moved-traffic) estimates pinned to their "
                  "attainable roof.")
     return head + svg + tbl
 

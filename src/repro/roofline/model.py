@@ -106,11 +106,15 @@ class AppPoint:
     @classmethod
     def from_estimate(cls, name: str, estimate,
                       seconds: float | None = None) -> "AppPoint":
-        """Point from a static :class:`~repro.analyze.WorkEstimate`.
+        """Point from a static estimate (duck-typed: ``flops``/``bytes_total``).
 
-        Places a kernel variant on the roofline *without executing it* —
-        the estimate comes from the work-count verifier's shadow
-        interpretation of the variant's source.
+        Places a kernel variant on the roofline *without executing it*.
+        Accepts either a :class:`~repro.analyze.WorkEstimate` (compulsory
+        footprint from the shadow interpreter) or a
+        :class:`~repro.analyze.DataflowEstimate`, whose ``bytes_total`` is
+        *moved* traffic — temporaries and re-reads included — so a
+        temp-chained variant lands at a lower static intensity than its
+        ``out=`` twin.
         """
         return cls.from_traffic(name, estimate.flops, estimate.bytes_total,
                                 seconds)

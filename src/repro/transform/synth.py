@@ -33,6 +33,8 @@ import inspect
 import linecache
 from dataclasses import dataclass, field
 
+from ..analyze.dataflow import (DATAFLOW_LINT_RULES, DATAFLOW_SLUGS,
+                                check_transform_facts, dataflow_variant)
 from ..analyze.hazards import hazards_variant
 from ..analyze.lint import function_ast, lint_variant
 from ..analyze.report import Finding
@@ -134,6 +136,11 @@ def _recompute_lint_expect(variant: KernelVariant, auto: KernelVariant
     if not inherited:
         return (), ()
     fired = {f.slug for f in lint_variant(auto) if f.rule != "L000"}
+    if set(inherited) & DATAFLOW_SLUGS:
+        # dataflow-owned slugs (hidden-temp-chain, …) fire from interpreted
+        # traffic, not from the AST linter — consult that tier too
+        fired |= {f.slug for f in dataflow_variant(auto)
+                  if f.rule in DATAFLOW_LINT_RULES}
     kept = tuple(s for s in inherited if s in fired)
     dropped = tuple(s for s in inherited if s not in fired)
     return kept, dropped
@@ -230,6 +237,10 @@ def apply_rule(variant: KernelVariant, rule: str, *,
         gating = [f for f in verify_variant(auto) if f.gating]
         gating += [f for f in hazards_variant(auto) if f.gating]
         gating += [f for f in lint_variant(auto) if f.gating]
+        gating += [f for f in dataflow_variant(auto) if f.gating]
+        # dtype/shape facts from the abstract domain must survive the
+        # rewrite — a probe-equal result can still hide a dtype drift
+        gating += check_transform_facts(variant, auto)
         report.findings = tuple(gating)
         if gating:
             report.error = ("static verification failed: "

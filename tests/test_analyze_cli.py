@@ -27,10 +27,16 @@ def racy_registry(monkeypatch):
 
 
 class TestExitCodes:
-    @pytest.mark.parametrize("pass_name", ["lint", "workcount", "hazards", "all"])
+    @pytest.mark.parametrize("pass_name", ["lint", "workcount", "dataflow",
+                                           "crosscheck", "hazards", "all"])
     def test_shipped_registry_gates_clean(self, pass_name, capsys):
         assert main([pass_name]) == 0
         assert "0 error(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("pass_name", ["dataflow", "crosscheck"])
+    def test_strict_dataflow_gate_passes(self, pass_name):
+        # the CI dataflow-gate contract: no unsuppressed warnings either
+        assert main([pass_name, "--check"]) == 0
 
     def test_injected_racy_worker_fails_gate(self, racy_registry, capsys):
         assert main(["hazards"]) == 1
@@ -53,6 +59,13 @@ class TestOptions:
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is True
         assert set(payload["counts"]) == {"error", "warning", "info", "expected"}
+
+    @pytest.mark.parametrize("pass_name", ["lint", "dataflow", "all"])
+    def test_json_schema_version_is_stable(self, pass_name, capsys):
+        # downstream consumers key on this; bumping it is an API change
+        main([pass_name, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
 
     def test_expected_hidden_by_default(self, capsys):
         main(["lint"])

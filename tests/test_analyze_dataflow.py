@@ -1,0 +1,310 @@
+"""Dataflow tier: abstract interpretation, L007-L010, and the D001 crosscheck."""
+
+import numpy as np
+import pytest
+
+from repro.analyze.dataflow import (
+    DATAFLOW_RULES,
+    DataflowEstimate,
+    check_transform_facts,
+    crosscheck_registry,
+    crosscheck_variant,
+    dataflow_app_points,
+    dataflow_estimate,
+    dataflow_registry,
+    dataflow_variant,
+    estimate_dataflow_registry,
+)
+from repro.analyze.workcount import ProbeSpec, estimate_variant
+from repro.kernels import REGISTRY
+from repro.kernels.base import KernelRegistry, KernelVariant
+from repro.timing.metrics import WorkCount
+
+N = 8
+
+
+# -- fixture kernels --------------------------------------------------------
+
+def triad_kernel(a, b, c):
+    c[:] = a + 2.0 * b
+    return c
+
+
+def triad_fused(a, b, c):
+    np.multiply(b, 2.0, out=c)
+    c += a
+    return c
+
+
+def triad_work(n):
+    return WorkCount(flops=2.0 * n, loads_bytes=16.0 * n, stores_bytes=8.0 * n)
+
+
+def _probes(build=None):
+    if build is None:
+        def build(name):
+            a = np.arange(float(N))
+            b = np.ones(N)
+            c = np.zeros(N)
+            return (a, b, c), (N,)
+    return {"fixture": ProbeSpec("fixture", build)}
+
+
+def _variant(fn, work=triad_work, metadata=None, name="triad"):
+    return KernelVariant(kernel="fixture", name=name, fn=fn, work=work,
+                         metadata=metadata or {})
+
+
+def _registry(*variants):
+    reg = KernelRegistry()
+    for v in variants:
+        reg.add(v)
+    return reg
+
+
+def _estimate(fn, args, name="probe"):
+    est, _ = dataflow_estimate(_variant(fn, name=name), args)
+    return est
+
+
+# -- the abstract interpreter -----------------------------------------------
+
+class TestEstimate:
+    def test_moved_traffic_exceeds_footprint_for_temp_chain(self):
+        args = _probes()["fixture"].build("triad")[0]
+        est, _ = dataflow_estimate(_variant(triad_kernel), args)
+        assert est.analyzable
+        assert est.flops == 2.0 * N
+        # footprint = compulsory unique-cell traffic (matches the shadow
+        # interpreter); moved adds the temporaries and re-reads on top
+        assert est.footprint_loads_bytes == 16.0 * N
+        assert est.footprint_stores_bytes == 8.0 * N
+        assert est.moved_loads_bytes > est.footprint_loads_bytes
+        assert est.moved_stores_bytes > est.footprint_stores_bytes
+        assert est.bytes_total > est.footprint_bytes
+
+    def test_footprint_matches_shadow_interpreter_exactly(self):
+        variant = _variant(triad_kernel)
+        args = _probes()["fixture"].build("triad")[0]
+        shadow = estimate_variant(variant, _probes()["fixture"].build("x")[0])
+        est, _ = dataflow_estimate(variant, args)
+        assert est.footprint_loads_bytes == shadow.loads_bytes
+        assert est.footprint_stores_bytes == shadow.stores_bytes
+        assert est.flops == shadow.flops
+
+    def test_out_variant_moves_less_and_lands_at_higher_intensity(self):
+        args1 = _probes()["fixture"].build("x")[0]
+        args2 = _probes()["fixture"].build("x")[0]
+        chained = _estimate(triad_kernel, args1, name="chained")
+        fused = _estimate(triad_fused, args2, name="fused")
+        assert chained.flops == fused.flops
+        assert fused.bytes_total < chained.bytes_total
+        assert fused.intensity > chained.intensity
+        # temporaries are the difference
+        assert chained.temp_allocs > fused.temp_allocs
+
+    def test_result_facts_and_dim_bindings(self):
+        est = _estimate(triad_kernel, _probes()["fixture"].build("x")[0])
+        assert est.result_dtype == "float64"
+        assert est.result_shape == (N,)
+        assert any("float64" in b and str(N) in b for b in est.dim_bindings)
+
+    def test_per_statement_cost_attribution(self):
+        est = _estimate(triad_kernel, _probes()["fixture"].build("x")[0])
+        assert est.statements
+        by_line = {s.lineno: s for s in est.statements}
+        # the assignment statement carries the flops and the temp allocs
+        hot = max(est.statements, key=lambda s: s.flops)
+        assert hot.flops == 2.0 * N
+        assert hot.temp_allocs >= 1
+        assert hot.lineno in by_line
+
+    def test_intensity_uses_moved_traffic(self):
+        est = DataflowEstimate(
+            variant="x", analyzable=True, flops=100.0, int_ops=0,
+            footprint_loads_bytes=10.0, footprint_stores_bytes=10.0,
+            moved_loads_bytes=30.0, moved_stores_bytes=20.0,
+            temp_allocs=1, temp_bytes=8.0)
+        assert est.bytes_total == 50.0
+        assert est.intensity == pytest.approx(2.0)
+        assert est.footprint_intensity == pytest.approx(5.0)
+
+
+# -- the traffic lint rules -------------------------------------------------
+
+class TestRules:
+    def test_l007_fires_on_hidden_temp_chain(self):
+        findings = dataflow_variant(_variant(triad_kernel), _probes())
+        l7 = [f for f in findings if f.rule == "L007"]
+        assert len(l7) == 1
+        assert l7[0].slug == "hidden-temp-chain"
+        assert l7[0].severity == "warning"
+        assert l7[0].lineno > 0
+
+    def test_l007_silent_on_out_chained_twin(self):
+        findings = dataflow_variant(_variant(triad_fused, name="fused"),
+                                    _probes())
+        assert not [f for f in findings if f.rule == "L007"]
+
+    def test_l008_fires_on_silent_upcast(self):
+        def upcast(a, b, c):
+            c[:] = a.astype(np.float32) * 1.0 + b
+            return c
+        findings = dataflow_variant(_variant(upcast, name="upcast"), _probes())
+        l8 = [f for f in findings if f.rule == "L008"]
+        assert l8 and l8[0].slug == "silent-upcast"
+
+    def test_l008_silent_on_uniform_dtype(self):
+        findings = dataflow_variant(_variant(triad_fused, name="fused"),
+                                    _probes())
+        assert not [f for f in findings if f.rule == "L008"]
+
+    def test_l009_fires_on_gather_feeding_fresh_allocation(self):
+        def gather(a, b, c):
+            idx = np.arange(N - 1, -1, -1)
+            c[:] = 2.0 * a[idx]
+            return c
+        findings = dataflow_variant(_variant(gather, name="gather"), _probes())
+        assert any(f.rule == "L009" for f in findings)
+
+    def test_l009_fires_on_redundant_copy_of_gather(self):
+        def copycat(a, b, c):
+            idx = np.arange(N)
+            c[:] = a[idx].copy()
+            return c
+        findings = dataflow_variant(_variant(copycat, name="copycat"),
+                                    _probes())
+        assert any(f.rule == "L009" and f.slug == "copy-index"
+                   for f in findings)
+
+    def test_l010_fires_on_broadcast_blowup(self):
+        def build(name):
+            return (np.ones(16), np.ones(16)), (16,)
+
+        def outer(a, b):
+            return a[:, None] * b[None, :]
+        findings = dataflow_variant(_variant(outer, name="outer"),
+                                    _probes(build))
+        l10 = [f for f in findings if f.rule == "L010"]
+        assert l10 and l10[0].slug == "broadcast-blowup"
+
+    def test_l010_silent_on_matching_shapes(self):
+        findings = dataflow_variant(_variant(triad_fused, name="fused"),
+                                    _probes())
+        assert not [f for f in findings if f.rule == "L010"]
+
+    def test_lint_expect_downgrades_to_expected(self):
+        v = _variant(triad_kernel,
+                     metadata={"lint_expect": ("hidden-temp-chain",)})
+        findings = dataflow_variant(v, _probes())
+        l7 = [f for f in findings if f.rule == "L007"]
+        assert l7 and all(f.severity == "expected" for f in l7)
+
+    def test_stale_dataflow_expect_reported(self):
+        v = _variant(triad_fused, name="fused",
+                     metadata={"lint_expect": ("broadcast-blowup",)})
+        findings = dataflow_variant(v, _probes())
+        stale = [f for f in findings if f.rule == "L000"]
+        assert stale and "broadcast-blowup" in stale[0].message
+
+
+# -- refusals and probe plumbing --------------------------------------------
+
+class TestRefusals:
+    def test_d000_on_data_dependent_branch(self):
+        def branchy(a, b, c):
+            if a[0] > 0:
+                c[:] = a + b
+            return c
+        findings = dataflow_variant(_variant(branchy, name="branchy"),
+                                    _probes())
+        d0 = [f for f in findings if f.rule == "D000"]
+        assert d0 and d0[0].severity == "info"
+        est, _ = dataflow_estimate(_variant(branchy, name="branchy"),
+                                   _probes()["fixture"].build("x")[0])
+        assert not est.analyzable
+        assert est.reason
+
+    def test_d000_on_with_statement(self):
+        def with_stmt(a, b, c):
+            with open("/dev/null"):
+                c[:] = a
+            return c
+        findings = dataflow_variant(_variant(with_stmt, name="ws"), _probes())
+        assert any(f.rule == "D000" for f in findings)
+
+    def test_d002_when_no_probe_covers_the_kernel(self):
+        v = KernelVariant(kernel="uncovered", name="x", fn=triad_kernel,
+                          work=triad_work)
+        findings = dataflow_variant(v, _probes())
+        assert [f.rule for f in findings] == ["D002"]
+
+
+# -- static-vs-dynamic crosscheck -------------------------------------------
+
+class TestCrosscheck:
+    def test_agreement_yields_no_findings(self):
+        assert crosscheck_variant(_variant(triad_kernel), _probes()) == []
+
+    def test_coverage_mismatch_is_reported(self):
+        def branchy(a, b, c):
+            if a[0] > 0:
+                c[:] = a + b
+            return c
+        findings = crosscheck_variant(_variant(branchy, name="branchy"),
+                                      _probes())
+        d1 = [f for f in findings if f.rule == "D001"]
+        assert d1 and d1[0].severity == "info"
+
+    def test_transform_fact_drift_is_an_error(self):
+        def base(a, b, c):
+            return a + b
+
+        def drifted(a, b, c):
+            return (a + b).astype(np.float32)
+        findings = check_transform_facts(
+            _variant(base, name="base"),
+            _variant(drifted, name="base.auto_x"), _probes())
+        assert findings and all(f.rule == "D001" for f in findings)
+        assert any(f.severity == "error" for f in findings)
+        assert any("float32" in f.message for f in findings)
+
+    def test_transform_fact_agreement_is_silent(self):
+        assert check_transform_facts(
+            _variant(triad_kernel),
+            _variant(triad_fused, name="triad.auto_x"), _probes()) == []
+
+
+# -- the shipped registry ---------------------------------------------------
+
+class TestShippedRegistry:
+    def test_dataflow_gate_is_clean(self):
+        report = dataflow_registry(REGISTRY)
+        assert report.ok
+        assert not report.by_severity("warning")
+
+    def test_crosscheck_agrees_within_tolerance_everywhere(self):
+        report = crosscheck_registry(REGISTRY)
+        assert report.ok
+        assert not report.findings  # exact agreement, not just within 2x
+
+    def test_estimates_cover_every_analyzable_variant(self):
+        ests = estimate_dataflow_registry(REGISTRY)
+        analyzable = [e for e in ests.values() if e.analyzable]
+        assert len(analyzable) >= 10
+        for est in analyzable:
+            assert est.bytes_total >= est.footprint_bytes
+
+    def test_static_app_points_from_moved_traffic(self):
+        points = dataflow_app_points(REGISTRY)
+        names = {p.name for p in points}
+        assert "spmv.csr_numpy (static)" in names
+        assert "matmul.numpy (static)" in names
+        for p in points:
+            assert p.name.endswith("(static)")
+            assert p.intensity > 0
+            assert p.achieved_flops_per_s is None
+
+    def test_rule_table_is_complete(self):
+        for rule in ("L007", "L008", "L009", "L010", "D000", "D001", "D002"):
+            assert rule in DATAFLOW_RULES

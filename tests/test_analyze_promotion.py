@@ -1,0 +1,112 @@
+"""NumPy dtype-promotion edge cases through the dataflow abstract domain.
+
+The dataflow tier's ``result_dtype`` fact must match what NumPy actually
+produces — including the NEP 50-adjacent corners: mixed float widths,
+int-with-float, and *weak* scalar promotion (a Python scalar adapts to the
+array dtype instead of widening it).  Each case runs the kernel for real as
+ground truth and compares against the statically derived fact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analyze.dataflow import dataflow_estimate
+from repro.analyze.workcount import ProbeSpec
+from repro.kernels.base import KernelVariant
+from repro.timing.metrics import WorkCount
+
+N = 16
+SEED = 1234
+
+
+def _work(n):
+    return WorkCount(flops=float(n), loads_bytes=8.0 * n, stores_bytes=8.0 * n)
+
+
+# -- one-op kernels (module level so inspect.getsource sees clean defs) -----
+
+def add_pair(a, b):
+    return a + b
+
+
+def mul_pair(a, b):
+    return a * b
+
+
+def add_scalar_float(a):
+    return a + 2.0
+
+
+def add_scalar_int(a):
+    return a + 3
+
+
+def div_pair(a, b):
+    return a / b
+
+
+def _arr(dtype):
+    rng = np.random.default_rng(SEED)
+    return rng.random(N).astype(dtype) if np.issubdtype(dtype, np.floating) \
+        else rng.integers(1, 10, N).astype(dtype)
+
+
+def _fact(fn, *dtypes):
+    """(static result_dtype, runtime result dtype) for fn over fresh arrays."""
+    args = tuple(_arr(d) for d in dtypes)
+    variant = KernelVariant(kernel="promotion", name=fn.__name__, fn=fn,
+                            work=_work)
+    est, _ = dataflow_estimate(variant, tuple(a.copy() for a in args))
+    truth = np.asarray(fn(*args)).dtype
+    return est, str(truth)
+
+
+class TestMixedWidthPromotion:
+    def test_float32_plus_float64_widens(self):
+        est, truth = _fact(add_pair, np.float32, np.float64)
+        assert est.analyzable
+        assert est.result_dtype == truth == "float64"
+
+    def test_float32_pair_stays_narrow(self):
+        est, truth = _fact(mul_pair, np.float32, np.float32)
+        assert est.result_dtype == truth == "float32"
+
+    def test_int_times_float_promotes_to_float(self):
+        est, truth = _fact(mul_pair, np.int64, np.float64)
+        assert est.result_dtype == truth == "float64"
+
+    def test_int32_with_float32_promotes(self):
+        est, truth = _fact(add_pair, np.int32, np.float32)
+        assert est.result_dtype == truth
+
+    def test_true_division_of_ints_yields_float(self):
+        est, truth = _fact(div_pair, np.int64, np.int64)
+        assert est.result_dtype == truth == "float64"
+
+
+class TestWeakScalarPromotion:
+    def test_python_float_does_not_widen_float32(self):
+        est, truth = _fact(add_scalar_float, np.float32)
+        assert est.result_dtype == truth == "float32"
+
+    def test_python_int_does_not_widen_int32(self):
+        est, truth = _fact(add_scalar_int, np.int32)
+        assert est.result_dtype == truth == "int32"
+
+    def test_python_int_on_float32_stays_float32(self):
+        est, truth = _fact(add_scalar_int, np.float32)
+        assert est.result_dtype == truth == "float32"
+
+
+class TestPromotionTrafficFacts:
+    def test_widened_result_costs_wider_stores(self):
+        narrow, _ = _fact(mul_pair, np.float32, np.float32)
+        wide, _ = _fact(add_pair, np.float32, np.float64)
+        # same element count, but the widened result is written in 8-byte
+        # cells instead of 4-byte ones
+        assert wide.moved_stores_bytes > narrow.moved_stores_bytes
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_shape_fact_tracks_probe(self, dtype):
+        est, _ = _fact(add_pair, dtype, dtype)
+        assert est.result_shape == (N,)
